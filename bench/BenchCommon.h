@@ -1,0 +1,87 @@
+//===- bench/BenchCommon.h - Shared benchmark harness helpers ---*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the per-table/figure benchmark binaries. Each binary
+/// registers one google-benchmark per SPECjvm98 program (timing the
+/// simulation triple) and afterwards prints the paper-style table.
+///
+/// Results are cached on disk via DYNACE_CACHE_DIR (set by default here to
+/// ".dynace-cache" so the suite simulates once across all binaries);
+/// DYNACE_INSTR_BUDGET caps per-run instructions for quick smoke passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_BENCH_BENCHCOMMON_H
+#define DYNACE_BENCH_BENCHCOMMON_H
+
+#include "sim/ExperimentRunner.h"
+#include "sim/Reports.h"
+#include "workloads/WorkloadProfile.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+namespace dynace_bench {
+
+/// Enables the on-disk result cache unless the user chose otherwise.
+inline void enableDefaultCache() {
+  setenv("DYNACE_CACHE_DIR", ".dynace-cache", /*overwrite=*/0);
+}
+
+/// The shared runner (one per binary; disk cache shares across binaries).
+inline dynace::ExperimentRunner &runner() {
+  static dynace::ExperimentRunner R(
+      dynace::ExperimentRunner::defaultOptions());
+  return R;
+}
+
+/// Runs (cached) the full triple for every SPECjvm98 profile.
+inline const std::vector<dynace::BenchmarkRun> &allRuns() {
+  static std::vector<dynace::BenchmarkRun> Runs = [] {
+    std::vector<dynace::BenchmarkRun> Out;
+    for (const dynace::WorkloadProfile &P : dynace::specjvm98Profiles())
+      Out.push_back(runner().run(P));
+    return Out;
+  }();
+  return Runs;
+}
+
+/// Registers one benchmark per SPECjvm98 program. \p PerBench runs the
+/// simulations for that program and fills user counters.
+template <typename Fn> void registerPerBenchmark(const char *Prefix, Fn F) {
+  for (const dynace::WorkloadProfile &P : dynace::specjvm98Profiles()) {
+    benchmark::RegisterBenchmark(
+        (std::string(Prefix) + "/" + P.Name).c_str(),
+        [&P, F](benchmark::State &State) {
+          for (auto _ : State)
+            F(P, State);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+/// Standard main body: run google-benchmark, then print the table via
+/// \p PrintFn.
+template <typename PrintFn>
+int benchMain(int argc, char **argv, PrintFn Print) {
+  enableDefaultCache();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  Print(std::cout);
+  return 0;
+}
+
+} // namespace dynace_bench
+
+#endif // DYNACE_BENCH_BENCHCOMMON_H

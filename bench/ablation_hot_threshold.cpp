@@ -1,0 +1,70 @@
+//===- bench/ablation_hot_threshold.cpp - hot_threshold sweep -------------==//
+//
+// Sweeps the DO system's hot_threshold (invocations before promotion).
+// Expected shape: a higher threshold raises identification latency
+// (Table 4's estimate is hot_threshold / avg invocations per hotspot) and
+// shrinks the hotspot population, trading detection cost against
+// adaptation coverage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Format.h"
+#include "support/Table.h"
+
+using namespace dynace;
+using namespace dynace_bench;
+
+static const uint64_t kThresholds[] = {2, 8, 32};
+
+static ExperimentRunner &runnerFor(uint64_t Threshold) {
+  static std::map<uint64_t, std::unique_ptr<ExperimentRunner>> Runners;
+  auto It = Runners.find(Threshold);
+  if (It == Runners.end()) {
+    SimulationOptions Opts = ExperimentRunner::defaultOptions();
+    Opts.Do.HotThreshold = Threshold;
+    It = Runners
+             .emplace(Threshold,
+                      std::make_unique<ExperimentRunner>(Opts))
+             .first;
+  }
+  return *It->second;
+}
+
+static void runOne(const WorkloadProfile &P, benchmark::State &State) {
+  for (uint64_t Threshold : kThresholds) {
+    SimulationResult R = runnerFor(Threshold).runScheme(P, Scheme::Hotspot);
+    std::string Tag = std::to_string(Threshold);
+    State.counters["ident_latency_pct_t" + Tag] =
+        100.0 * R.Do.IdentificationLatencyFraction;
+    State.counters["hotspots_t" + Tag] =
+        static_cast<double>(R.Do.NumHotspots);
+  }
+}
+
+static void printAblation(std::ostream &OS) {
+  TextTable T;
+  T.setHeader({"", "hot_threshold", "hotspots", "code in hotspots",
+               "ident. latency", "L1D coverage", "L2 coverage"});
+  for (const WorkloadProfile &P : specjvm98Profiles()) {
+    for (uint64_t Threshold : kThresholds) {
+      SimulationResult R =
+          runnerFor(Threshold).runScheme(P, Scheme::Hotspot);
+      double L1DCov = R.Ace ? R.Ace->PerCu[0].Coverage : 0.0;
+      double L2Cov = R.Ace ? R.Ace->PerCu[1].Coverage : 0.0;
+      T.addRow({P.Name, std::to_string(Threshold),
+                std::to_string(R.Do.NumHotspots),
+                formatPercent(R.Do.HotspotCodeFraction, 1),
+                formatPercent(R.Do.IdentificationLatencyFraction, 2),
+                formatPercent(L1DCov, 1), formatPercent(L2Cov, 1)});
+    }
+  }
+  T.print(OS, "Ablation: hot_threshold sweep (hotspot scheme)");
+}
+
+int main(int argc, char **argv) {
+  dynace_bench::enableDefaultCache();
+  registerPerBenchmark("ablation_hot_threshold", runOne);
+  return benchMain(argc, argv, printAblation);
+}

@@ -1,0 +1,69 @@
+//===- bench/ablation_reconfig_guard.cpp - hardware-guard ablation --------==//
+//
+// Ablates the Section 3.4 hardware support: the per-CU last-reconfiguration
+// counter that silently rejects requests arriving within the CU's
+// reconfiguration interval. Without it, nested hotspots re-snap the caches
+// at every entry; expected shape: many more hardware reconfigurations and
+// more cycles lost to flush/refill churn.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Format.h"
+#include "support/Table.h"
+
+using namespace dynace;
+using namespace dynace_bench;
+
+static ExperimentRunner &unguardedRunner() {
+  static ExperimentRunner R = [] {
+    SimulationOptions Opts = ExperimentRunner::defaultOptions();
+    Opts.Ace.GuardEnabled = false;
+    return ExperimentRunner(Opts);
+  }();
+  return R;
+}
+
+static void runOne(const WorkloadProfile &P, benchmark::State &State) {
+  const BenchmarkRun &Guarded = runner().run(P);
+  SimulationResult Unguarded =
+      unguardedRunner().runScheme(P, Scheme::Hotspot);
+  State.counters["l1d_reconfigs_guarded"] =
+      static_cast<double>(Guarded.Hotspot.L1DHardwareReconfigs);
+  State.counters["l1d_reconfigs_unguarded"] =
+      static_cast<double>(Unguarded.L1DHardwareReconfigs);
+  State.counters["slowdown_guarded_pct"] =
+      100.0 * BenchmarkRun::slowdown(Guarded.Hotspot.Cycles,
+                                     Guarded.Baseline.Cycles);
+  State.counters["slowdown_unguarded_pct"] =
+      100.0 *
+      BenchmarkRun::slowdown(Unguarded.Cycles, Guarded.Baseline.Cycles);
+}
+
+static void printAblation(std::ostream &OS) {
+  TextTable T;
+  T.setHeader({"", "L1D reconfigs", "L2 reconfigs", "slowdown"});
+  for (const WorkloadProfile &P : specjvm98Profiles()) {
+    const BenchmarkRun &G = runner().run(P);
+    SimulationResult U = unguardedRunner().runScheme(P, Scheme::Hotspot);
+    T.addRow({P.Name + std::string(" guarded"),
+              std::to_string(G.Hotspot.L1DHardwareReconfigs),
+              std::to_string(G.Hotspot.L2HardwareReconfigs),
+              formatPercent(BenchmarkRun::slowdown(G.Hotspot.Cycles,
+                                                   G.Baseline.Cycles),
+                            2)});
+    T.addRow({P.Name + std::string(" unguarded"),
+              std::to_string(U.L1DHardwareReconfigs),
+              std::to_string(U.L2HardwareReconfigs),
+              formatPercent(
+                  BenchmarkRun::slowdown(U.Cycles, G.Baseline.Cycles), 2)});
+  }
+  T.print(OS, "Ablation: hardware reconfiguration guard on vs off");
+}
+
+int main(int argc, char **argv) {
+  dynace_bench::enableDefaultCache();
+  registerPerBenchmark("ablation_guard", runOne);
+  return benchMain(argc, argv, printAblation);
+}

@@ -1,0 +1,77 @@
+//===- bench/ablation_retention.cpp - selective-sets retention ------------==//
+//
+// Ablates the selective-sets retention extension (DESIGN.md §8): when a
+// cache shrinks, the surviving sets keep their contents instead of flushing
+// the whole array. Expected shape: retention lowers reconfiguration
+// write-back counts and the slowdown of both adaptive schemes, with energy
+// results essentially unchanged.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Format.h"
+#include "support/Table.h"
+
+using namespace dynace;
+using namespace dynace_bench;
+
+static ExperimentRunner &flushAllRunner() {
+  static ExperimentRunner R = [] {
+    SimulationOptions Opts = ExperimentRunner::defaultOptions();
+    Opts.Hierarchy.RetainOnDownsize = false;
+    return ExperimentRunner(Opts);
+  }();
+  return R;
+}
+
+static void runOne(const WorkloadProfile &P, benchmark::State &State) {
+  const BenchmarkRun &Retain = runner().run(P);
+  SimulationResult Flush = flushAllRunner().runScheme(P, Scheme::Hotspot);
+  State.counters["slowdown_retain_pct"] =
+      100.0 * BenchmarkRun::slowdown(Retain.Hotspot.Cycles,
+                                     Retain.Baseline.Cycles);
+  State.counters["slowdown_flushall_pct"] =
+      100.0 *
+      BenchmarkRun::slowdown(Flush.Cycles, Retain.Baseline.Cycles);
+}
+
+static void printAblation(std::ostream &OS) {
+  TextTable T;
+  T.setHeader({"", "L1D energy red.", "L2 energy red.", "slowdown"});
+  for (const WorkloadProfile &P : specjvm98Profiles()) {
+    const BenchmarkRun &R = runner().run(P);
+    SimulationResult F = flushAllRunner().runScheme(P, Scheme::Hotspot);
+    T.addRow({P.Name + std::string(" retain"),
+              formatPercent(BenchmarkRun::reduction(
+                                R.Hotspot.L1DEnergy.total(),
+                                R.Baseline.L1DEnergy.total()),
+                            1),
+              formatPercent(BenchmarkRun::reduction(
+                                R.Hotspot.L2Energy.total(),
+                                R.Baseline.L2Energy.total()),
+                            1),
+              formatPercent(BenchmarkRun::slowdown(R.Hotspot.Cycles,
+                                                   R.Baseline.Cycles),
+                            2)});
+    T.addRow({P.Name + std::string(" flush-all"),
+              formatPercent(
+                  BenchmarkRun::reduction(F.L1DEnergy.total(),
+                                          R.Baseline.L1DEnergy.total()),
+                  1),
+              formatPercent(
+                  BenchmarkRun::reduction(F.L2Energy.total(),
+                                          R.Baseline.L2Energy.total()),
+                  1),
+              formatPercent(
+                  BenchmarkRun::slowdown(F.Cycles, R.Baseline.Cycles), 2)});
+  }
+  T.print(OS, "Ablation: selective-sets retention on downsize vs full "
+              "flush (hotspot scheme)");
+}
+
+int main(int argc, char **argv) {
+  dynace_bench::enableDefaultCache();
+  registerPerBenchmark("ablation_retention", runOne);
+  return benchMain(argc, argv, printAblation);
+}

@@ -1,0 +1,30 @@
+//===- bench/fig1_phase_distribution.cpp - Figure 1 -----------------------==//
+//
+// Regenerates Figure 1: the distribution of stable vs transitional BBV
+// phases (fraction of sampling intervals). Paper shape: most intervals are
+// stable; javac has by far the lowest stable fraction (~40%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace dynace;
+using namespace dynace_bench;
+
+static void runOne(const WorkloadProfile &P, benchmark::State &State) {
+  const BenchmarkRun &R = runner().run(P);
+  if (R.Bbv.BbvR) {
+    State.counters["stable_pct"] =
+        100.0 * R.Bbv.BbvR->StableIntervalFraction;
+    State.counters["phases"] = static_cast<double>(R.Bbv.BbvR->NumPhases);
+    State.counters["intervals"] =
+        static_cast<double>(R.Bbv.BbvR->TotalIntervals);
+  }
+}
+
+int main(int argc, char **argv) {
+  dynace_bench::enableDefaultCache();
+  registerPerBenchmark("fig1", runOne);
+  return benchMain(argc, argv,
+                   [](std::ostream &OS) { printFigure1(OS, allRuns()); });
+}

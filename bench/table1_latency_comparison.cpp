@@ -1,0 +1,36 @@
+//===- bench/table1_latency_comparison.cpp - Table 1 ----------------------==//
+//
+// Regenerates Table 1 with measured counterparts: the paper's qualitative
+// comparison of identification and tuning latencies between temporal (BBV)
+// and DO-based approaches. Paper shape: the DO approach pays a one-time
+// identification latency but recognizes recurring phases with zero latency
+// and tests only a subset of configurations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace dynace;
+using namespace dynace_bench;
+
+static void runOne(const WorkloadProfile &P, benchmark::State &State) {
+  const BenchmarkRun &R = runner().run(P);
+  State.counters["hs_ident_latency_pct"] =
+      100.0 * R.Hotspot.Do.IdentificationLatencyFraction;
+  if (R.Hotspot.Ace && R.Hotspot.Ace->TotalHotspots)
+    State.counters["hs_tunings_per_hotspot"] =
+        static_cast<double>(R.Hotspot.Ace->PerCu[0].Tunings +
+                            R.Hotspot.Ace->PerCu[1].Tunings) /
+        static_cast<double>(R.Hotspot.Ace->TotalHotspots);
+  if (R.Bbv.BbvR && R.Bbv.BbvR->TunedPhases)
+    State.counters["bbv_tunings_per_phase"] =
+        static_cast<double>(R.Bbv.BbvR->Tunings) /
+        static_cast<double>(R.Bbv.BbvR->TunedPhases);
+}
+
+int main(int argc, char **argv) {
+  dynace_bench::enableDefaultCache();
+  registerPerBenchmark("table1", runOne);
+  return benchMain(argc, argv,
+                   [](std::ostream &OS) { printTable1(OS, allRuns()); });
+}

@@ -1,0 +1,33 @@
+//===- bench/table3_benchmarks.cpp - Tables 2 and 3 -----------------------==//
+//
+// Prints Table 2 (the simulated system configuration, with the scaled
+// capacities/intervals of this reproduction) and Table 3 (the benchmark
+// descriptions), plus a per-benchmark generation micro-benchmark measuring
+// workload synthesis cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "workloads/WorkloadGenerator.h"
+
+using namespace dynace;
+using namespace dynace_bench;
+
+static void generateOne(const WorkloadProfile &P, benchmark::State &State) {
+  GeneratedWorkload W = WorkloadGenerator::generate(P);
+  State.counters["methods"] = static_cast<double>(W.Prog.numMethods());
+  State.counters["static_instrs"] =
+      static_cast<double>(W.Prog.staticInstructionCount());
+  State.counters["est_dyn_instrs"] = W.EstimatedInstructions;
+  benchmark::DoNotOptimize(W);
+}
+
+int main(int argc, char **argv) {
+  registerPerBenchmark("generate", generateOne);
+  return benchMain(argc, argv, [](std::ostream &OS) {
+    printBaselineConfig(OS, ExperimentRunner::defaultOptions());
+    OS << '\n';
+    printTable3(OS);
+  });
+}

@@ -1,0 +1,32 @@
+//===- bench/table4_hotspot_characteristics.cpp - Table 4 -----------------==//
+//
+// Regenerates Table 4: runtime hotspot characteristics — dynamic
+// instruction count, hotspot population, average hotspot size, fraction of
+// execution inside hotspots, invocations per hotspot, and identification
+// latency. Paper shape: hotspots cover >99% of execution; identification
+// latency stays below ~4% of execution (worst case compress).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace dynace;
+using namespace dynace_bench;
+
+static void runOne(const WorkloadProfile &P, benchmark::State &State) {
+  const BenchmarkRun &R = runner().run(P);
+  const DoStats &S = R.Hotspot.Do;
+  State.counters["hotspots"] = static_cast<double>(S.NumHotspots);
+  State.counters["avg_size"] = S.AvgHotspotSize;
+  State.counters["code_in_hotspots_pct"] = 100.0 * S.HotspotCodeFraction;
+  State.counters["avg_invocations"] = S.AvgInvocationsPerHotspot;
+  State.counters["ident_latency_pct"] =
+      100.0 * S.IdentificationLatencyFraction;
+}
+
+int main(int argc, char **argv) {
+  dynace_bench::enableDefaultCache();
+  registerPerBenchmark("table4", runOne);
+  return benchMain(argc, argv,
+                   [](std::ostream &OS) { printTable4(OS, allRuns()); });
+}

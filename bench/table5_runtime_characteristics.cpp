@@ -1,0 +1,45 @@
+//===- bench/table5_runtime_characteristics.cpp - Table 5 -----------------==//
+//
+// Regenerates Table 5: runtime characteristics of the hotspot and BBV
+// approaches — L1D/L2 hotspot populations and tuning completion on the
+// hotspot side; phase populations, tuned-phase interval share, and IPC
+// CoVs on the BBV side. Paper shape: ~88% of hotspots finish tuning while
+// only ~29% of BBV phases do (yet those cover ~70% of intervals), and
+// inter-hotspot IPC variation far exceeds per-hotspot variation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace dynace;
+using namespace dynace_bench;
+
+static void runOne(const WorkloadProfile &P, benchmark::State &State) {
+  const BenchmarkRun &R = runner().run(P);
+  if (R.Hotspot.Ace) {
+    const AceReport &A = *R.Hotspot.Ace;
+    State.counters["l1d_hotspots"] =
+        static_cast<double>(A.PerCu[0].NumHotspots);
+    State.counters["l2_hotspots"] =
+        static_cast<double>(A.PerCu[1].NumHotspots);
+    State.counters["tuned_pct"] =
+        A.TotalHotspots ? 100.0 * static_cast<double>(A.TunedHotspots) /
+                              static_cast<double>(A.TotalHotspots)
+                        : 0.0;
+  }
+  if (R.Bbv.BbvR) {
+    State.counters["bbv_phases"] =
+        static_cast<double>(R.Bbv.BbvR->NumPhases);
+    State.counters["bbv_tuned_phases"] =
+        static_cast<double>(R.Bbv.BbvR->TunedPhases);
+    State.counters["bbv_tuned_interval_pct"] =
+        100.0 * R.Bbv.BbvR->IntervalsInTunedPhasesFraction;
+  }
+}
+
+int main(int argc, char **argv) {
+  dynace_bench::enableDefaultCache();
+  registerPerBenchmark("table5", runOne);
+  return benchMain(argc, argv,
+                   [](std::ostream &OS) { printTable5(OS, allRuns()); });
+}

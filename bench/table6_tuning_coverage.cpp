@@ -1,0 +1,43 @@
+//===- bench/table6_tuning_coverage.cpp - Table 6 -------------------------==//
+//
+// Regenerates Table 6: tuning attempts, best-configuration applications
+// (reconfigs) and coverage for L1D/L2 hotspots and for BBV phases. Paper
+// shape: CU decoupling lets the hotspot scheme tune with fewer tests while
+// reconfiguring the cheap L1D far more often than the L2 (multi-grain
+// adaptation), with good coverage for both hotspot classes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace dynace;
+using namespace dynace_bench;
+
+static void runOne(const WorkloadProfile &P, benchmark::State &State) {
+  const BenchmarkRun &R = runner().run(P);
+  if (R.Hotspot.Ace) {
+    const AceReport &A = *R.Hotspot.Ace;
+    State.counters["hs_l1d_tunings"] =
+        static_cast<double>(A.PerCu[0].Tunings);
+    State.counters["hs_l1d_reconfigs"] =
+        static_cast<double>(A.PerCu[0].Reconfigs);
+    State.counters["hs_l1d_coverage_pct"] = 100.0 * A.PerCu[0].Coverage;
+    State.counters["hs_l2_tunings"] =
+        static_cast<double>(A.PerCu[1].Tunings);
+    State.counters["hs_l2_reconfigs"] =
+        static_cast<double>(A.PerCu[1].Reconfigs);
+    State.counters["hs_l2_coverage_pct"] = 100.0 * A.PerCu[1].Coverage;
+  }
+  if (R.Bbv.BbvR) {
+    State.counters["bbv_tunings"] =
+        static_cast<double>(R.Bbv.BbvR->Tunings);
+    State.counters["bbv_coverage_pct"] = 100.0 * R.Bbv.BbvR->Coverage;
+  }
+}
+
+int main(int argc, char **argv) {
+  dynace_bench::enableDefaultCache();
+  registerPerBenchmark("table6", runOne);
+  return benchMain(argc, argv,
+                   [](std::ostream &OS) { printTable6(OS, allRuns()); });
+}

@@ -1,0 +1,355 @@
+//===- ace/AceManager.cpp -------------------------------------------------==//
+
+#include "ace/AceManager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dynace;
+
+AceManager::AceManager(std::vector<ConfigurableUnit *> Units,
+                       const DoSystem &Do, AcePlatform Platform,
+                       const AceManagerConfig &Config)
+    : Units(std::move(Units)), Do(Do), Platform(std::move(Platform)),
+      Config(Config), Table(Do.numMethods()),
+      ClassDepth(this->Units.size() + 1, 0),
+      ClassStartInstr(this->Units.size() + 1, 0),
+      ClassCovered(this->Units.size() + 1, 0) {
+  assert(!this->Units.empty() && "ACE manager needs at least one CU");
+  assert(this->Platform.Cycles && this->Platform.Instructions &&
+         this->Platform.Energy && this->Platform.Stall &&
+         "ACE manager needs a complete platform");
+  for (size_t I = 1, E = this->Units.size(); I != E; ++I)
+    assert(this->Units[I - 1]->reconfigInterval() <=
+               this->Units[I]->reconfigInterval() &&
+           "units must be ordered by ascending reconfiguration interval");
+}
+
+std::vector<unsigned> AceManager::managedUnits(
+    const HotspotAceData &H) const {
+  if (H.CuClass >= 0)
+    return {static_cast<unsigned>(H.CuClass)};
+  std::vector<unsigned> All(Units.size());
+  for (unsigned I = 0, E = static_cast<unsigned>(Units.size()); I != E; ++I)
+    All[I] = I;
+  return All;
+}
+
+bool AceManager::classify(HotspotAceData &H, double Size) const {
+  if (Size < static_cast<double>(Config.MinHotspotSize))
+    return false;
+
+  if (Config.DecouplingEnabled) {
+    // CU decoupling: the hotspot tunes the single CU whose reconfiguration
+    // interval matches its size — the largest CU with interval/2 <= size.
+    // With the Table 2 units this yields the paper's bands: sizes in
+    // [interval_L1D/2, interval_L2/2) tune the L1D, larger ones the L2.
+    int Class = -1;
+    for (unsigned I = 0, E = static_cast<unsigned>(Units.size()); I != E;
+         ++I) {
+      double Band = static_cast<double>(Units[I]->reconfigInterval()) / 2.0;
+      if (Size >= Band)
+        Class = static_cast<int>(I);
+    }
+    if (Class < 0)
+      return false;
+    H.CuClass = Class;
+    unsigned N = Units[Class]->numSettings();
+    H.Configs.clear();
+    for (unsigned S = 0; S != N; ++S)
+      H.Configs.push_back({S});
+  } else {
+    // Ablation: test the full cross product of all CU settings, largest
+    // configurations first (lexicographic), as prior tuning algorithms do.
+    H.CuClass = -1;
+    H.Configs.assign(1, {});
+    for (ConfigurableUnit *U : Units) {
+      std::vector<std::vector<unsigned>> Next;
+      for (const auto &Partial : H.Configs)
+        for (unsigned S = 0, N = U->numSettings(); S != N; ++S) {
+          auto Extended = Partial;
+          Extended.push_back(S);
+          Next.push_back(std::move(Extended));
+        }
+      H.Configs = std::move(Next);
+    }
+  }
+
+  resetTuning(H);
+  return true;
+}
+
+void AceManager::resetTuning(HotspotAceData &H) const {
+  size_t N = H.Configs.size();
+  H.MeasuredIpc.assign(N, std::numeric_limits<double>::quiet_NaN());
+  H.MeasuredEpi.assign(N, std::numeric_limits<double>::quiet_NaN());
+  H.RelIpc.assign(N, std::numeric_limits<double>::quiet_NaN());
+  H.RelEpi.assign(N, std::numeric_limits<double>::quiet_NaN());
+  H.Plan.clear();
+  if (Config.PairedReference) {
+    // 0,1,0,2,0,3,...: every candidate is preceded by a fresh reference
+    // measurement so scores are drift-free ratios.
+    for (unsigned C = 1; C != N; ++C) {
+      H.Plan.push_back(0);
+      H.Plan.push_back(C);
+    }
+    if (N == 1)
+      H.Plan.push_back(0);
+  } else {
+    for (unsigned C = 0; C != N; ++C)
+      H.Plan.push_back(C);
+  }
+  H.PlanPos = 0;
+  H.LastRefIpc = 0.0;
+  H.LastRefEpi = 0.0;
+  H.WarmupRemaining = Config.WarmupInvocations;
+  H.MeasurementPending = false;
+  H.PendingIpcSum = H.PendingEpiSum = 0.0;
+  H.PendingSamples = 0;
+}
+
+bool AceManager::applyConfig(HotspotAceData &H, unsigned ConfigIndex,
+                             bool CountReconfig) {
+  assert(ConfigIndex < H.Configs.size() && "config index out of range");
+  const std::vector<unsigned> &Settings = H.Configs[ConfigIndex];
+  std::vector<unsigned> Managed = managedUnits(H);
+  assert(Settings.size() == Managed.size() && "config/unit arity mismatch");
+
+  uint64_t Now = Platform.Instructions();
+  bool AllInEffect = true;
+  for (size_t I = 0, E = Managed.size(); I != E; ++I) {
+    CuRequestResult R =
+        Units[Managed[I]]->request(Settings[I], Now, Config.GuardEnabled);
+    AllInEffect &= R.InEffect;
+    if (R.Changed && CountReconfig)
+      ++H.ReconfigApplications;
+  }
+  return AllInEffect;
+}
+
+void AceManager::classEnter(int Cu) {
+  size_t Slot = Cu < 0 ? Units.size() : static_cast<size_t>(Cu);
+  if (ClassDepth[Slot]++ == 0)
+    ClassStartInstr[Slot] = Platform.Instructions();
+}
+
+void AceManager::classExit(int Cu) {
+  size_t Slot = Cu < 0 ? Units.size() : static_cast<size_t>(Cu);
+  assert(ClassDepth[Slot] > 0 && "class exit without matching enter");
+  if (--ClassDepth[Slot] == 0)
+    ClassCovered[Slot] += Platform.Instructions() - ClassStartInstr[Slot];
+}
+
+void AceManager::onHotspotDetected(MethodId Id) {
+  assert(Id < Table.size() && "method id out of range");
+  (void)Id; // The table entry is lazily classified at first entry.
+}
+
+void AceManager::onHotspotEnter(MethodId Id) {
+  HotspotAceData &H = Table[Id];
+
+  if (H.Depth++ != 0)
+    return; // Nested re-entry: the outermost invocation is the phase.
+
+  // Classification happens at the first outermost entry with a usable size
+  // estimate (and is retried while the estimate stays below the bands).
+  if (H.State == TuneState::Inactive && H.Configs.empty()) {
+    if (classify(H, Do.hotspotSize(Id)))
+      H.State = TuneState::Tuning;
+  }
+
+  H.EntryCycles = Platform.Cycles();
+  H.EntryInstrs = Platform.Instructions();
+
+  switch (H.State) {
+  case TuneState::Inactive:
+    return;
+  case TuneState::Tuning: {
+    // Tuning code: apply the scheduled configuration. If the hardware
+    // guard defers any request, skip this invocation's measurement. Each
+    // slot first runs warm-up invocations so the caches refill after the
+    // reconfiguration flush.
+    bool InEffect =
+        applyConfig(H, H.Plan[H.PlanPos], /*CountReconfig=*/false);
+    if (InEffect) {
+      if (H.WarmupRemaining > 0) {
+        --H.WarmupRemaining;
+      } else {
+        H.MeasurementPending = true;
+        H.EntryEnergy = Platform.Energy();
+      }
+    }
+    Platform.Stall(Config.TuningEntryCycles);
+    break;
+  }
+  case TuneState::Configured:
+    // Configuration code: snap the ACE to this hotspot's best setting.
+    applyConfig(H, H.BestConfig, /*CountReconfig=*/true);
+    Platform.Stall(Config.ConfigEntryCycles);
+    break;
+  }
+  classEnter(H.CuClass);
+}
+
+void AceManager::onHotspotExit(MethodId Id, uint64_t InclusiveInstructions) {
+  (void)InclusiveInstructions;
+  HotspotAceData &H = Table[Id];
+  assert(H.Depth > 0 && "hotspot exit without matching enter");
+  if (--H.Depth != 0)
+    return;
+
+  if (H.State == TuneState::Inactive)
+    return;
+  classExit(H.CuClass);
+
+  uint64_t DeltaInstr = Platform.Instructions() - H.EntryInstrs;
+  uint64_t DeltaCycles = Platform.Cycles() - H.EntryCycles;
+  double Ipc = DeltaCycles ? static_cast<double>(DeltaInstr) /
+                                 static_cast<double>(DeltaCycles)
+                           : 0.0;
+  // Per-hotspot IPC homogeneity is measured at the fixed (tuned)
+  // configuration, so the statistic reflects the hotspot's behavior rather
+  // than the configurations being swept during tuning.
+  if (DeltaCycles > 0 && H.State == TuneState::Configured)
+    H.InvocationIpc.add(Ipc);
+  ++H.ExitCount;
+
+  if (H.State == TuneState::Tuning) {
+    if (!H.MeasurementPending)
+      return;
+    H.MeasurementPending = false;
+    Platform.Stall(Config.ProfilingExitCycles);
+    finishTuningMeasurement(H, Id, Ipc, DeltaInstr, DeltaCycles);
+    return;
+  }
+
+  // Configured: sampling code occasionally compares performance against the
+  // tuned level; a large change means the hotspot's behavior shifted and it
+  // is tuned again (rare, per Wu et al.).
+  if (H.ExitCount % Config.SampleEveryN == 0) {
+    Platform.Stall(Config.SamplingExitCycles);
+    if (DeltaCycles == 0 || H.ConfiguredIpc <= 0.0)
+      return;
+    double Rel = std::fabs(Ipc - H.ConfiguredIpc) / H.ConfiguredIpc;
+    if (Rel > Config.RetuneThreshold && H.Retunes < Config.MaxRetunes) {
+      ++H.Retunes;
+      H.State = TuneState::Tuning;
+      resetTuning(H);
+    }
+  }
+}
+
+void AceManager::finishTuningMeasurement(HotspotAceData &H, MethodId Id,
+                                         double Ipc, uint64_t DeltaInstr,
+                                         uint64_t DeltaCycles) {
+  // Discard measurements from atypically short invocations.
+  double SizeEstimate = Do.hotspotSize(Id);
+  if (DeltaCycles == 0 ||
+      static_cast<double>(DeltaInstr) <
+          Config.MinMeasureFraction * SizeEstimate)
+    return;
+
+  double Epi = (Platform.Energy() - H.EntryEnergy) /
+               static_cast<double>(DeltaInstr);
+  H.PendingIpcSum += Ipc;
+  H.PendingEpiSum += Epi;
+  if (++H.PendingSamples < Config.MeasureInvocations)
+    return; // Keep sampling this slot.
+
+  double AvgIpc = H.PendingIpcSum / H.PendingSamples;
+  double AvgEpi = H.PendingEpiSum / H.PendingSamples;
+  H.PendingIpcSum = H.PendingEpiSum = 0.0;
+  H.PendingSamples = 0;
+
+  unsigned SlotConfig = H.Plan[H.PlanPos];
+  H.MeasuredIpc[SlotConfig] = AvgIpc;
+  H.MeasuredEpi[SlotConfig] = AvgEpi;
+  ++H.TuningsCompleted;
+
+  bool Stop = false;
+  if (SlotConfig == 0) {
+    H.LastRefIpc = AvgIpc;
+    H.LastRefEpi = AvgEpi;
+    H.RelIpc[0] = 1.0;
+    H.RelEpi[0] = 1.0;
+    H.ReferenceIpc = AvgIpc;
+  } else if (H.LastRefIpc > 0.0 && H.LastRefEpi > 0.0) {
+    H.RelIpc[SlotConfig] = AvgIpc / H.LastRefIpc;
+    H.RelEpi[SlotConfig] = AvgEpi / H.LastRefEpi;
+    // The paper's early abort: stop once a configuration degrades IPC past
+    // performance_threshold (configurations shrink monotonically, so the
+    // rest can only be worse).
+    Stop = H.CuClass >= 0 &&
+           H.RelIpc[SlotConfig] < 1.0 - Config.PerformanceThreshold;
+  }
+
+  ++H.PlanPos;
+  H.WarmupRemaining = Config.WarmupInvocations;
+  if (Stop || H.PlanPos == H.Plan.size())
+    selectBestConfig(H);
+}
+
+void AceManager::selectBestConfig(HotspotAceData &H) {
+  // The most energy-efficient configuration whose relative IPC meets the
+  // threshold; the largest configuration is always an acceptable fallback,
+  // and a smaller one must beat it by EpiMargin (noise hysteresis).
+  unsigned Best = 0;
+  double BestRelEpi = 1.0 - Config.EpiMargin;
+  for (unsigned C = 1, E = static_cast<unsigned>(H.Configs.size()); C != E;
+       ++C) {
+    if (std::isnan(H.RelEpi[C]) || std::isnan(H.RelIpc[C]))
+      continue;
+    if (H.RelIpc[C] < 1.0 - Config.PerformanceThreshold)
+      continue;
+    if (H.RelEpi[C] < BestRelEpi) {
+      BestRelEpi = H.RelEpi[C];
+      Best = C;
+    }
+  }
+  H.BestConfig = Best;
+  H.ConfiguredIpc = std::isnan(H.MeasuredIpc[Best]) ? H.ReferenceIpc
+                                                    : H.MeasuredIpc[Best];
+  H.State = TuneState::Configured;
+  H.EverConfigured = true;
+}
+
+AceReport AceManager::report(uint64_t TotalInstructions) const {
+  AceReport R;
+  R.PerCu.resize(Units.size() + 1);
+  for (size_t I = 0, E = Units.size(); I != E; ++I)
+    R.PerCu[I].CuName = Units[I]->name();
+  R.PerCu.back().CuName = "all";
+
+  RunningStat PerHotspotCovs;
+  RunningStat HotspotMeanIpcs;
+
+  for (const HotspotAceData &H : Table) {
+    if (H.Configs.empty())
+      continue; // Never classified as ACE-managed.
+    size_t Slot = H.CuClass < 0 ? Units.size()
+                                : static_cast<size_t>(H.CuClass);
+    AceCuReport &Cu = R.PerCu[Slot];
+    ++R.TotalHotspots;
+    ++Cu.NumHotspots;
+    if (H.EverConfigured) {
+      ++R.TunedHotspots;
+      ++Cu.TunedHotspots;
+    }
+    Cu.Tunings += H.TuningsCompleted;
+    Cu.Reconfigs += H.ReconfigApplications;
+    if (H.InvocationIpc.count() >= 2)
+      PerHotspotCovs.add(H.InvocationIpc.cov());
+    if (H.InvocationIpc.count() >= 1)
+      HotspotMeanIpcs.add(H.InvocationIpc.mean());
+  }
+
+  for (size_t Slot = 0, E = R.PerCu.size(); Slot != E; ++Slot)
+    if (TotalInstructions)
+      R.PerCu[Slot].Coverage = static_cast<double>(ClassCovered[Slot]) /
+                               static_cast<double>(TotalInstructions);
+
+  R.PerHotspotIpcCov = PerHotspotCovs.mean();
+  R.InterHotspotIpcCov = HotspotMeanIpcs.cov();
+  return R;
+}

@@ -1,0 +1,248 @@
+//===- ace/AceManager.h - DO-based ACE management ---------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's core contribution (Section 3): managing multiple configurable
+/// units at hotspot boundaries detected by a dynamic optimization system.
+///
+/// Per hotspot, the manager:
+///  1. classifies the hotspot by its inclusive dynamic size and — via *CU
+///     decoupling* — assigns it the CU whose reconfiguration interval
+///     matches that size (small hotspots tune the L1D cache, large hotspots
+///     the L2), cutting the tested configurations from the cross product to
+///     one CU's settings;
+///  2. *tunes*: successive invocations each test the next configuration;
+///     testing stops when all are tested or IPC degrades beyond
+///     performance_threshold relative to the largest configuration; the
+///     most energy-efficient configuration wins;
+///  3. *reconfigures*: after tuning, configuration code at the hotspot entry
+///     applies the winning configuration (subject to the hardware guard),
+///     and sampling code at exits occasionally checks for behavior changes
+///     that warrant a rare re-tune.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_ACE_ACEMANAGER_H
+#define DYNACE_ACE_ACEMANAGER_H
+
+#include "ace/ConfigurableUnit.h"
+#include "dosys/DoSystem.h"
+#include "support/Statistics.h"
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace dynace {
+
+/// Host callbacks the manager needs from the simulated platform.
+struct AcePlatform {
+  /// Current core cycle count.
+  std::function<uint64_t()> Cycles;
+  /// Current dynamic instruction count.
+  std::function<uint64_t()> Instructions;
+  /// Running value of the energy objective (total cache+memory energy, nJ).
+  std::function<double()> Energy;
+  /// Charges instrumentation overhead cycles to the core.
+  std::function<void(uint64_t)> Stall;
+};
+
+/// Manager parameters. Size bands follow Section 5.2 (values already scaled
+/// by kSimScale = 10: the paper's 50K..500K L1D-hotspot band becomes
+/// 5K..50K).
+struct AceManagerConfig {
+  /// Minimum hotspot size eligible for ACE management (smaller hotspots are
+  /// JIT-optimized but do not adapt hardware).
+  uint64_t MinHotspotSize = 5000;
+  /// Tuning aborts when a configuration's IPC falls below
+  /// (1 - PerformanceThreshold) * reference IPC (paper: 2%).
+  double PerformanceThreshold = 0.02;
+  /// Relative IPC deviation (sampled vs tune-time) that triggers a re-tune.
+  /// Kept loose: hotspot behavior is stable (Wu et al.), and aggressive
+  /// re-tuning cascades — each re-tune sweep perturbs its neighbors'
+  /// measurements.
+  double RetuneThreshold = 0.5;
+  /// Sampling code runs at every Nth exit of a configured hotspot.
+  uint64_t SampleEveryN = 16;
+  /// Upper bound on re-tunes per hotspot (oscillation guard).
+  uint32_t MaxRetunes = 4;
+  /// CU decoupling (the paper's scheme). When false, every eligible hotspot
+  /// tunes the full cross product of all CU settings (ablation).
+  bool DecouplingEnabled = true;
+  /// Hardware reconfiguration guard (ablation switch).
+  bool GuardEnabled = true;
+  /// Instrumentation overhead, in cycles, charged per executed hook.
+  uint64_t TuningEntryCycles = 12;
+  uint64_t ProfilingExitCycles = 8;
+  uint64_t ConfigEntryCycles = 3;
+  uint64_t SamplingExitCycles = 5;
+  /// A tuning measurement is discarded when the invocation ran fewer
+  /// instructions than this fraction of the hotspot's size estimate
+  /// (guards against wildly atypical invocations polluting the tuner).
+  double MinMeasureFraction = 0.25;
+  /// Unmeasured invocations run at each configuration under test before the
+  /// measured ones, letting the caches refill after the reconfiguration
+  /// flush so configurations are compared warm against warm.
+  uint32_t WarmupInvocations = 1;
+  /// Measured invocations averaged per tested configuration; averaging
+  /// keeps per-invocation IPC noise from swamping the 2% threshold.
+  uint32_t MeasureInvocations = 2;
+  /// Interleave the reference (largest) configuration between candidates:
+  /// the test sequence becomes 0,1,0,2,0,3,... and every candidate is
+  /// scored *relative to its adjacent reference measurement*. Early in a
+  /// run everything (predictor, L1I, L2, neighboring hotspots still
+  /// tuning) is colder and IPC/EPI drift upward as the run warms; absolute
+  /// comparisons across that drift mis-rank configurations, while paired
+  /// ratios cancel it to first order.
+  bool PairedReference = true;
+  /// A non-largest configuration must beat the largest configuration's
+  /// energy-per-instruction by this margin to win; hysteresis against
+  /// measurement noise picking undersized configurations for no real gain.
+  double EpiMargin = 0.05;
+};
+
+/// Tuning lifecycle of one hotspot.
+enum class TuneState : uint8_t {
+  Inactive,   ///< Not (yet) ACE-managed (too small or unclassified).
+  Tuning,     ///< Testing configurations invocation by invocation.
+  Configured, ///< Best configuration installed.
+};
+
+/// Per-hotspot ACE bookkeeping (lives in the DO database entry).
+struct HotspotAceData {
+  TuneState State = TuneState::Inactive;
+  /// Index of the CU this hotspot manages (decoupled mode); -1 before
+  /// classification or when managing all CUs (no-decoupling ablation).
+  int CuClass = -1;
+  /// One entry per configuration to test; each is a setting per managed CU.
+  std::vector<std::vector<unsigned>> Configs;
+  /// Test schedule: configuration index per tuning slot (paired-reference
+  /// mode interleaves config 0 between candidates).
+  std::vector<unsigned> Plan;
+  /// Position in Plan of the slot currently being warmed/measured.
+  unsigned PlanPos = 0;
+  /// Most recent reference-slot measurements (paired-reference mode).
+  double LastRefIpc = 0.0;
+  double LastRefEpi = 0.0;
+  /// Per-configuration scores relative to the adjacent reference.
+  std::vector<double> RelIpc;
+  std::vector<double> RelEpi;
+  unsigned NextConfig = 0;
+  /// Warm-up invocations still to run before measuring the current slot.
+  uint32_t WarmupRemaining = 0;
+  bool MeasurementPending = false;
+  /// Accumulated samples for the current slot (averaged when complete).
+  double PendingIpcSum = 0.0;
+  double PendingEpiSum = 0.0;
+  uint32_t PendingSamples = 0;
+  uint64_t EntryCycles = 0;
+  uint64_t EntryInstrs = 0;
+  double EntryEnergy = 0.0;
+  std::vector<double> MeasuredIpc;
+  std::vector<double> MeasuredEpi;
+  double ReferenceIpc = 0.0; ///< IPC at the largest configuration.
+  unsigned BestConfig = 0;
+  double ConfiguredIpc = 0.0;
+  bool EverConfigured = false;
+  uint32_t Depth = 0; ///< Active invocation nesting of this hotspot.
+  uint64_t ExitCount = 0;
+  uint64_t TuningsCompleted = 0;
+  uint64_t ReconfigApplications = 0; ///< Hardware changes to BestConfig.
+  uint64_t Retunes = 0;
+  RunningStat InvocationIpc; ///< Outermost-invocation IPC samples.
+};
+
+/// Per-CU aggregate results for Table 6.
+struct AceCuReport {
+  std::string CuName;
+  uint64_t NumHotspots = 0;   ///< Hotspots classified to this CU.
+  uint64_t TunedHotspots = 0; ///< ... that finished tuning.
+  uint64_t Tunings = 0;       ///< Configuration-test measurements.
+  uint64_t Reconfigs = 0;     ///< Hardware changes to a best config.
+  double Coverage = 0.0;      ///< Fraction of instructions under management.
+};
+
+/// Aggregate results for Table 5's hotspot columns.
+struct AceReport {
+  std::vector<AceCuReport> PerCu;
+  uint64_t TotalHotspots = 0; ///< ACE-managed hotspots (all classes).
+  uint64_t TunedHotspots = 0;
+  double PerHotspotIpcCov = 0.0;   ///< Mean CoV across invocations.
+  double InterHotspotIpcCov = 0.0; ///< CoV of per-hotspot mean IPCs.
+};
+
+/// The ACE management framework (Figure 2).
+class AceManager : public DoClient {
+public:
+  /// \param Units the configurable units, ordered by ascending
+  ///        reconfiguration interval (L1D before L2). Not owned.
+  /// \param Do the DO system, queried for hotspot size estimates.
+  AceManager(std::vector<ConfigurableUnit *> Units, const DoSystem &Do,
+             AcePlatform Platform, const AceManagerConfig &Config);
+
+  // DoClient:
+  void onHotspotDetected(MethodId Id) override;
+  void onHotspotEnter(MethodId Id) override;
+  void onHotspotExit(MethodId Id, uint64_t InclusiveInstructions) override;
+
+  /// Builds the aggregate report. \p TotalInstructions is the run's dynamic
+  /// instruction count (for coverage fractions).
+  AceReport report(uint64_t TotalInstructions) const;
+
+  /// Per-hotspot data (tests / diagnostics).
+  const HotspotAceData &hotspotData(MethodId Id) const {
+    return Table.at(Id);
+  }
+
+  const AceManagerConfig &config() const { return Config; }
+
+private:
+  /// Assigns the CU subset for a hotspot of size \p Size; fills CuClass and
+  /// Configs. \returns false when the hotspot is too small to manage.
+  bool classify(HotspotAceData &H, double Size) const;
+
+  /// Rebuilds the tuning schedule and clears measurement state.
+  void resetTuning(HotspotAceData &H) const;
+
+  /// Requests every managed CU setting of \p Config. \returns true when all
+  /// are now in effect.
+  bool applyConfig(HotspotAceData &H, unsigned ConfigIndex,
+                   bool CountReconfig);
+
+  /// Completes a pending tuning measurement at an outermost exit.
+  void finishTuningMeasurement(HotspotAceData &H, MethodId Id, double Ipc,
+                               uint64_t DeltaInstr, uint64_t DeltaCycles);
+
+  /// Picks the most energy-efficient measured configuration meeting the
+  /// performance threshold and installs it.
+  void selectBestConfig(HotspotAceData &H);
+
+  /// Coverage accounting: instructions executed while >= 1 managed hotspot
+  /// of class \p Cu is active.
+  void classEnter(int Cu);
+  void classExit(int Cu);
+
+  /// CUs managed by \p H, as indices into Units.
+  std::vector<unsigned> managedUnits(const HotspotAceData &H) const;
+
+  std::vector<ConfigurableUnit *> Units;
+  const DoSystem &Do;
+  AcePlatform Platform;
+  AceManagerConfig Config;
+
+  std::vector<HotspotAceData> Table; ///< Indexed by MethodId.
+
+  /// Per-CU-class coverage accounting; index Units.size() is the shared
+  /// slot used by the no-decoupling ablation ("all CUs").
+  std::vector<uint32_t> ClassDepth;
+  std::vector<uint64_t> ClassStartInstr;
+  std::vector<uint64_t> ClassCovered;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_ACE_ACEMANAGER_H

@@ -1,0 +1,43 @@
+//===- ace/ConfigurableUnit.cpp -------------------------------------------==//
+
+#include "ace/ConfigurableUnit.h"
+
+#include <cassert>
+
+using namespace dynace;
+
+ConfigurableUnit::ConfigurableUnit(std::string Name, unsigned NumSettings,
+                                   uint64_t ReconfigInterval,
+                                   unsigned InitialSetting, ApplyFn Apply)
+    : Name(std::move(Name)), NumSettings(NumSettings),
+      ReconfigInterval(ReconfigInterval), Current(InitialSetting),
+      Apply(std::move(Apply)), LastChangeInstr(0) {
+  assert(NumSettings > 0 && "CU needs at least one setting");
+  assert(InitialSetting < NumSettings && "initial setting out of range");
+  assert(this->Apply && "CU needs an apply function");
+}
+
+CuRequestResult ConfigurableUnit::request(unsigned Setting, uint64_t NowInstr,
+                                          bool GuardEnabled) {
+  assert(Setting < NumSettings && "setting out of range");
+  CuRequestResult Result;
+  if (Setting == Current) {
+    Result.InEffect = true;
+    return Result;
+  }
+  // Hardware guard: reject changes arriving within the reconfiguration
+  // interval of the previous change.
+  if (GuardEnabled && HasChanged &&
+      NowInstr - LastChangeInstr < ReconfigInterval) {
+    ++GuardRejections;
+    return Result;
+  }
+  Result.Cost = Apply(Setting);
+  Current = Setting;
+  LastChangeInstr = NowInstr;
+  HasChanged = true;
+  Result.InEffect = true;
+  Result.Changed = true;
+  ++ChangesApplied;
+  return Result;
+}

@@ -1,0 +1,88 @@
+//===- ace/ConfigurableUnit.h - CU + reconfiguration guard ------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// \c ConfigurableUnit models one adaptable hardware resource (Section 3.4):
+/// a control register selecting among fixed settings, written by a special
+/// instruction, plus the per-CU hardware counter holding the most recent
+/// reconfiguration time. A request arriving within the CU's reconfiguration
+/// interval is ignored without modifying the configuration — this guard
+/// frees the software framework from tracking minimum intervals itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_ACE_CONFIGURABLEUNIT_H
+#define DYNACE_ACE_CONFIGURABLEUNIT_H
+
+#include "cache/MemoryHierarchy.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dynace {
+
+/// Outcome of a guarded reconfiguration request.
+struct CuRequestResult {
+  /// True when the requested setting is now in effect (either it already
+  /// was, or the request passed the guard and was applied).
+  bool InEffect = false;
+  /// True when the hardware configuration actually changed.
+  bool Changed = false;
+  /// Cost of the change (zero when !Changed).
+  ReconfigCost Cost;
+};
+
+/// One configurable unit.
+class ConfigurableUnit {
+public:
+  /// Applies a setting to the underlying hardware and reports the cost.
+  using ApplyFn = std::function<ReconfigCost(unsigned Setting)>;
+
+  /// \param ReconfigInterval minimum instructions between configuration
+  ///        changes (Table 2: 100K for L1D, 1M for L2; scaled by 1/10 in
+  ///        this reproduction).
+  /// \param NumSettings settings 0..NumSettings-1, largest/most-capable
+  ///        first by convention.
+  /// \param InitialSetting setting in effect at reset.
+  ConfigurableUnit(std::string Name, unsigned NumSettings,
+                   uint64_t ReconfigInterval, unsigned InitialSetting,
+                   ApplyFn Apply);
+
+  /// Requests \p Setting at time \p NowInstr (dynamic instruction count).
+  /// Ignored by the hardware guard when the previous change is more recent
+  /// than the reconfiguration interval. When \p GuardEnabled is false the
+  /// guard is bypassed (ablation).
+  CuRequestResult request(unsigned Setting, uint64_t NowInstr,
+                          bool GuardEnabled = true);
+
+  const std::string &name() const { return Name; }
+  unsigned numSettings() const { return NumSettings; }
+  uint64_t reconfigInterval() const { return ReconfigInterval; }
+  unsigned currentSetting() const { return Current; }
+
+  /// Requests rejected by the hardware guard.
+  uint64_t guardRejections() const { return GuardRejections; }
+  /// Requests that changed the hardware configuration.
+  uint64_t changesApplied() const { return ChangesApplied; }
+
+private:
+  std::string Name;
+  unsigned NumSettings;
+  uint64_t ReconfigInterval;
+  unsigned Current;
+  ApplyFn Apply;
+  /// The "last-reconfiguration" hardware counter. Starts far in the past so
+  /// the first request is never rejected.
+  uint64_t LastChangeInstr;
+  bool HasChanged = false;
+  uint64_t GuardRejections = 0;
+  uint64_t ChangesApplied = 0;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_ACE_CONFIGURABLEUNIT_H

@@ -1,0 +1,43 @@
+//===- bbv/BbvAccumulator.cpp ---------------------------------------------==//
+
+#include "bbv/BbvAccumulator.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+using namespace dynace;
+
+BbvAccumulator::BbvAccumulator(uint32_t NumBuckets, uint32_t CounterBits)
+    : Buckets(NumBuckets, 0), Mask(NumBuckets - 1),
+      Saturation((1ull << CounterBits) - 1) {
+  assert(std::has_single_bit(NumBuckets) &&
+         "bucket count must be a power of two");
+  assert(CounterBits >= 1 && CounterBits <= 63 && "bad counter width");
+}
+
+std::vector<double> BbvAccumulator::normalized() const {
+  std::vector<double> V(Buckets.size(), 0.0);
+  uint64_t Total = 0;
+  for (uint64_t B : Buckets)
+    Total += B;
+  if (Total == 0)
+    return V;
+  for (size_t I = 0, E = Buckets.size(); I != E; ++I)
+    V[I] = static_cast<double>(Buckets[I]) / static_cast<double>(Total);
+  return V;
+}
+
+void BbvAccumulator::reset() {
+  for (uint64_t &B : Buckets)
+    B = 0;
+}
+
+double BbvAccumulator::manhattanDistance(const std::vector<double> &A,
+                                         const std::vector<double> &B) {
+  assert(A.size() == B.size() && "vector size mismatch");
+  double D = 0.0;
+  for (size_t I = 0, E = A.size(); I != E; ++I)
+    D += std::fabs(A[I] - B[I]);
+  return D;
+}

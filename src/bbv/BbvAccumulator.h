@@ -1,0 +1,62 @@
+//===- bbv/BbvAccumulator.h - Basic block vector gathering ------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Basic Block Vector accumulator of Sherwood et al. as configured in
+/// Section 4.1 of the paper: an array of 32 uncompressed 24-bit buckets,
+/// indexed by the low bits (excluding the 2 LSBs) of branch PCs. Each
+/// executed basic block adds its instruction count to the bucket of its
+/// terminating branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_BBV_BBVACCUMULATOR_H
+#define DYNACE_BBV_BBVACCUMULATOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dynace {
+
+/// Accumulates one sampling interval's basic-block vector.
+class BbvAccumulator {
+public:
+  /// \param NumBuckets accumulator entries (power of two).
+  /// \param CounterBits saturation width of each bucket (paper: 24).
+  explicit BbvAccumulator(uint32_t NumBuckets = 32, uint32_t CounterBits = 24);
+
+  /// Records a basic block of \p BlockLength instructions ending in the
+  /// branch at \p BranchPC.
+  void addBlock(uint64_t BranchPC, uint64_t BlockLength) {
+    uint64_t &Bucket = Buckets[(BranchPC >> 2) & Mask];
+    Bucket += BlockLength;
+    if (Bucket > Saturation)
+      Bucket = Saturation;
+  }
+
+  /// \returns the vector normalized to sum 1 (all zeros when empty).
+  std::vector<double> normalized() const;
+
+  /// Clears all buckets for the next interval.
+  void reset();
+
+  /// Manhattan distance between two normalized vectors (range [0, 2]).
+  static double manhattanDistance(const std::vector<double> &A,
+                                  const std::vector<double> &B);
+
+  uint32_t numBuckets() const {
+    return static_cast<uint32_t>(Buckets.size());
+  }
+
+private:
+  std::vector<uint64_t> Buckets;
+  uint64_t Mask;
+  uint64_t Saturation;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_BBV_BBVACCUMULATOR_H

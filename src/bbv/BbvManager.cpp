@@ -1,0 +1,273 @@
+//===- bbv/BbvManager.cpp -------------------------------------------------==//
+
+#include "bbv/BbvManager.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace dynace;
+
+BbvManager::BbvManager(std::vector<ConfigurableUnit *> Units,
+                       AcePlatform Platform, const BbvConfig &Config)
+    : Units(std::move(Units)), Platform(std::move(Platform)), Config(Config),
+      Accum(Config.NumBuckets, Config.CounterBits),
+      ReconfigsPerCu(this->Units.size(), 0) {
+  assert(!this->Units.empty() && "BBV manager needs at least one CU");
+  assert(this->Platform.Cycles && this->Platform.Instructions &&
+         this->Platform.Energy && this->Platform.Stall &&
+         "BBV manager needs a complete platform");
+  // Enumerate all combinatorial configurations, all-largest first — the
+  // straightforward strategy whose cost grows exponentially with the number
+  // of CUs (Section 2.3). The lowest-overhead unit (L1D) varies fastest so
+  // an aborted sweep still explored the cheap dimension.
+  size_t Total = 1;
+  for (ConfigurableUnit *U : this->Units)
+    Total *= U->numSettings();
+  Combos.reserve(Total);
+  for (size_t Idx = 0; Idx != Total; ++Idx) {
+    std::vector<unsigned> Combo;
+    Combo.reserve(this->Units.size());
+    size_t Rem = Idx;
+    for (ConfigurableUnit *U : this->Units) {
+      Combo.push_back(static_cast<unsigned>(Rem % U->numSettings()));
+      Rem /= U->numSettings();
+    }
+    Combos.push_back(std::move(Combo));
+  }
+}
+
+size_t BbvManager::classify(const std::vector<double> &V) {
+  size_t Best = Phases.size();
+  double BestDist = std::numeric_limits<double>::infinity();
+  for (size_t I = 0, E = Phases.size(); I != E; ++I) {
+    double D = BbvAccumulator::manhattanDistance(V, Phases[I].Signature);
+    if (D < BestDist) {
+      BestDist = D;
+      Best = I;
+    }
+  }
+  if (Best != Phases.size() && BestDist <= Config.DistanceThreshold)
+    return Best;
+
+  BbvPhaseData P;
+  P.Signature = V;
+  P.MeasuredIpc.assign(Combos.size(),
+                       std::numeric_limits<double>::quiet_NaN());
+  P.MeasuredEpi.assign(Combos.size(),
+                       std::numeric_limits<double>::quiet_NaN());
+  Phases.push_back(std::move(P));
+  return Phases.size() - 1;
+}
+
+bool BbvManager::applyCombo(unsigned ConfigIndex, bool CountReconfig) {
+  const std::vector<unsigned> &Settings = Combos[ConfigIndex];
+  uint64_t Now = Platform.Instructions();
+  bool AllInEffect = true;
+  for (size_t I = 0, E = Units.size(); I != E; ++I) {
+    CuRequestResult R =
+        Units[I]->request(Settings[I], Now, Config.GuardEnabled);
+    AllInEffect &= R.InEffect;
+    if (R.Changed && CountReconfig)
+      ++ReconfigsPerCu[I];
+  }
+  return AllInEffect;
+}
+
+void BbvManager::selectBestConfig(BbvPhaseData &P) {
+  double IpcFloor = P.ReferenceIpc * (1.0 - Config.PerformanceThreshold);
+  double EpiCeiling = std::isnan(P.MeasuredEpi[0])
+                          ? std::numeric_limits<double>::infinity()
+                          : P.MeasuredEpi[0] * (1.0 - Config.EpiMargin);
+  unsigned Best = 0;
+  double BestEpi = std::numeric_limits<double>::infinity();
+  for (unsigned C = 0, E = static_cast<unsigned>(Combos.size()); C != E;
+       ++C) {
+    if (std::isnan(P.MeasuredEpi[C]))
+      continue;
+    if (C != 0 &&
+        (P.MeasuredIpc[C] < IpcFloor || P.MeasuredEpi[C] > EpiCeiling))
+      continue;
+    if (P.MeasuredEpi[C] < BestEpi) {
+      BestEpi = P.MeasuredEpi[C];
+      Best = C;
+    }
+  }
+  P.BestConfig = Best;
+  P.Tuned = true;
+}
+
+void BbvManager::closeRun() {
+  if (CurrentPhase < 0 || RunLength == 0)
+    return;
+  if (RunLength >= 2)
+    StableIntervals += RunLength;
+  else
+    TransitionalIntervals += RunLength;
+}
+
+void BbvManager::onIntervalBoundary() {
+  uint64_t IntervalLength = InstrInInterval;
+  InstrInInterval = 0;
+  BlockLength = 0;
+
+  std::vector<double> V = Accum.normalized();
+  Accum.reset();
+  size_t P = classify(V);
+  BbvPhaseData &Phase = Phases[P];
+  ++Phase.Intervals;
+  ++TotalIntervals;
+
+  // Measure the just-completed interval.
+  uint64_t Cycles = Platform.Cycles();
+  uint64_t DeltaCycles = Cycles - IntervalStartCycles;
+  double Ipc = DeltaCycles ? static_cast<double>(IntervalLength) /
+                                 static_cast<double>(DeltaCycles)
+                           : 0.0;
+  if (DeltaCycles > 0)
+    Phase.IntervalIpc.add(Ipc);
+
+  // Attribute the measurement to the decision made at the interval's start,
+  // but only when the interval was actually classified as the phase the
+  // decision targeted (a mid-interval phase change spoils the test).
+  if (Decision == DecisionKind::Test &&
+      DecisionPhase == static_cast<int64_t>(P) && DeltaCycles > 0) {
+    double Epi = (Platform.Energy() - IntervalStartEnergy) /
+                 static_cast<double>(IntervalLength);
+    Phase.MeasuredIpc[DecisionConfig] = Ipc;
+    Phase.MeasuredEpi[DecisionConfig] = Epi;
+    ++Phase.Tunings;
+    Phase.Warmed = false; // The next configuration warms up afresh.
+    if (Phase.InCalibration && DecisionConfig == 0) {
+      // Drift-corrected reference re-measurement completed.
+      Phase.InCalibration = false;
+      Phase.ReferenceIpc = Ipc;
+      selectBestConfig(Phase);
+    } else {
+      if (DecisionConfig == 0)
+        Phase.ReferenceIpc = Ipc;
+      if (DecisionConfig == Phase.NextConfig)
+        ++Phase.NextConfig;
+      bool PerfBreached =
+          DecisionConfig > 0 &&
+          Ipc < Phase.ReferenceIpc * (1.0 - Config.PerformanceThreshold);
+      if (PerfBreached) {
+        // Prune the rest of this fastest-varying group (smaller settings
+        // of the first unit only get worse) and resume the sweep at the
+        // next group, so the slower dimensions still get explored.
+        unsigned Group = static_cast<unsigned>(Units[0]->numSettings());
+        Phase.NextConfig = ((DecisionConfig / Group) + 1) * Group;
+      }
+      if (Phase.NextConfig >= Combos.size()) {
+        if (Config.CalibrateReference)
+          Phase.InCalibration = true;
+        else
+          selectBestConfig(Phase);
+      }
+    }
+  }
+  if (Decision != DecisionKind::None)
+    ++AdaptedIntervals;
+
+  // Stability bookkeeping.
+  if (static_cast<int64_t>(P) == CurrentPhase) {
+    ++RunLength;
+  } else {
+    closeRun();
+    // Re-warm the outgoing phase's pending test: the caches will be
+    // polluted by the new phase before the test can resume.
+    if (CurrentPhase >= 0)
+      Phases[CurrentPhase].Warmed = false;
+    CurrentPhase = static_cast<int64_t>(P);
+    RunLength = 1;
+  }
+
+  // Decide the next interval's configuration, predicting the current phase
+  // persists (no next-phase predictor). Adaptation only once the phase has
+  // proven stable (>= StableRunThreshold consecutive intervals).
+  Decision = DecisionKind::None;
+  DecisionPhase = static_cast<int64_t>(P);
+  if (Phase.Tuned) {
+    // Recurring phases reuse their stored configuration immediately — no
+    // stability wait (the paper: "a recurring phase can use its chosen
+    // configuration if available").
+    applyCombo(Phase.BestConfig, /*CountReconfig=*/true);
+    Decision = DecisionKind::Best;
+  } else if (RunLength >= Config.StableRunThreshold) {
+    unsigned C = Phase.InCalibration ? 0 : Phase.NextConfig;
+    if (applyCombo(C, /*CountReconfig=*/false)) {
+      // One warm-up interval per configuration refills the caches after
+      // the reconfiguration flush; the next interval measures.
+      if (Phase.Warmed) {
+        Decision = DecisionKind::Test;
+        DecisionConfig = C;
+      } else {
+        Phase.Warmed = true;
+        Decision = DecisionKind::Warm;
+      }
+    }
+  } else {
+    // Transitional or brand-new untuned phase: fall back to the largest
+    // (safe) configuration, as the Dhodapkar/Smith algorithm does on a
+    // phase change.
+    applyCombo(0, /*CountReconfig=*/false);
+  }
+
+  IntervalStartCycles = Platform.Cycles();
+  IntervalStartEnergy = Platform.Energy();
+}
+
+void BbvManager::finish() {
+  closeRun();
+  CurrentPhase = -1;
+  RunLength = 0;
+}
+
+BbvReport BbvManager::report(uint64_t TotalInstructions) const {
+  BbvReport R;
+  R.NumPhases = Phases.size();
+  R.TotalIntervals = TotalIntervals;
+  R.ReconfigsPerCu = ReconfigsPerCu;
+
+  RunningStat PerPhaseCovs;
+  RunningStat PhaseMeanIpcs;
+  uint64_t IntervalsInTuned = 0;
+  for (const BbvPhaseData &P : Phases) {
+    if (P.Tuned) {
+      ++R.TunedPhases;
+      IntervalsInTuned += P.Intervals;
+    }
+    R.Tunings += P.Tunings;
+    if (P.IntervalIpc.count() >= 2)
+      PerPhaseCovs.add(P.IntervalIpc.cov());
+    if (P.IntervalIpc.count() >= 1)
+      PhaseMeanIpcs.add(P.IntervalIpc.mean());
+  }
+
+  uint64_t ClassifiedStable = StableIntervals;
+  uint64_t ClassifiedTransitional = TransitionalIntervals;
+  // Include the still-open run so end-of-program state is counted even when
+  // finish() has not been called.
+  if (RunLength > 0) {
+    if (RunLength >= 2)
+      ClassifiedStable += RunLength;
+    else
+      ClassifiedTransitional += RunLength;
+  }
+  uint64_t Classified = ClassifiedStable + ClassifiedTransitional;
+  if (Classified)
+    R.StableIntervalFraction =
+        static_cast<double>(ClassifiedStable) /
+        static_cast<double>(Classified);
+  if (TotalIntervals)
+    R.IntervalsInTunedPhasesFraction =
+        static_cast<double>(IntervalsInTuned) /
+        static_cast<double>(TotalIntervals);
+  R.PerPhaseIpcCov = PerPhaseCovs.mean();
+  R.InterPhaseIpcCov = PhaseMeanIpcs.cov();
+  if (TotalInstructions)
+    R.Coverage = static_cast<double>(AdaptedIntervals) *
+                 static_cast<double>(Config.IntervalInstructions) /
+                 static_cast<double>(TotalInstructions);
+  return R;
+}

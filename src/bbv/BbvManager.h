@@ -1,0 +1,190 @@
+//===- bbv/BbvManager.h - BBV phase-based ACE baseline ----------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison scheme of Section 5: BBV phase detection (Sherwood et al.)
+/// combined with the tuning algorithm of Dhodapkar & Smith — "the best
+/// technique that prior literature can contribute" per the paper.
+///
+///  * execution is sliced into fixed sampling intervals (1M instructions in
+///    the paper, 100K here after 1/10 scaling — chosen to comply with the
+///    L2's reconfiguration interval);
+///  * at each boundary the interval's normalized BBV is matched against an
+///    unlimited table of phase signatures by Manhattan distance;
+///  * only *stable* phases (two or more consecutive intervals) are adapted;
+///  * an untuned stable phase tests all 16 L1D x L2 configuration
+///    combinations, one per interval; results are cached so recurring
+///    phases resume tuning or apply their chosen configuration directly;
+///  * no next-phase predictor is used (Section 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_BBV_BBVMANAGER_H
+#define DYNACE_BBV_BBVMANAGER_H
+
+#include "ace/AceManager.h"
+#include "ace/ConfigurableUnit.h"
+#include "bbv/BbvAccumulator.h"
+#include "support/Statistics.h"
+#include "vm/DynInst.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dynace {
+
+/// BBV scheme parameters (paper values scaled by kSimScale = 10).
+struct BbvConfig {
+  uint64_t IntervalInstructions = 100000;
+  uint32_t NumBuckets = 32;
+  uint32_t CounterBits = 24;
+  /// Manhattan-distance threshold on normalized vectors (range [0, 2]) for
+  /// matching an interval to an existing phase. Sherwood et al. use large
+  /// thresholds; intervals of the same macro phase drift as the interval
+  /// window slides over sub-phases.
+  double DistanceThreshold = 0.8;
+  /// Tuning aborts when IPC falls more than this below the largest
+  /// configuration's IPC.
+  double PerformanceThreshold = 0.02;
+  /// Consecutive same-phase intervals required before adapting (stable
+  /// phases only, after Dhodapkar & Smith).
+  uint64_t StableRunThreshold = 2;
+  /// Hardware reconfiguration guard passthrough.
+  bool GuardEnabled = true;
+  /// Re-measure combo 0 after the sweep as the drift-corrected performance
+  /// reference (see AceManagerConfig::CalibrateReference).
+  bool CalibrateReference = true;
+  /// Smaller combos must beat combo 0's energy-per-instruction by this
+  /// margin (noise hysteresis, as in AceManagerConfig::EpiMargin).
+  double EpiMargin = 0.05;
+};
+
+/// Per-phase record (signature, tuning progress, statistics).
+struct BbvPhaseData {
+  std::vector<double> Signature;
+  uint64_t Intervals = 0;
+  unsigned NextConfig = 0;
+  std::vector<double> MeasuredIpc;
+  std::vector<double> MeasuredEpi;
+  double ReferenceIpc = 0.0;
+  bool Tuned = false;
+  unsigned BestConfig = 0;
+  uint64_t Tunings = 0;
+  /// True when the next-config warmup interval has already run (each tested
+  /// configuration gets one unmeasured interval to refill the caches after
+  /// the reconfiguration flush).
+  bool Warmed = false;
+  /// True while re-measuring combo 0 as the final reference.
+  bool InCalibration = false;
+  RunningStat IntervalIpc;
+};
+
+/// Aggregate BBV results for Figure 1 and Tables 5/6.
+struct BbvReport {
+  uint64_t NumPhases = 0;
+  uint64_t TunedPhases = 0;
+  uint64_t TotalIntervals = 0;
+  /// Fraction of intervals in stable phases (runs of >= 2), Figure 1.
+  double StableIntervalFraction = 0.0;
+  /// Fraction of intervals classified into phases that completed tuning.
+  double IntervalsInTunedPhasesFraction = 0.0;
+  double PerPhaseIpcCov = 0.0;
+  double InterPhaseIpcCov = 0.0;
+  uint64_t Tunings = 0;
+  /// Hardware changes while applying a tuned phase's best configuration,
+  /// indexed like the unit list.
+  std::vector<uint64_t> ReconfigsPerCu;
+  /// Fraction of instructions executed in adapted (tested or best-config)
+  /// intervals.
+  double Coverage = 0.0;
+};
+
+/// Drives BBV phase detection and combinatorial tuning.
+class BbvManager {
+public:
+  /// \param Units configurable units (same objects the ACE manager would
+  ///        use); all units are adapted together at interval boundaries.
+  BbvManager(std::vector<ConfigurableUnit *> Units, AcePlatform Platform,
+             const BbvConfig &Config);
+
+  /// Feeds one retired instruction; triggers boundary processing every
+  /// IntervalInstructions.
+  void onInstruction(const DynInst &In) {
+    ++BlockLength;
+    if (In.IsCondBranch) {
+      Accum.addBlock(In.PC, BlockLength);
+      BlockLength = 0;
+    }
+    if (++InstrInInterval >= Config.IntervalInstructions)
+      onIntervalBoundary();
+  }
+
+  /// Flushes run-length bookkeeping at program end.
+  void finish();
+
+  /// Builds the aggregate report.
+  BbvReport report(uint64_t TotalInstructions) const;
+
+  /// Number of distinct phases observed so far.
+  size_t numPhases() const { return Phases.size(); }
+
+  const BbvPhaseData &phase(size_t Id) const { return Phases[Id]; }
+  const BbvConfig &config() const { return Config; }
+
+private:
+  /// What the configuration applied for the current interval is measuring.
+  /// Warm = a configuration was applied but the interval only refills the
+  /// caches; the following interval measures.
+  enum class DecisionKind : uint8_t { None, Warm, Test, Best };
+
+  void onIntervalBoundary();
+
+  /// Matches \p V against known signatures; creates a phase when no match
+  /// is within the distance threshold. \returns the phase id.
+  size_t classify(const std::vector<double> &V);
+
+  /// Applies configuration combo \p ConfigIndex to all units. \returns true
+  /// when every unit's requested setting is in effect.
+  bool applyCombo(unsigned ConfigIndex, bool CountReconfig);
+
+  void selectBestConfig(BbvPhaseData &P);
+
+  /// Closes the current same-phase run (stability accounting).
+  void closeRun();
+
+  std::vector<ConfigurableUnit *> Units;
+  AcePlatform Platform;
+  BbvConfig Config;
+  BbvAccumulator Accum;
+
+  /// All configuration combos (cross product of unit settings), combo 0 =
+  /// all-largest.
+  std::vector<std::vector<unsigned>> Combos;
+
+  std::vector<BbvPhaseData> Phases;
+
+  uint64_t BlockLength = 0;
+  uint64_t InstrInInterval = 0;
+
+  int64_t CurrentPhase = -1;
+  uint64_t RunLength = 0;
+  uint64_t StableIntervals = 0;
+  uint64_t TransitionalIntervals = 0;
+  uint64_t TotalIntervals = 0;
+  uint64_t AdaptedIntervals = 0;
+
+  DecisionKind Decision = DecisionKind::None;
+  unsigned DecisionConfig = 0;
+  int64_t DecisionPhase = -1;
+  uint64_t IntervalStartCycles = 0;
+  double IntervalStartEnergy = 0.0;
+
+  std::vector<uint64_t> ReconfigsPerCu;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_BBV_BBVMANAGER_H

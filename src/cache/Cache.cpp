@@ -1,0 +1,153 @@
+//===- cache/Cache.cpp ----------------------------------------------------==//
+
+#include "cache/Cache.h"
+
+#include <bit>
+
+using namespace dynace;
+
+Cache::Cache(const CacheGeometry &G, std::string Name)
+    : Geom(G), Name(std::move(Name)), NumSets(G.numSets()) {
+  assert(std::has_single_bit(NumSets) && "set count must be a power of two");
+  assert(G.Assoc >= 1 && "associativity must be at least 1");
+  Lines.resize(NumSets * G.Assoc);
+}
+
+CacheAccessResult Cache::access(uint64_t Addr, bool IsWrite) {
+  CacheAccessResult Result;
+  uint64_t Set = setIndexOf(Addr);
+  uint64_t Tag = tagOf(Addr);
+  Line *Base = &Lines[Set * Geom.Assoc];
+  ++UseClock;
+
+  if (IsWrite)
+    ++Stats.Writes;
+  else
+    ++Stats.Reads;
+
+  // Hit path.
+  for (uint32_t W = 0; W != Geom.Assoc; ++W) {
+    Line &L = Base[W];
+    if (L.Valid && L.Tag == Tag) {
+      L.LastUse = UseClock;
+      L.Dirty |= IsWrite;
+      Result.Hit = true;
+      return Result;
+    }
+  }
+
+  // Miss: allocate into the LRU (or an invalid) way.
+  if (IsWrite)
+    ++Stats.WriteMisses;
+  else
+    ++Stats.ReadMisses;
+
+  Line *Victim = &Base[0];
+  for (uint32_t W = 0; W != Geom.Assoc; ++W) {
+    Line &L = Base[W];
+    if (!L.Valid) {
+      Victim = &L;
+      break;
+    }
+    if (L.LastUse < Victim->LastUse)
+      Victim = &L;
+  }
+
+  if (Victim->Valid && Victim->Dirty) {
+    ++Stats.Writebacks;
+    Result.EvictedDirty = true;
+    Result.EvictedAddr = addrOf(Victim->Tag, Set);
+  }
+  Victim->Valid = true;
+  Victim->Dirty = IsWrite;
+  Victim->Tag = Tag;
+  Victim->LastUse = UseClock;
+  return Result;
+}
+
+bool Cache::probe(uint64_t Addr) const {
+  uint64_t Set = setIndexOf(Addr);
+  uint64_t Tag = tagOf(Addr);
+  const Line *Base = &Lines[Set * Geom.Assoc];
+  for (uint32_t W = 0; W != Geom.Assoc; ++W)
+    if (Base[W].Valid && Base[W].Tag == Tag)
+      return true;
+  return false;
+}
+
+uint64_t Cache::invalidateAll() {
+  uint64_t DirtyLost = 0;
+  for (Line &L : Lines) {
+    if (L.Valid && L.Dirty)
+      ++DirtyLost;
+    L = Line();
+  }
+  return DirtyLost;
+}
+
+uint64_t Cache::flushDirty(std::vector<uint64_t> *Addrs) {
+  uint64_t Flushed = 0;
+  for (uint64_t Set = 0; Set != NumSets; ++Set) {
+    Line *Base = &Lines[Set * Geom.Assoc];
+    for (uint32_t W = 0; W != Geom.Assoc; ++W) {
+      Line &L = Base[W];
+      if (!L.Valid || !L.Dirty)
+        continue;
+      L.Dirty = false;
+      ++Flushed;
+      ++Stats.Writebacks;
+      if (Addrs)
+        Addrs->push_back(addrOf(L.Tag, Set));
+    }
+  }
+  return Flushed;
+}
+
+uint64_t Cache::dirtyLineCount() const {
+  uint64_t N = 0;
+  for (const Line &L : Lines)
+    if (L.Valid && L.Dirty)
+      ++N;
+  return N;
+}
+
+std::vector<Cache::LineImage> Cache::exportLines() const {
+  std::vector<LineImage> Out;
+  for (uint64_t Set = 0; Set != NumSets; ++Set) {
+    const Line *Base = &Lines[Set * Geom.Assoc];
+    for (uint32_t W = 0; W != Geom.Assoc; ++W) {
+      const Line &L = Base[W];
+      if (!L.Valid)
+        continue;
+      Out.push_back({addrOf(L.Tag, Set), L.Dirty, Set});
+    }
+  }
+  return Out;
+}
+
+void Cache::importLine(uint64_t Addr, bool Dirty,
+                       std::vector<uint64_t> *LostDirty) {
+  uint64_t Set = setIndexOf(Addr);
+  uint64_t Tag = tagOf(Addr);
+  Line *Base = &Lines[Set * Geom.Assoc];
+  Line *Victim = &Base[0];
+  for (uint32_t W = 0; W != Geom.Assoc; ++W) {
+    Line &L = Base[W];
+    if (L.Valid && L.Tag == Tag) {
+      L.Dirty |= Dirty;
+      return; // Already resident.
+    }
+    if (!L.Valid) {
+      Victim = &L;
+      break;
+    }
+    if (L.LastUse < Victim->LastUse)
+      Victim = &L;
+  }
+  if (Victim->Valid && Victim->Dirty && LostDirty)
+    LostDirty->push_back(addrOf(Victim->Tag, Set));
+  Victim->Valid = true;
+  Victim->Dirty = Dirty;
+  Victim->Tag = Tag;
+  Victim->LastUse = ++UseClock;
+}

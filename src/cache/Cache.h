@@ -1,0 +1,140 @@
+//===- cache/Cache.h - Set-associative cache model --------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A write-back, write-allocate, true-LRU set-associative cache model, the
+/// building block for the reconfigurable L1D/L2 caches of Table 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_CACHE_CACHE_H
+#define DYNACE_CACHE_CACHE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynace {
+
+/// Static shape of one cache configuration.
+struct CacheGeometry {
+  uint64_t SizeBytes = 0;
+  uint32_t BlockBytes = 64;
+  uint32_t Assoc = 2;
+  uint32_t HitLatency = 1;
+
+  uint64_t numSets() const {
+    assert(SizeBytes % (static_cast<uint64_t>(BlockBytes) * Assoc) == 0 &&
+           "size must be a multiple of block * assoc");
+    return SizeBytes / (static_cast<uint64_t>(BlockBytes) * Assoc);
+  }
+
+  uint64_t numLines() const { return SizeBytes / BlockBytes; }
+
+  bool operator==(const CacheGeometry &O) const = default;
+};
+
+/// Result of a single cache access.
+struct CacheAccessResult {
+  bool Hit = false;
+  /// True when the access evicted a dirty line (write-back to the next
+  /// level).
+  bool EvictedDirty = false;
+  /// Block-aligned address of the evicted dirty line (valid when
+  /// EvictedDirty).
+  uint64_t EvictedAddr = 0;
+};
+
+/// Lifetime access statistics.
+struct CacheStats {
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  uint64_t ReadMisses = 0;
+  uint64_t WriteMisses = 0;
+  uint64_t Writebacks = 0;
+
+  uint64_t accesses() const { return Reads + Writes; }
+  uint64_t misses() const { return ReadMisses + WriteMisses; }
+  double missRate() const {
+    uint64_t A = accesses();
+    return A ? static_cast<double>(misses()) / static_cast<double>(A) : 0.0;
+  }
+};
+
+/// A single-configuration cache.
+class Cache {
+public:
+  explicit Cache(const CacheGeometry &G, std::string Name = "cache");
+
+  /// Performs one access. Misses allocate; dirty victims are reported so the
+  /// hierarchy can charge the next level for the write-back.
+  CacheAccessResult access(uint64_t Addr, bool IsWrite);
+
+  /// \returns true if \p Addr currently hits, without updating state.
+  bool probe(uint64_t Addr) const;
+
+  /// Invalidates everything; \returns the number of dirty lines that were
+  /// lost (callers wanting write-back semantics use flushDirty() first).
+  uint64_t invalidateAll();
+
+  /// Writes back all dirty lines (marks them clean, keeps them valid).
+  /// \returns the number of lines written back and appends their addresses
+  /// to \p Addrs when non-null.
+  uint64_t flushDirty(std::vector<uint64_t> *Addrs = nullptr);
+
+  /// Number of currently dirty lines.
+  uint64_t dirtyLineCount() const;
+
+  /// One resident line, reported by exportLines().
+  struct LineImage {
+    uint64_t Addr = 0; ///< Block-aligned address.
+    bool Dirty = false;
+    uint64_t SetIndex = 0;
+  };
+
+  /// Snapshots all valid lines (for reconfiguration-time migration).
+  std::vector<LineImage> exportLines() const;
+
+  /// Installs \p Addr as a valid line without touching access statistics
+  /// (reconfiguration-time migration). Evicts silently when the set is
+  /// full; dirty victims are appended to \p LostDirty when non-null.
+  void importLine(uint64_t Addr, bool Dirty,
+                  std::vector<uint64_t> *LostDirty = nullptr);
+
+  const CacheGeometry &geometry() const { return Geom; }
+  const CacheStats &stats() const { return Stats; }
+  const std::string &name() const { return Name; }
+
+private:
+  struct Line {
+    uint64_t Tag = 0;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+    bool Dirty = false;
+  };
+
+  uint64_t setIndexOf(uint64_t Addr) const {
+    return (Addr / Geom.BlockBytes) & (NumSets - 1);
+  }
+  uint64_t tagOf(uint64_t Addr) const {
+    return Addr / Geom.BlockBytes / NumSets;
+  }
+  uint64_t addrOf(uint64_t Tag, uint64_t SetIndex) const {
+    return (Tag * NumSets + SetIndex) * Geom.BlockBytes;
+  }
+
+  CacheGeometry Geom;
+  std::string Name;
+  uint64_t NumSets;
+  std::vector<Line> Lines; ///< NumSets * Assoc, set-major.
+  uint64_t UseClock = 0;
+  CacheStats Stats;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_CACHE_CACHE_H

@@ -1,0 +1,85 @@
+//===- cache/MemoryHierarchy.cpp ------------------------------------------==//
+
+#include "cache/MemoryHierarchy.h"
+
+using namespace dynace;
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &Config)
+    : Config(Config), L1I(Config.L1I, "L1I"),
+      L1D(Config.L1DSettings, Config.L1DInitial, "L1D",
+          Config.RetainOnDownsize),
+      L2(Config.L2Settings, Config.L2Initial, "L2",
+         Config.RetainOnDownsize),
+      Itlb(Config.TlbEntries, Config.TlbAssoc, Config.TlbMissPenalty, "ITLB"),
+      Dtlb(Config.TlbEntries, Config.TlbAssoc, Config.TlbMissPenalty, "DTLB") {
+}
+
+bool MemoryHierarchy::accessL2(uint64_t Addr, bool IsWrite) {
+  CacheAccessResult R = L2.access(Addr, IsWrite);
+  if (!R.Hit)
+    ++MemReads; // Line fill from memory.
+  if (R.EvictedDirty)
+    ++MemWrites;
+  return R.Hit;
+}
+
+MemAccessInfo MemoryHierarchy::dataAccess(uint64_t Addr, bool IsWrite) {
+  MemAccessInfo Info;
+  Info.Latency = Dtlb.access(Addr);
+
+  CacheAccessResult R1 = L1D.access(Addr, IsWrite);
+  Info.Latency += L1D.geometry().HitLatency;
+  Info.L1Hit = R1.Hit;
+  if (R1.EvictedDirty)
+    accessL2(R1.EvictedAddr, /*IsWrite=*/true);
+  if (R1.Hit)
+    return Info;
+
+  Info.L2Hit = accessL2(Addr, /*IsWrite=*/false);
+  Info.Latency += L2.geometry().HitLatency;
+  if (!Info.L2Hit)
+    Info.Latency += Config.MemoryLatency;
+  return Info;
+}
+
+uint32_t MemoryHierarchy::instrFetch(uint64_t Addr) {
+  uint32_t Latency = Itlb.access(Addr);
+  CacheAccessResult R = L1I.access(Addr, /*IsWrite=*/false);
+  Latency += Config.L1I.HitLatency;
+  if (R.Hit)
+    return Latency;
+  bool L2Hit = accessL2(Addr, /*IsWrite=*/false);
+  Latency += L2.geometry().HitLatency;
+  if (!L2Hit)
+    Latency += Config.MemoryLatency;
+  return Latency;
+}
+
+ReconfigCost MemoryHierarchy::reconfigureL1D(unsigned Setting) {
+  ReconfigCost Cost;
+  if (Setting == L1D.setting())
+    return Cost;
+  std::vector<uint64_t> Flushed;
+  ReconfigResult R = L1D.reconfigure(Setting, &Flushed);
+  Cost.Changed = R.Changed;
+  Cost.Writebacks = R.Writebacks;
+  // Dirty lines drain into the L2; model a pipelined burst (4 cycles per
+  // line) plus a fixed control overhead.
+  for (uint64_t Addr : Flushed)
+    accessL2(Addr, /*IsWrite=*/true);
+  Cost.Cycles = 64 + Cost.Writebacks * 4;
+  return Cost;
+}
+
+ReconfigCost MemoryHierarchy::reconfigureL2(unsigned Setting) {
+  ReconfigCost Cost;
+  if (Setting == L2.setting())
+    return Cost;
+  ReconfigResult R = L2.reconfigure(Setting, nullptr);
+  Cost.Changed = R.Changed;
+  Cost.Writebacks = R.Writebacks;
+  MemWrites += R.Writebacks;
+  // Dirty lines drain to memory; slower per line than an L1D flush.
+  Cost.Cycles = 128 + Cost.Writebacks * 8;
+  return Cost;
+}

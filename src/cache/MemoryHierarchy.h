@@ -1,0 +1,123 @@
+//===- cache/MemoryHierarchy.h - Two-level memory hierarchy -----*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated memory hierarchy of Table 2: fixed L1I, reconfigurable L1D,
+/// reconfigurable unified L2, ITLB/DTLB, and main memory. Accesses return
+/// latency; all structural events (misses, write-backs, reconfiguration
+/// flushes) are propagated level to level so statistics and energy are
+/// consistent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_CACHE_MEMORYHIERARCHY_H
+#define DYNACE_CACHE_MEMORYHIERARCHY_H
+
+#include "cache/Cache.h"
+#include "cache/ReconfigurableCache.h"
+#include "cache/Tlb.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dynace {
+
+/// Construction parameters. Defaults reproduce Table 2 of the paper with
+/// every capacity divided by kSimScale-like factor 8: runs are ~1/200 of
+/// the paper's instruction counts and reconfiguration intervals are 1/10,
+/// so cache capacities shrink by a similar factor to keep the *relative*
+/// cost of reconfiguration flushes, refills and tuning identical to the
+/// paper's proportions. The 8x ladder between adjacent settings — which is
+/// what the energy reductions depend on — is exactly the paper's.
+struct HierarchyConfig {
+  CacheGeometry L1I{8 * 1024, 64, 2, 1};
+  std::vector<CacheGeometry> L1DSettings = {
+      {8 * 1024, 64, 2, 1},
+      {4 * 1024, 64, 2, 1},
+      {2 * 1024, 64, 2, 1},
+      {1 * 1024, 64, 2, 1},
+  };
+  unsigned L1DInitial = 0;
+  std::vector<CacheGeometry> L2Settings = {
+      {128 * 1024, 128, 4, 10},
+      {64 * 1024, 128, 4, 10},
+      {32 * 1024, 128, 4, 10},
+      {16 * 1024, 128, 4, 10},
+  };
+  unsigned L2Initial = 0;
+  uint32_t TlbEntries = 128;
+  uint32_t TlbAssoc = 4;
+  uint32_t TlbMissPenalty = 30;
+  uint32_t MemoryLatency = 100;
+  /// Selective-sets retention on downsize (see ReconfigurableCache).
+  bool RetainOnDownsize = true;
+};
+
+/// Outcome of one data access.
+struct MemAccessInfo {
+  uint32_t Latency = 0;
+  bool L1Hit = false;
+  bool L2Hit = false; ///< Meaningful only when !L1Hit.
+};
+
+/// Cycle cost of a cache reconfiguration (flush + control overhead).
+struct ReconfigCost {
+  bool Changed = false;
+  uint64_t Writebacks = 0;
+  uint64_t Cycles = 0;
+};
+
+/// Two-level hierarchy with reconfigurable L1D and L2.
+class MemoryHierarchy {
+public:
+  explicit MemoryHierarchy(const HierarchyConfig &Config = HierarchyConfig());
+
+  /// One data-side load/store.
+  MemAccessInfo dataAccess(uint64_t Addr, bool IsWrite);
+
+  /// One instruction fetch (called per fetch block, not per instruction).
+  /// \returns the fetch latency in cycles.
+  uint32_t instrFetch(uint64_t Addr);
+
+  /// Switches the L1D cache to \p Setting. Flushed dirty lines are written
+  /// into the L2 (consuming L2 bandwidth/energy).
+  ReconfigCost reconfigureL1D(unsigned Setting);
+
+  /// Switches the L2 cache to \p Setting. Flushed dirty lines go to memory.
+  ReconfigCost reconfigureL2(unsigned Setting);
+
+  ReconfigurableCache &l1d() { return L1D; }
+  const ReconfigurableCache &l1d() const { return L1D; }
+  ReconfigurableCache &l2() { return L2; }
+  const ReconfigurableCache &l2() const { return L2; }
+  const Cache &l1i() const { return L1I; }
+  const Tlb &itlb() const { return Itlb; }
+  const Tlb &dtlb() const { return Dtlb; }
+
+  /// Main-memory traffic counters.
+  uint64_t memoryReads() const { return MemReads; }
+  uint64_t memoryWrites() const { return MemWrites; }
+
+  const HierarchyConfig &config() const { return Config; }
+
+private:
+  /// Sends one access into the L2, forwarding any dirty victim to memory.
+  /// \returns true on L2 hit.
+  bool accessL2(uint64_t Addr, bool IsWrite);
+
+  HierarchyConfig Config;
+  Cache L1I;
+  ReconfigurableCache L1D;
+  ReconfigurableCache L2;
+  Tlb Itlb;
+  Tlb Dtlb;
+  uint64_t MemReads = 0;
+  uint64_t MemWrites = 0;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_CACHE_MEMORYHIERARCHY_H

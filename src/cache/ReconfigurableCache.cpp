@@ -1,0 +1,78 @@
+//===- cache/ReconfigurableCache.cpp --------------------------------------==//
+
+#include "cache/ReconfigurableCache.h"
+
+using namespace dynace;
+
+ReconfigurableCache::ReconfigurableCache(std::vector<CacheGeometry> Settings,
+                                         unsigned InitialSetting,
+                                         std::string Name,
+                                         bool RetainOnDownsize)
+    : Name(std::move(Name)), Active(InitialSetting),
+      RetainOnDownsize(RetainOnDownsize) {
+  assert(!Settings.empty() && "reconfigurable cache needs settings");
+  assert(InitialSetting < Settings.size() && "initial setting out of range");
+  Caches.reserve(Settings.size());
+  for (size_t I = 0, E = Settings.size(); I != E; ++I)
+    Caches.push_back(std::make_unique<Cache>(
+        Settings[I], this->Name + "#" + std::to_string(I)));
+}
+
+ReconfigResult ReconfigurableCache::reconfigure(
+    unsigned NewSetting, std::vector<uint64_t> *WritebackAddrs) {
+  assert(NewSetting < Caches.size() && "setting out of range");
+  ReconfigResult Result;
+  if (NewSetting == Active)
+    return Result;
+
+  Cache &Old = *Caches[Active];
+  Cache &New = *Caches[NewSetting];
+  uint64_t NewSets = New.geometry().numSets();
+  uint64_t OldSets = Old.geometry().numSets();
+
+  if (RetainOnDownsize && NewSets < OldSets &&
+      New.geometry().BlockBytes == Old.geometry().BlockBytes &&
+      New.geometry().Assoc == Old.geometry().Assoc) {
+    // Selective sets: sets [0, NewSets) survive the downsize; a block in a
+    // surviving set indexes to the same set under the narrower mask, so
+    // its data stays correct (tags are reinterpreted). Lines in disabled
+    // sets are written back if dirty and dropped.
+    for (const Cache::LineImage &L : Old.exportLines()) {
+      if (L.SetIndex < NewSets) {
+        New.importLine(L.Addr, L.Dirty);
+        continue;
+      }
+      if (L.Dirty) {
+        ++Result.Writebacks;
+        if (WritebackAddrs)
+          WritebackAddrs->push_back(L.Addr);
+      }
+    }
+    Old.invalidateAll();
+  } else {
+    // Growing (or heterogeneous geometry): the set-index mapping widens,
+    // stored tags cannot be reinterpreted, so write back dirty lines and
+    // start cold.
+    Result.Writebacks = Old.flushDirty(WritebackAddrs);
+    Old.invalidateAll();
+  }
+
+  Active = NewSetting;
+  Result.Changed = true;
+  ++ReconfigCount;
+  ReconfigWritebacks += Result.Writebacks;
+  return Result;
+}
+
+CacheStats ReconfigurableCache::totalStats() const {
+  CacheStats Total;
+  for (const auto &C : Caches) {
+    const CacheStats &S = C->stats();
+    Total.Reads += S.Reads;
+    Total.Writes += S.Writes;
+    Total.ReadMisses += S.ReadMisses;
+    Total.WriteMisses += S.WriteMisses;
+    Total.Writebacks += S.Writebacks;
+  }
+  return Total;
+}

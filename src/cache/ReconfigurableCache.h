@@ -1,0 +1,106 @@
+//===- cache/ReconfigurableCache.h - Size-adaptable cache -------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cache whose size can be switched at run time among a fixed list of
+/// settings (Table 2: L1D 64/32/16/8 KB, L2 1 MB/512/256/128 KB). Changing
+/// the size remaps the set index, so a reconfiguration writes back all dirty
+/// lines and invalidates the array — the reconfiguration overhead the paper
+/// charges in both cycles and energy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_CACHE_RECONFIGURABLECACHE_H
+#define DYNACE_CACHE_RECONFIGURABLECACHE_H
+
+#include "cache/Cache.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dynace {
+
+/// Result of a reconfiguration request.
+struct ReconfigResult {
+  /// True when the setting actually changed.
+  bool Changed = false;
+  /// Dirty lines written back to the next level.
+  uint64_t Writebacks = 0;
+};
+
+/// A size-adaptable cache. Exactly one setting is active; switching flushes
+/// dirty state. Per-setting access statistics are kept so the power model
+/// can charge each access at the energy of the configuration that served it.
+class ReconfigurableCache {
+public:
+  /// \param Settings allowed configurations, typically largest first.
+  /// \param InitialSetting index into \p Settings active at reset.
+  /// \param RetainOnDownsize selective-sets retention: when shrinking, the
+  ///        surviving sets keep their (re-tagged) contents, so only lines
+  ///        in the disabled sets are written back and lost. Growing still
+  ///        invalidates (the set-index mapping widens). When false, every
+  ///        reconfiguration flushes the whole array (the conservative
+  ///        model; see the ablation bench).
+  ReconfigurableCache(std::vector<CacheGeometry> Settings,
+                      unsigned InitialSetting, std::string Name,
+                      bool RetainOnDownsize = true);
+
+  /// Performs one access on the active configuration.
+  CacheAccessResult access(uint64_t Addr, bool IsWrite) {
+    return Caches[Active]->access(Addr, IsWrite);
+  }
+
+  /// \returns true if \p Addr hits in the active configuration, without
+  /// updating any state.
+  bool probe(uint64_t Addr) const { return Caches[Active]->probe(Addr); }
+
+  /// Switches to \p NewSetting. Dirty lines of the outgoing configuration
+  /// are written back; their addresses are appended to \p WritebackAddrs
+  /// when non-null so the hierarchy can replay them into the next level.
+  ReconfigResult reconfigure(unsigned NewSetting,
+                             std::vector<uint64_t> *WritebackAddrs = nullptr);
+
+  /// Active setting index.
+  unsigned setting() const { return Active; }
+
+  /// Number of available settings.
+  unsigned numSettings() const { return static_cast<unsigned>(Caches.size()); }
+
+  /// Geometry of the active setting.
+  const CacheGeometry &geometry() const { return Caches[Active]->geometry(); }
+
+  /// Geometry of setting \p S.
+  const CacheGeometry &geometryOf(unsigned S) const {
+    return Caches[S]->geometry();
+  }
+
+  /// Per-setting statistics (accesses made while that setting was active).
+  const CacheStats &statsOf(unsigned S) const { return Caches[S]->stats(); }
+
+  /// Aggregate statistics across all settings.
+  CacheStats totalStats() const;
+
+  /// Number of completed reconfigurations (setting actually changed).
+  uint64_t reconfigurationCount() const { return ReconfigCount; }
+
+  /// Total dirty lines written back due to reconfigurations.
+  uint64_t reconfigurationWritebacks() const { return ReconfigWritebacks; }
+
+  const std::string &name() const { return Name; }
+
+private:
+  std::string Name;
+  std::vector<std::unique_ptr<Cache>> Caches;
+  unsigned Active;
+  bool RetainOnDownsize;
+  uint64_t ReconfigCount = 0;
+  uint64_t ReconfigWritebacks = 0;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_CACHE_RECONFIGURABLECACHE_H

@@ -1,0 +1,24 @@
+//===- cache/Tlb.cpp ------------------------------------------------------==//
+
+#include "cache/Tlb.h"
+
+using namespace dynace;
+
+static CacheGeometry tlbGeometry(uint32_t Entries, uint32_t Assoc) {
+  CacheGeometry G;
+  G.BlockBytes = Tlb::kPageBytes;
+  G.Assoc = Assoc;
+  G.SizeBytes = static_cast<uint64_t>(Entries) * Tlb::kPageBytes;
+  G.HitLatency = 1;
+  return G;
+}
+
+Tlb::Tlb(uint32_t Entries, uint32_t Assoc, uint32_t MissPenalty,
+         std::string Name)
+    : Storage(tlbGeometry(Entries, Assoc), std::move(Name)),
+      MissPenalty(MissPenalty) {}
+
+uint32_t Tlb::access(uint64_t Addr) {
+  CacheAccessResult R = Storage.access(Addr, /*IsWrite=*/false);
+  return R.Hit ? 0 : MissPenalty;
+}

@@ -1,0 +1,45 @@
+//===- cache/Tlb.h - Translation lookaside buffer ---------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A TLB model (Table 2: 128-entry DTLB/ITLB). Modeled as a 32-set, 4-way
+/// structure over 4 KB pages; the paper's fully associative organization
+/// differs negligibly at this capacity for our workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_CACHE_TLB_H
+#define DYNACE_CACHE_TLB_H
+
+#include "cache/Cache.h"
+
+namespace dynace {
+
+/// Page-granularity translation buffer.
+class Tlb {
+public:
+  /// \param Entries total entries (must be a multiple of \p Assoc).
+  /// \param MissPenalty cycles charged on a miss (page-table walk).
+  Tlb(uint32_t Entries, uint32_t Assoc, uint32_t MissPenalty,
+      std::string Name);
+
+  /// Touches the page containing \p Addr. \returns the cycle penalty
+  /// (0 on hit, MissPenalty on miss).
+  uint32_t access(uint64_t Addr);
+
+  uint64_t accesses() const { return Storage.stats().accesses(); }
+  uint64_t misses() const { return Storage.stats().misses(); }
+
+  static constexpr uint32_t kPageBytes = 4096;
+
+private:
+  Cache Storage;
+  uint32_t MissPenalty;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_CACHE_TLB_H

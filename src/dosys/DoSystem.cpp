@@ -1,0 +1,104 @@
+//===- dosys/DoSystem.cpp -------------------------------------------------==//
+
+#include "dosys/DoSystem.h"
+
+#include "support/Statistics.h"
+
+#include <cassert>
+
+using namespace dynace;
+
+DoClient::~DoClient() = default;
+
+DoSystem::DoSystem(size_t NumMethods, const DoConfig &Config,
+                   std::function<void(uint64_t)> StallFn)
+    : Config(Config), Entries(NumMethods), StallFn(std::move(StallFn)) {
+  assert(Config.HotThreshold > 0 && "hot threshold must be positive");
+}
+
+void DoSystem::onMethodEnter(MethodId Id, uint64_t InstrCount) {
+  DoEntry &E = Entries[Id];
+  ++E.Invocations;
+
+  if (!E.IsHotspot) {
+    // Baseline-compiled path: the instrumented prologue bumps the
+    // invocation counter (Jikes' sampling stand-in). Promotion triggers on
+    // either many invocations or much accumulated execution time — the
+    // latter mirrors timer-based sampling, which promotes long-running
+    // procedures after very few invocations.
+    if (StallFn)
+      StallFn(Config.Costs.CounterUpdateCycles);
+    if (E.Invocations < Config.HotThreshold &&
+        E.InclusiveInstructions < Config.HotSampleInstructions) {
+      EnterWasHot.push_back(false);
+      return;
+    }
+    // Promotion: the optimizing compiler recompiles the method and the DO
+    // database entry becomes a hotspot entry.
+    E.IsHotspot = true;
+    E.DetectedAtInstr = InstrCount;
+    if (StallFn)
+      StallFn(Config.Costs.JitCompileCycles);
+    if (Client)
+      Client->onHotspotDetected(Id);
+  }
+
+  EnterWasHot.push_back(true);
+  if (HotDepth == 0)
+    HotRegionStartInstr = InstrCount;
+  ++HotDepth;
+  if (Client)
+    Client->onHotspotEnter(Id);
+}
+
+void DoSystem::onMethodExit(MethodId Id, uint64_t InclusiveInstructions,
+                            uint64_t InstrCount) {
+  DoEntry &E = Entries[Id];
+
+  // Size EMA is maintained for every method so a size estimate exists the
+  // moment a method is promoted.
+  double Sample = static_cast<double>(InclusiveInstructions);
+  if (E.SizeSamples == 0)
+    E.InclusiveSizeEma = Sample;
+  else
+    E.InclusiveSizeEma += Config.SizeEmaAlpha * (Sample - E.InclusiveSizeEma);
+  ++E.SizeSamples;
+
+  assert(!EnterWasHot.empty() && "exit without matching enter");
+  bool WasHot = EnterWasHot.back();
+  EnterWasHot.pop_back();
+  E.InclusiveInstructions += InclusiveInstructions;
+  if (!WasHot)
+    return;
+  assert(HotDepth > 0 && "hot exit without matching enter");
+  --HotDepth;
+  if (HotDepth == 0)
+    InstructionsInHotspots += InstrCount - HotRegionStartInstr;
+  if (Client)
+    Client->onHotspotExit(Id, InclusiveInstructions);
+}
+
+DoStats DoSystem::stats(uint64_t TotalInstructions) const {
+  DoStats S;
+  RunningStat Sizes;
+  uint64_t HotInvocations = 0;
+  for (const DoEntry &E : Entries) {
+    if (!E.IsHotspot)
+      continue;
+    ++S.NumHotspots;
+    Sizes.add(E.InclusiveSizeEma);
+    HotInvocations += E.Invocations;
+  }
+  S.AvgHotspotSize = Sizes.mean();
+  if (TotalInstructions)
+    S.HotspotCodeFraction = static_cast<double>(InstructionsInHotspots) /
+                            static_cast<double>(TotalInstructions);
+  if (S.NumHotspots)
+    S.AvgInvocationsPerHotspot = static_cast<double>(HotInvocations) /
+                                 static_cast<double>(S.NumHotspots);
+  if (S.AvgInvocationsPerHotspot > 0.0)
+    S.IdentificationLatencyFraction =
+        static_cast<double>(Config.HotThreshold) /
+        S.AvgInvocationsPerHotspot;
+  return S;
+}

@@ -1,0 +1,153 @@
+//===- dosys/DoSystem.h - Dynamic optimization system -----------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic dynamic optimization (DO) system in the mold of Jikes RVM's
+/// adaptive optimization system (Section 3.1 / 4.2 of the paper):
+///
+///  * every method starts "baseline compiled"; an invocation counter stands
+///    in for Jikes' timer-based sampling;
+///  * once a method reaches \c HotThreshold invocations it becomes a
+///    *hotspot*: the optimizing compiler recompiles it (modeled as a
+///    pipeline stall) and the DO database gains a per-hotspot entry;
+///  * the DO system exposes hotspot entry/exit events to a client — in this
+///    project the ACE manager, which installs tuning / configuration /
+///    sampling code at hotspot boundaries;
+///  * per-method inclusive dynamic sizes (callees included) are tracked as
+///    an exponential moving average — the paper's hotspot size, which
+///    drives CU decoupling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_DOSYS_DOSYSTEM_H
+#define DYNACE_DOSYS_DOSYSTEM_H
+
+#include "vm/Interpreter.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dynace {
+
+/// Receiver of hotspot events (the ACE manager).
+class DoClient {
+public:
+  virtual ~DoClient();
+
+  /// A method crossed the hot threshold and was JIT-optimized.
+  virtual void onHotspotDetected(MethodId Id) { (void)Id; }
+
+  /// Control entered a detected hotspot.
+  virtual void onHotspotEnter(MethodId Id) { (void)Id; }
+
+  /// Control left a detected hotspot. \p InclusiveInstructions covers the
+  /// whole invocation including callees.
+  virtual void onHotspotExit(MethodId Id, uint64_t InclusiveInstructions) {
+    (void)Id;
+    (void)InclusiveInstructions;
+  }
+};
+
+/// Cycle costs of DO services, charged to the core as stalls.
+struct DoServiceCosts {
+  /// Optimizing-compiler recompilation at hotspot promotion.
+  uint64_t JitCompileCycles = 4000;
+  /// Invocation-counter update on a not-yet-hot method entry.
+  uint64_t CounterUpdateCycles = 2;
+};
+
+/// DO system parameters.
+struct DoConfig {
+  /// Invocations before a method is promoted to hotspot.
+  uint64_t HotThreshold = 4;
+  /// Alternative promotion trigger mirroring Jikes' timer-based sampling:
+  /// a method is also promoted once it has accumulated this many inclusive
+  /// dynamic instructions, so long-running procedures become hotspots after
+  /// few invocations (value scaled by kSimScale).
+  uint64_t HotSampleInstructions = 30000;
+  /// EMA weight for the per-invocation inclusive-size estimate.
+  double SizeEmaAlpha = 0.25;
+  DoServiceCosts Costs;
+};
+
+/// Per-method DO database entry (Figure 2's "DO database").
+struct DoEntry {
+  uint64_t Invocations = 0;
+  bool IsHotspot = false;
+  /// Dynamic instruction count at promotion time.
+  uint64_t DetectedAtInstr = 0;
+  /// EMA of per-invocation inclusive dynamic instructions.
+  double InclusiveSizeEma = 0.0;
+  uint64_t SizeSamples = 0;
+  /// Instructions executed (inclusively) in invocations of this method, for
+  /// hotspot code-coverage accounting and sample-based promotion.
+  uint64_t InclusiveInstructions = 0;
+};
+
+/// Aggregate hotspot statistics for Table 4.
+struct DoStats {
+  uint64_t NumHotspots = 0;
+  double AvgHotspotSize = 0.0; ///< Mean of per-hotspot size EMAs.
+  /// Fraction of dynamic instructions executed inside at least one hotspot.
+  double HotspotCodeFraction = 0.0;
+  double AvgInvocationsPerHotspot = 0.0;
+  /// hot_threshold / average invocations per hotspot — the paper's estimate
+  /// of identification latency as a fraction of execution.
+  double IdentificationLatencyFraction = 0.0;
+};
+
+/// The DO system. Installed as the VM's listener.
+class DoSystem : public VmListener {
+public:
+  /// \param NumMethods method count of the program under execution.
+  /// \param StallFn charges DO service cycles to the core (may be empty).
+  DoSystem(size_t NumMethods, const DoConfig &Config,
+           std::function<void(uint64_t)> StallFn = nullptr);
+
+  /// Installs the hotspot event receiver (may be null).
+  void setClient(DoClient *C) { Client = C; }
+
+  // VmListener:
+  void onMethodEnter(MethodId Id, uint64_t InstrCount) override;
+  void onMethodExit(MethodId Id, uint64_t InclusiveInstructions,
+                    uint64_t InstrCount) override;
+
+  const DoEntry &entry(MethodId Id) const { return Entries[Id]; }
+  const DoConfig &config() const { return Config; }
+
+  /// Number of methods tracked (the program's method count).
+  size_t numMethods() const { return Entries.size(); }
+
+  /// True once \p Id has been promoted.
+  bool isHotspot(MethodId Id) const { return Entries[Id].IsHotspot; }
+
+  /// Current inclusive-size estimate for \p Id (0 before any sample).
+  double hotspotSize(MethodId Id) const {
+    return Entries[Id].InclusiveSizeEma;
+  }
+
+  /// Computes Table 4 statistics given the total dynamic instruction count.
+  DoStats stats(uint64_t TotalInstructions) const;
+
+private:
+  DoConfig Config;
+  std::vector<DoEntry> Entries;
+  std::function<void(uint64_t)> StallFn;
+  DoClient *Client = nullptr;
+
+  /// Nesting depth of hot frames, for hotspot code-coverage accounting.
+  uint32_t HotDepth = 0;
+  uint64_t HotRegionStartInstr = 0;
+  uint64_t InstructionsInHotspots = 0;
+  /// Mirrors the call stack: whether each active frame entered as a hotspot
+  /// (a method promoted mid-invocation must not fire an unmatched exit).
+  std::vector<bool> EnterWasHot;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_DOSYS_DOSYSTEM_H

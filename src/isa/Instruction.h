@@ -1,0 +1,59 @@
+//===- isa/Instruction.h - Bytecode instruction encoding --------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-memory representation of one bytecode instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_ISA_INSTRUCTION_H
+#define DYNACE_ISA_INSTRUCTION_H
+
+#include "isa/Opcode.h"
+
+#include <cstdint>
+
+namespace dynace {
+
+/// Register index value meaning "no register operand".
+inline constexpr uint8_t kNoReg = 0xff;
+
+/// One decoded bytecode instruction.
+///
+/// Field usage varies per opcode; see the per-opcode comments in Opcode.h.
+/// \c Imm doubles as: immediate constant, branch/jump target (instruction
+/// index within the method), callee method id (Call), or load/store
+/// displacement. \c Aux holds BrI's comparison immediate.
+struct Instruction {
+  Opcode Op = Opcode::Halt;
+  CondKind Cond = CondKind::Eq;
+  uint8_t Dst = kNoReg;
+  uint8_t Src1 = kNoReg;
+  uint8_t Src2 = kNoReg;
+  int64_t Imm = 0;
+  int64_t Aux = 0;
+
+  /// \returns true for instructions that may redirect control flow.
+  bool isControlFlow() const {
+    return Op == Opcode::Br || Op == Opcode::BrI || Op == Opcode::Jmp ||
+           Op == Opcode::Call || Op == Opcode::Ret || Op == Opcode::Halt;
+  }
+
+  /// \returns true for conditional branches.
+  bool isConditionalBranch() const {
+    return Op == Opcode::Br || Op == Opcode::BrI;
+  }
+
+  /// \returns true for memory operations.
+  bool isMemOp() const {
+    OpClass C = opClassOf(Op);
+    return C == OpClass::Load || C == OpClass::Store;
+  }
+};
+
+} // namespace dynace
+
+#endif // DYNACE_ISA_INSTRUCTION_H

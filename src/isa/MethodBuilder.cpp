@@ -1,0 +1,184 @@
+//===- isa/MethodBuilder.cpp ----------------------------------------------==//
+
+#include "isa/MethodBuilder.h"
+
+#include <bit>
+#include <cassert>
+
+using namespace dynace;
+
+MethodBuilder::Label MethodBuilder::newLabel() {
+  LabelTargets.push_back(kUnbound);
+  return static_cast<Label>(LabelTargets.size() - 1);
+}
+
+MethodBuilder &MethodBuilder::bind(Label L) {
+  assert(L < LabelTargets.size() && "unknown label");
+  assert(LabelTargets[L] == kUnbound && "label bound twice");
+  LabelTargets[L] = static_cast<int64_t>(M.Code.size());
+  return *this;
+}
+
+Instruction &MethodBuilder::emit(Opcode Op) {
+  Instruction In;
+  In.Op = Op;
+  M.Code.push_back(In);
+  return M.Code.back();
+}
+
+MethodBuilder &MethodBuilder::iconst(Reg Dst, int64_t Imm) {
+  Instruction &In = emit(Opcode::IConst);
+  In.Dst = Dst;
+  In.Imm = Imm;
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::fconst(Reg Dst, double Value) {
+  return iconst(Dst, std::bit_cast<int64_t>(Value));
+}
+
+MethodBuilder &MethodBuilder::mov(Reg Dst, Reg Src) {
+  Instruction &In = emit(Opcode::Mov);
+  In.Dst = Dst;
+  In.Src1 = Src;
+  return *this;
+}
+
+#define DYNACE_BIN_OP(NAME, OP)                                              \
+  MethodBuilder &MethodBuilder::NAME(Reg Dst, Reg A, Reg B) {                \
+    Instruction &In = emit(Opcode::OP);                                      \
+    In.Dst = Dst;                                                            \
+    In.Src1 = A;                                                             \
+    In.Src2 = B;                                                             \
+    return *this;                                                            \
+  }
+
+DYNACE_BIN_OP(add, Add)
+DYNACE_BIN_OP(sub, Sub)
+DYNACE_BIN_OP(mul, Mul)
+DYNACE_BIN_OP(div, Div)
+DYNACE_BIN_OP(rem, Rem)
+DYNACE_BIN_OP(and_, And)
+DYNACE_BIN_OP(or_, Or)
+DYNACE_BIN_OP(xor_, Xor)
+DYNACE_BIN_OP(shl, Shl)
+DYNACE_BIN_OP(shr, Shr)
+DYNACE_BIN_OP(fadd, FAdd)
+DYNACE_BIN_OP(fsub, FSub)
+DYNACE_BIN_OP(fmul, FMul)
+DYNACE_BIN_OP(fdiv, FDiv)
+#undef DYNACE_BIN_OP
+
+#define DYNACE_IMM_OP(NAME, OP)                                              \
+  MethodBuilder &MethodBuilder::NAME(Reg Dst, Reg A, int64_t Imm) {          \
+    Instruction &In = emit(Opcode::OP);                                      \
+    In.Dst = Dst;                                                            \
+    In.Src1 = A;                                                             \
+    In.Imm = Imm;                                                            \
+    return *this;                                                            \
+  }
+
+DYNACE_IMM_OP(addi, AddI)
+DYNACE_IMM_OP(muli, MulI)
+DYNACE_IMM_OP(andi, AndI)
+#undef DYNACE_IMM_OP
+
+MethodBuilder &MethodBuilder::load(Reg Dst, Reg Base, int64_t Disp) {
+  Instruction &In = emit(Opcode::Load);
+  In.Dst = Dst;
+  In.Src1 = Base;
+  In.Imm = Disp;
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::store(Reg Base, Reg Value, int64_t Disp) {
+  Instruction &In = emit(Opcode::Store);
+  In.Src1 = Base;
+  In.Src2 = Value;
+  In.Imm = Disp;
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::loadIdx(Reg Dst, Reg Base, Reg Index,
+                                      int64_t Disp) {
+  Instruction &In = emit(Opcode::LoadIdx);
+  In.Dst = Dst;
+  In.Src1 = Base;
+  In.Src2 = Index;
+  In.Imm = Disp;
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::storeIdx(Reg Base, Reg Index, Reg Value,
+                                       int64_t Disp) {
+  Instruction &In = emit(Opcode::StoreIdx);
+  In.Src1 = Base;
+  In.Dst = Index;
+  In.Src2 = Value;
+  In.Imm = Disp;
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::br(CondKind Cond, Reg A, Reg B, Label Target) {
+  Instruction &In = emit(Opcode::Br);
+  In.Cond = Cond;
+  In.Src1 = A;
+  In.Src2 = B;
+  Fixups.push_back({M.Code.size() - 1, Target});
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::bri(CondKind Cond, Reg A, int64_t Imm,
+                                  Label Target) {
+  Instruction &In = emit(Opcode::BrI);
+  In.Cond = Cond;
+  In.Src1 = A;
+  In.Aux = Imm;
+  Fixups.push_back({M.Code.size() - 1, Target});
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::jmp(Label Target) {
+  emit(Opcode::Jmp);
+  Fixups.push_back({M.Code.size() - 1, Target});
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::call(Reg Dst, MethodId Callee, Reg FirstArg,
+                                   unsigned NumArgs) {
+  Instruction &In = emit(Opcode::Call);
+  In.Dst = Dst;
+  In.Imm = static_cast<int64_t>(Callee);
+  In.Src1 = NumArgs == 0 ? kNoReg : FirstArg;
+  In.Src2 = static_cast<uint8_t>(NumArgs);
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::ret(Reg Value) {
+  Instruction &In = emit(Opcode::Ret);
+  In.Src1 = Value;
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::halt() {
+  emit(Opcode::Halt);
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::alloc(Reg Dst, Reg Words) {
+  Instruction &In = emit(Opcode::Alloc);
+  In.Dst = Dst;
+  In.Src1 = Words;
+  return *this;
+}
+
+Method MethodBuilder::take() {
+  for (auto &[Index, L] : Fixups) {
+    assert(L < LabelTargets.size() && "fixup references unknown label");
+    assert(LabelTargets[L] != kUnbound && "fixup references unbound label");
+    M.Code[Index].Imm = LabelTargets[L];
+  }
+  Fixups.clear();
+  LabelTargets.clear();
+  return std::move(M);
+}

@@ -1,0 +1,117 @@
+//===- isa/MethodBuilder.h - Bytecode assembler -----------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small assembler for building methods programmatically, with forward
+/// label references. Used by the synthetic workload generator and by the
+/// examples and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_ISA_METHODBUILDER_H
+#define DYNACE_ISA_METHODBUILDER_H
+
+#include "isa/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynace {
+
+/// Fluent builder for one method.
+///
+/// Typical usage:
+/// \code
+///   MethodBuilder B("loop");
+///   Reg I = 1, Sum = 2;
+///   B.iconst(I, 0).iconst(Sum, 0);
+///   Label Top = B.newLabel();
+///   B.bind(Top);
+///   B.add(Sum, Sum, I).addi(I, I, 1);
+///   B.bri(CondKind::Lt, I, /*Imm=*/100, Top);
+///   B.ret(Sum);
+///   MethodId Id = Prog.addMethod(B.take());
+/// \endcode
+class MethodBuilder {
+public:
+  using Reg = uint8_t;
+  using Label = uint32_t;
+
+  explicit MethodBuilder(std::string Name) { M.Name = std::move(Name); }
+
+  /// Creates a fresh, unbound label.
+  Label newLabel();
+
+  /// Binds \p L to the next emitted instruction.
+  MethodBuilder &bind(Label L);
+
+  // Constants and moves.
+  MethodBuilder &iconst(Reg Dst, int64_t Imm);
+  MethodBuilder &fconst(Reg Dst, double Value);
+  MethodBuilder &mov(Reg Dst, Reg Src);
+
+  // Integer arithmetic.
+  MethodBuilder &add(Reg Dst, Reg A, Reg B);
+  MethodBuilder &sub(Reg Dst, Reg A, Reg B);
+  MethodBuilder &mul(Reg Dst, Reg A, Reg B);
+  MethodBuilder &div(Reg Dst, Reg A, Reg B);
+  MethodBuilder &rem(Reg Dst, Reg A, Reg B);
+  MethodBuilder &and_(Reg Dst, Reg A, Reg B);
+  MethodBuilder &or_(Reg Dst, Reg A, Reg B);
+  MethodBuilder &xor_(Reg Dst, Reg A, Reg B);
+  MethodBuilder &shl(Reg Dst, Reg A, Reg B);
+  MethodBuilder &shr(Reg Dst, Reg A, Reg B);
+  MethodBuilder &addi(Reg Dst, Reg A, int64_t Imm);
+  MethodBuilder &muli(Reg Dst, Reg A, int64_t Imm);
+  MethodBuilder &andi(Reg Dst, Reg A, int64_t Imm);
+
+  // Floating point (operands interpreted as IEEE double bit patterns).
+  MethodBuilder &fadd(Reg Dst, Reg A, Reg B);
+  MethodBuilder &fsub(Reg Dst, Reg A, Reg B);
+  MethodBuilder &fmul(Reg Dst, Reg A, Reg B);
+  MethodBuilder &fdiv(Reg Dst, Reg A, Reg B);
+
+  // Memory.
+  MethodBuilder &load(Reg Dst, Reg Base, int64_t Disp = 0);
+  MethodBuilder &store(Reg Base, Reg Value, int64_t Disp = 0);
+  MethodBuilder &loadIdx(Reg Dst, Reg Base, Reg Index, int64_t Disp = 0);
+  MethodBuilder &storeIdx(Reg Base, Reg Index, Reg Value, int64_t Disp = 0);
+
+  // Control flow.
+  MethodBuilder &br(CondKind Cond, Reg A, Reg B, Label Target);
+  MethodBuilder &bri(CondKind Cond, Reg A, int64_t Imm, Label Target);
+  MethodBuilder &jmp(Label Target);
+  MethodBuilder &call(Reg Dst, MethodId Callee, Reg FirstArg = 0,
+                      unsigned NumArgs = 0);
+  MethodBuilder &ret(Reg Value);
+  MethodBuilder &halt();
+
+  // Misc.
+  MethodBuilder &alloc(Reg Dst, Reg Words);
+
+  /// Number of instructions emitted so far.
+  size_t size() const { return M.Code.size(); }
+
+  /// Finalizes label fixups and \returns the built method. The builder is
+  /// left empty; reuse requires constructing a new builder.
+  Method take();
+
+private:
+  Instruction &emit(Opcode Op);
+
+  Method M;
+  /// Per-label bound instruction index; kUnbound until bind().
+  std::vector<int64_t> LabelTargets;
+  /// (instruction index, label) pairs awaiting resolution.
+  std::vector<std::pair<size_t, Label>> Fixups;
+
+  static constexpr int64_t kUnbound = -1;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_ISA_METHODBUILDER_H

@@ -1,0 +1,140 @@
+//===- isa/Opcode.cpp -----------------------------------------------------==//
+
+#include "isa/Opcode.h"
+
+#include <cassert>
+
+using namespace dynace;
+
+OpClass dynace::opClassOf(Opcode Op) {
+  switch (Op) {
+  case Opcode::IConst:
+  case Opcode::Mov:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::AddI:
+  case Opcode::AndI:
+    return OpClass::IntAlu;
+  case Opcode::Mul:
+  case Opcode::MulI:
+    return OpClass::IntMult;
+  case Opcode::Div:
+  case Opcode::Rem:
+    return OpClass::IntDiv;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+    return OpClass::FpAlu;
+  case Opcode::FMul:
+  case Opcode::FDiv:
+    return OpClass::FpMultDiv;
+  case Opcode::Load:
+  case Opcode::LoadIdx:
+    return OpClass::Load;
+  case Opcode::Store:
+  case Opcode::StoreIdx:
+    return OpClass::Store;
+  case Opcode::Br:
+  case Opcode::BrI:
+    return OpClass::Branch;
+  case Opcode::Jmp:
+  case Opcode::Call:
+  case Opcode::Ret:
+    return OpClass::Jump;
+  case Opcode::Alloc:
+  case Opcode::Halt:
+    return OpClass::Other;
+  }
+  assert(false && "unknown opcode");
+  return OpClass::Other;
+}
+
+const char *dynace::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::IConst:
+    return "iconst";
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::AddI:
+    return "addi";
+  case Opcode::MulI:
+    return "muli";
+  case Opcode::AndI:
+    return "andi";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::LoadIdx:
+    return "loadidx";
+  case Opcode::StoreIdx:
+    return "storeidx";
+  case Opcode::Br:
+    return "br";
+  case Opcode::BrI:
+    return "bri";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Alloc:
+    return "alloc";
+  case Opcode::Halt:
+    return "halt";
+  }
+  assert(false && "unknown opcode");
+  return "?";
+}
+
+const char *dynace::condName(CondKind Cond) {
+  switch (Cond) {
+  case CondKind::Eq:
+    return "eq";
+  case CondKind::Ne:
+    return "ne";
+  case CondKind::Lt:
+    return "lt";
+  case CondKind::Le:
+    return "le";
+  case CondKind::Gt:
+    return "gt";
+  case CondKind::Ge:
+    return "ge";
+  }
+  assert(false && "unknown condition");
+  return "?";
+}

@@ -1,0 +1,96 @@
+//===- isa/Opcode.h - Bytecode opcode definitions ---------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The register-based bytecode ISA executed by the DynACE virtual machine.
+///
+/// The paper's evaluation runs Java bytecode under Jikes RVM on Dynamic
+/// SimpleScalar. Our substitute is a compact register VM: each executed
+/// bytecode is one dynamic instruction of a given microarchitectural class
+/// (integer ALU, multiply, load, store, branch, ...), which is exactly the
+/// granularity the timing, cache and power models consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_ISA_OPCODE_H
+#define DYNACE_ISA_OPCODE_H
+
+#include <cstdint>
+
+namespace dynace {
+
+/// Bytecode operations.
+enum class Opcode : uint8_t {
+  IConst,   ///< Dst = Imm
+  Mov,      ///< Dst = Src1
+  Add,      ///< Dst = Src1 + Src2
+  Sub,      ///< Dst = Src1 - Src2
+  Mul,      ///< Dst = Src1 * Src2
+  Div,      ///< Dst = Src1 / Src2 (0 when Src2 == 0)
+  Rem,      ///< Dst = Src1 % Src2 (0 when Src2 == 0)
+  And,      ///< Dst = Src1 & Src2
+  Or,       ///< Dst = Src1 | Src2
+  Xor,      ///< Dst = Src1 ^ Src2
+  Shl,      ///< Dst = Src1 << (Src2 & 63)
+  Shr,      ///< Dst = Src1 >> (Src2 & 63) (logical)
+  AddI,     ///< Dst = Src1 + Imm
+  MulI,     ///< Dst = Src1 * Imm
+  AndI,     ///< Dst = Src1 & Imm
+  FAdd,     ///< Dst = fp(Src1) + fp(Src2)
+  FSub,     ///< Dst = fp(Src1) - fp(Src2)
+  FMul,     ///< Dst = fp(Src1) * fp(Src2)
+  FDiv,     ///< Dst = fp(Src1) / fp(Src2)
+  Load,     ///< Dst = mem[Src1 + Imm]
+  Store,    ///< mem[Src1 + Imm] = Src2
+  LoadIdx,  ///< Dst = mem[Src1 + Src2 * 8 + Imm]
+  StoreIdx, ///< mem[Src1 + Dst * 8 + Imm] = Src2 (Dst holds the index reg)
+  Br,       ///< if (Src1 <Cond> Src2) goto Imm (instruction index)
+  BrI,      ///< if (Src1 <Cond> Imm2) goto Imm (Imm2 packed in Aux)
+  Jmp,      ///< goto Imm (instruction index)
+  Call,     ///< call method Imm; copies Src2 args from [Src1..) into callee
+            ///< r0..; return value lands in Dst
+  Ret,      ///< return Src1 to the caller
+  Alloc,    ///< Dst = address of a fresh region of Src1 words
+  Halt,     ///< stop the program
+};
+
+/// Comparison kinds for Br / BrI.
+enum class CondKind : uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+/// Microarchitectural operation classes consumed by the timing model
+/// (mirrors SimpleScalar's functional-unit classes in Table 2).
+enum class OpClass : uint8_t {
+  IntAlu,
+  IntMult,
+  IntDiv,
+  FpAlu,
+  FpMultDiv,
+  Load,
+  Store,
+  Branch, ///< conditional branches (predicted)
+  Jump,   ///< unconditional control flow: Jmp / Call / Ret
+  Other,
+};
+
+/// \returns the timing class of \p Op.
+OpClass opClassOf(Opcode Op);
+
+/// \returns a printable mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// \returns a printable name for \p Cond ("eq", "ne", ...).
+const char *condName(CondKind Cond);
+
+/// Number of virtual registers per frame.
+inline constexpr unsigned kNumRegs = 32;
+
+/// Byte size of one encoded instruction; used to derive instruction-cache
+/// addresses (PC = method code base + index * kInstrBytes).
+inline constexpr uint64_t kInstrBytes = 4;
+
+} // namespace dynace
+
+#endif // DYNACE_ISA_OPCODE_H

@@ -1,0 +1,102 @@
+//===- isa/Program.cpp ----------------------------------------------------==//
+
+#include "isa/Program.h"
+
+#include <cassert>
+
+using namespace dynace;
+
+MethodId Program::addMethod(Method M) {
+  assert(!Finalized && "cannot add methods after finalize()");
+  MethodId Id = static_cast<MethodId>(Methods.size());
+  M.Id = Id;
+  Methods.push_back(std::move(M));
+  return Id;
+}
+
+uint64_t Program::addGlobal(uint64_t Words) {
+  assert(Words > 0 && "empty global region");
+  uint64_t Base = kHeapBase + GlobalWords * 8;
+  GlobalWords += Words;
+  return Base;
+}
+
+uint64_t Program::staticInstructionCount() const {
+  uint64_t N = 0;
+  for (const Method &M : Methods)
+    N += M.Code.size();
+  return N;
+}
+
+bool Program::verifyMethod(const Method &M, std::string *ErrorOut) const {
+  auto Fail = [&](const std::string &Msg) {
+    if (ErrorOut)
+      *ErrorOut = "method '" + M.Name + "': " + Msg;
+    return false;
+  };
+
+  if (M.Code.empty())
+    return Fail("empty code");
+
+  auto RegOk = [](uint8_t R) { return R == kNoReg || R < kNumRegs; };
+  for (size_t I = 0, E = M.Code.size(); I != E; ++I) {
+    const Instruction &In = M.Code[I];
+    if (!RegOk(In.Dst) || !RegOk(In.Src1) || !RegOk(In.Src2))
+      return Fail("register index out of range at instruction " +
+                  std::to_string(I));
+    switch (In.Op) {
+    case Opcode::Br:
+    case Opcode::BrI:
+    case Opcode::Jmp:
+      if (In.Imm < 0 || static_cast<size_t>(In.Imm) >= M.Code.size())
+        return Fail("branch target out of range at instruction " +
+                    std::to_string(I));
+      break;
+    case Opcode::Call: {
+      if (In.Imm < 0 || static_cast<size_t>(In.Imm) >= Methods.size())
+        return Fail("call target out of range at instruction " +
+                    std::to_string(I));
+      unsigned NumArgs = In.Src2 == kNoReg ? 0 : In.Src2;
+      if (NumArgs > kNumRegs ||
+          (NumArgs > 0 && (In.Src1 == kNoReg || In.Src1 + NumArgs > kNumRegs)))
+        return Fail("bad call argument window at instruction " +
+                    std::to_string(I));
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  // Falling off the end of a method is a verification error: the last
+  // instruction must be an unconditional transfer.
+  const Instruction &Last = M.Code.back();
+  if (Last.Op != Opcode::Ret && Last.Op != Opcode::Halt &&
+      Last.Op != Opcode::Jmp)
+    return Fail("method does not end in ret/halt/jmp");
+  return true;
+}
+
+bool Program::finalize(std::string *ErrorOut) {
+  assert(!Finalized && "finalize() called twice");
+  if (Methods.empty()) {
+    if (ErrorOut)
+      *ErrorOut = "program has no methods";
+    return false;
+  }
+  if (Entry >= Methods.size()) {
+    if (ErrorOut)
+      *ErrorOut = "entry method id out of range";
+    return false;
+  }
+
+  uint64_t Base = kCodeBase;
+  for (Method &M : Methods) {
+    M.CodeBase = Base;
+    Base += static_cast<uint64_t>(M.Code.size()) * kInstrBytes;
+    if (!verifyMethod(M, ErrorOut))
+      return false;
+  }
+  Finalized = true;
+  return true;
+}

@@ -1,0 +1,94 @@
+//===- isa/Program.h - Methods and programs ---------------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// \c Method and \c Program: the static code representation loaded by the
+/// VM. A program is a set of methods plus statically allocated global data
+/// regions; methods are the unit of hotspot detection, mirroring Jikes RVM
+/// where hotspots are procedures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_ISA_PROGRAM_H
+#define DYNACE_ISA_PROGRAM_H
+
+#include "isa/Instruction.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynace {
+
+/// Identifies a method within its program.
+using MethodId = uint32_t;
+
+/// Base byte address of the code region (instruction-cache address space).
+inline constexpr uint64_t kCodeBase = 0x40000000ull;
+
+/// Base byte address of the data region (data-cache address space).
+inline constexpr uint64_t kHeapBase = 0x00010000ull;
+
+/// One procedure: a name, a register budget and a code vector.
+struct Method {
+  std::string Name;
+  MethodId Id = 0;
+  std::vector<Instruction> Code;
+  /// Byte address of Code[0]; assigned by Program::finalize().
+  uint64_t CodeBase = 0;
+
+  /// \returns the byte address of the instruction at \p Index.
+  uint64_t pcOf(size_t Index) const {
+    return CodeBase + static_cast<uint64_t>(Index) * kInstrBytes;
+  }
+};
+
+/// A complete executable program.
+class Program {
+public:
+  /// Adds a method and \returns its id. The method's Id field is filled in.
+  MethodId addMethod(Method M);
+
+  /// Reserves \p Words 8-byte words of statically addressed global data and
+  /// \returns the base byte address of the region. Addresses are assigned
+  /// deterministically so the generated code can embed them as immediates.
+  uint64_t addGlobal(uint64_t Words);
+
+  /// Assigns code addresses to all methods and verifies the program.
+  /// \returns true on success; on failure fills \p ErrorOut with a message.
+  bool finalize(std::string *ErrorOut = nullptr);
+
+  /// Sets/gets the entry method.
+  void setEntry(MethodId Id) { Entry = Id; }
+  MethodId entry() const { return Entry; }
+
+  const Method &method(MethodId Id) const { return Methods[Id]; }
+  Method &method(MethodId Id) { return Methods[Id]; }
+  size_t numMethods() const { return Methods.size(); }
+
+  /// Total statically allocated global words (the VM sizes its heap from
+  /// this plus a dynamic-allocation margin).
+  uint64_t globalWords() const { return GlobalWords; }
+
+  /// Total static instruction count across all methods.
+  uint64_t staticInstructionCount() const;
+
+  bool isFinalized() const { return Finalized; }
+
+private:
+  /// Verifies one method: branch targets in range, register indices valid,
+  /// call targets valid, terminator present.
+  bool verifyMethod(const Method &M, std::string *ErrorOut) const;
+
+  std::vector<Method> Methods;
+  MethodId Entry = 0;
+  uint64_t GlobalWords = 0;
+  bool Finalized = false;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_ISA_PROGRAM_H

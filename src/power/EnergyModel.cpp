@@ -1,0 +1,34 @@
+//===- power/EnergyModel.cpp ----------------------------------------------==//
+
+#include "power/EnergyModel.h"
+
+#include <cmath>
+
+using namespace dynace;
+
+static double sizeScale(uint64_t SizeBytes, uint64_t RefBytes,
+                        double Exponent) {
+  return std::pow(static_cast<double>(SizeBytes) /
+                      static_cast<double>(RefBytes),
+                  Exponent);
+}
+
+double EnergyModel::l1DynamicAccess(const CacheGeometry &G) const {
+  return Params.L1DynamicAt64K *
+         sizeScale(G.SizeBytes, 64 * 1024, Params.DynamicExponent);
+}
+
+double EnergyModel::l2DynamicAccess(const CacheGeometry &G) const {
+  return Params.L2DynamicAt1M *
+         sizeScale(G.SizeBytes, 1024 * 1024, Params.DynamicExponent);
+}
+
+double EnergyModel::l1LeakagePerCycle(const CacheGeometry &G) const {
+  return Params.L1LeakagePer64K * static_cast<double>(G.SizeBytes) /
+         static_cast<double>(64 * 1024);
+}
+
+double EnergyModel::l2LeakagePerCycle(const CacheGeometry &G) const {
+  return Params.L2LeakagePer1M * static_cast<double>(G.SizeBytes) /
+         static_cast<double>(1024 * 1024);
+}

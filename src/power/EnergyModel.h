@@ -1,0 +1,100 @@
+//===- power/EnergyModel.h - Cache energy parameters ------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An analytic cache energy model standing in for the paper's Wattch-based
+/// power model (1 GHz, 2 V). Absolute joules are calibration constants; the
+/// experiments report energy *reductions*, which depend only on the relative
+/// energies across configurations:
+///
+///   dynamic per-access energy  ~ SizeBytes^0.7   (bitline/wordline scaling,
+///                                                 CACTI-like exponent)
+///   leakage power              ~ SizeBytes       (proportional to SRAM area)
+///
+/// With these, the L1D energy is dominated by dynamic access energy (it is
+/// touched by every load/store) while the L2 energy is dominated by leakage
+/// (few accesses, large array) — the regime the paper's Figure 3 reflects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_POWER_ENERGYMODEL_H
+#define DYNACE_POWER_ENERGYMODEL_H
+
+#include "cache/Cache.h"
+
+#include <cstdint>
+
+namespace dynace {
+
+/// Tunable constants of the analytic model.
+struct EnergyModelParams {
+  /// Dynamic energy (nJ) of one access to a 64 KB, 2-way, 64 B-block array.
+  double L1DynamicAt64K = 1.0;
+  /// Dynamic energy (nJ) of one access to a 1 MB, 4-way, 128 B-block array.
+  double L2DynamicAt1M = 3.0;
+  /// Leakage power (nJ/cycle at 1 GHz, i.e. W) per 64 KB of L1-style SRAM.
+  double L1LeakagePer64K = 0.05;
+  /// Leakage power (nJ/cycle) per 1 MB of L2-style SRAM.
+  double L2LeakagePer1M = 0.40;
+  /// Size-scaling exponent for dynamic access energy.
+  double DynamicExponent = 0.7;
+  /// Energy (nJ) to drive one cache line over the bus during a
+  /// reconfiguration flush, in addition to the next level's write energy.
+  double FlushLineTransfer = 0.2;
+  /// Energy (nJ) of one main-memory access (used in the tuner's total-energy
+  /// objective so that undersized caches pay for the traffic they create).
+  double MemoryAccess = 5.0;
+  /// Dynamic energy (nJ) per executed instruction of a 64-entry issue
+  /// window (CAM wakeup + select; Ponomarev et al.'s adaptive RUU).
+  double WindowDynamicAt64 = 0.3;
+  /// Leakage power (nJ/cycle) of a 64-entry issue window.
+  double WindowLeakageAt64 = 0.02;
+};
+
+/// Computes per-configuration energies.
+class EnergyModel {
+public:
+  explicit EnergyModel(const EnergyModelParams &P = EnergyModelParams())
+      : Params(P) {}
+
+  /// Dynamic energy (nJ) per access for an L1-class array of \p G's size.
+  double l1DynamicAccess(const CacheGeometry &G) const;
+
+  /// Dynamic energy (nJ) per access for an L2-class array of \p G's size.
+  double l2DynamicAccess(const CacheGeometry &G) const;
+
+  /// Leakage power (nJ/cycle) for an L1-class array of \p G's size.
+  double l1LeakagePerCycle(const CacheGeometry &G) const;
+
+  /// Leakage power (nJ/cycle) for an L2-class array of \p G's size.
+  double l2LeakagePerCycle(const CacheGeometry &G) const;
+
+  /// Extra per-line transfer energy charged on reconfiguration flushes.
+  double flushLineTransfer() const { return Params.FlushLineTransfer; }
+
+  /// Energy of one main-memory access.
+  double memoryAccess() const { return Params.MemoryAccess; }
+
+  /// Dynamic energy per instruction for an issue window of \p Entries
+  /// (CAM structures scale ~linearly with entry count).
+  double windowDynamicPerInstr(uint32_t Entries) const {
+    return Params.WindowDynamicAt64 * static_cast<double>(Entries) / 64.0;
+  }
+
+  /// Leakage power (nJ/cycle) for an issue window of \p Entries.
+  double windowLeakagePerCycle(uint32_t Entries) const {
+    return Params.WindowLeakageAt64 * static_cast<double>(Entries) / 64.0;
+  }
+
+  const EnergyModelParams &params() const { return Params; }
+
+private:
+  EnergyModelParams Params;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_POWER_ENERGYMODEL_H

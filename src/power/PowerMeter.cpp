@@ -1,0 +1,69 @@
+//===- power/PowerMeter.cpp -----------------------------------------------==//
+
+#include "power/PowerMeter.h"
+
+#include <cassert>
+
+using namespace dynace;
+
+PowerMeter::PowerMeter(const MemoryHierarchy &Hierarchy,
+                       const EnergyModel &Model)
+    : Hierarchy(Hierarchy), Model(Model) {}
+
+void PowerMeter::syncLeakage(uint64_t CycleNow) {
+  assert(CycleNow >= LastSyncCycle && "cycle time moved backwards");
+  double Elapsed = static_cast<double>(CycleNow - LastSyncCycle);
+  LastSyncCycle = CycleNow;
+  L1DLeakage += Elapsed * Model.l1LeakagePerCycle(Hierarchy.l1d().geometry());
+  L2Leakage += Elapsed * Model.l2LeakagePerCycle(Hierarchy.l2().geometry());
+  L1ILeakage +=
+      Elapsed * Model.l1LeakagePerCycle(Hierarchy.l1i().geometry());
+}
+
+EnergyBreakdown PowerMeter::l1dEnergy() const {
+  EnergyBreakdown E;
+  const ReconfigurableCache &C = Hierarchy.l1d();
+  for (unsigned S = 0, N = C.numSettings(); S != N; ++S)
+    E.Dynamic += static_cast<double>(C.statsOf(S).accesses()) *
+                 Model.l1DynamicAccess(C.geometryOf(S));
+  E.Leakage = L1DLeakage;
+  // Flush: read each dirty line out (charged at the largest setting, a
+  // conservative bound) and drive it across the bus.
+  E.Reconfig = static_cast<double>(C.reconfigurationWritebacks()) *
+               (Model.l1DynamicAccess(C.geometryOf(0)) +
+                Model.flushLineTransfer());
+  return E;
+}
+
+EnergyBreakdown PowerMeter::l2Energy() const {
+  EnergyBreakdown E;
+  const ReconfigurableCache &C = Hierarchy.l2();
+  for (unsigned S = 0, N = C.numSettings(); S != N; ++S)
+    E.Dynamic += static_cast<double>(C.statsOf(S).accesses()) *
+                 Model.l2DynamicAccess(C.geometryOf(S));
+  E.Leakage = L2Leakage;
+  E.Reconfig = static_cast<double>(C.reconfigurationWritebacks()) *
+               (Model.l2DynamicAccess(C.geometryOf(0)) +
+                Model.flushLineTransfer());
+  return E;
+}
+
+EnergyBreakdown PowerMeter::l1iEnergy() const {
+  EnergyBreakdown E;
+  const Cache &C = Hierarchy.l1i();
+  E.Dynamic = static_cast<double>(C.stats().accesses()) *
+              Model.l1DynamicAccess(C.geometry());
+  E.Leakage = L1ILeakage;
+  return E;
+}
+
+double PowerMeter::memoryEnergy() const {
+  return static_cast<double>(Hierarchy.memoryReads() +
+                             Hierarchy.memoryWrites()) *
+         Model.memoryAccess();
+}
+
+double PowerMeter::totalEnergy() const {
+  return l1dEnergy().total() + l2Energy().total() + l1iEnergy().total() +
+         memoryEnergy();
+}

@@ -1,0 +1,78 @@
+//===- power/PowerMeter.h - Energy accounting -------------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accumulates cache energy over a simulation:
+///
+///  * dynamic energy — per-setting access counts (kept by the
+///    ReconfigurableCache) times the per-setting access energy, so every
+///    access is charged at the energy of the configuration that served it;
+///  * leakage energy — integrated over cycles at the active setting; the
+///    simulator calls syncLeakage() before every reconfiguration and before
+///    reading totals;
+///  * reconfiguration energy — the paper's "power consumed for writing dirty
+///    cache lines into the lower level of memory hierarchy": reading the
+///    dirty line plus transferring it (the receiving level's write energy is
+///    already counted in that level's dynamic accesses).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_POWER_POWERMETER_H
+#define DYNACE_POWER_POWERMETER_H
+
+#include "cache/MemoryHierarchy.h"
+#include "power/EnergyModel.h"
+
+namespace dynace {
+
+/// Per-cache energy breakdown (nanojoules).
+struct EnergyBreakdown {
+  double Dynamic = 0.0;
+  double Leakage = 0.0;
+  double Reconfig = 0.0;
+
+  double total() const { return Dynamic + Leakage + Reconfig; }
+};
+
+/// Tracks the energy of one MemoryHierarchy over a run.
+class PowerMeter {
+public:
+  PowerMeter(const MemoryHierarchy &Hierarchy, const EnergyModel &Model);
+
+  /// Integrates leakage from the last sync point to \p CycleNow at the
+  /// currently active settings. Must be called before any reconfiguration
+  /// and before reading energies. \p CycleNow must not decrease.
+  void syncLeakage(uint64_t CycleNow);
+
+  /// L1D energy so far (call syncLeakage first for up-to-date leakage).
+  EnergyBreakdown l1dEnergy() const;
+
+  /// L2 energy so far.
+  EnergyBreakdown l2Energy() const;
+
+  /// L1I energy so far (fixed configuration).
+  EnergyBreakdown l1iEnergy() const;
+
+  /// Main-memory access energy so far.
+  double memoryEnergy() const;
+
+  /// Grand total across caches and memory; the tuner's objective.
+  double totalEnergy() const;
+
+  const EnergyModel &model() const { return Model; }
+
+private:
+  const MemoryHierarchy &Hierarchy;
+  const EnergyModel &Model;
+  uint64_t LastSyncCycle = 0;
+  double L1DLeakage = 0.0;
+  double L2Leakage = 0.0;
+  double L1ILeakage = 0.0;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_POWER_POWERMETER_H

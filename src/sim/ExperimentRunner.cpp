@@ -1,0 +1,79 @@
+//===- sim/ExperimentRunner.cpp -------------------------------------------==//
+
+#include "sim/ExperimentRunner.h"
+
+#include "sim/ResultCache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sys/stat.h>
+
+using namespace dynace;
+
+/// Cache directory from DYNACE_CACHE_DIR; empty = caching disabled.
+static std::string cacheDir() {
+  const char *Dir = std::getenv("DYNACE_CACHE_DIR");
+  return Dir ? Dir : "";
+}
+
+ExperimentRunner::ExperimentRunner(SimulationOptions Base)
+    : Base(std::move(Base)) {}
+
+SimulationOptions ExperimentRunner::defaultOptions() {
+  SimulationOptions Opts;
+  if (const char *Budget = std::getenv("DYNACE_INSTR_BUDGET"))
+    Opts.MaxInstructions = std::strtoull(Budget, nullptr, 10);
+  return Opts;
+}
+
+const GeneratedWorkload &
+ExperimentRunner::workload(const WorkloadProfile &Profile) {
+  auto It = Workloads.find(Profile.Name);
+  if (It == Workloads.end())
+    It = Workloads
+             .emplace(Profile.Name, WorkloadGenerator::generate(Profile))
+             .first;
+  return It->second;
+}
+
+SimulationResult ExperimentRunner::runScheme(const WorkloadProfile &Profile,
+                                             Scheme S) {
+  SimulationOptions Opts = Base;
+  Opts.SchemeKind = S;
+
+  std::string Dir = cacheDir();
+  std::string Path;
+  if (!Dir.empty()) {
+    ::mkdir(Dir.c_str(), 0755);
+    Path = Dir + "/" + resultCacheKey(Profile.Name, Opts) + ".txt";
+    SimulationResult Cached;
+    if (loadResult(Path, Cached)) {
+      std::fprintf(stderr, "[dynace] %s/%s: cached\n", Profile.Name.c_str(),
+                   schemeName(S));
+      return Cached;
+    }
+  }
+
+  const GeneratedWorkload &W = workload(Profile);
+  System Sys(W.Prog, Opts);
+  SimulationResult R = Sys.run();
+  if (!Path.empty())
+    saveResult(Path, R);
+  return R;
+}
+
+const BenchmarkRun &ExperimentRunner::run(const WorkloadProfile &Profile) {
+  auto It = Cache.find(Profile.Name);
+  if (It != Cache.end())
+    return It->second;
+
+  BenchmarkRun Run;
+  Run.Name = Profile.Name;
+  std::fprintf(stderr, "[dynace] %s: baseline\n", Profile.Name.c_str());
+  Run.Baseline = runScheme(Profile, Scheme::Baseline);
+  std::fprintf(stderr, "[dynace] %s: bbv\n", Profile.Name.c_str());
+  Run.Bbv = runScheme(Profile, Scheme::Bbv);
+  std::fprintf(stderr, "[dynace] %s: hotspot\n", Profile.Name.c_str());
+  Run.Hotspot = runScheme(Profile, Scheme::Hotspot);
+  return Cache.emplace(Profile.Name, std::move(Run)).first->second;
+}

@@ -1,0 +1,81 @@
+//===- sim/ExperimentRunner.h - Paper experiment driver ---------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs each benchmark under the baseline, BBV and hotspot schemes on the
+/// same generated program, caching results so several tables can be printed
+/// from one set of simulations. All paper tables and figures are derived
+/// from the `BenchmarkRun` triples this produces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SIM_EXPERIMENTRUNNER_H
+#define DYNACE_SIM_EXPERIMENTRUNNER_H
+
+#include "sim/System.h"
+#include "workloads/WorkloadGenerator.h"
+#include "workloads/WorkloadProfile.h"
+
+#include <map>
+#include <string>
+
+namespace dynace {
+
+/// Results of one benchmark under all three schemes.
+struct BenchmarkRun {
+  std::string Name;
+  SimulationResult Baseline;
+  SimulationResult Bbv;
+  SimulationResult Hotspot;
+
+  /// Energy reduction of \p SchemeEnergy relative to the baseline run.
+  static double reduction(double SchemeEnergy, double BaselineEnergy) {
+    if (BaselineEnergy <= 0.0)
+      return 0.0;
+    return 1.0 - SchemeEnergy / BaselineEnergy;
+  }
+
+  /// Performance degradation (cycles) of a scheme vs the baseline run.
+  static double slowdown(uint64_t SchemeCycles, uint64_t BaselineCycles) {
+    if (BaselineCycles == 0)
+      return 0.0;
+    return static_cast<double>(SchemeCycles) /
+               static_cast<double>(BaselineCycles) -
+           1.0;
+  }
+};
+
+/// Caches per-benchmark simulation triples.
+class ExperimentRunner {
+public:
+  /// \param Base options shared by all runs; the scheme field is overridden
+  ///        per run.
+  explicit ExperimentRunner(SimulationOptions Base = SimulationOptions());
+
+  /// Runs (or returns the cached run of) \p Profile under all schemes.
+  const BenchmarkRun &run(const WorkloadProfile &Profile);
+
+  /// Runs one scheme only (used by ablation benches).
+  SimulationResult runScheme(const WorkloadProfile &Profile, Scheme S);
+
+  /// Default options honoring the DYNACE_INSTR_BUDGET environment variable
+  /// (a per-benchmark instruction cap; 0/unset = run programs to
+  /// completion).
+  static SimulationOptions defaultOptions();
+
+  const SimulationOptions &baseOptions() const { return Base; }
+
+private:
+  const GeneratedWorkload &workload(const WorkloadProfile &Profile);
+
+  SimulationOptions Base;
+  std::map<std::string, GeneratedWorkload> Workloads;
+  std::map<std::string, BenchmarkRun> Cache;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_SIM_EXPERIMENTRUNNER_H

@@ -1,0 +1,334 @@
+//===- sim/Reports.cpp ----------------------------------------------------==//
+
+#include "sim/Reports.h"
+
+#include "support/Format.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "workloads/WorkloadProfile.h"
+
+using namespace dynace;
+
+static std::vector<std::string> benchHeader(
+    const std::vector<BenchmarkRun> &Runs, bool WithAvg) {
+  std::vector<std::string> H = {""};
+  for (const BenchmarkRun &R : Runs)
+    H.push_back(R.Name);
+  if (WithAvg)
+    H.push_back("avg");
+  return H;
+}
+
+void dynace::printBaselineConfig(std::ostream &OS,
+                                 const SimulationOptions &Opts) {
+  const CoreConfig &C = Opts.Core;
+  const HierarchyConfig &H = Opts.Hierarchy;
+  TextTable T;
+  T.setHeader({"Unit", "Configuration"});
+  T.addRow({"CPU", "1000 MHz at 2 V (modeled energy constants)"});
+  T.addRow({"Instruction window",
+            std::to_string(C.WindowSize) + "-RUU, " +
+                std::to_string(C.LsqSize) + "-LSQ"});
+  T.addRow({"Functional units",
+            std::to_string(C.NumIntAlu) + " intALU, " +
+                std::to_string(C.NumIntMult) + " intMult/Div, " +
+                std::to_string(C.NumFpAlu) + " FPALU, " +
+                std::to_string(C.NumFpMult) + " FPMult/Div"});
+  T.addRow({"Branch predictor",
+            std::to_string(C.PredictorEntries) + "-entry combined, " +
+                std::to_string(C.MispredictPenalty) +
+                "-cycle misprediction penalty"});
+  T.addRow({"Issue/Commit width",
+            std::to_string(C.IssueWidth) + " instructions per cycle"});
+  auto CacheDesc = [](const CacheGeometry &G) {
+    return std::to_string(G.SizeBytes / 1024) + "KB, " +
+           std::to_string(G.BlockBytes) + "B blocks, " +
+           std::to_string(G.Assoc) + "-way, LRU, " +
+           std::to_string(G.HitLatency) + "-cycle hit";
+  };
+  T.addRow({"L1 I-cache", CacheDesc(H.L1I)});
+  std::string L1DSizes, L2Sizes;
+  for (const CacheGeometry &G : H.L1DSettings)
+    L1DSizes += (L1DSizes.empty() ? "" : "/") +
+                std::to_string(G.SizeBytes / 1024) + "KB";
+  for (const CacheGeometry &G : H.L2Settings)
+    L2Sizes += (L2Sizes.empty() ? "" : "/") +
+               std::to_string(G.SizeBytes / 1024) + "KB";
+  T.addRow({"L1 D-cache",
+            CacheDesc(H.L1DSettings.front()) + " (" + L1DSizes + ", " +
+                formatCount(Opts.L1DReconfigInterval) +
+                "-instr reconfig interval)"});
+  T.addRow({"L2 unified cache",
+            CacheDesc(H.L2Settings.front()) + " (" + L2Sizes + ", " +
+                formatCount(Opts.L2ReconfigInterval) +
+                "-instr reconfig interval)"});
+  T.addRow({"DTLB/ITLB",
+            std::to_string(H.TlbEntries) + " entries, " +
+                std::to_string(H.TlbAssoc) + "-way, " +
+                std::to_string(H.TlbMissPenalty) + "-cycle miss"});
+  T.addRow({"Memory latency",
+            std::to_string(H.MemoryLatency) + " cycles"});
+  T.print(OS, "Table 2. Baseline configuration of the simulated system "
+              "(intervals scaled by 1/10)");
+}
+
+void dynace::printTable3(std::ostream &OS) {
+  TextTable T;
+  T.setHeader({"Benchmark", "Description"});
+  for (const WorkloadProfile &P : specjvm98Profiles())
+    T.addRow({P.Name, P.Description});
+  T.print(OS, "Table 3. Description of SPECjvm98 benchmarks (synthetic "
+              "stand-ins)");
+}
+
+void dynace::printFigure1(std::ostream &OS,
+                          const std::vector<BenchmarkRun> &Runs) {
+  TextTable T;
+  T.setHeader(benchHeader(Runs, /*WithAvg=*/true));
+  std::vector<std::string> Stable = {"stable"};
+  std::vector<std::string> Transitional = {"transitional"};
+  RunningStat Avg;
+  for (const BenchmarkRun &R : Runs) {
+    double S = R.Bbv.BbvR ? R.Bbv.BbvR->StableIntervalFraction : 0.0;
+    Stable.push_back(formatPercent(S, 1));
+    Transitional.push_back(formatPercent(1.0 - S, 1));
+    Avg.add(S);
+  }
+  Stable.push_back(formatPercent(Avg.mean(), 1));
+  Transitional.push_back(formatPercent(1.0 - Avg.mean(), 1));
+  T.addRow(Stable);
+  T.addRow(Transitional);
+  T.print(OS, "Figure 1. Distribution of stable/transitional BBV phases "
+              "(fraction of sampling intervals)");
+}
+
+void dynace::printTable1(std::ostream &OS,
+                         const std::vector<BenchmarkRun> &Runs) {
+  // The paper's Table 1 is qualitative; we print its three rows with the
+  // measured counterparts averaged across benchmarks.
+  RunningStat IdLatency, HotspotConfigs, BbvConfigs;
+  for (const BenchmarkRun &R : Runs) {
+    IdLatency.add(R.Hotspot.Do.IdentificationLatencyFraction);
+    if (R.Hotspot.Ace && R.Hotspot.Ace->TotalHotspots)
+      HotspotConfigs.add(
+          static_cast<double>(R.Hotspot.Ace->PerCu[0].Tunings +
+                              R.Hotspot.Ace->PerCu[1].Tunings) /
+          static_cast<double>(R.Hotspot.Ace->TotalHotspots));
+    if (R.Bbv.BbvR && R.Bbv.BbvR->TunedPhases)
+      BbvConfigs.add(static_cast<double>(R.Bbv.BbvR->Tunings) /
+                     static_cast<double>(R.Bbv.BbvR->TunedPhases));
+  }
+  TextTable T;
+  T.setHeader({"Metric", "Temporal (BBV)", "DO-based (hotspot)"});
+  T.addRow({"New phase identification",
+            "at least one sampling interval",
+            "hot_threshold invocations (measured " +
+                formatPercent(IdLatency.mean()) + " of execution)"});
+  T.addRow({"Recurring phase identification", "at least one interval",
+            "none (zero latency)"});
+  T.addRow({"Tuning latency (configs tested per phase)",
+            formatFixed(BbvConfigs.mean(), 1) + " intervals",
+            formatFixed(HotspotConfigs.mean(), 1) + " invocations"});
+  T.print(OS, "Table 1. Comparing the DO-based ACE management scheme with "
+              "temporal approaches (measured)");
+}
+
+void dynace::printTable4(std::ostream &OS,
+                         const std::vector<BenchmarkRun> &Runs) {
+  TextTable T;
+  T.setHeader(benchHeader(Runs, /*WithAvg=*/false));
+  std::vector<std::string> Dyn = {"dynamic instruction count"};
+  std::vector<std::string> Num = {"number of hotspots"};
+  std::vector<std::string> Size = {"average hotspot size"};
+  std::vector<std::string> Pct = {"% of code in hotspots"};
+  std::vector<std::string> Inv = {"average invocations per hotspot"};
+  std::vector<std::string> Lat = {"hotspot identification latency"};
+  for (const BenchmarkRun &R : Runs) {
+    const DoStats &S = R.Hotspot.Do;
+    Dyn.push_back(
+        formatScientific(static_cast<double>(R.Hotspot.Instructions)));
+    Num.push_back(std::to_string(S.NumHotspots));
+    Size.push_back(formatCount(static_cast<uint64_t>(S.AvgHotspotSize)));
+    Pct.push_back(formatPercent(S.HotspotCodeFraction));
+    Inv.push_back(formatCount(
+        static_cast<uint64_t>(S.AvgInvocationsPerHotspot)));
+    Lat.push_back(formatPercent(S.IdentificationLatencyFraction));
+  }
+  T.addRow(Dyn);
+  T.addRow(Num);
+  T.addRow(Size);
+  T.addRow(Pct);
+  T.addRow(Inv);
+  T.addRow(Lat);
+  T.print(OS, "Table 4. Runtime hotspot characteristics (instruction counts "
+              "~1/200 of the paper's runs)");
+}
+
+void dynace::printTable5(std::ostream &OS,
+                         const std::vector<BenchmarkRun> &Runs) {
+  TextTable T;
+  T.setHeader(benchHeader(Runs, /*WithAvg=*/false));
+
+  std::vector<std::string> L1D = {"number of L1D hotspots"};
+  std::vector<std::string> L2 = {"number of L2 hotspots"};
+  std::vector<std::string> Total = {"total number of hotspots"};
+  std::vector<std::string> Tuned = {"number of tuned hotspots"};
+  std::vector<std::string> TunedPct = {"% of tuned hotspots"};
+  std::vector<std::string> PerCov = {"per-hotspot IPC CoV"};
+  std::vector<std::string> InterCov = {"inter-hotspot IPC CoV"};
+  std::vector<std::string> Phases = {"number of phases"};
+  std::vector<std::string> TunedPhases = {"number of tuned phases"};
+  std::vector<std::string> TunedIntervals = {
+      "% of dynamic sampling intervals in tuned phases"};
+  std::vector<std::string> PerPhaseCov = {"per-phase IPC CoV"};
+  std::vector<std::string> InterPhaseCov = {"inter-phase IPC CoV"};
+
+  for (const BenchmarkRun &R : Runs) {
+    const AceReport &A = *R.Hotspot.Ace;
+    L1D.push_back(std::to_string(A.PerCu[0].NumHotspots));
+    L2.push_back(std::to_string(A.PerCu[1].NumHotspots));
+    Total.push_back(std::to_string(A.TotalHotspots));
+    Tuned.push_back(std::to_string(A.TunedHotspots));
+    TunedPct.push_back(formatPercent(
+        A.TotalHotspots ? static_cast<double>(A.TunedHotspots) /
+                              static_cast<double>(A.TotalHotspots)
+                        : 0.0));
+    PerCov.push_back(formatPercent(A.PerHotspotIpcCov));
+    InterCov.push_back(formatPercent(A.InterHotspotIpcCov));
+
+    const BbvReport &B = *R.Bbv.BbvR;
+    Phases.push_back(std::to_string(B.NumPhases));
+    TunedPhases.push_back(std::to_string(B.TunedPhases));
+    TunedIntervals.push_back(
+        formatPercent(B.IntervalsInTunedPhasesFraction));
+    PerPhaseCov.push_back(formatPercent(B.PerPhaseIpcCov));
+    InterPhaseCov.push_back(formatPercent(B.InterPhaseIpcCov));
+  }
+  T.addRow(L1D);
+  T.addRow(L2);
+  T.addRow(Total);
+  T.addRow(Tuned);
+  T.addRow(TunedPct);
+  T.addRow(PerCov);
+  T.addRow(InterCov);
+  T.addSeparator();
+  T.addRow(Phases);
+  T.addRow(TunedPhases);
+  T.addRow(TunedIntervals);
+  T.addRow(PerPhaseCov);
+  T.addRow(InterPhaseCov);
+  T.print(OS, "Table 5. Runtime characteristics of the hotspot (top) and "
+              "BBV (bottom) approaches");
+}
+
+void dynace::printTable6(std::ostream &OS,
+                         const std::vector<BenchmarkRun> &Runs) {
+  TextTable T;
+  T.setHeader(benchHeader(Runs, /*WithAvg=*/false));
+
+  std::vector<std::string> HsL1DTun = {"hotspot: L1D tunings"};
+  std::vector<std::string> HsL1DRec = {"hotspot: L1D reconfigs"};
+  std::vector<std::string> HsL1DCov = {"hotspot: L1D coverage"};
+  std::vector<std::string> HsL2Tun = {"hotspot: L2 tunings"};
+  std::vector<std::string> HsL2Rec = {"hotspot: L2 reconfigs"};
+  std::vector<std::string> HsL2Cov = {"hotspot: L2 coverage"};
+  std::vector<std::string> BbTun = {"BBV: tunings"};
+  std::vector<std::string> BbL1DRec = {"BBV: L1D reconfigs"};
+  std::vector<std::string> BbL2Rec = {"BBV: L2 reconfigs"};
+  std::vector<std::string> BbCov = {"BBV: coverage"};
+
+  for (const BenchmarkRun &R : Runs) {
+    const AceReport &A = *R.Hotspot.Ace;
+    HsL1DTun.push_back(std::to_string(A.PerCu[0].Tunings));
+    HsL1DRec.push_back(std::to_string(A.PerCu[0].Reconfigs));
+    HsL1DCov.push_back(formatPercent(A.PerCu[0].Coverage, 1));
+    HsL2Tun.push_back(std::to_string(A.PerCu[1].Tunings));
+    HsL2Rec.push_back(std::to_string(A.PerCu[1].Reconfigs));
+    HsL2Cov.push_back(formatPercent(A.PerCu[1].Coverage, 1));
+
+    const BbvReport &B = *R.Bbv.BbvR;
+    BbTun.push_back(std::to_string(B.Tunings));
+    BbL1DRec.push_back(std::to_string(B.ReconfigsPerCu[0]));
+    BbL2Rec.push_back(std::to_string(B.ReconfigsPerCu[1]));
+    BbCov.push_back(formatPercent(B.Coverage, 1));
+  }
+  T.addRow(HsL1DTun);
+  T.addRow(HsL1DRec);
+  T.addRow(HsL1DCov);
+  T.addRow(HsL2Tun);
+  T.addRow(HsL2Rec);
+  T.addRow(HsL2Cov);
+  T.addSeparator();
+  T.addRow(BbTun);
+  T.addRow(BbL1DRec);
+  T.addRow(BbL2Rec);
+  T.addRow(BbCov);
+  T.print(OS, "Table 6. Tunings, reconfigurations and coverage of hotspots "
+              "and BBV phases");
+}
+
+void dynace::printFigure3(std::ostream &OS,
+                          const std::vector<BenchmarkRun> &Runs) {
+  TextTable A;
+  A.setHeader(benchHeader(Runs, /*WithAvg=*/true));
+  std::vector<std::string> BbvRow = {"BBV"};
+  std::vector<std::string> HotRow = {"hotspot"};
+  RunningStat BbvAvg, HotAvg;
+  for (const BenchmarkRun &R : Runs) {
+    double Base = R.Baseline.L1DEnergy.total();
+    double B = BenchmarkRun::reduction(R.Bbv.L1DEnergy.total(), Base);
+    double H = BenchmarkRun::reduction(R.Hotspot.L1DEnergy.total(), Base);
+    BbvRow.push_back(formatPercent(B, 1));
+    HotRow.push_back(formatPercent(H, 1));
+    BbvAvg.add(B);
+    HotAvg.add(H);
+  }
+  BbvRow.push_back(formatPercent(BbvAvg.mean(), 1));
+  HotRow.push_back(formatPercent(HotAvg.mean(), 1));
+  A.addRow(BbvRow);
+  A.addRow(HotRow);
+  A.print(OS, "Figure 3(a). L1 data cache energy reduction over baseline");
+
+  TextTable BTab;
+  BTab.setHeader(benchHeader(Runs, /*WithAvg=*/true));
+  std::vector<std::string> BbvRow2 = {"BBV"};
+  std::vector<std::string> HotRow2 = {"hotspot"};
+  RunningStat BbvAvg2, HotAvg2;
+  for (const BenchmarkRun &R : Runs) {
+    double Base = R.Baseline.L2Energy.total();
+    double B = BenchmarkRun::reduction(R.Bbv.L2Energy.total(), Base);
+    double H = BenchmarkRun::reduction(R.Hotspot.L2Energy.total(), Base);
+    BbvRow2.push_back(formatPercent(B, 1));
+    HotRow2.push_back(formatPercent(H, 1));
+    BbvAvg2.add(B);
+    HotAvg2.add(H);
+  }
+  BbvRow2.push_back(formatPercent(BbvAvg2.mean(), 1));
+  HotRow2.push_back(formatPercent(HotAvg2.mean(), 1));
+  BTab.addRow(BbvRow2);
+  BTab.addRow(HotRow2);
+  BTab.print(OS, "Figure 3(b). L2 cache energy reduction over baseline");
+}
+
+void dynace::printFigure4(std::ostream &OS,
+                          const std::vector<BenchmarkRun> &Runs) {
+  TextTable T;
+  T.setHeader(benchHeader(Runs, /*WithAvg=*/true));
+  std::vector<std::string> BbvRow = {"BBV"};
+  std::vector<std::string> HotRow = {"hotspot"};
+  RunningStat BbvAvg, HotAvg;
+  for (const BenchmarkRun &R : Runs) {
+    double B = BenchmarkRun::slowdown(R.Bbv.Cycles, R.Baseline.Cycles);
+    double H = BenchmarkRun::slowdown(R.Hotspot.Cycles, R.Baseline.Cycles);
+    BbvRow.push_back(formatPercent(B));
+    HotRow.push_back(formatPercent(H));
+    BbvAvg.add(B);
+    HotAvg.add(H);
+  }
+  BbvRow.push_back(formatPercent(BbvAvg.mean()));
+  HotRow.push_back(formatPercent(HotAvg.mean()));
+  T.addRow(BbvRow);
+  T.addRow(HotRow);
+  T.print(OS, "Figure 4. Performance degradation over the baseline "
+              "(% slowdown)");
+}

@@ -1,0 +1,53 @@
+//===- sim/Reports.h - Paper-style report printers --------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the paper's tables and figures from BenchmarkRun results. Each
+/// function prints the same rows/series the paper reports, so bench output
+/// can be compared against the paper side by side (EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SIM_REPORTS_H
+#define DYNACE_SIM_REPORTS_H
+
+#include "sim/ExperimentRunner.h"
+
+#include <ostream>
+#include <vector>
+
+namespace dynace {
+
+/// Table 2: the baseline simulated-system configuration.
+void printBaselineConfig(std::ostream &OS, const SimulationOptions &Opts);
+
+/// Table 3: benchmark descriptions.
+void printTable3(std::ostream &OS);
+
+/// Figure 1: distribution of stable vs transitional BBV phases.
+void printFigure1(std::ostream &OS, const std::vector<BenchmarkRun> &Runs);
+
+/// Table 1: measured latency comparison between the schemes.
+void printTable1(std::ostream &OS, const std::vector<BenchmarkRun> &Runs);
+
+/// Table 4: runtime hotspot characteristics.
+void printTable4(std::ostream &OS, const std::vector<BenchmarkRun> &Runs);
+
+/// Table 5: runtime characteristics of the hotspot and BBV approaches.
+void printTable5(std::ostream &OS, const std::vector<BenchmarkRun> &Runs);
+
+/// Table 6: tunings, reconfigurations and coverage.
+void printTable6(std::ostream &OS, const std::vector<BenchmarkRun> &Runs);
+
+/// Figure 3a/3b: L1D and L2 energy reduction over the baseline.
+void printFigure3(std::ostream &OS, const std::vector<BenchmarkRun> &Runs);
+
+/// Figure 4: performance degradation over the baseline.
+void printFigure4(std::ostream &OS, const std::vector<BenchmarkRun> &Runs);
+
+} // namespace dynace
+
+#endif // DYNACE_SIM_REPORTS_H

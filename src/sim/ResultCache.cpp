@@ -1,0 +1,287 @@
+//===- sim/ResultCache.cpp ------------------------------------------------==//
+
+#include "sim/ResultCache.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+using namespace dynace;
+
+namespace {
+
+/// Simple line-oriented writer: "key value\n".
+class Writer {
+public:
+  explicit Writer(FILE *F) : F(F) {}
+  void u64(const char *Key, uint64_t V) {
+    std::fprintf(F, "%s %" PRIu64 "\n", Key, V);
+  }
+  void f64(const char *Key, double V) {
+    std::fprintf(F, "%s %.17g\n", Key, V);
+  }
+  void breakdown(const char *Key, const EnergyBreakdown &E) {
+    std::fprintf(F, "%s %.17g %.17g %.17g\n", Key, E.Dynamic, E.Leakage,
+                 E.Reconfig);
+  }
+  void stats(const char *Key, const CacheStats &S) {
+    std::fprintf(F, "%s %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                    " %" PRIu64 "\n",
+                 Key, S.Reads, S.Writes, S.ReadMisses, S.WriteMisses,
+                 S.Writebacks);
+  }
+  void vec(const char *Key, const std::vector<uint64_t> &V) {
+    std::fprintf(F, "%s %zu", Key, V.size());
+    for (uint64_t X : V)
+      std::fprintf(F, " %" PRIu64, X);
+    std::fprintf(F, "\n");
+  }
+
+private:
+  FILE *F;
+};
+
+/// Reader with per-line key verification; any mismatch poisons the load.
+class Reader {
+public:
+  explicit Reader(FILE *F) : F(F) {}
+  bool ok() const { return Ok; }
+
+  uint64_t u64(const char *Key) {
+    uint64_t V = 0;
+    if (!expect(Key) || std::fscanf(F, "%" SCNu64, &V) != 1)
+      Ok = false;
+    return V;
+  }
+  double f64(const char *Key) {
+    double V = 0;
+    if (!expect(Key) || std::fscanf(F, "%lg", &V) != 1)
+      Ok = false;
+    return V;
+  }
+  EnergyBreakdown breakdown(const char *Key) {
+    EnergyBreakdown E;
+    if (!expect(Key) || std::fscanf(F, "%lg %lg %lg", &E.Dynamic, &E.Leakage,
+                                    &E.Reconfig) != 3)
+      Ok = false;
+    return E;
+  }
+  CacheStats stats(const char *Key) {
+    CacheStats S;
+    if (!expect(Key) ||
+        std::fscanf(F, "%" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                       " %" SCNu64,
+                    &S.Reads, &S.Writes, &S.ReadMisses, &S.WriteMisses,
+                    &S.Writebacks) != 5)
+      Ok = false;
+    return S;
+  }
+  std::vector<uint64_t> vec(const char *Key) {
+    std::vector<uint64_t> V;
+    size_t N = 0;
+    if (!expect(Key) || std::fscanf(F, "%zu", &N) != 1 || N > 4096) {
+      Ok = false;
+      return V;
+    }
+    V.resize(N);
+    for (size_t I = 0; I != N; ++I)
+      if (std::fscanf(F, "%" SCNu64, &V[I]) != 1)
+        Ok = false;
+    return V;
+  }
+
+private:
+  bool expect(const char *Key) {
+    char Buf[64];
+    if (std::fscanf(F, "%63s", Buf) != 1 || std::string(Buf) != Key)
+      return false;
+    return true;
+  }
+
+  FILE *F;
+  bool Ok = true;
+};
+
+constexpr const char *kMagic = "dynace-result-v1";
+
+} // namespace
+
+bool dynace::saveResult(const std::string &Path, const SimulationResult &R) {
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::fprintf(F, "%s\n", kMagic);
+  Writer W(F);
+  W.u64("scheme", static_cast<uint64_t>(R.SchemeKind));
+  W.u64("instructions", R.Instructions);
+  W.u64("cycles", R.Cycles);
+  W.f64("ipc", R.Ipc);
+  W.breakdown("l1d_energy", R.L1DEnergy);
+  W.breakdown("l2_energy", R.L2Energy);
+  W.breakdown("l1i_energy", R.L1IEnergy);
+  W.f64("memory_energy", R.MemoryEnergy);
+  W.f64("window_energy", R.WindowEnergy);
+  W.vec("window_residency", R.InstructionsByWindowSetting);
+  W.stats("l1d_stats", R.L1DStats);
+  W.stats("l2_stats", R.L2Stats);
+  W.vec("l1d_residency", R.L1DAccessesBySetting);
+  W.vec("l2_residency", R.L2AccessesBySetting);
+  W.u64("l1d_reconfigs", R.L1DHardwareReconfigs);
+  W.u64("l2_reconfigs", R.L2HardwareReconfigs);
+  W.f64("bp_mispredict", R.BranchMispredictRate);
+
+  W.u64("do_hotspots", R.Do.NumHotspots);
+  W.f64("do_avg_size", R.Do.AvgHotspotSize);
+  W.f64("do_code_fraction", R.Do.HotspotCodeFraction);
+  W.f64("do_avg_invocations", R.Do.AvgInvocationsPerHotspot);
+  W.f64("do_ident_latency", R.Do.IdentificationLatencyFraction);
+
+  W.u64("has_ace", R.Ace.has_value());
+  if (R.Ace) {
+    W.u64("ace_total", R.Ace->TotalHotspots);
+    W.u64("ace_tuned", R.Ace->TunedHotspots);
+    W.f64("ace_per_cov", R.Ace->PerHotspotIpcCov);
+    W.f64("ace_inter_cov", R.Ace->InterHotspotIpcCov);
+    W.u64("ace_percu", R.Ace->PerCu.size());
+    for (const AceCuReport &Cu : R.Ace->PerCu) {
+      std::fprintf(F, "cu %s\n", Cu.CuName.empty() ? "-" : Cu.CuName.c_str());
+      W.u64("cu_hotspots", Cu.NumHotspots);
+      W.u64("cu_tuned", Cu.TunedHotspots);
+      W.u64("cu_tunings", Cu.Tunings);
+      W.u64("cu_reconfigs", Cu.Reconfigs);
+      W.f64("cu_coverage", Cu.Coverage);
+    }
+  }
+
+  W.u64("has_bbv", R.BbvR.has_value());
+  if (R.BbvR) {
+    W.u64("bbv_phases", R.BbvR->NumPhases);
+    W.u64("bbv_tuned", R.BbvR->TunedPhases);
+    W.u64("bbv_intervals", R.BbvR->TotalIntervals);
+    W.f64("bbv_stable", R.BbvR->StableIntervalFraction);
+    W.f64("bbv_tuned_frac", R.BbvR->IntervalsInTunedPhasesFraction);
+    W.f64("bbv_per_cov", R.BbvR->PerPhaseIpcCov);
+    W.f64("bbv_inter_cov", R.BbvR->InterPhaseIpcCov);
+    W.u64("bbv_tunings", R.BbvR->Tunings);
+    W.vec("bbv_reconfigs", R.BbvR->ReconfigsPerCu);
+    W.f64("bbv_coverage", R.BbvR->Coverage);
+  }
+  std::fclose(F);
+  return true;
+}
+
+bool dynace::loadResult(const std::string &Path, SimulationResult &R) {
+  FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return false;
+  char Magic[64];
+  if (std::fscanf(F, "%63s", Magic) != 1 ||
+      std::string(Magic) != kMagic) {
+    std::fclose(F);
+    return false;
+  }
+  Reader In(F);
+  R = SimulationResult();
+  R.SchemeKind = static_cast<Scheme>(In.u64("scheme"));
+  R.Instructions = In.u64("instructions");
+  R.Cycles = In.u64("cycles");
+  R.Ipc = In.f64("ipc");
+  R.L1DEnergy = In.breakdown("l1d_energy");
+  R.L2Energy = In.breakdown("l2_energy");
+  R.L1IEnergy = In.breakdown("l1i_energy");
+  R.MemoryEnergy = In.f64("memory_energy");
+  R.WindowEnergy = In.f64("window_energy");
+  R.InstructionsByWindowSetting = In.vec("window_residency");
+  R.L1DStats = In.stats("l1d_stats");
+  R.L2Stats = In.stats("l2_stats");
+  R.L1DAccessesBySetting = In.vec("l1d_residency");
+  R.L2AccessesBySetting = In.vec("l2_residency");
+  R.L1DHardwareReconfigs = In.u64("l1d_reconfigs");
+  R.L2HardwareReconfigs = In.u64("l2_reconfigs");
+  R.BranchMispredictRate = In.f64("bp_mispredict");
+
+  R.Do.NumHotspots = In.u64("do_hotspots");
+  R.Do.AvgHotspotSize = In.f64("do_avg_size");
+  R.Do.HotspotCodeFraction = In.f64("do_code_fraction");
+  R.Do.AvgInvocationsPerHotspot = In.f64("do_avg_invocations");
+  R.Do.IdentificationLatencyFraction = In.f64("do_ident_latency");
+
+  if (In.u64("has_ace")) {
+    AceReport Ace;
+    Ace.TotalHotspots = In.u64("ace_total");
+    Ace.TunedHotspots = In.u64("ace_tuned");
+    Ace.PerHotspotIpcCov = In.f64("ace_per_cov");
+    Ace.InterHotspotIpcCov = In.f64("ace_inter_cov");
+    uint64_t N = In.u64("ace_percu");
+    for (uint64_t I = 0; I != N && I < 64 && In.ok(); ++I) {
+      AceCuReport Cu;
+      char Key[64], Name[64];
+      if (std::fscanf(F, "%63s %63s", Key, Name) != 2 ||
+          std::string(Key) != "cu") {
+        std::fclose(F);
+        return false;
+      }
+      Cu.CuName = Name;
+      Cu.NumHotspots = In.u64("cu_hotspots");
+      Cu.TunedHotspots = In.u64("cu_tuned");
+      Cu.Tunings = In.u64("cu_tunings");
+      Cu.Reconfigs = In.u64("cu_reconfigs");
+      Cu.Coverage = In.f64("cu_coverage");
+      Ace.PerCu.push_back(std::move(Cu));
+    }
+    R.Ace = std::move(Ace);
+  }
+
+  if (In.u64("has_bbv")) {
+    BbvReport B;
+    B.NumPhases = In.u64("bbv_phases");
+    B.TunedPhases = In.u64("bbv_tuned");
+    B.TotalIntervals = In.u64("bbv_intervals");
+    B.StableIntervalFraction = In.f64("bbv_stable");
+    B.IntervalsInTunedPhasesFraction = In.f64("bbv_tuned_frac");
+    B.PerPhaseIpcCov = In.f64("bbv_per_cov");
+    B.InterPhaseIpcCov = In.f64("bbv_inter_cov");
+    B.Tunings = In.u64("bbv_tunings");
+    B.ReconfigsPerCu = In.vec("bbv_reconfigs");
+    B.Coverage = In.f64("bbv_coverage");
+    R.BbvR = std::move(B);
+  }
+
+  bool Ok = In.ok();
+  std::fclose(F);
+  return Ok;
+}
+
+std::string dynace::resultCacheKey(const std::string &BenchmarkName,
+                                   const SimulationOptions &Opts) {
+  std::ostringstream Key;
+  Key << BenchmarkName << '|' << schemeName(Opts.SchemeKind) << '|'
+      << Opts.MaxInstructions << '|' << Opts.L1DReconfigInterval << '|'
+      << Opts.L2ReconfigInterval << '|' << Opts.Do.HotThreshold << '|'
+      << Opts.Do.HotSampleInstructions << '|' << Opts.Do.SizeEmaAlpha << '|'
+      << Opts.Ace.MinHotspotSize << '|' << Opts.Ace.PerformanceThreshold
+      << '|' << Opts.Ace.RetuneThreshold << '|' << Opts.Ace.SampleEveryN
+      << '|' << Opts.Ace.DecouplingEnabled << '|' << Opts.Ace.GuardEnabled
+      << '|' << Opts.Ace.WarmupInvocations << '|'
+      << Opts.Ace.MeasureInvocations << '|' << Opts.Ace.PairedReference
+      << '|' << Opts.Ace.EpiMargin << '|' << Opts.Ace.MaxRetunes << '|'
+      << Opts.Bbv.IntervalInstructions << '|' << Opts.Bbv.DistanceThreshold
+      << '|' << Opts.Bbv.PerformanceThreshold << '|'
+      << Opts.Bbv.StableRunThreshold << '|' << Opts.Bbv.GuardEnabled << '|'
+      << Opts.Bbv.CalibrateReference << '|' << Opts.Bbv.EpiMargin << '|'
+      << Opts.Core.WindowSize << '|' << Opts.Core.LsqSize << '|'
+      << Opts.Hierarchy.L1DSettings.size() << '|'
+      << Opts.Hierarchy.L1DSettings.front().SizeBytes << '|'
+      << Opts.Hierarchy.L2Settings.front().SizeBytes << '|'
+      << Opts.Hierarchy.MemoryLatency << '|'
+      << Opts.Hierarchy.RetainOnDownsize << '|' << Opts.Energy.MemoryAccess
+      << '|' << Opts.Energy.DynamicExponent << '|' << Opts.DoSystemAlwaysOn
+      << '|' << Opts.EnableWindowCu << '|'
+      << Opts.WindowCuReconfigInterval;
+  size_t Hash = std::hash<std::string>{}(Key.str());
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%s-%s-%016zx", BenchmarkName.c_str(),
+                schemeName(Opts.SchemeKind), Hash);
+  return Buf;
+}

@@ -1,0 +1,42 @@
+//===- sim/ResultCache.h - On-disk simulation result cache ------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persists SimulationResults to disk so the dozen benchmark binaries (one
+/// per paper table/figure) can share one set of simulations. The cache key
+/// hashes every option that influences results; simulations are fully
+/// deterministic, so a hit is exact.
+///
+/// Controlled by the DYNACE_CACHE_DIR environment variable; unset disables
+/// caching (every binary simulates from scratch).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SIM_RESULTCACHE_H
+#define DYNACE_SIM_RESULTCACHE_H
+
+#include "sim/System.h"
+
+#include <string>
+
+namespace dynace {
+
+/// Serializes \p R to \p Path (text, one field per line).
+/// \returns false on I/O failure.
+bool saveResult(const std::string &Path, const SimulationResult &R);
+
+/// Loads a result previously written by saveResult().
+/// \returns false when the file is missing or malformed.
+bool loadResult(const std::string &Path, SimulationResult &R);
+
+/// Builds a cache key for running \p BenchmarkName under \p Opts: a stable
+/// hash over every option field that can influence the outcome.
+std::string resultCacheKey(const std::string &BenchmarkName,
+                           const SimulationOptions &Opts);
+
+} // namespace dynace
+
+#endif // DYNACE_SIM_RESULTCACHE_H

@@ -1,0 +1,170 @@
+//===- sim/System.cpp -----------------------------------------------------==//
+
+#include "sim/System.h"
+
+#include <cassert>
+
+using namespace dynace;
+
+const char *dynace::schemeName(Scheme S) {
+  switch (S) {
+  case Scheme::Baseline:
+    return "baseline";
+  case Scheme::Bbv:
+    return "bbv";
+  case Scheme::Hotspot:
+    return "hotspot";
+  }
+  assert(false && "unknown scheme");
+  return "?";
+}
+
+System::System(const Program &Prog, const SimulationOptions &Options)
+    : Options(Options), Energy(Options.Energy) {
+  Hier = std::make_unique<MemoryHierarchy>(Options.Hierarchy);
+  Cpu = std::make_unique<Core>(Options.Core, *Hier);
+  Meter = std::make_unique<PowerMeter>(*Hier, Energy);
+  Vm = std::make_unique<Interpreter>(Prog);
+
+  auto StallFn = [this](uint64_t Cycles) { Cpu->stall(Cycles); };
+
+  if (Options.DoSystemAlwaysOn ||
+      this->Options.SchemeKind == Scheme::Hotspot)
+    Do = std::make_unique<DoSystem>(Prog.numMethods(), Options.Do, StallFn);
+
+  if (this->Options.SchemeKind != Scheme::Baseline) {
+    // Both adaptive schemes drive the same configurable units.
+    if (Options.EnableWindowCu) {
+      Cpu->configureWindowSettings(Options.WindowCuSettings);
+      WindowUnit = std::make_unique<ConfigurableUnit>(
+          "IQ", static_cast<unsigned>(Options.WindowCuSettings.size()),
+          Options.WindowCuReconfigInterval, 0, [this](unsigned S) {
+            // Draining the partitioned RUU costs a short pipeline bubble;
+            // no state is written back.
+            Cpu->setWindowSetting(S);
+            ReconfigCost Cost;
+            Cost.Changed = true;
+            Cost.Cycles = 16;
+            Cpu->stall(Cost.Cycles);
+            return Cost;
+          });
+    }
+    L1DUnit = std::make_unique<ConfigurableUnit>(
+        "L1D", static_cast<unsigned>(Options.Hierarchy.L1DSettings.size()),
+        Options.L1DReconfigInterval, Options.Hierarchy.L1DInitial,
+        [this](unsigned S) {
+          Meter->syncLeakage(Cpu->cycles());
+          ReconfigCost Cost = Hier->reconfigureL1D(S);
+          Cpu->stall(Cost.Cycles);
+          return Cost;
+        });
+    L2Unit = std::make_unique<ConfigurableUnit>(
+        "L2", static_cast<unsigned>(Options.Hierarchy.L2Settings.size()),
+        Options.L2ReconfigInterval, Options.Hierarchy.L2Initial,
+        [this](unsigned S) {
+          Meter->syncLeakage(Cpu->cycles());
+          ReconfigCost Cost = Hier->reconfigureL2(S);
+          Cpu->stall(Cost.Cycles);
+          return Cost;
+        });
+  }
+
+  std::vector<ConfigurableUnit *> Units;
+  if (WindowUnit)
+    Units.push_back(WindowUnit.get());
+  if (L1DUnit) {
+    Units.push_back(L1DUnit.get());
+    Units.push_back(L2Unit.get());
+  }
+
+  if (this->Options.SchemeKind == Scheme::Hotspot) {
+    assert(Do && "hotspot scheme requires the DO system");
+    AceManagerConfig AceConfig = Options.Ace;
+    if (WindowUnit)
+      // Sub-L1D-band hotspots become manageable through the window CU.
+      AceConfig.MinHotspotSize = std::min<uint64_t>(
+          AceConfig.MinHotspotSize, Options.WindowCuReconfigInterval / 2);
+    Ace = std::make_unique<AceManager>(Units, *Do, makePlatform(),
+                                       AceConfig);
+    Do->setClient(Ace.get());
+  } else if (this->Options.SchemeKind == Scheme::Bbv) {
+    Bbv = std::make_unique<BbvManager>(Units, makePlatform(), Options.Bbv);
+  }
+
+  if (Do)
+    Vm->setListener(Do.get());
+}
+
+System::~System() = default;
+
+double System::windowEnergy() const {
+  const std::vector<uint32_t> &Settings = Cpu->windowSettings();
+  const std::vector<uint64_t> &Counts = Cpu->instructionsByWindowSetting();
+  double Total = 0.0;
+  for (size_t I = 0, E = Settings.size(); I != E; ++I)
+    Total += static_cast<double>(Counts[I]) *
+             (Energy.windowDynamicPerInstr(Settings[I]) +
+              // Leakage approximated per instruction at a nominal IPC of
+              // 1.5; dynamic CAM energy dominates by >10x.
+              Energy.windowLeakagePerCycle(Settings[I]) / 1.5);
+  return Total;
+}
+
+AcePlatform System::makePlatform() {
+  AcePlatform P;
+  P.Cycles = [this] { return Cpu->cycles(); };
+  P.Instructions = [this] { return Vm->instructionCount(); };
+  bool IncludeWindow = Options.EnableWindowCu;
+  P.Energy = [this, IncludeWindow] {
+    Meter->syncLeakage(Cpu->cycles());
+    double E = Meter->totalEnergy();
+    if (IncludeWindow)
+      E += windowEnergy();
+    return E;
+  };
+  P.Stall = [this](uint64_t Cycles) { Cpu->stall(Cycles); };
+  return P;
+}
+
+SimulationResult System::run() {
+  DynInst DI;
+  uint64_t Cap = Options.MaxInstructions;
+  BbvManager *BbvPtr = Bbv.get();
+  while (!Vm->isHalted() && (Cap == 0 || Vm->instructionCount() < Cap)) {
+    Vm->step(DI);
+    Cpu->consume(DI);
+    if (BbvPtr)
+      BbvPtr->onInstruction(DI);
+  }
+  if (BbvPtr)
+    BbvPtr->finish();
+  Meter->syncLeakage(Cpu->cycles());
+
+  SimulationResult R;
+  R.SchemeKind = Options.SchemeKind;
+  R.Instructions = Vm->instructionCount();
+  R.Cycles = Cpu->cycles();
+  R.Ipc = Cpu->ipc();
+  R.L1DEnergy = Meter->l1dEnergy();
+  R.L2Energy = Meter->l2Energy();
+  R.L1IEnergy = Meter->l1iEnergy();
+  R.MemoryEnergy = Meter->memoryEnergy();
+  R.WindowEnergy = windowEnergy();
+  R.InstructionsByWindowSetting = Cpu->instructionsByWindowSetting();
+  R.L1DStats = Hier->l1d().totalStats();
+  R.L2Stats = Hier->l2().totalStats();
+  for (unsigned S = 0, E = Hier->l1d().numSettings(); S != E; ++S)
+    R.L1DAccessesBySetting.push_back(Hier->l1d().statsOf(S).accesses());
+  for (unsigned S = 0, E = Hier->l2().numSettings(); S != E; ++S)
+    R.L2AccessesBySetting.push_back(Hier->l2().statsOf(S).accesses());
+  R.L1DHardwareReconfigs = Hier->l1d().reconfigurationCount();
+  R.L2HardwareReconfigs = Hier->l2().reconfigurationCount();
+  R.BranchMispredictRate = Cpu->predictor().mispredictRate();
+  if (Do)
+    R.Do = Do->stats(R.Instructions);
+  if (Ace)
+    R.Ace = Ace->report(R.Instructions);
+  if (Bbv)
+    R.BbvR = Bbv->report(R.Instructions);
+  return R;
+}

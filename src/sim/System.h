@@ -1,0 +1,142 @@
+//===- sim/System.h - Full-system simulation --------------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// \c System wires every subsystem together — VM, DO system, out-of-order
+/// core, reconfigurable memory hierarchy, power meter, and one of the three
+/// management schemes under evaluation:
+///
+///  * Baseline — maximum cache sizes, no adaptation (the energy reference);
+///  * Bbv      — BBV phase detection + combinatorial tuning (Section 5's
+///               comparison scheme);
+///  * Hotspot  — the paper's DO-based ACE management framework.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SIM_SYSTEM_H
+#define DYNACE_SIM_SYSTEM_H
+
+#include "ace/AceManager.h"
+#include "bbv/BbvManager.h"
+#include "cache/MemoryHierarchy.h"
+#include "dosys/DoSystem.h"
+#include "power/PowerMeter.h"
+#include "uarch/Core.h"
+#include "vm/Interpreter.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace dynace {
+
+/// Which management scheme a run uses.
+enum class Scheme : uint8_t { Baseline, Bbv, Hotspot };
+
+/// \returns "baseline" / "bbv" / "hotspot".
+const char *schemeName(Scheme S);
+
+/// All knobs of one simulation. Defaults reproduce the paper's setup with
+/// every instruction-denominated parameter scaled by kSimScale.
+struct SimulationOptions {
+  Scheme SchemeKind = Scheme::Baseline;
+  /// Hard cap on simulated dynamic instructions (0 = run to completion).
+  uint64_t MaxInstructions = 0;
+  /// Reconfiguration intervals in instructions (paper: 100K and 1M).
+  uint64_t L1DReconfigInterval = 10000;
+  uint64_t L2ReconfigInterval = 100000;
+  DoConfig Do;
+  AceManagerConfig Ace;
+  BbvConfig Bbv;
+  CoreConfig Core;
+  HierarchyConfig Hierarchy;
+  EnergyModelParams Energy;
+  /// Run the DO system (JIT promotion + its overheads) in every scheme, as
+  /// a JVM would. The ACE client attaches only under Scheme::Hotspot.
+  bool DoSystemAlwaysOn = true;
+  /// Adds a third configurable unit — the issue window (the paper's "we
+  /// are implementing several more CUs, such as the issue window") — with
+  /// the smallest reconfiguration interval. The hotspot scheme then also
+  /// manages sub-L1D-band hotspots; the BBV baseline's combinatorial sweep
+  /// grows to 64 configurations (the paper's scalability argument).
+  bool EnableWindowCu = false;
+  std::vector<uint32_t> WindowCuSettings = {64, 48, 32, 16};
+  uint64_t WindowCuReconfigInterval = 1000;
+};
+
+/// Everything a run produces.
+struct SimulationResult {
+  Scheme SchemeKind = Scheme::Baseline;
+  uint64_t Instructions = 0;
+  uint64_t Cycles = 0;
+  double Ipc = 0.0;
+  EnergyBreakdown L1DEnergy;
+  EnergyBreakdown L2Energy;
+  EnergyBreakdown L1IEnergy;
+  double MemoryEnergy = 0.0;
+  /// Issue-window energy (meaningful when the window CU is enabled).
+  double WindowEnergy = 0.0;
+  std::vector<uint64_t> InstructionsByWindowSetting;
+  CacheStats L1DStats;
+  CacheStats L2Stats;
+  /// Accesses served by each cache setting (index = setting, largest
+  /// first) — the "residency" of the adaptation.
+  std::vector<uint64_t> L1DAccessesBySetting;
+  std::vector<uint64_t> L2AccessesBySetting;
+  uint64_t L1DHardwareReconfigs = 0;
+  uint64_t L2HardwareReconfigs = 0;
+  double BranchMispredictRate = 0.0;
+  DoStats Do;                     ///< Valid when the DO system ran.
+  std::optional<AceReport> Ace;   ///< Hotspot scheme only.
+  std::optional<BbvReport> BbvR;  ///< BBV scheme only.
+};
+
+/// One simulated machine + program instance.
+class System {
+public:
+  /// \param Prog finalized program; must outlive the system.
+  System(const Program &Prog, const SimulationOptions &Options);
+  ~System();
+
+  /// Runs to completion (or the instruction cap) and \returns the results.
+  SimulationResult run();
+
+  // Component access for tests and examples.
+  Interpreter &vm() { return *Vm; }
+  Core &core() { return *Cpu; }
+  MemoryHierarchy &hierarchy() { return *Hier; }
+  PowerMeter &meter() { return *Meter; }
+  DoSystem *doSystem() { return Do.get(); }
+  AceManager *aceManager() { return Ace.get(); }
+  BbvManager *bbvManager() { return Bbv.get(); }
+  ConfigurableUnit *l1dUnit() { return L1DUnit.get(); }
+  ConfigurableUnit *l2Unit() { return L2Unit.get(); }
+  ConfigurableUnit *windowUnit() { return WindowUnit.get(); }
+  const SimulationOptions &options() const { return Options; }
+
+  /// Total issue-window energy so far (dynamic + approximate leakage).
+  double windowEnergy() const;
+
+private:
+  AcePlatform makePlatform();
+
+  SimulationOptions Options;
+  std::unique_ptr<MemoryHierarchy> Hier;
+  std::unique_ptr<Core> Cpu;
+  EnergyModel Energy;
+  std::unique_ptr<PowerMeter> Meter;
+  std::unique_ptr<Interpreter> Vm;
+  std::unique_ptr<ConfigurableUnit> WindowUnit;
+  std::unique_ptr<ConfigurableUnit> L1DUnit;
+  std::unique_ptr<ConfigurableUnit> L2Unit;
+  std::unique_ptr<DoSystem> Do;
+  std::unique_ptr<AceManager> Ace;
+  std::unique_ptr<BbvManager> Bbv;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_SIM_SYSTEM_H

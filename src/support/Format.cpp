@@ -1,0 +1,41 @@
+//===- support/Format.cpp -------------------------------------------------==//
+
+#include "support/Format.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace dynace;
+
+std::string dynace::formatPercent(double Ratio, int Decimals) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Decimals, Ratio * 100.0);
+  return Buf;
+}
+
+std::string dynace::formatCount(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Out;
+  Out.reserve(Digits.size() + Digits.size() / 3);
+  size_t Lead = Digits.size() % 3;
+  if (Lead == 0)
+    Lead = 3;
+  for (size_t I = 0, E = Digits.size(); I != E; ++I) {
+    if (I != 0 && (I - Lead) % 3 == 0 && I >= Lead)
+      Out.push_back(',');
+    Out.push_back(Digits[I]);
+  }
+  return Out;
+}
+
+std::string dynace::formatScientific(double Value, int Decimals) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.*E", Decimals, Value);
+  return Buf;
+}
+
+std::string dynace::formatFixed(double Value, int Decimals) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}

@@ -1,0 +1,36 @@
+//===- support/Format.h - Text formatting helpers ---------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formatting helpers that render numbers the way the paper's tables do:
+/// percentages ("99.03%"), thousands-separated counts ("81,645") and
+/// scientific counts ("9.83E+09").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SUPPORT_FORMAT_H
+#define DYNACE_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace dynace {
+
+/// Formats a ratio in [0, 1] as a percent string, e.g. 0.9903 -> "99.03%".
+std::string formatPercent(double Ratio, int Decimals = 2);
+
+/// Formats a count with thousands separators, e.g. 81645 -> "81,645".
+std::string formatCount(uint64_t Value);
+
+/// Formats a count in the paper's scientific style, e.g. "9.83E+09".
+std::string formatScientific(double Value, int Decimals = 2);
+
+/// Formats a double with fixed decimals, e.g. 1.5 -> "1.50".
+std::string formatFixed(double Value, int Decimals = 2);
+
+} // namespace dynace
+
+#endif // DYNACE_SUPPORT_FORMAT_H

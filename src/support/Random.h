@@ -1,0 +1,105 @@
+//===- support/Random.h - Deterministic RNG ---------------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (SplitMix64) plus sampling helpers.
+///
+/// The synthetic SPECjvm98-like workloads must be reproducible run to run so
+/// that the baseline, BBV and hotspot simulations all see the *same* dynamic
+/// instruction stream; std::mt19937 would also work but SplitMix64 is
+/// smaller, faster and trivially seedable per benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SUPPORT_RANDOM_H
+#define DYNACE_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dynace {
+
+/// SplitMix64 pseudo-random generator. Deterministic for a given seed.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound); Bound must be > 0.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Multiply-shift rejection-free mapping; bias is negligible for our
+    // bounds (all far below 2^32).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "nextInRange requires Lo <= Hi");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  uint64_t State;
+};
+
+/// Samples an index from an unnormalized discrete distribution.
+///
+/// \returns an index I with probability Weights[I] / sum(Weights).
+/// Weights must be non-empty with a positive sum.
+inline size_t sampleDiscrete(SplitMix64 &Rng,
+                             const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "sampleDiscrete requires weights");
+  double Total = 0.0;
+  for (double W : Weights)
+    Total += W;
+  assert(Total > 0.0 && "sampleDiscrete requires a positive total weight");
+  double X = Rng.nextDouble() * Total;
+  for (size_t I = 0, E = Weights.size(); I != E; ++I) {
+    X -= Weights[I];
+    if (X <= 0.0)
+      return I;
+  }
+  return Weights.size() - 1;
+}
+
+/// Builds Zipf-like weights (W_i = 1 / (i+1)^S) for N items.
+///
+/// Used by the workload generator to skew invocation frequency toward a few
+/// dominant methods, matching the hotspot concentration the paper relies on
+/// (e.g. in db, fewer than 10 procedures cause >95% of data misses).
+inline std::vector<double> zipfWeights(size_t N, double S) {
+  std::vector<double> W;
+  W.reserve(N);
+  for (size_t I = 0; I != N; ++I) {
+    double Rank = static_cast<double>(I + 1);
+    W.push_back(1.0 / std::pow(Rank, S));
+  }
+  return W;
+}
+
+} // namespace dynace
+
+#endif // DYNACE_SUPPORT_RANDOM_H

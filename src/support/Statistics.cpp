@@ -1,0 +1,50 @@
+//===- support/Statistics.cpp ---------------------------------------------==//
+
+#include "support/Statistics.h"
+
+using namespace dynace;
+
+void RunningStat::merge(const RunningStat &Other) {
+  if (Other.Count == 0)
+    return;
+  if (Count == 0) {
+    *this = Other;
+    return;
+  }
+  uint64_t Total = Count + Other.Count;
+  double Delta = Other.Mean - Mean;
+  double TotalD = static_cast<double>(Total);
+  Mean += Delta * (static_cast<double>(Other.Count) / TotalD);
+  M2 += Other.M2 + Delta * Delta *
+                       (static_cast<double>(Count) *
+                        static_cast<double>(Other.Count) / TotalD);
+  Count = Total;
+}
+
+double dynace::meanOf(const std::vector<double> &Values) {
+  RunningStat S;
+  for (double V : Values)
+    S.add(V);
+  return S.mean();
+}
+
+double dynace::covOf(const std::vector<double> &Values) {
+  RunningStat S;
+  for (double V : Values)
+    S.add(V);
+  return S.cov();
+}
+
+double dynace::weightedMean(const std::vector<double> &Values,
+                            const std::vector<double> &Weights) {
+  assert(Values.size() == Weights.size() &&
+         "weightedMean requires matched value/weight vectors");
+  double Num = 0.0, Den = 0.0;
+  for (size_t I = 0, E = Values.size(); I != E; ++I) {
+    Num += Values[I] * Weights[I];
+    Den += Weights[I];
+  }
+  if (Den == 0.0)
+    return 0.0;
+  return Num / Den;
+}

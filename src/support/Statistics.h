@@ -1,0 +1,93 @@
+//===- support/Statistics.h - Streaming statistics --------------*- C++ -*-==//
+//
+// Part of the DynACE project: reproduction of Hu, Valluri & John,
+// "Effective Adaptive Computing Environment Management via Dynamic
+// Optimization", CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming (Welford) statistics used throughout the evaluation: the paper
+/// reports means, coefficients of variation (CoV = stddev / mean), and
+/// weighted shares.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SUPPORT_STATISTICS_H
+#define DYNACE_SUPPORT_STATISTICS_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dynace {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams of per-invocation IPC samples; used
+/// to compute the per-hotspot and inter-hotspot IPC CoVs of Table 5.
+class RunningStat {
+public:
+  /// Adds one observation.
+  void add(double X) {
+    ++Count;
+    double Delta = X - Mean;
+    Mean += Delta / static_cast<double>(Count);
+    M2 += Delta * (X - Mean);
+  }
+
+  /// Number of observations so far.
+  uint64_t count() const { return Count; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return Count ? Mean : 0.0; }
+
+  /// Population variance; 0 with fewer than two observations.
+  double variance() const {
+    if (Count < 2)
+      return 0.0;
+    return M2 / static_cast<double>(Count);
+  }
+
+  /// Population standard deviation.
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+  double cov() const {
+    double M = mean();
+    if (M == 0.0)
+      return 0.0;
+    return stddev() / std::fabs(M);
+  }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStat &Other);
+
+  /// Resets to the empty state.
+  void clear() {
+    Count = 0;
+    Mean = 0.0;
+    M2 = 0.0;
+  }
+
+private:
+  uint64_t Count = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+};
+
+/// Computes the mean of a vector; 0 when empty.
+double meanOf(const std::vector<double> &Values);
+
+/// Computes the population CoV of a vector; 0 when empty or zero-mean.
+double covOf(const std::vector<double> &Values);
+
+/// Computes a weighted mean: sum(V_i * W_i) / sum(W_i); 0 when the total
+/// weight is 0. Used for execution-weighted averages across benchmarks.
+double weightedMean(const std::vector<double> &Values,
+                    const std::vector<double> &Weights);
+
+} // namespace dynace
+
+#endif // DYNACE_SUPPORT_STATISTICS_H

@@ -1,0 +1,60 @@
+//===- support/Table.cpp --------------------------------------------------==//
+
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace dynace;
+
+void TextTable::print(std::ostream &OS, const std::string &Title) const {
+  // Compute column widths over header and all rows.
+  size_t NumCols = Header.size();
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+  if (NumCols == 0)
+    return;
+
+  std::vector<size_t> Widths(NumCols, 0);
+  auto Account = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0, E = Row.size(); I != E; ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  Account(Header);
+  for (const auto &Row : Rows)
+    Account(Row);
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 2;
+
+  auto PrintRule = [&] {
+    OS << std::string(TotalWidth, '-') << '\n';
+  };
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != NumCols; ++I) {
+      const std::string Cell = I < Row.size() ? Row[I] : std::string();
+      if (I == 0) {
+        OS << Cell << std::string(Widths[I] - Cell.size() + 2, ' ');
+        continue;
+      }
+      OS << std::string(Widths[I] - Cell.size(), ' ') << Cell << "  ";
+    }
+    OS << '\n';
+  };
+
+  if (!Title.empty()) {
+    OS << Title << '\n';
+    PrintRule();
+  }
+  if (!Header.empty()) {
+    PrintRow(Header);
+    PrintRule();
+  }
+  for (size_t I = 0, E = Rows.size(); I != E; ++I) {
+    if (std::find(Separators.begin(), Separators.end(), I) !=
+        Separators.end())
+      PrintRule();
+    PrintRow(Rows[I]);
+  }
+  PrintRule();
+}

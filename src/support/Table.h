@@ -1,0 +1,51 @@
+//===- support/Table.h - Paper-style table printer --------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-width text table used by the benchmark harnesses to print rows in
+/// the same layout as the paper's tables (one column per benchmark, one row
+/// per metric, or vice versa).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SUPPORT_TABLE_H
+#define DYNACE_SUPPORT_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dynace {
+
+/// Accumulates rows of string cells and prints them column-aligned.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells) { Header = std::move(Cells); }
+
+  /// Appends a data row. Rows may have differing lengths; short rows leave
+  /// trailing columns blank.
+  void addRow(std::vector<std::string> Cells) {
+    Rows.push_back(std::move(Cells));
+  }
+
+  /// Appends a horizontal separator at the current position.
+  void addSeparator() { Separators.push_back(Rows.size()); }
+
+  /// Renders the table. Columns are sized to their widest cell; the first
+  /// column is left-aligned, the rest right-aligned (matching the numeric
+  /// layout of the paper's tables).
+  void print(std::ostream &OS, const std::string &Title = "") const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<size_t> Separators;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_SUPPORT_TABLE_H

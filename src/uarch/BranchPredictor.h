@@ -1,0 +1,71 @@
+//===- uarch/BranchPredictor.h - Combined branch predictor ------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 2K-entry combined (bimodal + gshare with a chooser) branch predictor,
+/// matching the Table 2 baseline ("2K-entry combined predictor, 3-cycle
+/// misprediction penalty").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_UARCH_BRANCHPREDICTOR_H
+#define DYNACE_UARCH_BRANCHPREDICTOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dynace {
+
+/// Combined predictor with 2-bit saturating counters.
+class BranchPredictor {
+public:
+  /// \param Entries table size for each component; must be a power of two.
+  explicit BranchPredictor(uint32_t Entries = 2048);
+
+  /// Predicts the direction of the branch at \p PC.
+  bool predict(uint64_t PC) const;
+
+  /// Updates all component tables with the resolved outcome.
+  void update(uint64_t PC, bool Taken);
+
+  /// Predicts, updates, and \returns true when the prediction was wrong.
+  bool predictAndUpdate(uint64_t PC, bool Taken);
+
+  uint64_t lookups() const { return Lookups; }
+  uint64_t mispredicts() const { return Mispredicts; }
+  double mispredictRate() const {
+    return Lookups ? static_cast<double>(Mispredicts) /
+                         static_cast<double>(Lookups)
+                   : 0.0;
+  }
+
+private:
+  uint32_t indexOf(uint64_t PC) const {
+    return static_cast<uint32_t>(PC >> 2) & Mask;
+  }
+  uint32_t gshareIndexOf(uint64_t PC) const {
+    return (static_cast<uint32_t>(PC >> 2) ^ History) & Mask;
+  }
+  static bool taken(uint8_t Counter) { return Counter >= 2; }
+  static uint8_t bump(uint8_t Counter, bool Taken) {
+    if (Taken)
+      return Counter < 3 ? Counter + 1 : 3;
+    return Counter > 0 ? Counter - 1 : 0;
+  }
+
+  uint32_t Mask;
+  std::vector<uint8_t> Bimodal;
+  std::vector<uint8_t> Gshare;
+  /// Chooser counters: >= 2 selects gshare.
+  std::vector<uint8_t> Chooser;
+  uint32_t History = 0;
+  uint64_t Lookups = 0;
+  uint64_t Mispredicts = 0;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_UARCH_BRANCHPREDICTOR_H

@@ -1,0 +1,229 @@
+//===- uarch/Core.cpp -----------------------------------------------------==//
+
+#include "uarch/Core.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dynace;
+
+Core::Core(const CoreConfig &Config, MemoryHierarchy &Hierarchy)
+    : Config(Config), Hierarchy(Hierarchy),
+      Predictor(Config.PredictorEntries) {
+  reset();
+}
+
+void Core::reset() {
+  InstrCount = 0;
+  LastCommitCycle = 0;
+  LastCommitCount = 0;
+  RegReady.fill(0);
+  WindowRing.assign(Config.WindowSize, 0);
+  WindowPos = 0;
+  EffectiveWindow = Config.WindowSize;
+  WindowSettings.assign(1, Config.WindowSize);
+  ActiveWindowSetting = 0;
+  InstrByWindowSetting.assign(1, 0);
+  LsqRing.assign(Config.LsqSize, 0);
+  LsqPos = 0;
+  IntAluFree.assign(Config.NumIntAlu, 0);
+  IntMultFree.assign(Config.NumIntMult, 0);
+  FpAluFree.assign(Config.NumFpAlu, 0);
+  FpMultFree.assign(Config.NumFpMult, 0);
+  MemPortFree.assign(Config.NumMemPorts, 0);
+  FetchCycle = 0;
+  FetchedThisCycle = 0;
+  FetchBlockAddr = ~0ull;
+  FrontendRedirect = 0;
+}
+
+uint64_t Core::reserveUnit(OpClass Class, uint64_t Ready, uint32_t Latency,
+                           bool Unpipelined) {
+  std::vector<uint64_t> *Pool = nullptr;
+  switch (Class) {
+  case OpClass::IntAlu:
+  case OpClass::Branch:
+  case OpClass::Jump:
+  case OpClass::Other:
+    Pool = &IntAluFree;
+    break;
+  case OpClass::IntMult:
+  case OpClass::IntDiv:
+    Pool = &IntMultFree;
+    break;
+  case OpClass::FpAlu:
+    Pool = &FpAluFree;
+    break;
+  case OpClass::FpMultDiv:
+    Pool = &FpMultFree;
+    break;
+  case OpClass::Load:
+  case OpClass::Store:
+    Pool = &MemPortFree;
+    break;
+  }
+  assert(Pool && "unmapped op class");
+
+  auto Earliest = std::min_element(Pool->begin(), Pool->end());
+  uint64_t Issue = std::max(Ready, *Earliest);
+  *Earliest = Issue + (Unpipelined ? Latency : 1);
+  return Issue;
+}
+
+uint64_t Core::nextFetchCycle(const DynInst &In) {
+  // A front-end redirect (mispredict recovery or injected stall) moves the
+  // fetch point forward and starts a fresh fetch group.
+  if (FrontendRedirect > FetchCycle) {
+    FetchCycle = FrontendRedirect;
+    FetchedThisCycle = 0;
+    FetchBlockAddr = ~0ull;
+  }
+  if (FetchedThisCycle >= Config.FetchWidth) {
+    ++FetchCycle;
+    FetchedThisCycle = 0;
+  }
+
+  // Crossing into a new I-cache block costs the fetch latency (1 cycle hit,
+  // more on L1I/L2 misses). The first cycle is already part of the fetch
+  // pipeline, so only the excess stalls.
+  uint64_t BlockAddr = In.PC & ~63ull;
+  if (BlockAddr != FetchBlockAddr) {
+    uint32_t FetchLat = Hierarchy.instrFetch(In.PC);
+    FetchBlockAddr = BlockAddr;
+    if (FetchLat > 1) {
+      FetchCycle += FetchLat - 1;
+      FetchedThisCycle = 0;
+    }
+  }
+  ++FetchedThisCycle;
+  return FetchCycle;
+}
+
+void Core::consume(const DynInst &In) {
+  ++InstrCount;
+
+  uint64_t Fetch = nextFetchCycle(In);
+  uint64_t Ready = Fetch + Config.FrontendDepth;
+
+  // RUU occupancy: this instruction cannot dispatch before the instruction
+  // EffectiveWindow older has committed (the ring stores the last
+  // WindowSize commit cycles; a smaller active setting reads further
+  // forward in the ring).
+  size_t OccupancyIndex =
+      (WindowPos + (Config.WindowSize - EffectiveWindow)) %
+      WindowRing.size();
+  Ready = std::max(Ready, WindowRing[OccupancyIndex]);
+  ++InstrByWindowSetting[ActiveWindowSetting];
+
+  bool IsMemOp = In.Class == OpClass::Load || In.Class == OpClass::Store;
+  if (IsMemOp)
+    Ready = std::max(Ready, LsqRing[LsqPos]);
+
+  // Source-operand dependences.
+  if (In.Src1 != kNoReg)
+    Ready = std::max(Ready, RegReady[In.Src1]);
+  if (In.Src2 != kNoReg)
+    Ready = std::max(Ready, RegReady[In.Src2]);
+
+  // Execution latency.
+  uint32_t Latency = Config.IntAluLat;
+  bool Unpipelined = false;
+  switch (In.Class) {
+  case OpClass::IntAlu:
+  case OpClass::Branch:
+  case OpClass::Jump:
+  case OpClass::Other:
+    Latency = Config.IntAluLat;
+    break;
+  case OpClass::IntMult:
+    Latency = Config.IntMultLat;
+    break;
+  case OpClass::IntDiv:
+    Latency = Config.IntDivLat;
+    Unpipelined = true;
+    break;
+  case OpClass::FpAlu:
+    Latency = Config.FpAluLat;
+    break;
+  case OpClass::FpMultDiv:
+    Latency = Config.FpMultLat;
+    break;
+  case OpClass::Load:
+  case OpClass::Store:
+    break; // Resolved below via the hierarchy.
+  }
+
+  uint64_t Issue;
+  uint64_t Complete;
+  if (IsMemOp) {
+    MemAccessInfo Mem =
+        Hierarchy.dataAccess(In.MemAddr, In.Class == OpClass::Store);
+    Issue = reserveUnit(In.Class, Ready, 1, /*Unpipelined=*/false);
+    // Stores retire through the store buffer; their miss latency is hidden.
+    // Loads expose the full access latency to dependents.
+    Complete =
+        Issue + (In.Class == OpClass::Load ? Mem.Latency : 1);
+  } else {
+    Issue = reserveUnit(In.Class, Ready, Latency, Unpipelined);
+    Complete = Issue + Latency;
+  }
+
+  if (In.Dst != kNoReg)
+    RegReady[In.Dst] = Complete;
+
+  // Control flow.
+  if (In.IsCondBranch) {
+    bool Mispredicted = Predictor.predictAndUpdate(In.PC, In.Taken);
+    if (Mispredicted)
+      FrontendRedirect =
+          std::max(FrontendRedirect, Complete + Config.MispredictPenalty);
+    if (In.Taken)
+      FetchedThisCycle = Config.FetchWidth; // Fetch group ends at the
+                                            // taken branch.
+  } else if (In.Class == OpClass::Jump) {
+    // Unconditional transfers end the fetch group (target assumed BTB-hit).
+    FetchedThisCycle = Config.FetchWidth;
+  }
+
+  // In-order commit, CommitWidth per cycle.
+  uint64_t CommitReady = Complete + 1;
+  if (CommitReady > LastCommitCycle) {
+    LastCommitCycle = CommitReady;
+    LastCommitCount = 1;
+  } else if (LastCommitCount >= Config.CommitWidth) {
+    ++LastCommitCycle;
+    LastCommitCount = 1;
+  } else {
+    ++LastCommitCount;
+  }
+
+  WindowRing[WindowPos] = LastCommitCycle;
+  WindowPos = (WindowPos + 1) % WindowRing.size();
+  if (IsMemOp) {
+    LsqRing[LsqPos] = LastCommitCycle;
+    LsqPos = (LsqPos + 1) % LsqRing.size();
+  }
+}
+
+void Core::configureWindowSettings(std::vector<uint32_t> Settings) {
+  assert(!Settings.empty() && "window CU needs settings");
+  for (uint32_t S : Settings)
+    assert(S >= 1 && S <= Config.WindowSize &&
+           "window setting exceeds the physical RUU");
+  WindowSettings = std::move(Settings);
+  InstrByWindowSetting.assign(WindowSettings.size(), 0);
+  ActiveWindowSetting = 0;
+  EffectiveWindow = WindowSettings[0];
+}
+
+void Core::setWindowSetting(unsigned Setting) {
+  assert(Setting < WindowSettings.size() && "window setting out of range");
+  ActiveWindowSetting = Setting;
+  EffectiveWindow = WindowSettings[Setting];
+}
+
+void Core::stall(uint64_t Cycles) {
+  FrontendRedirect =
+      std::max(FrontendRedirect, std::max(FetchCycle, LastCommitCycle)) +
+      Cycles;
+}

@@ -1,0 +1,163 @@
+//===- uarch/Core.h - Out-of-order core timing model ------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The out-of-order superscalar timing model standing in for Dynamic
+/// SimpleScalar's sim-outorder. It is a dependence-driven (critical-path)
+/// model: every dynamic instruction is assigned fetch, issue, complete and
+/// commit cycles subject to the Table 2 resources — 64-entry RUU, 32-entry
+/// LSQ, 4-wide fetch/issue/commit, functional-unit counts and latencies, a
+/// 2K-entry combined branch predictor with a 3-cycle misprediction penalty,
+/// and memory latencies supplied by the MemoryHierarchy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_UARCH_CORE_H
+#define DYNACE_UARCH_CORE_H
+
+#include "cache/MemoryHierarchy.h"
+#include "isa/Instruction.h"
+#include "isa/Opcode.h"
+#include "uarch/BranchPredictor.h"
+#include "vm/DynInst.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dynace {
+
+/// Core resource parameters; defaults reproduce Table 2.
+struct CoreConfig {
+  uint32_t FetchWidth = 4;
+  uint32_t IssueWidth = 4;
+  uint32_t CommitWidth = 4;
+  uint32_t WindowSize = 64; ///< RUU entries.
+  uint32_t LsqSize = 32;
+  uint32_t MispredictPenalty = 3;
+  uint32_t FrontendDepth = 3; ///< Fetch-to-issue pipeline stages.
+  uint32_t PredictorEntries = 2048;
+
+  uint32_t NumIntAlu = 4;
+  uint32_t NumIntMult = 2; ///< Shared int mult/div units.
+  uint32_t NumFpAlu = 4;
+  uint32_t NumFpMult = 2; ///< Shared FP mult/div units.
+  uint32_t NumMemPorts = 2;
+
+  uint32_t IntAluLat = 1;
+  uint32_t IntMultLat = 3;
+  uint32_t IntDivLat = 20;
+  uint32_t FpAluLat = 2;
+  uint32_t FpMultLat = 4;
+  uint32_t FpDivLat = 12;
+};
+
+/// Consumes the VM's dynamic instruction stream and maintains cycle time.
+class Core {
+public:
+  Core(const CoreConfig &Config, MemoryHierarchy &Hierarchy);
+
+  /// Resets timing state (does not touch the hierarchy).
+  void reset();
+
+  /// Declares the instruction-window (RUU) settings available to the
+  /// window configurable unit, in entries, largest first; each must be
+  /// <= Config.WindowSize. Setting 0 becomes active.
+  void configureWindowSettings(std::vector<uint32_t> Settings);
+
+  /// Switches the active window setting (index into the declared list).
+  /// Models the partitioned-RUU adaptation of Ponomarev et al.
+  void setWindowSetting(unsigned Setting);
+
+  unsigned windowSetting() const { return ActiveWindowSetting; }
+  const std::vector<uint32_t> &windowSettings() const {
+    return WindowSettings;
+  }
+
+  /// Instructions executed while each window setting was active (energy
+  /// accounting).
+  const std::vector<uint64_t> &instructionsByWindowSetting() const {
+    return InstrByWindowSetting;
+  }
+
+  /// Advances the model by one dynamic instruction.
+  void consume(const DynInst &In);
+
+  /// Injects a full pipeline stall of \p Cycles (used for reconfiguration
+  /// overhead and DO-system service pauses).
+  void stall(uint64_t Cycles);
+
+  /// Current cycle count (commit time of the youngest instruction).
+  uint64_t cycles() const { return LastCommitCycle; }
+
+  /// Instructions consumed since reset().
+  uint64_t instructions() const { return InstrCount; }
+
+  /// Overall IPC since reset().
+  double ipc() const {
+    return LastCommitCycle
+               ? static_cast<double>(InstrCount) /
+                     static_cast<double>(LastCommitCycle)
+               : 0.0;
+  }
+
+  BranchPredictor &predictor() { return Predictor; }
+  const BranchPredictor &predictor() const { return Predictor; }
+  const CoreConfig &config() const { return Config; }
+
+private:
+  /// Earliest cycle at which an instruction may be fetched, honoring fetch
+  /// bandwidth and front-end redirects.
+  uint64_t nextFetchCycle(const DynInst &In);
+
+  /// Reserves the earliest-available unit of class \p Class at or after
+  /// \p Ready. \returns the issue cycle. Divides occupy their unit for the
+  /// full latency (unpipelined); everything else is fully pipelined.
+  uint64_t reserveUnit(OpClass Class, uint64_t Ready, uint32_t Latency,
+                       bool Unpipelined);
+
+  CoreConfig Config;
+  MemoryHierarchy &Hierarchy;
+  BranchPredictor Predictor;
+
+  uint64_t InstrCount = 0;
+  uint64_t LastCommitCycle = 0;
+  uint64_t LastCommitCount = 0; ///< Commits in LastCommitCycle so far.
+
+  /// Register ready times (virtual registers shared across frames; calls
+  /// serialize through few registers, an acceptable renaming approximation).
+  std::array<uint64_t, kNumRegs> RegReady{};
+
+  /// Ring of the last WindowSize commit cycles (RUU occupancy constraint).
+  std::vector<uint64_t> WindowRing;
+  size_t WindowPos = 0;
+  /// Effective window capacity (<= Config.WindowSize) and the adaptive
+  /// setting machinery.
+  uint32_t EffectiveWindow = 0;
+  std::vector<uint32_t> WindowSettings;
+  unsigned ActiveWindowSetting = 0;
+  std::vector<uint64_t> InstrByWindowSetting;
+  /// Ring of the last LsqSize memory-op commit cycles (LSQ constraint).
+  std::vector<uint64_t> LsqRing;
+  size_t LsqPos = 0;
+
+  /// Next-free times for functional units, by class group.
+  std::vector<uint64_t> IntAluFree;
+  std::vector<uint64_t> IntMultFree;
+  std::vector<uint64_t> FpAluFree;
+  std::vector<uint64_t> FpMultFree;
+  std::vector<uint64_t> MemPortFree;
+
+  /// Front-end state.
+  uint64_t FetchCycle = 0;      ///< Cycle of the current fetch group.
+  uint32_t FetchedThisCycle = 0;
+  uint64_t FetchBlockAddr = ~0ull; ///< Current I-fetch block address.
+  uint64_t FrontendRedirect = 0;   ///< Earliest fetch after a redirect.
+};
+
+} // namespace dynace
+
+#endif // DYNACE_UARCH_CORE_H

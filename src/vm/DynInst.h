@@ -1,0 +1,46 @@
+//===- vm/DynInst.h - Dynamic instruction event -----------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// \c DynInst is the event the VM emits for every executed bytecode; it is
+/// the interface between the VM and the microarchitecture simulator (the
+/// analogue of Dynamic SimpleScalar's decoded-instruction stream).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_VM_DYNINST_H
+#define DYNACE_VM_DYNINST_H
+
+#include "isa/Opcode.h"
+
+#include <cstdint>
+
+namespace dynace {
+
+/// One executed dynamic instruction.
+struct DynInst {
+  /// Byte address of the instruction (instruction-cache address).
+  uint64_t PC = 0;
+  /// Timing class.
+  OpClass Class = OpClass::IntAlu;
+  /// Destination register; kNoReg when none. Register ids are the frame's
+  /// virtual registers; the timing model treats them as architectural names.
+  uint8_t Dst = 0xff;
+  uint8_t Src1 = 0xff;
+  uint8_t Src2 = 0xff;
+  /// Effective byte address for loads/stores; 0 otherwise.
+  uint64_t MemAddr = 0;
+  /// True for conditional branches.
+  bool IsCondBranch = false;
+  /// Branch outcome (conditional branches only).
+  bool Taken = false;
+  /// Byte address of the branch/jump target when control transferred.
+  uint64_t Target = 0;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_VM_DYNINST_H

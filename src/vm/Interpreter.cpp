@@ -1,0 +1,277 @@
+//===- vm/Interpreter.cpp -------------------------------------------------==//
+
+#include "vm/Interpreter.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+using namespace dynace;
+
+VmListener::~VmListener() = default;
+
+Interpreter::Interpreter(const Program &Prog, uint64_t DynamicHeapWords)
+    : Prog(Prog), DynamicHeapWords(DynamicHeapWords) {
+  assert(Prog.isFinalized() && "interpreter requires a finalized program");
+  reset();
+}
+
+void Interpreter::reset() {
+  uint64_t Words = Prog.globalWords() + DynamicHeapWords;
+  if (Words == 0)
+    Words = 1;
+  Words = std::bit_ceil(Words);
+  Memory.assign(Words, 0);
+  WordMask = Words - 1;
+  AllocCursorWords = Prog.globalWords();
+  Frames.clear();
+  InstrCount = 0;
+  Halted = false;
+  pushFrame(Prog.entry(), kNoReg);
+}
+
+uint64_t Interpreter::readWord(uint64_t ByteAddr) const {
+  assert((ByteAddr & 7) == 0 && "unaligned word read");
+  return Memory[wordIndex(ByteAddr)];
+}
+
+void Interpreter::writeWord(uint64_t ByteAddr, uint64_t Value) {
+  assert((ByteAddr & 7) == 0 && "unaligned word write");
+  Memory[wordIndex(ByteAddr)] = Value;
+}
+
+bool Interpreter::evalCond(CondKind Cond, int64_t A, int64_t B) const {
+  switch (Cond) {
+  case CondKind::Eq:
+    return A == B;
+  case CondKind::Ne:
+    return A != B;
+  case CondKind::Lt:
+    return A < B;
+  case CondKind::Le:
+    return A <= B;
+  case CondKind::Gt:
+    return A > B;
+  case CondKind::Ge:
+    return A >= B;
+  }
+  assert(false && "unknown condition");
+  return false;
+}
+
+void Interpreter::pushFrame(MethodId Id, uint8_t RetReg) {
+  Frame F;
+  F.Id = Id;
+  F.PC = 0;
+  F.RetReg = RetReg;
+  F.EntryInstrCount = InstrCount;
+  std::memset(F.Regs, 0, sizeof(F.Regs));
+  Frames.push_back(F);
+  if (Listener)
+    Listener->onMethodEnter(Id, InstrCount);
+}
+
+bool Interpreter::popFrame(uint64_t RetValue) {
+  assert(!Frames.empty() && "pop from empty call stack");
+  Frame Top = Frames.back();
+  Frames.pop_back();
+  if (Listener)
+    Listener->onMethodExit(Top.Id, InstrCount - Top.EntryInstrCount,
+                           InstrCount);
+  if (Frames.empty())
+    return false;
+  if (Top.RetReg != kNoReg)
+    Frames.back().Regs[Top.RetReg] = RetValue;
+  return true;
+}
+
+Interpreter::Status Interpreter::step(DynInst &Out) {
+  if (Halted)
+    return Status::Halted;
+
+  Frame &F = Frames.back();
+  const Method &M = Prog.method(F.Id);
+  assert(F.PC < M.Code.size() && "PC out of range (verifier bug?)");
+  const Instruction &In = M.Code[F.PC];
+  uint64_t *R = F.Regs;
+
+  Out = DynInst();
+  Out.PC = M.pcOf(F.PC);
+  Out.Class = opClassOf(In.Op);
+  Out.Dst = In.Dst;
+  Out.Src1 = In.Src1;
+  Out.Src2 = In.Src2;
+
+  ++InstrCount;
+  uint32_t NextPC = F.PC + 1;
+
+  auto AsF = [](uint64_t V) { return std::bit_cast<double>(V); };
+  auto FromF = [](double V) { return std::bit_cast<uint64_t>(V); };
+
+  switch (In.Op) {
+  case Opcode::IConst:
+    R[In.Dst] = static_cast<uint64_t>(In.Imm);
+    break;
+  case Opcode::Mov:
+    R[In.Dst] = R[In.Src1];
+    break;
+  case Opcode::Add:
+    R[In.Dst] = R[In.Src1] + R[In.Src2];
+    break;
+  case Opcode::Sub:
+    R[In.Dst] = R[In.Src1] - R[In.Src2];
+    break;
+  case Opcode::Mul:
+    R[In.Dst] = R[In.Src1] * R[In.Src2];
+    break;
+  case Opcode::Div: {
+    int64_t B = static_cast<int64_t>(R[In.Src2]);
+    R[In.Dst] = B == 0 ? 0
+                       : static_cast<uint64_t>(
+                             static_cast<int64_t>(R[In.Src1]) / B);
+    break;
+  }
+  case Opcode::Rem: {
+    int64_t B = static_cast<int64_t>(R[In.Src2]);
+    R[In.Dst] = B == 0 ? 0
+                       : static_cast<uint64_t>(
+                             static_cast<int64_t>(R[In.Src1]) % B);
+    break;
+  }
+  case Opcode::And:
+    R[In.Dst] = R[In.Src1] & R[In.Src2];
+    break;
+  case Opcode::Or:
+    R[In.Dst] = R[In.Src1] | R[In.Src2];
+    break;
+  case Opcode::Xor:
+    R[In.Dst] = R[In.Src1] ^ R[In.Src2];
+    break;
+  case Opcode::Shl:
+    R[In.Dst] = R[In.Src1] << (R[In.Src2] & 63);
+    break;
+  case Opcode::Shr:
+    R[In.Dst] = R[In.Src1] >> (R[In.Src2] & 63);
+    break;
+  case Opcode::AddI:
+    R[In.Dst] = R[In.Src1] + static_cast<uint64_t>(In.Imm);
+    break;
+  case Opcode::MulI:
+    R[In.Dst] = R[In.Src1] * static_cast<uint64_t>(In.Imm);
+    break;
+  case Opcode::AndI:
+    R[In.Dst] = R[In.Src1] & static_cast<uint64_t>(In.Imm);
+    break;
+  case Opcode::FAdd:
+    R[In.Dst] = FromF(AsF(R[In.Src1]) + AsF(R[In.Src2]));
+    break;
+  case Opcode::FSub:
+    R[In.Dst] = FromF(AsF(R[In.Src1]) - AsF(R[In.Src2]));
+    break;
+  case Opcode::FMul:
+    R[In.Dst] = FromF(AsF(R[In.Src1]) * AsF(R[In.Src2]));
+    break;
+  case Opcode::FDiv:
+    R[In.Dst] = FromF(AsF(R[In.Src1]) / AsF(R[In.Src2]));
+    break;
+  case Opcode::Load: {
+    uint64_t Addr = R[In.Src1] + static_cast<uint64_t>(In.Imm);
+    Out.MemAddr = Addr;
+    R[In.Dst] = Memory[wordIndex(Addr)];
+    break;
+  }
+  case Opcode::Store: {
+    uint64_t Addr = R[In.Src1] + static_cast<uint64_t>(In.Imm);
+    Out.MemAddr = Addr;
+    Memory[wordIndex(Addr)] = R[In.Src2];
+    break;
+  }
+  case Opcode::LoadIdx: {
+    uint64_t Addr =
+        R[In.Src1] + R[In.Src2] * 8 + static_cast<uint64_t>(In.Imm);
+    Out.MemAddr = Addr;
+    R[In.Dst] = Memory[wordIndex(Addr)];
+    break;
+  }
+  case Opcode::StoreIdx: {
+    uint64_t Addr = R[In.Src1] + R[In.Dst] * 8 + static_cast<uint64_t>(In.Imm);
+    Out.MemAddr = Addr;
+    // The Dst field holds the *index* register for StoreIdx; it is a source
+    // for timing purposes, not a written register.
+    Out.Dst = kNoReg;
+    Out.Src2 = In.Dst;
+    Memory[wordIndex(Addr)] = R[In.Src2];
+    break;
+  }
+  case Opcode::Br:
+  case Opcode::BrI: {
+    int64_t A = static_cast<int64_t>(R[In.Src1]);
+    int64_t B = In.Op == Opcode::Br ? static_cast<int64_t>(R[In.Src2])
+                                    : In.Aux;
+    bool Taken = evalCond(In.Cond, A, B);
+    Out.IsCondBranch = true;
+    Out.Taken = Taken;
+    Out.Target = M.pcOf(static_cast<size_t>(In.Imm));
+    if (Taken)
+      NextPC = static_cast<uint32_t>(In.Imm);
+    break;
+  }
+  case Opcode::Jmp:
+    Out.Target = M.pcOf(static_cast<size_t>(In.Imm));
+    NextPC = static_cast<uint32_t>(In.Imm);
+    break;
+  case Opcode::Call: {
+    MethodId Callee = static_cast<MethodId>(In.Imm);
+    Out.Target = Prog.method(Callee).pcOf(0);
+    // Advance the caller past the call before pushing the callee frame.
+    F.PC = NextPC;
+    unsigned NumArgs = In.Src2 == kNoReg ? 0 : In.Src2;
+    uint64_t Args[kNumRegs];
+    for (unsigned I = 0; I != NumArgs; ++I)
+      Args[I] = R[In.Src1 + I];
+    pushFrame(Callee, In.Dst);
+    Frame &CalleeFrame = Frames.back();
+    for (unsigned I = 0; I != NumArgs; ++I)
+      CalleeFrame.Regs[I] = Args[I];
+    return Status::Running;
+  }
+  case Opcode::Ret: {
+    uint64_t Value = In.Src1 == kNoReg ? 0 : R[In.Src1];
+    if (!popFrame(Value)) {
+      Halted = true;
+      return Status::Running; // The Ret itself still executed.
+    }
+    Out.Target = Prog.method(Frames.back().Id).pcOf(Frames.back().PC);
+    return Status::Running;
+  }
+  case Opcode::Alloc: {
+    uint64_t Words = R[In.Src1];
+    if (Words == 0)
+      Words = 1;
+    if (AllocCursorWords + Words > Memory.size())
+      AllocCursorWords = Prog.globalWords(); // Wrap: arena reuse.
+    R[In.Dst] = kHeapBase + AllocCursorWords * 8;
+    AllocCursorWords += Words;
+    break;
+  }
+  case Opcode::Halt:
+    // Unwind remaining frames so listeners see balanced enter/exit events.
+    while (popFrame(0))
+      ;
+    Halted = true;
+    return Status::Running;
+  }
+
+  F.PC = NextPC;
+  return Status::Running;
+}
+
+uint64_t Interpreter::run(uint64_t MaxInstructions) {
+  DynInst Scratch;
+  uint64_t Executed = 0;
+  while (Executed < MaxInstructions && !Halted) {
+    step(Scratch);
+    ++Executed;
+  }
+  return Executed;
+}

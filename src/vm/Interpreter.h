@@ -1,0 +1,133 @@
+//===- vm/Interpreter.h - Bytecode interpreter ------------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreting virtual machine. It executes a finalized Program and
+/// emits one DynInst per executed bytecode. Method entry/exit hooks give the
+/// dynamic optimization system its view of procedure invocations — the same
+/// boundary Jikes RVM instruments for hotspot detection and, in the paper's
+/// framework, for tuning/configuration code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_VM_INTERPRETER_H
+#define DYNACE_VM_INTERPRETER_H
+
+#include "isa/Program.h"
+#include "vm/DynInst.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dynace {
+
+/// Observer of VM-level events. The dynamic optimization system implements
+/// this to detect hotspots and drive tuning at hotspot boundaries.
+class VmListener {
+public:
+  virtual ~VmListener();
+
+  /// Called immediately after control enters \p Id. \p InstrCount is the
+  /// dynamic instruction count at entry.
+  virtual void onMethodEnter(MethodId Id, uint64_t InstrCount) {
+    (void)Id;
+    (void)InstrCount;
+  }
+
+  /// Called when \p Id returns. \p InclusiveInstructions is the number of
+  /// dynamic instructions executed between entry and exit, including
+  /// callees — the paper's notion of hotspot size, which determines the CU
+  /// subset a hotspot may tune (CU decoupling). \p InstrCount is the dynamic
+  /// instruction count at exit.
+  virtual void onMethodExit(MethodId Id, uint64_t InclusiveInstructions,
+                            uint64_t InstrCount) {
+    (void)Id;
+    (void)InclusiveInstructions;
+    (void)InstrCount;
+  }
+};
+
+/// Executes a finalized Program one instruction at a time.
+class Interpreter {
+public:
+  enum class Status : uint8_t { Running, Halted };
+
+  /// \param Prog must outlive the interpreter and be finalized.
+  /// \param DynamicHeapWords extra heap words available to Alloc.
+  explicit Interpreter(const Program &Prog,
+                       uint64_t DynamicHeapWords = 1 << 20);
+
+  /// Resets all execution state (memory contents are zeroed).
+  void reset();
+
+  /// Installs the method-boundary listener (may be null).
+  void setListener(VmListener *L) { Listener = L; }
+
+  /// Executes one instruction. \p Out receives the dynamic instruction
+  /// event. \returns Halted once the program executed Halt or returned from
+  /// the entry method; further calls keep returning Halted.
+  Status step(DynInst &Out);
+
+  /// Convenience: runs up to \p MaxInstructions (dropping the events).
+  /// \returns the number of instructions actually executed.
+  uint64_t run(uint64_t MaxInstructions);
+
+  /// Total dynamic instructions executed since reset().
+  uint64_t instructionCount() const { return InstrCount; }
+
+  /// True once the program halted.
+  bool isHalted() const { return Halted; }
+
+  /// Current call depth (frames on the stack).
+  size_t callDepth() const { return Frames.size(); }
+
+  /// Direct word access to VM memory, for tests and workload setup.
+  /// \p ByteAddr must be word-aligned and within the heap.
+  uint64_t readWord(uint64_t ByteAddr) const;
+  void writeWord(uint64_t ByteAddr, uint64_t Value);
+
+  /// Heap capacity in words.
+  uint64_t heapWords() const { return Memory.size(); }
+
+private:
+  struct Frame {
+    MethodId Id;
+    uint32_t PC; ///< Instruction index within the method.
+    uint8_t RetReg;
+    uint64_t EntryInstrCount;
+    uint64_t Regs[kNumRegs];
+  };
+
+  /// Maps a byte address to a word index, wrapping into the heap (the
+  /// synthetic workloads are generated in-bounds; stray addresses wrap so a
+  /// malformed program cannot crash the simulation). Memory is sized to a
+  /// power of two so the wrap is a mask.
+  uint64_t wordIndex(uint64_t ByteAddr) const {
+    uint64_t Index = (ByteAddr >= kHeapBase ? ByteAddr - kHeapBase : ByteAddr)
+                     >> 3;
+    return Index & WordMask;
+  }
+
+  bool evalCond(CondKind Cond, int64_t A, int64_t B) const;
+  void pushFrame(MethodId Id, uint8_t RetReg);
+  /// Pops the top frame; fires onMethodExit. \returns false when the entry
+  /// frame was popped (program end).
+  bool popFrame(uint64_t RetValue);
+
+  const Program &Prog;
+  std::vector<uint64_t> Memory;
+  uint64_t WordMask = 0; ///< Memory.size() - 1 (size is a power of two).
+  uint64_t AllocCursorWords; ///< Bump pointer for Alloc, in words.
+  std::vector<Frame> Frames;
+  VmListener *Listener = nullptr;
+  uint64_t InstrCount = 0;
+  bool Halted = false;
+  uint64_t DynamicHeapWords;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_VM_INTERPRETER_H

@@ -1,0 +1,263 @@
+//===- workloads/Benchmarks.cpp - The seven SPECjvm98 stand-ins -----------==//
+//
+// Profiles are calibrated against the paper's Tables 3-5: method population
+// (hotspot counts), hotspot size distributions, invocation frequencies,
+// working-set skew and phase regularity. Dynamic instruction counts are
+// ~1/200 of the paper's runs; all interval-denominated parameters elsewhere
+// are scaled by kSimScale = 10 (see DESIGN.md section 6).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadProfile.h"
+
+using namespace dynace;
+
+static std::vector<WorkloadProfile> makeProfiles() {
+  std::vector<WorkloadProfile> Out;
+
+  {
+    // compress: LZW compression. Few, large, regular loops; writes often;
+    // the largest average hotspot size of the suite and very stable phases.
+    WorkloadProfile P;
+    P.Name = "compress";
+    P.Description = "A popular LZW compression program.";
+    P.Seed = 101;
+    P.NumLeaves = 215;
+    P.NumMids = 62;
+    P.NumRegions = 22;
+    P.NumSegments = 7;
+    P.OuterIterations = 12;
+    P.SegmentRepeats = 8;
+    P.LeafSizeMin = 300;
+    P.LeafSizeMax = 4000;
+    P.MidSizeMin = 14000;
+    P.MidSizeMax = 45000;
+    P.RegionSizeMin = 55000;
+    P.RegionSizeMax = 150000;
+    P.LeafFootMin = 16;
+    P.LeafFootMax = 128;
+    P.MidFootMin = 64;
+    P.MidFootMax = 512;
+    P.BigFootprintFraction = 0.15;
+    P.RegionFootMin = 256;
+    P.RegionFootMax = 2048;
+    P.AluOpsPerIter = 2;
+    P.StoreEveryLog2 = 1;
+    P.LeafCallsPerMid = 3;
+    P.MidsPerRegion = 3;
+    Out.push_back(P);
+  }
+
+  {
+    // db: data management. A handful of procedures owns nearly all data
+    // cache misses (Shuf et al.); everything else has a tiny working set.
+    WorkloadProfile P;
+    P.Name = "db";
+    P.Description = "Data management benchmarking software written by IBM.";
+    P.Seed = 202;
+    P.NumLeaves = 229;
+    P.NumMids = 58;
+    P.NumRegions = 29;
+    P.NumSegments = 9;
+    P.OuterIterations = 12;
+    P.SegmentRepeats = 4;
+    P.LeafSizeMin = 250;
+    P.LeafSizeMax = 3500;
+    P.MidSizeMin = 14000;
+    P.MidSizeMax = 45000;
+    P.RegionSizeMin = 65000;
+    P.RegionSizeMax = 250000;
+    P.LeafFootMin = 8;
+    P.LeafFootMax = 64;
+    P.MidFootMin = 16;
+    P.MidFootMax = 64;
+    P.BigFootprintFraction = 0.10;
+    P.RegionFootMin = 256;
+    P.RegionFootMax = 1024;
+    P.AluOpsPerIter = 2;
+    P.DataDependentBranch = true;
+    P.LeafCallsPerMid = 4;
+    Out.push_back(P);
+  }
+
+  {
+    // jack: parser generator. Many small methods invoked extremely often;
+    // the smallest average hotspot size of the suite.
+    WorkloadProfile P;
+    P.Name = "jack";
+    P.Description = "A real parser-generator from Sun Microsystems.";
+    P.Seed = 303;
+    P.NumLeaves = 358;
+    P.NumMids = 81;
+    P.NumRegions = 31;
+    P.NumSegments = 10;
+    P.OuterIterations = 12;
+    P.SegmentRepeats = 4;
+    P.LeafSizeMin = 80;
+    P.LeafSizeMax = 600;
+    P.MidSizeMin = 14000;
+    P.MidSizeMax = 35000;
+    P.RegionSizeMin = 60000;
+    P.RegionSizeMax = 200000;
+    P.LeafFootMin = 8;
+    P.LeafFootMax = 64;
+    P.MidFootMin = 32;
+    P.MidFootMax = 128;
+    P.BigFootprintFraction = 0.08;
+    P.RegionFootMin = 256;
+    P.RegionFootMax = 2048;
+    P.AluOpsPerIter = 1;
+    P.DataDependentBranch = true;
+    P.LeafCallsPerMid = 6;
+    P.MidsPerRegion = 3;
+    Out.push_back(P);
+  }
+
+  {
+    // javac: the JDK 1.0.2 compiler. The largest method population and the
+    // most irregular phase behavior (lowest stable-interval fraction).
+    WorkloadProfile P;
+    P.Name = "javac";
+    P.Description = "The JDK 1.0.2 Java compiler.";
+    P.Seed = 404;
+    P.NumLeaves = 544;
+    P.NumMids = 108;
+    P.NumRegions = 33;
+    P.NumSegments = 16;
+    P.OuterIterations = 14;
+    P.SegmentRepeats = 3;
+    P.PhaseNoiseEveryN = 2;
+    P.LeafSizeMin = 100;
+    P.LeafSizeMax = 1200;
+    P.MidSizeMin = 14000;
+    P.MidSizeMax = 40000;
+    P.RegionSizeMin = 60000;
+    P.RegionSizeMax = 200000;
+    P.LeafFootMin = 16;
+    P.LeafFootMax = 128;
+    P.MidFootMin = 64;
+    P.MidFootMax = 512;
+    P.BigFootprintFraction = 0.12;
+    P.RegionFootMin = 512;
+    P.RegionFootMax = 4096;
+    P.AluOpsPerIter = 1;
+    P.DataDependentBranch = true;
+    P.LeafCallsPerMid = 5;
+    Out.push_back(P);
+  }
+
+  {
+    // jess: CLIPS-style expert system. Rule matching: data-dependent
+    // control, moderate phase stability.
+    WorkloadProfile P;
+    P.Name = "jess";
+    P.Description =
+        "A Java version of NASA's popular CLIPS rule-based expert system.";
+    P.Seed = 505;
+    P.NumLeaves = 336;
+    P.NumMids = 68;
+    P.NumRegions = 30;
+    P.NumSegments = 10;
+    P.OuterIterations = 10;
+    P.SegmentRepeats = 3;
+    P.PhaseNoiseEveryN = 8;
+    P.LeafSizeMin = 200;
+    P.LeafSizeMax = 3000;
+    P.MidSizeMin = 14000;
+    P.MidSizeMax = 45000;
+    P.RegionSizeMin = 60000;
+    P.RegionSizeMax = 220000;
+    P.LeafFootMin = 16;
+    P.LeafFootMax = 128;
+    P.MidFootMin = 32;
+    P.MidFootMax = 256;
+    P.BigFootprintFraction = 0.10;
+    P.RegionFootMin = 256;
+    P.RegionFootMax = 2048;
+    P.AluOpsPerIter = 2;
+    P.DataDependentBranch = true;
+    P.LeafCallsPerMid = 4;
+    Out.push_back(P);
+  }
+
+  {
+    // mpegaudio: MP3 decoding. FP-heavy kernels with regular structure and
+    // the largest run of the suite.
+    WorkloadProfile P;
+    P.Name = "mpegaudio";
+    P.Description =
+        "The core algorithm for software that decodes an MPEG-3 audio "
+        "stream.";
+    P.Seed = 606;
+    P.NumLeaves = 299;
+    P.NumMids = 64;
+    P.NumRegions = 23;
+    P.NumSegments = 8;
+    P.OuterIterations = 14;
+    P.SegmentRepeats = 5;
+    P.LeafSizeMin = 300;
+    P.LeafSizeMax = 3000;
+    P.MidSizeMin = 14000;
+    P.MidSizeMax = 45000;
+    P.RegionSizeMin = 65000;
+    P.RegionSizeMax = 250000;
+    P.LeafFootMin = 16;
+    P.LeafFootMax = 64;
+    P.MidFootMin = 32;
+    P.MidFootMax = 128;
+    P.BigFootprintFraction = 0.06;
+    P.RegionFootMin = 256;
+    P.RegionFootMax = 1024;
+    P.FpOpsPerIter = 3;
+    P.AluOpsPerIter = 1;
+    P.LeafCallsPerMid = 3;
+    Out.push_back(P);
+  }
+
+  {
+    // mtrt: dual-threaded ray tracer (modeled single-threaded, as DSS
+    // serializes Java threads onto one simulated CPU). FP-heavy, extremely
+    // stable phases.
+    WorkloadProfile P;
+    P.Name = "mtrt";
+    P.Description = "A dual-threaded program that ray traces an image file.";
+    P.Seed = 707;
+    P.NumLeaves = 269;
+    P.NumMids = 73;
+    P.NumRegions = 21;
+    P.NumSegments = 5;
+    P.OuterIterations = 9;
+    P.SegmentRepeats = 8;
+    P.LeafSizeMin = 120;
+    P.LeafSizeMax = 900;
+    P.MidSizeMin = 14000;
+    P.MidSizeMax = 35000;
+    P.RegionSizeMin = 60000;
+    P.RegionSizeMax = 150000;
+    P.LeafFootMin = 16;
+    P.LeafFootMax = 128;
+    P.MidFootMin = 64;
+    P.MidFootMax = 256;
+    P.BigFootprintFraction = 0.08;
+    P.RegionFootMin = 512;
+    P.RegionFootMax = 2048;
+    P.FpOpsPerIter = 3;
+    P.AluOpsPerIter = 1;
+    P.LeafCallsPerMid = 4;
+    Out.push_back(P);
+  }
+
+  return Out;
+}
+
+const std::vector<WorkloadProfile> &dynace::specjvm98Profiles() {
+  static const std::vector<WorkloadProfile> Profiles = makeProfiles();
+  return Profiles;
+}
+
+const WorkloadProfile *dynace::findProfile(const std::string &Name) {
+  for (const WorkloadProfile &P : specjvm98Profiles())
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}

@@ -1,0 +1,435 @@
+//===- workloads/WorkloadGenerator.cpp ------------------------------------==//
+
+#include "workloads/WorkloadGenerator.h"
+
+#include "isa/MethodBuilder.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dynace;
+
+namespace {
+
+using Reg = MethodBuilder::Reg;
+
+/// Kernel registers (r0 is the salt argument; r1..r7 are reserved for the
+/// caller-side control code of mids/regions/main).
+constexpr Reg RegI = 8;
+constexpr Reg RegBase = 9;
+constexpr Reg RegMask = 10;
+constexpr Reg RegIdx = 11;
+constexpr Reg RegVal = 12;
+constexpr Reg RegAcc = 13;
+constexpr Reg RegScratch = 14;
+constexpr Reg RegFpA = 15;
+constexpr Reg RegFpB = 16;
+constexpr Reg RegIdx2 = 17;
+
+/// Parameters of one compute kernel (an array walk).
+struct KernelSpec {
+  uint64_t Iters = 1;
+  uint64_t BaseAddr = 0;
+  uint64_t FootprintWords = 256; ///< Power of two.
+  uint32_t StrideWords = 1;
+  uint32_t FpOps = 0;
+  uint32_t AluOps = 1;
+  uint32_t StoreEveryLog2 = 2;
+  bool DataDependentBranch = false;
+};
+
+/// Average executed instructions per kernel iteration.
+double kernelIterCost(const KernelSpec &K) {
+  double Body = 3.0  // index: muli + add + and
+                + 1.0 // loadIdx
+                + 1.0 // accumulate
+                + static_cast<double>(K.AluOps) + static_cast<double>(K.FpOps)
+                + 3.0 // second load: addi + and + loadIdx
+                + 1.0 // accumulate second
+                + 2.0 // store guard: andi + bri
+                + 1.0 / static_cast<double>(1u << K.StoreEveryLog2) // store
+                + 2.0; // induction: addi + backedge bri
+  if (K.DataDependentBranch)
+    Body += 2.5; // andi + bri + taken-half addi
+  return Body;
+}
+
+/// Emits the kernel loop. The caller provides the salt in r0.
+void emitKernel(MethodBuilder &B, const KernelSpec &K) {
+  assert(std::has_single_bit(K.FootprintWords) &&
+         "footprint must be a power of two");
+  B.iconst(RegI, 0);
+  B.iconst(RegBase, static_cast<int64_t>(K.BaseAddr));
+  B.iconst(RegMask, static_cast<int64_t>(K.FootprintWords - 1));
+  B.iconst(RegAcc, 0x9e3779b9);
+  if (K.FpOps) {
+    B.fconst(RegFpA, 1.0000001);
+    B.fconst(RegFpB, 0.9999999);
+  }
+
+  MethodBuilder::Label Top = B.newLabel();
+  B.bind(Top);
+  // idx = (i * stride + salt) & mask
+  B.muli(RegIdx, RegI, K.StrideWords);
+  B.add(RegIdx, RegIdx, 0);
+  B.and_(RegIdx, RegIdx, RegMask);
+  B.loadIdx(RegVal, RegBase, RegIdx);
+  B.add(RegAcc, RegAcc, RegVal);
+  for (uint32_t I = 0; I != K.AluOps; ++I) {
+    if (I % 2 == 0)
+      B.xor_(RegScratch, RegAcc, RegVal);
+    else
+      B.addi(RegAcc, RegScratch, 0x5bd1);
+  }
+  for (uint32_t I = 0; I != K.FpOps; ++I) {
+    if (I % 2 == 0)
+      B.fmul(RegFpA, RegFpA, RegFpB);
+    else
+      B.fadd(RegFpB, RegFpB, RegFpA);
+  }
+  // Second (shifted) load from the same array.
+  B.addi(RegIdx2, RegIdx, 64);
+  B.and_(RegIdx2, RegIdx2, RegMask);
+  B.loadIdx(RegScratch, RegBase, RegIdx2);
+  B.add(RegAcc, RegAcc, RegScratch);
+  // Store every 2^k-th iteration.
+  MethodBuilder::Label SkipStore = B.newLabel();
+  B.andi(RegScratch, RegI, (1 << K.StoreEveryLog2) - 1);
+  B.bri(CondKind::Ne, RegScratch, 0, SkipStore);
+  B.storeIdx(RegBase, RegIdx, RegAcc);
+  B.bind(SkipStore);
+  // Optional hard-to-predict branch on loaded data.
+  if (K.DataDependentBranch) {
+    MethodBuilder::Label SkipOdd = B.newLabel();
+    B.andi(RegScratch, RegVal, 1);
+    B.bri(CondKind::Eq, RegScratch, 0, SkipOdd);
+    B.addi(RegAcc, RegAcc, 1);
+    B.bind(SkipOdd);
+  }
+  B.addi(RegI, RegI, 1);
+  B.bri(CondKind::Lt, RegI, static_cast<int64_t>(K.Iters), Top);
+}
+
+/// Rounds \p V to the nearest power of two within [Lo, Hi].
+uint64_t powerOfTwoIn(uint64_t V, uint64_t Lo, uint64_t Hi) {
+  uint64_t P = std::bit_ceil(std::max<uint64_t>(V, 1));
+  return std::clamp(P, std::bit_ceil(Lo), std::bit_ceil(Hi));
+}
+
+/// Samples a log-uniform value in [Lo, Hi].
+uint64_t logUniform(SplitMix64 &Rng, uint64_t Lo, uint64_t Hi) {
+  assert(Lo > 0 && Lo <= Hi && "bad log-uniform range");
+  double L = std::log2(static_cast<double>(Lo));
+  double H = std::log2(static_cast<double>(Hi));
+  double X = L + Rng.nextDouble() * (H - L);
+  return static_cast<uint64_t>(std::llround(std::exp2(X)));
+}
+
+} // namespace
+
+GeneratedWorkload WorkloadGenerator::generate(const WorkloadProfile &P) {
+  assert(P.NumRegions >= P.NumSegments &&
+         "each segment needs at least one region");
+  GeneratedWorkload W;
+  Program &Prog = W.Prog;
+  SplitMix64 Rng(P.Seed * 0x9e3779b97f4a7c15ull + 0xd1b54a32d192ed03ull);
+
+  W.NumLeaves = P.NumLeaves;
+  W.NumMids = P.NumMids;
+  W.NumRegions = P.NumRegions;
+
+  auto Record = [&](MethodId Id, double Est) {
+    if (W.MethodSizeEst.size() <= Id)
+      W.MethodSizeEst.resize(Id + 1, 0.0);
+    W.MethodSizeEst[Id] = Est;
+  };
+
+  // --- Tier 1: leaf methods ----------------------------------------------
+  std::vector<MethodId> Leaves;
+  Leaves.reserve(P.NumLeaves);
+  for (uint32_t L = 0; L != P.NumLeaves; ++L) {
+    uint64_t Target = logUniform(Rng, P.LeafSizeMin, P.LeafSizeMax);
+    KernelSpec K;
+    K.FootprintWords =
+        powerOfTwoIn(logUniform(Rng, P.LeafFootMin, P.LeafFootMax),
+                     P.LeafFootMin, P.LeafFootMax);
+    K.BaseAddr = Prog.addGlobal(K.FootprintWords);
+    K.StrideWords = Rng.nextBool(0.3) ? 8 : 1;
+    K.FpOps = P.FpOpsPerIter;
+    K.AluOps = P.AluOpsPerIter;
+    K.StoreEveryLog2 = P.StoreEveryLog2;
+    K.DataDependentBranch = P.DataDependentBranch && Rng.nextBool(0.5);
+    double IterCost = kernelIterCost(K);
+    K.Iters = std::max<uint64_t>(
+        4, static_cast<uint64_t>(static_cast<double>(Target) / IterCost));
+
+    MethodBuilder B("leaf" + std::to_string(L));
+    emitKernel(B, K);
+    B.ret(RegAcc);
+    MethodId Id = Prog.addMethod(B.take());
+    Leaves.push_back(Id);
+    Record(Id, static_cast<double>(K.Iters) * IterCost + 6.0);
+  }
+  // Skewed leaf popularity: a few leaves take most calls (hotspot
+  // concentration). A round-robin cursor guarantees every leaf is bound to
+  // some mid, so the whole method population is reachable.
+  std::vector<double> LeafWeights = zipfWeights(Leaves.size(), 0.8);
+  size_t LeafCursor = 0;
+
+  // --- Tier 2: mid methods (L1D-hotspot band) -----------------------------
+  std::vector<MethodId> Mids;
+  std::vector<uint64_t> MidFootprints;
+  Mids.reserve(P.NumMids);
+  MidFootprints.reserve(P.NumMids);
+  for (uint32_t M = 0; M != P.NumMids; ++M) {
+    uint64_t Target = logUniform(Rng, P.MidSizeMin, P.MidSizeMax);
+    KernelSpec K;
+    bool Big = Rng.nextBool(P.BigFootprintFraction);
+    uint64_t Foot =
+        Big ? P.MidFootBigWords : logUniform(Rng, P.MidFootMin, P.MidFootMax);
+    K.FootprintWords =
+        powerOfTwoIn(Foot, P.MidFootMin,
+                     std::max(P.MidFootBigWords, P.MidFootMax));
+    K.BaseAddr = Prog.addGlobal(K.FootprintWords);
+    K.StrideWords = Big ? 8 : (Rng.nextBool(0.4) ? 4 : 1);
+    K.FpOps = P.FpOpsPerIter;
+    K.AluOps = P.AluOpsPerIter;
+    K.StoreEveryLog2 = P.StoreEveryLog2;
+    K.DataDependentBranch = P.DataDependentBranch && Rng.nextBool(0.5);
+
+    // Pick callees first, then size the kernel to hit the target. Cursor
+    // picks guarantee full leaf coverage across the mid population; one
+    // zipf-skewed pick concentrates execution on a few hot leaves. The
+    // call count is raised when needed so the cursor can reach every leaf.
+    uint32_t NumCalls = std::max<uint32_t>(
+        P.LeafCallsPerMid,
+        static_cast<uint32_t>(
+            (Leaves.size() + P.NumMids - 1) / P.NumMids + 1));
+    std::vector<MethodId> Picks;
+    double CallCost = 0.0;
+    for (uint32_t C = 0; C != NumCalls; ++C) {
+      MethodId Callee =
+          C + 1 == NumCalls
+              ? Leaves[sampleDiscrete(Rng, LeafWeights)]
+              : Leaves[LeafCursor++ % Leaves.size()];
+      double Cost = W.MethodSizeEst[Callee];
+      if (CallCost + Cost > 0.7 * static_cast<double>(Target) && C > 0)
+        break;
+      Picks.push_back(Callee);
+      CallCost += Cost;
+    }
+    double IterCost = kernelIterCost(K);
+    double OwnBudget =
+        std::max(200.0, static_cast<double>(Target) - CallCost);
+    K.Iters = std::max<uint64_t>(
+        8, static_cast<uint64_t>(OwnBudget / IterCost));
+
+    MethodBuilder B("mid" + std::to_string(M));
+    emitKernel(B, K);
+    for (size_t C = 0, E = Picks.size(); C != E; ++C) {
+      B.addi(/*Dst=*/1, /*A=*/0, static_cast<int64_t>(C) + 17);
+      B.call(/*Dst=*/2, Picks[C], /*FirstArg=*/1, /*NumArgs=*/1);
+    }
+    B.ret(RegAcc);
+    MethodId Id = Prog.addMethod(B.take());
+    Mids.push_back(Id);
+    MidFootprints.push_back(K.FootprintWords);
+    Record(Id, static_cast<double>(K.Iters) * IterCost + CallCost +
+                   2.0 * static_cast<double>(Picks.size()) + 6.0);
+  }
+  // Temporal working-set coherence: real phases touch related data, so
+  // methods that execute near each other in time should prefer similar
+  // cache sizes. Mids are ordered by footprint; each region draws its mids
+  // from a contiguous window of that order, and regions themselves are
+  // built in ascending-footprint order (segments then take contiguous
+  // chunks). Without this, back-to-back hotspots disagree on the best
+  // configuration and the ACE thrashes through reconfigurations at a rate
+  // the paper's workloads never exhibit.
+  std::vector<uint32_t> MidOrder(Mids.size());
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Mids.size()); I != E; ++I)
+    MidOrder[I] = I;
+  std::sort(MidOrder.begin(), MidOrder.end(),
+            [&](uint32_t A, uint32_t B) {
+              return MidFootprints[A] < MidFootprints[B];
+            });
+
+  // Region footprints are drawn once per *segment* and shared by the
+  // segment's regions (each still owns its array): a macro phase works on
+  // one kind of data, so back-to-back regions agree on the preferred L2
+  // size and the ACE is not forced to reconfigure at every region switch.
+  // Segment footprints ascend so neighboring segments stay similar too.
+  std::vector<uint64_t> SegmentFoots;
+  SegmentFoots.reserve(P.NumSegments);
+  for (uint32_t S = 0; S != P.NumSegments; ++S)
+    SegmentFoots.push_back(
+        powerOfTwoIn(logUniform(Rng, P.RegionFootMin, P.RegionFootMax),
+                     P.RegionFootMin, P.RegionFootMax));
+  std::sort(SegmentFoots.begin(), SegmentFoots.end());
+  // Region R belongs to segment R / RegionsPerSegment (contiguous chunks).
+  uint32_t RegionsPerSegment =
+      (P.NumRegions + P.NumSegments - 1) / P.NumSegments;
+  std::vector<uint64_t> RegionFoots;
+  RegionFoots.reserve(P.NumRegions);
+  for (uint32_t R = 0; R != P.NumRegions; ++R)
+    RegionFoots.push_back(SegmentFoots[std::min<uint32_t>(
+        R / RegionsPerSegment, P.NumSegments - 1)]);
+
+  // --- Tier 3: region methods (L2-hotspot band) ----------------------------
+  // A region's bulk data walk lives in its own *scanner* method sized into
+  // the L1D-hotspot band: in the paper's model, large hotspots consist
+  // almost entirely of nested small hotspots, so every significant working
+  // set belongs to some L1D-manageable procedure. The scanner touches the
+  // region's (L2-sized) array, driving the enclosing region's L2 decision
+  // while its own L1D needs are measured and managed directly.
+  std::vector<MethodId> Regions;
+  Regions.reserve(P.NumRegions);
+  for (uint32_t R = 0; R != P.NumRegions; ++R) {
+    uint64_t Target = logUniform(Rng, P.RegionSizeMin, P.RegionSizeMax);
+    KernelSpec K;
+    K.FootprintWords = RegionFoots[R];
+    K.BaseAddr = Prog.addGlobal(K.FootprintWords);
+    K.StrideWords = P.RegionStrideWords;
+    K.FpOps = P.FpOpsPerIter;
+    K.AluOps = P.AluOpsPerIter;
+    K.StoreEveryLog2 = P.StoreEveryLog2;
+
+    // Scanner method over the region's array, sized into the L1D band.
+    uint64_t ScanTarget = std::clamp<uint64_t>(
+        static_cast<uint64_t>(0.3 * static_cast<double>(Target)),
+        P.MidSizeMin, 40000);
+    double ScanIterCost = kernelIterCost(K);
+    KernelSpec ScanK = K;
+    ScanK.Iters = std::max<uint64_t>(
+        16, static_cast<uint64_t>(static_cast<double>(ScanTarget) /
+                                  ScanIterCost));
+    MethodBuilder ScanB("scan" + std::to_string(R));
+    emitKernel(ScanB, ScanK);
+    ScanB.ret(RegAcc);
+    MethodId ScanId = Prog.addMethod(ScanB.take());
+    double ScanEst =
+        static_cast<double>(ScanK.Iters) * ScanIterCost + 6.0;
+    Record(ScanId, ScanEst);
+
+    // Mid picks come from a footprint-coherent window whose position slides
+    // with the region index, guaranteeing every mid is reachable across the
+    // region population.
+    size_t NumMids = Mids.size();
+    size_t Window = std::min<size_t>(NumMids,
+                                     std::max<size_t>(P.MidsPerRegion * 2, 6));
+    size_t MaxStart = NumMids - Window;
+    size_t Start = P.NumRegions > 1
+                       ? (static_cast<size_t>(R) * MaxStart) /
+                             (P.NumRegions - 1)
+                       : 0;
+    std::vector<MethodId> Picks;
+    double MidCost = 0.0;
+    for (uint32_t C = 0; C != P.MidsPerRegion; ++C) {
+      size_t Offset = C == 0 ? (R % Window)
+                             : Rng.nextBelow(Window);
+      MethodId Callee = Mids[MidOrder[Start + Offset]];
+      Picks.push_back(Callee);
+      MidCost += W.MethodSizeEst[Callee];
+    }
+    // Split the target: the scanner call plus repeated mid calls.
+    double CallBudget =
+        std::max(0.0, static_cast<double>(Target) - ScanEst);
+    uint64_t MidRepeat = std::max<uint64_t>(
+        1, static_cast<uint64_t>(CallBudget / std::max(1.0, MidCost)));
+    MidRepeat = std::min<uint64_t>(MidRepeat, 64);
+
+    MethodBuilder B("region" + std::to_string(R));
+    B.mov(/*Dst=*/4, /*Src=*/0);
+    B.call(/*Dst=*/5, ScanId, /*FirstArg=*/4, /*NumArgs=*/1);
+    // Each mid runs as a burst of MidRepeat back-to-back invocations —
+    // real code dwells in one subroutine for a stretch, which keeps a mid's
+    // working set resident across consecutive invocations (and makes
+    // per-invocation tuning measurements comparable).
+    for (size_t C = 0, E = Picks.size(); C != E; ++C) {
+      B.iconst(/*Dst=*/1, 0);
+      MethodBuilder::Label RepTop = B.newLabel();
+      B.bind(RepTop);
+      B.add(/*Dst=*/2, /*A=*/0, /*B=*/1);
+      B.addi(/*Dst=*/2, /*A=*/2, static_cast<int64_t>(C) * 1023);
+      B.call(/*Dst=*/3, Picks[C], /*FirstArg=*/2, /*NumArgs=*/1);
+      B.addi(/*Dst=*/1, /*A=*/1, 1);
+      B.bri(CondKind::Lt, /*A=*/1, static_cast<int64_t>(MidRepeat), RepTop);
+    }
+    B.ret(/*Value=*/5);
+    MethodId Id = Prog.addMethod(B.take());
+    Regions.push_back(Id);
+    Record(Id, ScanEst + 2.0 +
+                   static_cast<double>(MidRepeat) *
+                       (MidCost + 4.0 * static_cast<double>(Picks.size()) +
+                        2.0) +
+                   8.0);
+  }
+
+  // --- main: segments and phase recurrence --------------------------------
+  // Segment s owns the contiguous chunk of regions starting at
+  // s * RegionsPerSegment (matching the footprint assignment above). Each
+  // region runs as a *burst* of SegmentRepeats back-to-back invocations:
+  // real programs dwell in one code region for a stretch, which is what
+  // gives BBV its stable phases and gives recurring hotspots their
+  // guard-friendly invocation pattern.
+  MethodBuilder B("main");
+  double MainEst = 0.0;
+  B.iconst(/*Dst=*/1, 0); // outer
+  MethodBuilder::Label OuterTop = B.newLabel();
+  B.bind(OuterTop);
+  double PerOuter = 0.0;
+  for (uint32_t S = 0; S != P.NumSegments; ++S) {
+    uint32_t ChunkBegin = S * RegionsPerSegment;
+    uint32_t ChunkEnd =
+        std::min<uint32_t>(ChunkBegin + RegionsPerSegment, P.NumRegions);
+    for (uint32_t R = ChunkBegin; R < ChunkEnd; ++R) {
+      B.iconst(/*Dst=*/2, 0); // rep
+      MethodBuilder::Label RepTop = B.newLabel();
+      B.bind(RepTop);
+      // salt = outer * 31 + rep
+      B.muli(/*Dst=*/3, /*A=*/1, 31);
+      B.add(/*Dst=*/3, /*A=*/3, /*B=*/2);
+      double PerRep = 6.0 + W.MethodSizeEst[Regions[R]];
+      B.call(/*Dst=*/4, Regions[R], /*FirstArg=*/3, /*NumArgs=*/1);
+      if (P.PhaseNoiseEveryN >= 2) {
+        // Every Nth repetition also runs a foreign region, blurring this
+        // burst's BBV signature (javac-style irregularity).
+        uint64_t NoiseMask = std::bit_ceil<uint64_t>(P.PhaseNoiseEveryN) - 1;
+        MethodBuilder::Label SkipNoise = B.newLabel();
+        B.andi(/*Dst=*/5, /*A=*/2, static_cast<int64_t>(NoiseMask));
+        B.bri(CondKind::Ne, /*A=*/5, 0, SkipNoise);
+        uint32_t Confuser = (R + 1) % P.NumRegions;
+        B.call(/*Dst=*/4, Regions[Confuser], /*FirstArg=*/3, /*NumArgs=*/1);
+        B.bind(SkipNoise);
+        PerRep += W.MethodSizeEst[Regions[Confuser]] /
+                      static_cast<double>(NoiseMask + 1) +
+                  2.0;
+      }
+      B.addi(/*Dst=*/2, /*A=*/2, 1);
+      B.bri(CondKind::Lt, /*A=*/2, static_cast<int64_t>(P.SegmentRepeats),
+            RepTop);
+      PerOuter += PerRep * static_cast<double>(P.SegmentRepeats) + 2.0;
+    }
+  }
+  B.addi(/*Dst=*/1, /*A=*/1, 1);
+  B.bri(CondKind::Lt, /*A=*/1, static_cast<int64_t>(P.OuterIterations),
+        OuterTop);
+  B.halt();
+  MainEst = PerOuter * static_cast<double>(P.OuterIterations) + 4.0;
+  MethodId MainId = Prog.addMethod(B.take());
+  Record(MainId, MainEst);
+  Prog.setEntry(MainId);
+  W.EstimatedInstructions = MainEst;
+
+  std::string Error;
+  if (!Prog.finalize(&Error)) {
+    std::fprintf(stderr, "workload generator produced invalid program: %s\n",
+                 Error.c_str());
+    std::abort();
+  }
+  return W;
+}

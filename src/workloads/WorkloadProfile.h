@@ -1,0 +1,94 @@
+//===- workloads/WorkloadProfile.h - Benchmark descriptors ------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Profiles describing the seven synthetic stand-ins for SPECjvm98 (Table
+/// 3). Each profile parameterizes the workload generator so the resulting
+/// program reproduces the benchmark's *hotspot statistics* — method
+/// population, hotspot size distribution, invocation frequencies, working
+/// sets and phase (ir)regularity — which are what the paper's evaluation
+/// depends on. All instruction-denominated values are already scaled by
+/// kSimScale = 10 relative to the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_WORKLOADS_WORKLOADPROFILE_H
+#define DYNACE_WORKLOADS_WORKLOADPROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynace {
+
+/// Generator parameters for one synthetic benchmark.
+struct WorkloadProfile {
+  std::string Name;
+  std::string Description;
+  uint64_t Seed = 1;
+
+  // --- Method population -------------------------------------------------
+  /// Leaf methods: small compute kernels (< L1D-hotspot band).
+  uint32_t NumLeaves = 200;
+  /// Mid-tier methods targeting the L1D-hotspot size band.
+  uint32_t NumMids = 64;
+  /// Region methods targeting the L2-hotspot size band.
+  uint32_t NumRegions = 22;
+  /// Macro phases; regions are distributed among segments round-robin.
+  uint32_t NumSegments = 8;
+
+  // --- Execution shape ----------------------------------------------------
+  /// Times the whole segment sequence repeats (phase recurrence).
+  uint32_t OuterIterations = 3;
+  /// Consecutive repetitions of each segment's region sequence.
+  uint32_t SegmentRepeats = 4;
+  /// Every Nth segment repetition also calls a region from a different
+  /// segment, blurring phase boundaries (0 = off). Used for javac.
+  uint32_t PhaseNoiseEveryN = 0;
+
+  // --- Per-tier dynamic size targets (inclusive instructions) -------------
+  uint64_t LeafSizeMin = 150, LeafSizeMax = 2500;
+  uint64_t MidSizeMin = 6000, MidSizeMax = 45000;
+  uint64_t RegionSizeMin = 60000, RegionSizeMax = 400000;
+
+  // --- Memory behavior -----------------------------------------------------
+  /// Footprints in 8-byte words, rounded to powers of two (log-uniform).
+  /// Scaled 1/8 with the cache capacities (see HierarchyConfig).
+  uint64_t LeafFootMin = 16, LeafFootMax = 128;
+  uint64_t MidFootMin = 32, MidFootMax = 256;
+  uint64_t RegionFootMin = 256, RegionFootMax = 2048;
+  /// Fraction of mid methods pinned to MidFootBigWords — db's "fewer than
+  /// 10 procedures cause >95% of data misses" concentration.
+  double BigFootprintFraction = 0.1;
+  /// Footprint of the "big" mids (words); large enough to defeat every L1D
+  /// setting so these methods miss regardless of configuration.
+  uint64_t MidFootBigWords = 4096;
+  /// Access stride in words for region scans (larger = more cache lines
+  /// touched per instruction).
+  uint32_t RegionStrideWords = 8;
+
+  // --- Instruction mix -----------------------------------------------------
+  uint32_t FpOpsPerIter = 0;  ///< FP ops per kernel-loop iteration.
+  uint32_t AluOpsPerIter = 3; ///< Extra integer ops per iteration.
+  uint32_t StoreEveryLog2 = 2; ///< Store on every 2^k-th iteration.
+  bool DataDependentBranch = false; ///< Hard-to-predict branch per iter.
+
+  // --- Call structure ------------------------------------------------------
+  uint32_t LeafCallsPerMid = 4;
+  uint32_t MidsPerRegion = 3;
+  uint32_t MidRepeatPerRegion = 3;
+};
+
+/// \returns the seven SPECjvm98-like profiles in the paper's order
+/// (compress, db, jack, javac, jess, mpegaudio, mtrt).
+const std::vector<WorkloadProfile> &specjvm98Profiles();
+
+/// \returns the profile named \p Name, or null when unknown.
+const WorkloadProfile *findProfile(const std::string &Name);
+
+} // namespace dynace
+
+#endif // DYNACE_WORKLOADS_WORKLOADPROFILE_H

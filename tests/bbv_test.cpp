@@ -1,0 +1,264 @@
+//===- tests/bbv_test.cpp - BBV accumulator and manager tests -------------==//
+
+#include "bbv/BbvAccumulator.h"
+#include "bbv/BbvManager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace dynace;
+
+// ------------------------------------------------------------ Accumulator
+
+TEST(BbvAccumulator, NormalizedSumsToOne) {
+  BbvAccumulator A(32, 24);
+  A.addBlock(0x40000000, 10);
+  A.addBlock(0x40000080, 30);
+  std::vector<double> V = A.normalized();
+  double Sum = 0;
+  for (double X : V)
+    Sum += X;
+  EXPECT_NEAR(Sum, 1.0, 1e-12);
+}
+
+TEST(BbvAccumulator, EmptyNormalizesToZeros) {
+  BbvAccumulator A(32, 24);
+  for (double X : A.normalized())
+    EXPECT_DOUBLE_EQ(X, 0.0);
+}
+
+TEST(BbvAccumulator, BucketIndexUsesPcBitsAboveTwo) {
+  BbvAccumulator A(32, 24);
+  // PCs differing only in the 2 LSBs land in the same bucket.
+  A.addBlock(0x1000, 5);
+  A.addBlock(0x1003, 5);
+  std::vector<double> V = A.normalized();
+  int NonZero = 0;
+  for (double X : V)
+    NonZero += X > 0;
+  EXPECT_EQ(NonZero, 1);
+  // PCs differing in bit 2 land in different buckets.
+  A.reset();
+  A.addBlock(0x1000, 5);
+  A.addBlock(0x1004, 5);
+  NonZero = 0;
+  for (double X : A.normalized())
+    NonZero += X > 0;
+  EXPECT_EQ(NonZero, 2);
+}
+
+TEST(BbvAccumulator, CountersSaturate) {
+  BbvAccumulator A(32, /*CounterBits=*/8); // Saturate at 255.
+  for (int I = 0; I != 100; ++I)
+    A.addBlock(0x1000, 50);
+  // One saturated bucket normalizes to 1.0 with no overflow artifacts.
+  std::vector<double> V = A.normalized();
+  double Max = 0;
+  for (double X : V)
+    Max = std::max(Max, X);
+  EXPECT_DOUBLE_EQ(Max, 1.0);
+}
+
+TEST(BbvAccumulator, ResetClearsBuckets) {
+  BbvAccumulator A(32, 24);
+  A.addBlock(0x1000, 5);
+  A.reset();
+  for (double X : A.normalized())
+    EXPECT_DOUBLE_EQ(X, 0.0);
+}
+
+TEST(BbvAccumulator, ManhattanDistanceProperties) {
+  std::vector<double> A = {0.5, 0.5, 0.0};
+  std::vector<double> B = {0.0, 0.5, 0.5};
+  std::vector<double> C = {1.0, 0.0, 0.0};
+  // Identity.
+  EXPECT_DOUBLE_EQ(BbvAccumulator::manhattanDistance(A, A), 0.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(BbvAccumulator::manhattanDistance(A, B),
+                   BbvAccumulator::manhattanDistance(B, A));
+  // Range: normalized vectors are at most 2 apart.
+  EXPECT_LE(BbvAccumulator::manhattanDistance(B, C), 2.0);
+  EXPECT_DOUBLE_EQ(BbvAccumulator::manhattanDistance(
+                       {1.0, 0.0}, std::vector<double>{0.0, 1.0}),
+                   2.0);
+  // Triangle inequality.
+  EXPECT_LE(BbvAccumulator::manhattanDistance(A, C),
+            BbvAccumulator::manhattanDistance(A, B) +
+                BbvAccumulator::manhattanDistance(B, C));
+}
+
+// ---------------------------------------------------------------- Manager
+
+namespace {
+
+/// Scripted platform/unit rig for the BBV manager.
+struct BbvRig {
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  double Energy = 0.0;
+  std::unique_ptr<ConfigurableUnit> L1D;
+  std::unique_ptr<ConfigurableUnit> L2;
+  std::unique_ptr<BbvManager> Manager;
+
+  double Ipc = 2.0;
+  double Epi = 1.0;
+  double CycleCarry = 0.0;
+
+  explicit BbvRig(BbvConfig Config = BbvConfig()) {
+    L1D = std::make_unique<ConfigurableUnit>(
+        "L1D", 4, 10000, 0, [](unsigned) { return ReconfigCost{}; });
+    L2 = std::make_unique<ConfigurableUnit>(
+        "L2", 4, 100000, 0, [](unsigned) { return ReconfigCost{}; });
+    AcePlatform P;
+    P.Cycles = [this] { return Cycles; };
+    P.Instructions = [this] { return Instructions; };
+    P.Energy = [this] { return Energy; };
+    P.Stall = [](uint64_t) {};
+    Manager = std::make_unique<BbvManager>(
+        std::vector<ConfigurableUnit *>{L1D.get(), L2.get()}, std::move(P),
+        Config);
+  }
+
+  /// Feeds one full sampling interval whose code signature is a loop at
+  /// \p BranchPC; IPC/EPI scripted by the current members. Cycles and
+  /// energy advance per instruction so the boundary (fired inside the last
+  /// onInstruction) observes the interval's full cost.
+  void interval(uint64_t BranchPC) {
+    uint64_t N = Manager->config().IntervalInstructions;
+    for (uint64_t I = 0; I != N; ++I) {
+      DynInst D;
+      D.PC = (I % 10 == 9) ? BranchPC : BranchPC + 4 * (1 + I % 9);
+      D.Class = OpClass::IntAlu;
+      if (I % 10 == 9) {
+        D.IsCondBranch = true;
+        D.Taken = true;
+      }
+      Instructions += 1;
+      CycleCarry += 1.0 / Ipc;
+      uint64_t Whole = static_cast<uint64_t>(CycleCarry);
+      Cycles += Whole;
+      CycleCarry -= static_cast<double>(Whole);
+      Energy += Epi;
+      Manager->onInstruction(D);
+    }
+  }
+};
+
+} // namespace
+
+TEST(BbvManager, EnumeratesFullCrossProduct) {
+  BbvRig Rig;
+  // 4 x 4 combos; phase table starts empty.
+  EXPECT_EQ(Rig.Manager->numPhases(), 0u);
+}
+
+TEST(BbvManager, DistinctSignaturesCreateDistinctPhases) {
+  BbvRig Rig;
+  Rig.interval(0x40000000);
+  Rig.interval(0x40000004);
+  Rig.interval(0x40000008);
+  EXPECT_EQ(Rig.Manager->numPhases(), 3u);
+}
+
+TEST(BbvManager, RecurringSignatureMatchesExistingPhase) {
+  BbvRig Rig;
+  Rig.interval(0x40000000);
+  Rig.interval(0x40000004);
+  Rig.interval(0x40000000);
+  EXPECT_EQ(Rig.Manager->numPhases(), 2u);
+  EXPECT_EQ(Rig.Manager->phase(0).Intervals, 2u);
+}
+
+TEST(BbvManager, StableAndTransitionalIntervalCounting) {
+  BbvRig Rig;
+  // Phase A for 4 intervals (stable), B for 1 (transitional), A for 3.
+  for (int I = 0; I != 4; ++I)
+    Rig.interval(0x40000000);
+  Rig.interval(0x40000004);
+  for (int I = 0; I != 3; ++I)
+    Rig.interval(0x40000000);
+  Rig.Manager->finish();
+  BbvReport R = Rig.Manager->report(Rig.Instructions);
+  EXPECT_EQ(R.TotalIntervals, 8u);
+  EXPECT_NEAR(R.StableIntervalFraction, 7.0 / 8.0, 1e-9);
+}
+
+TEST(BbvManager, TuningProgressesThroughCombosAndSelects) {
+  BbvConfig Config;
+  Config.CalibrateReference = true;
+  BbvRig Rig(Config);
+  // One long-lived phase: 16 combos x (warm + test) + calibration fits in
+  // a few dozen intervals.
+  for (int I = 0; I != 60; ++I)
+    Rig.interval(0x40000000);
+  const BbvPhaseData &P = Rig.Manager->phase(0);
+  EXPECT_TRUE(P.Tuned);
+  EXPECT_GT(P.Tunings, 8u);
+  // Flat IPC and EPI: nothing beats combo 0 by the margin.
+  EXPECT_EQ(P.BestConfig, 0u);
+}
+
+TEST(BbvManager, TunedPhaseReappliesStoredConfigOnRecurrence) {
+  BbvRig Rig;
+  for (int I = 0; I != 60; ++I)
+    Rig.interval(0x40000000);
+  ASSERT_TRUE(Rig.Manager->phase(0).Tuned);
+  // Switch away and back: the tuned phase reapplies its best combo at the
+  // first interval of recurrence (reconfigs counter moves).
+  BbvReport Before = Rig.Manager->report(Rig.Instructions);
+  Rig.interval(0x4000001c);
+  Rig.interval(0x40000000);
+  Rig.interval(0x40000000);
+  BbvReport After = Rig.Manager->report(Rig.Instructions);
+  EXPECT_GE(After.Coverage, Before.Coverage * 0.5); // Still adapting.
+  EXPECT_EQ(After.NumPhases, 2u);
+}
+
+TEST(BbvManager, UntunedPhaseNotAdaptedUntilStable) {
+  BbvRig Rig;
+  Rig.interval(0x40000000); // New phase: transitional, no decision.
+  BbvReport R = Rig.Manager->report(Rig.Instructions);
+  EXPECT_EQ(R.Tunings, 0u);
+}
+
+TEST(BbvManager, MeasurementDroppedOnMidTuningPhaseChange) {
+  BbvRig Rig;
+  // Establish stability, start testing, then switch phases; the pending
+  // test must not record into the wrong phase.
+  for (int I = 0; I != 4; ++I)
+    Rig.interval(0x40000000);
+  uint64_t TuningsBefore = Rig.Manager->phase(0).Tunings;
+  Rig.interval(0x40000004); // Decision targeted phase 0; interval is B.
+  EXPECT_EQ(Rig.Manager->phase(0).Tunings, TuningsBefore);
+}
+
+TEST(BbvManager, ReportAggregates) {
+  BbvRig Rig;
+  for (int I = 0; I != 30; ++I)
+    Rig.interval(0x40000000);
+  for (int I = 0; I != 30; ++I)
+    Rig.interval(0x40000004);
+  Rig.Manager->finish();
+  BbvReport R = Rig.Manager->report(Rig.Instructions);
+  EXPECT_EQ(R.NumPhases, 2u);
+  EXPECT_EQ(R.TotalIntervals, 60u);
+  EXPECT_EQ(R.ReconfigsPerCu.size(), 2u);
+  EXPECT_GT(R.Coverage, 0.0);
+  EXPECT_LE(R.Coverage, 1.0);
+  EXPECT_GE(R.PerPhaseIpcCov, 0.0);
+}
+
+TEST(BbvManager, ComboOrderVariesFirstUnitFastest) {
+  // Combo 1 must differ from combo 0 in the FIRST unit (L1D), leaving L2
+  // at its largest setting.
+  BbvConfig Config;
+  BbvRig Rig(Config);
+  // Drive a stable phase through the first two test slots and check which
+  // unit moved.
+  for (int I = 0; I != 6; ++I)
+    Rig.interval(0x40000000);
+  // After warm+test of combo 0 and warm of combo 1, L1D should have been
+  // requested to setting 1 at some point while L2 stayed at 0.
+  EXPECT_EQ(Rig.L2->currentSetting(), 0u);
+}

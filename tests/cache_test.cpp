@@ -1,0 +1,457 @@
+//===- tests/cache_test.cpp - cache model unit tests ----------------------==//
+
+#include "cache/Cache.h"
+#include "cache/MemoryHierarchy.h"
+#include "cache/ReconfigurableCache.h"
+#include "cache/Tlb.h"
+
+#include <gtest/gtest.h>
+
+using namespace dynace;
+
+namespace {
+
+CacheGeometry smallGeom() {
+  CacheGeometry G;
+  G.SizeBytes = 1024; // 8 sets x 2 ways x 64 B.
+  G.BlockBytes = 64;
+  G.Assoc = 2;
+  G.HitLatency = 1;
+  return G;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------- Geometry
+
+TEST(CacheGeometry, SetAndLineMath) {
+  CacheGeometry G = smallGeom();
+  EXPECT_EQ(G.numSets(), 8u);
+  EXPECT_EQ(G.numLines(), 16u);
+  CacheGeometry L2{128 * 1024, 128, 4, 10};
+  EXPECT_EQ(L2.numSets(), 256u);
+  EXPECT_EQ(L2.numLines(), 1024u);
+}
+
+// -------------------------------------------------------------------- Cache
+
+TEST(Cache, FirstAccessMissesThenHits) {
+  Cache C(smallGeom());
+  EXPECT_FALSE(C.access(0x1000, false).Hit);
+  EXPECT_TRUE(C.access(0x1000, false).Hit);
+  EXPECT_TRUE(C.access(0x1030, false).Hit); // Same 64 B block.
+  EXPECT_FALSE(C.access(0x1040, false).Hit); // Next block.
+}
+
+TEST(Cache, StatsCountReadsWritesMisses) {
+  Cache C(smallGeom());
+  C.access(0x0, false);
+  C.access(0x0, false);
+  C.access(0x0, true);
+  C.access(0x40, true);
+  const CacheStats &S = C.stats();
+  EXPECT_EQ(S.Reads, 2u);
+  EXPECT_EQ(S.Writes, 2u);
+  EXPECT_EQ(S.ReadMisses, 1u);
+  EXPECT_EQ(S.WriteMisses, 1u);
+  EXPECT_DOUBLE_EQ(S.missRate(), 0.5);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  Cache C(smallGeom()); // 2-way: three conflicting blocks force eviction.
+  uint64_t SetStride = 8 * 64; // Same set every 512 bytes.
+  C.access(0 * SetStride, false);      // A
+  C.access(1 * SetStride, false);      // B
+  C.access(0 * SetStride, false);      // Touch A: B becomes LRU.
+  C.access(2 * SetStride, false);      // C evicts B.
+  EXPECT_TRUE(C.probe(0 * SetStride));
+  EXPECT_FALSE(C.probe(1 * SetStride));
+  EXPECT_TRUE(C.probe(2 * SetStride));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback) {
+  Cache C(smallGeom());
+  uint64_t SetStride = 8 * 64;
+  C.access(0, true); // Dirty.
+  C.access(1 * SetStride, false);
+  CacheAccessResult R = C.access(2 * SetStride, false); // Evicts dirty A.
+  EXPECT_TRUE(R.EvictedDirty);
+  EXPECT_EQ(R.EvictedAddr, 0u);
+  EXPECT_EQ(C.stats().Writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback) {
+  Cache C(smallGeom());
+  uint64_t SetStride = 8 * 64;
+  C.access(0, false);
+  C.access(1 * SetStride, false);
+  CacheAccessResult R = C.access(2 * SetStride, false);
+  EXPECT_FALSE(R.EvictedDirty);
+}
+
+TEST(Cache, FlushDirtyWritesBackAndKeepsLinesValid) {
+  Cache C(smallGeom());
+  C.access(0x0, true);
+  C.access(0x40, true);
+  C.access(0x80, false);
+  std::vector<uint64_t> Addrs;
+  EXPECT_EQ(C.flushDirty(&Addrs), 2u);
+  EXPECT_EQ(Addrs.size(), 2u);
+  EXPECT_EQ(C.dirtyLineCount(), 0u);
+  EXPECT_TRUE(C.probe(0x0)); // Still resident, now clean.
+  // A second flush finds nothing.
+  EXPECT_EQ(C.flushDirty(), 0u);
+}
+
+TEST(Cache, InvalidateAllReportsLostDirty) {
+  Cache C(smallGeom());
+  C.access(0x0, true);
+  C.access(0x40, false);
+  EXPECT_EQ(C.invalidateAll(), 1u);
+  EXPECT_FALSE(C.probe(0x0));
+  EXPECT_FALSE(C.probe(0x40));
+}
+
+TEST(Cache, ProbeDoesNotPerturbState) {
+  Cache C(smallGeom());
+  C.access(0x0, false);
+  uint64_t Misses = C.stats().misses();
+  C.probe(0x9999999);
+  EXPECT_EQ(C.stats().misses(), Misses);
+}
+
+/// Property: after any access sequence, the number of resident blocks never
+/// exceeds capacity, and re-access of the most recent address always hits.
+class CachePropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(CachePropertyTest, CapacityAndRecencyInvariants) {
+  auto [Size, Assoc] = GetParam();
+  CacheGeometry G;
+  G.SizeBytes = Size;
+  G.BlockBytes = 64;
+  G.Assoc = Assoc;
+  Cache C(G);
+  uint64_t State = 12345;
+  uint64_t Last = 0;
+  for (int I = 0; I != 5000; ++I) {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    Last = (State >> 20) & 0xffff0;
+    C.access(Last, (State & 1) != 0);
+    ASSERT_TRUE(C.probe(Last)) << "most recent access must be resident";
+  }
+  EXPECT_LE(C.dirtyLineCount(), G.numLines());
+  EXPECT_EQ(C.stats().accesses(), 5000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CachePropertyTest,
+    ::testing::Combine(::testing::Values(1024u, 4096u, 16384u),
+                       ::testing::Values(1u, 2u, 4u)));
+
+// ------------------------------------------------------- ReconfigurableCache
+
+namespace {
+
+std::vector<CacheGeometry> l1dLadder() {
+  return {{8 * 1024, 64, 2, 1},
+          {4 * 1024, 64, 2, 1},
+          {2 * 1024, 64, 2, 1},
+          {1 * 1024, 64, 2, 1}};
+}
+
+} // namespace
+
+TEST(ReconfigurableCache, StartsAtInitialSetting) {
+  ReconfigurableCache C(l1dLadder(), 0, "L1D");
+  EXPECT_EQ(C.setting(), 0u);
+  EXPECT_EQ(C.numSettings(), 4u);
+  EXPECT_EQ(C.geometry().SizeBytes, 8u * 1024u);
+  EXPECT_EQ(C.geometryOf(3).SizeBytes, 1024u);
+}
+
+TEST(ReconfigurableCache, ReconfigureToSameSettingIsNoOp) {
+  ReconfigurableCache C(l1dLadder(), 1, "L1D");
+  ReconfigResult R = C.reconfigure(1);
+  EXPECT_FALSE(R.Changed);
+  EXPECT_EQ(C.reconfigurationCount(), 0u);
+}
+
+TEST(ReconfigurableCache, FlushAllReconfigureWritesBackDirtyLines) {
+  ReconfigurableCache C(l1dLadder(), 0, "L1D", /*RetainOnDownsize=*/false);
+  C.access(0x0, true);
+  C.access(0x40, true);
+  C.access(0x80, false);
+  std::vector<uint64_t> Writebacks;
+  ReconfigResult R = C.reconfigure(2, &Writebacks);
+  EXPECT_TRUE(R.Changed);
+  EXPECT_EQ(R.Writebacks, 2u);
+  EXPECT_EQ(Writebacks.size(), 2u);
+  EXPECT_EQ(C.setting(), 2u);
+  EXPECT_EQ(C.reconfigurationCount(), 1u);
+  EXPECT_EQ(C.reconfigurationWritebacks(), 2u);
+  // Contents were invalidated: previously resident blocks miss now.
+  EXPECT_FALSE(C.access(0x0, false).Hit);
+}
+
+TEST(ReconfigurableCache, DownsizeRetainsSurvivingSets) {
+  // 8 KB -> 2 KB (64 -> 16 sets): lines in sets 0..15 survive with their
+  // dirty state; lines in disabled sets write back and drop.
+  ReconfigurableCache C(l1dLadder(), 0, "L1D", /*RetainOnDownsize=*/true);
+  C.access(0x0, true);        // Set 0: survives (still dirty).
+  C.access(16 * 64, true);    // Set 16: disabled -> written back.
+  C.access(0x40, false);      // Set 1: survives clean.
+  std::vector<uint64_t> Writebacks;
+  ReconfigResult R = C.reconfigure(2, &Writebacks);
+  EXPECT_EQ(R.Writebacks, 1u);
+  ASSERT_EQ(Writebacks.size(), 1u);
+  EXPECT_EQ(Writebacks[0], 16u * 64u);
+  EXPECT_TRUE(C.access(0x0, false).Hit);
+  EXPECT_TRUE(C.access(0x40, false).Hit);
+  EXPECT_FALSE(C.access(16 * 64, false).Hit);
+}
+
+TEST(ReconfigurableCache, UpsizeStartsCold) {
+  ReconfigurableCache C(l1dLadder(), 3, "L1D", /*RetainOnDownsize=*/true);
+  C.access(0x0, true);
+  ReconfigResult R = C.reconfigure(0, nullptr);
+  EXPECT_EQ(R.Writebacks, 1u); // Dirty state cannot be carried upward.
+  EXPECT_FALSE(C.access(0x0, false).Hit);
+}
+
+TEST(ReconfigurableCache, RetainedDirtyLineWritesBackLater) {
+  ReconfigurableCache C(l1dLadder(), 0, "L1D", /*RetainOnDownsize=*/true);
+  C.access(0x0, true); // Set 0, dirty.
+  C.reconfigure(3, nullptr); // 1 KB: retained, still dirty.
+  // Evict it from the 1 KB configuration (8 sets, 2 ways).
+  uint64_t SetStride = 8 * 64;
+  C.access(1 * SetStride, false);
+  CacheAccessResult R = C.access(2 * SetStride, false);
+  EXPECT_TRUE(R.EvictedDirty);
+  EXPECT_EQ(R.EvictedAddr, 0u);
+}
+
+TEST(ReconfigurableCache, PerSettingStatsAreSeparate) {
+  ReconfigurableCache C(l1dLadder(), 0, "L1D");
+  C.access(0x0, false);
+  C.reconfigure(3);
+  C.access(0x0, false);
+  C.access(0x0, false);
+  EXPECT_EQ(C.statsOf(0).accesses(), 1u);
+  EXPECT_EQ(C.statsOf(3).accesses(), 2u);
+  CacheStats Total = C.totalStats();
+  EXPECT_EQ(Total.accesses(), 3u);
+}
+
+// ---------------------------------------------------------------------- TLB
+
+TEST(Tlb, MissThenHitWithinPage) {
+  Tlb T(128, 4, 30, "DTLB");
+  EXPECT_EQ(T.access(0x1000), 30u);
+  EXPECT_EQ(T.access(0x1ff8), 0u); // Same 4 KB page.
+  EXPECT_EQ(T.access(0x2000), 30u); // Next page.
+  EXPECT_EQ(T.accesses(), 3u);
+  EXPECT_EQ(T.misses(), 2u);
+}
+
+TEST(Tlb, CapacityEviction) {
+  Tlb T(8, 2, 30, "tiny");
+  // Touch many distinct pages mapping beyond capacity; early ones evict.
+  for (uint64_t Pg = 0; Pg != 64; ++Pg)
+    T.access(Pg * 4096);
+  EXPECT_EQ(T.misses(), 64u);
+  EXPECT_EQ(T.access(0), 30u); // Page 0 long evicted.
+}
+
+// --------------------------------------------------------- MemoryHierarchy
+
+TEST(MemoryHierarchy, DataAccessLatencyTiers) {
+  HierarchyConfig Config;
+  MemoryHierarchy H(Config);
+  // Cold: DTLB miss + L1D miss + L2 miss + memory.
+  MemAccessInfo First = H.dataAccess(0x100000, false);
+  EXPECT_FALSE(First.L1Hit);
+  EXPECT_FALSE(First.L2Hit);
+  EXPECT_GE(First.Latency, Config.MemoryLatency);
+  EXPECT_EQ(H.memoryReads(), 1u);
+  // Warm: L1 hit at hit latency.
+  MemAccessInfo Second = H.dataAccess(0x100000, false);
+  EXPECT_TRUE(Second.L1Hit);
+  EXPECT_EQ(Second.Latency, Config.L1DSettings[0].HitLatency);
+}
+
+TEST(MemoryHierarchy, L2HitAfterL1Eviction) {
+  HierarchyConfig Config;
+  MemoryHierarchy H(Config);
+  uint64_t A = 0x0;
+  H.dataAccess(A, false);
+  // Evict A from L1D (8 KB, 64 sets, 2-way) by touching two conflicting
+  // blocks; A stays in the (much larger) L2.
+  uint64_t SetStride = 64 * 64;
+  H.dataAccess(A + SetStride, false);
+  H.dataAccess(A + 2 * SetStride, false);
+  MemAccessInfo R = H.dataAccess(A, false);
+  EXPECT_FALSE(R.L1Hit);
+  EXPECT_TRUE(R.L2Hit);
+  EXPECT_EQ(H.memoryReads(), 3u); // No extra memory read for the L2 hit.
+}
+
+TEST(MemoryHierarchy, DirtyL1EvictionWritesIntoL2) {
+  HierarchyConfig Config;
+  MemoryHierarchy H(Config);
+  uint64_t SetStride = 64 * 64;
+  H.dataAccess(0, true); // Dirty in L1D.
+  uint64_t L2WritesBefore = H.l2().totalStats().Writes;
+  H.dataAccess(1 * SetStride, false);
+  H.dataAccess(2 * SetStride, false); // Evicts the dirty line.
+  EXPECT_GT(H.l2().totalStats().Writes, L2WritesBefore);
+}
+
+TEST(MemoryHierarchy, InstrFetchUsesL1I) {
+  HierarchyConfig Config;
+  MemoryHierarchy H(Config);
+  uint32_t Cold = H.instrFetch(0x40000000);
+  uint32_t Warm = H.instrFetch(0x40000000);
+  EXPECT_GT(Cold, Warm);
+  EXPECT_EQ(Warm, Config.L1I.HitLatency);
+}
+
+namespace {
+
+HierarchyConfig flushAllConfig() {
+  HierarchyConfig C;
+  C.RetainOnDownsize = false;
+  return C;
+}
+
+} // namespace
+
+TEST(MemoryHierarchy, ReconfigureL1DCostScalesWithDirtyLines) {
+  MemoryHierarchy H{flushAllConfig()};
+  ReconfigCost CleanCost = H.reconfigureL1D(1);
+  EXPECT_TRUE(CleanCost.Changed);
+  EXPECT_EQ(CleanCost.Writebacks, 0u);
+
+  // Dirty a number of lines, then resize again.
+  for (uint64_t I = 0; I != 32; ++I)
+    H.dataAccess(I * 64, true);
+  ReconfigCost DirtyCost = H.reconfigureL1D(2);
+  EXPECT_EQ(DirtyCost.Writebacks, 32u);
+  EXPECT_GT(DirtyCost.Cycles, CleanCost.Cycles);
+}
+
+TEST(MemoryHierarchy, RetentionReducesReconfigureCost) {
+  // Same dirty set, retention vs flush-all: the retaining hierarchy must
+  // write back strictly fewer lines on a downsize.
+  MemoryHierarchy Retain{HierarchyConfig()};
+  MemoryHierarchy Flush{flushAllConfig()};
+  for (uint64_t I = 0; I != 32; ++I) {
+    Retain.dataAccess(I * 64, true);
+    Flush.dataAccess(I * 64, true);
+  }
+  ReconfigCost RC = Retain.reconfigureL1D(1);
+  ReconfigCost FC = Flush.reconfigureL1D(1);
+  EXPECT_LT(RC.Writebacks, FC.Writebacks);
+  EXPECT_LE(RC.Cycles, FC.Cycles);
+}
+
+TEST(MemoryHierarchy, ReconfigureL2SendsWritebacksToMemory) {
+  MemoryHierarchy H{flushAllConfig()};
+  // Stride 128 B so each dirty L1D line maps to its own (128 B) L2 line.
+  for (uint64_t I = 0; I != 16; ++I)
+    H.dataAccess(I * 128, true);
+  // Push dirty lines down into L2 by flushing L1D via reconfiguration.
+  H.reconfigureL1D(1);
+  uint64_t MemWritesBefore = H.memoryWrites();
+  ReconfigCost Cost = H.reconfigureL2(1);
+  EXPECT_TRUE(Cost.Changed);
+  EXPECT_EQ(Cost.Writebacks, 16u);
+  EXPECT_EQ(H.memoryWrites(), MemWritesBefore + 16u);
+}
+
+TEST(MemoryHierarchy, ReconfigureToSameSettingFree) {
+  MemoryHierarchy H{HierarchyConfig()};
+  ReconfigCost Cost = H.reconfigureL1D(0);
+  EXPECT_FALSE(Cost.Changed);
+  EXPECT_EQ(Cost.Cycles, 0u);
+}
+
+TEST(MemoryHierarchy, DefaultConfigMatchesScaledTable2) {
+  HierarchyConfig Config;
+  ASSERT_EQ(Config.L1DSettings.size(), 4u);
+  ASSERT_EQ(Config.L2Settings.size(), 4u);
+  // 8x ladder from largest to smallest, factor 2 between settings.
+  for (int I = 0; I != 3; ++I) {
+    EXPECT_EQ(Config.L1DSettings[I].SizeBytes,
+              2 * Config.L1DSettings[I + 1].SizeBytes);
+    EXPECT_EQ(Config.L2Settings[I].SizeBytes,
+              2 * Config.L2Settings[I + 1].SizeBytes);
+  }
+  EXPECT_EQ(Config.L2Settings[0].SizeBytes /
+                Config.L1DSettings[0].SizeBytes,
+            16u); // L2:L1D capacity ratio preserved from Table 2.
+}
+
+// --------------------------------------------------- Reconfiguration stress
+
+/// Property: under an arbitrary interleaving of accesses and
+/// reconfigurations, the reconfigurable cache never loses a dirty write
+/// silently — every dirty line is either still resident, or was reported
+/// as a write-back — and its statistics stay consistent.
+class ReconfigStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReconfigStressTest, RandomInterleavingKeepsInvariants) {
+  ReconfigurableCache C(l1dLadder(), 0, "L1D", /*RetainOnDownsize=*/true);
+  uint64_t State = GetParam();
+  auto Next = [&State] {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  };
+  uint64_t TotalWritebacks = 0;
+  uint64_t Accesses = 0;
+  for (int I = 0; I != 20000; ++I) {
+    uint64_t R = Next();
+    if (R % 97 == 0) {
+      ReconfigResult RR = C.reconfigure(static_cast<unsigned>(R >> 8) % 4);
+      TotalWritebacks += RR.Writebacks;
+      continue;
+    }
+    uint64_t Addr = (R >> 16) & 0x7fff0;
+    CacheAccessResult AR = C.access(Addr, (R & 1) != 0);
+    TotalWritebacks += AR.EvictedDirty;
+    ++Accesses;
+    // The just-touched block must be resident in the active configuration.
+    ASSERT_TRUE(C.access(Addr, false).Hit);
+    ++Accesses;
+  }
+  CacheStats S = C.totalStats();
+  EXPECT_EQ(S.accesses(), Accesses);
+  EXPECT_LE(S.misses(), S.accesses());
+  EXPECT_EQ(C.reconfigurationWritebacks() <= S.Writes, true)
+      << "cannot write back more lines than were ever written";
+  EXPECT_LE(C.geometry().numLines(), l1dLadder()[0].numLines());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReconfigStressTest,
+                         ::testing::Values(1u, 42u, 0xdeadbeefu, 7777u,
+                                           123456789u));
+
+/// Property: retention never *invents* hits — every line resident after a
+/// downsize was resident before it.
+TEST(ReconfigurableCache, RetentionNeverInventsLines) {
+  ReconfigurableCache C(l1dLadder(), 0, "L1D", /*RetainOnDownsize=*/true);
+  std::vector<uint64_t> Touched;
+  for (uint64_t I = 0; I != 300; ++I) {
+    uint64_t Addr = (I * 2654435761u) & 0xffc0;
+    C.access(Addr, I % 3 == 0);
+    Touched.push_back(Addr);
+  }
+  C.reconfigure(2, nullptr);
+  // Probing addresses never touched must miss (no invented residency).
+  for (uint64_t I = 0; I != 300; ++I) {
+    uint64_t Addr = 0x100000 + ((I * 2654435761u) & 0xffc0);
+    EXPECT_FALSE(C.probe(Addr)) << Addr;
+  }
+}

@@ -1,0 +1,181 @@
+//===- tests/dosys_test.cpp - DO system unit tests ------------------------==//
+
+#include "dosys/DoSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace dynace;
+
+namespace {
+
+/// Records hotspot events.
+struct RecordingClient : public DoClient {
+  std::vector<MethodId> Detected;
+  std::vector<MethodId> Enters;
+  std::vector<std::pair<MethodId, uint64_t>> Exits;
+  void onHotspotDetected(MethodId Id) override { Detected.push_back(Id); }
+  void onHotspotEnter(MethodId Id) override { Enters.push_back(Id); }
+  void onHotspotExit(MethodId Id, uint64_t Inclusive) override {
+    Exits.push_back({Id, Inclusive});
+  }
+};
+
+/// Drives one complete leaf invocation of \p Instructions instructions.
+void invoke(DoSystem &Do, MethodId Id, uint64_t &Clock,
+            uint64_t Instructions) {
+  Do.onMethodEnter(Id, Clock);
+  Clock += Instructions;
+  Do.onMethodExit(Id, Instructions, Clock);
+}
+
+DoConfig testConfig(uint64_t HotThreshold = 4,
+                    uint64_t SampleInstr = 1000000) {
+  DoConfig C;
+  C.HotThreshold = HotThreshold;
+  C.HotSampleInstructions = SampleInstr;
+  return C;
+}
+
+} // namespace
+
+TEST(DoSystem, PromotesAtInvocationThreshold) {
+  DoSystem Do(4, testConfig(4));
+  RecordingClient Client;
+  Do.setClient(&Client);
+  uint64_t Clock = 0;
+  for (int I = 0; I != 3; ++I)
+    invoke(Do, 1, Clock, 100);
+  EXPECT_FALSE(Do.isHotspot(1));
+  EXPECT_TRUE(Client.Detected.empty());
+  invoke(Do, 1, Clock, 100); // 4th invocation promotes.
+  EXPECT_TRUE(Do.isHotspot(1));
+  ASSERT_EQ(Client.Detected.size(), 1u);
+  EXPECT_EQ(Client.Detected[0], 1u);
+}
+
+TEST(DoSystem, PromotesBySampleInstructions) {
+  // A long-running method is promoted after few invocations, like Jikes'
+  // timer-based sampling would.
+  DoSystem Do(2, testConfig(/*HotThreshold=*/1000,
+                            /*SampleInstr=*/50000));
+  RecordingClient Client;
+  Do.setClient(&Client);
+  uint64_t Clock = 0;
+  invoke(Do, 0, Clock, 60000); // Accumulates 60K inclusive.
+  EXPECT_FALSE(Do.isHotspot(0));
+  invoke(Do, 0, Clock, 60000); // Promoted at this entry.
+  EXPECT_TRUE(Do.isHotspot(0));
+}
+
+TEST(DoSystem, HotspotEventsOnlyAfterPromotion) {
+  DoSystem Do(2, testConfig(2));
+  RecordingClient Client;
+  Do.setClient(&Client);
+  uint64_t Clock = 0;
+  invoke(Do, 0, Clock, 10);
+  EXPECT_TRUE(Client.Enters.empty());
+  invoke(Do, 0, Clock, 10); // Promotion fires detected + enter + exit.
+  EXPECT_EQ(Client.Enters.size(), 1u);
+  EXPECT_EQ(Client.Exits.size(), 1u);
+  invoke(Do, 0, Clock, 10);
+  EXPECT_EQ(Client.Enters.size(), 2u);
+}
+
+TEST(DoSystem, ExitEventCarriesInclusiveSize) {
+  DoSystem Do(2, testConfig(1));
+  RecordingClient Client;
+  Do.setClient(&Client);
+  uint64_t Clock = 0;
+  invoke(Do, 0, Clock, 777);
+  ASSERT_EQ(Client.Exits.size(), 1u);
+  EXPECT_EQ(Client.Exits[0].second, 777u);
+}
+
+TEST(DoSystem, MidInvocationPromotionStaysBalanced) {
+  // Outer enters cold; a recursive inner invocation promotes the method;
+  // the outer exit must NOT fire an unmatched hotspot exit.
+  DoSystem Do(1, testConfig(2));
+  RecordingClient Client;
+  Do.setClient(&Client);
+  Do.onMethodEnter(0, 0);       // 1st invocation (cold).
+  Do.onMethodEnter(0, 10);      // 2nd invocation: promoted, hot enter.
+  Do.onMethodExit(0, 5, 15);    // Hot exit.
+  Do.onMethodExit(0, 20, 20);   // Outer exit: entered cold, no hot exit.
+  EXPECT_EQ(Client.Enters.size(), 1u);
+  EXPECT_EQ(Client.Exits.size(), 1u);
+}
+
+TEST(DoSystem, SizeEmaTracksInvocationSizes) {
+  DoConfig C = testConfig(1);
+  C.SizeEmaAlpha = 0.5;
+  DoSystem Do(1, C);
+  uint64_t Clock = 0;
+  invoke(Do, 0, Clock, 1000);
+  EXPECT_DOUBLE_EQ(Do.hotspotSize(0), 1000.0);
+  invoke(Do, 0, Clock, 2000);
+  EXPECT_DOUBLE_EQ(Do.hotspotSize(0), 1500.0);
+  invoke(Do, 0, Clock, 1500);
+  EXPECT_DOUBLE_EQ(Do.hotspotSize(0), 1500.0);
+}
+
+TEST(DoSystem, StatsCountHotspotsAndInvocations) {
+  DoSystem Do(3, testConfig(2));
+  uint64_t Clock = 0;
+  for (int I = 0; I != 10; ++I)
+    invoke(Do, 0, Clock, 100);
+  for (int I = 0; I != 6; ++I)
+    invoke(Do, 1, Clock, 200);
+  invoke(Do, 2, Clock, 50); // Never promoted.
+  DoStats S = Do.stats(Clock);
+  EXPECT_EQ(S.NumHotspots, 2u);
+  EXPECT_NEAR(S.AvgInvocationsPerHotspot, (10.0 + 6.0) / 2.0, 1e-9);
+  EXPECT_NEAR(S.AvgHotspotSize, 150.0, 1e-9);
+  EXPECT_NEAR(S.IdentificationLatencyFraction, 2.0 / 8.0, 1e-9);
+}
+
+TEST(DoSystem, HotspotCodeFractionCoversNestedHotRegions) {
+  DoSystem Do(2, testConfig(1)); // Everything hot immediately.
+  uint64_t Clock = 0;
+  // Method 0 encloses method 1; only the outer span counts once.
+  Do.onMethodEnter(0, Clock);
+  Clock += 100;
+  Do.onMethodEnter(1, Clock);
+  Clock += 300;
+  Do.onMethodExit(1, 300, Clock);
+  Clock += 100;
+  Do.onMethodExit(0, 500, Clock);
+  Clock += 500; // Non-hot execution afterwards.
+  DoStats S = Do.stats(Clock);
+  EXPECT_NEAR(S.HotspotCodeFraction, 500.0 / 1000.0, 1e-9);
+}
+
+TEST(DoSystem, StallChargedOnPromotionAndCounters) {
+  uint64_t Stalled = 0;
+  DoConfig C = testConfig(2);
+  C.Costs.JitCompileCycles = 1000;
+  C.Costs.CounterUpdateCycles = 1;
+  DoSystem Do(1, C, [&](uint64_t Cycles) { Stalled += Cycles; });
+  uint64_t Clock = 0;
+  invoke(Do, 0, Clock, 10); // Counter update only.
+  EXPECT_EQ(Stalled, 1u);
+  invoke(Do, 0, Clock, 10); // Counter update + JIT.
+  EXPECT_EQ(Stalled, 1u + 1u + 1000u);
+  invoke(Do, 0, Clock, 10); // Hot: no baseline counter cost.
+  EXPECT_EQ(Stalled, 1002u);
+}
+
+TEST(DoSystem, NumMethodsReflectsProgram) {
+  DoSystem Do(17, testConfig());
+  EXPECT_EQ(Do.numMethods(), 17u);
+}
+
+TEST(DoSystem, EntryAccessorExposesState) {
+  DoSystem Do(2, testConfig(3));
+  uint64_t Clock = 0;
+  invoke(Do, 1, Clock, 10);
+  invoke(Do, 1, Clock, 10);
+  const DoEntry &E = Do.entry(1);
+  EXPECT_EQ(E.Invocations, 2u);
+  EXPECT_FALSE(E.IsHotspot);
+  EXPECT_EQ(E.InclusiveInstructions, 20u);
+}

@@ -1,0 +1,219 @@
+//===- tests/integration_test.cpp - cross-module end-to-end tests ---------==//
+//
+// End-to-end checks of the paper's mechanisms on small custom programs:
+// CU decoupling assigns hotspots to the right units, the hotspot scheme
+// reduces energy without excessive slowdown, the guard rate-limits real
+// hardware, and the ablation switches behave.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/MethodBuilder.h"
+#include "sim/ExperimentRunner.h"
+#include "sim/System.h"
+
+#include <gtest/gtest.h>
+
+using namespace dynace;
+
+namespace {
+
+/// Builds a nested two-tier program: an outer "phase" method (L2-sized)
+/// calling an inner kernel (L1D-sized) several times, repeated by main.
+/// Footprints: inner array \p InnerWords, outer array \p OuterWords.
+Program nestedProgram(uint64_t InnerWords, uint64_t OuterWords,
+                      int64_t InnerIters, int64_t InnerCalls,
+                      int64_t OuterCalls) {
+  Program P;
+  uint64_t InnerBase = P.addGlobal(InnerWords);
+  uint64_t OuterBase = P.addGlobal(OuterWords);
+
+  MethodBuilder Inner("inner");
+  Inner.iconst(1, 0);
+  Inner.iconst(2, static_cast<int64_t>(InnerBase));
+  Inner.iconst(3, static_cast<int64_t>(InnerWords - 1));
+  Inner.iconst(4, 0);
+  MethodBuilder::Label ITop = Inner.newLabel();
+  Inner.bind(ITop);
+  Inner.add(5, 1, 0);
+  Inner.and_(5, 5, 3);
+  Inner.loadIdx(6, 2, 5);
+  Inner.add(4, 4, 6);
+  Inner.storeIdx(2, 5, 4);
+  Inner.addi(1, 1, 1);
+  Inner.bri(CondKind::Lt, 1, InnerIters, ITop);
+  Inner.ret(4);
+  MethodId InnerId = P.addMethod(Inner.take());
+
+  MethodBuilder Outer("outer");
+  // Outer scan with stride 8 words over its own (larger) array.
+  Outer.iconst(1, 0);
+  Outer.iconst(2, static_cast<int64_t>(OuterBase));
+  Outer.iconst(3, static_cast<int64_t>(OuterWords - 1));
+  Outer.iconst(4, 0);
+  MethodBuilder::Label OTop = Outer.newLabel();
+  Outer.bind(OTop);
+  Outer.muli(5, 1, 8);
+  Outer.and_(5, 5, 3);
+  Outer.loadIdx(6, 2, 5);
+  Outer.add(4, 4, 6);
+  Outer.addi(1, 1, 1);
+  Outer.bri(CondKind::Lt, 1, 400, OTop);
+  // Call the inner kernel InnerCalls times.
+  Outer.iconst(7, 0);
+  MethodBuilder::Label CTop = Outer.newLabel();
+  Outer.bind(CTop);
+  Outer.add(8, 0, 7);
+  Outer.call(9, InnerId, 8, 1);
+  Outer.addi(7, 7, 1);
+  Outer.bri(CondKind::Lt, 7, InnerCalls, CTop);
+  Outer.ret(4);
+  MethodId OuterId = P.addMethod(Outer.take());
+
+  MethodBuilder Main("main");
+  Main.iconst(1, 0);
+  MethodBuilder::Label MTop = Main.newLabel();
+  Main.bind(MTop);
+  Main.mov(2, 1);
+  Main.call(3, OuterId, 2, 1);
+  Main.addi(1, 1, 1);
+  Main.bri(CondKind::Lt, 1, OuterCalls, MTop);
+  Main.halt();
+  P.setEntry(P.addMethod(Main.take()));
+  EXPECT_TRUE(P.finalize());
+  return P;
+}
+
+} // namespace
+
+TEST(Integration, CuDecouplingAssignsTiersToUnits) {
+  // Inner ~14K instructions (L1D band), outer ~90K (L2 band).
+  Program P = nestedProgram(/*InnerWords=*/256, /*OuterWords=*/4096,
+                            /*InnerIters=*/2000, /*InnerCalls=*/6,
+                            /*OuterCalls=*/120);
+  SimulationOptions Opts;
+  Opts.SchemeKind = Scheme::Hotspot;
+  System Sys(P, Opts);
+  Sys.run();
+  const HotspotAceData &Inner = Sys.aceManager()->hotspotData(0);
+  const HotspotAceData &Outer = Sys.aceManager()->hotspotData(1);
+  EXPECT_EQ(Inner.CuClass, 0) << "inner kernel tunes the L1D";
+  EXPECT_EQ(Outer.CuClass, 1) << "outer phase tunes the L2";
+  EXPECT_EQ(Inner.Configs.size(), 4u);
+  EXPECT_EQ(Outer.Configs.size(), 4u);
+}
+
+TEST(Integration, HotspotSchemeShrinksCachesForSmallWorkingSets) {
+  Program P = nestedProgram(256, 1024, 2000, 6, 150);
+  SimulationOptions Opts;
+  SimulationResult Base = System(P, Opts).run();
+  Opts.SchemeKind = Scheme::Hotspot;
+  System Hot(P, Opts);
+  SimulationResult HotR = Hot.run();
+
+  // Working sets are tiny: both caches should spend most accesses below
+  // the maximum setting, cutting both caches' energy.
+  EXPECT_LT(HotR.L1DAccessesBySetting[0],
+            HotR.L1DStats.accesses() * 3 / 4);
+  double L1DRed = BenchmarkRun::reduction(HotR.L1DEnergy.total(),
+                                          Base.L1DEnergy.total());
+  double L2Red = BenchmarkRun::reduction(HotR.L2Energy.total(),
+                                         Base.L2Energy.total());
+  EXPECT_GT(L1DRed, 0.15);
+  EXPECT_GT(L2Red, 0.15);
+  EXPECT_LT(BenchmarkRun::slowdown(HotR.Cycles, Base.Cycles), 0.10);
+}
+
+TEST(Integration, BigWorkingSetKeepsLargeCache) {
+  // Inner working set (48 KB) defeats every L1D setting; the outer array
+  // (32 KB) needs a large L2. EPI should then pick small (nothing helps)
+  // or keep large (IPC floor) — but the *IPC* must never collapse more
+  // than the threshold-bounded amount.
+  Program P = nestedProgram(/*InnerWords=*/8192, /*OuterWords=*/4096, 3000,
+                            5, 120);
+  SimulationOptions Opts;
+  SimulationResult Base = System(P, Opts).run();
+  Opts.SchemeKind = Scheme::Hotspot;
+  SimulationResult Hot = System(P, Opts).run();
+  EXPECT_LT(BenchmarkRun::slowdown(Hot.Cycles, Base.Cycles), 0.12);
+}
+
+TEST(Integration, GuardRateLimitsReconfigurations) {
+  Program P = nestedProgram(256, 2048, 2000, 6, 150);
+  SimulationOptions Opts;
+  Opts.SchemeKind = Scheme::Hotspot;
+  System Sys(P, Opts);
+  SimulationResult R = Sys.run();
+  // The L1D guard allows at most one change per 10K instructions.
+  EXPECT_LE(R.L1DHardwareReconfigs, R.Instructions / 10000 + 2);
+  EXPECT_LE(R.L2HardwareReconfigs, R.Instructions / 100000 + 2);
+}
+
+TEST(Integration, DisablingGuardAllowsMoreReconfigurations) {
+  Program P = nestedProgram(256, 2048, 900, 4, 400);
+  SimulationOptions Opts;
+  Opts.SchemeKind = Scheme::Hotspot;
+  SimulationResult Guarded = System(P, Opts).run();
+  Opts.Ace.GuardEnabled = false;
+  SimulationResult Unguarded = System(P, Opts).run();
+  EXPECT_GE(Unguarded.L1DHardwareReconfigs, Guarded.L1DHardwareReconfigs);
+}
+
+TEST(Integration, NoDecouplingTestsManyMoreConfigurations) {
+  Program P = nestedProgram(256, 2048, 2000, 6, 200);
+  SimulationOptions Opts;
+  Opts.SchemeKind = Scheme::Hotspot;
+  SimulationResult Decoupled = System(P, Opts).run();
+  Opts.Ace.DecouplingEnabled = false;
+  SimulationResult Coupled = System(P, Opts).run();
+  ASSERT_TRUE(Decoupled.Ace.has_value());
+  ASSERT_TRUE(Coupled.Ace.has_value());
+  uint64_t DecoupledTunings = 0, CoupledTunings = 0;
+  for (const AceCuReport &Cu : Decoupled.Ace->PerCu)
+    DecoupledTunings += Cu.Tunings;
+  for (const AceCuReport &Cu : Coupled.Ace->PerCu)
+    CoupledTunings += Cu.Tunings;
+  // The cross product (16 configs, paired -> 31 slots) dwarfs the
+  // decoupled sweeps (4 configs each).
+  EXPECT_GT(CoupledTunings, DecoupledTunings);
+}
+
+TEST(Integration, BbvDetectsRecurringStablePhases) {
+  // Two alternating long phases over different code; BBV should find a
+  // small number of phases with high stability.
+  Program P = nestedProgram(256, 2048, 4000, 8, 120);
+  SimulationOptions Opts;
+  Opts.SchemeKind = Scheme::Bbv;
+  SimulationResult R = System(P, Opts).run();
+  ASSERT_TRUE(R.BbvR.has_value());
+  EXPECT_GE(R.BbvR->NumPhases, 1u);
+  EXPECT_LE(R.BbvR->NumPhases, 10u);
+  EXPECT_GT(R.BbvR->StableIntervalFraction, 0.8);
+}
+
+TEST(Integration, DoOverheadChargedOnlyWithDoSystem) {
+  Program P = nestedProgram(256, 2048, 2000, 6, 60);
+  SimulationOptions Opts;
+  SimulationResult WithDo = System(P, Opts).run();
+  Opts.DoSystemAlwaysOn = false;
+  SimulationResult WithoutDo = System(P, Opts).run();
+  EXPECT_EQ(WithDo.Instructions, WithoutDo.Instructions);
+  EXPECT_GT(WithDo.Cycles, WithoutDo.Cycles); // JIT + counter stalls.
+}
+
+TEST(Integration, HotspotBeatsBbvOnNestedWorkload) {
+  // The headline comparison on a miniature workload: with nested phases of
+  // different granularity, the hotspot scheme should achieve at least the
+  // BBV scheme's L1D energy reduction.
+  Program P = nestedProgram(256, 4096, 3000, 8, 150);
+  SimulationOptions Opts;
+  SimulationResult Base = System(P, Opts).run();
+  Opts.SchemeKind = Scheme::Bbv;
+  SimulationResult Bbv = System(P, Opts).run();
+  Opts.SchemeKind = Scheme::Hotspot;
+  SimulationResult Hot = System(P, Opts).run();
+  double BbvL1D = BenchmarkRun::reduction(Bbv.L1DEnergy.total(),
+                                          Base.L1DEnergy.total());
+  double HotL1D = BenchmarkRun::reduction(Hot.L1DEnergy.total(),
+                                          Base.L1DEnergy.total());
+  EXPECT_GE(HotL1D, BbvL1D - 0.05);
+}

@@ -1,0 +1,303 @@
+//===- tests/isa_test.cpp - ISA / program / builder unit tests ------------==//
+
+#include "isa/Instruction.h"
+#include "isa/MethodBuilder.h"
+#include "isa/Opcode.h"
+#include "isa/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace dynace;
+
+// ------------------------------------------------------------------- Opcode
+
+struct OpClassCase {
+  Opcode Op;
+  OpClass Expected;
+};
+
+class OpClassTest : public ::testing::TestWithParam<OpClassCase> {};
+
+TEST_P(OpClassTest, MapsToExpectedClass) {
+  EXPECT_EQ(opClassOf(GetParam().Op), GetParam().Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpClassTest,
+    ::testing::Values(
+        OpClassCase{Opcode::IConst, OpClass::IntAlu},
+        OpClassCase{Opcode::Mov, OpClass::IntAlu},
+        OpClassCase{Opcode::Add, OpClass::IntAlu},
+        OpClassCase{Opcode::Sub, OpClass::IntAlu},
+        OpClassCase{Opcode::Mul, OpClass::IntMult},
+        OpClassCase{Opcode::MulI, OpClass::IntMult},
+        OpClassCase{Opcode::Div, OpClass::IntDiv},
+        OpClassCase{Opcode::Rem, OpClass::IntDiv},
+        OpClassCase{Opcode::And, OpClass::IntAlu},
+        OpClassCase{Opcode::Or, OpClass::IntAlu},
+        OpClassCase{Opcode::Xor, OpClass::IntAlu},
+        OpClassCase{Opcode::Shl, OpClass::IntAlu},
+        OpClassCase{Opcode::Shr, OpClass::IntAlu},
+        OpClassCase{Opcode::AddI, OpClass::IntAlu},
+        OpClassCase{Opcode::AndI, OpClass::IntAlu},
+        OpClassCase{Opcode::FAdd, OpClass::FpAlu},
+        OpClassCase{Opcode::FSub, OpClass::FpAlu},
+        OpClassCase{Opcode::FMul, OpClass::FpMultDiv},
+        OpClassCase{Opcode::FDiv, OpClass::FpMultDiv},
+        OpClassCase{Opcode::Load, OpClass::Load},
+        OpClassCase{Opcode::LoadIdx, OpClass::Load},
+        OpClassCase{Opcode::Store, OpClass::Store},
+        OpClassCase{Opcode::StoreIdx, OpClass::Store},
+        OpClassCase{Opcode::Br, OpClass::Branch},
+        OpClassCase{Opcode::BrI, OpClass::Branch},
+        OpClassCase{Opcode::Jmp, OpClass::Jump},
+        OpClassCase{Opcode::Call, OpClass::Jump},
+        OpClassCase{Opcode::Ret, OpClass::Jump},
+        OpClassCase{Opcode::Alloc, OpClass::Other},
+        OpClassCase{Opcode::Halt, OpClass::Other}));
+
+TEST(Opcode, NamesAreNonEmpty) {
+  EXPECT_STREQ(opcodeName(Opcode::Add), "add");
+  EXPECT_STREQ(opcodeName(Opcode::LoadIdx), "loadidx");
+  EXPECT_STREQ(condName(CondKind::Lt), "lt");
+  EXPECT_STREQ(condName(CondKind::Ge), "ge");
+}
+
+// -------------------------------------------------------------- Instruction
+
+TEST(Instruction, ControlFlowPredicate) {
+  Instruction In;
+  In.Op = Opcode::Br;
+  EXPECT_TRUE(In.isControlFlow());
+  EXPECT_TRUE(In.isConditionalBranch());
+  In.Op = Opcode::Add;
+  EXPECT_FALSE(In.isControlFlow());
+  In.Op = Opcode::Call;
+  EXPECT_TRUE(In.isControlFlow());
+  EXPECT_FALSE(In.isConditionalBranch());
+}
+
+TEST(Instruction, MemOpPredicate) {
+  Instruction In;
+  In.Op = Opcode::Load;
+  EXPECT_TRUE(In.isMemOp());
+  In.Op = Opcode::StoreIdx;
+  EXPECT_TRUE(In.isMemOp());
+  In.Op = Opcode::Br;
+  EXPECT_FALSE(In.isMemOp());
+}
+
+// ------------------------------------------------------------ MethodBuilder
+
+TEST(MethodBuilder, ForwardLabelFixup) {
+  MethodBuilder B("m");
+  MethodBuilder::Label L = B.newLabel();
+  B.jmp(L);      // Forward reference.
+  B.iconst(1, 5);
+  B.bind(L);
+  B.ret(1);
+  Method M = B.take();
+  ASSERT_EQ(M.Code.size(), 3u);
+  EXPECT_EQ(M.Code[0].Op, Opcode::Jmp);
+  EXPECT_EQ(M.Code[0].Imm, 2); // Jumps to the ret.
+}
+
+TEST(MethodBuilder, BackwardLabel) {
+  MethodBuilder B("loop");
+  MethodBuilder::Label Top = B.newLabel();
+  B.iconst(1, 0);
+  B.bind(Top);
+  B.addi(1, 1, 1);
+  B.bri(CondKind::Lt, 1, 10, Top);
+  B.ret(1);
+  Method M = B.take();
+  EXPECT_EQ(M.Code[2].Imm, 1); // Back-edge to the addi.
+}
+
+TEST(MethodBuilder, BriStoresComparisonInAux) {
+  MethodBuilder B("m");
+  MethodBuilder::Label L = B.newLabel();
+  B.bind(L);
+  B.bri(CondKind::Eq, 3, 77, L);
+  B.ret(0);
+  Method M = B.take();
+  EXPECT_EQ(M.Code[0].Aux, 77);
+  EXPECT_EQ(M.Code[0].Src1, 3);
+  EXPECT_EQ(M.Code[0].Cond, CondKind::Eq);
+}
+
+TEST(MethodBuilder, CallEncoding) {
+  MethodBuilder B("m");
+  B.call(/*Dst=*/5, /*Callee=*/9, /*FirstArg=*/2, /*NumArgs=*/3);
+  B.ret(5);
+  Method M = B.take();
+  EXPECT_EQ(M.Code[0].Op, Opcode::Call);
+  EXPECT_EQ(M.Code[0].Imm, 9);
+  EXPECT_EQ(M.Code[0].Src1, 2);
+  EXPECT_EQ(M.Code[0].Src2, 3);
+  EXPECT_EQ(M.Code[0].Dst, 5);
+}
+
+TEST(MethodBuilder, CallWithNoArgsHasNoArgWindow) {
+  MethodBuilder B("m");
+  B.call(1, 0);
+  B.ret(1);
+  Method M = B.take();
+  EXPECT_EQ(M.Code[0].Src1, kNoReg);
+  EXPECT_EQ(M.Code[0].Src2, 0);
+}
+
+TEST(MethodBuilder, StoreIdxUsesDstAsIndex) {
+  MethodBuilder B("m");
+  B.storeIdx(/*Base=*/1, /*Index=*/2, /*Value=*/3, /*Disp=*/8);
+  B.halt();
+  Method M = B.take();
+  EXPECT_EQ(M.Code[0].Src1, 1);
+  EXPECT_EQ(M.Code[0].Dst, 2);
+  EXPECT_EQ(M.Code[0].Src2, 3);
+  EXPECT_EQ(M.Code[0].Imm, 8);
+}
+
+TEST(MethodBuilder, SizeTracksEmission) {
+  MethodBuilder B("m");
+  EXPECT_EQ(B.size(), 0u);
+  B.iconst(0, 1);
+  B.iconst(1, 2);
+  EXPECT_EQ(B.size(), 2u);
+}
+
+// ------------------------------------------------------------------ Program
+
+namespace {
+
+Method makeRetMethod(const std::string &Name) {
+  MethodBuilder B(Name);
+  B.iconst(0, 1);
+  B.ret(0);
+  return B.take();
+}
+
+} // namespace
+
+TEST(Program, FinalizeAssignsSequentialCodeAddresses) {
+  Program P;
+  MethodId A = P.addMethod(makeRetMethod("a"));
+  MethodId B = P.addMethod(makeRetMethod("b"));
+  P.setEntry(A);
+  ASSERT_TRUE(P.finalize());
+  EXPECT_EQ(P.method(A).CodeBase, kCodeBase);
+  EXPECT_EQ(P.method(B).CodeBase, kCodeBase + 2 * kInstrBytes);
+  EXPECT_EQ(P.method(B).pcOf(1), P.method(B).CodeBase + kInstrBytes);
+}
+
+TEST(Program, AddGlobalAssignsDisjointRegions) {
+  Program P;
+  uint64_t G1 = P.addGlobal(16);
+  uint64_t G2 = P.addGlobal(8);
+  EXPECT_EQ(G1, kHeapBase);
+  EXPECT_EQ(G2, kHeapBase + 16 * 8);
+  EXPECT_EQ(P.globalWords(), 24u);
+}
+
+TEST(Program, RejectsEmptyProgram) {
+  Program P;
+  std::string Err;
+  EXPECT_FALSE(P.finalize(&Err));
+  EXPECT_NE(Err.find("no methods"), std::string::npos);
+}
+
+TEST(Program, RejectsBranchTargetOutOfRange) {
+  Program P;
+  Method M;
+  M.Name = "bad";
+  Instruction Br;
+  Br.Op = Opcode::Jmp;
+  Br.Imm = 5; // Out of range.
+  M.Code.push_back(Br);
+  Instruction Halt;
+  Halt.Op = Opcode::Halt;
+  M.Code.push_back(Halt);
+  P.addMethod(std::move(M));
+  std::string Err;
+  EXPECT_FALSE(P.finalize(&Err));
+  EXPECT_NE(Err.find("branch target"), std::string::npos);
+}
+
+TEST(Program, RejectsCallTargetOutOfRange) {
+  Program P;
+  MethodBuilder B("bad");
+  B.call(1, /*Callee=*/3);
+  B.ret(1);
+  P.addMethod(B.take());
+  std::string Err;
+  EXPECT_FALSE(P.finalize(&Err));
+  EXPECT_NE(Err.find("call target"), std::string::npos);
+}
+
+TEST(Program, RejectsRegisterOutOfRange) {
+  Program P;
+  Method M;
+  M.Name = "bad";
+  Instruction In;
+  In.Op = Opcode::Mov;
+  In.Dst = kNumRegs; // One past the last register.
+  In.Src1 = 0;
+  M.Code.push_back(In);
+  Instruction Halt;
+  Halt.Op = Opcode::Halt;
+  M.Code.push_back(Halt);
+  P.addMethod(std::move(M));
+  std::string Err;
+  EXPECT_FALSE(P.finalize(&Err));
+  EXPECT_NE(Err.find("register"), std::string::npos);
+}
+
+TEST(Program, RejectsMissingTerminator) {
+  Program P;
+  Method M;
+  M.Name = "bad";
+  Instruction In;
+  In.Op = Opcode::IConst;
+  In.Dst = 0;
+  M.Code.push_back(In);
+  P.addMethod(std::move(M));
+  std::string Err;
+  EXPECT_FALSE(P.finalize(&Err));
+  EXPECT_NE(Err.find("ret/halt/jmp"), std::string::npos);
+}
+
+TEST(Program, RejectsBadCallArgumentWindow) {
+  Program P;
+  MethodBuilder B("bad");
+  // FirstArg 30 + 3 args would read past the register file.
+  B.call(1, 0, /*FirstArg=*/30, /*NumArgs=*/3);
+  B.ret(1);
+  P.addMethod(B.take());
+  std::string Err;
+  EXPECT_FALSE(P.finalize(&Err));
+  EXPECT_NE(Err.find("argument window"), std::string::npos);
+}
+
+TEST(Program, RejectsEntryOutOfRange) {
+  Program P;
+  P.addMethod(makeRetMethod("a"));
+  P.setEntry(7);
+  std::string Err;
+  EXPECT_FALSE(P.finalize(&Err));
+  EXPECT_NE(Err.find("entry"), std::string::npos);
+}
+
+TEST(Program, StaticInstructionCount) {
+  Program P;
+  P.addMethod(makeRetMethod("a"));
+  P.addMethod(makeRetMethod("b"));
+  EXPECT_EQ(P.staticInstructionCount(), 4u);
+}
+
+TEST(Program, FinalizedFlag) {
+  Program P;
+  P.addMethod(makeRetMethod("a"));
+  EXPECT_FALSE(P.isFinalized());
+  ASSERT_TRUE(P.finalize());
+  EXPECT_TRUE(P.isFinalized());
+}

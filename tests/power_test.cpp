@@ -1,0 +1,166 @@
+//===- tests/power_test.cpp - energy model and meter tests ----------------==//
+
+#include "cache/MemoryHierarchy.h"
+#include "power/EnergyModel.h"
+#include "power/PowerMeter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace dynace;
+
+// ------------------------------------------------------------- EnergyModel
+
+TEST(EnergyModel, DynamicEnergyGrowsWithSize) {
+  EnergyModel M;
+  CacheGeometry Small{1024, 64, 2, 1};
+  CacheGeometry Big{8192, 64, 2, 1};
+  EXPECT_LT(M.l1DynamicAccess(Small), M.l1DynamicAccess(Big));
+  CacheGeometry L2Small{16 * 1024, 128, 4, 10};
+  CacheGeometry L2Big{128 * 1024, 128, 4, 10};
+  EXPECT_LT(M.l2DynamicAccess(L2Small), M.l2DynamicAccess(L2Big));
+}
+
+TEST(EnergyModel, DynamicScalingFollowsExponent) {
+  EnergyModel M;
+  CacheGeometry A{2048, 64, 2, 1};
+  CacheGeometry B{4096, 64, 2, 1};
+  double Ratio = M.l1DynamicAccess(B) / M.l1DynamicAccess(A);
+  EXPECT_NEAR(Ratio, std::pow(2.0, M.params().DynamicExponent), 1e-9);
+}
+
+TEST(EnergyModel, LeakageIsLinearInSize) {
+  EnergyModel M;
+  CacheGeometry A{2048, 64, 2, 1};
+  CacheGeometry B{8192, 64, 2, 1};
+  EXPECT_NEAR(M.l1LeakagePerCycle(B) / M.l1LeakagePerCycle(A), 4.0, 1e-9);
+  CacheGeometry L2A{16 * 1024, 128, 4, 10};
+  CacheGeometry L2B{64 * 1024, 128, 4, 10};
+  EXPECT_NEAR(M.l2LeakagePerCycle(L2B) / M.l2LeakagePerCycle(L2A), 4.0,
+              1e-9);
+}
+
+TEST(EnergyModel, ReferenceAnchors) {
+  EnergyModelParams P;
+  EnergyModel M(P);
+  CacheGeometry Ref64K{64 * 1024, 64, 2, 1};
+  EXPECT_NEAR(M.l1DynamicAccess(Ref64K), P.L1DynamicAt64K, 1e-9);
+  CacheGeometry Ref1M{1024 * 1024, 128, 4, 10};
+  EXPECT_NEAR(M.l2DynamicAccess(Ref1M), P.L2DynamicAt1M, 1e-9);
+  EXPECT_NEAR(M.l1LeakagePerCycle(Ref64K), P.L1LeakagePer64K, 1e-9);
+  EXPECT_NEAR(M.l2LeakagePerCycle(Ref1M), P.L2LeakagePer1M, 1e-9);
+}
+
+TEST(EnergyModel, CustomParams) {
+  EnergyModelParams P;
+  P.MemoryAccess = 42.0;
+  P.FlushLineTransfer = 7.0;
+  EnergyModel M(P);
+  EXPECT_DOUBLE_EQ(M.memoryAccess(), 42.0);
+  EXPECT_DOUBLE_EQ(M.flushLineTransfer(), 7.0);
+}
+
+// -------------------------------------------------------------- PowerMeter
+
+namespace {
+
+struct MeterFixture : public ::testing::Test {
+  HierarchyConfig HC;
+  MemoryHierarchy Hier{HC};
+  EnergyModel Model;
+  PowerMeter Meter{Hier, Model};
+};
+
+} // namespace
+
+TEST_F(MeterFixture, NoActivityNoEnergy) {
+  EXPECT_DOUBLE_EQ(Meter.l1dEnergy().total(), 0.0);
+  EXPECT_DOUBLE_EQ(Meter.l2Energy().total(), 0.0);
+  EXPECT_DOUBLE_EQ(Meter.memoryEnergy(), 0.0);
+}
+
+TEST_F(MeterFixture, DynamicEnergyMatchesHandComputation) {
+  Hier.dataAccess(0x0, false);  // L1D miss -> L2 miss -> memory.
+  Hier.dataAccess(0x0, false);  // L1D hit.
+  EnergyBreakdown L1D = Meter.l1dEnergy();
+  double PerAccess = Model.l1DynamicAccess(HC.L1DSettings[0]);
+  EXPECT_NEAR(L1D.Dynamic, 2.0 * PerAccess, 1e-9);
+  EnergyBreakdown L2 = Meter.l2Energy();
+  EXPECT_NEAR(L2.Dynamic, Model.l2DynamicAccess(HC.L2Settings[0]), 1e-9);
+  EXPECT_NEAR(Meter.memoryEnergy(), Model.memoryAccess(), 1e-9);
+}
+
+TEST_F(MeterFixture, LeakageIntegratesOverCycles) {
+  Meter.syncLeakage(1000);
+  EnergyBreakdown L2 = Meter.l2Energy();
+  EXPECT_NEAR(L2.Leakage, 1000.0 * Model.l2LeakagePerCycle(HC.L2Settings[0]),
+              1e-9);
+  // Second sync adds only the delta.
+  Meter.syncLeakage(1500);
+  EXPECT_NEAR(Meter.l2Energy().Leakage,
+              1500.0 * Model.l2LeakagePerCycle(HC.L2Settings[0]), 1e-9);
+}
+
+TEST_F(MeterFixture, LeakageUsesActiveSettingAcrossReconfig) {
+  Meter.syncLeakage(1000); // 1000 cycles at the largest L2.
+  Hier.reconfigureL2(3);   // Smallest.
+  Meter.syncLeakage(3000); // 2000 cycles at the smallest L2.
+  double Expected = 1000.0 * Model.l2LeakagePerCycle(HC.L2Settings[0]) +
+                    2000.0 * Model.l2LeakagePerCycle(HC.L2Settings[3]);
+  EXPECT_NEAR(Meter.l2Energy().Leakage, Expected, 1e-9);
+}
+
+TEST_F(MeterFixture, AccessesChargedAtServingSetting) {
+  Hier.dataAccess(0x0, false);
+  Hier.reconfigureL1D(3);
+  Hier.dataAccess(0x0, false);
+  double Expected = Model.l1DynamicAccess(HC.L1DSettings[0]) +
+                    Model.l1DynamicAccess(HC.L1DSettings[3]);
+  EXPECT_NEAR(Meter.l1dEnergy().Dynamic, Expected, 1e-9);
+}
+
+TEST_F(MeterFixture, ReconfigEnergyCountsFlushedLines) {
+  // Dirty lines in sets that the 8 KB -> 4 KB downsize disables (sets
+  // 32..39), so they are genuinely written back despite retention.
+  for (uint64_t I = 0; I != 8; ++I)
+    Hier.dataAccess((32 + I) * 64, true);
+  Hier.reconfigureL1D(1);
+  EnergyBreakdown L1D = Meter.l1dEnergy();
+  double Expected = 8.0 * (Model.l1DynamicAccess(HC.L1DSettings[0]) +
+                           Model.flushLineTransfer());
+  EXPECT_NEAR(L1D.Reconfig, Expected, 1e-9);
+}
+
+TEST_F(MeterFixture, TotalIsSumOfParts) {
+  for (uint64_t I = 0; I != 64; ++I)
+    Hier.dataAccess(I * 64, I % 2 == 0);
+  Hier.instrFetch(0x40000000);
+  Meter.syncLeakage(5000);
+  double Total = Meter.l1dEnergy().total() + Meter.l2Energy().total() +
+                 Meter.l1iEnergy().total() + Meter.memoryEnergy();
+  EXPECT_NEAR(Meter.totalEnergy(), Total, 1e-9);
+  EXPECT_GT(Total, 0.0);
+}
+
+TEST_F(MeterFixture, SmallerCacheLowersDynamicEnergyPerAccess) {
+  // Same access count at the smallest setting must cost less dynamically.
+  MemoryHierarchy HierSmall{HC};
+  PowerMeter MeterSmall(HierSmall, Model);
+  HierSmall.reconfigureL1D(3);
+  for (uint64_t I = 0; I != 100; ++I) {
+    Hier.dataAccess(I % 8 * 64, false);
+    HierSmall.dataAccess(I % 8 * 64, false);
+  }
+  EXPECT_LT(MeterSmall.l1dEnergy().Dynamic, Meter.l1dEnergy().Dynamic);
+}
+
+TEST(EnergyModel, WindowEnergyScalesLinearly) {
+  EnergyModel M;
+  EXPECT_NEAR(M.windowDynamicPerInstr(32) / M.windowDynamicPerInstr(64),
+              0.5, 1e-12);
+  EXPECT_NEAR(M.windowLeakagePerCycle(16) / M.windowLeakagePerCycle(64),
+              0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(M.windowDynamicPerInstr(64),
+                   M.params().WindowDynamicAt64);
+}

@@ -1,0 +1,308 @@
+//===- tests/sim_test.cpp - System / runner / reports tests ---------------==//
+
+#include "isa/MethodBuilder.h"
+#include "sim/ExperimentRunner.h"
+#include "sim/Reports.h"
+#include "sim/ResultCache.h"
+#include "sim/System.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace dynace;
+
+namespace {
+
+/// A small program: main calls a kernel scanning a 2 KB array, repeatedly.
+Program smallProgram(int64_t KernelIters = 2000, int64_t Calls = 300) {
+  Program P;
+  uint64_t Words = 256;
+  uint64_t Base = P.addGlobal(Words);
+
+  MethodBuilder K("kernel");
+  K.iconst(1, 0);
+  K.iconst(2, static_cast<int64_t>(Base));
+  K.iconst(3, static_cast<int64_t>(Words - 1));
+  K.iconst(4, 0);
+  MethodBuilder::Label Top = K.newLabel();
+  K.bind(Top);
+  K.add(5, 1, 0);
+  K.and_(5, 5, 3);
+  K.loadIdx(6, 2, 5);
+  K.add(4, 4, 6);
+  K.storeIdx(2, 5, 4);
+  K.addi(1, 1, 1);
+  K.bri(CondKind::Lt, 1, KernelIters, Top);
+  K.ret(4);
+  MethodId Kernel = P.addMethod(K.take());
+
+  MethodBuilder M("main");
+  M.iconst(1, 0);
+  MethodBuilder::Label Loop = M.newLabel();
+  M.bind(Loop);
+  M.mov(2, 1);
+  M.call(3, Kernel, 2, 1);
+  M.addi(1, 1, 1);
+  M.bri(CondKind::Lt, 1, Calls, Loop);
+  M.halt();
+  P.setEntry(P.addMethod(M.take()));
+  EXPECT_TRUE(P.finalize());
+  return P;
+}
+
+} // namespace
+
+TEST(System, BaselineRunCompletes) {
+  Program P = smallProgram();
+  SimulationOptions Opts;
+  System Sys(P, Opts);
+  SimulationResult R = Sys.run();
+  EXPECT_GT(R.Instructions, 1000u);
+  EXPECT_GT(R.Cycles, 0u);
+  EXPECT_GT(R.Ipc, 0.0);
+  EXPECT_LE(R.Ipc, 4.0);
+  EXPECT_GT(R.L1DEnergy.total(), 0.0);
+  EXPECT_GT(R.L2Energy.total(), 0.0);
+}
+
+TEST(System, SchemeWiring) {
+  Program P = smallProgram(100, 5);
+  SimulationOptions Opts;
+
+  Opts.SchemeKind = Scheme::Baseline;
+  System Base(P, Opts);
+  EXPECT_EQ(Base.aceManager(), nullptr);
+  EXPECT_EQ(Base.bbvManager(), nullptr);
+  EXPECT_NE(Base.doSystem(), nullptr); // DO on in every scheme by default.
+  EXPECT_EQ(Base.l1dUnit(), nullptr);  // No CUs without adaptation.
+
+  Opts.SchemeKind = Scheme::Bbv;
+  System Bbv(P, Opts);
+  EXPECT_EQ(Bbv.aceManager(), nullptr);
+  EXPECT_NE(Bbv.bbvManager(), nullptr);
+  EXPECT_NE(Bbv.l1dUnit(), nullptr);
+
+  Opts.SchemeKind = Scheme::Hotspot;
+  System Hot(P, Opts);
+  EXPECT_NE(Hot.aceManager(), nullptr);
+  EXPECT_EQ(Hot.bbvManager(), nullptr);
+  EXPECT_NE(Hot.l2Unit(), nullptr);
+}
+
+TEST(System, InstructionCapRespected) {
+  Program P = smallProgram(100000, 100000);
+  SimulationOptions Opts;
+  Opts.MaxInstructions = 50000;
+  System Sys(P, Opts);
+  SimulationResult R = Sys.run();
+  EXPECT_GE(R.Instructions, 50000u);
+  EXPECT_LT(R.Instructions, 51000u);
+}
+
+TEST(System, ResultsCarrySchemeReports) {
+  Program P = smallProgram();
+  SimulationOptions Opts;
+  Opts.SchemeKind = Scheme::Hotspot;
+  SimulationResult Hot = System(P, Opts).run();
+  ASSERT_TRUE(Hot.Ace.has_value());
+  EXPECT_FALSE(Hot.BbvR.has_value());
+  EXPECT_GT(Hot.Do.NumHotspots, 0u);
+
+  Opts.SchemeKind = Scheme::Bbv;
+  SimulationResult Bbv = System(P, Opts).run();
+  ASSERT_TRUE(Bbv.BbvR.has_value());
+  EXPECT_FALSE(Bbv.Ace.has_value());
+}
+
+TEST(System, HotspotSchemeSavesL1DEnergyOnSmallWorkingSet) {
+  Program P = smallProgram(5000, 400); // ~2 KB working set, 35K-instr kernel.
+  SimulationOptions Opts;
+  SimulationResult Base = System(P, Opts).run();
+  Opts.SchemeKind = Scheme::Hotspot;
+  SimulationResult Hot = System(P, Opts).run();
+  double Reduction =
+      BenchmarkRun::reduction(Hot.L1DEnergy.total(), Base.L1DEnergy.total());
+  EXPECT_GT(Reduction, 0.2);
+  // And the slowdown stays moderate.
+  EXPECT_LT(BenchmarkRun::slowdown(Hot.Cycles, Base.Cycles), 0.10);
+}
+
+TEST(System, DeterministicAcrossRuns) {
+  Program P = smallProgram();
+  SimulationOptions Opts;
+  Opts.SchemeKind = Scheme::Hotspot;
+  SimulationResult A = System(P, Opts).run();
+  SimulationResult B = System(P, Opts).run();
+  EXPECT_EQ(A.Instructions, B.Instructions);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_DOUBLE_EQ(A.L1DEnergy.total(), B.L1DEnergy.total());
+}
+
+TEST(System, SchemeNames) {
+  EXPECT_STREQ(schemeName(Scheme::Baseline), "baseline");
+  EXPECT_STREQ(schemeName(Scheme::Bbv), "bbv");
+  EXPECT_STREQ(schemeName(Scheme::Hotspot), "hotspot");
+}
+
+TEST(System, ResidencyVectorsCoverAllSettings) {
+  Program P = smallProgram();
+  SimulationOptions Opts;
+  Opts.SchemeKind = Scheme::Hotspot;
+  SimulationResult R = System(P, Opts).run();
+  ASSERT_EQ(R.L1DAccessesBySetting.size(), 4u);
+  ASSERT_EQ(R.L2AccessesBySetting.size(), 4u);
+  uint64_t Total = 0;
+  for (uint64_t V : R.L1DAccessesBySetting)
+    Total += V;
+  EXPECT_EQ(Total, R.L1DStats.accesses());
+}
+
+// --------------------------------------------------------- ExperimentRunner
+
+TEST(ExperimentRunner, CachesRunsByName) {
+  SimulationOptions Opts;
+  Opts.MaxInstructions = 300000; // Keep the test fast.
+  ExperimentRunner Runner(Opts);
+  const WorkloadProfile &P = specjvm98Profiles()[1]; // db
+  const BenchmarkRun &A = Runner.run(P);
+  const BenchmarkRun &B = Runner.run(P);
+  EXPECT_EQ(&A, &B); // Same cached object.
+  EXPECT_EQ(A.Name, "db");
+  EXPECT_GT(A.Baseline.Instructions, 0u);
+}
+
+TEST(ExperimentRunner, RunSchemeProducesRequestedScheme) {
+  SimulationOptions Opts;
+  Opts.MaxInstructions = 200000;
+  ExperimentRunner Runner(Opts);
+  SimulationResult R =
+      Runner.runScheme(specjvm98Profiles()[0], Scheme::Bbv);
+  EXPECT_EQ(R.SchemeKind, Scheme::Bbv);
+  EXPECT_TRUE(R.BbvR.has_value());
+}
+
+TEST(ExperimentRunner, HelperMath) {
+  EXPECT_DOUBLE_EQ(BenchmarkRun::reduction(50.0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(BenchmarkRun::reduction(100.0, 0.0), 0.0);
+  EXPECT_NEAR(BenchmarkRun::slowdown(110, 100), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(BenchmarkRun::slowdown(100, 0), 0.0);
+}
+
+// ------------------------------------------------------------------ Reports
+
+TEST(Reports, PrintersProduceExpectedHeadings) {
+  SimulationOptions Opts;
+  Opts.MaxInstructions = 300000;
+  ExperimentRunner Runner(Opts);
+  std::vector<BenchmarkRun> Runs = {Runner.run(specjvm98Profiles()[1])};
+
+  struct Case {
+    void (*Fn)(std::ostream &, const std::vector<BenchmarkRun> &);
+    const char *Needle;
+    bool PerBenchmark;
+  };
+  const Case Cases[] = {
+      {printFigure1, "stable", true},
+      {printTable1, "Recurring phase", false}, // Aggregate-only table.
+      {printTable4, "number of hotspots", true},
+      {printTable5, "per-hotspot IPC CoV", true},
+      {printTable6, "L1D tunings", true},
+      {printFigure3, "L2 cache energy reduction", true},
+      {printFigure4, "Performance degradation", true},
+  };
+  for (const Case &C : Cases) {
+    std::ostringstream OS;
+    C.Fn(OS, Runs);
+    EXPECT_NE(OS.str().find(C.Needle), std::string::npos) << C.Needle;
+    if (C.PerBenchmark)
+      EXPECT_NE(OS.str().find("db"), std::string::npos) << C.Needle;
+  }
+
+  std::ostringstream Config;
+  printBaselineConfig(Config, Opts);
+  EXPECT_NE(Config.str().find("L1 D-cache"), std::string::npos);
+  std::ostringstream T3;
+  printTable3(T3);
+  EXPECT_NE(T3.str().find("compress"), std::string::npos);
+}
+
+TEST(System, WindowCuManagesIssueWindow) {
+  // ~2.8K-instr kernel invocations: below the L1D band, inside the window
+  // CU's band [interval/2 = 500, 5000).
+  Program P = smallProgram(400, 1200);
+  SimulationOptions Opts;
+  Opts.SchemeKind = Scheme::Hotspot;
+  Opts.EnableWindowCu = true;
+  System Sys(P, Opts);
+  SimulationResult R = Sys.run();
+  ASSERT_NE(Sys.windowUnit(), nullptr);
+  ASSERT_EQ(R.InstructionsByWindowSetting.size(), 4u);
+  // The kernel is a serial dependence chain: a smaller window loses no
+  // IPC, so the tuner should move residency off the largest setting.
+  uint64_t Total = 0;
+  for (uint64_t N : R.InstructionsByWindowSetting)
+    Total += N;
+  EXPECT_EQ(Total, R.Instructions);
+  EXPECT_LT(R.InstructionsByWindowSetting[0], Total);
+  EXPECT_GT(R.WindowEnergy, 0.0);
+}
+
+TEST(System, WindowCuDisabledByDefault) {
+  Program P = smallProgram(100, 5);
+  SimulationOptions Opts;
+  Opts.SchemeKind = Scheme::Hotspot;
+  System Sys(P, Opts);
+  EXPECT_EQ(Sys.windowUnit(), nullptr);
+}
+
+TEST(System, ThreeCuBbvEnumeratesSixtyFourCombos) {
+  Program P = smallProgram(100, 50);
+  SimulationOptions Opts;
+  Opts.SchemeKind = Scheme::Bbv;
+  Opts.EnableWindowCu = true;
+  System Sys(P, Opts);
+  ASSERT_NE(Sys.bbvManager(), nullptr);
+  Sys.run(); // Smoke: three units wired without issue.
+}
+
+TEST(ResultCacheRoundTrip, SaveAndLoadPreservesResult) {
+  Program P = smallProgram(500, 60);
+  SimulationOptions Opts;
+  Opts.SchemeKind = Scheme::Hotspot;
+  SimulationResult R = System(P, Opts).run();
+  std::string Path = ::testing::TempDir() + "/dynace_result.txt";
+  ASSERT_TRUE(saveResult(Path, R));
+  SimulationResult L;
+  ASSERT_TRUE(loadResult(Path, L));
+  EXPECT_EQ(L.Instructions, R.Instructions);
+  EXPECT_EQ(L.Cycles, R.Cycles);
+  EXPECT_DOUBLE_EQ(L.L1DEnergy.Dynamic, R.L1DEnergy.Dynamic);
+  EXPECT_DOUBLE_EQ(L.MemoryEnergy, R.MemoryEnergy);
+  EXPECT_EQ(L.L1DAccessesBySetting, R.L1DAccessesBySetting);
+  ASSERT_TRUE(L.Ace.has_value());
+  EXPECT_EQ(L.Ace->TotalHotspots, R.Ace->TotalHotspots);
+  EXPECT_EQ(L.Ace->PerCu.size(), R.Ace->PerCu.size());
+  EXPECT_EQ(L.Ace->PerCu[0].Reconfigs, R.Ace->PerCu[0].Reconfigs);
+  EXPECT_FALSE(L.BbvR.has_value());
+}
+
+TEST(ResultCacheRoundTrip, LoadRejectsMissingAndCorrupt) {
+  SimulationResult R;
+  EXPECT_FALSE(loadResult("/nonexistent/path.txt", R));
+  std::string Path = ::testing::TempDir() + "/dynace_corrupt.txt";
+  FILE *F = fopen(Path.c_str(), "w");
+  fputs("not-a-result\n", F);
+  fclose(F);
+  EXPECT_FALSE(loadResult(Path, R));
+}
+
+TEST(ResultCacheRoundTrip, KeyDistinguishesOptions) {
+  SimulationOptions A, B;
+  B.Ace.DecouplingEnabled = false;
+  EXPECT_NE(resultCacheKey("db", A), resultCacheKey("db", B));
+  SimulationOptions C;
+  C.EnableWindowCu = true;
+  EXPECT_NE(resultCacheKey("db", A), resultCacheKey("db", C));
+  EXPECT_EQ(resultCacheKey("db", A), resultCacheKey("db", A));
+}

@@ -1,0 +1,265 @@
+//===- tests/support_test.cpp - support library unit tests ----------------==//
+
+#include "support/Format.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+using namespace dynace;
+
+// ---------------------------------------------------------------- Statistics
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.cov(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat S;
+  S.add(42.0);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_DOUBLE_EQ(S.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+}
+
+TEST(RunningStat, MatchesNaiveComputation) {
+  std::vector<double> Values = {1.5, 2.5, 3.0, 7.25, -2.0, 0.0, 11.0};
+  RunningStat S;
+  double Sum = 0;
+  for (double V : Values) {
+    S.add(V);
+    Sum += V;
+  }
+  double Mean = Sum / Values.size();
+  double Var = 0;
+  for (double V : Values)
+    Var += (V - Mean) * (V - Mean);
+  Var /= Values.size();
+  EXPECT_NEAR(S.mean(), Mean, 1e-12);
+  EXPECT_NEAR(S.variance(), Var, 1e-12);
+  EXPECT_NEAR(S.stddev(), std::sqrt(Var), 1e-12);
+}
+
+TEST(RunningStat, CovIsStddevOverMean) {
+  RunningStat S;
+  S.add(10.0);
+  S.add(20.0);
+  EXPECT_NEAR(S.cov(), S.stddev() / 15.0, 1e-12);
+}
+
+TEST(RunningStat, CovZeroMeanIsZero) {
+  RunningStat S;
+  S.add(-1.0);
+  S.add(1.0);
+  EXPECT_DOUBLE_EQ(S.cov(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  RunningStat A, B, All;
+  for (int I = 0; I != 10; ++I) {
+    A.add(I * 1.5);
+    All.add(I * 1.5);
+  }
+  for (int I = 0; I != 7; ++I) {
+    B.add(100.0 - I);
+    All.add(100.0 - I);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), All.count());
+  EXPECT_NEAR(A.mean(), All.mean(), 1e-9);
+  EXPECT_NEAR(A.variance(), All.variance(), 1e-9);
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat A, Empty;
+  A.add(3.0);
+  A.merge(Empty);
+  EXPECT_EQ(A.count(), 1u);
+  Empty.merge(A);
+  EXPECT_EQ(Empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(Empty.mean(), 3.0);
+}
+
+TEST(RunningStat, ClearResets) {
+  RunningStat S;
+  S.add(5.0);
+  S.clear();
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+}
+
+TEST(Statistics, MeanOfAndCovOf) {
+  EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+  EXPECT_DOUBLE_EQ(meanOf({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(covOf({5.0, 5.0, 5.0}), 0.0);
+  EXPECT_GT(covOf({1.0, 9.0}), 0.5);
+}
+
+TEST(Statistics, WeightedMean) {
+  EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {1.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {3.0, 1.0}), 1.5);
+  EXPECT_DOUBLE_EQ(weightedMean({1.0}, {0.0}), 0.0);
+}
+
+// -------------------------------------------------------------------- Random
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(SplitMix64, NextBelowInRange) {
+  SplitMix64 Rng(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(Rng.nextBelow(17), 17u);
+}
+
+TEST(SplitMix64, NextInRangeInclusive) {
+  SplitMix64 Rng(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    uint64_t V = Rng.nextInRange(3, 5);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 5u);
+    SawLo |= V == 3;
+    SawHi |= V == 5;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(SplitMix64, NextDoubleInUnitInterval) {
+  SplitMix64 Rng(11);
+  for (int I = 0; I != 1000; ++I) {
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(SplitMix64, NextBoolRoughlyFair) {
+  SplitMix64 Rng(13);
+  int True = 0;
+  for (int I = 0; I != 10000; ++I)
+    True += Rng.nextBool(0.3);
+  EXPECT_NEAR(True / 10000.0, 0.3, 0.03);
+}
+
+TEST(Random, SampleDiscreteRespectsWeights) {
+  SplitMix64 Rng(17);
+  std::vector<double> W = {0.0, 10.0, 0.0};
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(sampleDiscrete(Rng, W), 1u);
+}
+
+TEST(Random, SampleDiscreteProportions) {
+  SplitMix64 Rng(19);
+  std::vector<double> W = {1.0, 3.0};
+  int Counts[2] = {0, 0};
+  for (int I = 0; I != 20000; ++I)
+    ++Counts[sampleDiscrete(Rng, W)];
+  EXPECT_NEAR(Counts[1] / 20000.0, 0.75, 0.03);
+}
+
+TEST(Random, ZipfWeightsDecreasing) {
+  std::vector<double> W = zipfWeights(10, 0.8);
+  ASSERT_EQ(W.size(), 10u);
+  for (size_t I = 1; I != W.size(); ++I)
+    EXPECT_LT(W[I], W[I - 1]);
+  EXPECT_DOUBLE_EQ(W[0], 1.0);
+}
+
+// -------------------------------------------------------------------- Format
+
+TEST(Format, Percent) {
+  EXPECT_EQ(formatPercent(0.9903), "99.03%");
+  EXPECT_EQ(formatPercent(0.5, 0), "50%");
+  EXPECT_EQ(formatPercent(0.0365), "3.65%");
+  EXPECT_EQ(formatPercent(1.0, 1), "100.0%");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(formatCount(0), "0");
+  EXPECT_EQ(formatCount(999), "999");
+  EXPECT_EQ(formatCount(1000), "1,000");
+  EXPECT_EQ(formatCount(81645), "81,645");
+  EXPECT_EQ(formatCount(1234567890), "1,234,567,890");
+}
+
+TEST(Format, Scientific) {
+  EXPECT_EQ(formatScientific(9.83e9), "9.83E+09");
+  EXPECT_EQ(formatScientific(5.1e9), "5.10E+09");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(formatFixed(1.567, 2), "1.57");
+  EXPECT_EQ(formatFixed(2.0, 1), "2.0");
+}
+
+// --------------------------------------------------------------------- Table
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable T;
+  T.setHeader({"name", "value"});
+  T.addRow({"alpha", "1"});
+  T.addRow({"b", "22222"});
+  std::ostringstream OS;
+  T.print(OS, "Title");
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("Title"), std::string::npos);
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+  EXPECT_NE(Out.find("22222"), std::string::npos);
+  // Right-aligned numeric column: "1" must be padded to width of "22222".
+  EXPECT_NE(Out.find("    1"), std::string::npos);
+}
+
+TEST(TextTable, EmptyTablePrintsNothing) {
+  TextTable T;
+  std::ostringstream OS;
+  T.print(OS);
+  EXPECT_TRUE(OS.str().empty());
+}
+
+TEST(TextTable, ShortRowsLeaveBlanks) {
+  TextTable T;
+  T.setHeader({"a", "b", "c"});
+  T.addRow({"x"});
+  std::ostringstream OS;
+  T.print(OS);
+  EXPECT_NE(OS.str().find("x"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorBetweenSections) {
+  TextTable T;
+  T.setHeader({"k"});
+  T.addRow({"one"});
+  T.addSeparator();
+  T.addRow({"two"});
+  std::ostringstream OS;
+  T.print(OS);
+  // Expect at least three rules: under header, before "two", and at end.
+  std::string Out = OS.str();
+  size_t Rules = 0, Pos = 0;
+  while ((Pos = Out.find("---", Pos)) != std::string::npos) {
+    ++Rules;
+    Pos = Out.find('\n', Pos);
+  }
+  EXPECT_GE(Rules, 3u);
+}

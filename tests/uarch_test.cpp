@@ -1,0 +1,354 @@
+//===- tests/uarch_test.cpp - branch predictor and core timing tests ------==//
+
+#include "uarch/BranchPredictor.h"
+#include "uarch/Core.h"
+
+#include <gtest/gtest.h>
+
+using namespace dynace;
+
+// --------------------------------------------------------- BranchPredictor
+
+TEST(BranchPredictor, LearnsAlwaysTaken) {
+  BranchPredictor P(2048);
+  uint64_t PC = 0x4000;
+  for (int I = 0; I != 8; ++I)
+    P.predictAndUpdate(PC, true);
+  EXPECT_TRUE(P.predict(PC));
+  uint64_t Before = P.mispredicts();
+  P.predictAndUpdate(PC, true);
+  EXPECT_EQ(P.mispredicts(), Before);
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTaken) {
+  BranchPredictor P(2048);
+  uint64_t PC = 0x4400;
+  for (int I = 0; I != 8; ++I)
+    P.predictAndUpdate(PC, false);
+  EXPECT_FALSE(P.predict(PC));
+}
+
+TEST(BranchPredictor, GshareLearnsAlternatingPattern) {
+  BranchPredictor P(2048);
+  uint64_t PC = 0x5000;
+  // Warm up on a strict alternation; gshare keys on the history register,
+  // so late mispredict rate must fall well below 50%.
+  for (int I = 0; I != 512; ++I)
+    P.predictAndUpdate(PC, (I & 1) != 0);
+  uint64_t Before = P.mispredicts();
+  for (int I = 0; I != 256; ++I)
+    P.predictAndUpdate(PC, (I & 1) != 0);
+  uint64_t Late = P.mispredicts() - Before;
+  EXPECT_LT(Late, 32u);
+}
+
+TEST(BranchPredictor, CountsLookupsAndMispredicts) {
+  BranchPredictor P(2048);
+  P.predictAndUpdate(0x100, true);
+  P.predictAndUpdate(0x100, true);
+  EXPECT_EQ(P.lookups(), 2u);
+  EXPECT_LE(P.mispredicts(), 2u);
+  EXPECT_GE(P.mispredictRate(), 0.0);
+  EXPECT_LE(P.mispredictRate(), 1.0);
+}
+
+TEST(BranchPredictor, DistinctPcsIndependentBimodal) {
+  BranchPredictor P(2048);
+  for (int I = 0; I != 8; ++I) {
+    P.predictAndUpdate(0x1000, true);
+    P.predictAndUpdate(0x2000, false);
+  }
+  EXPECT_TRUE(P.predict(0x1000));
+  EXPECT_FALSE(P.predict(0x2000));
+}
+
+// --------------------------------------------------------------------- Core
+
+namespace {
+
+DynInst aluInst(uint64_t PC, uint8_t Dst = kNoReg, uint8_t Src1 = kNoReg,
+                uint8_t Src2 = kNoReg) {
+  DynInst D;
+  D.PC = PC;
+  D.Class = OpClass::IntAlu;
+  D.Dst = Dst;
+  D.Src1 = Src1;
+  D.Src2 = Src2;
+  return D;
+}
+
+DynInst loadInst(uint64_t PC, uint64_t Addr, uint8_t Dst) {
+  DynInst D;
+  D.PC = PC;
+  D.Class = OpClass::Load;
+  D.Dst = Dst;
+  D.MemAddr = Addr;
+  return D;
+}
+
+struct CoreFixture : public ::testing::Test {
+  HierarchyConfig HC;
+  MemoryHierarchy Hier{HC};
+  CoreConfig CC;
+  Core Cpu{CC, Hier};
+
+  /// Code footprint for synthetic streams: loop over a small (1 KB) code
+  /// region like real kernels do, so the I-cache behaves as in steady
+  /// state rather than streaming cold forever.
+  static uint64_t loopPc(uint64_t I, uint64_t Base = 0x40000000) {
+    return Base + (I % 256) * 4;
+  }
+
+  /// Feeds N independent ALU instructions on a looped code footprint.
+  void feedIndependent(uint64_t N, uint64_t PCBase = 0x40000000) {
+    for (uint64_t I = 0; I != N; ++I)
+      Cpu.consume(aluInst(loopPc(I, PCBase),
+                          /*Dst=*/static_cast<uint8_t>(I % 24)));
+  }
+};
+
+} // namespace
+
+TEST_F(CoreFixture, IpcNeverExceedsIssueWidth) {
+  feedIndependent(10000);
+  EXPECT_LE(Cpu.ipc(), static_cast<double>(CC.CommitWidth) + 1e-9);
+  EXPECT_GT(Cpu.ipc(), 0.5);
+}
+
+TEST_F(CoreFixture, IndependentCodeApproachesWidth) {
+  feedIndependent(50000);
+  // Independent single-cycle ALU ops should sustain close to 4-wide.
+  EXPECT_GT(Cpu.ipc(), 2.5);
+}
+
+TEST_F(CoreFixture, DependenceChainSerializes) {
+  // A chain r1 = r1 + ... executes at 1 IPC at best.
+  for (uint64_t I = 0; I != 20000; ++I)
+    Cpu.consume(aluInst(loopPc(I), /*Dst=*/1, /*Src1=*/1));
+  EXPECT_LT(Cpu.ipc(), 1.1);
+  EXPECT_GT(Cpu.ipc(), 0.8);
+}
+
+TEST_F(CoreFixture, StreamingLoadsSlowerThanResident) {
+  // Repeated loads of one line hit after the first fill; streaming loads
+  // over distinct lines keep missing. Use separate hierarchies so the
+  // comparison is not confounded by shared cache state.
+  HierarchyConfig HCA, HCB;
+  MemoryHierarchy HierA{HCA}, HierB{HCB};
+  Core Warm(CC, HierA);
+  for (uint64_t I = 0; I != 2000; ++I)
+    Warm.consume(loadInst(loopPc(I), 0x1000, /*Dst=*/1));
+  Core Stream(CC, HierB);
+  for (uint64_t I = 0; I != 2000; ++I)
+    Stream.consume(loadInst(loopPc(I), 0x800000 + I * 64, /*Dst=*/1));
+  EXPECT_GT(Stream.cycles(), Warm.cycles());
+}
+
+TEST_F(CoreFixture, LoadLatencyExposedThroughDependents) {
+  // load r1 ; add r2 = r1 + r1 ; repeat — dependents wait for the load.
+  for (uint64_t I = 0; I != 1000; ++I) {
+    Cpu.consume(loadInst(loopPc(2 * I), (I % 4) * 64, /*Dst=*/1));
+    Cpu.consume(aluInst(loopPc(2 * I + 1), /*Dst=*/2, /*Src1=*/1));
+  }
+  // L1 hits take >= 1 cycle: the chain cannot exceed ~2 instructions per
+  // 2 cycles.
+  EXPECT_LT(Cpu.ipc(), 2.2);
+}
+
+TEST_F(CoreFixture, MispredictsCostCycles) {
+  // A pseudo-random branch pattern defeats both predictor components;
+  // compare against an always-taken loop branch.
+  auto RunBranches = [&](bool Random) {
+    HierarchyConfig HC2;
+    MemoryHierarchy Hier2{HC2};
+    Core C(CC, Hier2);
+    uint64_t State = 88172645463325252ull;
+    for (uint64_t I = 0; I != 20000; ++I) {
+      DynInst D;
+      D.PC = 0x40001000;
+      D.Class = OpClass::Branch;
+      D.IsCondBranch = true;
+      State ^= State << 13;
+      State ^= State >> 7;
+      State ^= State << 17;
+      D.Taken = Random ? (State & 1) != 0 : true;
+      D.Target = 0x40001000;
+      C.consume(D);
+      C.consume(aluInst(0x40001004, 1));
+    }
+    return C.cycles();
+  };
+  uint64_t Predictable = RunBranches(false);
+  uint64_t Hard = RunBranches(true);
+  EXPECT_GT(Hard, Predictable + 10000);
+}
+
+TEST_F(CoreFixture, StallAdvancesTime) {
+  feedIndependent(100);
+  uint64_t Before = Cpu.cycles();
+  Cpu.stall(5000);
+  feedIndependent(100);
+  EXPECT_GE(Cpu.cycles(), Before + 5000);
+}
+
+TEST_F(CoreFixture, ResetClearsTime) {
+  feedIndependent(100);
+  EXPECT_GT(Cpu.cycles(), 0u);
+  Cpu.reset();
+  EXPECT_EQ(Cpu.cycles(), 0u);
+  EXPECT_EQ(Cpu.instructions(), 0u);
+}
+
+TEST_F(CoreFixture, InstructionCountTracksConsumed) {
+  feedIndependent(1234);
+  EXPECT_EQ(Cpu.instructions(), 1234u);
+}
+
+TEST_F(CoreFixture, DivOccupiesUnitLonger) {
+  auto RunOps = [&](OpClass Class) {
+    HierarchyConfig HC2;
+    MemoryHierarchy Hier2{HC2};
+    Core C(CC, Hier2);
+    for (uint64_t I = 0; I != 5000; ++I) {
+      DynInst D = aluInst(loopPc(I), static_cast<uint8_t>(I % 8));
+      D.Class = Class;
+      C.consume(D);
+    }
+    return C.cycles();
+  };
+  // Unpipelined divides through 2 units must be much slower than ALU ops
+  // through 4 pipelined units.
+  EXPECT_GT(RunOps(OpClass::IntDiv), 4 * RunOps(OpClass::IntAlu));
+}
+
+TEST_F(CoreFixture, SmallerWindowLowersIlp) {
+  CoreConfig Narrow = CC;
+  Narrow.WindowSize = 4;
+  HierarchyConfig HC2;
+  MemoryHierarchy Hier2(HC2);
+  Core Wide(CC, Hier);
+  Core Tight(Narrow, Hier2);
+  // Long-latency load followed by independent ALU work: a tiny window
+  // cannot slide past the load.
+  for (int I = 0; I != 2000; ++I) {
+    DynInst L = loadInst(0x40000000 + I * 40,
+                         0x900000 + static_cast<uint64_t>(I) * 64, 1);
+    Wide.consume(L);
+    Tight.consume(L);
+    for (int J = 0; J != 8; ++J) {
+      DynInst A = aluInst(0x40000004 + I * 40 + J * 4,
+                          static_cast<uint8_t>(2 + J));
+      Wide.consume(A);
+      Tight.consume(A);
+    }
+  }
+  EXPECT_GT(Tight.cycles(), Wide.cycles());
+}
+
+TEST_F(CoreFixture, FetchStallsOnIcacheMiss) {
+  // Jumping across many distinct code blocks forces I-cache misses.
+  Core C(CC, Hier);
+  for (int I = 0; I != 2000; ++I) {
+    DynInst D = aluInst(0x40000000 + static_cast<uint64_t>(I) * 4096,
+                        static_cast<uint8_t>(I % 8));
+    C.consume(D);
+  }
+  Core Sequential(CC, Hier);
+  for (int I = 0; I != 2000; ++I)
+    Sequential.consume(
+        aluInst(0x50000000 + I * 4, static_cast<uint8_t>(I % 8)));
+  EXPECT_GT(C.cycles(), Sequential.cycles());
+}
+
+// ------------------------------------------------- Adaptive issue window
+
+TEST_F(CoreFixture, WindowSettingsDefaultToFullSize) {
+  EXPECT_EQ(Cpu.windowSettings().size(), 1u);
+  EXPECT_EQ(Cpu.windowSettings()[0], CC.WindowSize);
+}
+
+TEST_F(CoreFixture, SmallerWindowSettingLowersIlp) {
+  HierarchyConfig HCA, HCB;
+  MemoryHierarchy HierA{HCA}, HierB{HCB};
+  Core Full(CC, HierA), Tiny(CC, HierB);
+  Tiny.configureWindowSettings({64, 4});
+  Tiny.setWindowSetting(1);
+  // Long-latency loads + independent filler: a 4-entry window cannot
+  // slide past the loads.
+  for (uint64_t I = 0; I != 2000; ++I) {
+    DynInst L = loadInst(loopPc(I * 9), 0x900000 + I * 64, 1);
+    Full.consume(L);
+    Tiny.consume(L);
+    for (int J = 0; J != 8; ++J) {
+      DynInst A = aluInst(loopPc(I * 9 + 1 + J),
+                          static_cast<uint8_t>(2 + J));
+      Full.consume(A);
+      Tiny.consume(A);
+    }
+  }
+  EXPECT_GT(Tiny.cycles(), Full.cycles());
+}
+
+TEST_F(CoreFixture, WindowResidencyCountsPerSetting) {
+  Cpu.configureWindowSettings({64, 16});
+  feedIndependent(100);
+  Cpu.setWindowSetting(1);
+  feedIndependent(300);
+  const std::vector<uint64_t> &N = Cpu.instructionsByWindowSetting();
+  ASSERT_EQ(N.size(), 2u);
+  EXPECT_EQ(N[0], 100u);
+  EXPECT_EQ(N[1], 300u);
+}
+
+TEST_F(CoreFixture, WindowSettingRestorableAtRuntime) {
+  Cpu.configureWindowSettings({64, 32, 16, 8});
+  Cpu.setWindowSetting(3);
+  EXPECT_EQ(Cpu.windowSetting(), 3u);
+  feedIndependent(100);
+  Cpu.setWindowSetting(0);
+  EXPECT_EQ(Cpu.windowSetting(), 0u);
+  feedIndependent(100);
+  EXPECT_EQ(Cpu.instructions(), 200u);
+}
+
+// ----------------------------------------------------- Predictor properties
+
+/// Property: for any fixed periodic pattern with period <= 8, the combined
+/// predictor's steady-state mispredict rate is far below chance.
+class PeriodicPatternTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PeriodicPatternTest, LearnsShortPeriodicPatterns) {
+  uint32_t Period = GetParam();
+  uint32_t Pattern = 0b10110100u; // Arbitrary bits, cycled at Period.
+  BranchPredictor P(2048);
+  for (int I = 0; I != 4096; ++I)
+    P.predictAndUpdate(0x7000, ((Pattern >> (I % Period)) & 1) != 0);
+  uint64_t Before = P.mispredicts();
+  for (int I = 4096; I != 4096 + 512; ++I)
+    P.predictAndUpdate(0x7000, ((Pattern >> (I % Period)) & 1) != 0);
+  EXPECT_LT(P.mispredicts() - Before, 100u) << "period " << Period;
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PeriodicPatternTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));
+
+/// Property: the core's cycle count is monotone in the instruction stream
+/// (consuming more instructions never reduces time) and deterministic.
+TEST_F(CoreFixture, CyclesMonotoneAndDeterministic) {
+  HierarchyConfig HCA, HCB;
+  MemoryHierarchy HierA{HCA}, HierB{HCB};
+  Core A(CC, HierA), B(CC, HierB);
+  uint64_t Prev = 0;
+  for (uint64_t I = 0; I != 5000; ++I) {
+    DynInst D = I % 7 == 0
+                    ? loadInst(loopPc(I), (I % 64) * 64,
+                               static_cast<uint8_t>(I % 8))
+                    : aluInst(loopPc(I), static_cast<uint8_t>(I % 8),
+                              static_cast<uint8_t>((I + 1) % 8));
+    A.consume(D);
+    B.consume(D);
+    ASSERT_GE(A.cycles(), Prev);
+    Prev = A.cycles();
+    ASSERT_EQ(A.cycles(), B.cycles());
+  }
+}

@@ -1,0 +1,523 @@
+//===- tests/vm_test.cpp - Interpreter unit tests -------------------------==//
+
+#include "isa/MethodBuilder.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+using namespace dynace;
+
+namespace {
+
+/// Builds a single-method program from a builder callback.
+template <typename Fn> Program buildProgram(Fn &&Build) {
+  Program P;
+  MethodBuilder B("main");
+  Build(P, B);
+  P.setEntry(P.addMethod(B.take()));
+  std::string Err;
+  EXPECT_TRUE(P.finalize(&Err)) << Err;
+  return P;
+}
+
+/// Runs the program to completion and returns all emitted DynInsts.
+std::vector<DynInst> trace(Interpreter &I, uint64_t Cap = 100000) {
+  std::vector<DynInst> Out;
+  DynInst D;
+  while (!I.isHalted() && Out.size() < Cap) {
+    I.step(D);
+    Out.push_back(D);
+  }
+  return Out;
+}
+
+/// Records method enter/exit events.
+struct RecordingListener : public VmListener {
+  struct Event {
+    bool Enter;
+    MethodId Id;
+    uint64_t Inclusive;
+  };
+  std::vector<Event> Events;
+  void onMethodEnter(MethodId Id, uint64_t) override {
+    Events.push_back({true, Id, 0});
+  }
+  void onMethodExit(MethodId Id, uint64_t Inclusive, uint64_t) override {
+    Events.push_back({false, Id, Inclusive});
+  }
+};
+
+} // namespace
+
+// -------------------------------------------------------------- Arithmetic
+
+struct AluCase {
+  Opcode Op;
+  int64_t A, B, Expected;
+};
+
+class AluTest : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluTest, ComputesExpectedValue) {
+  const AluCase &C = GetParam();
+  Program P = buildProgram([&](Program &, MethodBuilder &B) {
+    B.iconst(1, C.A);
+    B.iconst(2, C.B);
+    Instruction In; // Emit the op under test via the builder helpers.
+    (void)In;
+    switch (C.Op) {
+    case Opcode::Add:
+      B.add(3, 1, 2);
+      break;
+    case Opcode::Sub:
+      B.sub(3, 1, 2);
+      break;
+    case Opcode::Mul:
+      B.mul(3, 1, 2);
+      break;
+    case Opcode::Div:
+      B.div(3, 1, 2);
+      break;
+    case Opcode::Rem:
+      B.rem(3, 1, 2);
+      break;
+    case Opcode::And:
+      B.and_(3, 1, 2);
+      break;
+    case Opcode::Or:
+      B.or_(3, 1, 2);
+      break;
+    case Opcode::Xor:
+      B.xor_(3, 1, 2);
+      break;
+    case Opcode::Shl:
+      B.shl(3, 1, 2);
+      break;
+    case Opcode::Shr:
+      B.shr(3, 1, 2);
+      break;
+    default:
+      FAIL() << "unsupported case";
+    }
+    // Store the result so the test can read it back from memory.
+    uint64_t Addr = B.size(); // placeholder to appease clang; not used
+    (void)Addr;
+    B.iconst(4, static_cast<int64_t>(kHeapBase));
+    B.store(4, 3);
+    B.halt();
+  });
+  Interpreter I(P);
+  trace(I);
+  EXPECT_EQ(static_cast<int64_t>(I.readWord(kHeapBase)), C.Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IntOps, AluTest,
+    ::testing::Values(
+        AluCase{Opcode::Add, 7, 5, 12}, AluCase{Opcode::Add, -3, 3, 0},
+        AluCase{Opcode::Sub, 7, 5, 2}, AluCase{Opcode::Sub, 5, 7, -2},
+        AluCase{Opcode::Mul, 6, 7, 42}, AluCase{Opcode::Mul, -4, 3, -12},
+        AluCase{Opcode::Div, 42, 6, 7}, AluCase{Opcode::Div, -42, 6, -7},
+        AluCase{Opcode::Div, 5, 0, 0}, // Division by zero yields 0.
+        AluCase{Opcode::Rem, 43, 6, 1}, AluCase{Opcode::Rem, 5, 0, 0},
+        AluCase{Opcode::And, 0b1100, 0b1010, 0b1000},
+        AluCase{Opcode::Or, 0b1100, 0b1010, 0b1110},
+        AluCase{Opcode::Xor, 0b1100, 0b1010, 0b0110},
+        AluCase{Opcode::Shl, 3, 4, 48}, AluCase{Opcode::Shr, 48, 4, 3},
+        AluCase{Opcode::Shl, 1, 64, 1} /* shift masked to 0 */));
+
+TEST(Interpreter, ImmediateOps) {
+  Program P = buildProgram([](Program &, MethodBuilder &B) {
+    B.iconst(1, 10);
+    B.addi(2, 1, -3);
+    B.muli(3, 2, 6);
+    B.andi(4, 3, 0xf);
+    B.iconst(5, static_cast<int64_t>(kHeapBase));
+    B.store(5, 2, 0);
+    B.store(5, 3, 8);
+    B.store(5, 4, 16);
+    B.halt();
+  });
+  Interpreter I(P);
+  trace(I);
+  EXPECT_EQ(I.readWord(kHeapBase), 7u);
+  EXPECT_EQ(I.readWord(kHeapBase + 8), 42u);
+  EXPECT_EQ(I.readWord(kHeapBase + 16), 10u); // 42 & 0xf
+}
+
+TEST(Interpreter, FloatingPointOps) {
+  Program P = buildProgram([](Program &, MethodBuilder &B) {
+    B.fconst(1, 1.5);
+    B.fconst(2, 2.0);
+    B.fmul(3, 1, 2);  // 3.0
+    B.fadd(4, 3, 1);  // 4.5
+    B.fsub(5, 4, 2);  // 2.5
+    B.fdiv(6, 5, 2);  // 1.25
+    B.iconst(7, static_cast<int64_t>(kHeapBase));
+    B.store(7, 6);
+    B.halt();
+  });
+  Interpreter I(P);
+  trace(I);
+  EXPECT_DOUBLE_EQ(std::bit_cast<double>(I.readWord(kHeapBase)), 1.25);
+}
+
+// ------------------------------------------------------------ Control flow
+
+struct CondCase {
+  CondKind Cond;
+  int64_t A, B;
+  bool Taken;
+};
+
+class CondTest : public ::testing::TestWithParam<CondCase> {};
+
+TEST_P(CondTest, EvaluatesCondition) {
+  const CondCase &C = GetParam();
+  Program P = buildProgram([&](Program &, MethodBuilder &B) {
+    B.iconst(1, C.A);
+    B.iconst(2, C.B);
+    B.iconst(3, 0);
+    MethodBuilder::Label Skip = B.newLabel();
+    B.br(C.Cond, 1, 2, Skip);
+    B.iconst(3, 1); // Executed only on fall-through.
+    B.bind(Skip);
+    B.iconst(4, static_cast<int64_t>(kHeapBase));
+    B.store(4, 3);
+    B.halt();
+  });
+  Interpreter I(P);
+  trace(I);
+  // Taken branch skips the marker write, leaving 0.
+  EXPECT_EQ(I.readWord(kHeapBase), C.Taken ? 0u : 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conditions, CondTest,
+    ::testing::Values(
+        CondCase{CondKind::Eq, 5, 5, true}, CondCase{CondKind::Eq, 5, 6, false},
+        CondCase{CondKind::Ne, 5, 6, true}, CondCase{CondKind::Ne, 5, 5, false},
+        CondCase{CondKind::Lt, -1, 0, true}, CondCase{CondKind::Lt, 0, 0, false},
+        CondCase{CondKind::Le, 0, 0, true}, CondCase{CondKind::Le, 1, 0, false},
+        CondCase{CondKind::Gt, 1, 0, true}, CondCase{CondKind::Gt, 0, 0, false},
+        CondCase{CondKind::Ge, 0, 0, true},
+        CondCase{CondKind::Ge, -1, 0, false}));
+
+TEST(Interpreter, LoopExecutesExpectedIterations) {
+  Program P = buildProgram([](Program &, MethodBuilder &B) {
+    B.iconst(1, 0);
+    B.iconst(2, 0);
+    MethodBuilder::Label Top = B.newLabel();
+    B.bind(Top);
+    B.addi(2, 2, 3);
+    B.addi(1, 1, 1);
+    B.bri(CondKind::Lt, 1, 10, Top);
+    B.iconst(4, static_cast<int64_t>(kHeapBase));
+    B.store(4, 2);
+    B.halt();
+  });
+  Interpreter I(P);
+  trace(I);
+  EXPECT_EQ(I.readWord(kHeapBase), 30u);
+}
+
+TEST(Interpreter, BranchEventFields) {
+  Program P = buildProgram([](Program &, MethodBuilder &B) {
+    B.iconst(1, 1);
+    MethodBuilder::Label L = B.newLabel();
+    B.bri(CondKind::Eq, 1, 1, L); // Taken.
+    B.iconst(2, 0);
+    B.bind(L);
+    B.halt();
+  });
+  Interpreter I(P);
+  std::vector<DynInst> T = trace(I);
+  ASSERT_GE(T.size(), 2u);
+  const DynInst &Br = T[1];
+  EXPECT_TRUE(Br.IsCondBranch);
+  EXPECT_TRUE(Br.Taken);
+  EXPECT_EQ(Br.Target, P.method(P.entry()).pcOf(3));
+  EXPECT_EQ(Br.Class, OpClass::Branch);
+}
+
+// ------------------------------------------------------------------- Memory
+
+TEST(Interpreter, LoadStoreRoundTrip) {
+  Program P = buildProgram([](Program &Prog, MethodBuilder &B) {
+    uint64_t G = Prog.addGlobal(4);
+    B.iconst(1, static_cast<int64_t>(G));
+    B.iconst(2, 1234);
+    B.store(1, 2, 16);
+    B.load(3, 1, 16);
+    B.store(1, 3, 24);
+    B.halt();
+  });
+  Interpreter I(P);
+  trace(I);
+  EXPECT_EQ(I.readWord(kHeapBase + 24), 1234u);
+}
+
+TEST(Interpreter, IndexedAddressing) {
+  Program P = buildProgram([](Program &Prog, MethodBuilder &B) {
+    uint64_t G = Prog.addGlobal(8);
+    B.iconst(1, static_cast<int64_t>(G));
+    B.iconst(2, 3); // index
+    B.iconst(3, 99);
+    B.storeIdx(1, 2, 3);  // G[3] = 99
+    B.loadIdx(4, 1, 2);   // r4 = G[3]
+    B.store(1, 4, 0);     // G[0] = r4
+    B.halt();
+  });
+  Interpreter I(P);
+  std::vector<DynInst> T = trace(I);
+  EXPECT_EQ(I.readWord(kHeapBase), 99u);
+  EXPECT_EQ(I.readWord(kHeapBase + 24), 99u);
+  // The StoreIdx event must carry the effective address and no Dst.
+  const DynInst &St = T[3];
+  EXPECT_EQ(St.Class, OpClass::Store);
+  EXPECT_EQ(St.MemAddr, kHeapBase + 24);
+  EXPECT_EQ(St.Dst, kNoReg);
+}
+
+TEST(Interpreter, AllocReturnsDisjointRegions) {
+  Program P = buildProgram([](Program &, MethodBuilder &B) {
+    B.iconst(1, 16);
+    B.alloc(2, 1);
+    B.alloc(3, 1);
+    B.iconst(4, static_cast<int64_t>(kHeapBase));
+    B.store(4, 2, 0);
+    B.store(4, 3, 8);
+    B.halt();
+  });
+  Interpreter I(P);
+  trace(I);
+  uint64_t A = I.readWord(kHeapBase);
+  uint64_t B2 = I.readWord(kHeapBase + 8);
+  EXPECT_EQ(B2 - A, 16u * 8u);
+}
+
+TEST(Interpreter, MemoryWrapsInsteadOfCrashing) {
+  Program P = buildProgram([](Program &, MethodBuilder &B) {
+    B.iconst(1, static_cast<int64_t>(kHeapBase + (1ull << 40)));
+    B.iconst(2, 7);
+    B.store(1, 2);
+    B.load(3, 1);
+    B.iconst(4, static_cast<int64_t>(kHeapBase));
+    B.store(4, 3, 8);
+    B.halt();
+  });
+  Interpreter I(P);
+  trace(I);
+  EXPECT_EQ(I.readWord(kHeapBase + 8), 7u);
+}
+
+// -------------------------------------------------------------------- Calls
+
+TEST(Interpreter, CallPassesArgsAndReturnsValue) {
+  Program P;
+  MethodBuilder Callee("add2");
+  Callee.add(2, 0, 1);
+  Callee.ret(2);
+  MethodId CalleeId = P.addMethod(Callee.take());
+
+  MethodBuilder Main("main");
+  Main.iconst(5, 30);
+  Main.iconst(6, 12);
+  Main.call(7, CalleeId, /*FirstArg=*/5, /*NumArgs=*/2);
+  Main.iconst(8, static_cast<int64_t>(kHeapBase));
+  Main.store(8, 7);
+  Main.halt();
+  P.setEntry(P.addMethod(Main.take()));
+  ASSERT_TRUE(P.finalize());
+
+  Interpreter I(P);
+  DynInst D;
+  while (!I.isHalted())
+    I.step(D);
+  EXPECT_EQ(I.readWord(kHeapBase), 42u);
+}
+
+TEST(Interpreter, RecursionComputesFactorial) {
+  Program P;
+  // fact(n) = n <= 1 ? 1 : n * fact(n - 1)
+  MethodBuilder F("fact");
+  MethodBuilder::Label Base = F.newLabel();
+  F.bri(CondKind::Le, 0, 1, Base);
+  F.addi(1, 0, -1);
+  F.call(2, /*Callee=*/0, /*FirstArg=*/1, /*NumArgs=*/1);
+  F.mul(3, 0, 2);
+  F.ret(3);
+  F.bind(Base);
+  F.iconst(3, 1);
+  F.ret(3);
+  MethodId FactId = P.addMethod(F.take());
+  ASSERT_EQ(FactId, 0u);
+
+  MethodBuilder Main("main");
+  Main.iconst(1, 6);
+  Main.call(2, FactId, /*FirstArg=*/1, /*NumArgs=*/1);
+  Main.iconst(3, static_cast<int64_t>(kHeapBase));
+  Main.store(3, 2);
+  Main.halt();
+  P.setEntry(P.addMethod(Main.take()));
+  ASSERT_TRUE(P.finalize());
+
+  Interpreter I(P);
+  DynInst D;
+  while (!I.isHalted())
+    I.step(D);
+  EXPECT_EQ(I.readWord(kHeapBase), 720u);
+}
+
+TEST(Interpreter, ListenerSeesBalancedEvents) {
+  Program P;
+  MethodBuilder Leaf("leaf");
+  Leaf.iconst(1, 1);
+  Leaf.ret(1);
+  MethodId LeafId = P.addMethod(Leaf.take());
+
+  MethodBuilder Main("main");
+  Main.call(1, LeafId);
+  Main.call(2, LeafId);
+  Main.halt();
+  MethodId MainId = P.addMethod(Main.take());
+  P.setEntry(MainId);
+  ASSERT_TRUE(P.finalize());
+
+  Interpreter I(P);
+  RecordingListener L;
+  I.setListener(&L);
+  I.reset(); // Re-fire the entry enter with the listener installed.
+  DynInst D;
+  while (!I.isHalted())
+    I.step(D);
+
+  // main enter, leaf enter/exit x2, main exit (via halt unwinding).
+  ASSERT_EQ(L.Events.size(), 6u);
+  EXPECT_TRUE(L.Events[0].Enter);
+  EXPECT_EQ(L.Events[0].Id, MainId);
+  EXPECT_TRUE(L.Events[1].Enter);
+  EXPECT_EQ(L.Events[1].Id, LeafId);
+  EXPECT_FALSE(L.Events[2].Enter);
+  EXPECT_EQ(L.Events[2].Inclusive, 2u); // iconst + ret.
+  EXPECT_FALSE(L.Events[5].Enter);
+  EXPECT_EQ(L.Events[5].Id, MainId);
+}
+
+TEST(Interpreter, InclusiveSizeIncludesCallees) {
+  Program P;
+  MethodBuilder Leaf("leaf");
+  Leaf.iconst(1, 1);
+  Leaf.iconst(2, 2);
+  Leaf.ret(1);
+  MethodId LeafId = P.addMethod(Leaf.take());
+
+  MethodBuilder Mid("mid");
+  Mid.call(1, LeafId);
+  Mid.ret(1);
+  MethodId MidId = P.addMethod(Mid.take());
+
+  MethodBuilder Main("main");
+  Main.call(1, MidId);
+  Main.halt();
+  P.setEntry(P.addMethod(Main.take()));
+  ASSERT_TRUE(P.finalize());
+
+  Interpreter I(P);
+  RecordingListener L;
+  I.setListener(&L);
+  I.reset();
+  DynInst D;
+  while (!I.isHalted())
+    I.step(D);
+
+  // Find mid's exit: inclusive must cover call + leaf(3) + ret = 5.
+  bool Found = false;
+  for (const auto &E : L.Events)
+    if (!E.Enter && E.Id == MidId) {
+      EXPECT_EQ(E.Inclusive, 5u);
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+// --------------------------------------------------------------- Lifecycle
+
+TEST(Interpreter, RunCapStopsEarly) {
+  Program P = buildProgram([](Program &, MethodBuilder &B) {
+    B.iconst(1, 0);
+    MethodBuilder::Label Top = B.newLabel();
+    B.bind(Top);
+    B.addi(1, 1, 1);
+    B.jmp(Top); // Infinite loop.
+  });
+  Interpreter I(P);
+  uint64_t Ran = I.run(1000);
+  EXPECT_EQ(Ran, 1000u);
+  EXPECT_FALSE(I.isHalted());
+  EXPECT_EQ(I.instructionCount(), 1000u);
+}
+
+TEST(Interpreter, ResetRestoresInitialState) {
+  Program P = buildProgram([](Program &, MethodBuilder &B) {
+    B.iconst(1, 5);
+    B.iconst(2, static_cast<int64_t>(kHeapBase));
+    B.store(2, 1);
+    B.halt();
+  });
+  Interpreter I(P);
+  trace(I);
+  EXPECT_TRUE(I.isHalted());
+  EXPECT_EQ(I.readWord(kHeapBase), 5u);
+  I.reset();
+  EXPECT_FALSE(I.isHalted());
+  EXPECT_EQ(I.instructionCount(), 0u);
+  EXPECT_EQ(I.readWord(kHeapBase), 0u); // Memory zeroed.
+}
+
+TEST(Interpreter, DeterministicInstructionCount) {
+  Program P = buildProgram([](Program &, MethodBuilder &B) {
+    B.iconst(1, 0);
+    MethodBuilder::Label Top = B.newLabel();
+    B.bind(Top);
+    B.addi(1, 1, 1);
+    B.bri(CondKind::Lt, 1, 100, Top);
+    B.halt();
+  });
+  Interpreter A(P), B2(P);
+  DynInst D;
+  while (!A.isHalted())
+    A.step(D);
+  while (!B2.isHalted())
+    B2.step(D);
+  EXPECT_EQ(A.instructionCount(), B2.instructionCount());
+  EXPECT_EQ(A.instructionCount(), 1u + 100u * 2u + 1u);
+}
+
+TEST(Interpreter, StepAfterHaltIsNoOp) {
+  Program P = buildProgram([](Program &, MethodBuilder &B) { B.halt(); });
+  Interpreter I(P);
+  DynInst D;
+  I.step(D);
+  EXPECT_TRUE(I.isHalted());
+  uint64_t Count = I.instructionCount();
+  EXPECT_EQ(I.step(D), Interpreter::Status::Halted);
+  EXPECT_EQ(I.instructionCount(), Count);
+}
+
+TEST(Interpreter, PcAddressesMatchMethodLayout) {
+  Program P = buildProgram([](Program &, MethodBuilder &B) {
+    B.iconst(1, 1);
+    B.iconst(2, 2);
+    B.halt();
+  });
+  Interpreter I(P);
+  std::vector<DynInst> T = trace(I);
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].PC, kCodeBase);
+  EXPECT_EQ(T[1].PC, kCodeBase + kInstrBytes);
+  EXPECT_EQ(T[2].PC, kCodeBase + 2 * kInstrBytes);
+}

@@ -1,0 +1,161 @@
+//===- tests/workloads_test.cpp - workload generator tests ----------------==//
+
+#include "dosys/DoSystem.h"
+#include "vm/Interpreter.h"
+#include "workloads/WorkloadGenerator.h"
+#include "workloads/WorkloadProfile.h"
+
+#include <gtest/gtest.h>
+
+using namespace dynace;
+
+TEST(Profiles, SevenBenchmarksInPaperOrder) {
+  const auto &P = specjvm98Profiles();
+  ASSERT_EQ(P.size(), 7u);
+  EXPECT_EQ(P[0].Name, "compress");
+  EXPECT_EQ(P[1].Name, "db");
+  EXPECT_EQ(P[2].Name, "jack");
+  EXPECT_EQ(P[3].Name, "javac");
+  EXPECT_EQ(P[4].Name, "jess");
+  EXPECT_EQ(P[5].Name, "mpegaudio");
+  EXPECT_EQ(P[6].Name, "mtrt");
+}
+
+TEST(Profiles, FindProfileByName) {
+  EXPECT_NE(findProfile("db"), nullptr);
+  EXPECT_EQ(findProfile("db")->Name, "db");
+  EXPECT_EQ(findProfile("nonesuch"), nullptr);
+}
+
+TEST(Profiles, JavacHasLargestMethodPopulation) {
+  const WorkloadProfile *Javac = findProfile("javac");
+  for (const WorkloadProfile &P : specjvm98Profiles())
+    EXPECT_LE(P.NumLeaves + P.NumMids + P.NumRegions,
+              Javac->NumLeaves + Javac->NumMids + Javac->NumRegions);
+}
+
+class GenerateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GenerateTest, ProducesValidProgram) {
+  const WorkloadProfile &P = specjvm98Profiles()[GetParam()];
+  GeneratedWorkload W = WorkloadGenerator::generate(P);
+  EXPECT_TRUE(W.Prog.isFinalized());
+  // Method population: leaves + mids + regions + per-region scanner + main.
+  EXPECT_EQ(W.Prog.numMethods(),
+            P.NumLeaves + P.NumMids + 2 * P.NumRegions + 1);
+  EXPECT_GT(W.Prog.globalWords(), 0u);
+  EXPECT_GT(W.EstimatedInstructions, 1e6);
+}
+
+TEST_P(GenerateTest, RunsUnderTheVm) {
+  const WorkloadProfile &P = specjvm98Profiles()[GetParam()];
+  GeneratedWorkload W = WorkloadGenerator::generate(P);
+  Interpreter I(W.Prog);
+  uint64_t Ran = I.run(2'000'000);
+  EXPECT_EQ(Ran, 2'000'000u) << "program must run at least 2M instructions";
+  EXPECT_FALSE(I.isHalted());
+}
+
+TEST_P(GenerateTest, DeterministicAcrossGenerations) {
+  const WorkloadProfile &P = specjvm98Profiles()[GetParam()];
+  GeneratedWorkload A = WorkloadGenerator::generate(P);
+  GeneratedWorkload B = WorkloadGenerator::generate(P);
+  ASSERT_EQ(A.Prog.numMethods(), B.Prog.numMethods());
+  ASSERT_EQ(A.MethodSizeEst.size(), B.MethodSizeEst.size());
+  for (size_t I = 0; I != A.MethodSizeEst.size(); ++I)
+    EXPECT_DOUBLE_EQ(A.MethodSizeEst[I], B.MethodSizeEst[I]);
+  // Identical dynamic behavior over a prefix.
+  Interpreter IA(A.Prog), IB(B.Prog);
+  DynInst DA, DB;
+  for (int I = 0; I != 100000; ++I) {
+    IA.step(DA);
+    IB.step(DB);
+    ASSERT_EQ(DA.PC, DB.PC);
+    ASSERT_EQ(DA.MemAddr, DB.MemAddr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, GenerateTest,
+                         ::testing::Range(0, 7));
+
+TEST(Generator, SizeEstimatesMatchMeasuredInclusiveSizes) {
+  // Run compress under a DO system and compare build-time size estimates
+  // against measured inclusive sizes for methods that executed.
+  const WorkloadProfile &P = *findProfile("compress");
+  GeneratedWorkload W = WorkloadGenerator::generate(P);
+  Interpreter I(W.Prog);
+  DoConfig DC;
+  DC.HotThreshold = 1;
+  DoSystem Do(W.Prog.numMethods(), DC);
+  I.setListener(&Do);
+  I.reset();
+  I.run(8'000'000);
+
+  size_t Checked = 0;
+  for (MethodId Id = 0; Id != W.Prog.numMethods(); ++Id) {
+    if (Do.entry(Id).SizeSamples < 3 || W.MethodSizeEst[Id] < 1000)
+      continue;
+    double Measured = Do.hotspotSize(Id);
+    double Est = W.MethodSizeEst[Id];
+    EXPECT_LT(Measured / Est, 3.0) << "method " << Id;
+    EXPECT_GT(Measured / Est, 0.33) << "method " << Id;
+    ++Checked;
+  }
+  EXPECT_GT(Checked, 20u);
+}
+
+TEST(Generator, MostMethodsAreReachable) {
+  const WorkloadProfile &P = *findProfile("db");
+  GeneratedWorkload W = WorkloadGenerator::generate(P);
+  Interpreter I(W.Prog);
+  DoConfig DC;
+  DC.HotThreshold = 1;
+  DoSystem Do(W.Prog.numMethods(), DC);
+  I.setListener(&Do);
+  I.reset();
+  // One full outer iteration touches every region/mid at least once.
+  I.run(30'000'000);
+  size_t Invoked = 0;
+  for (MethodId Id = 0; Id != W.Prog.numMethods(); ++Id)
+    Invoked += Do.entry(Id).Invocations > 0;
+  EXPECT_GT(static_cast<double>(Invoked) /
+                static_cast<double>(W.Prog.numMethods()),
+            0.8);
+}
+
+TEST(Generator, RegionSizesLandInL2Band) {
+  const WorkloadProfile &P = *findProfile("jack");
+  GeneratedWorkload W = WorkloadGenerator::generate(P);
+  // Region ids follow mids and scanners in creation order; identify by
+  // name instead.
+  Interpreter I(W.Prog);
+  DoConfig DC;
+  DC.HotThreshold = 1;
+  DoSystem Do(W.Prog.numMethods(), DC);
+  I.setListener(&Do);
+  I.reset();
+  I.run(20'000'000);
+  size_t InBand = 0, Total = 0;
+  for (MethodId Id = 0; Id != W.Prog.numMethods(); ++Id) {
+    const Method &M = W.Prog.method(Id);
+    if (M.Name.rfind("region", 0) != 0 || Do.entry(Id).SizeSamples == 0)
+      continue;
+    ++Total;
+    InBand += Do.hotspotSize(Id) >= 50000.0;
+  }
+  ASSERT_GT(Total, 5u);
+  EXPECT_GT(static_cast<double>(InBand) / static_cast<double>(Total), 0.8);
+}
+
+TEST(Generator, DistinctSeedsProduceDistinctPrograms) {
+  WorkloadProfile A = *findProfile("jess");
+  WorkloadProfile B = A;
+  B.Seed += 1;
+  GeneratedWorkload WA = WorkloadGenerator::generate(A);
+  GeneratedWorkload WB = WorkloadGenerator::generate(B);
+  bool AnyDifferent = false;
+  for (size_t I = 0;
+       I != std::min(WA.MethodSizeEst.size(), WB.MethodSizeEst.size()); ++I)
+    AnyDifferent |= WA.MethodSizeEst[I] != WB.MethodSizeEst[I];
+  EXPECT_TRUE(AnyDifferent);
+}
