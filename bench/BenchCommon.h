@@ -6,8 +6,11 @@
 ///
 /// \file
 /// Shared plumbing for the per-table/figure benchmark binaries. Each binary
-/// registers one google-benchmark per SPECjvm98 program (timing the
-/// simulation triple) and afterwards prints the paper-style table.
+/// first fans its full simulation grid out across the parallel experiment
+/// pipeline (DYNACE_JOBS workers; see sim/ExperimentRunner.h), then
+/// registers one google-benchmark per SPECjvm98 program — which hits the
+/// warm in-memory cache — and afterwards prints the paper-style table plus
+/// the pipeline's per-run accounting.
 ///
 /// Results are cached on disk via DYNACE_CACHE_DIR (set by default here to
 /// ".dynace-cache" so the suite simulates once across all binaries);
@@ -25,6 +28,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <vector>
 
@@ -42,14 +46,12 @@ inline dynace::ExperimentRunner &runner() {
   return R;
 }
 
-/// Runs (cached) the full triple for every SPECjvm98 profile.
+/// Runs the full triple for every SPECjvm98 profile through the parallel
+/// pipeline on first use; later calls (and runner().run() calls) hit the
+/// in-memory cache.
 inline const std::vector<dynace::BenchmarkRun> &allRuns() {
-  static std::vector<dynace::BenchmarkRun> Runs = [] {
-    std::vector<dynace::BenchmarkRun> Out;
-    for (const dynace::WorkloadProfile &P : dynace::specjvm98Profiles())
-      Out.push_back(runner().run(P));
-    return Out;
-  }();
+  static std::vector<dynace::BenchmarkRun> Runs =
+      runner().runAll(dynace::specjvm98Profiles());
   return Runs;
 }
 
@@ -68,17 +70,27 @@ template <typename Fn> void registerPerBenchmark(const char *Prefix, Fn F) {
   }
 }
 
-/// Standard main body: run google-benchmark, then print the table via
-/// \p PrintFn.
+/// Standard main body: fan the binary's simulation grid out across the
+/// parallel pipeline via \p Prefetch (null = no prefetch), run
+/// google-benchmark over the now-warm cache, then print the table via
+/// \p Print and the pipeline's per-run accounting.
 template <typename PrintFn>
-int benchMain(int argc, char **argv, PrintFn Print) {
+int benchMain(int argc, char **argv, PrintFn Print,
+              const std::function<void()> &Prefetch = nullptr) {
   enableDefaultCache();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;
+  if (Prefetch)
+    Prefetch();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   Print(std::cout);
+  std::vector<dynace::RunStats> Stats = runner().stats();
+  if (!Stats.empty()) {
+    std::cout << '\n';
+    dynace::printRunStats(std::cout, Stats);
+  }
   return 0;
 }
 

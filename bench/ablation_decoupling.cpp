@@ -85,5 +85,8 @@ static void printAblation(std::ostream &OS) {
 int main(int argc, char **argv) {
   dynace_bench::enableDefaultCache();
   registerPerBenchmark("ablation_decoupling", runOne);
-  return benchMain(argc, argv, printAblation);
+  return benchMain(argc, argv, printAblation, [] {
+    allRuns();
+    coupledRunner().runAllScheme(specjvm98Profiles(), Scheme::Hotspot);
+  });
 }

@@ -66,5 +66,21 @@ static void printAblation(std::ostream &OS) {
 int main(int argc, char **argv) {
   dynace_bench::enableDefaultCache();
   registerPerBenchmark("ablation_hot_threshold", runOne);
-  return benchMain(argc, argv, printAblation);
+  return benchMain(
+      argc, argv,
+      [](std::ostream &OS) {
+        printAblation(OS);
+        std::vector<RunStats> Stats;
+        for (uint64_t Threshold : kThresholds) {
+          std::vector<RunStats> S = runnerFor(Threshold).stats();
+          Stats.insert(Stats.end(), S.begin(), S.end());
+        }
+        OS << '\n';
+        printRunStats(OS, Stats);
+      },
+      [] {
+        for (uint64_t Threshold : kThresholds)
+          runnerFor(Threshold).runAllScheme(specjvm98Profiles(),
+                                            Scheme::Hotspot);
+      });
 }

@@ -65,5 +65,8 @@ static void printAblation(std::ostream &OS) {
 int main(int argc, char **argv) {
   dynace_bench::enableDefaultCache();
   registerPerBenchmark("ablation_guard", runOne);
-  return benchMain(argc, argv, printAblation);
+  return benchMain(argc, argv, printAblation, [] {
+    allRuns();
+    unguardedRunner().runAllScheme(specjvm98Profiles(), Scheme::Hotspot);
+  });
 }

@@ -73,5 +73,8 @@ static void printAblation(std::ostream &OS) {
 int main(int argc, char **argv) {
   dynace_bench::enableDefaultCache();
   registerPerBenchmark("ablation_retention", runOne);
-  return benchMain(argc, argv, printAblation);
+  return benchMain(argc, argv, printAblation, [] {
+    allRuns();
+    flushAllRunner().runAllScheme(specjvm98Profiles(), Scheme::Hotspot);
+  });
 }

@@ -74,5 +74,12 @@ static void printAblation(std::ostream &OS) {
 int main(int argc, char **argv) {
   dynace_bench::enableDefaultCache();
   registerPerBenchmark("ablation_three_cus", runOne);
-  return benchMain(argc, argv, printAblation);
+  return benchMain(
+      argc, argv,
+      [](std::ostream &OS) {
+        printAblation(OS);
+        OS << '\n';
+        printRunStats(OS, threeCuRunner().stats());
+      },
+      [] { threeCuRunner().runAll(specjvm98Profiles()); });
 }

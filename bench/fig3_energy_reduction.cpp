@@ -29,9 +29,12 @@ static void runOne(const WorkloadProfile &P, benchmark::State &State) {
 int main(int argc, char **argv) {
   dynace_bench::enableDefaultCache();
   registerPerBenchmark("fig3", runOne);
-  return benchMain(argc, argv, [](std::ostream &OS) {
-    printBaselineConfig(OS, runner().baseOptions());
-    OS << '\n';
-    printFigure3(OS, allRuns());
-  });
+  return benchMain(
+      argc, argv,
+      [](std::ostream &OS) {
+        printBaselineConfig(OS, runner().baseOptions());
+        OS << '\n';
+        printFigure3(OS, allRuns());
+      },
+      [] { allRuns(); });
 }

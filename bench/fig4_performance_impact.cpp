@@ -25,6 +25,7 @@ static void runOne(const WorkloadProfile &P, benchmark::State &State) {
 int main(int argc, char **argv) {
   dynace_bench::enableDefaultCache();
   registerPerBenchmark("fig4", runOne);
-  return benchMain(argc, argv,
-                   [](std::ostream &OS) { printFigure4(OS, allRuns()); });
+  return benchMain(
+      argc, argv, [](std::ostream &OS) { printFigure4(OS, allRuns()); },
+      [] { allRuns(); });
 }

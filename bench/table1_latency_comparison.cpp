@@ -31,6 +31,7 @@ static void runOne(const WorkloadProfile &P, benchmark::State &State) {
 int main(int argc, char **argv) {
   dynace_bench::enableDefaultCache();
   registerPerBenchmark("table1", runOne);
-  return benchMain(argc, argv,
-                   [](std::ostream &OS) { printTable1(OS, allRuns()); });
+  return benchMain(
+      argc, argv, [](std::ostream &OS) { printTable1(OS, allRuns()); },
+      [] { allRuns(); });
 }

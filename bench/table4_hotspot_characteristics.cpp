@@ -27,6 +27,7 @@ static void runOne(const WorkloadProfile &P, benchmark::State &State) {
 int main(int argc, char **argv) {
   dynace_bench::enableDefaultCache();
   registerPerBenchmark("table4", runOne);
-  return benchMain(argc, argv,
-                   [](std::ostream &OS) { printTable4(OS, allRuns()); });
+  return benchMain(
+      argc, argv, [](std::ostream &OS) { printTable4(OS, allRuns()); },
+      [] { allRuns(); });
 }

@@ -40,6 +40,7 @@ static void runOne(const WorkloadProfile &P, benchmark::State &State) {
 int main(int argc, char **argv) {
   dynace_bench::enableDefaultCache();
   registerPerBenchmark("table5", runOne);
-  return benchMain(argc, argv,
-                   [](std::ostream &OS) { printTable5(OS, allRuns()); });
+  return benchMain(
+      argc, argv, [](std::ostream &OS) { printTable5(OS, allRuns()); },
+      [] { allRuns(); });
 }

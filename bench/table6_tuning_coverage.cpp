@@ -38,6 +38,7 @@ static void runOne(const WorkloadProfile &P, benchmark::State &State) {
 int main(int argc, char **argv) {
   dynace_bench::enableDefaultCache();
   registerPerBenchmark("table6", runOne);
-  return benchMain(argc, argv,
-                   [](std::ostream &OS) { printTable6(OS, allRuns()); });
+  return benchMain(
+      argc, argv, [](std::ostream &OS) { printTable6(OS, allRuns()); },
+      [] { allRuns(); });
 }

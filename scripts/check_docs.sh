@@ -1,0 +1,25 @@
+#!/bin/sh
+# check_docs.sh — fail when a public header under src/ lacks a Doxygen
+# \file comment.
+#
+# Usage: scripts/check_docs.sh [repo-root]
+#
+# Wired into CMake as both the `check_docs` custom target and a ctest test,
+# so doc drift fails the suite rather than accumulating silently.
+
+root="${1:-$(dirname "$0")/..}"
+status=0
+
+for header in $(find "$root/src" -name '*.h' | sort); do
+  if ! grep -q '\\file' "$header"; then
+    echo "error: $header lacks a Doxygen \\file comment" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "check_docs: FAILED (headers above need \\file documentation)" >&2
+else
+  echo "check_docs: OK ($(find "$root/src" -name '*.h' | wc -l) headers)"
+fi
+exit $status

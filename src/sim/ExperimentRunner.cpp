@@ -3,17 +3,26 @@
 #include "sim/ExperimentRunner.h"
 
 #include "sim/ResultCache.h"
+#include "support/ThreadPool.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <sys/stat.h>
 
 using namespace dynace;
 
-/// Cache directory from DYNACE_CACHE_DIR; empty = caching disabled.
+/// Cache directory from DYNACE_CACHE_DIR; empty = on-disk caching disabled.
 static std::string cacheDir() {
   const char *Dir = std::getenv("DYNACE_CACHE_DIR");
   return Dir ? Dir : "";
+}
+
+static double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
 }
 
 ExperimentRunner::ExperimentRunner(SimulationOptions Base)
@@ -28,6 +37,9 @@ SimulationOptions ExperimentRunner::defaultOptions() {
 
 const GeneratedWorkload &
 ExperimentRunner::workload(const WorkloadProfile &Profile) {
+  // Map nodes are stable, so the returned reference survives later
+  // insertions by other workers.
+  std::lock_guard<std::mutex> Lock(WorkloadsMutex);
   auto It = Workloads.find(Profile.Name);
   if (It == Workloads.end())
     It = Workloads
@@ -36,20 +48,43 @@ ExperimentRunner::workload(const WorkloadProfile &Profile) {
   return It->second;
 }
 
+void ExperimentRunner::recordStats(const WorkloadProfile &Profile, Scheme S,
+                                   const SimulationResult &R, bool CacheHit,
+                                   double WallSeconds) {
+  std::fprintf(stderr, "[dynace] %s/%s: %s, %.1fM instr, %.2fs\n",
+               Profile.Name.c_str(), schemeName(S),
+               CacheHit ? "cached" : "simulated",
+               static_cast<double>(R.Instructions) / 1e6, WallSeconds);
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  Stats.push_back({Profile.Name, S, R.Instructions, CacheHit, WallSeconds});
+}
+
+std::vector<RunStats> ExperimentRunner::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  return Stats;
+}
+
 SimulationResult ExperimentRunner::runScheme(const WorkloadProfile &Profile,
                                              Scheme S) {
   SimulationOptions Opts = Base;
   Opts.SchemeKind = S;
+  auto Start = std::chrono::steady_clock::now();
+
+  // Hold the key's in-process lock across probe + simulate + publish: of
+  // two workers racing on one key, the loser blocks here and then loads
+  // the winner's entry instead of simulating it again.
+  std::string Key = resultCacheKey(Profile.Name, Opts);
+  std::unique_lock<std::mutex> KeyLock = lockResultKey(Key);
 
   std::string Dir = cacheDir();
   std::string Path;
   if (!Dir.empty()) {
     ::mkdir(Dir.c_str(), 0755);
-    Path = Dir + "/" + resultCacheKey(Profile.Name, Opts) + ".txt";
+    Path = Dir + "/" + Key + ".txt";
     SimulationResult Cached;
     if (loadResult(Path, Cached)) {
-      std::fprintf(stderr, "[dynace] %s/%s: cached\n", Profile.Name.c_str(),
-                   schemeName(S));
+      recordStats(Profile, S, Cached, /*CacheHit=*/true,
+                  secondsSince(Start));
       return Cached;
     }
   }
@@ -59,21 +94,100 @@ SimulationResult ExperimentRunner::runScheme(const WorkloadProfile &Profile,
   SimulationResult R = Sys.run();
   if (!Path.empty())
     saveResult(Path, R);
+  recordStats(Profile, S, R, /*CacheHit=*/false, secondsSince(Start));
   return R;
 }
 
 const BenchmarkRun &ExperimentRunner::run(const WorkloadProfile &Profile) {
-  auto It = Cache.find(Profile.Name);
-  if (It != Cache.end())
-    return It->second;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = Cache.find(Profile.Name);
+    if (It != Cache.end())
+      return It->second;
+  }
 
   BenchmarkRun Run;
   Run.Name = Profile.Name;
-  std::fprintf(stderr, "[dynace] %s: baseline\n", Profile.Name.c_str());
   Run.Baseline = runScheme(Profile, Scheme::Baseline);
-  std::fprintf(stderr, "[dynace] %s: bbv\n", Profile.Name.c_str());
   Run.Bbv = runScheme(Profile, Scheme::Bbv);
-  std::fprintf(stderr, "[dynace] %s: hotspot\n", Profile.Name.c_str());
   Run.Hotspot = runScheme(Profile, Scheme::Hotspot);
+
+  // emplace keeps the first triple if another thread raced us here; both
+  // triples are identical anyway (deterministic simulation).
+  std::lock_guard<std::mutex> Lock(CacheMutex);
   return Cache.emplace(Profile.Name, std::move(Run)).first->second;
+}
+
+std::vector<BenchmarkRun>
+ExperimentRunner::runAll(const std::vector<WorkloadProfile> &Profiles,
+                         unsigned Jobs) {
+  if (Jobs == 0)
+    Jobs = ThreadPool::defaultThreadCount();
+
+  // Generate all workloads up front so every worker starts from the same
+  // immutable programs instead of serializing on the generation lock.
+  for (const WorkloadProfile &P : Profiles)
+    workload(P);
+
+  constexpr Scheme Schemes[] = {Scheme::Baseline, Scheme::Bbv,
+                                Scheme::Hotspot};
+  std::vector<BenchmarkRun> Out(Profiles.size());
+  // One future per pending (profile, scheme) cell; memoized profiles have
+  // no futures and are answered from the in-memory cache.
+  std::vector<std::future<SimulationResult>> Futures(Profiles.size() * 3);
+  std::vector<bool> Pending(Profiles.size(), false);
+
+  {
+    ThreadPool Pool(Jobs);
+    for (size_t I = 0; I != Profiles.size(); ++I) {
+      const WorkloadProfile &P = Profiles[I];
+      {
+        std::lock_guard<std::mutex> Lock(CacheMutex);
+        auto It = Cache.find(P.Name);
+        if (It != Cache.end()) {
+          Out[I] = It->second;
+          continue;
+        }
+      }
+      Pending[I] = true;
+      for (size_t SI = 0; SI != 3; ++SI)
+        Futures[I * 3 + SI] = Pool.submit(
+            [this, &P, S = Schemes[SI]] { return runScheme(P, S); });
+    }
+
+    // Collect in input order — the grid's result order is deterministic no
+    // matter which worker finished first.
+    for (size_t I = 0; I != Profiles.size(); ++I) {
+      if (!Pending[I])
+        continue;
+      Out[I].Name = Profiles[I].Name;
+      Out[I].Baseline = Futures[I * 3 + 0].get();
+      Out[I].Bbv = Futures[I * 3 + 1].get();
+      Out[I].Hotspot = Futures[I * 3 + 2].get();
+      std::lock_guard<std::mutex> Lock(CacheMutex);
+      Cache.emplace(Profiles[I].Name, Out[I]);
+    }
+  }
+  return Out;
+}
+
+std::vector<SimulationResult>
+ExperimentRunner::runAllScheme(const std::vector<WorkloadProfile> &Profiles,
+                               Scheme S, unsigned Jobs) {
+  if (Jobs == 0)
+    Jobs = ThreadPool::defaultThreadCount();
+  for (const WorkloadProfile &P : Profiles)
+    workload(P);
+
+  std::vector<std::future<SimulationResult>> Futures;
+  Futures.reserve(Profiles.size());
+  ThreadPool Pool(Jobs);
+  for (const WorkloadProfile &P : Profiles)
+    Futures.push_back(Pool.submit([this, &P, S] { return runScheme(P, S); }));
+
+  std::vector<SimulationResult> Out;
+  Out.reserve(Profiles.size());
+  for (std::future<SimulationResult> &F : Futures)
+    Out.push_back(F.get());
+  return Out;
 }

@@ -10,6 +10,21 @@
 /// from one set of simulations. All paper tables and figures are derived
 /// from the `BenchmarkRun` triples this produces.
 ///
+/// Two execution paths share one cache and produce identical results:
+///
+///  * run() / runScheme() — serial, one (benchmark, scheme) at a time;
+///  * runAll() / runAllScheme() — the parallel pipeline: the whole
+///    (benchmark × scheme) grid is fanned out across a ThreadPool of
+///    DYNACE_JOBS workers (default: hardware concurrency) and collected in
+///    deterministic input order. Every worker builds its own System from
+///    the shared immutable Program, and the simulator holds no mutable
+///    global state, so parallel results are bit-identical to serial ones.
+///
+/// Each completed (benchmark, scheme) run is recorded as a RunStats entry
+/// (instructions, on-disk cache hit/miss, wall time) retrievable via
+/// stats() and printable via printRunStats() — the pipeline's speedup is
+/// measured, not asserted.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNACE_SIM_EXPERIMENTRUNNER_H
@@ -20,7 +35,9 @@
 #include "workloads/WorkloadProfile.h"
 
 #include <map>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace dynace {
 
@@ -32,13 +49,36 @@ struct BenchmarkRun {
   SimulationResult Hotspot;
 
   /// Energy reduction of \p SchemeEnergy relative to the baseline run.
-  static double reduction(double SchemeEnergy, double BaselineEnergy) {
+  ///
+  /// A scheme that spends *more* energy than the baseline yields a
+  /// negative reduction; the value is clamped to [-1, 1] so a pathological
+  /// regression reads as "-100%" instead of an unbounded negative percent.
+  /// Pass \p Regressed to detect that case explicitly rather than
+  /// inferring it from the sign of a clamped value.
+  ///
+  /// \param SchemeEnergy energy consumed under the evaluated scheme.
+  /// \param BaselineEnergy energy consumed under the baseline run.
+  /// \param Regressed if non-null, set to true iff the scheme consumed
+  ///        strictly more energy than a positive baseline.
+  /// \returns 1 - SchemeEnergy / BaselineEnergy clamped to [-1, 1], or 0
+  ///          when the baseline is non-positive (no meaningful ratio).
+  static double reduction(double SchemeEnergy, double BaselineEnergy,
+                          bool *Regressed = nullptr) {
+    if (Regressed)
+      *Regressed = BaselineEnergy > 0.0 && SchemeEnergy > BaselineEnergy;
     if (BaselineEnergy <= 0.0)
       return 0.0;
-    return 1.0 - SchemeEnergy / BaselineEnergy;
+    double R = 1.0 - SchemeEnergy / BaselineEnergy;
+    if (R < -1.0)
+      return -1.0;
+    if (R > 1.0)
+      return 1.0;
+    return R;
   }
 
   /// Performance degradation (cycles) of a scheme vs the baseline run.
+  /// \returns SchemeCycles / BaselineCycles - 1, or 0 when the baseline
+  ///          cycle count is 0.
   static double slowdown(uint64_t SchemeCycles, uint64_t BaselineCycles) {
     if (BaselineCycles == 0)
       return 0.0;
@@ -48,7 +88,19 @@ struct BenchmarkRun {
   }
 };
 
-/// Caches per-benchmark simulation triples.
+/// Accounting for one completed (benchmark, scheme) simulation: what ran,
+/// where the result came from, and how long producing it took.
+struct RunStats {
+  std::string Benchmark;                ///< Profile name.
+  Scheme SchemeKind = Scheme::Baseline; ///< Scheme the run evaluated.
+  uint64_t Instructions = 0;            ///< Simulated dynamic instructions.
+  bool CacheHit = false;                ///< Served from the on-disk cache.
+  double WallSeconds = 0.0;             ///< Load-or-simulate wall time.
+};
+
+/// Caches per-benchmark simulation triples and schedules simulations,
+/// serially or across a thread pool. All public members are safe to call
+/// from multiple threads.
 class ExperimentRunner {
 public:
   /// \param Base options shared by all runs; the scheme field is overridden
@@ -56,24 +108,67 @@ public:
   explicit ExperimentRunner(SimulationOptions Base = SimulationOptions());
 
   /// Runs (or returns the cached run of) \p Profile under all schemes.
+  /// \returns the memoized triple; the reference stays valid for the
+  ///          runner's lifetime.
   const BenchmarkRun &run(const WorkloadProfile &Profile);
 
   /// Runs one scheme only (used by ablation benches).
+  ///
+  /// Probes the on-disk result cache first (under the key's in-process
+  /// lock, so concurrent workers requesting the same key simulate it only
+  /// once) and publishes fresh results back to it.
+  /// \returns the scheme's simulation result.
   SimulationResult runScheme(const WorkloadProfile &Profile, Scheme S);
+
+  /// Runs the full (\p Profiles × three schemes) grid on a thread pool of
+  /// \p Jobs workers (0 = ThreadPool::defaultThreadCount(), i.e.
+  /// DYNACE_JOBS or hardware concurrency).
+  ///
+  /// Results are collected in the order of \p Profiles regardless of task
+  /// completion order and are bit-identical to the serial path's; the
+  /// triples are also memoized, so subsequent run() calls are free.
+  /// \returns one BenchmarkRun per profile, in input order.
+  std::vector<BenchmarkRun> runAll(const std::vector<WorkloadProfile> &Profiles,
+                                   unsigned Jobs = 0);
+
+  /// Parallel counterpart of runScheme() for single-scheme grids (the
+  /// ablation benches): runs \p Profiles under \p S on \p Jobs workers.
+  /// \returns one result per profile, in input order.
+  std::vector<SimulationResult>
+  runAllScheme(const std::vector<WorkloadProfile> &Profiles, Scheme S,
+               unsigned Jobs = 0);
 
   /// Default options honoring the DYNACE_INSTR_BUDGET environment variable
   /// (a per-benchmark instruction cap; 0/unset = run programs to
   /// completion).
+  /// \returns the configured option set.
   static SimulationOptions defaultOptions();
 
+  /// \returns the options shared by all of this runner's runs.
   const SimulationOptions &baseOptions() const { return Base; }
+
+  /// Per-run accounting collected so far, one entry per completed
+  /// (benchmark, scheme) simulation in completion order (nondeterministic
+  /// under parallel execution; printRunStats() sorts).
+  /// \returns a snapshot copy of the stats.
+  std::vector<RunStats> stats() const;
 
 private:
   const GeneratedWorkload &workload(const WorkloadProfile &Profile);
+  void recordStats(const WorkloadProfile &Profile, Scheme S,
+                   const SimulationResult &R, bool CacheHit,
+                   double WallSeconds);
 
   SimulationOptions Base;
   std::map<std::string, GeneratedWorkload> Workloads;
   std::map<std::string, BenchmarkRun> Cache;
+  /// Serializes workload generation and map access.
+  std::mutex WorkloadsMutex;
+  /// Guards Cache; never held while simulating.
+  std::mutex CacheMutex;
+  /// Guards Stats.
+  mutable std::mutex StatsMutex;
+  std::vector<RunStats> Stats;
 };
 
 } // namespace dynace

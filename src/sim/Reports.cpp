@@ -7,6 +7,8 @@
 #include "support/Table.h"
 #include "workloads/WorkloadProfile.h"
 
+#include <algorithm>
+
 using namespace dynace;
 
 static std::vector<std::string> benchHeader(
@@ -331,4 +333,37 @@ void dynace::printFigure4(std::ostream &OS,
   T.addRow(HotRow);
   T.print(OS, "Figure 4. Performance degradation over the baseline "
               "(% slowdown)");
+}
+
+void dynace::printRunStats(std::ostream &OS,
+                           const std::vector<RunStats> &Stats) {
+  std::vector<RunStats> Sorted = Stats;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const RunStats &A, const RunStats &B) {
+              if (A.Benchmark != B.Benchmark)
+                return A.Benchmark < B.Benchmark;
+              return static_cast<int>(A.SchemeKind) <
+                     static_cast<int>(B.SchemeKind);
+            });
+
+  TextTable T;
+  T.setHeader({"Run", "Instructions", "Source", "Wall (s)"});
+  uint64_t TotalInstr = 0, Hits = 0;
+  double TotalWall = 0.0;
+  for (const RunStats &S : Sorted) {
+    T.addRow({S.Benchmark + "/" + schemeName(S.SchemeKind),
+              formatCount(S.Instructions),
+              S.CacheHit ? "cache" : "simulated",
+              formatFixed(S.WallSeconds, 2)});
+    TotalInstr += S.Instructions;
+    Hits += S.CacheHit ? 1 : 0;
+    TotalWall += S.WallSeconds;
+  }
+  T.addSeparator();
+  T.addRow({"total (" + std::to_string(Hits) + "/" +
+                std::to_string(Sorted.size()) + " cached)",
+            formatCount(TotalInstr), "", formatFixed(TotalWall, 2)});
+  T.print(OS, "Pipeline accounting: per-run simulation cost (summed wall "
+              "times; concurrent runs overlap, so the pipeline's wall "
+              "clock is lower)");
 }

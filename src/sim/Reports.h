@@ -48,6 +48,14 @@ void printFigure3(std::ostream &OS, const std::vector<BenchmarkRun> &Runs);
 /// Figure 4: performance degradation over the baseline.
 void printFigure4(std::ostream &OS, const std::vector<BenchmarkRun> &Runs);
 
+/// Experiment-pipeline accounting: one row per (benchmark, scheme) run —
+/// instructions simulated, whether the on-disk cache served it, and wall
+/// time — plus a totals row. Rows are sorted by (benchmark, scheme) so the
+/// report is deterministic even though parallel runs complete in arbitrary
+/// order; the totals row sums per-run wall times, which exceeds the
+/// pipeline's wall clock by roughly the parallel speedup.
+void printRunStats(std::ostream &OS, const std::vector<RunStats> &Stats);
+
 } // namespace dynace
 
 #endif // DYNACE_SIM_REPORTS_H

@@ -5,7 +5,12 @@
 #include <cinttypes>
 #include <cstdio>
 #include <functional>
+#include <map>
+#include <memory>
 #include <sstream>
+#include <thread>
+
+#include <unistd.h>
 
 using namespace dynace;
 
@@ -103,15 +108,30 @@ private:
   bool Ok = true;
 };
 
-constexpr const char *kMagic = "dynace-result-v1";
+/// File magic carrying the format version; loads of any other version
+/// fail cleanly and the caller re-simulates.
+std::string cacheMagic() {
+  return "dynace-result-v" + std::to_string(kResultCacheVersion);
+}
+
+/// A temporary-file name unique to this process and thread, placed next to
+/// \p Path so the final rename stays within one filesystem.
+std::string tempPathFor(const std::string &Path) {
+  size_t Tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return Path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(Tid);
+}
 
 } // namespace
 
 bool dynace::saveResult(const std::string &Path, const SimulationResult &R) {
-  FILE *F = std::fopen(Path.c_str(), "w");
+  // Write-to-temp-then-rename: a concurrent reader of Path either misses
+  // (no file yet) or reads a complete entry, never a torn one.
+  std::string Tmp = tempPathFor(Path);
+  FILE *F = std::fopen(Tmp.c_str(), "w");
   if (!F)
     return false;
-  std::fprintf(F, "%s\n", kMagic);
+  std::fprintf(F, "%s\n", cacheMagic().c_str());
   Writer W(F);
   W.u64("scheme", static_cast<uint64_t>(R.SchemeKind));
   W.u64("instructions", R.Instructions);
@@ -167,7 +187,10 @@ bool dynace::saveResult(const std::string &Path, const SimulationResult &R) {
     W.vec("bbv_reconfigs", R.BbvR->ReconfigsPerCu);
     W.f64("bbv_coverage", R.BbvR->Coverage);
   }
-  std::fclose(F);
+  if (std::fclose(F) != 0 || std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
   return true;
 }
 
@@ -177,7 +200,7 @@ bool dynace::loadResult(const std::string &Path, SimulationResult &R) {
     return false;
   char Magic[64];
   if (std::fscanf(F, "%63s", Magic) != 1 ||
-      std::string(Magic) != kMagic) {
+      std::string(Magic) != cacheMagic()) {
     std::fclose(F);
     return false;
   }
@@ -256,7 +279,8 @@ bool dynace::loadResult(const std::string &Path, SimulationResult &R) {
 std::string dynace::resultCacheKey(const std::string &BenchmarkName,
                                    const SimulationOptions &Opts) {
   std::ostringstream Key;
-  Key << BenchmarkName << '|' << schemeName(Opts.SchemeKind) << '|'
+  Key << kResultCacheVersion << '|' << BenchmarkName << '|'
+      << schemeName(Opts.SchemeKind) << '|'
       << Opts.MaxInstructions << '|' << Opts.L1DReconfigInterval << '|'
       << Opts.L2ReconfigInterval << '|' << Opts.Do.HotThreshold << '|'
       << Opts.Do.HotSampleInstructions << '|' << Opts.Do.SizeEmaAlpha << '|'
@@ -284,4 +308,18 @@ std::string dynace::resultCacheKey(const std::string &BenchmarkName,
   std::snprintf(Buf, sizeof(Buf), "%s-%s-%016zx", BenchmarkName.c_str(),
                 schemeName(Opts.SchemeKind), Hash);
   return Buf;
+}
+
+std::unique_lock<std::mutex> dynace::lockResultKey(const std::string &Key) {
+  static std::mutex RegistryMutex;
+  static std::map<std::string, std::unique_ptr<std::mutex>> Registry;
+  std::mutex *KeyMutex;
+  {
+    std::lock_guard<std::mutex> Guard(RegistryMutex);
+    std::unique_ptr<std::mutex> &Slot = Registry[Key];
+    if (!Slot)
+      Slot = std::make_unique<std::mutex>();
+    KeyMutex = Slot.get(); // Stable: entries are never erased.
+  }
+  return std::unique_lock<std::mutex>(*KeyMutex);
 }

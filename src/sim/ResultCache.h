@@ -11,7 +11,24 @@
 /// deterministic, so a hit is exact.
 ///
 /// Controlled by the DYNACE_CACHE_DIR environment variable; unset disables
-/// caching (every binary simulates from scratch).
+/// the on-disk cache, leaving only the in-process memoization inside
+/// ExperimentRunner (each binary then re-simulates its triples once per
+/// process instead of sharing them across binaries).
+///
+/// The cache is safe under concurrent writers (the parallel experiment
+/// pipeline, or several bench binaries sharing one directory):
+///
+///  * saveResult() writes to a per-process temporary file and publishes it
+///    with an atomic rename(2), so readers never observe a torn entry;
+///  * loadResult() verifies the version magic and every field tag, so a
+///    truncated or stale file loads as a miss (re-simulate), never as
+///    garbage;
+///  * lockResultKey() hands out a per-key in-process mutex with which the
+///    pipeline ensures two workers never simulate the same key twice;
+///  * kResultCacheVersion participates in both the key hash and the file
+///    magic — bump it whenever the serialization format or the set of
+///    SimulationOptions fields feeding resultCacheKey() changes, and every
+///    stale entry becomes unreachable instead of misread.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,22 +37,46 @@
 
 #include "sim/System.h"
 
+#include <mutex>
 #include <string>
 
 namespace dynace {
 
+/// Version stamp of the on-disk result format and key schema. Bump on any
+/// change to the serialized fields or to the inputs of resultCacheKey();
+/// old entries then miss (different key and file magic) rather than being
+/// reinterpreted.
+constexpr unsigned kResultCacheVersion = 2;
+
 /// Serializes \p R to \p Path (text, one field per line).
-/// \returns false on I/O failure.
+///
+/// The write is atomic: data goes to a temporary file in the same
+/// directory which is then rename(2)d over \p Path, so a concurrent
+/// loadResult() sees either the previous entry or the complete new one.
+/// \returns false on I/O failure (the temporary is removed).
 bool saveResult(const std::string &Path, const SimulationResult &R);
 
 /// Loads a result previously written by saveResult().
-/// \returns false when the file is missing or malformed.
+/// \returns false when the file is missing, from a different
+///          kResultCacheVersion, truncated, or otherwise malformed.
 bool loadResult(const std::string &Path, SimulationResult &R);
 
 /// Builds a cache key for running \p BenchmarkName under \p Opts: a stable
-/// hash over every option field that can influence the outcome.
+/// hash over kResultCacheVersion and every option field that can influence
+/// the outcome.
+/// \returns "<benchmark>-<scheme>-<hash>", usable as a file name.
 std::string resultCacheKey(const std::string &BenchmarkName,
                            const SimulationOptions &Opts);
+
+/// Acquires the in-process mutex associated with cache key \p Key.
+///
+/// Workers of the parallel pipeline take this lock around their
+/// "probe cache → simulate → publish" sequence, so of two workers racing
+/// on one key the loser blocks and then hits the winner's freshly written
+/// entry instead of re-simulating. Locks are process-local; cross-process
+/// races stay correct (atomic rename, identical results) merely wasteful.
+/// \returns a held lock; releasing it (destruction) frees the key.
+std::unique_lock<std::mutex> lockResultKey(const std::string &Key);
 
 } // namespace dynace
 

@@ -101,7 +101,13 @@ public:
   System(const Program &Prog, const SimulationOptions &Options);
   ~System();
 
-  /// Runs to completion (or the instruction cap) and \returns the results.
+  /// Runs to completion (or the instruction cap).
+  ///
+  /// Fully deterministic and free of mutable global state: two Systems
+  /// built from the same program and options produce identical results,
+  /// whether they run sequentially or on concurrent threads (the basis of
+  /// the parallel experiment pipeline's bit-identical guarantee).
+  /// \returns the accumulated results of the run.
   SimulationResult run();
 
   // Component access for tests and examples.
@@ -117,7 +123,8 @@ public:
   ConfigurableUnit *windowUnit() { return WindowUnit.get(); }
   const SimulationOptions &options() const { return Options; }
 
-  /// Total issue-window energy so far (dynamic + approximate leakage).
+  /// \returns the total issue-window energy so far (dynamic + approximate
+  ///          leakage).
   double windowEnergy() const;
 
 private:

@@ -19,16 +19,20 @@
 
 namespace dynace {
 
-/// Formats a ratio in [0, 1] as a percent string, e.g. 0.9903 -> "99.03%".
+/// Formats a ratio in [0, 1] as a percent string.
+/// \returns e.g. "99.03%" for 0.9903 at the default two decimals.
 std::string formatPercent(double Ratio, int Decimals = 2);
 
-/// Formats a count with thousands separators, e.g. 81645 -> "81,645".
+/// Formats a count with thousands separators.
+/// \returns e.g. "81,645" for 81645.
 std::string formatCount(uint64_t Value);
 
-/// Formats a count in the paper's scientific style, e.g. "9.83E+09".
+/// Formats a count in the paper's scientific style.
+/// \returns e.g. "9.83E+09" at the default two decimals.
 std::string formatScientific(double Value, int Decimals = 2);
 
-/// Formats a double with fixed decimals, e.g. 1.5 -> "1.50".
+/// Formats a double with fixed decimals.
+/// \returns e.g. "1.50" for 1.5 at the default two decimals.
 std::string formatFixed(double Value, int Decimals = 2);
 
 } // namespace dynace

@@ -29,7 +29,8 @@ class SplitMix64 {
 public:
   explicit SplitMix64(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
 
-  /// Next raw 64-bit value.
+  /// Advances the generator.
+  /// \returns the next raw 64-bit value.
   uint64_t next() {
     State += 0x9e3779b97f4a7c15ull;
     uint64_t Z = State;
@@ -38,7 +39,7 @@ public:
     return Z ^ (Z >> 31);
   }
 
-  /// Uniform integer in [0, Bound); Bound must be > 0.
+  /// \returns a uniform integer in [0, \p Bound); Bound must be > 0.
   uint64_t nextBelow(uint64_t Bound) {
     assert(Bound > 0 && "nextBelow requires a positive bound");
     // Multiply-shift rejection-free mapping; bias is negligible for our
@@ -47,18 +48,18 @@ public:
         (static_cast<unsigned __int128>(next()) * Bound) >> 64);
   }
 
-  /// Uniform integer in [Lo, Hi] inclusive.
+  /// \returns a uniform integer in [\p Lo, \p Hi] inclusive.
   uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
     assert(Lo <= Hi && "nextInRange requires Lo <= Hi");
     return Lo + nextBelow(Hi - Lo + 1);
   }
 
-  /// Uniform double in [0, 1).
+  /// \returns a uniform double in [0, 1).
   double nextDouble() {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;
   }
 
-  /// Bernoulli draw with probability P.
+  /// \returns a Bernoulli draw: true with probability \p P.
   bool nextBool(double P) { return nextDouble() < P; }
 
 private:
@@ -85,11 +86,12 @@ inline size_t sampleDiscrete(SplitMix64 &Rng,
   return Weights.size() - 1;
 }
 
-/// Builds Zipf-like weights (W_i = 1 / (i+1)^S) for N items.
+/// Builds Zipf-like weights for \p N items.
 ///
 /// Used by the workload generator to skew invocation frequency toward a few
 /// dominant methods, matching the hotspot concentration the paper relies on
 /// (e.g. in db, fewer than 10 procedures cause >95% of data misses).
+/// \returns the unnormalized weights W_i = 1 / (i+1)^S.
 inline std::vector<double> zipfWeights(size_t N, double S) {
   std::vector<double> W;
   W.reserve(N);

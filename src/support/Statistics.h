@@ -37,23 +37,24 @@ public:
     M2 += Delta * (X - Mean);
   }
 
-  /// Number of observations so far.
+  /// \returns the number of observations so far.
   uint64_t count() const { return Count; }
 
-  /// Sample mean; 0 when empty.
+  /// \returns the sample mean; 0 when empty.
   double mean() const { return Count ? Mean : 0.0; }
 
-  /// Population variance; 0 with fewer than two observations.
+  /// \returns the population variance; 0 with fewer than two observations.
   double variance() const {
     if (Count < 2)
       return 0.0;
     return M2 / static_cast<double>(Count);
   }
 
-  /// Population standard deviation.
+  /// \returns the population standard deviation.
   double stddev() const { return std::sqrt(variance()); }
 
-  /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+  /// \returns the coefficient of variation (stddev / mean); 0 when the
+  ///          mean is 0.
   double cov() const {
     double M = mean();
     if (M == 0.0)
@@ -77,14 +78,17 @@ private:
   double M2 = 0.0;
 };
 
-/// Computes the mean of a vector; 0 when empty.
+/// Computes the mean of a vector.
+/// \returns the mean; 0 when \p Values is empty.
 double meanOf(const std::vector<double> &Values);
 
-/// Computes the population CoV of a vector; 0 when empty or zero-mean.
+/// Computes the population CoV of a vector.
+/// \returns the CoV; 0 when \p Values is empty or zero-mean.
 double covOf(const std::vector<double> &Values);
 
-/// Computes a weighted mean: sum(V_i * W_i) / sum(W_i); 0 when the total
-/// weight is 0. Used for execution-weighted averages across benchmarks.
+/// Computes a weighted mean, used for execution-weighted averages across
+/// benchmarks.
+/// \returns sum(V_i * W_i) / sum(W_i); 0 when the total weight is 0.
 double weightedMean(const std::vector<double> &Values,
                     const std::vector<double> &Weights);
 

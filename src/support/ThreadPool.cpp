@@ -1,0 +1,62 @@
+//===- support/ThreadPool.cpp ---------------------------------------------==//
+
+#include "support/ThreadPool.h"
+
+#include <cstdlib>
+
+using namespace dynace;
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = 1;
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WakeWorker.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorker.wait(Lock,
+                      [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty()) // ShuttingDown and drained.
+        return;
+      Task = std::move(Queue.front());
+      Queue.pop();
+      ++Busy;
+    }
+    Task(); // Exceptions are captured by the packaged_task wrapper.
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Busy;
+    }
+    Idle.notify_all();
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Idle.wait(Lock, [this] { return Queue.empty() && Busy == 0; });
+}
+
+unsigned ThreadPool::defaultThreadCount() {
+  if (const char *Jobs = std::getenv("DYNACE_JOBS")) {
+    long N = std::strtol(Jobs, nullptr, 10);
+    if (N > 0)
+      return static_cast<unsigned>(N);
+  }
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}

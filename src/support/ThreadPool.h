@@ -1,0 +1,98 @@
+//===- support/ThreadPool.h - Fixed-size worker thread pool -----*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool used by the experiment pipeline to fan the
+/// (benchmark × scheme) simulation grid out across cores. Tasks are
+/// submitted as callables and their results retrieved through
+/// \c std::future, so an exception thrown inside a task is captured and
+/// rethrown at the caller's \c get() — never inside a worker thread.
+///
+/// The pool is deliberately minimal: a locked FIFO queue, no work
+/// stealing, no task priorities. Simulation tasks run for seconds each, so
+/// queue overhead is irrelevant; what matters is that a pool of size 1
+/// degenerates to strict submission-order execution (used to verify that
+/// parallel and serial runs produce bit-identical results).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SUPPORT_THREADPOOL_H
+#define DYNACE_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dynace {
+
+/// Fixed-size FIFO thread pool.
+///
+/// Threads are spawned in the constructor and joined in the destructor;
+/// the destructor drains the queue first, so every submitted task runs
+/// exactly once.
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers; a count of 0 is clamped to 1.
+  explicit ThreadPool(unsigned Threads);
+
+  /// Waits for queued tasks to finish, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p F for execution on some worker.
+  ///
+  /// \returns a future for F's result; if F throws, the exception is
+  ///          rethrown from \c get().
+  template <typename Fn>
+  auto submit(Fn &&F) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto Task =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(F));
+    std::future<Result> Future = Task->get_future();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Queue.push([Task] { (*Task)(); });
+    }
+    WakeWorker.notify_one();
+    return Future;
+  }
+
+  /// Blocks until the queue is empty and no task is executing.
+  void wait();
+
+  /// Number of worker threads.
+  /// \returns the thread count fixed at construction (>= 1).
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Worker count for experiment pipelines: the DYNACE_JOBS environment
+  /// variable when set to a positive integer, otherwise
+  /// \c std::thread::hardware_concurrency() (clamped to >= 1).
+  /// \returns the default degree of parallelism (>= 1).
+  static unsigned defaultThreadCount();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WakeWorker;
+  std::condition_variable Idle;
+  unsigned Busy = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_SUPPORT_THREADPOOL_H

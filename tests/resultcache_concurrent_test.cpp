@@ -1,0 +1,207 @@
+//===- tests/resultcache_concurrent_test.cpp - Parallel pipeline tests ----==//
+//
+// Exercises the hardened result cache under concurrency (atomic publish,
+// per-key locking, torn-write recovery) and verifies the acceptance
+// criterion of the parallel pipeline: a DYNACE_JOBS=4 grid produces
+// byte-identical serialized results to the serial (1-job) path. Run these
+// under ThreadSanitizer via -DDYNACE_SANITIZE=thread.
+//
+//===----------------------------------------------------------------------==//
+
+#include "sim/ExperimentRunner.h"
+#include "sim/ResultCache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace dynace;
+
+namespace {
+
+/// A unique fresh directory under the test temp root.
+std::string freshDir(const std::string &Tag) {
+  std::string Dir = ::testing::TempDir() + "dynace_" + Tag + "_" +
+                    std::to_string(::getpid());
+  ::mkdir(Dir.c_str(), 0755);
+  return Dir;
+}
+
+/// Reads a whole file; empty string when missing.
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+/// Options small enough for sub-second simulations.
+SimulationOptions quickOptions() {
+  SimulationOptions Opts;
+  Opts.MaxInstructions = 150000;
+  return Opts;
+}
+
+/// Serializes \p R and returns the bytes saveResult would publish.
+std::string serialized(const SimulationResult &R, const std::string &Dir,
+                       const std::string &Tag) {
+  std::string Path = Dir + "/" + Tag + ".txt";
+  EXPECT_TRUE(saveResult(Path, R));
+  return slurp(Path);
+}
+
+} // namespace
+
+TEST(ParallelPipeline, FourJobGridMatchesSerialByteIdentical) {
+  unsetenv("DYNACE_CACHE_DIR"); // Pure simulation, no disk reuse.
+  std::vector<WorkloadProfile> Profiles = {specjvm98Profiles()[0],
+                                           specjvm98Profiles()[1]};
+
+  ExperimentRunner Serial(quickOptions());
+  ExperimentRunner Parallel(quickOptions());
+  std::vector<BenchmarkRun> A = Serial.runAll(Profiles, /*Jobs=*/1);
+  std::vector<BenchmarkRun> B = Parallel.runAll(Profiles, /*Jobs=*/4);
+
+  ASSERT_EQ(A.size(), B.size());
+  std::string Dir = freshDir("grid");
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Name, B[I].Name); // Deterministic input order.
+    const SimulationResult *SA[] = {&A[I].Baseline, &A[I].Bbv,
+                                    &A[I].Hotspot};
+    const SimulationResult *SB[] = {&B[I].Baseline, &B[I].Bbv,
+                                    &B[I].Hotspot};
+    for (int S = 0; S != 3; ++S) {
+      SimulationOptions KeyOpts = quickOptions();
+      KeyOpts.SchemeKind = SA[S]->SchemeKind;
+      EXPECT_EQ(resultCacheKey(A[I].Name, KeyOpts),
+                resultCacheKey(B[I].Name, KeyOpts));
+      std::string Tag = A[I].Name + "_" + std::to_string(S);
+      EXPECT_EQ(serialized(*SA[S], Dir, Tag + "_serial"),
+                serialized(*SB[S], Dir, Tag + "_parallel"))
+          << A[I].Name << " scheme " << S;
+    }
+  }
+}
+
+TEST(ParallelPipeline, TwoWorkersOnOneKeySimulateOnce) {
+  std::string Dir = freshDir("dedup");
+  ASSERT_EQ(setenv("DYNACE_CACHE_DIR", Dir.c_str(), 1), 0);
+
+  ExperimentRunner Runner(quickOptions());
+  const WorkloadProfile &P = specjvm98Profiles()[0];
+  SimulationResult R1, R2;
+  std::thread T1([&] { R1 = Runner.runScheme(P, Scheme::Baseline); });
+  std::thread T2([&] { R2 = Runner.runScheme(P, Scheme::Baseline); });
+  T1.join();
+  T2.join();
+  unsetenv("DYNACE_CACHE_DIR");
+
+  EXPECT_EQ(R1.Instructions, R2.Instructions);
+  EXPECT_EQ(R1.Cycles, R2.Cycles);
+  // The per-key lock makes the loser wait and then load the winner's
+  // entry: exactly one simulation, one cache hit.
+  std::vector<RunStats> Stats = Runner.stats();
+  ASSERT_EQ(Stats.size(), 2u);
+  int Simulated = 0, Hits = 0;
+  for (const RunStats &S : Stats)
+    S.CacheHit ? ++Hits : ++Simulated;
+  EXPECT_EQ(Simulated, 1);
+  EXPECT_EQ(Hits, 1);
+}
+
+TEST(ParallelPipeline, TornCacheEntryIsDetectedAndResimulated) {
+  std::string Dir = freshDir("torn");
+  ASSERT_EQ(setenv("DYNACE_CACHE_DIR", Dir.c_str(), 1), 0);
+  const WorkloadProfile &P = specjvm98Profiles()[0];
+
+  ExperimentRunner First(quickOptions());
+  SimulationResult Original = First.runScheme(P, Scheme::Hotspot);
+
+  // Truncate the published entry to simulate a torn/partial write.
+  SimulationOptions KeyOpts = quickOptions();
+  KeyOpts.SchemeKind = Scheme::Hotspot;
+  std::string Path = Dir + "/" + resultCacheKey(P.Name, KeyOpts) + ".txt";
+  std::string Full = slurp(Path);
+  ASSERT_FALSE(Full.empty());
+  std::ofstream(Path, std::ios::binary | std::ios::trunc)
+      << Full.substr(0, Full.size() / 2);
+
+  SimulationResult Junk;
+  EXPECT_FALSE(loadResult(Path, Junk)); // A miss, not garbage or a crash.
+
+  // A fresh runner treats the torn entry as a miss, re-simulates, and
+  // republishes a loadable entry with the same deterministic result.
+  ExperimentRunner Second(quickOptions());
+  SimulationResult Redone = Second.runScheme(P, Scheme::Hotspot);
+  unsetenv("DYNACE_CACHE_DIR");
+  ASSERT_EQ(Second.stats().size(), 1u);
+  EXPECT_FALSE(Second.stats()[0].CacheHit);
+  EXPECT_EQ(Redone.Instructions, Original.Instructions);
+  EXPECT_EQ(Redone.Cycles, Original.Cycles);
+  SimulationResult Reloaded;
+  EXPECT_TRUE(loadResult(Path, Reloaded));
+  EXPECT_EQ(Reloaded.Cycles, Original.Cycles);
+}
+
+TEST(ParallelPipeline, ConcurrentSaveAndLoadNeverTear) {
+  unsetenv("DYNACE_CACHE_DIR");
+  // One cheap but fully populated result (hotspot carries an AceReport).
+  ExperimentRunner Runner(quickOptions());
+  SimulationResult R = Runner.runScheme(specjvm98Profiles()[0],
+                                        Scheme::Hotspot);
+
+  std::string Path = freshDir("atomic") + "/entry.txt";
+  std::atomic<bool> Stop{false};
+  std::atomic<int> GoodLoads{0};
+  std::thread Reader([&] {
+    while (!Stop.load()) {
+      SimulationResult L;
+      if (loadResult(Path, L)) { // Atomic rename: all-or-nothing.
+        EXPECT_EQ(L.Cycles, R.Cycles);
+        EXPECT_EQ(L.Instructions, R.Instructions);
+        ++GoodLoads;
+      }
+    }
+  });
+  std::vector<std::thread> Writers;
+  for (int W = 0; W != 3; ++W)
+    Writers.emplace_back([&] {
+      for (int I = 0; I != 20; ++I)
+        EXPECT_TRUE(saveResult(Path, R));
+    });
+  for (std::thread &T : Writers)
+    T.join();
+  Stop = true;
+  Reader.join();
+  EXPECT_GT(GoodLoads.load(), 0);
+}
+
+TEST(ParallelPipeline, LockResultKeyIsMutuallyExclusive) {
+  std::unique_lock<std::mutex> Held = lockResultKey("some-key");
+  std::atomic<bool> Acquired{false};
+  std::thread Waiter([&] {
+    std::unique_lock<std::mutex> Lock = lockResultKey("some-key");
+    Acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Acquired.load()); // Blocked behind the held key.
+  // A different key is independent.
+  { std::unique_lock<std::mutex> Other = lockResultKey("other-key"); }
+  Held.unlock();
+  Waiter.join();
+  EXPECT_TRUE(Acquired.load());
+}
+
+TEST(ParallelPipeline, SaveFailsCleanlyOnUnwritablePath) {
+  ExperimentRunner Runner(quickOptions());
+  SimulationResult R = Runner.runScheme(specjvm98Profiles()[0],
+                                        Scheme::Baseline);
+  EXPECT_FALSE(saveResult("/nonexistent-dir/deeper/entry.txt", R));
+}

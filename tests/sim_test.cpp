@@ -189,6 +189,23 @@ TEST(ExperimentRunner, HelperMath) {
   EXPECT_DOUBLE_EQ(BenchmarkRun::slowdown(100, 0), 0.0);
 }
 
+TEST(ExperimentRunner, ReductionClampsAndFlagsRegressions) {
+  bool Regressed = false;
+  // A scheme spending more energy than baseline is a (negative) regression.
+  EXPECT_NEAR(BenchmarkRun::reduction(110.0, 100.0, &Regressed), -0.1,
+              1e-12);
+  EXPECT_TRUE(Regressed);
+  // Pathological regressions clamp to -100% instead of e.g. -400%.
+  EXPECT_DOUBLE_EQ(BenchmarkRun::reduction(500.0, 100.0, &Regressed), -1.0);
+  EXPECT_TRUE(Regressed);
+  // Improvements don't set the flag and stay unclamped within [-1, 1].
+  EXPECT_DOUBLE_EQ(BenchmarkRun::reduction(25.0, 100.0, &Regressed), 0.75);
+  EXPECT_FALSE(Regressed);
+  // A non-positive baseline is "no meaningful ratio", not a regression.
+  EXPECT_DOUBLE_EQ(BenchmarkRun::reduction(10.0, 0.0, &Regressed), 0.0);
+  EXPECT_FALSE(Regressed);
+}
+
 // ------------------------------------------------------------------ Reports
 
 TEST(Reports, PrintersProduceExpectedHeadings) {
@@ -215,8 +232,9 @@ TEST(Reports, PrintersProduceExpectedHeadings) {
     std::ostringstream OS;
     C.Fn(OS, Runs);
     EXPECT_NE(OS.str().find(C.Needle), std::string::npos) << C.Needle;
-    if (C.PerBenchmark)
+    if (C.PerBenchmark) {
       EXPECT_NE(OS.str().find("db"), std::string::npos) << C.Needle;
+    }
   }
 
   std::ostringstream Config;

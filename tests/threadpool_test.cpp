@@ -1,0 +1,83 @@
+//===- tests/threadpool_test.cpp - ThreadPool unit tests ------------------==//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+using namespace dynace;
+
+TEST(ThreadPool, SubmitReturnsTaskResults) {
+  ThreadPool Pool(4);
+  std::vector<std::future<int>> Futures;
+  for (int I = 0; I != 32; ++I)
+    Futures.push_back(Pool.submit([I] { return I * I; }));
+  for (int I = 0; I != 32; ++I)
+    EXPECT_EQ(Futures[I].get(), I * I);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToFutureGet) {
+  ThreadPool Pool(2);
+  std::future<int> Bad = Pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  std::future<int> Good = Pool.submit([] { return 7; });
+  EXPECT_THROW(Bad.get(), std::runtime_error);
+  // A throwing task must not take the pool down with it.
+  EXPECT_EQ(Good.get(), 7);
+}
+
+TEST(ThreadPool, SingleThreadRunsTasksInSubmissionOrder) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.size(), 1u);
+  std::vector<int> Order;
+  std::vector<std::future<void>> Futures;
+  for (int I = 0; I != 16; ++I)
+    Futures.push_back(Pool.submit([I, &Order] { Order.push_back(I); }));
+  for (std::future<void> &F : Futures)
+    F.get();
+  ASSERT_EQ(Order.size(), 16u);
+  for (int I = 0; I != 16; ++I)
+    EXPECT_EQ(Order[I], I); // FIFO: the degenerate case is strictly serial.
+}
+
+TEST(ThreadPool, ZeroThreadRequestClampsToOne) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.size(), 1u);
+  EXPECT_EQ(Pool.submit([] { return 42; }).get(), 42);
+}
+
+TEST(ThreadPool, WaitDrainsAllQueuedTasks) {
+  std::atomic<int> Done{0};
+  ThreadPool Pool(3);
+  for (int I = 0; I != 64; ++I)
+    Pool.submit([&Done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++Done;
+    });
+  Pool.wait();
+  EXPECT_EQ(Done.load(), 64);
+}
+
+TEST(ThreadPool, DestructorRunsEverySubmittedTask) {
+  std::atomic<int> Done{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I != 50; ++I)
+      Pool.submit([&Done] { ++Done; });
+  } // Destructor drains the queue before joining.
+  EXPECT_EQ(Done.load(), 50);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsDynaceJobs) {
+  ASSERT_EQ(setenv("DYNACE_JOBS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+  ASSERT_EQ(setenv("DYNACE_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::defaultThreadCount(), 1u); // Falls back to HW.
+  ASSERT_EQ(unsetenv("DYNACE_JOBS"), 0);
+  EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
