@@ -39,6 +39,18 @@ inline void enableDefaultCache() {
   setenv("DYNACE_CACHE_DIR", ".dynace-cache", /*overwrite=*/0);
 }
 
+/// Prints the build type + flags this binary was compiled with, so every
+/// reported wall time / MIPS figure names the build that produced it.
+inline void printBuildInfo(std::ostream &OS) {
+#if defined(DYNACE_BUILD_TYPE) && defined(DYNACE_BUILD_FLAGS)
+  OS << "[dynace] build: " << DYNACE_BUILD_TYPE << " (flags: \""
+     << DYNACE_BUILD_FLAGS << "\")\n";
+#else
+  OS << "[dynace] build: unknown (configure via CMake for a stamped "
+        "binary)\n";
+#endif
+}
+
 /// The shared runner (one per binary; disk cache shares across binaries).
 inline dynace::ExperimentRunner &runner() {
   static dynace::ExperimentRunner R(
@@ -78,6 +90,7 @@ template <typename PrintFn>
 int benchMain(int argc, char **argv, PrintFn Print,
               const std::function<void()> &Prefetch = nullptr) {
   enableDefaultCache();
+  printBuildInfo(std::cout);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;

@@ -1,0 +1,317 @@
+//===- bench/microbench_hotloop.cpp - Hot-loop MIPS microbench ------------==//
+//
+// Measures raw single-thread simulation throughput — host MIPS (millions of
+// simulated dynamic instructions per wall-clock second) — for every cell of
+// the fig3 (SPECjvm98 benchmark x scheme) grid, driving System::run()
+// directly (no result cache, no thread pool) so the number is the kernel's
+// step/consume pipeline and nothing else. Emits BENCH_hotloop.json so every
+// perf PR has a measured trajectory.
+//
+// Modes:
+//   microbench_hotloop              full grid at --budget (default 20M)
+//                                   instructions per cell, preceded by a
+//                                   smoke-budget pass so the emitted JSON
+//                                   carries a reference value for --smoke;
+//   microbench_hotloop --smoke      tight-budget pass (default 2M, or
+//                                   DYNACE_INSTR_BUDGET) compared against
+//                                   the committed baseline JSON; exits
+//                                   non-zero when geomean MIPS regressed
+//                                   more than 20% (the ctest perf gate).
+//
+// Flags: --budget N, --reps N, --out PATH, --baseline PATH, --min-ratio R.
+//
+// Each cell is timed --reps times (default 3 full / 1 smoke) and the
+// fastest repetition is reported: simulated work is deterministic, so
+// run-to-run spread is host noise and the minimum time is the best
+// estimate of kernel capability on a shared machine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/System.h"
+#include "support/Env.h"
+#include "workloads/WorkloadGenerator.h"
+#include "workloads/WorkloadProfile.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dynace;
+
+#ifndef DYNACE_BUILD_TYPE
+#define DYNACE_BUILD_TYPE "unknown"
+#endif
+#ifndef DYNACE_BUILD_FLAGS
+#define DYNACE_BUILD_FLAGS ""
+#endif
+#ifndef DYNACE_BENCH_BASELINE
+#define DYNACE_BENCH_BASELINE "BENCH_hotloop.json"
+#endif
+
+namespace {
+
+struct Cell {
+  std::string Benchmark;
+  Scheme SchemeKind = Scheme::Baseline;
+  uint64_t Instructions = 0;
+  double Seconds = 0.0;
+  double Mips = 0.0;
+};
+
+constexpr uint64_t kFullBudget = 20'000'000;
+constexpr uint64_t kSmokeBudget = 2'000'000;
+constexpr double kDefaultMinRatio = 0.8; ///< Fail below 80% of baseline.
+
+double geomeanMips(const std::vector<Cell> &Cells) {
+  if (Cells.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (const Cell &C : Cells)
+    LogSum += std::log(C.Mips > 0.0 ? C.Mips : 1e-9);
+  return std::exp(LogSum / static_cast<double>(Cells.size()));
+}
+
+/// Runs the full (benchmark x scheme) grid serially at \p Budget
+/// instructions per cell, timing each cell \p Reps times and keeping the
+/// fastest repetition; returns one Cell per grid entry.
+std::vector<Cell> runGrid(uint64_t Budget, unsigned Reps, bool Verbose) {
+  constexpr Scheme Schemes[] = {Scheme::Baseline, Scheme::Bbv,
+                                Scheme::Hotspot};
+  std::vector<Cell> Cells;
+  for (const WorkloadProfile &P : specjvm98Profiles()) {
+    // Generation is excluded from the timed region: the kernel under test
+    // is step/consume, not the workload generator.
+    GeneratedWorkload W = WorkloadGenerator::generate(P);
+    for (Scheme S : Schemes) {
+      SimulationOptions Opts;
+      Opts.SchemeKind = S;
+      Opts.MaxInstructions = Budget;
+      double Seconds = 0.0;
+      uint64_t Instructions = 0;
+      for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+        System Sys(W.Prog, Opts);
+        auto Start = std::chrono::steady_clock::now();
+        SimulationResult R = Sys.run();
+        double S0 = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+        if (Rep == 0 || S0 < Seconds) {
+          Seconds = S0;
+          Instructions = R.Instructions;
+        }
+      }
+      Cell C;
+      C.Benchmark = P.Name;
+      C.SchemeKind = S;
+      C.Instructions = Instructions;
+      C.Seconds = Seconds;
+      C.Mips = Seconds > 0.0
+                   ? static_cast<double>(Instructions) / Seconds / 1e6
+                   : 0.0;
+      if (Verbose)
+        std::fprintf(stderr, "[dynace] hotloop %s/%s: %.1fM instr, %.3fs, "
+                             "%.2f MIPS\n",
+                     C.Benchmark.c_str(), schemeName(S),
+                     static_cast<double>(C.Instructions) / 1e6, C.Seconds,
+                     C.Mips);
+      Cells.push_back(std::move(C));
+    }
+  }
+  return Cells;
+}
+
+void writeJson(std::ostream &OS, uint64_t Budget, uint64_t SmokeBudget,
+               unsigned Reps, const std::vector<Cell> &Cells,
+               double SmokeGeomean) {
+  char Buf[256];
+  OS << "{\n";
+  OS << "  \"build_type\": \"" << DYNACE_BUILD_TYPE << "\",\n";
+  OS << "  \"build_flags\": \"" << DYNACE_BUILD_FLAGS << "\",\n";
+  OS << "  \"budget\": " << Budget << ",\n";
+  OS << "  \"reps\": " << Reps << ",\n";
+  OS << "  \"smoke_budget\": " << SmokeBudget << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "%.4f", SmokeGeomean);
+  OS << "  \"smoke_geomean_mips\": " << Buf << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "%.4f", geomeanMips(Cells));
+  OS << "  \"geomean_mips\": " << Buf << ",\n";
+  OS << "  \"cells\": [\n";
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    const Cell &C = Cells[I];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"benchmark\": \"%s\", \"scheme\": \"%s\", "
+                  "\"instructions\": %llu, \"seconds\": %.4f, "
+                  "\"mips\": %.4f}%s\n",
+                  C.Benchmark.c_str(), schemeName(C.SchemeKind),
+                  static_cast<unsigned long long>(C.Instructions), C.Seconds,
+                  C.Mips, I + 1 == Cells.size() ? "" : ",");
+    OS << Buf;
+  }
+  OS << "  ]\n}\n";
+}
+
+/// Minimal extractor for `"Key": <number>` from the baseline JSON (the
+/// bench's own output format; not a general JSON parser).
+bool findJsonNumber(const std::string &Text, const std::string &Key,
+                    double &Out) {
+  std::string Needle = "\"" + Key + "\":";
+  size_t Pos = Text.find(Needle);
+  if (Pos == std::string::npos)
+    return false;
+  Out = std::strtod(Text.c_str() + Pos + Needle.size(), nullptr);
+  return true;
+}
+
+/// Minimal extractor for `"Key": "<string>"` from the baseline JSON.
+bool findJsonString(const std::string &Text, const std::string &Key,
+                    std::string &Out) {
+  std::string Needle = "\"" + Key + "\": \"";
+  size_t Pos = Text.find(Needle);
+  if (Pos == std::string::npos)
+    return false;
+  size_t Begin = Pos + Needle.size();
+  size_t End = Text.find('"', Begin);
+  if (End == std::string::npos)
+    return false;
+  Out = Text.substr(Begin, End - Begin);
+  return true;
+}
+
+void printHeader(uint64_t Budget, bool Smoke) {
+  std::printf("[dynace] microbench_hotloop: build=%s flags=\"%s\" "
+              "budget=%llu mode=%s\n",
+              DYNACE_BUILD_TYPE, DYNACE_BUILD_FLAGS,
+              static_cast<unsigned long long>(Budget),
+              Smoke ? "smoke" : "full");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  uint64_t Budget = 0;
+  unsigned Reps = 0;
+  std::string OutPath = "BENCH_hotloop.json";
+  std::string BaselinePath = DYNACE_BENCH_BASELINE;
+  double MinRatio = kDefaultMinRatio;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--smoke") {
+      Smoke = true;
+    } else if (Arg == "--budget") {
+      std::optional<uint64_t> B = parseUnsignedInt(NextArg("--budget"));
+      if (!B || *B == 0) {
+        std::fprintf(stderr, "error: --budget needs a positive integer\n");
+        return 2;
+      }
+      Budget = *B;
+    } else if (Arg == "--reps") {
+      std::optional<uint64_t> R = parseUnsignedInt(NextArg("--reps"));
+      if (!R || *R == 0 || *R > 100) {
+        std::fprintf(stderr, "error: --reps needs an integer in [1, 100]\n");
+        return 2;
+      }
+      Reps = static_cast<unsigned>(*R);
+    } else if (Arg == "--out") {
+      OutPath = NextArg("--out");
+    } else if (Arg == "--baseline") {
+      BaselinePath = NextArg("--baseline");
+    } else if (Arg == "--min-ratio") {
+      MinRatio = std::strtod(NextArg("--min-ratio"), nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: microbench_hotloop [--smoke] [--budget N] "
+                   "[--reps N] [--out PATH] [--baseline PATH] "
+                   "[--min-ratio R]\n");
+      return 2;
+    }
+  }
+
+  if (Budget == 0)
+    Budget = envUnsignedOr("DYNACE_INSTR_BUDGET",
+                           Smoke ? kSmokeBudget : kFullBudget, 1);
+  if (Reps == 0)
+    Reps = Smoke ? 1 : 3; // Keep the ctest gate cheap; measure runs tight.
+  printHeader(Budget, Smoke);
+
+  if (Smoke) {
+    std::vector<Cell> Cells = runGrid(Budget, Reps, /*Verbose=*/false);
+    double Geomean = geomeanMips(Cells);
+    std::printf("[dynace] hotloop smoke: geomean %.2f MIPS over %zu cells\n",
+                Geomean, Cells.size());
+
+    std::ifstream In(BaselinePath);
+    if (!In) {
+      std::printf("[dynace] hotloop smoke: no baseline at %s; skipping "
+                  "regression check\n",
+                  BaselinePath.c_str());
+      return 0;
+    }
+    std::stringstream Ss;
+    Ss << In.rdbuf();
+    std::string Text = Ss.str();
+    // MIPS only compares like for like: a Debug or sanitizer build would
+    // "regress" against a Release baseline by construction, not by bug.
+    std::string BaselineBuild, BaselineFlags;
+    findJsonString(Text, "build_type", BaselineBuild);
+    findJsonString(Text, "build_flags", BaselineFlags);
+    if (BaselineBuild != DYNACE_BUILD_TYPE ||
+        BaselineFlags != DYNACE_BUILD_FLAGS) {
+      std::printf("[dynace] hotloop smoke: baseline build '%s' [%s] != "
+                  "current '%s' [%s]; skipping regression check\n",
+                  BaselineBuild.c_str(), BaselineFlags.c_str(),
+                  DYNACE_BUILD_TYPE, DYNACE_BUILD_FLAGS);
+      return 0;
+    }
+    double Reference = 0.0;
+    if (!findJsonNumber(Text, "smoke_geomean_mips", Reference) &&
+        !findJsonNumber(Text, "geomean_mips", Reference)) {
+      std::fprintf(stderr, "error: %s carries no geomean MIPS field\n",
+                   BaselinePath.c_str());
+      return 1;
+    }
+    double Ratio = Reference > 0.0 ? Geomean / Reference : 1.0;
+    std::printf("[dynace] hotloop smoke: baseline %.2f MIPS, current/"
+                "baseline = %.2fx (gate: >= %.2fx)\n",
+                Reference, Ratio, MinRatio);
+    if (Ratio < MinRatio) {
+      std::fprintf(stderr,
+                   "error: hot-loop throughput regressed: %.2f MIPS vs "
+                   "baseline %.2f MIPS (%.0f%% of baseline, gate %.0f%%)\n",
+                   Geomean, Reference, 100.0 * Ratio, 100.0 * MinRatio);
+      return 1;
+    }
+    return 0;
+  }
+
+  // Full mode: a smoke-budget pass first (its geomean is what --smoke runs
+  // compare against, keeping the gate budget-for-budget fair), then the
+  // full-budget grid for the recorded trajectory.
+  std::vector<Cell> SmokeCells = runGrid(kSmokeBudget, 1, /*Verbose=*/false);
+  double SmokeGeomean = geomeanMips(SmokeCells);
+  std::vector<Cell> Cells = runGrid(Budget, Reps, /*Verbose=*/true);
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  writeJson(Out, Budget, kSmokeBudget, Reps, Cells, SmokeGeomean);
+  std::printf("[dynace] hotloop: geomean %.2f MIPS (smoke %.2f) over %zu "
+              "cells -> %s\n",
+              geomeanMips(Cells), SmokeGeomean, Cells.size(),
+              OutPath.c_str());
+  return 0;
+}

@@ -122,6 +122,38 @@ public:
       onIntervalBoundary();
   }
 
+  /// Feeds \p N retired instructions from \p Buf; equivalent to N
+  /// onInstruction() calls. The batched simulation driver caps batches at
+  /// instructionsUntilBoundary() so a boundary only ever fires on the last
+  /// instruction of a batch — with the core fully caught up — but this
+  /// routine stays correct for arbitrary N.
+  void onInstructionBatch(const DynInst *Buf, size_t N) {
+    uint64_t Length = BlockLength;
+    uint64_t InInterval = InstrInInterval;
+    for (size_t I = 0; I != N; ++I) {
+      const DynInst &In = Buf[I];
+      ++Length;
+      if (In.IsCondBranch) {
+        Accum.addBlock(In.PC, Length);
+        Length = 0;
+      }
+      if (++InInterval >= Config.IntervalInstructions) {
+        BlockLength = Length;
+        InstrInInterval = InInterval;
+        onIntervalBoundary(); // Resets both counters.
+        Length = BlockLength;
+        InInterval = InstrInInterval;
+      }
+    }
+    BlockLength = Length;
+    InstrInInterval = InInterval;
+  }
+
+  /// Instructions remaining until the next interval boundary fires.
+  uint64_t instructionsUntilBoundary() const {
+    return Config.IntervalInstructions - InstrInInterval;
+  }
+
   /// Flushes run-length bookkeeping at program end.
   void finish();
 

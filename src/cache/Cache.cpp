@@ -9,38 +9,43 @@ using namespace dynace;
 Cache::Cache(const CacheGeometry &G, std::string Name)
     : Geom(G), Name(std::move(Name)), NumSets(G.numSets()) {
   assert(std::has_single_bit(NumSets) && "set count must be a power of two");
+  assert(std::has_single_bit(static_cast<uint64_t>(G.BlockBytes)) &&
+         "block size must be a power of two");
   assert(G.Assoc >= 1 && "associativity must be at least 1");
+  BlockShift = static_cast<uint32_t>(std::countr_zero(
+      static_cast<uint64_t>(G.BlockBytes)));
+  TagShift = BlockShift + static_cast<uint32_t>(std::countr_zero(NumSets));
   Lines.resize(NumSets * G.Assoc);
+  Mru.assign(NumSets, 0);
 }
 
-CacheAccessResult Cache::access(uint64_t Addr, bool IsWrite) {
+CacheAccessResult Cache::accessSlow(uint64_t Addr, bool IsWrite) {
   CacheAccessResult Result;
   uint64_t Set = setIndexOf(Addr);
   uint64_t Tag = tagOf(Addr);
   Line *Base = &Lines[Set * Geom.Assoc];
   ++UseClock;
 
-  if (IsWrite)
-    ++Stats.Writes;
-  else
-    ++Stats.Reads;
+  Stats.Reads += !IsWrite;
+  Stats.Writes += IsWrite;
 
-  // Hit path.
+  // The inlined fast path already rejected the MRU way; re-checking it in
+  // the scan is harmless and keeps this simple.
+  uint32_t &MruWay = Mru[Set];
   for (uint32_t W = 0; W != Geom.Assoc; ++W) {
     Line &L = Base[W];
-    if (L.Valid && L.Tag == Tag) {
+    if (L.Valid & (L.Tag == Tag)) {
       L.LastUse = UseClock;
       L.Dirty |= IsWrite;
+      MruWay = W;
       Result.Hit = true;
       return Result;
     }
   }
 
   // Miss: allocate into the LRU (or an invalid) way.
-  if (IsWrite)
-    ++Stats.WriteMisses;
-  else
-    ++Stats.ReadMisses;
+  Stats.ReadMisses += !IsWrite;
+  Stats.WriteMisses += IsWrite;
 
   Line *Victim = &Base[0];
   for (uint32_t W = 0; W != Geom.Assoc; ++W) {
@@ -62,6 +67,7 @@ CacheAccessResult Cache::access(uint64_t Addr, bool IsWrite) {
   Victim->Dirty = IsWrite;
   Victim->Tag = Tag;
   Victim->LastUse = UseClock;
+  MruWay = static_cast<uint32_t>(Victim - Base);
   return Result;
 }
 

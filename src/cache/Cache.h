@@ -71,8 +71,25 @@ public:
   explicit Cache(const CacheGeometry &G, std::string Name = "cache");
 
   /// Performs one access. Misses allocate; dirty victims are reported so the
-  /// hierarchy can charge the next level for the write-back.
-  CacheAccessResult access(uint64_t Addr, bool IsWrite);
+  /// hierarchy can charge the next level for the write-back. The hit-in-MRU
+  /// way case — the overwhelmingly common one thanks to spatial locality —
+  /// is inlined; everything else takes the out-of-line slow path.
+  CacheAccessResult access(uint64_t Addr, bool IsWrite) {
+    uint64_t Set = setIndexOf(Addr);
+    Line &L = Lines[Set * Geom.Assoc + Mru[Set]];
+    // Single fused condition and unconditional counter updates: IsWrite is
+    // data-dependent, so branching on it here mispredicts constantly.
+    if (L.Valid & (L.Tag == tagOf(Addr))) {
+      Stats.Reads += !IsWrite;
+      Stats.Writes += IsWrite;
+      L.LastUse = ++UseClock;
+      L.Dirty |= IsWrite;
+      CacheAccessResult Result;
+      Result.Hit = true;
+      return Result;
+    }
+    return accessSlow(Addr, IsWrite);
+  }
 
   /// \returns true if \p Addr currently hits, without updating state.
   bool probe(uint64_t Addr) const;
@@ -117,20 +134,29 @@ private:
     bool Dirty = false;
   };
 
+  /// Slow path of access(): non-MRU hits, misses, allocation, eviction.
+  CacheAccessResult accessSlow(uint64_t Addr, bool IsWrite);
+
+  // Block size and set count are powers of two (asserted in the
+  // constructor), so the address split is shifts and masks — `/` and `%`
+  // here would be real divides on every access.
   uint64_t setIndexOf(uint64_t Addr) const {
-    return (Addr / Geom.BlockBytes) & (NumSets - 1);
+    return (Addr >> BlockShift) & (NumSets - 1);
   }
-  uint64_t tagOf(uint64_t Addr) const {
-    return Addr / Geom.BlockBytes / NumSets;
-  }
+  uint64_t tagOf(uint64_t Addr) const { return Addr >> TagShift; }
   uint64_t addrOf(uint64_t Tag, uint64_t SetIndex) const {
-    return (Tag * NumSets + SetIndex) * Geom.BlockBytes;
+    return (Tag << TagShift) | (SetIndex << BlockShift);
   }
 
   CacheGeometry Geom;
   std::string Name;
   uint64_t NumSets;
+  uint32_t BlockShift = 0; ///< log2(BlockBytes).
+  uint32_t TagShift = 0;   ///< log2(BlockBytes * NumSets).
   std::vector<Line> Lines; ///< NumSets * Assoc, set-major.
+  /// Most-recently-hit way per set. Pure lookup accelerator for access():
+  /// hit/miss outcomes and LRU victims are unaffected.
+  std::vector<uint32_t> Mru;
   uint64_t UseClock = 0;
   CacheStats Stats;
 };

@@ -12,6 +12,8 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &Config)
          Config.RetainOnDownsize),
       Itlb(Config.TlbEntries, Config.TlbAssoc, Config.TlbMissPenalty, "ITLB"),
       Dtlb(Config.TlbEntries, Config.TlbAssoc, Config.TlbMissPenalty, "DTLB") {
+  L1DHitLat = L1D.geometry().HitLatency;
+  L2HitLat = L2.geometry().HitLatency;
 }
 
 bool MemoryHierarchy::accessL2(uint64_t Addr, bool IsWrite) {
@@ -21,38 +23,6 @@ bool MemoryHierarchy::accessL2(uint64_t Addr, bool IsWrite) {
   if (R.EvictedDirty)
     ++MemWrites;
   return R.Hit;
-}
-
-MemAccessInfo MemoryHierarchy::dataAccess(uint64_t Addr, bool IsWrite) {
-  MemAccessInfo Info;
-  Info.Latency = Dtlb.access(Addr);
-
-  CacheAccessResult R1 = L1D.access(Addr, IsWrite);
-  Info.Latency += L1D.geometry().HitLatency;
-  Info.L1Hit = R1.Hit;
-  if (R1.EvictedDirty)
-    accessL2(R1.EvictedAddr, /*IsWrite=*/true);
-  if (R1.Hit)
-    return Info;
-
-  Info.L2Hit = accessL2(Addr, /*IsWrite=*/false);
-  Info.Latency += L2.geometry().HitLatency;
-  if (!Info.L2Hit)
-    Info.Latency += Config.MemoryLatency;
-  return Info;
-}
-
-uint32_t MemoryHierarchy::instrFetch(uint64_t Addr) {
-  uint32_t Latency = Itlb.access(Addr);
-  CacheAccessResult R = L1I.access(Addr, /*IsWrite=*/false);
-  Latency += Config.L1I.HitLatency;
-  if (R.Hit)
-    return Latency;
-  bool L2Hit = accessL2(Addr, /*IsWrite=*/false);
-  Latency += L2.geometry().HitLatency;
-  if (!L2Hit)
-    Latency += Config.MemoryLatency;
-  return Latency;
 }
 
 ReconfigCost MemoryHierarchy::reconfigureL1D(unsigned Setting) {
@@ -67,6 +37,7 @@ ReconfigCost MemoryHierarchy::reconfigureL1D(unsigned Setting) {
   // line) plus a fixed control overhead.
   for (uint64_t Addr : Flushed)
     accessL2(Addr, /*IsWrite=*/true);
+  L1DHitLat = L1D.geometry().HitLatency;
   Cost.Cycles = 64 + Cost.Writebacks * 4;
   return Cost;
 }
@@ -79,6 +50,7 @@ ReconfigCost MemoryHierarchy::reconfigureL2(unsigned Setting) {
   Cost.Changed = R.Changed;
   Cost.Writebacks = R.Writebacks;
   MemWrites += R.Writebacks;
+  L2HitLat = L2.geometry().HitLatency;
   // Dirty lines drain to memory; slower per line than an L1D flush.
   Cost.Cycles = 128 + Cost.Writebacks * 8;
   return Cost;

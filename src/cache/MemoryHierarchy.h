@@ -75,12 +75,42 @@ class MemoryHierarchy {
 public:
   explicit MemoryHierarchy(const HierarchyConfig &Config = HierarchyConfig());
 
-  /// One data-side load/store.
-  MemAccessInfo dataAccess(uint64_t Addr, bool IsWrite);
+  /// One data-side load/store. Inline — this is the hot path of every
+  /// load/store the core consumes; the common DTLB-hit/L1D-hit case
+  /// collapses to the caches' inlined MRU probes.
+  MemAccessInfo dataAccess(uint64_t Addr, bool IsWrite) {
+    MemAccessInfo Info;
+    Info.Latency = Dtlb.access(Addr);
+
+    CacheAccessResult R1 = L1D.access(Addr, IsWrite);
+    Info.Latency += L1DHitLat;
+    Info.L1Hit = R1.Hit;
+    if (R1.EvictedDirty)
+      accessL2(R1.EvictedAddr, /*IsWrite=*/true);
+    if (R1.Hit)
+      return Info;
+
+    Info.L2Hit = accessL2(Addr, /*IsWrite=*/false);
+    Info.Latency += L2HitLat;
+    if (!Info.L2Hit)
+      Info.Latency += Config.MemoryLatency;
+    return Info;
+  }
 
   /// One instruction fetch (called per fetch block, not per instruction).
   /// \returns the fetch latency in cycles.
-  uint32_t instrFetch(uint64_t Addr);
+  uint32_t instrFetch(uint64_t Addr) {
+    uint32_t Latency = Itlb.access(Addr);
+    CacheAccessResult R = L1I.access(Addr, /*IsWrite=*/false);
+    Latency += Config.L1I.HitLatency;
+    if (R.Hit)
+      return Latency;
+    bool L2Hit = accessL2(Addr, /*IsWrite=*/false);
+    Latency += L2HitLat;
+    if (!L2Hit)
+      Latency += Config.MemoryLatency;
+    return Latency;
+  }
 
   /// Switches the L1D cache to \p Setting. Flushed dirty lines are written
   /// into the L2 (consuming L2 bandwidth/energy).
@@ -114,6 +144,11 @@ private:
   ReconfigurableCache L2;
   Tlb Itlb;
   Tlb Dtlb;
+  /// Hit latencies of the active L1D/L2 settings, cached here so the
+  /// per-access path avoids two pointer hops through the reconfigurable
+  /// wrappers. Refreshed on every reconfiguration.
+  uint32_t L1DHitLat = 1;
+  uint32_t L2HitLat = 1;
   uint64_t MemReads = 0;
   uint64_t MemWrites = 0;
 };

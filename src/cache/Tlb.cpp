@@ -17,8 +17,3 @@ Tlb::Tlb(uint32_t Entries, uint32_t Assoc, uint32_t MissPenalty,
          std::string Name)
     : Storage(tlbGeometry(Entries, Assoc), std::move(Name)),
       MissPenalty(MissPenalty) {}
-
-uint32_t Tlb::access(uint64_t Addr) {
-  CacheAccessResult R = Storage.access(Addr, /*IsWrite=*/false);
-  return R.Hit ? 0 : MissPenalty;
-}

@@ -27,8 +27,11 @@ public:
       std::string Name);
 
   /// Touches the page containing \p Addr. \returns the cycle penalty
-  /// (0 on hit, MissPenalty on miss).
-  uint32_t access(uint64_t Addr);
+  /// (0 on hit, MissPenalty on miss). Inline: the underlying page hit is
+  /// the hot path on every data access and fetch block.
+  uint32_t access(uint64_t Addr) {
+    return Storage.access(Addr, /*IsWrite=*/false).Hit ? 0 : MissPenalty;
+  }
 
   uint64_t accesses() const { return Storage.stats().accesses(); }
   uint64_t misses() const { return Storage.stats().misses(); }

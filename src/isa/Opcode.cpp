@@ -6,53 +6,6 @@
 
 using namespace dynace;
 
-OpClass dynace::opClassOf(Opcode Op) {
-  switch (Op) {
-  case Opcode::IConst:
-  case Opcode::Mov:
-  case Opcode::Add:
-  case Opcode::Sub:
-  case Opcode::And:
-  case Opcode::Or:
-  case Opcode::Xor:
-  case Opcode::Shl:
-  case Opcode::Shr:
-  case Opcode::AddI:
-  case Opcode::AndI:
-    return OpClass::IntAlu;
-  case Opcode::Mul:
-  case Opcode::MulI:
-    return OpClass::IntMult;
-  case Opcode::Div:
-  case Opcode::Rem:
-    return OpClass::IntDiv;
-  case Opcode::FAdd:
-  case Opcode::FSub:
-    return OpClass::FpAlu;
-  case Opcode::FMul:
-  case Opcode::FDiv:
-    return OpClass::FpMultDiv;
-  case Opcode::Load:
-  case Opcode::LoadIdx:
-    return OpClass::Load;
-  case Opcode::Store:
-  case Opcode::StoreIdx:
-    return OpClass::Store;
-  case Opcode::Br:
-  case Opcode::BrI:
-    return OpClass::Branch;
-  case Opcode::Jmp:
-  case Opcode::Call:
-  case Opcode::Ret:
-    return OpClass::Jump;
-  case Opcode::Alloc:
-  case Opcode::Halt:
-    return OpClass::Other;
-  }
-  assert(false && "unknown opcode");
-  return OpClass::Other;
-}
-
 const char *dynace::opcodeName(Opcode Op) {
   switch (Op) {
   case Opcode::IConst:

@@ -18,6 +18,7 @@
 #ifndef DYNACE_ISA_OPCODE_H
 #define DYNACE_ISA_OPCODE_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace dynace {
@@ -75,8 +76,55 @@ enum class OpClass : uint8_t {
   Other,
 };
 
+/// Number of OpClass values (lookup tables in the timing model index by
+/// class).
+inline constexpr unsigned kNumOpClasses = 10;
+
+namespace detail {
+/// Timing class per opcode, indexed by the opcode's integral value. Kept
+/// as a table (not a switch) so the per-instruction hot loops compile the
+/// lookup to one load.
+inline constexpr OpClass kOpClassTable[] = {
+    OpClass::IntAlu,    // IConst
+    OpClass::IntAlu,    // Mov
+    OpClass::IntAlu,    // Add
+    OpClass::IntAlu,    // Sub
+    OpClass::IntMult,   // Mul
+    OpClass::IntDiv,    // Div
+    OpClass::IntDiv,    // Rem
+    OpClass::IntAlu,    // And
+    OpClass::IntAlu,    // Or
+    OpClass::IntAlu,    // Xor
+    OpClass::IntAlu,    // Shl
+    OpClass::IntAlu,    // Shr
+    OpClass::IntAlu,    // AddI
+    OpClass::IntMult,   // MulI
+    OpClass::IntAlu,    // AndI
+    OpClass::FpAlu,     // FAdd
+    OpClass::FpAlu,     // FSub
+    OpClass::FpMultDiv, // FMul
+    OpClass::FpMultDiv, // FDiv
+    OpClass::Load,      // Load
+    OpClass::Store,     // Store
+    OpClass::Load,      // LoadIdx
+    OpClass::Store,     // StoreIdx
+    OpClass::Branch,    // Br
+    OpClass::Branch,    // BrI
+    OpClass::Jump,      // Jmp
+    OpClass::Jump,      // Call
+    OpClass::Jump,      // Ret
+    OpClass::Other,     // Alloc
+    OpClass::Other,     // Halt
+};
+static_assert(sizeof(kOpClassTable) / sizeof(kOpClassTable[0]) ==
+                  static_cast<size_t>(Opcode::Halt) + 1,
+              "opcode/class table out of sync");
+} // namespace detail
+
 /// \returns the timing class of \p Op.
-OpClass opClassOf(Opcode Op);
+inline constexpr OpClass opClassOf(Opcode Op) {
+  return detail::kOpClassTable[static_cast<size_t>(Op)];
+}
 
 /// \returns a printable mnemonic for \p Op.
 const char *opcodeName(Opcode Op);

@@ -3,6 +3,7 @@
 #include "sim/ExperimentRunner.h"
 
 #include "sim/ResultCache.h"
+#include "support/Env.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
@@ -30,8 +31,9 @@ ExperimentRunner::ExperimentRunner(SimulationOptions Base)
 
 SimulationOptions ExperimentRunner::defaultOptions() {
   SimulationOptions Opts;
-  if (const char *Budget = std::getenv("DYNACE_INSTR_BUDGET"))
-    Opts.MaxInstructions = std::strtoull(Budget, nullptr, 10);
+  // Strictly validated: garbage in DYNACE_INSTR_BUDGET is fatal instead of
+  // silently simulating with a misread cap (0 = unset = run to completion).
+  Opts.MaxInstructions = envUnsignedOr("DYNACE_INSTR_BUDGET", 0);
   return Opts;
 }
 

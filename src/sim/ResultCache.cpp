@@ -4,6 +4,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <memory>
@@ -124,13 +125,11 @@ std::string tempPathFor(const std::string &Path) {
 
 } // namespace
 
-bool dynace::saveResult(const std::string &Path, const SimulationResult &R) {
-  // Write-to-temp-then-rename: a concurrent reader of Path either misses
-  // (no file yet) or reads a complete entry, never a torn one.
-  std::string Tmp = tempPathFor(Path);
-  FILE *F = std::fopen(Tmp.c_str(), "w");
-  if (!F)
-    return false;
+namespace {
+
+/// Writes the canonical serialization of \p R to \p F (shared by the
+/// on-disk writer and the in-memory serializer).
+void writeResult(FILE *F, const SimulationResult &R) {
   std::fprintf(F, "%s\n", cacheMagic().c_str());
   Writer W(F);
   W.u64("scheme", static_cast<uint64_t>(R.SchemeKind));
@@ -187,6 +186,31 @@ bool dynace::saveResult(const std::string &Path, const SimulationResult &R) {
     W.vec("bbv_reconfigs", R.BbvR->ReconfigsPerCu);
     W.f64("bbv_coverage", R.BbvR->Coverage);
   }
+}
+
+} // namespace
+
+std::string dynace::serializeResult(const SimulationResult &R) {
+  char *Buf = nullptr;
+  size_t Size = 0;
+  FILE *F = ::open_memstream(&Buf, &Size);
+  if (!F)
+    return "";
+  writeResult(F, R);
+  std::fclose(F);
+  std::string Out(Buf, Size);
+  std::free(Buf);
+  return Out;
+}
+
+bool dynace::saveResult(const std::string &Path, const SimulationResult &R) {
+  // Write-to-temp-then-rename: a concurrent reader of Path either misses
+  // (no file yet) or reads a complete entry, never a torn one.
+  std::string Tmp = tempPathFor(Path);
+  FILE *F = std::fopen(Tmp.c_str(), "w");
+  if (!F)
+    return false;
+  writeResult(F, R);
   if (std::fclose(F) != 0 || std::rename(Tmp.c_str(), Path.c_str()) != 0) {
     std::remove(Tmp.c_str());
     return false;

@@ -48,6 +48,14 @@ namespace dynace {
 /// reinterpreted.
 constexpr unsigned kResultCacheVersion = 2;
 
+/// Serializes \p R to its canonical text form — the exact bytes
+/// saveResult() writes, including the version-magic first line. Fully
+/// deterministic (doubles printed with %.17g round-trip exactly), so two
+/// results are bit-identical iff their serializations compare equal; the
+/// golden determinism test digests this string.
+/// \returns the serialized text.
+std::string serializeResult(const SimulationResult &R);
+
 /// Serializes \p R to \p Path (text, one field per line).
 ///
 /// The write is atomic: data goes to a temporary file in the same

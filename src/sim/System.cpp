@@ -127,14 +127,71 @@ AcePlatform System::makePlatform() {
 }
 
 SimulationResult System::run() {
-  DynInst DI;
-  uint64_t Cap = Options.MaxInstructions;
+  // Batched hot loop: fill a fixed buffer from the VM in one tight dispatch
+  // pass, then drain it through the timing model and the BBV accounting.
+  // Batch length is capped so every event that observes platform state
+  // still fires with the core consumed exactly through the preceding
+  // instruction, keeping results bit-identical to the serial
+  // step/consume/onInstruction loop:
+  //  * stepBatch() stops BEFORE Call/Ret/Halt while the DO listener is
+  //    installed; the boundary instruction runs through plain step() below
+  //    so method-entry/exit hooks see a fully caught-up core;
+  //  * batches never span a BBV interval boundary, so boundary processing
+  //    (which reads cycles/energy and may stall the core) happens with the
+  //    core drained, exactly as in the serial loop.
+  constexpr size_t kBatchCap = 1024;
+  DynInst Buf[kBatchCap];
+  const uint64_t Cap = Options.MaxInstructions;
   BbvManager *BbvPtr = Bbv.get();
+  // A boundary instruction executed via step() is not consumed immediately:
+  // it stays in Buf[0..Pending) and is drained at the head of the next
+  // batch. This matches the serial order exactly — step() fires the
+  // listener hooks *before* the serial loop would consume the boundary
+  // instruction, so stalls and reconfigurations injected by the hooks
+  // land between consume calls either way — and spares a one-instruction
+  // consumeBatch() (whose state hoist/write-back is sized for hundreds of
+  // instructions) at every method boundary.
+  size_t Pending = 0;
   while (!Vm->isHalted() && (Cap == 0 || Vm->instructionCount() < Cap)) {
-    Vm->step(DI);
-    Cpu->consume(DI);
+    size_t Limit = kBatchCap;
+    if (Cap != 0) {
+      uint64_t Remaining = Cap - Vm->instructionCount();
+      if (Remaining < Limit)
+        Limit = static_cast<size_t>(Remaining);
+    }
+    if (BbvPtr) {
+      // Not-yet-fed instructions, pending one included, never span an
+      // interval boundary.
+      uint64_t ToBoundary = BbvPtr->instructionsUntilBoundary();
+      if (ToBoundary < Limit)
+        Limit = static_cast<size_t>(ToBoundary);
+    }
+    size_t N = Pending;
+    if (Limit > Pending)
+      N += Vm->stepBatch(Buf + Pending, Limit - Pending);
+    // No forward progress from stepBatch with room available means the
+    // next instruction is a method boundary (or the program halted).
+    const bool Stalled = N == Pending && Limit > Pending;
+    if (N != 0) {
+      Cpu->consumeBatch(Buf, N);
+      if (BbvPtr)
+        BbvPtr->onInstructionBatch(Buf, N);
+      Pending = 0;
+    }
+    if (!Stalled)
+      continue;
+    if (Vm->isHalted())
+      break;
+    // Execute the boundary instruction via step() so the listener hooks
+    // fire mid-instruction with the core fully caught up, as in the
+    // serial loop; its consume rides with the next batch.
+    Vm->step(Buf[0]);
+    Pending = 1;
+  }
+  if (Pending != 0) {
+    Cpu->consumeBatch(Buf, Pending);
     if (BbvPtr)
-      BbvPtr->onInstruction(DI);
+      BbvPtr->onInstructionBatch(Buf, Pending);
   }
   if (BbvPtr)
     BbvPtr->finish();

@@ -1,0 +1,48 @@
+//===- support/Env.cpp ----------------------------------------------------==//
+
+#include "support/Env.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace dynace;
+
+std::optional<uint64_t> dynace::parseUnsignedInt(const char *Text) {
+  if (!Text || *Text == '\0')
+    return std::nullopt;
+  // from_chars already rejects signs, whitespace and base prefixes; the
+  // end-pointer check rejects trailing characters ("10x", "3.5").
+  uint64_t Value = 0;
+  const char *End = Text + std::strlen(Text);
+  std::from_chars_result R = std::from_chars(Text, End, Value, 10);
+  if (R.ec != std::errc() || R.ptr != End)
+    return std::nullopt;
+  return Value;
+}
+
+uint64_t dynace::envUnsignedOr(const char *Name, uint64_t Default,
+                               uint64_t Min, uint64_t Max) {
+  const char *Text = std::getenv(Name);
+  if (!Text || *Text == '\0')
+    return Default;
+  std::optional<uint64_t> Value = parseUnsignedInt(Text);
+  if (!Value) {
+    std::fprintf(stderr,
+                 "[dynace] fatal: %s='%s' is not a valid non-negative "
+                 "integer (plain decimal, no sign/suffix, <= %" PRIu64 ")\n",
+                 Name, Text, Max);
+    std::exit(2);
+  }
+  if (*Value < Min || *Value > Max) {
+    std::fprintf(stderr,
+                 "[dynace] fatal: %s=%" PRIu64 " is out of range; expected "
+                 "a value in [%" PRIu64 ", %" PRIu64 "]\n",
+                 Name, *Value, Min, Max);
+    std::exit(2);
+  }
+  return *Value;
+}

@@ -1,0 +1,48 @@
+//===- support/Env.h - Validated environment-variable parsing ---*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strict parsing for the numeric DYNACE_* environment variables
+/// (DYNACE_INSTR_BUDGET, DYNACE_JOBS, ...). The previous strtoull/strtol
+/// readers silently accepted garbage — "abc" parsed as 0, "-4" wrapped to
+/// 2^64-4, and out-of-range values overflowed — turning a shell typo into a
+/// simulation with the wrong budget. These helpers reject anything that is
+/// not a plain non-negative decimal integer in the caller's stated range
+/// and abort with a clear message instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SUPPORT_ENV_H
+#define DYNACE_SUPPORT_ENV_H
+
+#include <cstdint>
+#include <optional>
+
+namespace dynace {
+
+/// Parses \p Text as a plain non-negative decimal integer ("123"). No
+/// signs, whitespace, hex/octal prefixes, or trailing characters are
+/// accepted.
+/// \returns the value, or std::nullopt when \p Text is null, empty,
+///          malformed, or exceeds uint64_t.
+std::optional<uint64_t> parseUnsignedInt(const char *Text);
+
+/// Reads environment variable \p Name as an unsigned integer.
+///
+/// Unset (or set to the empty string) yields \p Default, which is NOT
+/// range-checked — it may act as an out-of-band "unset" marker. A set
+/// value must parse per parseUnsignedInt() and lie in [\p Min, \p Max];
+/// anything else prints a fatal "[dynace] fatal: ..." diagnostic naming
+/// the variable, the offending value and the accepted range, then
+/// terminates the process (exit code 2) rather than running a simulation
+/// with a silently misread knob.
+/// \returns the parsed value or \p Default.
+uint64_t envUnsignedOr(const char *Name, uint64_t Default, uint64_t Min = 0,
+                       uint64_t Max = UINT64_MAX);
+
+} // namespace dynace
+
+#endif // DYNACE_SUPPORT_ENV_H

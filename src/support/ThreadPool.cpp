@@ -2,7 +2,7 @@
 
 #include "support/ThreadPool.h"
 
-#include <cstdlib>
+#include "support/Env.h"
 
 using namespace dynace;
 
@@ -52,11 +52,11 @@ void ThreadPool::wait() {
 }
 
 unsigned ThreadPool::defaultThreadCount() {
-  if (const char *Jobs = std::getenv("DYNACE_JOBS")) {
-    long N = std::strtol(Jobs, nullptr, 10);
-    if (N > 0)
-      return static_cast<unsigned>(N);
-  }
+  // Strictly validated: a malformed or out-of-range DYNACE_JOBS is a fatal
+  // error, not a silent fallback (Default=0 marks "unset").
+  uint64_t Jobs = envUnsignedOr("DYNACE_JOBS", 0, 1, 4096);
+  if (Jobs)
+    return static_cast<unsigned>(Jobs);
   unsigned N = std::thread::hardware_concurrency();
   return N ? N : 1;
 }

@@ -12,34 +12,3 @@ BranchPredictor::BranchPredictor(uint32_t Entries)
       Chooser(Entries, 1) {
   assert(std::has_single_bit(Entries) && "entries must be a power of two");
 }
-
-bool BranchPredictor::predict(uint64_t PC) const {
-  uint32_t BI = indexOf(PC);
-  bool B = taken(Bimodal[BI]);
-  bool G = taken(Gshare[gshareIndexOf(PC)]);
-  return taken(Chooser[BI]) ? G : B;
-}
-
-void BranchPredictor::update(uint64_t PC, bool Taken) {
-  uint32_t BI = indexOf(PC);
-  uint32_t GI = gshareIndexOf(PC);
-  bool B = taken(Bimodal[BI]);
-  bool G = taken(Gshare[GI]);
-  // Train the chooser toward the component that was right (when they
-  // disagree).
-  if (B != G)
-    Chooser[BI] = bump(Chooser[BI], G == Taken);
-  Bimodal[BI] = bump(Bimodal[BI], Taken);
-  Gshare[GI] = bump(Gshare[GI], Taken);
-  History = ((History << 1) | (Taken ? 1u : 0u)) & Mask;
-}
-
-bool BranchPredictor::predictAndUpdate(uint64_t PC, bool Taken) {
-  ++Lookups;
-  bool Predicted = predict(PC);
-  update(PC, Taken);
-  bool Wrong = Predicted != Taken;
-  if (Wrong)
-    ++Mispredicts;
-  return Wrong;
-}

@@ -26,13 +26,39 @@ public:
   explicit BranchPredictor(uint32_t Entries = 2048);
 
   /// Predicts the direction of the branch at \p PC.
-  bool predict(uint64_t PC) const;
+  bool predict(uint64_t PC) const {
+    uint32_t BI = indexOf(PC);
+    bool B = taken(Bimodal[BI]);
+    bool G = taken(Gshare[gshareIndexOf(PC)]);
+    return taken(Chooser[BI]) ? G : B;
+  }
 
   /// Updates all component tables with the resolved outcome.
-  void update(uint64_t PC, bool Taken);
+  void update(uint64_t PC, bool Taken) {
+    uint32_t BI = indexOf(PC);
+    uint32_t GI = gshareIndexOf(PC);
+    bool B = taken(Bimodal[BI]);
+    bool G = taken(Gshare[GI]);
+    // Train the chooser toward the component that was right (when they
+    // disagree).
+    if (B != G)
+      Chooser[BI] = bump(Chooser[BI], G == Taken);
+    Bimodal[BI] = bump(Bimodal[BI], Taken);
+    Gshare[GI] = bump(Gshare[GI], Taken);
+    History = ((History << 1) | (Taken ? 1u : 0u)) & Mask;
+  }
 
   /// Predicts, updates, and \returns true when the prediction was wrong.
-  bool predictAndUpdate(uint64_t PC, bool Taken);
+  /// Inline: called once per conditional branch from the batched core loop.
+  bool predictAndUpdate(uint64_t PC, bool Taken) {
+    ++Lookups;
+    bool Predicted = predict(PC);
+    update(PC, Taken);
+    bool Wrong = Predicted != Taken;
+    if (Wrong)
+      ++Mispredicts;
+    return Wrong;
+  }
 
   uint64_t lookups() const { return Lookups; }
   uint64_t mispredicts() const { return Mispredicts; }

@@ -26,190 +26,202 @@ void Core::reset() {
   InstrByWindowSetting.assign(1, 0);
   LsqRing.assign(Config.LsqSize, 0);
   LsqPos = 0;
-  IntAluFree.assign(Config.NumIntAlu, 0);
-  IntMultFree.assign(Config.NumIntMult, 0);
-  FpAluFree.assign(Config.NumFpAlu, 0);
-  FpMultFree.assign(Config.NumFpMult, 0);
-  MemPortFree.assign(Config.NumMemPorts, 0);
+
+  auto InitPool = [this](uint8_t Pool, uint32_t Count) {
+    assert(Count >= 1 && Count <= kMaxFuUnits && "bad FU count");
+    Pools[Pool].Free.fill(0);
+    Pools[Pool].Count = Count;
+  };
+  InitPool(kPoolIntAlu, Config.NumIntAlu);
+  InitPool(kPoolIntMult, Config.NumIntMult);
+  InitPool(kPoolFpAlu, Config.NumFpAlu);
+  InitPool(kPoolFpMult, Config.NumFpMult);
+  InitPool(kPoolMem, Config.NumMemPorts);
+
+  auto SetTiming = [this](OpClass Class, uint32_t Latency, uint8_t Pool,
+                          bool Unpipelined = false) {
+    Timing[static_cast<size_t>(Class)] = {Latency, Pool, Unpipelined};
+  };
+  SetTiming(OpClass::IntAlu, Config.IntAluLat, kPoolIntAlu);
+  SetTiming(OpClass::Branch, Config.IntAluLat, kPoolIntAlu);
+  SetTiming(OpClass::Jump, Config.IntAluLat, kPoolIntAlu);
+  SetTiming(OpClass::Other, Config.IntAluLat, kPoolIntAlu);
+  SetTiming(OpClass::IntMult, Config.IntMultLat, kPoolIntMult);
+  SetTiming(OpClass::IntDiv, Config.IntDivLat, kPoolIntMult,
+            /*Unpipelined=*/true);
+  SetTiming(OpClass::FpAlu, Config.FpAluLat, kPoolFpAlu);
+  SetTiming(OpClass::FpMultDiv, Config.FpMultLat, kPoolFpMult);
+  // Load/Store latency is resolved through the hierarchy per access.
+  SetTiming(OpClass::Load, 1, kPoolMem);
+  SetTiming(OpClass::Store, 1, kPoolMem);
+
   FetchCycle = 0;
   FetchedThisCycle = 0;
   FetchBlockAddr = ~0ull;
   FrontendRedirect = 0;
 }
 
-uint64_t Core::reserveUnit(OpClass Class, uint64_t Ready, uint32_t Latency,
-                           bool Unpipelined) {
-  std::vector<uint64_t> *Pool = nullptr;
-  switch (Class) {
-  case OpClass::IntAlu:
-  case OpClass::Branch:
-  case OpClass::Jump:
-  case OpClass::Other:
-    Pool = &IntAluFree;
-    break;
-  case OpClass::IntMult:
-  case OpClass::IntDiv:
-    Pool = &IntMultFree;
-    break;
-  case OpClass::FpAlu:
-    Pool = &FpAluFree;
-    break;
-  case OpClass::FpMultDiv:
-    Pool = &FpMultFree;
-    break;
-  case OpClass::Load:
-  case OpClass::Store:
-    Pool = &MemPortFree;
-    break;
-  }
-  assert(Pool && "unmapped op class");
+void Core::consumeBatch(const DynInst *Buf, size_t N) {
+  if (N == 0)
+    return;
 
-  auto Earliest = std::min_element(Pool->begin(), Pool->end());
-  uint64_t Issue = std::max(Ready, *Earliest);
-  *Earliest = Issue + (Unpipelined ? Latency : 1);
-  return Issue;
-}
+  // Hoist the per-instruction pipeline state into locals for the batch;
+  // everything is written back on exit. stall() and setWindowSetting()
+  // only run between batches (listener / manager boundaries), so none of
+  // these can go stale mid-batch.
+  uint64_t CommitCycle = LastCommitCycle;
+  uint64_t CommitCount = LastCommitCount;
+  uint64_t Redirect = FrontendRedirect;
+  uint64_t Fetch = FetchCycle;
+  uint32_t FetchedNow = FetchedThisCycle;
+  uint64_t BlockAddr = FetchBlockAddr;
+  uint64_t *const __restrict Window = WindowRing.data();
+  const uint32_t WSize = Config.WindowSize;
+  uint32_t WPos = WindowPos;
+  // A smaller active window setting reads further forward in the ring.
+  const uint32_t WOcc = WSize - EffectiveWindow;
+  uint64_t *const __restrict Lsq = LsqRing.data();
+  const uint32_t LSize = Config.LsqSize;
+  uint32_t LPos = LsqPos;
+  uint64_t *const __restrict Reg = RegReady.data();
+  const uint32_t FetchWidth = Config.FetchWidth;
+  const uint32_t CommitWidth = Config.CommitWidth;
+  const uint64_t FrontDepth = Config.FrontendDepth;
+  const uint32_t MispredictPenalty = Config.MispredictPenalty;
+  // The two pools nearly every instruction touches live on the stack for
+  // the batch; stores into the hierarchy (cache stats, LRU stamps) would
+  // otherwise force the member arrays to be re-loaded every iteration.
+  // The cold pools (mult/div, FP) stay in Pools and are disjoint from
+  // these, so writing both back at the end cannot lose an update.
+  FuPool AluPool = Pools[kPoolIntAlu];
+  FuPool MemPool = Pools[kPoolMem];
 
-uint64_t Core::nextFetchCycle(const DynInst &In) {
-  // A front-end redirect (mispredict recovery or injected stall) moves the
-  // fetch point forward and starts a fresh fetch group.
-  if (FrontendRedirect > FetchCycle) {
-    FetchCycle = FrontendRedirect;
-    FetchedThisCycle = 0;
-    FetchBlockAddr = ~0ull;
-  }
-  if (FetchedThisCycle >= Config.FetchWidth) {
-    ++FetchCycle;
-    FetchedThisCycle = 0;
-  }
+  for (size_t I = 0; I != N; ++I) {
+    const DynInst &In = Buf[I];
 
-  // Crossing into a new I-cache block costs the fetch latency (1 cycle hit,
-  // more on L1I/L2 misses). The first cycle is already part of the fetch
-  // pipeline, so only the excess stalls.
-  uint64_t BlockAddr = In.PC & ~63ull;
-  if (BlockAddr != FetchBlockAddr) {
-    uint32_t FetchLat = Hierarchy.instrFetch(In.PC);
-    FetchBlockAddr = BlockAddr;
-    if (FetchLat > 1) {
-      FetchCycle += FetchLat - 1;
-      FetchedThisCycle = 0;
+    // Front end: redirects (mispredict recovery / injected stalls) move
+    // the fetch point forward and start a fresh fetch group; crossing into
+    // a new I-cache block costs the excess fetch latency.
+    if (Redirect > Fetch) {
+      Fetch = Redirect;
+      FetchedNow = 0;
+      BlockAddr = ~0ull;
+    }
+    if (FetchedNow >= FetchWidth) {
+      ++Fetch;
+      FetchedNow = 0;
+    }
+    uint64_t Block = In.PC & ~63ull;
+    if (Block != BlockAddr) {
+      uint32_t FetchLat = Hierarchy.instrFetch(In.PC);
+      BlockAddr = Block;
+      if (FetchLat > 1) {
+        Fetch += FetchLat - 1;
+        FetchedNow = 0;
+      }
+    }
+    ++FetchedNow;
+
+    uint64_t Ready = Fetch + FrontDepth;
+
+    // RUU occupancy: cannot dispatch before the instruction
+    // EffectiveWindow older has committed.
+    uint32_t WIdx = WPos + WOcc;
+    if (WIdx >= WSize)
+      WIdx -= WSize;
+    if (Window[WIdx] > Ready)
+      Ready = Window[WIdx];
+
+    const ClassTiming T = Timing[static_cast<size_t>(In.Class)];
+    const bool IsMemOp =
+        In.Class == OpClass::Load || In.Class == OpClass::Store;
+    if (IsMemOp && Lsq[LPos] > Ready)
+      Ready = Lsq[LPos];
+
+    // Source-operand dependences. Reg is indexable by the full uint8_t id
+    // space; slot kNoReg holds 0, so no branch is needed.
+    if (Reg[In.Src1] > Ready)
+      Ready = Reg[In.Src1];
+    if (Reg[In.Src2] > Ready)
+      Ready = Reg[In.Src2];
+
+    uint64_t Issue;
+    uint64_t Complete;
+    if (IsMemOp) {
+      MemAccessInfo Mem =
+          Hierarchy.dataAccess(In.MemAddr, In.Class == OpClass::Store);
+      Issue = reserveIn(MemPool, Ready, 1);
+      // Stores retire through the store buffer; their miss latency is
+      // hidden. Loads expose the full access latency to dependents.
+      Complete = Issue + (In.Class == OpClass::Load ? Mem.Latency : 1);
+    } else {
+      FuPool &P = T.Pool == kPoolIntAlu ? AluPool : Pools[T.Pool];
+      Issue = reserveIn(P, Ready, T.Unpipelined ? T.Latency : 1);
+      Complete = Issue + T.Latency;
+    }
+
+    if (In.Dst != kNoReg)
+      Reg[In.Dst] = Complete;
+
+    // Control flow.
+    if (In.IsCondBranch) {
+      bool Mispredicted = Predictor.predictAndUpdate(In.PC, In.Taken);
+      if (Mispredicted) {
+        uint64_t Resume = Complete + MispredictPenalty;
+        if (Resume > Redirect)
+          Redirect = Resume;
+      }
+      if (In.Taken)
+        FetchedNow = FetchWidth; // Fetch group ends at the taken branch.
+    } else if (In.Class == OpClass::Jump) {
+      // Unconditional transfers end the fetch group (target assumed
+      // BTB-hit).
+      FetchedNow = FetchWidth;
+    }
+
+    // In-order commit, CommitWidth per cycle.
+    uint64_t CommitReady = Complete + 1;
+    if (CommitReady > CommitCycle) {
+      CommitCycle = CommitReady;
+      CommitCount = 1;
+    } else if (CommitCount >= CommitWidth) {
+      ++CommitCycle;
+      CommitCount = 1;
+    } else {
+      ++CommitCount;
+    }
+
+    Window[WPos] = CommitCycle;
+    if (++WPos == WSize)
+      WPos = 0;
+    if (IsMemOp) {
+      Lsq[LPos] = CommitCycle;
+      if (++LPos == LSize)
+        LPos = 0;
     }
   }
-  ++FetchedThisCycle;
-  return FetchCycle;
-}
 
-void Core::consume(const DynInst &In) {
-  ++InstrCount;
-
-  uint64_t Fetch = nextFetchCycle(In);
-  uint64_t Ready = Fetch + Config.FrontendDepth;
-
-  // RUU occupancy: this instruction cannot dispatch before the instruction
-  // EffectiveWindow older has committed (the ring stores the last
-  // WindowSize commit cycles; a smaller active setting reads further
-  // forward in the ring).
-  size_t OccupancyIndex =
-      (WindowPos + (Config.WindowSize - EffectiveWindow)) %
-      WindowRing.size();
-  Ready = std::max(Ready, WindowRing[OccupancyIndex]);
-  ++InstrByWindowSetting[ActiveWindowSetting];
-
-  bool IsMemOp = In.Class == OpClass::Load || In.Class == OpClass::Store;
-  if (IsMemOp)
-    Ready = std::max(Ready, LsqRing[LsqPos]);
-
-  // Source-operand dependences.
-  if (In.Src1 != kNoReg)
-    Ready = std::max(Ready, RegReady[In.Src1]);
-  if (In.Src2 != kNoReg)
-    Ready = std::max(Ready, RegReady[In.Src2]);
-
-  // Execution latency.
-  uint32_t Latency = Config.IntAluLat;
-  bool Unpipelined = false;
-  switch (In.Class) {
-  case OpClass::IntAlu:
-  case OpClass::Branch:
-  case OpClass::Jump:
-  case OpClass::Other:
-    Latency = Config.IntAluLat;
-    break;
-  case OpClass::IntMult:
-    Latency = Config.IntMultLat;
-    break;
-  case OpClass::IntDiv:
-    Latency = Config.IntDivLat;
-    Unpipelined = true;
-    break;
-  case OpClass::FpAlu:
-    Latency = Config.FpAluLat;
-    break;
-  case OpClass::FpMultDiv:
-    Latency = Config.FpMultLat;
-    break;
-  case OpClass::Load:
-  case OpClass::Store:
-    break; // Resolved below via the hierarchy.
-  }
-
-  uint64_t Issue;
-  uint64_t Complete;
-  if (IsMemOp) {
-    MemAccessInfo Mem =
-        Hierarchy.dataAccess(In.MemAddr, In.Class == OpClass::Store);
-    Issue = reserveUnit(In.Class, Ready, 1, /*Unpipelined=*/false);
-    // Stores retire through the store buffer; their miss latency is hidden.
-    // Loads expose the full access latency to dependents.
-    Complete =
-        Issue + (In.Class == OpClass::Load ? Mem.Latency : 1);
-  } else {
-    Issue = reserveUnit(In.Class, Ready, Latency, Unpipelined);
-    Complete = Issue + Latency;
-  }
-
-  if (In.Dst != kNoReg)
-    RegReady[In.Dst] = Complete;
-
-  // Control flow.
-  if (In.IsCondBranch) {
-    bool Mispredicted = Predictor.predictAndUpdate(In.PC, In.Taken);
-    if (Mispredicted)
-      FrontendRedirect =
-          std::max(FrontendRedirect, Complete + Config.MispredictPenalty);
-    if (In.Taken)
-      FetchedThisCycle = Config.FetchWidth; // Fetch group ends at the
-                                            // taken branch.
-  } else if (In.Class == OpClass::Jump) {
-    // Unconditional transfers end the fetch group (target assumed BTB-hit).
-    FetchedThisCycle = Config.FetchWidth;
-  }
-
-  // In-order commit, CommitWidth per cycle.
-  uint64_t CommitReady = Complete + 1;
-  if (CommitReady > LastCommitCycle) {
-    LastCommitCycle = CommitReady;
-    LastCommitCount = 1;
-  } else if (LastCommitCount >= Config.CommitWidth) {
-    ++LastCommitCycle;
-    LastCommitCount = 1;
-  } else {
-    ++LastCommitCount;
-  }
-
-  WindowRing[WindowPos] = LastCommitCycle;
-  WindowPos = (WindowPos + 1) % WindowRing.size();
-  if (IsMemOp) {
-    LsqRing[LsqPos] = LastCommitCycle;
-    LsqPos = (LsqPos + 1) % LsqRing.size();
-  }
+  Pools[kPoolIntAlu] = AluPool;
+  Pools[kPoolMem] = MemPool;
+  InstrCount += N;
+  InstrByWindowSetting[ActiveWindowSetting] += N;
+  LastCommitCycle = CommitCycle;
+  LastCommitCount = CommitCount;
+  FrontendRedirect = Redirect;
+  FetchCycle = Fetch;
+  FetchedThisCycle = FetchedNow;
+  FetchBlockAddr = BlockAddr;
+  WindowPos = WPos;
+  LsqPos = LPos;
 }
 
 void Core::configureWindowSettings(std::vector<uint32_t> Settings) {
   assert(!Settings.empty() && "window CU needs settings");
-  for (uint32_t S : Settings)
+  for (uint32_t S : Settings) {
+    (void)S;
     assert(S >= 1 && S <= Config.WindowSize &&
            "window setting exceeds the physical RUU");
+  }
   WindowSettings = std::move(Settings);
   InstrByWindowSetting.assign(WindowSettings.size(), 0);
   ActiveWindowSetting = 0;

@@ -84,7 +84,14 @@ public:
   }
 
   /// Advances the model by one dynamic instruction.
-  void consume(const DynInst &In);
+  void consume(const DynInst &In) { consumeBatch(&In, 1); }
+
+  /// Advances the model by \p N dynamic instructions from \p Buf in one
+  /// pass, hoisting hot pipeline state into locals. Observable state after
+  /// the call is identical to N consume() calls; callers must not invoke
+  /// stall() or setWindowSetting() with a partially-consumed batch
+  /// outstanding (the simulation driver only reconfigures between batches).
+  void consumeBatch(const DynInst *Buf, size_t N);
 
   /// Injects a full pipeline stall of \p Cycles (used for reconfiguration
   /// overhead and DO-system service pauses).
@@ -109,15 +116,51 @@ public:
   const CoreConfig &config() const { return Config; }
 
 private:
-  /// Earliest cycle at which an instruction may be fetched, honoring fetch
-  /// bandwidth and front-end redirects.
-  uint64_t nextFetchCycle(const DynInst &In);
+  /// Functional-unit pool identifiers (indices into Pools).
+  enum : uint8_t {
+    kPoolIntAlu = 0,
+    kPoolIntMult, ///< Shared int mult/div units.
+    kPoolFpAlu,
+    kPoolFpMult, ///< Shared FP mult/div units.
+    kPoolMem,
+    kNumFuPools
+  };
 
-  /// Reserves the earliest-available unit of class \p Class at or after
-  /// \p Ready. \returns the issue cycle. Divides occupy their unit for the
-  /// full latency (unpipelined); everything else is fully pipelined.
-  uint64_t reserveUnit(OpClass Class, uint64_t Ready, uint32_t Latency,
-                       bool Unpipelined);
+  /// Upper bound on units per pool, so pools live in fixed arrays scanned
+  /// without heap indirection in the hot loop.
+  static constexpr uint32_t kMaxFuUnits = 16;
+
+  /// Next-free times for one class group of functional units.
+  struct FuPool {
+    std::array<uint64_t, kMaxFuUnits> Free{};
+    uint32_t Count = 0;
+  };
+
+  /// Per-OpClass dispatch recipe, built by reset() from Config. Divides
+  /// hold their unit for the full latency (unpipelined); everything else
+  /// is fully pipelined. Load/Store latency comes from the hierarchy, not
+  /// from here.
+  struct ClassTiming {
+    uint32_t Latency = 1;
+    uint8_t Pool = kPoolIntAlu;
+    bool Unpipelined = false;
+  };
+
+  /// Reserves the earliest-available unit in \p P at or after \p Ready,
+  /// holding it for \p Busy cycles. \returns the issue cycle.
+  static uint64_t reserveIn(FuPool &P, uint64_t Ready, uint64_t Busy) {
+    uint64_t *Free = P.Free.data();
+    uint32_t BestIdx = 0;
+    uint64_t Best = Free[0];
+    for (uint32_t I = 1; I != P.Count; ++I)
+      if (Free[I] < Best) {
+        Best = Free[I];
+        BestIdx = I;
+      }
+    uint64_t Issue = Ready > Best ? Ready : Best;
+    Free[BestIdx] = Issue + Busy;
+    return Issue;
+  }
 
   CoreConfig Config;
   MemoryHierarchy &Hierarchy;
@@ -129,11 +172,16 @@ private:
 
   /// Register ready times (virtual registers shared across frames; calls
   /// serialize through few registers, an acceptable renaming approximation).
-  std::array<uint64_t, kNumRegs> RegReady{};
+  /// Sized for the full uint8_t id space so the hot loop can index with
+  /// Src1/Src2 unconditionally: slot kNoReg (0xff) is never written (Dst is
+  /// checked) and stays 0, which is a no-op in the max-of-ready-times.
+  std::array<uint64_t, 256> RegReady{};
 
   /// Ring of the last WindowSize commit cycles (RUU occupancy constraint).
+  /// Indexed with conditional-wrap arithmetic — WindowSize is not required
+  /// to be a power of two and `%` is a real divide in the hot loop.
   std::vector<uint64_t> WindowRing;
-  size_t WindowPos = 0;
+  uint32_t WindowPos = 0;
   /// Effective window capacity (<= Config.WindowSize) and the adaptive
   /// setting machinery.
   uint32_t EffectiveWindow = 0;
@@ -142,14 +190,11 @@ private:
   std::vector<uint64_t> InstrByWindowSetting;
   /// Ring of the last LsqSize memory-op commit cycles (LSQ constraint).
   std::vector<uint64_t> LsqRing;
-  size_t LsqPos = 0;
+  uint32_t LsqPos = 0;
 
-  /// Next-free times for functional units, by class group.
-  std::vector<uint64_t> IntAluFree;
-  std::vector<uint64_t> IntMultFree;
-  std::vector<uint64_t> FpAluFree;
-  std::vector<uint64_t> FpMultFree;
-  std::vector<uint64_t> MemPortFree;
+  /// Functional-unit pools and the per-class dispatch table.
+  std::array<FuPool, kNumFuPools> Pools{};
+  std::array<ClassTiming, kNumOpClasses> Timing{};
 
   /// Front-end state.
   uint64_t FetchCycle = 0;      ///< Cycle of the current fetch group.

@@ -21,9 +21,27 @@
 namespace dynace {
 
 /// One executed dynamic instruction.
+///
+/// Two producer contracts exist:
+///  * Interpreter::step() fully initializes every field (tests and tools
+///    may rely on Target and on zeroed MemAddr for non-memory ops);
+///  * Interpreter::stepBatch() writes only what the timing model reads —
+///    PC, Class, Dst, Src1, Src2, IsCondBranch always; MemAddr for loads
+///    and stores; Taken for conditional branches. Target and the remaining
+///    fields keep whatever the buffer previously held.
+/// Consumers on the hot path (Core, BbvManager) must therefore not read
+/// Target, nor MemAddr/Taken outside their validity classes.
+/// Kept to 32 bytes (two per cache line in the batch buffer) with the
+/// hot fields packed first.
 struct DynInst {
   /// Byte address of the instruction (instruction-cache address).
   uint64_t PC = 0;
+  /// Effective byte address for loads/stores; 0 otherwise.
+  uint64_t MemAddr = 0;
+  /// Byte address of the branch/jump target when control transferred.
+  /// uint32_t: code addresses start at kCodeBase (2^30) and programs are
+  /// far smaller than the remaining 3 GiB of that space.
+  uint32_t Target = 0;
   /// Timing class.
   OpClass Class = OpClass::IntAlu;
   /// Destination register; kNoReg when none. Register ids are the frame's
@@ -31,15 +49,13 @@ struct DynInst {
   uint8_t Dst = 0xff;
   uint8_t Src1 = 0xff;
   uint8_t Src2 = 0xff;
-  /// Effective byte address for loads/stores; 0 otherwise.
-  uint64_t MemAddr = 0;
   /// True for conditional branches.
   bool IsCondBranch = false;
   /// Branch outcome (conditional branches only).
   bool Taken = false;
-  /// Byte address of the branch/jump target when control transferred.
-  uint64_t Target = 0;
 };
+
+static_assert(sizeof(DynInst) <= 32, "DynInst grew past two per cache line");
 
 } // namespace dynace
 

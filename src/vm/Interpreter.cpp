@@ -211,18 +211,18 @@ Interpreter::Status Interpreter::step(DynInst &Out) {
     bool Taken = evalCond(In.Cond, A, B);
     Out.IsCondBranch = true;
     Out.Taken = Taken;
-    Out.Target = M.pcOf(static_cast<size_t>(In.Imm));
+    Out.Target = static_cast<uint32_t>(M.pcOf(static_cast<size_t>(In.Imm)));
     if (Taken)
       NextPC = static_cast<uint32_t>(In.Imm);
     break;
   }
   case Opcode::Jmp:
-    Out.Target = M.pcOf(static_cast<size_t>(In.Imm));
+    Out.Target = static_cast<uint32_t>(M.pcOf(static_cast<size_t>(In.Imm)));
     NextPC = static_cast<uint32_t>(In.Imm);
     break;
   case Opcode::Call: {
     MethodId Callee = static_cast<MethodId>(In.Imm);
-    Out.Target = Prog.method(Callee).pcOf(0);
+    Out.Target = static_cast<uint32_t>(Prog.method(Callee).pcOf(0));
     // Advance the caller past the call before pushing the callee frame.
     F.PC = NextPC;
     unsigned NumArgs = In.Src2 == kNoReg ? 0 : In.Src2;
@@ -241,7 +241,8 @@ Interpreter::Status Interpreter::step(DynInst &Out) {
       Halted = true;
       return Status::Running; // The Ret itself still executed.
     }
-    Out.Target = Prog.method(Frames.back().Id).pcOf(Frames.back().PC);
+    Out.Target = static_cast<uint32_t>(
+        Prog.method(Frames.back().Id).pcOf(Frames.back().PC));
     return Status::Running;
   }
   case Opcode::Alloc: {
@@ -264,6 +265,260 @@ Interpreter::Status Interpreter::step(DynInst &Out) {
 
   F.PC = NextPC;
   return Status::Running;
+}
+
+size_t Interpreter::stepBatch(DynInst *Buf, size_t N) {
+  if (Halted)
+    return 0;
+
+  // Hot state hoisted out of the dispatch loop. The frame/method pointers
+  // are refreshed after any operation that changes the top frame (Call/Ret
+  // can reallocate the Frames vector).
+  Frame *F = nullptr;
+  const Instruction *Code = nullptr;
+  uint64_t CodeBase = 0;
+  uint64_t *R = nullptr;
+  uint32_t PC = 0;
+  uint64_t Count = InstrCount;
+  auto Refresh = [&] {
+    F = &Frames.back();
+    const Method &M = Prog.method(F->Id);
+    Code = M.Code.data();
+    CodeBase = M.CodeBase;
+    R = F->Regs;
+    PC = F->PC;
+  };
+  Refresh();
+
+  uint64_t *const Mem = Memory.data();
+  const uint64_t Mask = WordMask;
+  // Same mapping as wordIndex(), on hoisted locals.
+  auto WordAt = [Mem, Mask](uint64_t ByteAddr) -> uint64_t & {
+    uint64_t Index =
+        (ByteAddr >= kHeapBase ? ByteAddr - kHeapBase : ByteAddr) >> 3;
+    return Mem[Index & Mask];
+  };
+  auto AsF = [](uint64_t V) { return std::bit_cast<double>(V); };
+  auto FromF = [](double V) { return std::bit_cast<uint64_t>(V); };
+
+  // Opcodes that end a batch when a listener is installed: the caller
+  // drains the batch, then step()s the boundary instruction so method
+  // enter/exit and halt events fire at exact instruction counts.
+  const uint64_t BoundaryMask =
+      Listener ? (1ull << static_cast<unsigned>(Opcode::Call)) |
+                     (1ull << static_cast<unsigned>(Opcode::Ret)) |
+                     (1ull << static_cast<unsigned>(Opcode::Halt))
+               : 0;
+  size_t Filled = 0;
+  const Instruction *In;
+  DynInst *Out;
+  uint32_t NextPC;
+
+  // Threaded dispatch (GNU labels-as-values; GCC and Clang are the
+  // supported toolchains): every opcode body ends by jumping straight to
+  // the next opcode's body, so the host's indirect-branch predictor gets
+  // one prediction site per opcode instead of a single shared dispatch
+  // branch that mispredicts on nearly every bytecode transition.
+  // Entries must match the Opcode enumerator order exactly.
+  static const void *const Tbl[] = {
+      &&Op_IConst, &&Op_Mov,      &&Op_Add,  &&Op_Sub,  &&Op_Mul,
+      &&Op_Div,    &&Op_Rem,      &&Op_And,  &&Op_Or,   &&Op_Xor,
+      &&Op_Shl,    &&Op_Shr,      &&Op_AddI, &&Op_MulI, &&Op_AndI,
+      &&Op_FAdd,   &&Op_FSub,     &&Op_FMul, &&Op_FDiv, &&Op_Load,
+      &&Op_Store,  &&Op_LoadIdx,  &&Op_StoreIdx,        &&Op_Br,
+      &&Op_BrI,    &&Op_Jmp,      &&Op_Call, &&Op_Ret,  &&Op_Alloc,
+      &&Op_Halt};
+  static_assert(sizeof(Tbl) / sizeof(Tbl[0]) ==
+                    static_cast<size_t>(Opcode::Halt) + 1,
+                "dispatch table out of sync with Opcode");
+
+  // Per-instruction prologue + dispatch. PC advance happens here so Call/
+  // Ret/Jmp simply set NextPC.
+#define DYNACE_NEXT()                                                        \
+  do {                                                                       \
+    PC = NextPC;                                                             \
+    if (Filled == N)                                                         \
+      goto BatchDone;                                                        \
+    assert(PC < Prog.method(F->Id).Code.size() &&                            \
+           "PC out of range (verifier bug?)");                               \
+    In = &Code[PC];                                                          \
+    if ((BoundaryMask >> static_cast<unsigned>(In->Op)) & 1)                 \
+      goto BatchDone;                                                        \
+    Out = &Buf[Filled++];                                                    \
+    Out->PC = CodeBase + uint64_t(PC) * kInstrBytes;                         \
+    Out->Class = opClassOf(In->Op);                                          \
+    Out->Dst = In->Dst;                                                      \
+    Out->Src1 = In->Src1;                                                    \
+    Out->Src2 = In->Src2;                                                    \
+    Out->IsCondBranch = false;                                               \
+    ++Count;                                                                 \
+    NextPC = PC + 1;                                                         \
+    goto *Tbl[static_cast<unsigned>(In->Op)];                                \
+  } while (0)
+
+  NextPC = PC;
+  DYNACE_NEXT();
+
+Op_IConst:
+  R[In->Dst] = static_cast<uint64_t>(In->Imm);
+  DYNACE_NEXT();
+Op_Mov:
+  R[In->Dst] = R[In->Src1];
+  DYNACE_NEXT();
+Op_Add:
+  R[In->Dst] = R[In->Src1] + R[In->Src2];
+  DYNACE_NEXT();
+Op_Sub:
+  R[In->Dst] = R[In->Src1] - R[In->Src2];
+  DYNACE_NEXT();
+Op_Mul:
+  R[In->Dst] = R[In->Src1] * R[In->Src2];
+  DYNACE_NEXT();
+Op_Div: {
+  int64_t B = static_cast<int64_t>(R[In->Src2]);
+  R[In->Dst] =
+      B == 0 ? 0
+             : static_cast<uint64_t>(static_cast<int64_t>(R[In->Src1]) / B);
+  DYNACE_NEXT();
+}
+Op_Rem: {
+  int64_t B = static_cast<int64_t>(R[In->Src2]);
+  R[In->Dst] =
+      B == 0 ? 0
+             : static_cast<uint64_t>(static_cast<int64_t>(R[In->Src1]) % B);
+  DYNACE_NEXT();
+}
+Op_And:
+  R[In->Dst] = R[In->Src1] & R[In->Src2];
+  DYNACE_NEXT();
+Op_Or:
+  R[In->Dst] = R[In->Src1] | R[In->Src2];
+  DYNACE_NEXT();
+Op_Xor:
+  R[In->Dst] = R[In->Src1] ^ R[In->Src2];
+  DYNACE_NEXT();
+Op_Shl:
+  R[In->Dst] = R[In->Src1] << (R[In->Src2] & 63);
+  DYNACE_NEXT();
+Op_Shr:
+  R[In->Dst] = R[In->Src1] >> (R[In->Src2] & 63);
+  DYNACE_NEXT();
+Op_AddI:
+  R[In->Dst] = R[In->Src1] + static_cast<uint64_t>(In->Imm);
+  DYNACE_NEXT();
+Op_MulI:
+  R[In->Dst] = R[In->Src1] * static_cast<uint64_t>(In->Imm);
+  DYNACE_NEXT();
+Op_AndI:
+  R[In->Dst] = R[In->Src1] & static_cast<uint64_t>(In->Imm);
+  DYNACE_NEXT();
+Op_FAdd:
+  R[In->Dst] = FromF(AsF(R[In->Src1]) + AsF(R[In->Src2]));
+  DYNACE_NEXT();
+Op_FSub:
+  R[In->Dst] = FromF(AsF(R[In->Src1]) - AsF(R[In->Src2]));
+  DYNACE_NEXT();
+Op_FMul:
+  R[In->Dst] = FromF(AsF(R[In->Src1]) * AsF(R[In->Src2]));
+  DYNACE_NEXT();
+Op_FDiv:
+  R[In->Dst] = FromF(AsF(R[In->Src1]) / AsF(R[In->Src2]));
+  DYNACE_NEXT();
+Op_Load: {
+  uint64_t Addr = R[In->Src1] + static_cast<uint64_t>(In->Imm);
+  Out->MemAddr = Addr;
+  R[In->Dst] = WordAt(Addr);
+  DYNACE_NEXT();
+}
+Op_Store: {
+  uint64_t Addr = R[In->Src1] + static_cast<uint64_t>(In->Imm);
+  Out->MemAddr = Addr;
+  WordAt(Addr) = R[In->Src2];
+  DYNACE_NEXT();
+}
+Op_LoadIdx: {
+  uint64_t Addr =
+      R[In->Src1] + R[In->Src2] * 8 + static_cast<uint64_t>(In->Imm);
+  Out->MemAddr = Addr;
+  R[In->Dst] = WordAt(Addr);
+  DYNACE_NEXT();
+}
+Op_StoreIdx: {
+  uint64_t Addr =
+      R[In->Src1] + R[In->Dst] * 8 + static_cast<uint64_t>(In->Imm);
+  Out->MemAddr = Addr;
+  // Dst holds the index register: a source for timing, not a write.
+  Out->Dst = kNoReg;
+  Out->Src2 = In->Dst;
+  WordAt(Addr) = R[In->Src2];
+  DYNACE_NEXT();
+}
+Op_Br:
+Op_BrI: {
+  int64_t A = static_cast<int64_t>(R[In->Src1]);
+  int64_t B =
+      In->Op == Opcode::Br ? static_cast<int64_t>(R[In->Src2]) : In->Aux;
+  bool Taken = evalCond(In->Cond, A, B);
+  Out->IsCondBranch = true;
+  Out->Taken = Taken;
+  if (Taken)
+    NextPC = static_cast<uint32_t>(In->Imm);
+  DYNACE_NEXT();
+}
+Op_Jmp:
+  NextPC = static_cast<uint32_t>(In->Imm);
+  DYNACE_NEXT();
+Op_Call: {
+  // Only reached without a listener; no method-entry event fires.
+  MethodId Callee = static_cast<MethodId>(In->Imm);
+  F->PC = NextPC;
+  InstrCount = Count; // pushFrame snapshots the entry count.
+  unsigned NumArgs = In->Src2 == kNoReg ? 0 : In->Src2;
+  uint64_t Args[kNumRegs];
+  for (unsigned I = 0; I != NumArgs; ++I)
+    Args[I] = R[In->Src1 + I];
+  pushFrame(Callee, In->Dst);
+  Frame &CalleeFrame = Frames.back();
+  for (unsigned I = 0; I != NumArgs; ++I)
+    CalleeFrame.Regs[I] = Args[I];
+  Refresh();
+  NextPC = PC; // Refresh() loaded the callee's PC; keep it.
+  DYNACE_NEXT();
+}
+Op_Ret: {
+  uint64_t Value = In->Src1 == kNoReg ? 0 : R[In->Src1];
+  InstrCount = Count;
+  if (!popFrame(Value)) {
+    Halted = true;
+    return Filled; // The Ret itself still executed.
+  }
+  Refresh();
+  NextPC = PC; // Refresh() loaded the caller's resume PC; keep it.
+  DYNACE_NEXT();
+}
+Op_Alloc: {
+  uint64_t Words = R[In->Src1];
+  if (Words == 0)
+    Words = 1;
+  if (AllocCursorWords + Words > Memory.size())
+    AllocCursorWords = Prog.globalWords(); // Wrap: arena reuse.
+  R[In->Dst] = kHeapBase + AllocCursorWords * 8;
+  AllocCursorWords += Words;
+  DYNACE_NEXT();
+}
+Op_Halt:
+  InstrCount = Count;
+  while (popFrame(0))
+    ;
+  Halted = true;
+  return Filled;
+
+#undef DYNACE_NEXT
+
+BatchDone:
+  F->PC = PC;
+  InstrCount = Count;
+  return Filled;
 }
 
 uint64_t Interpreter::run(uint64_t MaxInstructions) {

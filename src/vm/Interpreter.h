@@ -71,6 +71,25 @@ public:
   /// the entry method; further calls keep returning Halted.
   Status step(DynInst &Out);
 
+  /// Batched execution: fills \p Buf with up to \p N dynamic instructions
+  /// from one tight dispatch loop and \returns the number filled.
+  ///
+  /// Semantics relative to N calls of step():
+  ///  * When a listener is installed, the batch stops BEFORE any Call, Ret
+  ///    or Halt so that method-boundary events fire only from step() —
+  ///    after the caller has drained the batch into the timing model. A
+  ///    return of 0 with !isHalted() therefore means "the next instruction
+  ///    is a method boundary: execute it with step()".
+  ///  * Without a listener, Call/Ret/Halt execute inline and the batch only
+  ///    ends at \p N or program halt.
+  ///  * Buffer entries carry the lean timing contract (see DynInst): PC,
+  ///    Class, Dst, Src1, Src2, IsCondBranch always; MemAddr for loads and
+  ///    stores; Taken for conditional branches. Target is NOT written.
+  ///
+  /// Architectural state (registers, memory, instruction count) advances
+  /// exactly as under step().
+  size_t stepBatch(DynInst *Buf, size_t N);
+
   /// Convenience: runs up to \p MaxInstructions (dropping the events).
   /// \returns the number of instructions actually executed.
   uint64_t run(uint64_t MaxInstructions);

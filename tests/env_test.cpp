@@ -1,0 +1,96 @@
+//===- tests/env_test.cpp -------------------------------------------------==//
+//
+// Strict environment-variable parsing: DYNACE_INSTR_BUDGET / DYNACE_JOBS
+// must reject non-numeric, negative, trailing-garbage and overflowing
+// values with a fatal diagnostic instead of silently simulating with a
+// misread knob.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ExperimentRunner.h"
+#include "support/Env.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace dynace;
+
+TEST(EnvParsing, AcceptsPlainDecimal) {
+  EXPECT_EQ(parseUnsignedInt("0"), 0u);
+  EXPECT_EQ(parseUnsignedInt("42"), 42u);
+  EXPECT_EQ(parseUnsignedInt("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(EnvParsing, RejectsMalformed) {
+  EXPECT_FALSE(parseUnsignedInt(nullptr).has_value());
+  EXPECT_FALSE(parseUnsignedInt("").has_value());
+  EXPECT_FALSE(parseUnsignedInt("abc").has_value());
+  EXPECT_FALSE(parseUnsignedInt("-4").has_value());    // strtoull wraps this.
+  EXPECT_FALSE(parseUnsignedInt("+4").has_value());
+  EXPECT_FALSE(parseUnsignedInt("10x").has_value());   // Trailing garbage.
+  EXPECT_FALSE(parseUnsignedInt("3.5").has_value());
+  EXPECT_FALSE(parseUnsignedInt(" 7").has_value());    // No whitespace.
+  EXPECT_FALSE(parseUnsignedInt("0x10").has_value());  // No base prefixes.
+  // One past UINT64_MAX overflows.
+  EXPECT_FALSE(parseUnsignedInt("18446744073709551616").has_value());
+}
+
+TEST(EnvParsing, UnsetYieldsDefaultWithoutRangeCheck) {
+  unsetenv("DYNACE_TEST_KNOB");
+  // Default 0 is returned even though the range floor is 1 (out-of-band
+  // "unset" marker).
+  EXPECT_EQ(envUnsignedOr("DYNACE_TEST_KNOB", 0, 1, 100), 0u);
+  setenv("DYNACE_TEST_KNOB", "", 1);
+  EXPECT_EQ(envUnsignedOr("DYNACE_TEST_KNOB", 7, 1, 100), 7u);
+  unsetenv("DYNACE_TEST_KNOB");
+}
+
+TEST(EnvParsing, SetValueIsParsedAndRangeChecked) {
+  setenv("DYNACE_TEST_KNOB", "64", 1);
+  EXPECT_EQ(envUnsignedOr("DYNACE_TEST_KNOB", 0, 1, 100), 64u);
+  unsetenv("DYNACE_TEST_KNOB");
+}
+
+TEST(EnvParsingDeathTest, GarbageIsFatal) {
+  setenv("DYNACE_TEST_KNOB", "banana", 1);
+  EXPECT_EXIT(envUnsignedOr("DYNACE_TEST_KNOB", 0),
+              testing::ExitedWithCode(2), "not a valid non-negative");
+  setenv("DYNACE_TEST_KNOB", "-3", 1);
+  EXPECT_EXIT(envUnsignedOr("DYNACE_TEST_KNOB", 0),
+              testing::ExitedWithCode(2), "not a valid non-negative");
+  setenv("DYNACE_TEST_KNOB", "101", 1);
+  EXPECT_EXIT(envUnsignedOr("DYNACE_TEST_KNOB", 0, 1, 100),
+              testing::ExitedWithCode(2), "out of range");
+  unsetenv("DYNACE_TEST_KNOB");
+}
+
+TEST(EnvParsingDeathTest, InstrBudgetGarbageIsFatal) {
+  setenv("DYNACE_INSTR_BUDGET", "2e6", 1);
+  EXPECT_EXIT(ExperimentRunner::defaultOptions(),
+              testing::ExitedWithCode(2), "DYNACE_INSTR_BUDGET");
+  unsetenv("DYNACE_INSTR_BUDGET");
+}
+
+TEST(EnvParsingDeathTest, JobsGarbageIsFatal) {
+  setenv("DYNACE_JOBS", "-2", 1);
+  EXPECT_EXIT(ThreadPool::defaultThreadCount(), testing::ExitedWithCode(2),
+              "DYNACE_JOBS");
+  setenv("DYNACE_JOBS", "0", 1);
+  EXPECT_EXIT(ThreadPool::defaultThreadCount(), testing::ExitedWithCode(2),
+              "out of range");
+  unsetenv("DYNACE_JOBS");
+}
+
+TEST(EnvParsing, InstrBudgetAndJobsHonorValidValues) {
+  setenv("DYNACE_INSTR_BUDGET", "123456", 1);
+  EXPECT_EQ(ExperimentRunner::defaultOptions().MaxInstructions, 123456u);
+  unsetenv("DYNACE_INSTR_BUDGET");
+  EXPECT_EQ(ExperimentRunner::defaultOptions().MaxInstructions, 0u);
+
+  setenv("DYNACE_JOBS", "3", 1);
+  EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+  unsetenv("DYNACE_JOBS");
+  EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}

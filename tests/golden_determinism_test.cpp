@@ -1,0 +1,112 @@
+//===- tests/golden_determinism_test.cpp ----------------------------------==//
+//
+// The batched-kernel determinism contract, enforced bit-for-bit:
+//
+//  * a small fixed workload run under all three schemes serializes to
+//    exactly the digests committed in tests/golden/determinism.golden —
+//    any kernel change that alters results (and would therefore require a
+//    kResultCacheVersion bump) fails here first;
+//  * the parallel pipeline (DYNACE_JOBS-style Jobs=4) produces serializations
+//    byte-identical to Jobs=1.
+//
+// Regenerate the golden file (after an INTENTIONAL result change only) with
+//   DYNACE_UPDATE_GOLDEN=1 ./golden_determinism_test
+// and bump kResultCacheVersion in the same commit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ExperimentRunner.h"
+#include "sim/ResultCache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace dynace;
+
+#ifndef DYNACE_GOLDEN_FILE
+#define DYNACE_GOLDEN_FILE "golden/determinism.golden"
+#endif
+
+namespace {
+
+/// FNV-1a 64-bit over the canonical result serialization.
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string hex(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+/// Fixed options for the golden workload: environment-independent (no
+/// DYNACE_INSTR_BUDGET), 2M instructions — 20 BBV intervals, 200 L1D and
+/// 20 L2 reconfiguration windows, enough for all three schemes to adapt.
+SimulationOptions goldenOptions() {
+  SimulationOptions Opts;
+  Opts.MaxInstructions = 2'000'000;
+  return Opts;
+}
+
+std::string digestLines(const BenchmarkRun &Run) {
+  std::ostringstream OS;
+  OS << "baseline " << hex(fnv1a(serializeResult(Run.Baseline))) << "\n"
+     << "bbv " << hex(fnv1a(serializeResult(Run.Bbv))) << "\n"
+     << "hotspot " << hex(fnv1a(serializeResult(Run.Hotspot))) << "\n";
+  return OS.str();
+}
+
+} // namespace
+
+TEST(GoldenDeterminism, BatchedKernelMatchesGoldenAndParallelIsIdentical) {
+  // The digests must come from simulation, not a stale on-disk entry.
+  unsetenv("DYNACE_CACHE_DIR");
+
+  const WorkloadProfile *Profile = findProfile("compress");
+  ASSERT_NE(Profile, nullptr);
+
+  ExperimentRunner Serial(goldenOptions());
+  std::vector<BenchmarkRun> SerialRuns = Serial.runAll({*Profile}, 1);
+  ASSERT_EQ(SerialRuns.size(), 1u);
+
+  ExperimentRunner Parallel(goldenOptions());
+  std::vector<BenchmarkRun> ParallelRuns = Parallel.runAll({*Profile}, 4);
+  ASSERT_EQ(ParallelRuns.size(), 1u);
+
+  // Jobs=1 vs Jobs=4: byte-identical serializations.
+  EXPECT_EQ(serializeResult(SerialRuns[0].Baseline),
+            serializeResult(ParallelRuns[0].Baseline));
+  EXPECT_EQ(serializeResult(SerialRuns[0].Bbv),
+            serializeResult(ParallelRuns[0].Bbv));
+  EXPECT_EQ(serializeResult(SerialRuns[0].Hotspot),
+            serializeResult(ParallelRuns[0].Hotspot));
+
+  std::string Digests = digestLines(SerialRuns[0]);
+
+  if (std::getenv("DYNACE_UPDATE_GOLDEN")) {
+    std::ofstream Out(DYNACE_GOLDEN_FILE);
+    ASSERT_TRUE(Out.good()) << "cannot write " << DYNACE_GOLDEN_FILE;
+    Out << Digests;
+    GTEST_SKIP() << "golden file regenerated at " << DYNACE_GOLDEN_FILE;
+  }
+
+  std::ifstream In(DYNACE_GOLDEN_FILE);
+  ASSERT_TRUE(In.good()) << "missing golden file " << DYNACE_GOLDEN_FILE
+                         << " (regenerate with DYNACE_UPDATE_GOLDEN=1)";
+  std::stringstream Ss;
+  Ss << In.rdbuf();
+  EXPECT_EQ(Ss.str(), Digests)
+      << "simulation results diverged from the committed golden digests — "
+         "the kernel changed observable behavior; if intentional, "
+         "regenerate the golden file AND bump kResultCacheVersion";
+}
