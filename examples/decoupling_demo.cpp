@@ -78,9 +78,8 @@ int main() {
   Main.bri(CondKind::Lt, 1, 250, Loop);
   Main.halt();
   Prog.setEntry(Prog.addMethod(Main.take()));
-  std::string Err;
-  if (!Prog.finalize(&Err)) {
-    std::fprintf(stderr, "bad program: %s\n", Err.c_str());
+  if (Status S = Prog.finalize(); !S) {
+    std::fprintf(stderr, "bad program: %s\n", S.toString().c_str());
     return 1;
   }
 

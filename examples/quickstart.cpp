@@ -58,9 +58,8 @@ static Program buildProgram() {
   M.halt();
   Prog.setEntry(Prog.addMethod(M.take()));
 
-  std::string Error;
-  if (!Prog.finalize(&Error)) {
-    std::fprintf(stderr, "program invalid: %s\n", Error.c_str());
+  if (dynace::Status S = Prog.finalize(); !S) {
+    std::fprintf(stderr, "program invalid: %s\n", S.toString().c_str());
     std::exit(1);
   }
   return Prog;

@@ -1,0 +1,34 @@
+#!/bin/sh
+# check_sanitize.sh — build the robustness tests under AddressSanitizer +
+# UndefinedBehaviorSanitizer and run them.
+#
+# Usage: scripts/check_sanitize.sh [repo-root [build-dir]]
+#
+# The fault-injection and cache-corruption suites exercise every recovery
+# path (injected faults, truncated and bit-flipped cache entries, retry
+# exhaustion); running them sanitized proves the error paths are as clean
+# as the happy paths. Wired into CMake as the `check_sanitize` ctest: it
+# configures a side build with -DDYNACE_SANITIZE=address,undefined, builds
+# only the two test binaries, and fails on any test failure or sanitizer
+# finding (halt_on_error aborts the process, failing the test).
+
+set -e
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+build="${2:-$root/build-sanitize}"
+
+cmake -S "$root" -B "$build" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDYNACE_SANITIZE=address,undefined >/dev/null
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+cmake --build "$build" -j"$jobs" \
+  --target fault_injection_test resultcache_corruption_test >/dev/null
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+"$build/tests/fault_injection_test"
+"$build/tests/resultcache_corruption_test"
+
+echo "check_sanitize: OK (fault injection + cache corruption under ASan/UBSan)"

@@ -28,11 +28,10 @@ uint64_t Program::staticInstructionCount() const {
   return N;
 }
 
-bool Program::verifyMethod(const Method &M, std::string *ErrorOut) const {
+Status Program::verifyMethod(const Method &M) const {
   auto Fail = [&](const std::string &Msg) {
-    if (ErrorOut)
-      *ErrorOut = "method '" + M.Name + "': " + Msg;
-    return false;
+    return Status::error(ErrorCode::InvalidInput,
+                         "method '" + M.Name + "': " + Msg);
   };
 
   if (M.Code.empty())
@@ -74,29 +73,24 @@ bool Program::verifyMethod(const Method &M, std::string *ErrorOut) const {
   if (Last.Op != Opcode::Ret && Last.Op != Opcode::Halt &&
       Last.Op != Opcode::Jmp)
     return Fail("method does not end in ret/halt/jmp");
-  return true;
+  return Status();
 }
 
-bool Program::finalize(std::string *ErrorOut) {
+Status Program::finalize() {
   assert(!Finalized && "finalize() called twice");
-  if (Methods.empty()) {
-    if (ErrorOut)
-      *ErrorOut = "program has no methods";
-    return false;
-  }
-  if (Entry >= Methods.size()) {
-    if (ErrorOut)
-      *ErrorOut = "entry method id out of range";
-    return false;
-  }
+  if (Methods.empty())
+    return Status::error(ErrorCode::InvalidInput, "program has no methods");
+  if (Entry >= Methods.size())
+    return Status::error(ErrorCode::InvalidInput,
+                         "entry method id out of range");
 
   uint64_t Base = kCodeBase;
   for (Method &M : Methods) {
     M.CodeBase = Base;
     Base += static_cast<uint64_t>(M.Code.size()) * kInstrBytes;
-    if (!verifyMethod(M, ErrorOut))
-      return false;
+    if (Status S = verifyMethod(M); !S)
+      return S;
   }
   Finalized = true;
-  return true;
+  return Status();
 }

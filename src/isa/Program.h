@@ -16,6 +16,7 @@
 #define DYNACE_ISA_PROGRAM_H
 
 #include "isa/Instruction.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <string>
@@ -58,8 +59,9 @@ public:
   uint64_t addGlobal(uint64_t Words);
 
   /// Assigns code addresses to all methods and verifies the program.
-  /// \returns true on success; on failure fills \p ErrorOut with a message.
-  bool finalize(std::string *ErrorOut = nullptr);
+  /// \returns success, or an InvalidInput error describing the first
+  ///          verification failure (the program stays unfinalized).
+  Status finalize();
 
   /// Sets/gets the entry method.
   void setEntry(MethodId Id) { Entry = Id; }
@@ -81,7 +83,8 @@ public:
 private:
   /// Verifies one method: branch targets in range, register indices valid,
   /// call targets valid, terminator present.
-  bool verifyMethod(const Method &M, std::string *ErrorOut) const;
+  /// \returns success or an InvalidInput error.
+  Status verifyMethod(const Method &M) const;
 
   std::vector<Method> Methods;
   MethodId Entry = 0;

@@ -4,15 +4,25 @@
 
 #include "sim/ResultCache.h"
 #include "support/Env.h"
+#include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
+#include <thread>
+#include <tuple>
 #include <sys/stat.h>
 
 using namespace dynace;
+
+std::string CellOutcome::label() const {
+  if (!Failed)
+    return "ok";
+  return std::string("FAILED(") + errorCodeName(Code) + ")";
+}
 
 /// Cache directory from DYNACE_CACHE_DIR; empty = on-disk caching disabled.
 static std::string cacheDir() {
@@ -52,13 +62,23 @@ ExperimentRunner::workload(const WorkloadProfile &Profile) {
 
 void ExperimentRunner::recordStats(const WorkloadProfile &Profile, Scheme S,
                                    const SimulationResult &R, bool CacheHit,
-                                   double WallSeconds) {
-  std::fprintf(stderr, "[dynace] %s/%s: %s, %.1fM instr, %.2fs\n",
-               Profile.Name.c_str(), schemeName(S),
-               CacheHit ? "cached" : "simulated",
-               static_cast<double>(R.Instructions) / 1e6, WallSeconds);
+                                   double WallSeconds,
+                                   const CellOutcome &Outcome,
+                                   uint64_t Quarantined) {
+  if (Outcome.Failed)
+    std::fprintf(stderr,
+                 "[dynace] %s/%s: FAILED after %u attempt(s): %s (%.2fs)\n",
+                 Profile.Name.c_str(), schemeName(S), Outcome.Attempts,
+                 Outcome.Reason.c_str(), WallSeconds);
+  else
+    std::fprintf(stderr, "[dynace] %s/%s: %s, %.1fM instr, %.2fs\n",
+                 Profile.Name.c_str(), schemeName(S),
+                 CacheHit ? "cached" : "simulated",
+                 static_cast<double>(R.Instructions) / 1e6, WallSeconds);
   std::lock_guard<std::mutex> Lock(StatsMutex);
-  Stats.push_back({Profile.Name, S, R.Instructions, CacheHit, WallSeconds});
+  Stats.push_back({Profile.Name, S, R.Instructions, CacheHit, WallSeconds,
+                   Outcome.Failed, Outcome.Code, Outcome.Reason,
+                   Outcome.Attempts, Quarantined});
 }
 
 std::vector<RunStats> ExperimentRunner::stats() const {
@@ -66,10 +86,14 @@ std::vector<RunStats> ExperimentRunner::stats() const {
   return Stats;
 }
 
-SimulationResult ExperimentRunner::runScheme(const WorkloadProfile &Profile,
-                                             Scheme S) {
+std::pair<SimulationResult, CellOutcome>
+ExperimentRunner::runSchemeChecked(const WorkloadProfile &Profile, Scheme S) {
   SimulationOptions Opts = Base;
   Opts.SchemeKind = S;
+  // The watchdog is an execution-policy knob, not a result input: read it
+  // from the environment here and keep it out of resultCacheKey().
+  if (Opts.TimeoutMs == 0)
+    Opts.TimeoutMs = envUnsignedOr("DYNACE_RUN_TIMEOUT_MS", 0);
   auto Start = std::chrono::steady_clock::now();
 
   // Hold the key's in-process lock across probe + simulate + publish: of
@@ -78,26 +102,89 @@ SimulationResult ExperimentRunner::runScheme(const WorkloadProfile &Profile,
   std::string Key = resultCacheKey(Profile.Name, Opts);
   std::unique_lock<std::mutex> KeyLock = lockResultKey(Key);
 
+  CellOutcome Outcome;
+  uint64_t Quarantined = 0;
   std::string Dir = cacheDir();
   std::string Path;
   if (!Dir.empty()) {
     ::mkdir(Dir.c_str(), 0755);
     Path = Dir + "/" + Key + ".txt";
-    SimulationResult Cached;
-    if (loadResult(Path, Cached)) {
-      recordStats(Profile, S, Cached, /*CacheHit=*/true,
-                  secondsSince(Start));
-      return Cached;
+    Expected<SimulationResult> Cached = loadResultChecked(Path);
+    if (Cached.ok()) {
+      SimulationResult R = Cached.take();
+      recordStats(Profile, S, R, /*CacheHit=*/true, secondsSince(Start),
+                  Outcome, /*Quarantined=*/0);
+      return {std::move(R), Outcome};
     }
+    // Every load failure degrades to a cache miss (re-simulate). A plain
+    // miss — no entry, or an entry of another format version — is silent;
+    // corruption and injected faults are worth a line.
+    if (Cached.status().code() != ErrorCode::IoError)
+      std::fprintf(stderr, "[dynace] cache: %s\n",
+                   Cached.status().toString().c_str());
+    if (Cached.status().code() == ErrorCode::InvalidInput)
+      Quarantined = 1; // loadResultChecked() quarantined the entry.
   }
 
   const GeneratedWorkload &W = workload(Profile);
-  System Sys(W.Prog, Opts);
-  SimulationResult R = Sys.run();
-  if (!Path.empty())
-    saveResult(Path, R);
-  recordStats(Profile, S, R, /*CacheHit=*/false, secondsSince(Start));
-  return R;
+  // Total attempts = 1 + DYNACE_MAX_RETRIES. Retrying helps transient
+  // faults (injected ones, watchdog near-misses); deterministic failures
+  // burn the budget and surface as a FAILED cell.
+  const uint64_t MaxRetries = envUnsignedOr("DYNACE_MAX_RETRIES", 2, 0, 16);
+  FaultInjector &FI = FaultInjector::instance();
+  SimulationResult R;
+  for (uint64_t Attempt = 0;; ++Attempt) {
+    Outcome.Attempts = static_cast<unsigned>(Attempt) + 1;
+    Status Err;
+    if (FI.shouldFail(FaultSite::RunnerWorker)) {
+      Err = FaultInjector::makeError(FaultSite::RunnerWorker);
+    } else {
+      System Sys(W.Prog, Opts);
+      Expected<SimulationResult> E = Sys.runChecked();
+      if (E)
+        R = E.take();
+      else
+        Err = E.status();
+    }
+    if (Err.ok())
+      break;
+    if (Attempt == MaxRetries) {
+      Outcome.Failed = true;
+      Outcome.Code = Err.code();
+      Outcome.Reason = Err.message();
+      R = SimulationResult();
+      R.SchemeKind = S;
+      break;
+    }
+    // Capped exponential backoff before the next attempt. Purely pacing
+    // for transient faults; results never depend on the delay.
+    uint64_t DelayMs =
+        std::min<uint64_t>(1ull << std::min<uint64_t>(Attempt, 6), 64);
+    std::fprintf(stderr,
+                 "[dynace] %s/%s: attempt %llu failed (%s); retrying in "
+                 "%llu ms\n",
+                 Profile.Name.c_str(), schemeName(S),
+                 static_cast<unsigned long long>(Attempt + 1),
+                 Err.toString().c_str(),
+                 static_cast<unsigned long long>(DelayMs));
+    std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
+  }
+
+  if (!Outcome.Failed && !Path.empty())
+    if (Status SaveErr = saveResultChecked(Path, R); !SaveErr)
+      // Publishing is an optimization; a failed save is not a cell
+      // failure — the next consumer just re-simulates.
+      std::fprintf(stderr, "[dynace] cache: %s\n",
+                   SaveErr.toString().c_str());
+  recordStats(Profile, S, R, /*CacheHit=*/false, secondsSince(Start),
+              Outcome, Quarantined);
+  return {std::move(R), Outcome};
+}
+
+SimulationResult ExperimentRunner::runScheme(const WorkloadProfile &Profile,
+                                             Scheme S) {
+  std::pair<SimulationResult, CellOutcome> P = runSchemeChecked(Profile, S);
+  return std::move(P.first);
 }
 
 const BenchmarkRun &ExperimentRunner::run(const WorkloadProfile &Profile) {
@@ -110,9 +197,11 @@ const BenchmarkRun &ExperimentRunner::run(const WorkloadProfile &Profile) {
 
   BenchmarkRun Run;
   Run.Name = Profile.Name;
-  Run.Baseline = runScheme(Profile, Scheme::Baseline);
-  Run.Bbv = runScheme(Profile, Scheme::Bbv);
-  Run.Hotspot = runScheme(Profile, Scheme::Hotspot);
+  std::tie(Run.Baseline, Run.BaselineOutcome) =
+      runSchemeChecked(Profile, Scheme::Baseline);
+  std::tie(Run.Bbv, Run.BbvOutcome) = runSchemeChecked(Profile, Scheme::Bbv);
+  std::tie(Run.Hotspot, Run.HotspotOutcome) =
+      runSchemeChecked(Profile, Scheme::Hotspot);
 
   // emplace keeps the first triple if another thread raced us here; both
   // triples are identical anyway (deterministic simulation).
@@ -136,7 +225,8 @@ ExperimentRunner::runAll(const std::vector<WorkloadProfile> &Profiles,
   std::vector<BenchmarkRun> Out(Profiles.size());
   // One future per pending (profile, scheme) cell; memoized profiles have
   // no futures and are answered from the in-memory cache.
-  std::vector<std::future<SimulationResult>> Futures(Profiles.size() * 3);
+  using Cell = std::pair<SimulationResult, CellOutcome>;
+  std::vector<std::future<Cell>> Futures(Profiles.size() * 3);
   std::vector<bool> Pending(Profiles.size(), false);
 
   {
@@ -154,18 +244,21 @@ ExperimentRunner::runAll(const std::vector<WorkloadProfile> &Profiles,
       Pending[I] = true;
       for (size_t SI = 0; SI != 3; ++SI)
         Futures[I * 3 + SI] = Pool.submit(
-            [this, &P, S = Schemes[SI]] { return runScheme(P, S); });
+            [this, &P, S = Schemes[SI]] { return runSchemeChecked(P, S); });
     }
 
     // Collect in input order — the grid's result order is deterministic no
-    // matter which worker finished first.
+    // matter which worker finished first. Failed cells arrive as FAILED
+    // outcomes, never as exceptions, so one bad cell cannot sink the grid.
     for (size_t I = 0; I != Profiles.size(); ++I) {
       if (!Pending[I])
         continue;
       Out[I].Name = Profiles[I].Name;
-      Out[I].Baseline = Futures[I * 3 + 0].get();
-      Out[I].Bbv = Futures[I * 3 + 1].get();
-      Out[I].Hotspot = Futures[I * 3 + 2].get();
+      std::tie(Out[I].Baseline, Out[I].BaselineOutcome) =
+          Futures[I * 3 + 0].get();
+      std::tie(Out[I].Bbv, Out[I].BbvOutcome) = Futures[I * 3 + 1].get();
+      std::tie(Out[I].Hotspot, Out[I].HotspotOutcome) =
+          Futures[I * 3 + 2].get();
       std::lock_guard<std::mutex> Lock(CacheMutex);
       Cache.emplace(Profiles[I].Name, Out[I]);
     }

@@ -25,6 +25,17 @@
 /// stats() and printable via printRunStats() — the pipeline's speedup is
 /// measured, not asserted.
 ///
+/// Fault tolerance (DESIGN.md §8): each cell runs under a retry loop with
+/// capped exponential backoff (DYNACE_MAX_RETRIES, default 2 retries). A
+/// cell whose attempts are exhausted does NOT abort the grid — it yields
+/// an empty result with a CellOutcome describing the final error, and the
+/// report printers render it as FAILED(<code>). Cache read errors degrade
+/// to misses (corrupt entries are quarantined), cache write errors are
+/// logged and dropped (publishing is an optimization), and each attempt is
+/// bounded by the DYNACE_RUN_TIMEOUT_MS wall-clock watchdog. Because
+/// simulations are deterministic, a run whose injected faults all resolved
+/// within the retry budget is bit-identical to an undisturbed run.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNACE_SIM_EXPERIMENTRUNNER_H
@@ -37,9 +48,22 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dynace {
+
+/// Terminal outcome of one (benchmark, scheme) cell after the retry loop.
+struct CellOutcome {
+  bool Failed = false; ///< True when every attempt failed.
+  /// Error taxonomy of the final attempt (valid when Failed).
+  ErrorCode Code = ErrorCode::InvalidInput;
+  std::string Reason;    ///< Final attempt's error message (when Failed).
+  unsigned Attempts = 1; ///< Simulation attempts consumed (1 = no retry).
+
+  /// \returns "ok", or "FAILED(<code>)" for report cells.
+  std::string label() const;
+};
 
 /// Results of one benchmark under all three schemes.
 struct BenchmarkRun {
@@ -47,6 +71,34 @@ struct BenchmarkRun {
   SimulationResult Baseline;
   SimulationResult Bbv;
   SimulationResult Hotspot;
+  /// Outcome of each scheme's cell. A failed scheme leaves its
+  /// SimulationResult empty; report printers must check complete() (or the
+  /// per-scheme outcome) before dereferencing optional sub-reports.
+  CellOutcome BaselineOutcome;
+  CellOutcome BbvOutcome;
+  CellOutcome HotspotOutcome;
+
+  /// \returns the outcome of scheme \p S.
+  const CellOutcome &outcome(Scheme S) const {
+    return S == Scheme::Baseline ? BaselineOutcome
+           : S == Scheme::Bbv    ? BbvOutcome
+                                 : HotspotOutcome;
+  }
+
+  /// \returns true when all three schemes produced a result.
+  bool complete() const {
+    return !BaselineOutcome.Failed && !BbvOutcome.Failed &&
+           !HotspotOutcome.Failed;
+  }
+
+  /// \returns the first failed scheme's "FAILED(<code>)" label, or "ok".
+  std::string failureLabel() const {
+    if (BaselineOutcome.Failed)
+      return BaselineOutcome.label();
+    if (BbvOutcome.Failed)
+      return BbvOutcome.label();
+    return HotspotOutcome.label();
+  }
 
   /// Energy reduction of \p SchemeEnergy relative to the baseline run.
   ///
@@ -96,6 +148,12 @@ struct RunStats {
   uint64_t Instructions = 0;            ///< Simulated dynamic instructions.
   bool CacheHit = false;                ///< Served from the on-disk cache.
   double WallSeconds = 0.0;             ///< Load-or-simulate wall time.
+  bool Failed = false;                  ///< Cell exhausted its retries.
+  ErrorCode Code = ErrorCode::InvalidInput; ///< Taxonomy (when Failed).
+  std::string Reason;                   ///< Final error (when Failed).
+  unsigned Attempts = 1;                ///< Simulation attempts consumed.
+  /// Corrupt cache entries this cell quarantined while probing.
+  uint64_t Quarantined = 0;
 };
 
 /// Caches per-benchmark simulation triples and schedules simulations,
@@ -119,6 +177,14 @@ public:
   /// once) and publishes fresh results back to it.
   /// \returns the scheme's simulation result.
   SimulationResult runScheme(const WorkloadProfile &Profile, Scheme S);
+
+  /// Structured core of runScheme(): probe cache → simulate under the
+  /// retry/backoff/watchdog policy → publish. Never aborts; when every
+  /// attempt fails the outcome carries the final error and the result is
+  /// empty (scheme field set only).
+  /// \returns the result and its cell outcome.
+  std::pair<SimulationResult, CellOutcome>
+  runSchemeChecked(const WorkloadProfile &Profile, Scheme S);
 
   /// Runs the full (\p Profiles × three schemes) grid on a thread pool of
   /// \p Jobs workers (0 = ThreadPool::defaultThreadCount(), i.e.
@@ -157,7 +223,8 @@ private:
   const GeneratedWorkload &workload(const WorkloadProfile &Profile);
   void recordStats(const WorkloadProfile &Profile, Scheme S,
                    const SimulationResult &R, bool CacheHit,
-                   double WallSeconds);
+                   double WallSeconds, const CellOutcome &Outcome,
+                   uint64_t Quarantined);
 
   SimulationOptions Base;
   std::map<std::string, GeneratedWorkload> Workloads;

@@ -21,6 +21,20 @@ static std::vector<std::string> benchHeader(
   return H;
 }
 
+/// Appends the failed benchmark's "FAILED(<code>)" label to every row of
+/// an incomplete column, so a cell that exhausted its retries degrades to
+/// a marked column instead of dereferencing absent sub-reports. \returns
+/// true when \p R is incomplete and the column was filled.
+static bool markIfFailed(const BenchmarkRun &R,
+                         std::initializer_list<std::vector<std::string> *>
+                             Rows) {
+  if (R.complete())
+    return false;
+  for (std::vector<std::string> *Row : Rows)
+    Row->push_back(R.failureLabel());
+  return true;
+}
+
 void dynace::printBaselineConfig(std::ostream &OS,
                                  const SimulationOptions &Opts) {
   const CoreConfig &C = Opts.Core;
@@ -91,6 +105,8 @@ void dynace::printFigure1(std::ostream &OS,
   std::vector<std::string> Transitional = {"transitional"};
   RunningStat Avg;
   for (const BenchmarkRun &R : Runs) {
+    if (markIfFailed(R, {&Stable, &Transitional}))
+      continue; // Failed benchmarks are excluded from the average.
     double S = R.Bbv.BbvR ? R.Bbv.BbvR->StableIntervalFraction : 0.0;
     Stable.push_back(formatPercent(S, 1));
     Transitional.push_back(formatPercent(1.0 - S, 1));
@@ -110,6 +126,8 @@ void dynace::printTable1(std::ostream &OS,
   // measured counterparts averaged across benchmarks.
   RunningStat IdLatency, HotspotConfigs, BbvConfigs;
   for (const BenchmarkRun &R : Runs) {
+    if (!R.complete())
+      continue; // Averages cover completed benchmarks only.
     IdLatency.add(R.Hotspot.Do.IdentificationLatencyFraction);
     if (R.Hotspot.Ace && R.Hotspot.Ace->TotalHotspots)
       HotspotConfigs.add(
@@ -146,6 +164,8 @@ void dynace::printTable4(std::ostream &OS,
   std::vector<std::string> Inv = {"average invocations per hotspot"};
   std::vector<std::string> Lat = {"hotspot identification latency"};
   for (const BenchmarkRun &R : Runs) {
+    if (markIfFailed(R, {&Dyn, &Num, &Size, &Pct, &Inv, &Lat}))
+      continue;
     const DoStats &S = R.Hotspot.Do;
     Dyn.push_back(
         formatScientific(static_cast<double>(R.Hotspot.Instructions)));
@@ -186,6 +206,16 @@ void dynace::printTable5(std::ostream &OS,
   std::vector<std::string> InterPhaseCov = {"inter-phase IPC CoV"};
 
   for (const BenchmarkRun &R : Runs) {
+    auto Rows = {&L1D, &L2, &Total, &Tuned, &TunedPct, &PerCov, &InterCov,
+                 &Phases, &TunedPhases, &TunedIntervals, &PerPhaseCov,
+                 &InterPhaseCov};
+    if (markIfFailed(R, Rows))
+      continue;
+    if (!R.Hotspot.Ace || !R.Bbv.BbvR) {
+      for (std::vector<std::string> *Row : Rows)
+        Row->push_back("-");
+      continue;
+    }
     const AceReport &A = *R.Hotspot.Ace;
     L1D.push_back(std::to_string(A.PerCu[0].NumHotspots));
     L2.push_back(std::to_string(A.PerCu[1].NumHotspots));
@@ -240,6 +270,15 @@ void dynace::printTable6(std::ostream &OS,
   std::vector<std::string> BbCov = {"BBV: coverage"};
 
   for (const BenchmarkRun &R : Runs) {
+    auto Rows = {&HsL1DTun, &HsL1DRec, &HsL1DCov, &HsL2Tun, &HsL2Rec,
+                 &HsL2Cov, &BbTun, &BbL1DRec, &BbL2Rec, &BbCov};
+    if (markIfFailed(R, Rows))
+      continue;
+    if (!R.Hotspot.Ace || !R.Bbv.BbvR) {
+      for (std::vector<std::string> *Row : Rows)
+        Row->push_back("-");
+      continue;
+    }
     const AceReport &A = *R.Hotspot.Ace;
     HsL1DTun.push_back(std::to_string(A.PerCu[0].Tunings));
     HsL1DRec.push_back(std::to_string(A.PerCu[0].Reconfigs));
@@ -277,6 +316,8 @@ void dynace::printFigure3(std::ostream &OS,
   std::vector<std::string> HotRow = {"hotspot"};
   RunningStat BbvAvg, HotAvg;
   for (const BenchmarkRun &R : Runs) {
+    if (markIfFailed(R, {&BbvRow, &HotRow}))
+      continue;
     double Base = R.Baseline.L1DEnergy.total();
     double B = BenchmarkRun::reduction(R.Bbv.L1DEnergy.total(), Base);
     double H = BenchmarkRun::reduction(R.Hotspot.L1DEnergy.total(), Base);
@@ -297,6 +338,8 @@ void dynace::printFigure3(std::ostream &OS,
   std::vector<std::string> HotRow2 = {"hotspot"};
   RunningStat BbvAvg2, HotAvg2;
   for (const BenchmarkRun &R : Runs) {
+    if (markIfFailed(R, {&BbvRow2, &HotRow2}))
+      continue;
     double Base = R.Baseline.L2Energy.total();
     double B = BenchmarkRun::reduction(R.Bbv.L2Energy.total(), Base);
     double H = BenchmarkRun::reduction(R.Hotspot.L2Energy.total(), Base);
@@ -320,6 +363,8 @@ void dynace::printFigure4(std::ostream &OS,
   std::vector<std::string> HotRow = {"hotspot"};
   RunningStat BbvAvg, HotAvg;
   for (const BenchmarkRun &R : Runs) {
+    if (markIfFailed(R, {&BbvRow, &HotRow}))
+      continue;
     double B = BenchmarkRun::slowdown(R.Bbv.Cycles, R.Baseline.Cycles);
     double H = BenchmarkRun::slowdown(R.Hotspot.Cycles, R.Baseline.Cycles);
     BbvRow.push_back(formatPercent(B));
@@ -347,22 +392,29 @@ void dynace::printRunStats(std::ostream &OS,
             });
 
   TextTable T;
-  T.setHeader({"Run", "Instructions", "Source", "Wall (s)"});
-  uint64_t TotalInstr = 0, Hits = 0;
+  T.setHeader({"Run", "Instructions", "Source", "Attempts", "Wall (s)"});
+  uint64_t TotalInstr = 0, Hits = 0, FailedRuns = 0, Quarantined = 0;
   double TotalWall = 0.0;
   for (const RunStats &S : Sorted) {
+    std::string Source = S.Failed ? std::string("FAILED(") +
+                                        errorCodeName(S.Code) + ")"
+                         : S.CacheHit ? "cache"
+                                      : "simulated";
     T.addRow({S.Benchmark + "/" + schemeName(S.SchemeKind),
-              formatCount(S.Instructions),
-              S.CacheHit ? "cache" : "simulated",
-              formatFixed(S.WallSeconds, 2)});
+              formatCount(S.Instructions), Source,
+              std::to_string(S.Attempts), formatFixed(S.WallSeconds, 2)});
     TotalInstr += S.Instructions;
     Hits += S.CacheHit ? 1 : 0;
+    FailedRuns += S.Failed ? 1 : 0;
+    Quarantined += S.Quarantined;
     TotalWall += S.WallSeconds;
   }
   T.addSeparator();
   T.addRow({"total (" + std::to_string(Hits) + "/" +
-                std::to_string(Sorted.size()) + " cached)",
-            formatCount(TotalInstr), "", formatFixed(TotalWall, 2)});
+                std::to_string(Sorted.size()) + " cached, " +
+                std::to_string(FailedRuns) + " failed, " +
+                std::to_string(Quarantined) + " quarantined)",
+            formatCount(TotalInstr), "", "", formatFixed(TotalWall, 2)});
   T.print(OS, "Pipeline accounting: per-run simulation cost (summed wall "
               "times; concurrent runs overlap, so the pipeline's wall "
               "clock is lower)");

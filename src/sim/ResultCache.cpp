@@ -2,9 +2,15 @@
 
 #include "sim/ResultCache.h"
 
+#include "support/FaultInjector.h"
+
+#include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <memory>
@@ -123,7 +129,24 @@ std::string tempPathFor(const std::string &Path) {
          std::to_string(Tid);
 }
 
+std::atomic<uint64_t> QuarantineCount{0};
+
+/// Quarantines the corrupt entry at \p Path (best effort: a lost rename
+/// race just means another reader quarantined it first) and builds the
+/// InvalidInput error for the caller.
+Status quarantineCorruptEntry(const std::string &Path, const char *Why) {
+  if (std::rename(Path.c_str(), (Path + ".corrupt").c_str()) == 0)
+    QuarantineCount.fetch_add(1, std::memory_order_relaxed);
+  return Status::error(ErrorCode::InvalidInput,
+                       "corrupt cache entry '" + Path + "' (" + Why +
+                           "); quarantined as .corrupt");
+}
+
 } // namespace
+
+uint64_t dynace::resultCacheQuarantineCount() {
+  return QuarantineCount.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -203,33 +226,72 @@ std::string dynace::serializeResult(const SimulationResult &R) {
   return Out;
 }
 
-bool dynace::saveResult(const std::string &Path, const SimulationResult &R) {
+Status dynace::saveResultChecked(const std::string &Path,
+                                 const SimulationResult &R) {
+  FaultInjector &FI = FaultInjector::instance();
+  if (FI.shouldFail(FaultSite::CacheWrite))
+    return FaultInjector::makeError(FaultSite::CacheWrite);
+
   // Write-to-temp-then-rename: a concurrent reader of Path either misses
   // (no file yet) or reads a complete entry, never a torn one.
   std::string Tmp = tempPathFor(Path);
   FILE *F = std::fopen(Tmp.c_str(), "w");
   if (!F)
-    return false;
+    return Status::error(ErrorCode::IoError,
+                         "cannot create '" + Tmp +
+                             "': " + std::strerror(errno));
   writeResult(F, R);
-  if (std::fclose(F) != 0 || std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+  if (std::fclose(F) != 0) {
     std::remove(Tmp.c_str());
-    return false;
+    return Status::error(ErrorCode::IoError,
+                         "short write to '" + Tmp +
+                             "': " + std::strerror(errno));
   }
-  return true;
+  if (FI.shouldFail(FaultSite::CacheRename)) {
+    std::remove(Tmp.c_str());
+    return FaultInjector::makeError(FaultSite::CacheRename);
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Status S = Status::error(ErrorCode::IoError,
+                             "cannot publish '" + Path +
+                                 "': " + std::strerror(errno));
+    std::remove(Tmp.c_str());
+    return S;
+  }
+  return Status();
 }
 
-bool dynace::loadResult(const std::string &Path, SimulationResult &R) {
+bool dynace::saveResult(const std::string &Path, const SimulationResult &R) {
+  return saveResultChecked(Path, R).ok();
+}
+
+Expected<SimulationResult> dynace::loadResultChecked(const std::string &Path) {
+  if (FaultInjector::instance().shouldFail(FaultSite::CacheRead))
+    return FaultInjector::makeError(FaultSite::CacheRead);
+
   FILE *F = std::fopen(Path.c_str(), "r");
   if (!F)
-    return false;
-  char Magic[64];
-  if (std::fscanf(F, "%63s", Magic) != 1 ||
-      std::string(Magic) != cacheMagic()) {
+    return Status::error(ErrorCode::IoError,
+                         "no cache entry '" + Path +
+                             "': " + std::strerror(errno));
+  char Magic[64] = {0};
+  if (std::fscanf(F, "%63s", Magic) != 1) {
     std::fclose(F);
-    return false;
+    return quarantineCorruptEntry(Path, "empty or unreadable header");
+  }
+  if (std::string(Magic) != cacheMagic()) {
+    std::fclose(F);
+    // An entry from another format version is expected in a shared cache
+    // directory (old binaries, future binaries): a plain miss, left in
+    // place. Anything else claiming to be a cache entry is corruption.
+    if (std::string(Magic).rfind("dynace-result-v", 0) == 0)
+      return Status::error(ErrorCode::IoError,
+                           "stale cache entry '" + Path + "' (version " +
+                               Magic + ", want " + cacheMagic() + ")");
+    return quarantineCorruptEntry(Path, "bad magic");
   }
   Reader In(F);
-  R = SimulationResult();
+  SimulationResult R;
   R.SchemeKind = static_cast<Scheme>(In.u64("scheme"));
   R.Instructions = In.u64("instructions");
   R.Cycles = In.u64("cycles");
@@ -267,7 +329,7 @@ bool dynace::loadResult(const std::string &Path, SimulationResult &R) {
       if (std::fscanf(F, "%63s %63s", Key, Name) != 2 ||
           std::string(Key) != "cu") {
         std::fclose(F);
-        return false;
+        return quarantineCorruptEntry(Path, "malformed cu record");
       }
       Cu.CuName = Name;
       Cu.NumHotspots = In.u64("cu_hotspots");
@@ -296,8 +358,28 @@ bool dynace::loadResult(const std::string &Path, SimulationResult &R) {
   }
 
   bool Ok = In.ok();
+  // Reject trailing junk: a corrupted byte in the final field's digits
+  // would otherwise load as a silently shortened value (fscanf stops at
+  // the first non-digit and nothing ever reads the remainder).
+  if (Ok) {
+    int C;
+    while ((C = std::fgetc(F)) != EOF && std::isspace(C))
+      ;
+    if (C != EOF)
+      Ok = false;
+  }
   std::fclose(F);
-  return Ok;
+  if (!Ok)
+    return quarantineCorruptEntry(Path, "truncated or malformed fields");
+  return R;
+}
+
+bool dynace::loadResult(const std::string &Path, SimulationResult &R) {
+  Expected<SimulationResult> E = loadResultChecked(Path);
+  if (!E)
+    return false;
+  R = E.take();
+  return true;
 }
 
 std::string dynace::resultCacheKey(const std::string &BenchmarkName,

@@ -30,12 +30,20 @@
 ///    SimulationOptions fields feeding resultCacheKey() changes, and every
 ///    stale entry becomes unreachable instead of misread.
 ///
+/// Failure handling (see DESIGN.md §8): the *Checked entry points report
+/// structured errors instead of a bare false. A corrupt entry — bad magic
+/// or a parse failure past the magic — is quarantined in place (renamed to
+/// "<entry>.corrupt") so it is inspected once, never re-parsed on every
+/// probe. All paths honor deterministic fault injection via
+/// DYNACE_FAULT_SPEC (sites cache.read, cache.write, cache.rename).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNACE_SIM_RESULTCACHE_H
 #define DYNACE_SIM_RESULTCACHE_H
 
 #include "sim/System.h"
+#include "support/Status.h"
 
 #include <mutex>
 #include <string>
@@ -61,13 +69,37 @@ std::string serializeResult(const SimulationResult &R);
 /// The write is atomic: data goes to a temporary file in the same
 /// directory which is then rename(2)d over \p Path, so a concurrent
 /// loadResult() sees either the previous entry or the complete new one.
-/// \returns false on I/O failure (the temporary is removed).
+/// On failure the temporary is removed and the previous entry (if any)
+/// is left untouched.
+/// \returns ok, or IoError (create/write/rename failed) / Injected
+///          (fault sites cache.write, cache.rename).
+Status saveResultChecked(const std::string &Path, const SimulationResult &R);
+
+/// Bool-returning wrapper around saveResultChecked() (the error text is
+/// dropped). \returns true on success.
 bool saveResult(const std::string &Path, const SimulationResult &R);
 
 /// Loads a result previously written by saveResult().
-/// \returns false when the file is missing, from a different
-///          kResultCacheVersion, truncated, or otherwise malformed.
+///
+/// Every failure is a structured error the caller can triage:
+///  * IoError — no entry (plain miss) or an entry written by a different
+///    kResultCacheVersion (unreadable by design; left in place for the
+///    matching binary);
+///  * InvalidInput — corrupt entry (bad magic, truncation, bit flips);
+///    the file is quarantined: renamed to "<Path>.corrupt" so the bytes
+///    survive for inspection but the key misses cleanly from now on;
+///  * Injected — deterministic fault injection (site cache.read).
+/// \returns the result, or the error above.
+Expected<SimulationResult> loadResultChecked(const std::string &Path);
+
+/// Bool-returning wrapper around loadResultChecked().
+/// \returns true and fills \p R on a hit; false on any miss or error.
 bool loadResult(const std::string &Path, SimulationResult &R);
+
+/// Process-wide count of cache entries quarantined by loadResultChecked()
+/// since process start (monotone; the experiment pipeline diffs it around
+/// a run to report per-run quarantines).
+uint64_t resultCacheQuarantineCount();
 
 /// Builds a cache key for running \p BenchmarkName under \p Opts: a stable
 /// hash over kResultCacheVersion and every option field that can influence

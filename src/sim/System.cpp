@@ -3,6 +3,10 @@
 #include "sim/System.h"
 
 #include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 using namespace dynace;
 
@@ -127,6 +131,22 @@ AcePlatform System::makePlatform() {
 }
 
 SimulationResult System::run() {
+  Expected<SimulationResult> R = runChecked();
+  if (!R) {
+    std::fprintf(stderr, "[dynace] fatal: simulation failed: %s\n",
+                 R.status().toString().c_str());
+    std::abort();
+  }
+  return R.take();
+}
+
+Expected<SimulationResult> System::runChecked() {
+  if (Status S = runLoop(); !S)
+    return S;
+  return collectResult();
+}
+
+Status System::runLoop() {
   // Batched hot loop: fill a fixed buffer from the VM in one tight dispatch
   // pass, then drain it through the timing model and the BBV accounting.
   // Batch length is capped so every event that observes platform state
@@ -152,7 +172,20 @@ SimulationResult System::run() {
   // consumeBatch() (whose state hoist/write-back is sized for hundreds of
   // instructions) at every method boundary.
   size_t Pending = 0;
-  while (!Vm->isHalted() && (Cap == 0 || Vm->instructionCount() < Cap)) {
+  // Wall-clock watchdog: one steady_clock read per batch (<=1024
+  // instructions), so its overhead is noise and the overshoot past the
+  // deadline is bounded by one batch.
+  using Clock = std::chrono::steady_clock;
+  const bool HasDeadline = Options.TimeoutMs != 0;
+  const Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(Options.TimeoutMs);
+  bool TimedOut = false;
+  while (!Vm->isHalted() && !Vm->trapped() &&
+         (Cap == 0 || Vm->instructionCount() < Cap)) {
+    if (HasDeadline && Clock::now() >= Deadline) {
+      TimedOut = true;
+      break;
+    }
     size_t Limit = kBatchCap;
     if (Cap != 0) {
       uint64_t Remaining = Cap - Vm->instructionCount();
@@ -185,7 +218,8 @@ SimulationResult System::run() {
     // Execute the boundary instruction via step() so the listener hooks
     // fire mid-instruction with the core fully caught up, as in the
     // serial loop; its consume rides with the next batch.
-    Vm->step(Buf[0]);
+    if (Vm->step(Buf[0]) == Interpreter::Status::Trapped)
+      break; // Nothing was filled; surface the trap below.
     Pending = 1;
   }
   if (Pending != 0) {
@@ -193,6 +227,30 @@ SimulationResult System::run() {
     if (BbvPtr)
       BbvPtr->onInstructionBatch(Buf, Pending);
   }
+
+  if (Vm->trapped()) {
+    const TrapInfo &T = Vm->trapInfo();
+    char Msg[128];
+    std::snprintf(Msg, sizeof(Msg),
+                  "vm trap: %s at pc 0x%llx in method %u",
+                  trapKindName(T.Kind),
+                  static_cast<unsigned long long>(T.PC),
+                  static_cast<unsigned>(T.Method));
+    return Status::error(ErrorCode::Trap, Msg);
+  }
+  if (TimedOut) {
+    char Msg[96];
+    std::snprintf(Msg, sizeof(Msg),
+                  "run exceeded %llu ms after %llu instructions",
+                  static_cast<unsigned long long>(Options.TimeoutMs),
+                  static_cast<unsigned long long>(Vm->instructionCount()));
+    return Status::error(ErrorCode::Timeout, Msg);
+  }
+  return Status();
+}
+
+SimulationResult System::collectResult() {
+  BbvManager *BbvPtr = Bbv.get();
   if (BbvPtr)
     BbvPtr->finish();
   Meter->syncLeakage(Cpu->cycles());

@@ -24,6 +24,7 @@
 #include "cache/MemoryHierarchy.h"
 #include "dosys/DoSystem.h"
 #include "power/PowerMeter.h"
+#include "support/Status.h"
 #include "uarch/Core.h"
 #include "vm/Interpreter.h"
 
@@ -65,6 +66,12 @@ struct SimulationOptions {
   bool EnableWindowCu = false;
   std::vector<uint32_t> WindowCuSettings = {64, 48, 32, 16};
   uint64_t WindowCuReconfigInterval = 1000;
+  /// Wall-clock watchdog for runChecked(): a run exceeding this many
+  /// milliseconds stops with ErrorCode::Timeout (0 = no limit). Checked
+  /// once per dispatch batch, so the overshoot is bounded by one batch.
+  /// Deliberately NOT part of the result-cache key: it never changes what
+  /// a completed run computes, only whether it is allowed to finish.
+  uint64_t TimeoutMs = 0;
 };
 
 /// Everything a run produces.
@@ -107,7 +114,16 @@ public:
   /// built from the same program and options produce identical results,
   /// whether they run sequentially or on concurrent threads (the basis of
   /// the parallel experiment pipeline's bit-identical guarantee).
-  /// \returns the accumulated results of the run.
+  ///
+  /// \returns the accumulated results, or a structured error:
+  ///  * ErrorCode::Trap when the VM trapped (invalid opcode, bad branch
+  ///    or call target, division by zero, stack overflow);
+  ///  * ErrorCode::Timeout when Options.TimeoutMs elapsed first.
+  /// A System that returned an error is spent; build a fresh one to retry.
+  Expected<SimulationResult> runChecked();
+
+  /// Fatal-on-error convenience wrapper around runChecked() for callers
+  /// with verified programs and no timeout, where failure is a bug.
   SimulationResult run();
 
   // Component access for tests and examples.
@@ -129,6 +145,10 @@ public:
 
 private:
   AcePlatform makePlatform();
+  /// Drives the VM/core loop to halt, trap, or timeout.
+  Status runLoop();
+  /// Harvests the result structures after a successful runLoop().
+  SimulationResult collectResult();
 
   SimulationOptions Options;
   std::unique_ptr<MemoryHierarchy> Hier;

@@ -24,24 +24,38 @@ std::optional<uint64_t> dynace::parseUnsignedInt(const char *Text) {
   return Value;
 }
 
-uint64_t dynace::envUnsignedOr(const char *Name, uint64_t Default,
-                               uint64_t Min, uint64_t Max) {
+Expected<uint64_t> dynace::envUnsignedChecked(const char *Name,
+                                              uint64_t Default, uint64_t Min,
+                                              uint64_t Max) {
   const char *Text = std::getenv(Name);
   if (!Text || *Text == '\0')
     return Default;
   std::optional<uint64_t> Value = parseUnsignedInt(Text);
   if (!Value) {
-    std::fprintf(stderr,
-                 "[dynace] fatal: %s='%s' is not a valid non-negative "
-                 "integer (plain decimal, no sign/suffix, <= %" PRIu64 ")\n",
-                 Name, Text, Max);
-    std::exit(2);
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s='%s' is not a valid non-negative integer (plain "
+                  "decimal, no sign/suffix, <= %" PRIu64 ")",
+                  Name, Text, Max);
+    return Status::error(ErrorCode::InvalidInput, Buf);
   }
   if (*Value < Min || *Value > Max) {
-    std::fprintf(stderr,
-                 "[dynace] fatal: %s=%" PRIu64 " is out of range; expected "
-                 "a value in [%" PRIu64 ", %" PRIu64 "]\n",
-                 Name, *Value, Min, Max);
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s=%" PRIu64 " is out of range; expected a value in "
+                  "[%" PRIu64 ", %" PRIu64 "]",
+                  Name, *Value, Min, Max);
+    return Status::error(ErrorCode::InvalidInput, Buf);
+  }
+  return *Value;
+}
+
+uint64_t dynace::envUnsignedOr(const char *Name, uint64_t Default,
+                               uint64_t Min, uint64_t Max) {
+  Expected<uint64_t> Value = envUnsignedChecked(Name, Default, Min, Max);
+  if (!Value) {
+    std::fprintf(stderr, "[dynace] fatal: %s\n",
+                 Value.status().message().c_str());
     std::exit(2);
   }
   return *Value;

@@ -6,17 +6,23 @@
 ///
 /// \file
 /// Strict parsing for the numeric DYNACE_* environment variables
-/// (DYNACE_INSTR_BUDGET, DYNACE_JOBS, ...). The previous strtoull/strtol
-/// readers silently accepted garbage — "abc" parsed as 0, "-4" wrapped to
-/// 2^64-4, and out-of-range values overflowed — turning a shell typo into a
-/// simulation with the wrong budget. These helpers reject anything that is
-/// not a plain non-negative decimal integer in the caller's stated range
-/// and abort with a clear message instead.
+/// (DYNACE_INSTR_BUDGET, DYNACE_JOBS, DYNACE_MAX_RETRIES, ...). The
+/// previous strtoull/strtol readers silently accepted garbage — "abc"
+/// parsed as 0, "-4" wrapped to 2^64-4, and out-of-range values overflowed
+/// — turning a shell typo into a simulation with the wrong budget.
+///
+/// envUnsignedChecked() is the structured core: it rejects anything that
+/// is not a plain non-negative decimal integer in the caller's stated
+/// range with an InvalidInput error. envUnsignedOr() wraps it for
+/// process-startup knobs, where a misread value should stop the run with a
+/// clear diagnostic rather than simulate with the wrong configuration.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNACE_SUPPORT_ENV_H
 #define DYNACE_SUPPORT_ENV_H
+
+#include "support/Status.h"
 
 #include <cstdint>
 #include <optional>
@@ -30,13 +36,20 @@ namespace dynace {
 ///          malformed, or exceeds uint64_t.
 std::optional<uint64_t> parseUnsignedInt(const char *Text);
 
-/// Reads environment variable \p Name as an unsigned integer.
+/// Reads environment variable \p Name as an unsigned integer, reporting
+/// problems as structured errors.
 ///
 /// Unset (or set to the empty string) yields \p Default, which is NOT
 /// range-checked — it may act as an out-of-band "unset" marker. A set
-/// value must parse per parseUnsignedInt() and lie in [\p Min, \p Max];
-/// anything else prints a fatal "[dynace] fatal: ..." diagnostic naming
-/// the variable, the offending value and the accepted range, then
+/// value must parse per parseUnsignedInt() and lie in [\p Min, \p Max].
+/// \returns the parsed value, \p Default, or an InvalidInput error naming
+///          the variable, the offending value and the accepted range.
+Expected<uint64_t> envUnsignedChecked(const char *Name, uint64_t Default,
+                                      uint64_t Min = 0,
+                                      uint64_t Max = UINT64_MAX);
+
+/// Fatal wrapper over envUnsignedChecked() for process-startup knobs: on
+/// error it prints the structured "[dynace] fatal: ..." diagnostic and
 /// terminates the process (exit code 2) rather than running a simulation
 /// with a silently misread knob.
 /// \returns the parsed value or \p Default.

@@ -1,0 +1,149 @@
+//===- support/FaultInjector.cpp ------------------------------------------==//
+
+#include "support/FaultInjector.h"
+
+#include "support/Env.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace dynace;
+
+const char *dynace::faultSiteName(FaultSite Site) {
+  switch (Site) {
+  case FaultSite::CacheRead:
+    return "cache.read";
+  case FaultSite::CacheWrite:
+    return "cache.write";
+  case FaultSite::CacheRename:
+    return "cache.rename";
+  case FaultSite::RunnerWorker:
+    return "runner.worker";
+  }
+  return "?";
+}
+
+namespace {
+
+/// \returns the site spelled \p Name, or nullopt.
+std::optional<FaultSite> siteByName(const std::string &Name) {
+  for (unsigned I = 0; I != kNumFaultSites; ++I) {
+    FaultSite S = static_cast<FaultSite>(I);
+    if (Name == faultSiteName(S))
+      return S;
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector *Inj = [] {
+    auto *I = new FaultInjector();
+    if (Status S = I->configureFromEnv(); !S) {
+      std::fprintf(stderr, "[dynace] fatal: DYNACE_FAULT_SPEC: %s\n",
+                   S.toString().c_str());
+      std::exit(2);
+    }
+    return I;
+  }();
+  return *Inj;
+}
+
+Status FaultInjector::configureFromEnv() {
+  return configure(std::getenv("DYNACE_FAULT_SPEC"));
+}
+
+Status FaultInjector::configure(const char *Spec) {
+  // Parse into a scratch rule set first; a malformed spec must not clear
+  // or half-install a plan.
+  Rule Parsed[kNumFaultSites];
+  bool Any = false;
+
+  std::string Text = Spec ? Spec : "";
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find(',', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Entry = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+
+    size_t C1 = Entry.find(':');
+    size_t C2 = C1 == std::string::npos ? std::string::npos
+                                        : Entry.find(':', C1 + 1);
+    if (C1 == std::string::npos || C2 == std::string::npos ||
+        Entry.find(':', C2 + 1) != std::string::npos)
+      return Status::error(ErrorCode::InvalidInput,
+                           "'" + Entry +
+                               "' is not of the form <site>:<rate>:<seed>");
+
+    std::string SiteName = Entry.substr(0, C1);
+    std::optional<FaultSite> Site = siteByName(SiteName);
+    if (!Site)
+      return Status::error(ErrorCode::InvalidInput,
+                           "unknown fault site '" + SiteName +
+                               "' (sites: cache.read, cache.write, "
+                               "cache.rename, runner.worker)");
+
+    std::optional<uint64_t> Rate =
+        parseUnsignedInt(Entry.substr(C1 + 1, C2 - C1 - 1).c_str());
+    if (!Rate || *Rate == 0)
+      return Status::error(ErrorCode::InvalidInput,
+                           "'" + Entry +
+                               "': rate must be a positive integer");
+    std::optional<uint64_t> Seed =
+        parseUnsignedInt(Entry.substr(C2 + 1).c_str());
+    if (!Seed)
+      return Status::error(ErrorCode::InvalidInput,
+                           "'" + Entry +
+                               "': seed must be a non-negative integer");
+
+    Rule &R = Parsed[static_cast<unsigned>(*Site)];
+    if (R.Active)
+      return Status::error(ErrorCode::InvalidInput,
+                           "duplicate rule for site '" + SiteName + "'");
+    R = {true, *Rate, *Seed};
+    Any = true;
+  }
+
+  // Publish: configuration must not race with arming (it runs at process
+  // startup or between test grids). The release store on Enabled orders
+  // the rule writes before any reader that observes the new flag.
+  Enabled.store(false, std::memory_order_release);
+  for (unsigned I = 0; I != kNumFaultSites; ++I) {
+    Rules[I] = Parsed[I];
+    Arms[I].store(0, std::memory_order_relaxed);
+    Fired[I].store(0, std::memory_order_relaxed);
+  }
+  Enabled.store(Any, std::memory_order_release);
+  return Status();
+}
+
+bool FaultInjector::shouldFail(FaultSite Site) {
+  if (!Enabled.load(std::memory_order_acquire))
+    return false;
+  unsigned I = static_cast<unsigned>(Site);
+  uint64_t N = Arms[I].fetch_add(1, std::memory_order_relaxed);
+  const Rule &R = Rules[I];
+  if (!R.Active || (N + R.Seed) % R.Rate != 0)
+    return false;
+  Fired[I].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Status FaultInjector::makeError(FaultSite Site) {
+  return Status::error(ErrorCode::Injected,
+                       std::string("injected fault at site ") +
+                           faultSiteName(Site));
+}
+
+uint64_t FaultInjector::armCount(FaultSite Site) const {
+  return Arms[static_cast<unsigned>(Site)].load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::firedCount(FaultSite Site) const {
+  return Fired[static_cast<unsigned>(Site)].load(std::memory_order_relaxed);
+}

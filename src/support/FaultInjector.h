@@ -1,0 +1,114 @@
+//===- support/FaultInjector.h - Deterministic fault injection --*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, spec-driven fault injection for exercising the recovery
+/// paths of the experiment pipeline on demand. Production code arms named
+/// sites (\c shouldFail()); whether an arming actually fails is decided by
+/// a fault plan parsed from the DYNACE_FAULT_SPEC environment variable:
+///
+///   DYNACE_FAULT_SPEC=<site>:<rate>:<seed>[,<site>:<rate>:<seed>...]
+///
+/// The \p N-th arming of a site (N counts from 0, process-wide) fails iff
+/// `(N + seed) % rate == 0`. The rule is a pure function of the arm index,
+/// so a fault plan is exactly reproducible run to run:
+///
+///  * rate 1 — every arming fails (exhausts retries: tests graceful
+///    degradation);
+///  * rate >= 2 — two consecutive armings never both fail, so one retry is
+///    guaranteed to get past the site (tests retry + bit-identical
+///    results); seed selects which armings fail.
+///
+/// Sites: `cache.read`, `cache.write`, `cache.rename` (ResultCache I/O)
+/// and `runner.worker` (ExperimentRunner per-cell worker entry). Malformed
+/// specs are rejected with a structured InvalidInput error (fatal at
+/// process startup, same strictness as support/Env).
+///
+/// With no spec configured, \c shouldFail() is a single relaxed atomic
+/// load — the injector costs nothing on the paths it guards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SUPPORT_FAULTINJECTOR_H
+#define DYNACE_SUPPORT_FAULTINJECTOR_H
+
+#include "support/Status.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace dynace {
+
+/// The named injection sites wired into the pipeline.
+enum class FaultSite : uint8_t {
+  CacheRead,    ///< ResultCache loadResult entry.
+  CacheWrite,   ///< ResultCache saveResult temp-file write.
+  CacheRename,  ///< ResultCache saveResult atomic publish rename.
+  RunnerWorker, ///< ExperimentRunner per-(benchmark, scheme) worker entry.
+};
+
+/// Number of distinct injection sites.
+inline constexpr unsigned kNumFaultSites = 4;
+
+/// \returns the spec/spelling name of \p Site (e.g. "cache.read").
+const char *faultSiteName(FaultSite Site);
+
+/// Process-wide deterministic fault injector.
+///
+/// All members are thread-safe: configuration swaps an immutable plan
+/// under a mutex; arming uses per-site atomic counters.
+class FaultInjector {
+public:
+  /// \returns the singleton, configured from DYNACE_FAULT_SPEC on first
+  ///          use (a malformed spec is fatal, exit code 2).
+  static FaultInjector &instance();
+
+  /// Parses and installs \p Spec (null or empty disables injection).
+  /// Counters are reset. Exposed for tests; production configuration goes
+  /// through the environment.
+  /// \returns InvalidInput when the spec is malformed (the previous plan
+  ///          stays installed).
+  Status configure(const char *Spec);
+
+  /// Re-reads DYNACE_FAULT_SPEC and installs it.
+  /// \returns the configure() status.
+  Status configureFromEnv();
+
+  /// Arms \p Site: bumps its arm counter and consults the plan.
+  /// \returns true when this arming must fail.
+  bool shouldFail(FaultSite Site);
+
+  /// \returns a ready-made Injected error naming \p Site.
+  static Status makeError(FaultSite Site);
+
+  /// \returns how many times \p Site was armed since the last configure().
+  uint64_t armCount(FaultSite Site) const;
+
+  /// \returns how many armings of \p Site fired since the last
+  ///          configure().
+  uint64_t firedCount(FaultSite Site) const;
+
+  /// True when any site has a rule installed.
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+private:
+  FaultInjector() = default;
+
+  struct Rule {
+    bool Active = false;
+    uint64_t Rate = 0;
+    uint64_t Seed = 0;
+  };
+
+  std::atomic<bool> Enabled{false};
+  Rule Rules[kNumFaultSites];
+  std::atomic<uint64_t> Arms[kNumFaultSites]{};
+  std::atomic<uint64_t> Fired[kNumFaultSites]{};
+};
+
+} // namespace dynace
+
+#endif // DYNACE_SUPPORT_FAULTINJECTOR_H

@@ -1,0 +1,21 @@
+//===- support/Status.cpp -------------------------------------------------==//
+
+#include "support/Status.h"
+
+using namespace dynace;
+
+const char *dynace::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::InvalidInput:
+    return "invalid-input";
+  case ErrorCode::Trap:
+    return "trap";
+  case ErrorCode::IoError:
+    return "io-error";
+  case ErrorCode::Timeout:
+    return "timeout";
+  case ErrorCode::Injected:
+    return "injected";
+  }
+  return "?";
+}

@@ -1,0 +1,157 @@
+//===- support/Status.h - Structured error handling -------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style structured error handling without exceptions: \c Status for
+/// operations that either succeed or fail with a classified error, and
+/// \c Expected<T> for operations that either produce a value or fail.
+///
+/// Errors carry an \c ErrorCode from a small fixed taxonomy plus a
+/// human-readable message. The taxonomy is what the fault-tolerant
+/// experiment pipeline dispatches on — e.g. a \c Timeout or \c Injected
+/// cell is retried, while the error text only ever reaches logs and the
+/// FAILED(<code>) cells of partially degraded report tables.
+///
+/// A default-constructed Status is success; \c Status::error() builds a
+/// failure. Both Status and Expected convert to bool contextually, true
+/// meaning success, so call sites read like the bool-returning APIs they
+/// replaced:
+///
+/// \code
+///   if (Status S = Prog.finalize(); !S)
+///     std::fprintf(stderr, "%s\n", S.toString().c_str());
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SUPPORT_STATUS_H
+#define DYNACE_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dynace {
+
+/// The project-wide error taxonomy. Every structured failure is one of
+/// these; recovery policy (retry, degrade, abort) keys off the code, never
+/// off message text.
+enum class ErrorCode : uint8_t {
+  InvalidInput, ///< Malformed program, option, spec, or serialized entry.
+  Trap,         ///< The interpreter trapped (invalid opcode, div-by-zero...).
+  IoError,      ///< A filesystem operation failed (open/write/rename).
+  Timeout,      ///< A watchdog deadline expired before the run finished.
+  Injected,     ///< A deterministic FaultInjector site fired.
+};
+
+/// \returns the stable short name of \p Code ("invalid-input", "trap",
+///          "io-error", "timeout", "injected") — used in FAILED(<code>)
+///          report cells and log lines.
+const char *errorCodeName(ErrorCode Code);
+
+/// Success, or a classified error with a message. Cheap to return by value
+/// (success carries no allocation).
+class [[nodiscard]] Status {
+public:
+  /// Success.
+  Status() = default;
+
+  /// Builds a failure carrying \p Code and \p Message.
+  /// \returns the error status.
+  static Status error(ErrorCode Code, std::string Message) {
+    Status S;
+    S.Err.emplace(ErrorState{Code, std::move(Message)});
+    return S;
+  }
+
+  /// \returns true when this status represents success.
+  bool ok() const { return !Err.has_value(); }
+
+  /// Contextual conversion: true = success (mirrors the bool APIs these
+  /// statuses replaced).
+  explicit operator bool() const { return ok(); }
+
+  /// \returns the error code; must not be called on a success status.
+  ErrorCode code() const {
+    assert(!ok() && "code() on a success Status");
+    return Err->Code;
+  }
+
+  /// \returns the error message ("" for success).
+  const std::string &message() const {
+    static const std::string Empty;
+    return ok() ? Empty : Err->Message;
+  }
+
+  /// \returns "ok" or "<code>: <message>".
+  std::string toString() const {
+    if (ok())
+      return "ok";
+    return std::string(errorCodeName(Err->Code)) + ": " + Err->Message;
+  }
+
+private:
+  struct ErrorState {
+    ErrorCode Code;
+    std::string Message;
+  };
+  std::optional<ErrorState> Err;
+};
+
+/// Either a value of type \p T or an error Status. Implicitly constructible
+/// from both, so functions can `return Value;` and
+/// `return Status::error(...);` symmetrically.
+template <typename T> class [[nodiscard]] Expected {
+public:
+  /// Success carrying \p Value.
+  Expected(T Value) : Value(std::move(Value)) {}
+
+  /// Failure; \p Error must not be a success status.
+  Expected(Status Error) : Err(std::move(Error)) {
+    assert(!Err.ok() && "Expected constructed from a success Status");
+  }
+
+  /// \returns true when a value is present.
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Value access; must not be called on an error.
+  T &get() {
+    assert(ok() && "get() on an errored Expected");
+    return *Value;
+  }
+  const T &get() const {
+    assert(ok() && "get() on an errored Expected");
+    return *Value;
+  }
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  /// \returns the carried error; must not be called on a success.
+  const Status &status() const {
+    assert(!ok() && "status() on a valued Expected");
+    return Err;
+  }
+
+  /// Moves the value out; must not be called on an error.
+  /// \returns the value.
+  T take() {
+    assert(ok() && "take() on an errored Expected");
+    return std::move(*Value);
+  }
+
+private:
+  std::optional<T> Value;
+  Status Err;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_SUPPORT_STATUS_H

@@ -27,7 +27,34 @@ void Interpreter::reset() {
   Frames.clear();
   InstrCount = 0;
   Halted = false;
+  Trap = TrapInfo();
   pushFrame(Prog.entry(), kNoReg);
+}
+
+const char *dynace::trapKindName(TrapKind Kind) {
+  switch (Kind) {
+  case TrapKind::None:
+    return "none";
+  case TrapKind::InvalidOpcode:
+    return "invalid-opcode";
+  case TrapKind::PcOutOfRange:
+    return "pc-out-of-range";
+  case TrapKind::BadCallTarget:
+    return "bad-call-target";
+  case TrapKind::DivideByZero:
+    return "divide-by-zero";
+  case TrapKind::StackOverflow:
+    return "stack-overflow";
+  }
+  return "unknown";
+}
+
+Interpreter::Status Interpreter::raiseTrap(TrapKind Kind, MethodId Id,
+                                           uint32_t PC) {
+  Trap.Kind = Kind;
+  Trap.PC = Prog.method(Id).pcOf(PC);
+  Trap.Method = Id;
+  return Status::Trapped;
 }
 
 uint64_t Interpreter::readWord(uint64_t ByteAddr) const {
@@ -88,11 +115,16 @@ bool Interpreter::popFrame(uint64_t RetValue) {
 Interpreter::Status Interpreter::step(DynInst &Out) {
   if (Halted)
     return Status::Halted;
+  if (trapped())
+    return Status::Trapped;
 
   Frame &F = Frames.back();
   const Method &M = Prog.method(F.Id);
-  assert(F.PC < M.Code.size() && "PC out of range (verifier bug?)");
+  if (F.PC >= M.Code.size())
+    return raiseTrap(TrapKind::PcOutOfRange, F.Id, F.PC);
   const Instruction &In = M.Code[F.PC];
+  if (static_cast<unsigned>(In.Op) > static_cast<unsigned>(Opcode::Halt))
+    return raiseTrap(TrapKind::InvalidOpcode, F.Id, F.PC);
   uint64_t *R = F.Regs;
 
   Out = DynInst();
@@ -126,16 +158,20 @@ Interpreter::Status Interpreter::step(DynInst &Out) {
     break;
   case Opcode::Div: {
     int64_t B = static_cast<int64_t>(R[In.Src2]);
-    R[In.Dst] = B == 0 ? 0
-                       : static_cast<uint64_t>(
-                             static_cast<int64_t>(R[In.Src1]) / B);
+    if (B == 0) {
+      --InstrCount; // The trapping instruction does not retire.
+      return raiseTrap(TrapKind::DivideByZero, F.Id, F.PC);
+    }
+    R[In.Dst] = static_cast<uint64_t>(static_cast<int64_t>(R[In.Src1]) / B);
     break;
   }
   case Opcode::Rem: {
     int64_t B = static_cast<int64_t>(R[In.Src2]);
-    R[In.Dst] = B == 0 ? 0
-                       : static_cast<uint64_t>(
-                             static_cast<int64_t>(R[In.Src1]) % B);
+    if (B == 0) {
+      --InstrCount;
+      return raiseTrap(TrapKind::DivideByZero, F.Id, F.PC);
+    }
+    R[In.Dst] = static_cast<uint64_t>(static_cast<int64_t>(R[In.Src1]) % B);
     break;
   }
   case Opcode::And:
@@ -222,6 +258,14 @@ Interpreter::Status Interpreter::step(DynInst &Out) {
     break;
   case Opcode::Call: {
     MethodId Callee = static_cast<MethodId>(In.Imm);
+    if (Callee >= Prog.numMethods()) {
+      --InstrCount;
+      return raiseTrap(TrapKind::BadCallTarget, F.Id, F.PC);
+    }
+    if (Frames.size() >= kMaxCallDepth) {
+      --InstrCount;
+      return raiseTrap(TrapKind::StackOverflow, F.Id, F.PC);
+    }
     Out.Target = static_cast<uint32_t>(Prog.method(Callee).pcOf(0));
     // Advance the caller past the call before pushing the callee frame.
     F.PC = NextPC;
@@ -268,7 +312,7 @@ Interpreter::Status Interpreter::step(DynInst &Out) {
 }
 
 size_t Interpreter::stepBatch(DynInst *Buf, size_t N) {
-  if (Halted)
+  if (Halted || trapped())
     return 0;
 
   // Hot state hoisted out of the dispatch loop. The frame/method pointers
@@ -276,6 +320,7 @@ size_t Interpreter::stepBatch(DynInst *Buf, size_t N) {
   // can reallocate the Frames vector).
   Frame *F = nullptr;
   const Instruction *Code = nullptr;
+  uint32_t CodeSize = 0;
   uint64_t CodeBase = 0;
   uint64_t *R = nullptr;
   uint32_t PC = 0;
@@ -284,6 +329,7 @@ size_t Interpreter::stepBatch(DynInst *Buf, size_t N) {
     F = &Frames.back();
     const Method &M = Prog.method(F->Id);
     Code = M.Code.data();
+    CodeSize = static_cast<uint32_t>(M.Code.size());
     CodeBase = M.CodeBase;
     R = F->Regs;
     PC = F->PC;
@@ -313,6 +359,7 @@ size_t Interpreter::stepBatch(DynInst *Buf, size_t N) {
   const Instruction *In;
   DynInst *Out;
   uint32_t NextPC;
+  TrapKind TrapK = TrapKind::None;
 
   // Threaded dispatch (GNU labels-as-values; GCC and Clang are the
   // supported toolchains): every opcode body ends by jumping straight to
@@ -339,9 +386,15 @@ size_t Interpreter::stepBatch(DynInst *Buf, size_t N) {
     PC = NextPC;                                                             \
     if (Filled == N)                                                         \
       goto BatchDone;                                                        \
-    assert(PC < Prog.method(F->Id).Code.size() &&                            \
-           "PC out of range (verifier bug?)");                               \
+    if (PC >= CodeSize) {                                                    \
+      TrapK = TrapKind::PcOutOfRange;                                        \
+      goto BatchTrap;                                                        \
+    }                                                                        \
     In = &Code[PC];                                                          \
+    if (static_cast<unsigned>(In->Op) > static_cast<unsigned>(Opcode::Halt)) {\
+      TrapK = TrapKind::InvalidOpcode;                                       \
+      goto BatchTrap;                                                        \
+    }                                                                        \
     if ((BoundaryMask >> static_cast<unsigned>(In->Op)) & 1)                 \
       goto BatchDone;                                                        \
     Out = &Buf[Filled++];                                                    \
@@ -376,16 +429,24 @@ Op_Mul:
   DYNACE_NEXT();
 Op_Div: {
   int64_t B = static_cast<int64_t>(R[In->Src2]);
-  R[In->Dst] =
-      B == 0 ? 0
-             : static_cast<uint64_t>(static_cast<int64_t>(R[In->Src1]) / B);
+  if (B == 0) {
+    TrapK = TrapKind::DivideByZero;
+    --Filled; // The trapping instruction does not retire.
+    --Count;
+    goto BatchTrap;
+  }
+  R[In->Dst] = static_cast<uint64_t>(static_cast<int64_t>(R[In->Src1]) / B);
   DYNACE_NEXT();
 }
 Op_Rem: {
   int64_t B = static_cast<int64_t>(R[In->Src2]);
-  R[In->Dst] =
-      B == 0 ? 0
-             : static_cast<uint64_t>(static_cast<int64_t>(R[In->Src1]) % B);
+  if (B == 0) {
+    TrapK = TrapKind::DivideByZero;
+    --Filled;
+    --Count;
+    goto BatchTrap;
+  }
+  R[In->Dst] = static_cast<uint64_t>(static_cast<int64_t>(R[In->Src1]) % B);
   DYNACE_NEXT();
 }
 Op_And:
@@ -471,6 +532,13 @@ Op_Jmp:
 Op_Call: {
   // Only reached without a listener; no method-entry event fires.
   MethodId Callee = static_cast<MethodId>(In->Imm);
+  if (Callee >= Prog.numMethods() || Frames.size() >= kMaxCallDepth) {
+    TrapK = Callee >= Prog.numMethods() ? TrapKind::BadCallTarget
+                                        : TrapKind::StackOverflow;
+    --Filled;
+    --Count;
+    goto BatchTrap;
+  }
   F->PC = NextPC;
   InstrCount = Count; // pushFrame snapshots the entry count.
   unsigned NumArgs = In->Src2 == kNoReg ? 0 : In->Src2;
@@ -515,6 +583,12 @@ Op_Halt:
 
 #undef DYNACE_NEXT
 
+BatchTrap:
+  F->PC = PC;
+  InstrCount = Count;
+  raiseTrap(TrapK, F->Id, PC);
+  return Filled;
+
 BatchDone:
   F->PC = PC;
   InstrCount = Count;
@@ -525,7 +599,8 @@ uint64_t Interpreter::run(uint64_t MaxInstructions) {
   DynInst Scratch;
   uint64_t Executed = 0;
   while (Executed < MaxInstructions && !Halted) {
-    step(Scratch);
+    if (step(Scratch) == Status::Trapped)
+      break; // The trapping instruction did not execute.
     ++Executed;
   }
   return Executed;

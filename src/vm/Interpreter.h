@@ -11,6 +11,17 @@
 /// boundary Jikes RVM instruments for hotspot detection and, in the paper's
 /// framework, for tuning/configuration code.
 ///
+/// Malformed execution is a structured trap, never UB or an assert: an
+/// invalid opcode byte, a PC that leaves the method's code (bad branch
+/// target), a call to a nonexistent method, integer division by zero, or
+/// runaway recursion stops the machine with Status::Trapped and a TrapInfo
+/// describing what happened where. The trapping instruction does not
+/// retire (the instruction count excludes it), and the machine stays
+/// trapped until reset(). The program verifier rejects most of these
+/// statically; the traps are the defense-in-depth backstop that turns a
+/// verifier escape or in-memory corruption into a reportable, retryable
+/// error instead of undefined behavior.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNACE_VM_INTERPRETER_H
@@ -50,10 +61,34 @@ public:
   }
 };
 
+/// What stopped a trapped execution (see Interpreter::trapInfo()).
+enum class TrapKind : uint8_t {
+  None,          ///< Not trapped.
+  InvalidOpcode, ///< Opcode byte outside the defined ISA.
+  PcOutOfRange,  ///< PC left the method's code (bad branch target).
+  BadCallTarget, ///< Call to a method id outside the program.
+  DivideByZero,  ///< Integer Div/Rem with a zero divisor.
+  StackOverflow, ///< Call depth exceeded kMaxCallDepth.
+};
+
+/// \returns a stable human-readable name for \p Kind.
+const char *trapKindName(TrapKind Kind);
+
+/// Where and why the machine trapped.
+struct TrapInfo {
+  TrapKind Kind = TrapKind::None;
+  uint64_t PC = 0;     ///< Byte address of the faulting instruction.
+  MethodId Method = 0; ///< Method executing at the trap.
+};
+
+/// Hard bound on interpreter call depth; exceeding it traps with
+/// StackOverflow instead of growing the frame stack without limit.
+inline constexpr size_t kMaxCallDepth = 1 << 16;
+
 /// Executes a finalized Program one instruction at a time.
 class Interpreter {
 public:
-  enum class Status : uint8_t { Running, Halted };
+  enum class Status : uint8_t { Running, Halted, Trapped };
 
   /// \param Prog must outlive the interpreter and be finalized.
   /// \param DynamicHeapWords extra heap words available to Alloc.
@@ -68,7 +103,9 @@ public:
 
   /// Executes one instruction. \p Out receives the dynamic instruction
   /// event. \returns Halted once the program executed Halt or returned from
-  /// the entry method; further calls keep returning Halted.
+  /// the entry method (further calls keep returning Halted), or Trapped
+  /// when the instruction faulted (see trapInfo(); \p Out is not filled
+  /// and the instruction does not retire).
   Status step(DynInst &Out);
 
   /// Batched execution: fills \p Buf with up to \p N dynamic instructions
@@ -99,6 +136,13 @@ public:
 
   /// True once the program halted.
   bool isHalted() const { return Halted; }
+
+  /// True once execution trapped; cleared by reset().
+  bool trapped() const { return Trap.Kind != TrapKind::None; }
+
+  /// Details of the trap that stopped the machine (Kind == None when not
+  /// trapped).
+  const TrapInfo &trapInfo() const { return Trap; }
 
   /// Current call depth (frames on the stack).
   size_t callDepth() const { return Frames.size(); }
@@ -131,6 +175,10 @@ private:
   }
 
   bool evalCond(CondKind Cond, int64_t A, int64_t B) const;
+  /// Records a trap at instruction index \p PC of method \p Id and puts
+  /// the machine into the trapped state.
+  /// \returns Status::Trapped for tail-returning from step().
+  Status raiseTrap(TrapKind Kind, MethodId Id, uint32_t PC);
   void pushFrame(MethodId Id, uint8_t RetReg);
   /// Pops the top frame; fires onMethodExit. \returns false when the entry
   /// frame was popped (program end).
@@ -144,6 +192,7 @@ private:
   VmListener *Listener = nullptr;
   uint64_t InstrCount = 0;
   bool Halted = false;
+  TrapInfo Trap;
   uint64_t DynamicHeapWords;
 };
 

@@ -425,10 +425,9 @@ GeneratedWorkload WorkloadGenerator::generate(const WorkloadProfile &P) {
   Prog.setEntry(MainId);
   W.EstimatedInstructions = MainEst;
 
-  std::string Error;
-  if (!Prog.finalize(&Error)) {
+  if (Status S = Prog.finalize(); !S) {
     std::fprintf(stderr, "workload generator produced invalid program: %s\n",
-                 Error.c_str());
+                 S.toString().c_str());
     std::abort();
   }
   return W;

@@ -1,0 +1,363 @@
+//===- tests/fault_injection_test.cpp - Deterministic fault injection -----==//
+//
+// Exercises the fault-tolerant pipeline end to end: DYNACE_FAULT_SPEC
+// parsing, the deterministic (N + seed) % rate firing rule, retry with
+// backoff recovering bit-identically from injected faults at every site,
+// graceful degradation (FAILED cells, completed grid) once retries are
+// exhausted, the wall-clock watchdog, and trap surfacing through
+// System::runChecked(). The injector is a process singleton, so every test
+// resets it to the empty plan on teardown.
+//
+//===----------------------------------------------------------------------==//
+
+#include "isa/MethodBuilder.h"
+#include "sim/ExperimentRunner.h"
+#include "sim/Reports.h"
+#include "sim/ResultCache.h"
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace dynace;
+
+namespace {
+
+/// A unique fresh directory under the test temp root.
+std::string freshDir(const std::string &Tag) {
+  std::string Dir = ::testing::TempDir() + "dynace_" + Tag + "_" +
+                    std::to_string(::getpid());
+  ::mkdir(Dir.c_str(), 0755);
+  return Dir;
+}
+
+/// Options small enough for sub-second simulations.
+SimulationOptions quickOptions() {
+  SimulationOptions Opts;
+  Opts.MaxInstructions = 150000;
+  return Opts;
+}
+
+/// Every test starts and ends with injection disabled and the pipeline env
+/// knobs unset, so tests cannot leak a fault plan into each other.
+class FaultInjection : public ::testing::Test {
+protected:
+  void SetUp() override { clean(); }
+  void TearDown() override { clean(); }
+
+  static void clean() {
+    ASSERT_TRUE(FaultInjector::instance().configure("").ok());
+    unsetenv("DYNACE_CACHE_DIR");
+    unsetenv("DYNACE_MAX_RETRIES");
+    unsetenv("DYNACE_RUN_TIMEOUT_MS");
+    unsetenv("DYNACE_FAULT_SPEC");
+  }
+};
+
+} // namespace
+
+// ------------------------------------------------------------ Spec parsing
+
+TEST_F(FaultInjection, RejectsMalformedSpecs) {
+  FaultInjector &FI = FaultInjector::instance();
+  const char *Bad[] = {
+      "bogus",                             // no colons
+      "cache.read",                        // missing rate and seed
+      "cache.read:1",                      // missing seed
+      "cache.read:1:2:3",                  // too many fields
+      "nope.site:1:0",                     // unknown site
+      "cache.read:0:0",                    // zero rate
+      "cache.read:x:0",                    // non-numeric rate
+      "cache.read:1:x",                    // non-numeric seed
+      "cache.read:1:0,cache.read:2:1",     // duplicate site
+      "cache.read:1:0,,cache.write:1:0",   // empty entry
+  };
+  for (const char *Spec : Bad) {
+    Status S = FI.configure(Spec);
+    EXPECT_FALSE(S.ok()) << "accepted: " << Spec;
+    EXPECT_EQ(S.code(), ErrorCode::InvalidInput) << Spec;
+  }
+}
+
+TEST_F(FaultInjection, MalformedSpecKeepsThePreviousPlan) {
+  FaultInjector &FI = FaultInjector::instance();
+  ASSERT_TRUE(FI.configure("cache.read:1:0").ok());
+  ASSERT_TRUE(FI.enabled());
+  EXPECT_FALSE(FI.configure("garbage").ok());
+  // The old plan is still live: the site still fires.
+  EXPECT_TRUE(FI.enabled());
+  EXPECT_TRUE(FI.shouldFail(FaultSite::CacheRead));
+}
+
+TEST_F(FaultInjection, AcceptsValidSpecsAndDisablesOnEmpty) {
+  FaultInjector &FI = FaultInjector::instance();
+  EXPECT_TRUE(FI.configure(nullptr).ok());
+  EXPECT_FALSE(FI.enabled());
+  EXPECT_TRUE(FI.configure("").ok());
+  EXPECT_FALSE(FI.enabled());
+  EXPECT_TRUE(
+      FI.configure("cache.read:3:1,cache.write:2:0,cache.rename:5:4,"
+                   "runner.worker:7:6")
+          .ok());
+  EXPECT_TRUE(FI.enabled());
+  // Unconfigured never fires; empty spec disables again.
+  EXPECT_TRUE(FI.configure("").ok());
+  EXPECT_FALSE(FI.shouldFail(FaultSite::CacheRead));
+}
+
+TEST_F(FaultInjection, ConfigureFromEnvReadsTheSpec) {
+  FaultInjector &FI = FaultInjector::instance();
+  ASSERT_EQ(setenv("DYNACE_FAULT_SPEC", "cache.rename:5:0", 1), 0);
+  EXPECT_TRUE(FI.configureFromEnv().ok());
+  EXPECT_TRUE(FI.enabled());
+  unsetenv("DYNACE_FAULT_SPEC");
+  EXPECT_TRUE(FI.configureFromEnv().ok());
+  EXPECT_FALSE(FI.enabled());
+}
+
+TEST_F(FaultInjection, SiteNamesRoundTrip) {
+  EXPECT_STREQ(faultSiteName(FaultSite::CacheRead), "cache.read");
+  EXPECT_STREQ(faultSiteName(FaultSite::CacheWrite), "cache.write");
+  EXPECT_STREQ(faultSiteName(FaultSite::CacheRename), "cache.rename");
+  EXPECT_STREQ(faultSiteName(FaultSite::RunnerWorker), "runner.worker");
+}
+
+TEST_F(FaultInjection, MakeErrorIsClassifiedAsInjected) {
+  Status S = FaultInjector::makeError(FaultSite::RunnerWorker);
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::Injected);
+  EXPECT_NE(S.message().find("runner.worker"), std::string::npos);
+}
+
+// ------------------------------------------------------------- Firing rule
+
+TEST_F(FaultInjection, FiringPatternIsAPureFunctionOfTheArmIndex) {
+  FaultInjector &FI = FaultInjector::instance();
+  ASSERT_TRUE(FI.configure("cache.write:3:2").ok());
+  for (uint64_t N = 0; N != 9; ++N)
+    EXPECT_EQ(FI.shouldFail(FaultSite::CacheWrite), (N + 2) % 3 == 0)
+        << "arm " << N;
+  EXPECT_EQ(FI.armCount(FaultSite::CacheWrite), 9u);
+  EXPECT_EQ(FI.firedCount(FaultSite::CacheWrite), 3u);
+  // A site with no rule never fires but still counts its armings.
+  EXPECT_FALSE(FI.shouldFail(FaultSite::CacheRead));
+  EXPECT_EQ(FI.armCount(FaultSite::CacheRead), 1u);
+  EXPECT_EQ(FI.firedCount(FaultSite::CacheRead), 0u);
+  // Reconfiguring resets the counters: the same plan replays identically.
+  ASSERT_TRUE(FI.configure("cache.write:3:2").ok());
+  EXPECT_EQ(FI.armCount(FaultSite::CacheWrite), 0u);
+  for (uint64_t N = 0; N != 9; ++N)
+    EXPECT_EQ(FI.shouldFail(FaultSite::CacheWrite), (N + 2) % 3 == 0);
+}
+
+TEST_F(FaultInjection, RateTwoNeverFiresTwiceInARow) {
+  // The guarantee the bit-identical retry tests lean on: at rate >= 2 a
+  // failed attempt's immediate retry always gets through.
+  FaultInjector &FI = FaultInjector::instance();
+  ASSERT_TRUE(FI.configure("runner.worker:2:0").ok());
+  bool Prev = false;
+  for (int N = 0; N != 16; ++N) {
+    bool Fired = FI.shouldFail(FaultSite::RunnerWorker);
+    EXPECT_FALSE(Prev && Fired) << "consecutive failures at arm " << N;
+    Prev = Fired;
+  }
+  EXPECT_EQ(FI.firedCount(FaultSite::RunnerWorker), 8u);
+}
+
+// ------------------------------------- Retry recovery across all sites
+
+TEST_F(FaultInjection, RetriedWorkerFaultsYieldBitIdenticalResults) {
+  const WorkloadProfile &P = specjvm98Profiles()[0];
+  ExperimentRunner Golden(quickOptions());
+  std::vector<BenchmarkRun> G = Golden.runAll({P}, /*Jobs=*/1);
+  ASSERT_EQ(G.size(), 1u);
+  ASSERT_TRUE(G[0].complete());
+
+  FaultInjector &FI = FaultInjector::instance();
+  ASSERT_TRUE(FI.configure("runner.worker:2:0").ok());
+  ExperimentRunner Faulty(quickOptions());
+  // Jobs=1 keeps the arming order serial: each cell's first attempt fires
+  // (even arm) and its retry succeeds (odd arm).
+  std::vector<BenchmarkRun> F = Faulty.runAll({P}, /*Jobs=*/1);
+  EXPECT_EQ(FI.firedCount(FaultSite::RunnerWorker), 3u); // One per cell.
+  ASSERT_TRUE(FI.configure("").ok());
+
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_TRUE(F[0].complete());
+  const CellOutcome *Outcomes[] = {&F[0].BaselineOutcome, &F[0].BbvOutcome,
+                                   &F[0].HotspotOutcome};
+  for (const CellOutcome *O : Outcomes) {
+    EXPECT_FALSE(O->Failed);
+    EXPECT_EQ(O->Attempts, 2u) << "first attempt injected, retry clean";
+    EXPECT_EQ(O->label(), "ok");
+  }
+  // The recovered grid is bit-identical to the undisturbed one.
+  EXPECT_EQ(serializeResult(F[0].Baseline), serializeResult(G[0].Baseline));
+  EXPECT_EQ(serializeResult(F[0].Bbv), serializeResult(G[0].Bbv));
+  EXPECT_EQ(serializeResult(F[0].Hotspot), serializeResult(G[0].Hotspot));
+}
+
+TEST_F(FaultInjection, CacheSiteFaultsDegradeToMissAndStayBitIdentical) {
+  const WorkloadProfile &P = specjvm98Profiles()[0];
+  ExperimentRunner Golden(quickOptions());
+  std::string GoldenBytes =
+      serializeResult(Golden.runScheme(P, Scheme::Baseline));
+
+  FaultInjector &FI = FaultInjector::instance();
+  const char *Sites[] = {"cache.read", "cache.write", "cache.rename"};
+  const FaultSite SiteIds[] = {FaultSite::CacheRead, FaultSite::CacheWrite,
+                               FaultSite::CacheRename};
+  for (int I = 0; I != 3; ++I) {
+    std::string Dir = freshDir(std::string("site_") + std::to_string(I));
+    ASSERT_EQ(setenv("DYNACE_CACHE_DIR", Dir.c_str(), 1), 0);
+    ASSERT_TRUE(
+        FI.configure((std::string(Sites[I]) + ":2:0").c_str()).ok());
+
+    ExperimentRunner Runner(quickOptions());
+    SimulationResult R = Runner.runScheme(P, Scheme::Baseline);
+    // The site fired at least once, yet the pipeline degraded gracefully
+    // (read fault -> miss, write/rename fault -> unpublished) and the
+    // result is still bit-identical.
+    EXPECT_GE(FI.firedCount(SiteIds[I]), 1u) << Sites[I];
+    EXPECT_EQ(serializeResult(R), GoldenBytes) << Sites[I];
+    ASSERT_EQ(Runner.stats().size(), 1u);
+    EXPECT_FALSE(Runner.stats()[0].Failed) << Sites[I];
+    EXPECT_FALSE(Runner.stats()[0].CacheHit) << Sites[I];
+
+    ASSERT_TRUE(FI.configure("").ok());
+    unsetenv("DYNACE_CACHE_DIR");
+  }
+}
+
+// -------------------------------------------------- Graceful degradation
+
+TEST_F(FaultInjection, ExhaustedRetriesFailTheCellButCompleteTheGrid) {
+  std::vector<WorkloadProfile> Profiles = {specjvm98Profiles()[0],
+                                           specjvm98Profiles()[1]};
+  FaultInjector &FI = FaultInjector::instance();
+  ASSERT_TRUE(FI.configure("runner.worker:1:0").ok()); // Every attempt fails.
+
+  ExperimentRunner Runner(quickOptions());
+  std::vector<BenchmarkRun> Runs = Runner.runAll(Profiles, /*Jobs=*/2);
+  ASSERT_TRUE(FI.configure("").ok());
+
+  // The grid completed — no abort, every cell present, in input order.
+  ASSERT_EQ(Runs.size(), 2u);
+  for (size_t I = 0; I != Runs.size(); ++I) {
+    EXPECT_EQ(Runs[I].Name, Profiles[I].Name);
+    EXPECT_FALSE(Runs[I].complete());
+    EXPECT_EQ(Runs[I].failureLabel(), "FAILED(injected)");
+    const CellOutcome *Outcomes[] = {&Runs[I].BaselineOutcome,
+                                     &Runs[I].BbvOutcome,
+                                     &Runs[I].HotspotOutcome};
+    const SimulationResult *Results[] = {&Runs[I].Baseline, &Runs[I].Bbv,
+                                         &Runs[I].Hotspot};
+    for (int S = 0; S != 3; ++S) {
+      EXPECT_TRUE(Outcomes[S]->Failed);
+      EXPECT_EQ(Outcomes[S]->Code, ErrorCode::Injected);
+      EXPECT_EQ(Outcomes[S]->Attempts, 3u); // 1 + DYNACE_MAX_RETRIES default.
+      EXPECT_EQ(Results[S]->Instructions, 0u); // Empty result, scheme set.
+      EXPECT_EQ(Results[S]->SchemeKind,
+                static_cast<Scheme>(S)); // Baseline, Bbv, Hotspot order.
+    }
+  }
+
+  // Accounting and reports degrade instead of lying: stats carry the
+  // failure, printRunStats renders FAILED(injected) cells and a failure
+  // total, and the paper tables mark the benchmark rather than crash.
+  std::vector<RunStats> Stats = Runner.stats();
+  ASSERT_EQ(Stats.size(), 6u);
+  for (const RunStats &S : Stats) {
+    EXPECT_TRUE(S.Failed);
+    EXPECT_EQ(S.Code, ErrorCode::Injected);
+    EXPECT_EQ(S.Attempts, 3u);
+  }
+  std::ostringstream OS;
+  printRunStats(OS, Stats);
+  EXPECT_NE(OS.str().find("FAILED(injected)"), std::string::npos);
+  EXPECT_NE(OS.str().find("6 failed"), std::string::npos);
+  std::ostringstream Tables;
+  printTable5(Tables, Runs);
+  printFigure3(Tables, Runs);
+  printFigure4(Tables, Runs);
+  EXPECT_NE(Tables.str().find("FAILED(injected)"), std::string::npos);
+}
+
+TEST_F(FaultInjection, MaxRetriesEnvBoundsTheAttempts) {
+  ASSERT_EQ(setenv("DYNACE_MAX_RETRIES", "0", 1), 0);
+  FaultInjector &FI = FaultInjector::instance();
+  ASSERT_TRUE(FI.configure("runner.worker:1:0").ok());
+
+  ExperimentRunner Runner(quickOptions());
+  std::pair<SimulationResult, CellOutcome> Cell =
+      Runner.runSchemeChecked(specjvm98Profiles()[0], Scheme::Baseline);
+  ASSERT_TRUE(FI.configure("").ok());
+  unsetenv("DYNACE_MAX_RETRIES");
+
+  EXPECT_TRUE(Cell.second.Failed);
+  EXPECT_EQ(Cell.second.Attempts, 1u); // No retries allowed.
+  EXPECT_EQ(Cell.second.Code, ErrorCode::Injected);
+}
+
+// ------------------------------------------------- Watchdog and VM traps
+
+namespace {
+
+/// A finalized program that never halts (pure compute loop).
+Program infiniteLoopProgram() {
+  Program P;
+  MethodBuilder B("spin");
+  B.iconst(1, 0);
+  MethodBuilder::Label Top = B.newLabel();
+  B.bind(Top);
+  B.addi(1, 1, 1);
+  B.jmp(Top);
+  P.setEntry(P.addMethod(B.take()));
+  Status S = P.finalize();
+  EXPECT_TRUE(S) << S.toString();
+  return P;
+}
+
+/// A finalized program that divides by zero after a few instructions.
+Program divByZeroProgram() {
+  Program P;
+  MethodBuilder B("boom");
+  B.iconst(1, 7);
+  B.iconst(2, 0);
+  B.div(3, 1, 2);
+  B.halt();
+  P.setEntry(P.addMethod(B.take()));
+  Status S = P.finalize();
+  EXPECT_TRUE(S) << S.toString();
+  return P;
+}
+
+} // namespace
+
+TEST_F(FaultInjection, WatchdogStopsRunawayRunsWithTimeout) {
+  Program P = infiniteLoopProgram();
+  SimulationOptions Opts;
+  Opts.TimeoutMs = 30; // MaxInstructions = 0: only the watchdog can stop it.
+  System Sys(P, Opts);
+  Expected<SimulationResult> E = Sys.runChecked();
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.status().code(), ErrorCode::Timeout);
+  EXPECT_NE(E.status().message().find("exceeded"), std::string::npos);
+}
+
+TEST_F(FaultInjection, VmTrapSurfacesAsStructuredError) {
+  Program P = divByZeroProgram();
+  System Sys(P, SimulationOptions());
+  Expected<SimulationResult> E = Sys.runChecked();
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.status().code(), ErrorCode::Trap);
+  EXPECT_NE(E.status().message().find("divide-by-zero"), std::string::npos);
+}

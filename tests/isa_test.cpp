@@ -201,9 +201,10 @@ TEST(Program, AddGlobalAssignsDisjointRegions) {
 
 TEST(Program, RejectsEmptyProgram) {
   Program P;
-  std::string Err;
-  EXPECT_FALSE(P.finalize(&Err));
-  EXPECT_NE(Err.find("no methods"), std::string::npos);
+  Status S = P.finalize();
+  EXPECT_FALSE(S);
+  EXPECT_EQ(S.code(), ErrorCode::InvalidInput);
+  EXPECT_NE(S.message().find("no methods"), std::string::npos);
 }
 
 TEST(Program, RejectsBranchTargetOutOfRange) {
@@ -218,9 +219,10 @@ TEST(Program, RejectsBranchTargetOutOfRange) {
   Halt.Op = Opcode::Halt;
   M.Code.push_back(Halt);
   P.addMethod(std::move(M));
-  std::string Err;
-  EXPECT_FALSE(P.finalize(&Err));
-  EXPECT_NE(Err.find("branch target"), std::string::npos);
+  Status S = P.finalize();
+  EXPECT_FALSE(S);
+  EXPECT_EQ(S.code(), ErrorCode::InvalidInput);
+  EXPECT_NE(S.message().find("branch target"), std::string::npos);
 }
 
 TEST(Program, RejectsCallTargetOutOfRange) {
@@ -229,9 +231,10 @@ TEST(Program, RejectsCallTargetOutOfRange) {
   B.call(1, /*Callee=*/3);
   B.ret(1);
   P.addMethod(B.take());
-  std::string Err;
-  EXPECT_FALSE(P.finalize(&Err));
-  EXPECT_NE(Err.find("call target"), std::string::npos);
+  Status S = P.finalize();
+  EXPECT_FALSE(S);
+  EXPECT_EQ(S.code(), ErrorCode::InvalidInput);
+  EXPECT_NE(S.message().find("call target"), std::string::npos);
 }
 
 TEST(Program, RejectsRegisterOutOfRange) {
@@ -247,9 +250,10 @@ TEST(Program, RejectsRegisterOutOfRange) {
   Halt.Op = Opcode::Halt;
   M.Code.push_back(Halt);
   P.addMethod(std::move(M));
-  std::string Err;
-  EXPECT_FALSE(P.finalize(&Err));
-  EXPECT_NE(Err.find("register"), std::string::npos);
+  Status S = P.finalize();
+  EXPECT_FALSE(S);
+  EXPECT_EQ(S.code(), ErrorCode::InvalidInput);
+  EXPECT_NE(S.message().find("register"), std::string::npos);
 }
 
 TEST(Program, RejectsMissingTerminator) {
@@ -261,9 +265,10 @@ TEST(Program, RejectsMissingTerminator) {
   In.Dst = 0;
   M.Code.push_back(In);
   P.addMethod(std::move(M));
-  std::string Err;
-  EXPECT_FALSE(P.finalize(&Err));
-  EXPECT_NE(Err.find("ret/halt/jmp"), std::string::npos);
+  Status S = P.finalize();
+  EXPECT_FALSE(S);
+  EXPECT_EQ(S.code(), ErrorCode::InvalidInput);
+  EXPECT_NE(S.message().find("ret/halt/jmp"), std::string::npos);
 }
 
 TEST(Program, RejectsBadCallArgumentWindow) {
@@ -273,18 +278,20 @@ TEST(Program, RejectsBadCallArgumentWindow) {
   B.call(1, 0, /*FirstArg=*/30, /*NumArgs=*/3);
   B.ret(1);
   P.addMethod(B.take());
-  std::string Err;
-  EXPECT_FALSE(P.finalize(&Err));
-  EXPECT_NE(Err.find("argument window"), std::string::npos);
+  Status S = P.finalize();
+  EXPECT_FALSE(S);
+  EXPECT_EQ(S.code(), ErrorCode::InvalidInput);
+  EXPECT_NE(S.message().find("argument window"), std::string::npos);
 }
 
 TEST(Program, RejectsEntryOutOfRange) {
   Program P;
   P.addMethod(makeRetMethod("a"));
   P.setEntry(7);
-  std::string Err;
-  EXPECT_FALSE(P.finalize(&Err));
-  EXPECT_NE(Err.find("entry"), std::string::npos);
+  Status S = P.finalize();
+  EXPECT_FALSE(S);
+  EXPECT_EQ(S.code(), ErrorCode::InvalidInput);
+  EXPECT_NE(S.message().find("entry"), std::string::npos);
 }
 
 TEST(Program, StaticInstructionCount) {

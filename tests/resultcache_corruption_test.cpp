@@ -1,0 +1,227 @@
+//===- tests/resultcache_corruption_test.cpp - Cache corruption fuzzing ---==//
+//
+// Fuzz-style robustness tests for the on-disk result cache: a published
+// entry is truncated at every byte length and bit-flipped at every byte
+// offset, and every corrupted variant must load as a clean structured miss
+// — never as garbage values, never as a crash. Corrupt entries are
+// quarantined (renamed to <entry>.corrupt) so they are inspected once and
+// never re-parsed; entries of another format version are plain misses left
+// in place. Run under -DDYNACE_SANITIZE=address,undefined for full effect.
+//
+//===----------------------------------------------------------------------==//
+
+#include "sim/ExperimentRunner.h"
+#include "sim/ResultCache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace dynace;
+
+namespace {
+
+/// A unique fresh directory under the test temp root.
+std::string freshDir(const std::string &Tag) {
+  std::string Dir = ::testing::TempDir() + "dynace_" + Tag + "_" +
+                    std::to_string(::getpid());
+  ::mkdir(Dir.c_str(), 0755);
+  return Dir;
+}
+
+bool fileExists(const std::string &Path) {
+  return ::access(Path.c_str(), F_OK) == 0;
+}
+
+void writeBytes(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out << Bytes;
+}
+
+/// Options small enough for sub-second simulations.
+SimulationOptions quickOptions() {
+  SimulationOptions Opts;
+  Opts.MaxInstructions = 150000;
+  return Opts;
+}
+
+/// One fully populated result (hotspot carries an AceReport, so the
+/// serialization exercises the variable-length cu records too), shared by
+/// all fuzz cases in this binary.
+const SimulationResult &referenceResult() {
+  static const SimulationResult R = [] {
+    unsetenv("DYNACE_CACHE_DIR");
+    ExperimentRunner Runner(quickOptions());
+    return Runner.runScheme(specjvm98Profiles()[0], Scheme::Hotspot);
+  }();
+  return R;
+}
+
+/// Loads the corrupted bytes at a scratch path and checks the contract:
+/// the load either fails with a structured error (InvalidInput means the
+/// file was quarantined; IoError means it was left in place) or succeeds
+/// as a faithful parse — re-serializing to exactly the bytes on disk (a
+/// corrupted free-text field, such as a cu name, is indistinguishable
+/// from a legitimate one and round-trips verbatim) or to the original
+/// entry (corruption confined to trailing whitespace no field reads).
+/// What can never happen is a load that invents data: shortened numbers,
+/// reinterpreted fields, or a crash. \returns true when it failed.
+bool checkCorruptLoad(const std::string &Dir, const std::string &Bytes,
+                      const std::string &OriginalBytes,
+                      const std::string &What) {
+  std::string Path = Dir + "/entry.txt";
+  writeBytes(Path, Bytes);
+  Expected<SimulationResult> E = loadResultChecked(Path);
+  if (E.ok()) {
+    std::string Reserialized = serializeResult(E.get());
+    EXPECT_TRUE(Reserialized == OriginalBytes || Reserialized == Bytes)
+        << What;
+    std::remove(Path.c_str());
+    return false;
+  }
+  ErrorCode Code = E.status().code();
+  if (Code == ErrorCode::InvalidInput) {
+    // Quarantined: the entry moved aside, the key now misses cleanly.
+    EXPECT_FALSE(fileExists(Path)) << What;
+    EXPECT_TRUE(fileExists(Path + ".corrupt")) << What;
+  } else {
+    // A stale-version (or unreadable) entry is a plain miss, in place.
+    EXPECT_EQ(Code, ErrorCode::IoError) << What;
+    EXPECT_TRUE(fileExists(Path)) << What;
+  }
+  std::remove(Path.c_str());
+  std::remove((Path + ".corrupt").c_str());
+  return true;
+}
+
+} // namespace
+
+TEST(ResultCacheCorruption, IntactEntryRoundTrips) {
+  std::string Dir = freshDir("roundtrip");
+  std::string Path = Dir + "/entry.txt";
+  const SimulationResult &R = referenceResult();
+  ASSERT_TRUE(saveResult(Path, R));
+  Expected<SimulationResult> E = loadResultChecked(Path);
+  ASSERT_TRUE(E.ok());
+  EXPECT_EQ(serializeResult(E.get()), serializeResult(R));
+}
+
+TEST(ResultCacheCorruption, TruncationAtEveryLengthNeverYieldsGarbage) {
+  std::string Dir = freshDir("trunc");
+  std::string Full = serializeResult(referenceResult());
+  ASSERT_GT(Full.size(), 100u);
+
+  size_t Failed = 0;
+  for (size_t Len = 0; Len != Full.size(); ++Len)
+    if (checkCorruptLoad(Dir, Full.substr(0, Len), Full,
+                         "truncated to " + std::to_string(Len) + " bytes"))
+      ++Failed;
+  // Essentially every truncation must miss; only lengths cutting inside
+  // the trailing newline region can still parse (to the identical value,
+  // as checkCorruptLoad verified).
+  EXPECT_GE(Failed, Full.size() - 2);
+}
+
+TEST(ResultCacheCorruption, BitFlipAtEveryOffsetNeverYieldsGarbage) {
+  std::string Dir = freshDir("flip");
+  std::string Full = serializeResult(referenceResult());
+
+  size_t Failed = 0;
+  for (size_t I = 0; I != Full.size(); ++I) {
+    std::string Flipped = Full;
+    Flipped[I] = static_cast<char>(Flipped[I] ^ 0x80);
+    // A high-bit flip makes the byte unparseable in any numeric or keyed
+    // position; only flips inside free-text cu names can still load, and
+    // checkCorruptLoad holds those to an exact byte round-trip.
+    if (checkCorruptLoad(Dir, Flipped, Full,
+                         "bit flip at offset " + std::to_string(I)))
+      ++Failed;
+  }
+  // The overwhelming majority of offsets are structural and must miss.
+  EXPECT_GE(Failed, Full.size() * 9 / 10);
+}
+
+TEST(ResultCacheCorruption, GarbageEntryIsQuarantinedOnce) {
+  std::string Dir = freshDir("garbage");
+  std::string Path = Dir + "/entry.txt";
+  writeBytes(Path, "this is not a cache entry\n");
+
+  uint64_t Before = resultCacheQuarantineCount();
+  Expected<SimulationResult> E = loadResultChecked(Path);
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.status().code(), ErrorCode::InvalidInput);
+  EXPECT_NE(E.status().message().find("quarantined"), std::string::npos);
+  EXPECT_EQ(resultCacheQuarantineCount(), Before + 1);
+
+  // The bytes survive for inspection; the entry itself misses cleanly
+  // from now on (no repeated quarantine, no repeated parse).
+  EXPECT_FALSE(fileExists(Path));
+  EXPECT_TRUE(fileExists(Path + ".corrupt"));
+  Expected<SimulationResult> Again = loadResultChecked(Path);
+  ASSERT_FALSE(Again.ok());
+  EXPECT_EQ(Again.status().code(), ErrorCode::IoError);
+  EXPECT_EQ(resultCacheQuarantineCount(), Before + 1);
+}
+
+TEST(ResultCacheCorruption, StaleVersionIsAMissNotCorruption) {
+  std::string Dir = freshDir("stale");
+  std::string Path = Dir + "/entry.txt";
+  writeBytes(Path, "dynace-result-v999\nscheme 0\n");
+
+  uint64_t Before = resultCacheQuarantineCount();
+  Expected<SimulationResult> E = loadResultChecked(Path);
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.status().code(), ErrorCode::IoError);
+  EXPECT_NE(E.status().message().find("stale"), std::string::npos);
+  // Left in place for whatever binary speaks that version; not counted.
+  EXPECT_TRUE(fileExists(Path));
+  EXPECT_FALSE(fileExists(Path + ".corrupt"));
+  EXPECT_EQ(resultCacheQuarantineCount(), Before);
+}
+
+TEST(ResultCacheCorruption, TrailingJunkIsCorruption) {
+  // A shortened final value with leftover digits must not load (the
+  // trailing-junk check): "bbv_coverage 0.75" truncated mid-number by a
+  // flip would otherwise parse as 0.7 and quietly drop the "5".
+  std::string Dir = freshDir("tail");
+  std::string Full = serializeResult(referenceResult());
+  EXPECT_TRUE(checkCorruptLoad(Dir, Full + "surplus", Full, "trailing junk"));
+}
+
+TEST(ResultCacheCorruption, RunnerAttributesQuarantinesToTheProbingCell) {
+  std::string Dir = freshDir("runnerq");
+  ASSERT_EQ(setenv("DYNACE_CACHE_DIR", Dir.c_str(), 1), 0);
+  const WorkloadProfile &P = specjvm98Profiles()[0];
+
+  // Publish a valid entry, then corrupt it in place.
+  ExperimentRunner First(quickOptions());
+  SimulationResult Original = First.runScheme(P, Scheme::Baseline);
+  SimulationOptions KeyOpts = quickOptions();
+  KeyOpts.SchemeKind = Scheme::Baseline;
+  std::string Path = Dir + "/" + resultCacheKey(P.Name, KeyOpts) + ".txt";
+  ASSERT_TRUE(fileExists(Path));
+  writeBytes(Path, "corrupted beyond recognition\n");
+
+  // A fresh runner quarantines on probe, re-simulates deterministically,
+  // and records the quarantine against the probing cell.
+  ExperimentRunner Second(quickOptions());
+  SimulationResult Redone = Second.runScheme(P, Scheme::Baseline);
+  unsetenv("DYNACE_CACHE_DIR");
+
+  EXPECT_EQ(serializeResult(Redone), serializeResult(Original));
+  EXPECT_TRUE(fileExists(Path + ".corrupt"));
+  ASSERT_EQ(Second.stats().size(), 1u);
+  EXPECT_FALSE(Second.stats()[0].CacheHit);
+  EXPECT_FALSE(Second.stats()[0].Failed);
+  EXPECT_EQ(Second.stats()[0].Quarantined, 1u);
+  // The republished entry is loadable again.
+  SimulationResult Reloaded;
+  EXPECT_TRUE(loadResult(Path, Reloaded));
+  EXPECT_EQ(serializeResult(Reloaded), serializeResult(Original));
+}

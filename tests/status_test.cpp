@@ -1,0 +1,99 @@
+//===- tests/status_test.cpp - Status/Expected unit tests -----------------==//
+//
+// Covers the structured error-handling primitives the fault-tolerant
+// pipeline is built on: Status success/failure semantics, the stable
+// taxonomy names rendered into FAILED(<code>) report cells, and
+// Expected<T> value/error duality.
+//
+//===----------------------------------------------------------------------==//
+
+#include "support/Status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace dynace;
+
+TEST(Status, DefaultConstructedIsSuccess) {
+  Status S;
+  EXPECT_TRUE(S.ok());
+  EXPECT_TRUE(static_cast<bool>(S));
+  EXPECT_EQ(S.message(), "");
+  EXPECT_EQ(S.toString(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status S = Status::error(ErrorCode::IoError, "cannot open 'x'");
+  EXPECT_FALSE(S.ok());
+  EXPECT_FALSE(static_cast<bool>(S));
+  EXPECT_EQ(S.code(), ErrorCode::IoError);
+  EXPECT_EQ(S.message(), "cannot open 'x'");
+  EXPECT_EQ(S.toString(), "io-error: cannot open 'x'");
+}
+
+TEST(Status, ErrorCodeNamesAreStable) {
+  // These names appear in FAILED(<code>) report cells and in log lines;
+  // changing one silently breaks downstream grep-ability.
+  EXPECT_STREQ(errorCodeName(ErrorCode::InvalidInput), "invalid-input");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Trap), "trap");
+  EXPECT_STREQ(errorCodeName(ErrorCode::IoError), "io-error");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Timeout), "timeout");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Injected), "injected");
+}
+
+TEST(Status, CopyPreservesError) {
+  Status A = Status::error(ErrorCode::Timeout, "deadline");
+  Status B = A;
+  EXPECT_FALSE(B.ok());
+  EXPECT_EQ(B.code(), ErrorCode::Timeout);
+  EXPECT_EQ(B.message(), "deadline");
+  // The source is unchanged.
+  EXPECT_EQ(A.toString(), "timeout: deadline");
+}
+
+namespace {
+
+Expected<int> parsePositive(int V) {
+  if (V <= 0)
+    return Status::error(ErrorCode::InvalidInput, "not positive");
+  return V;
+}
+
+} // namespace
+
+TEST(Expected, ValueSideBehavesLikeTheValue) {
+  Expected<int> E = parsePositive(7);
+  ASSERT_TRUE(E.ok());
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.get(), 7);
+  EXPECT_EQ(*E, 7);
+  EXPECT_EQ(E.take(), 7);
+}
+
+TEST(Expected, ErrorSideCarriesTheStatus) {
+  Expected<int> E = parsePositive(-1);
+  ASSERT_FALSE(E.ok());
+  ASSERT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.status().code(), ErrorCode::InvalidInput);
+  EXPECT_EQ(E.status().message(), "not positive");
+}
+
+TEST(Expected, MoveOnlyPayloadsWork) {
+  Expected<std::vector<std::string>> E =
+      std::vector<std::string>{"a", "b", "c"};
+  ASSERT_TRUE(E.ok());
+  EXPECT_EQ(E->size(), 3u);
+  std::vector<std::string> V = E.take();
+  EXPECT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[2], "c");
+}
+
+TEST(Expected, IfInitPatternReadsNaturally) {
+  // The call-site idiom used throughout the codebase.
+  if (Expected<int> E = parsePositive(3); !E)
+    FAIL() << "unexpected error: " << E.status().toString();
+  if (Expected<int> E = parsePositive(0))
+    FAIL() << "unexpected success";
+}

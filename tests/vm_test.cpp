@@ -18,8 +18,8 @@ template <typename Fn> Program buildProgram(Fn &&Build) {
   MethodBuilder B("main");
   Build(P, B);
   P.setEntry(P.addMethod(B.take()));
-  std::string Err;
-  EXPECT_TRUE(P.finalize(&Err)) << Err;
+  dynace::Status S = P.finalize();
+  EXPECT_TRUE(S) << S.toString();
   return P;
 }
 
@@ -121,8 +121,7 @@ INSTANTIATE_TEST_SUITE_P(
         AluCase{Opcode::Sub, 7, 5, 2}, AluCase{Opcode::Sub, 5, 7, -2},
         AluCase{Opcode::Mul, 6, 7, 42}, AluCase{Opcode::Mul, -4, 3, -12},
         AluCase{Opcode::Div, 42, 6, 7}, AluCase{Opcode::Div, -42, 6, -7},
-        AluCase{Opcode::Div, 5, 0, 0}, // Division by zero yields 0.
-        AluCase{Opcode::Rem, 43, 6, 1}, AluCase{Opcode::Rem, 5, 0, 0},
+        AluCase{Opcode::Rem, 43, 6, 1},
         AluCase{Opcode::And, 0b1100, 0b1010, 0b1000},
         AluCase{Opcode::Or, 0b1100, 0b1010, 0b1110},
         AluCase{Opcode::Xor, 0b1100, 0b1010, 0b0110},
@@ -520,4 +519,132 @@ TEST(Interpreter, PcAddressesMatchMethodLayout) {
   EXPECT_EQ(T[0].PC, kCodeBase);
   EXPECT_EQ(T[1].PC, kCodeBase + kInstrBytes);
   EXPECT_EQ(T[2].PC, kCodeBase + 2 * kInstrBytes);
+}
+
+// -------------------------------------------------------------------- Traps
+
+namespace {
+
+/// Builds a div-by-zero program: two retiring iconsts, then the trap.
+Program divZeroProgram(Opcode DivOrRem) {
+  return buildProgram([&](Program &, MethodBuilder &B) {
+    B.iconst(1, 42);
+    B.iconst(2, 0);
+    if (DivOrRem == Opcode::Div)
+      B.div(3, 1, 2);
+    else
+      B.rem(3, 1, 2);
+    B.halt();
+  });
+}
+
+} // namespace
+
+TEST(Trap, DivideByZeroTrapsWithoutRetiring) {
+  Program P = divZeroProgram(Opcode::Div);
+  Interpreter I(P);
+  DynInst D;
+  EXPECT_EQ(I.step(D), Interpreter::Status::Running);
+  EXPECT_EQ(I.step(D), Interpreter::Status::Running);
+  EXPECT_EQ(I.step(D), Interpreter::Status::Trapped);
+  EXPECT_TRUE(I.trapped());
+  EXPECT_FALSE(I.isHalted());
+  EXPECT_EQ(I.trapInfo().Kind, TrapKind::DivideByZero);
+  EXPECT_EQ(I.trapInfo().Method, P.entry());
+  EXPECT_EQ(I.trapInfo().PC, kCodeBase + 2 * kInstrBytes);
+  // The trapping instruction did not retire: only the two iconsts count.
+  EXPECT_EQ(I.instructionCount(), 2u);
+  // The trap is sticky: further stepping is a no-op.
+  EXPECT_EQ(I.step(D), Interpreter::Status::Trapped);
+  EXPECT_EQ(I.instructionCount(), 2u);
+}
+
+TEST(Trap, RemainderByZeroTrapsInBatchDispatch) {
+  Program P = divZeroProgram(Opcode::Rem);
+  Interpreter I(P);
+  DynInst Buf[16];
+  // The batch stops at the trap having filled only the retired prefix.
+  EXPECT_EQ(I.stepBatch(Buf, 16), 2u);
+  EXPECT_TRUE(I.trapped());
+  EXPECT_EQ(I.trapInfo().Kind, TrapKind::DivideByZero);
+  EXPECT_EQ(I.trapInfo().PC, kCodeBase + 2 * kInstrBytes);
+  EXPECT_EQ(I.instructionCount(), 2u);
+  // A trapped machine refuses further batches.
+  EXPECT_EQ(I.stepBatch(Buf, 16), 0u);
+}
+
+TEST(Trap, InvalidOpcodeTraps) {
+  // The verifier checks operands and terminators but not the opcode byte
+  // itself; the interpreter's trap is the backstop for a rotten byte.
+  Program P;
+  Method M;
+  M.Name = "rotten";
+  Instruction Bad;
+  Bad.Op = static_cast<Opcode>(200);
+  Instruction Halt;
+  Halt.Op = Opcode::Halt;
+  M.Code = {Bad, Halt};
+  P.setEntry(P.addMethod(std::move(M)));
+  ASSERT_TRUE(P.finalize());
+
+  // step() path.
+  Interpreter I(P);
+  DynInst D;
+  EXPECT_EQ(I.step(D), Interpreter::Status::Trapped);
+  EXPECT_EQ(I.trapInfo().Kind, TrapKind::InvalidOpcode);
+  EXPECT_EQ(I.instructionCount(), 0u);
+
+  // stepBatch() path.
+  Interpreter J(P);
+  DynInst Buf[8];
+  EXPECT_EQ(J.stepBatch(Buf, 8), 0u);
+  EXPECT_TRUE(J.trapped());
+  EXPECT_EQ(J.trapInfo().Kind, TrapKind::InvalidOpcode);
+}
+
+TEST(Trap, RunawayRecursionTrapsAsStackOverflow) {
+  // A self-recursive method with no base case: every executed Call pushes
+  // a frame until the depth bound trips.
+  Program P;
+  MethodBuilder B("rec");
+  B.call(1, /*Callee=*/0);
+  B.ret(1);
+  P.setEntry(P.addMethod(B.take()));
+  ASSERT_TRUE(P.finalize());
+
+  Interpreter I(P);
+  uint64_t Executed = I.run(10 * kMaxCallDepth);
+  EXPECT_TRUE(I.trapped());
+  EXPECT_FALSE(I.isHalted());
+  EXPECT_EQ(I.trapInfo().Kind, TrapKind::StackOverflow);
+  EXPECT_EQ(I.callDepth(), kMaxCallDepth);
+  // Every retired instruction was a Call, one per pushed frame (the entry
+  // frame is pushed by reset, not by a Call); the trapping Call did not
+  // retire.
+  EXPECT_EQ(Executed, kMaxCallDepth - 1);
+  EXPECT_EQ(I.instructionCount(), kMaxCallDepth - 1);
+}
+
+TEST(Trap, ResetClearsTheTrap) {
+  Program P = divZeroProgram(Opcode::Div);
+  Interpreter I(P);
+  I.run(100);
+  ASSERT_TRUE(I.trapped());
+  I.reset();
+  EXPECT_FALSE(I.trapped());
+  EXPECT_EQ(I.trapInfo().Kind, TrapKind::None);
+  EXPECT_EQ(I.instructionCount(), 0u);
+  // The machine re-executes to the same deterministic trap.
+  I.run(100);
+  EXPECT_TRUE(I.trapped());
+  EXPECT_EQ(I.trapInfo().Kind, TrapKind::DivideByZero);
+}
+
+TEST(Trap, TrapKindNamesAreStable) {
+  EXPECT_STREQ(trapKindName(TrapKind::None), "none");
+  EXPECT_STREQ(trapKindName(TrapKind::InvalidOpcode), "invalid-opcode");
+  EXPECT_STREQ(trapKindName(TrapKind::PcOutOfRange), "pc-out-of-range");
+  EXPECT_STREQ(trapKindName(TrapKind::BadCallTarget), "bad-call-target");
+  EXPECT_STREQ(trapKindName(TrapKind::DivideByZero), "divide-by-zero");
+  EXPECT_STREQ(trapKindName(TrapKind::StackOverflow), "stack-overflow");
 }
