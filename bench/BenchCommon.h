@@ -21,6 +21,7 @@
 #ifndef DYNACE_BENCH_BENCHCOMMON_H
 #define DYNACE_BENCH_BENCHCOMMON_H
 
+#include "obs/Profile.h"
 #include "sim/ExperimentRunner.h"
 #include "sim/Reports.h"
 #include "workloads/WorkloadProfile.h"
@@ -98,11 +99,14 @@ int benchMain(int argc, char **argv, PrintFn Print,
     Prefetch();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  Print(std::cout);
-  std::vector<dynace::RunStats> Stats = runner().stats();
-  if (!Stats.empty()) {
-    std::cout << '\n';
-    dynace::printRunStats(std::cout, Stats);
+  {
+    DYNACE_PROFILE_SCOPE("report");
+    Print(std::cout);
+    std::vector<dynace::RunStats> Stats = runner().stats();
+    if (!Stats.empty()) {
+      std::cout << '\n';
+      dynace::printRunStats(std::cout, Stats);
+    }
   }
   return 0;
 }

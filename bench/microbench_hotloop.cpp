@@ -11,12 +11,18 @@
 //   microbench_hotloop              full grid at --budget (default 20M)
 //                                   instructions per cell, preceded by a
 //                                   smoke-budget pass so the emitted JSON
-//                                   carries a reference value for --smoke;
+//                                   carries a reference value for --smoke,
+//                                   and by a traced smoke pass recording
+//                                   the DYNACE_TRACE overhead
+//                                   (traced_geomean_mips / trace_overhead_pct
+//                                   in the JSON);
 //   microbench_hotloop --smoke      tight-budget pass (default 2M, or
 //                                   DYNACE_INSTR_BUDGET) compared against
 //                                   the committed baseline JSON; exits
 //                                   non-zero when geomean MIPS regressed
 //                                   more than 20% (the ctest perf gate).
+//                                   Tracing is forced off so the gate
+//                                   always measures the disabled path.
 //
 // Flags: --budget N, --reps N, --out PATH, --baseline PATH, --min-ratio R.
 //
@@ -27,6 +33,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Trace.h"
 #include "sim/System.h"
 #include "support/Env.h"
 #include "workloads/WorkloadGenerator.h"
@@ -127,7 +134,8 @@ std::vector<Cell> runGrid(uint64_t Budget, unsigned Reps, bool Verbose) {
 
 void writeJson(std::ostream &OS, uint64_t Budget, uint64_t SmokeBudget,
                unsigned Reps, const std::vector<Cell> &Cells,
-               double SmokeGeomean) {
+               double SmokeGeomean, double TracedGeomean,
+               double TraceOverheadPct) {
   char Buf[256];
   OS << "{\n";
   OS << "  \"build_type\": \"" << DYNACE_BUILD_TYPE << "\",\n";
@@ -137,6 +145,10 @@ void writeJson(std::ostream &OS, uint64_t Budget, uint64_t SmokeBudget,
   OS << "  \"smoke_budget\": " << SmokeBudget << ",\n";
   std::snprintf(Buf, sizeof(Buf), "%.4f", SmokeGeomean);
   OS << "  \"smoke_geomean_mips\": " << Buf << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "%.4f", TracedGeomean);
+  OS << "  \"traced_geomean_mips\": " << Buf << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "%.2f", TraceOverheadPct);
+  OS << "  \"trace_overhead_pct\": " << Buf << ",\n";
   std::snprintf(Buf, sizeof(Buf), "%.4f", geomeanMips(Cells));
   OS << "  \"geomean_mips\": " << Buf << ",\n";
   OS << "  \"cells\": [\n";
@@ -247,6 +259,10 @@ int main(int argc, char **argv) {
   printHeader(Budget, Smoke);
 
   if (Smoke) {
+    // The ctest gate asserts the tracing-DISABLED kernel: force tracing
+    // off even if DYNACE_TRACE leaked into the environment, so the number
+    // compared against the baseline is always the single-branch path.
+    obs::TraceCollector::instance().configure("");
     std::vector<Cell> Cells = runGrid(Budget, Reps, /*Verbose=*/false);
     double Geomean = geomeanMips(Cells);
     std::printf("[dynace] hotloop smoke: geomean %.2f MIPS over %zu cells\n",
@@ -297,10 +313,25 @@ int main(int argc, char **argv) {
   }
 
   // Full mode: a smoke-budget pass first (its geomean is what --smoke runs
-  // compare against, keeping the gate budget-for-budget fair), then the
-  // full-budget grid for the recorded trajectory.
+  // compare against, keeping the gate budget-for-budget fair), then a
+  // traced pass at the same budget to record the tracing overhead, then
+  // the full-budget grid for the recorded trajectory.
+  obs::TraceCollector::instance().configure("");
   std::vector<Cell> SmokeCells = runGrid(kSmokeBudget, 1, /*Verbose=*/false);
   double SmokeGeomean = geomeanMips(SmokeCells);
+
+  std::string TracePath = OutPath + ".trace.tmp";
+  obs::TraceCollector::instance().configure(TracePath);
+  std::vector<Cell> TracedCells = runGrid(kSmokeBudget, 1, /*Verbose=*/false);
+  double TracedGeomean = geomeanMips(TracedCells);
+  obs::TraceCollector::instance().configure(""); // Drops buffered events.
+  std::remove(TracePath.c_str());
+  double TraceOverheadPct =
+      SmokeGeomean > 0.0 ? 100.0 * (1.0 - TracedGeomean / SmokeGeomean) : 0.0;
+  std::printf("[dynace] hotloop traced: %.2f MIPS vs %.2f untraced "
+              "(%.1f%% overhead)\n",
+              TracedGeomean, SmokeGeomean, TraceOverheadPct);
+
   std::vector<Cell> Cells = runGrid(Budget, Reps, /*Verbose=*/true);
 
   std::ofstream Out(OutPath);
@@ -308,7 +339,8 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
     return 1;
   }
-  writeJson(Out, Budget, kSmokeBudget, Reps, Cells, SmokeGeomean);
+  writeJson(Out, Budget, kSmokeBudget, Reps, Cells, SmokeGeomean,
+            TracedGeomean, TraceOverheadPct);
   std::printf("[dynace] hotloop: geomean %.2f MIPS (smoke %.2f) over %zu "
               "cells -> %s\n",
               geomeanMips(Cells), SmokeGeomean, Cells.size(),

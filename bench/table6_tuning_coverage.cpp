@@ -39,6 +39,11 @@ int main(int argc, char **argv) {
   dynace_bench::enableDefaultCache();
   registerPerBenchmark("table6", runOne);
   return benchMain(
-      argc, argv, [](std::ostream &OS) { printTable6(OS, allRuns()); },
+      argc, argv,
+      [](std::ostream &OS) {
+        printTable6(OS, allRuns());
+        OS << '\n';
+        printMetrics(OS, allRuns());
+      },
       [] { allRuns(); });
 }

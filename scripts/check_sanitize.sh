@@ -23,7 +23,8 @@ cmake -S "$root" -B "$build" \
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 cmake --build "$build" -j"$jobs" \
-  --target fault_injection_test resultcache_corruption_test >/dev/null
+  --target fault_injection_test resultcache_corruption_test \
+           table6_tuning_coverage >/dev/null
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
@@ -31,4 +32,10 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 "$build/tests/fault_injection_test"
 "$build/tests/resultcache_corruption_test"
 
-echo "check_sanitize: OK (fault injection + cache corruption under ASan/UBSan)"
+# The trace schema gate under sanitizers: the traced grid exercises every
+# emit site (per-thread buffers, flush, JSON rendering) with ASan/UBSan
+# watching.
+"$root/scripts/check_trace.sh" "$root" "$build"
+
+echo "check_sanitize: OK (fault injection + cache corruption + traced grid" \
+     "under ASan/UBSan)"

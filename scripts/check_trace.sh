@@ -1,0 +1,53 @@
+#!/bin/sh
+# check_trace.sh — run a small traced grid and validate the trace file.
+#
+# Usage: scripts/check_trace.sh [repo-root [build-dir]]
+#
+# Drives the table6 bench binary (the full benchmark x scheme grid, with
+# google-benchmark registration filtered out so only the pipeline prefetch
+# runs) with DYNACE_TRACE pointed at a scratch file and a tight instruction
+# budget, then checks:
+#  * the file parses as JSON (python3 json.load);
+#  * every event category belongs to the closed set of obs/Trace.h —
+#    an unknown category is schema drift and fails the gate;
+#  * the tuning-run acceptance events are present: hotspot promotion,
+#    tuning transitions, reconfiguration accept/reject, and profiler
+#    stage spans.
+#
+# DYNACE_CACHE_DIR is exported empty so the grid actually simulates: the
+# bench's enableDefaultCache() uses setenv(overwrite=0), so the exported
+# empty value wins and a warm on-disk cache cannot skip the traced paths.
+# Wired into CMake as the `check_trace` ctest and into the sanitize gate.
+
+set -e
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+build="${2:-$root/build}"
+bin="$build/bench/table6_tuning_coverage"
+
+if [ ! -x "$bin" ]; then
+  echo "check_trace: missing $bin (build the bench targets first)" >&2
+  exit 1
+fi
+
+trace="$(mktemp "${TMPDIR:-/tmp}/dynace_trace.XXXXXX")"
+trap 'rm -f "$trace"' EXIT INT TERM
+
+# 1M instructions per cell: enough for tuning measurements to finish and
+# reconfigurations to apply (200k stops at tune.start), still sub-second.
+DYNACE_TRACE="$trace" DYNACE_CACHE_DIR="" DYNACE_INSTR_BUDGET=1000000 \
+DYNACE_PROFILE=1 \
+  "$bin" --benchmark_filter='^$' >/dev/null 2>&1
+
+python3 -c '
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+known = {"hotspot", "tuning", "reconfig", "vm", "cache", "runner", "stage"}
+cats = {e["cat"] for e in events if "cat" in e}
+unknown = cats - known
+assert not unknown, "unknown trace categories: %s" % sorted(unknown)
+for need in ("hotspot", "tuning", "reconfig", "stage"):
+    assert need in cats, "no %r events in trace" % need
+print("check_trace: OK (%d events, categories: %s)"
+      % (len(events), ", ".join(sorted(cats))))
+' "$trace"

@@ -2,11 +2,23 @@
 
 #include "ace/AceManager.h"
 
+#include "obs/Metrics.h"
+#include "obs/Profile.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 
 using namespace dynace;
+
+void AceManager::setMetrics(MetricsRegistry *M) {
+  ClassifiedCounter = M ? &M->counter("ace.classified") : nullptr;
+  TuningsCounter = M ? &M->counter("ace.tunings") : nullptr;
+  TunedCounter = M ? &M->counter("ace.tuned") : nullptr;
+  RetunesCounter = M ? &M->counter("ace.retunes") : nullptr;
+  SizeHistogram = M ? &M->histogram("ace.hotspot_size") : nullptr;
+}
 
 AceManager::AceManager(std::vector<ConfigurableUnit *> Units,
                        const DoSystem &Do, AcePlatform Platform,
@@ -151,12 +163,26 @@ void AceManager::onHotspotEnter(MethodId Id) {
 
   if (H.Depth++ != 0)
     return; // Nested re-entry: the outermost invocation is the phase.
+  DYNACE_PROFILE_SCOPE("tune");
 
   // Classification happens at the first outermost entry with a usable size
   // estimate (and is retried while the estimate stays below the bands).
   if (H.State == TuneState::Inactive && H.Configs.empty()) {
-    if (classify(H, Do.hotspotSize(Id)))
+    double Size = Do.hotspotSize(Id);
+    if (classify(H, Size)) {
       H.State = TuneState::Tuning;
+      if (ClassifiedCounter)
+        ClassifiedCounter->inc();
+      if (SizeHistogram)
+        SizeHistogram->record(static_cast<uint64_t>(Size));
+      DYNACE_TRACE_INSTANT(
+          "tuning", "tune.start",
+          obs::traceArg("method", uint64_t(Id)) + ", " +
+              obs::traceArg("size", static_cast<uint64_t>(Size)) + ", " +
+              obs::traceArg("cu", H.CuClass < 0
+                                      ? std::string("all")
+                                      : Units[H.CuClass]->name()));
+    }
   }
 
   H.EntryCycles = Platform.Cycles();
@@ -201,6 +227,7 @@ void AceManager::onHotspotExit(MethodId Id, uint64_t InclusiveInstructions) {
 
   if (H.State == TuneState::Inactive)
     return;
+  DYNACE_PROFILE_SCOPE("tune");
   classExit(H.CuClass);
 
   uint64_t DeltaInstr = Platform.Instructions() - H.EntryInstrs;
@@ -236,6 +263,10 @@ void AceManager::onHotspotExit(MethodId Id, uint64_t InclusiveInstructions) {
       ++H.Retunes;
       H.State = TuneState::Tuning;
       resetTuning(H);
+      if (RetunesCounter)
+        RetunesCounter->inc();
+      DYNACE_TRACE_INSTANT("tuning", "tune.retune",
+                           obs::traceArg("method", uint64_t(Id)));
     }
   }
 }
@@ -266,6 +297,11 @@ void AceManager::finishTuningMeasurement(HotspotAceData &H, MethodId Id,
   H.MeasuredIpc[SlotConfig] = AvgIpc;
   H.MeasuredEpi[SlotConfig] = AvgEpi;
   ++H.TuningsCompleted;
+  if (TuningsCounter)
+    TuningsCounter->inc();
+  DYNACE_TRACE_INSTANT("tuning", "tune.measure",
+                       obs::traceArg("method", uint64_t(Id)) + ", " +
+                           obs::traceArg("config", uint64_t(SlotConfig)));
 
   bool Stop = false;
   if (SlotConfig == 0) {
@@ -287,10 +323,10 @@ void AceManager::finishTuningMeasurement(HotspotAceData &H, MethodId Id,
   ++H.PlanPos;
   H.WarmupRemaining = Config.WarmupInvocations;
   if (Stop || H.PlanPos == H.Plan.size())
-    selectBestConfig(H);
+    selectBestConfig(H, Id);
 }
 
-void AceManager::selectBestConfig(HotspotAceData &H) {
+void AceManager::selectBestConfig(HotspotAceData &H, MethodId Id) {
   // The most energy-efficient configuration whose relative IPC meets the
   // threshold; the largest configuration is always an acceptable fallback,
   // and a smaller one must beat it by EpiMargin (noise hysteresis).
@@ -312,6 +348,11 @@ void AceManager::selectBestConfig(HotspotAceData &H) {
                                                     : H.MeasuredIpc[Best];
   H.State = TuneState::Configured;
   H.EverConfigured = true;
+  if (TunedCounter)
+    TunedCounter->inc();
+  DYNACE_TRACE_INSTANT("tuning", "tune.configured",
+                       obs::traceArg("method", uint64_t(Id)) + ", " +
+                           obs::traceArg("best", uint64_t(Best)));
 }
 
 AceReport AceManager::report(uint64_t TotalInstructions) const {

@@ -39,6 +39,8 @@
 
 namespace dynace {
 
+class Histogram;
+
 /// Host callbacks the manager needs from the simulated platform.
 struct AcePlatform {
   /// Current core cycle count.
@@ -200,6 +202,10 @@ public:
 
   const AceManagerConfig &config() const { return Config; }
 
+  /// Attaches the run's metrics registry (null detaches); resolves the
+  /// ace.* counters and the hotspot-size histogram once.
+  void setMetrics(MetricsRegistry *M);
+
 private:
   /// Assigns the CU subset for a hotspot of size \p Size; fills CuClass and
   /// Configs. \returns false when the hotspot is too small to manage.
@@ -219,7 +225,7 @@ private:
 
   /// Picks the most energy-efficient measured configuration meeting the
   /// performance threshold and installs it.
-  void selectBestConfig(HotspotAceData &H);
+  void selectBestConfig(HotspotAceData &H, MethodId Id);
 
   /// Coverage accounting: instructions executed while >= 1 managed hotspot
   /// of class \p Cu is active.
@@ -241,6 +247,13 @@ private:
   std::vector<uint32_t> ClassDepth;
   std::vector<uint64_t> ClassStartInstr;
   std::vector<uint64_t> ClassCovered;
+
+  /// Cached per-run instruments (null = metrics detached).
+  Counter *ClassifiedCounter = nullptr;
+  Counter *TuningsCounter = nullptr;
+  Counter *TunedCounter = nullptr;
+  Counter *RetunesCounter = nullptr;
+  Histogram *SizeHistogram = nullptr;
 };
 
 } // namespace dynace

@@ -2,6 +2,9 @@
 
 #include "ace/ConfigurableUnit.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <cassert>
 
 using namespace dynace;
@@ -17,19 +20,35 @@ ConfigurableUnit::ConfigurableUnit(std::string Name, unsigned NumSettings,
   assert(this->Apply && "CU needs an apply function");
 }
 
+void ConfigurableUnit::setMetrics(MetricsRegistry *M) {
+  RequestsCounter = M ? &M->counter("cu." + Name + ".requests") : nullptr;
+  ChangesCounter = M ? &M->counter("cu." + Name + ".changes") : nullptr;
+  RejectsCounter = M ? &M->counter("cu." + Name + ".rejects") : nullptr;
+}
+
 CuRequestResult ConfigurableUnit::request(unsigned Setting, uint64_t NowInstr,
                                           bool GuardEnabled) {
   assert(Setting < NumSettings && "setting out of range");
   CuRequestResult Result;
   if (Setting == Current) {
+    // Already in effect: a no-op by design, not an observable request
+    // (neither metric nor trace — it carries no information).
     Result.InEffect = true;
     return Result;
   }
+  if (RequestsCounter)
+    RequestsCounter->inc();
   // Hardware guard: reject changes arriving within the reconfiguration
   // interval of the previous change.
   if (GuardEnabled && HasChanged &&
       NowInstr - LastChangeInstr < ReconfigInterval) {
     ++GuardRejections;
+    if (RejectsCounter)
+      RejectsCounter->inc();
+    DYNACE_TRACE_INSTANT("reconfig", "reject",
+                         obs::traceArg("cu", Name) + ", " +
+                             obs::traceArg("setting", uint64_t(Setting)) +
+                             ", " + obs::traceArg("at_instr", NowInstr));
     return Result;
   }
   Result.Cost = Apply(Setting);
@@ -39,5 +58,11 @@ CuRequestResult ConfigurableUnit::request(unsigned Setting, uint64_t NowInstr,
   Result.InEffect = true;
   Result.Changed = true;
   ++ChangesApplied;
+  if (ChangesCounter)
+    ChangesCounter->inc();
+  DYNACE_TRACE_INSTANT("reconfig", "accept",
+                       obs::traceArg("cu", Name) + ", " +
+                           obs::traceArg("setting", uint64_t(Setting)) +
+                           ", " + obs::traceArg("at_instr", NowInstr));
   return Result;
 }

@@ -25,6 +25,9 @@
 
 namespace dynace {
 
+class MetricsRegistry;
+class Counter;
+
 /// Outcome of a guarded reconfiguration request.
 struct CuRequestResult {
   /// True when the requested setting is now in effect (either it already
@@ -59,6 +62,10 @@ public:
   CuRequestResult request(unsigned Setting, uint64_t NowInstr,
                           bool GuardEnabled = true);
 
+  /// Attaches the run's metrics registry (null detaches); resolves the
+  /// cu.<name>.{requests,changes,rejects} counters once.
+  void setMetrics(MetricsRegistry *M);
+
   const std::string &name() const { return Name; }
   unsigned numSettings() const { return NumSettings; }
   uint64_t reconfigInterval() const { return ReconfigInterval; }
@@ -81,6 +88,10 @@ private:
   bool HasChanged = false;
   uint64_t GuardRejections = 0;
   uint64_t ChangesApplied = 0;
+  /// Cached per-run counters (null = metrics detached).
+  Counter *RequestsCounter = nullptr;
+  Counter *ChangesCounter = nullptr;
+  Counter *RejectsCounter = nullptr;
 };
 
 } // namespace dynace

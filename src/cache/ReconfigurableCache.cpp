@@ -2,6 +2,8 @@
 
 #include "cache/ReconfigurableCache.h"
 
+#include "obs/Trace.h"
+
 using namespace dynace;
 
 ReconfigurableCache::ReconfigurableCache(std::vector<CacheGeometry> Settings,
@@ -61,6 +63,11 @@ ReconfigResult ReconfigurableCache::reconfigure(
   Result.Changed = true;
   ++ReconfigCount;
   ReconfigWritebacks += Result.Writebacks;
+  DYNACE_TRACE_INSTANT("reconfig", "cache.reconfigure",
+                       obs::traceArg("cache", Name) + ", " +
+                           obs::traceArg("setting", uint64_t(NewSetting)) +
+                           ", " +
+                           obs::traceArg("writebacks", Result.Writebacks));
   return Result;
 }
 

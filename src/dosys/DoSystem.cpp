@@ -2,6 +2,8 @@
 
 #include "dosys/DoSystem.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Statistics.h"
 
 #include <cassert>
@@ -9,6 +11,10 @@
 using namespace dynace;
 
 DoClient::~DoClient() = default;
+
+void DoSystem::setMetrics(MetricsRegistry *M) {
+  HotspotsCounter = M ? &M->counter("do.hotspots") : nullptr;
+}
 
 DoSystem::DoSystem(size_t NumMethods, const DoConfig &Config,
                    std::function<void(uint64_t)> StallFn)
@@ -37,6 +43,11 @@ void DoSystem::onMethodEnter(MethodId Id, uint64_t InstrCount) {
     // database entry becomes a hotspot entry.
     E.IsHotspot = true;
     E.DetectedAtInstr = InstrCount;
+    if (HotspotsCounter)
+      HotspotsCounter->inc();
+    DYNACE_TRACE_INSTANT("hotspot", "promoted",
+                         obs::traceArg("method", uint64_t(Id)) + ", " +
+                             obs::traceArg("at_instr", InstrCount));
     if (StallFn)
       StallFn(Config.Costs.JitCompileCycles);
     if (Client)

@@ -33,6 +33,9 @@
 
 namespace dynace {
 
+class MetricsRegistry;
+class Counter;
+
 /// Receiver of hotspot events (the ACE manager).
 class DoClient {
 public:
@@ -111,6 +114,11 @@ public:
   /// Installs the hotspot event receiver (may be null).
   void setClient(DoClient *C) { Client = C; }
 
+  /// Attaches the run's metrics registry (may be null to detach). The DO
+  /// system resolves its counters once here so the method-enter path never
+  /// pays a registry lookup.
+  void setMetrics(MetricsRegistry *M);
+
   // VmListener:
   void onMethodEnter(MethodId Id, uint64_t InstrCount) override;
   void onMethodExit(MethodId Id, uint64_t InclusiveInstructions,
@@ -138,6 +146,8 @@ private:
   std::vector<DoEntry> Entries;
   std::function<void(uint64_t)> StallFn;
   DoClient *Client = nullptr;
+  /// Cached do.hotspots counter (null = metrics detached).
+  Counter *HotspotsCounter = nullptr;
 
   /// Nesting depth of hot frames, for hotspot code-coverage accounting.
   uint32_t HotDepth = 0;

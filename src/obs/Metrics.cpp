@@ -1,0 +1,179 @@
+//===- obs/Metrics.cpp ----------------------------------------------------==//
+
+#include "obs/Metrics.h"
+
+#include "support/Env.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dynace;
+
+void HistogramSnapshot::merge(const HistogramSnapshot &O) {
+  Count += O.Count;
+  Sum += O.Sum;
+  if (Buckets.size() < O.Buckets.size())
+    Buckets.resize(O.Buckets.size(), 0);
+  for (size_t I = 0, E = O.Buckets.size(); I != E; ++I)
+    Buckets[I] += O.Buckets[I];
+}
+
+uint64_t HistogramSnapshot::percentileLowerBound(double P) const {
+  if (Count == 0)
+    return 0;
+  if (P < 0.0)
+    P = 0.0;
+  if (P > 1.0)
+    P = 1.0;
+  // Rank of the percentile element (1-based), then walk the buckets.
+  uint64_t Rank = static_cast<uint64_t>(P * static_cast<double>(Count - 1)) + 1;
+  uint64_t Seen = 0;
+  for (size_t I = 0, E = Buckets.size(); I != E; ++I) {
+    Seen += Buckets[I];
+    if (Seen >= Rank)
+      return histogramBucketLowerBound(static_cast<unsigned>(I));
+  }
+  return histogramBucketLowerBound(kHistogramBuckets - 1);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot S;
+  S.Buckets.resize(kHistogramBuckets, 0);
+  for (unsigned I = 0; I != kHistogramBuckets; ++I) {
+    S.Buckets[I] = B[I].load(std::memory_order_relaxed);
+    S.Count += S.Buckets[I];
+  }
+  S.Sum = this->S.load(std::memory_order_relaxed);
+  // Trailing zero buckets carry no information; trimming keeps snapshots,
+  // serializations and printed tables compact and still merge-compatible.
+  while (!S.Buckets.empty() && S.Buckets.back() == 0)
+    S.Buckets.pop_back();
+  return S;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot &O) {
+  for (const auto &[Name, V] : O.Counters)
+    Counters[Name] += V;
+  for (const auto &[Name, V] : O.Gauges)
+    Gauges[Name] = V;
+  for (const auto &[Name, H] : O.Histograms)
+    Histograms[Name].merge(H);
+}
+
+std::string MetricsSnapshot::toJson() const {
+  std::string Out = "{\n  \"counters\": {";
+  bool First = true;
+  char Buf[64];
+  for (const auto &[Name, V] : Counters) {
+    std::snprintf(Buf, sizeof(Buf), "%llu",
+                  static_cast<unsigned long long>(V));
+    Out += First ? "\n" : ",\n";
+    Out += "    \"" + Name + "\": " + Buf;
+    First = false;
+  }
+  Out += First ? "},\n" : "\n  },\n";
+  Out += "  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, V] : Gauges) {
+    std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+    Out += First ? "\n" : ",\n";
+    Out += "    \"" + Name + "\": " + Buf;
+    First = false;
+  }
+  Out += First ? "},\n" : "\n  },\n";
+  Out += "  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    Out += First ? "\n" : ",\n";
+    std::snprintf(Buf, sizeof(Buf), "{\"count\": %llu, \"sum\": %llu, ",
+                  static_cast<unsigned long long>(H.Count),
+                  static_cast<unsigned long long>(H.Sum));
+    Out += "    \"" + Name + "\": " + Buf + "\"buckets\": [";
+    for (size_t I = 0, E = H.Buckets.size(); I != E; ++I) {
+      std::snprintf(Buf, sizeof(Buf), "%s%llu", I ? ", " : "",
+                    static_cast<unsigned long long>(H.Buckets[I]));
+      Out += Buf;
+    }
+    Out += "]}";
+    First = false;
+  }
+  Out += First ? "}\n}\n" : "\n  }\n}\n";
+  return Out;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<Counter> &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<Gauge> &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<Histogram> &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  MetricsSnapshot S;
+  for (const auto &[Name, C] : Counters)
+    S.Counters[Name] = C->value();
+  for (const auto &[Name, G] : Gauges)
+    S.Gauges[Name] = G->value();
+  for (const auto &[Name, H] : Histograms)
+    S.Histograms[Name] = H->snapshot();
+  return S;
+}
+
+void MetricsRegistry::merge(const MetricsSnapshot &S) {
+  for (const auto &[Name, V] : S.Counters)
+    counter(Name).inc(V);
+  for (const auto &[Name, V] : S.Gauges)
+    gauge(Name).set(V);
+  for (const auto &[Name, H] : S.Histograms) {
+    Histogram &Dst = histogram(Name);
+    for (size_t I = 0, E = H.Buckets.size(); I != E; ++I)
+      if (H.Buckets[I])
+        Dst.add(static_cast<unsigned>(I), H.Buckets[I], /*SumDelta=*/0);
+    Dst.add(0, 0, H.Sum); // The exact sum transfers in one shot.
+  }
+}
+
+MetricsRegistry &MetricsRegistry::process() {
+  // Leaked (atexit handlers and worker threads may outlive statics). When
+  // DYNACE_METRICS names a file, the registry's final snapshot is dumped
+  // there as JSON at process exit.
+  static MetricsRegistry *R = [] {
+    auto *Reg = new MetricsRegistry();
+    if (!envString("DYNACE_METRICS").empty())
+      std::atexit([] {
+        std::string Path = envString("DYNACE_METRICS");
+        if (Path.empty())
+          return;
+        std::FILE *F = std::fopen(Path.c_str(), "w");
+        if (!F) {
+          std::fprintf(stderr,
+                       "[dynace] warning: cannot write metrics to '%s'\n",
+                       Path.c_str());
+          return;
+        }
+        std::string Json = MetricsRegistry::process().snapshot().toJson();
+        std::fwrite(Json.data(), 1, Json.size(), F);
+        std::fclose(F);
+      });
+    return Reg;
+  }();
+  return *R;
+}

@@ -1,0 +1,182 @@
+//===- obs/Metrics.h - Counters, gauges, log2 histograms --------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability layer (DESIGN.md §9): named
+/// counters, gauges and power-of-two-bucket histograms collected in a
+/// \c MetricsRegistry and frozen into a deterministic, mergeable
+/// \c MetricsSnapshot.
+///
+/// Two kinds of registry exist:
+///
+///  * the **per-run registry** owned by each \c System — every increment is
+///    driven by a deterministic simulation event (hotspot promoted,
+///    reconfiguration accepted/rejected, batch drained, trap raised), so
+///    the snapshot stored into \c SimulationResult::Metrics is bit-identical
+///    across serial and parallel pipelines and participates in the result
+///    cache and the golden determinism test;
+///  * the **process registry** (\c MetricsRegistry::process()) accumulating
+///    pipeline-level accounting — cache hits/misses/quarantines, worker
+///    retries, per-cell wall-time histograms — which depends on disk state
+///    and scheduling and is therefore reported, never cached. It is dumped
+///    as JSON to the DYNACE_METRICS path at process exit.
+///
+/// Instruments are cheap enough to leave always-on at event granularity:
+/// one relaxed atomic add per counter increment, two per histogram record.
+/// Hot loops (the batched kernel) record per *batch*, never per
+/// instruction, keeping the instrumented kernel inside the microbench's
+/// 20% regression gate. Callers that need zero lookup cost cache the
+/// Counter/Histogram pointers returned by the registry — they are stable
+/// for the registry's lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_OBS_METRICS_H
+#define DYNACE_OBS_METRICS_H
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dynace {
+
+/// Monotonically increasing event count. Thread-safe (relaxed atomics);
+/// per-run registries are single-threaded, the process registry is shared
+/// by pipeline workers.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-written scalar (e.g. the run's final IPC). Thread-safe.
+class Gauge {
+public:
+  void set(double X) { V.store(X, std::memory_order_relaxed); }
+  double value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0.0};
+};
+
+/// Number of histogram buckets: bucket 0 holds value 0, bucket i >= 1
+/// holds values in [2^(i-1), 2^i - 1] (i = std::bit_width(v)), so the full
+/// uint64_t range maps to 65 fixed buckets and two histograms always merge
+/// bucket-for-bucket.
+inline constexpr unsigned kHistogramBuckets = 65;
+
+/// \returns the bucket index of \p V (0 for 0, else bit_width).
+inline unsigned histogramBucketFor(uint64_t V) {
+  return V == 0 ? 0 : static_cast<unsigned>(std::bit_width(V));
+}
+
+/// \returns the smallest value mapping to bucket \p I.
+inline uint64_t histogramBucketLowerBound(unsigned I) {
+  return I == 0 ? 0 : uint64_t(1) << (I - 1);
+}
+
+/// Frozen histogram state (see Histogram).
+struct HistogramSnapshot {
+  uint64_t Count = 0; ///< Total recorded values.
+  uint64_t Sum = 0;   ///< Sum of recorded values.
+  /// One count per fixed log2 bucket (kHistogramBuckets entries).
+  std::vector<uint64_t> Buckets;
+
+  /// Bucket-wise accumulation of \p O into this snapshot.
+  void merge(const HistogramSnapshot &O);
+  /// Smallest value of the bucket containing the p-th percentile recorded
+  /// value (0 when empty). \p P in [0, 1].
+  uint64_t percentileLowerBound(double P) const;
+  bool operator==(const HistogramSnapshot &O) const = default;
+};
+
+/// Fixed-log2-bucket histogram. record() is two relaxed atomic adds plus a
+/// bit_width — safe and cheap from any thread.
+class Histogram {
+public:
+  void record(uint64_t V) {
+    B[histogramBucketFor(V)].fetch_add(1, std::memory_order_relaxed);
+    S.fetch_add(V, std::memory_order_relaxed);
+  }
+  /// Bulk accumulation (snapshot merge): \p N values in bucket \p Bucket
+  /// contributing \p SumDelta to the sum.
+  void add(unsigned Bucket, uint64_t N, uint64_t SumDelta) {
+    B[Bucket < kHistogramBuckets ? Bucket : kHistogramBuckets - 1].fetch_add(
+        N, std::memory_order_relaxed);
+    S.fetch_add(SumDelta, std::memory_order_relaxed);
+  }
+  HistogramSnapshot snapshot() const;
+
+private:
+  std::atomic<uint64_t> B[kHistogramBuckets]{};
+  std::atomic<uint64_t> S{0};
+};
+
+/// Deterministically ordered (std::map) freeze of a registry; the form
+/// that is serialized into cache entries, compared by the golden test, and
+/// rendered by Reports::printMetrics.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, double> Gauges;
+  std::map<std::string, HistogramSnapshot> Histograms;
+
+  /// Accumulates \p O: counters and histograms add, gauges take \p O's
+  /// value (last writer wins).
+  void merge(const MetricsSnapshot &O);
+  /// \returns the named counter's value, or 0 when absent.
+  uint64_t counterOr(const std::string &Name, uint64_t Default = 0) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? Default : It->second;
+  }
+  bool empty() const {
+    return Counters.empty() && Gauges.empty() && Histograms.empty();
+  }
+  /// Renders the snapshot as a deterministic JSON object (the
+  /// DYNACE_METRICS dump format).
+  std::string toJson() const;
+  bool operator==(const MetricsSnapshot &O) const = default;
+};
+
+/// Named instrument registry. Lookup (counter/gauge/histogram) takes a
+/// mutex and is meant for setup paths; the returned references are stable
+/// for the registry's lifetime, so hot call sites resolve once and cache
+/// the pointer.
+class MetricsRegistry {
+public:
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// Freezes current values. Safe concurrently with writers (each value is
+  /// read atomically; cross-instrument skew is acceptable by design).
+  MetricsSnapshot snapshot() const;
+
+  /// Accumulates a frozen snapshot into this registry (counter adds,
+  /// bucket-wise histogram adds, gauge overwrites) — how per-run snapshots
+  /// roll up into the process registry.
+  void merge(const MetricsSnapshot &S);
+
+  /// The process-wide pipeline registry (cache/runner accounting).
+  static MetricsRegistry &process();
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_OBS_METRICS_H

@@ -1,0 +1,132 @@
+//===- obs/Profile.cpp ----------------------------------------------------==//
+
+#include "obs/Profile.h"
+
+#include "obs/Trace.h"
+#include "support/Env.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+using namespace dynace;
+using namespace dynace::obs;
+
+std::atomic<bool> dynace::obs::detail::ProfileOn{false};
+
+namespace {
+
+double nowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct StageTotals {
+  double TotalUs = 0.0;
+  double SelfUs = 0.0;
+  uint64_t Count = 0;
+};
+
+// Keyed by stage name; the literal pointers from call sites are unified
+// through a string map so identical names from different TUs aggregate.
+std::mutex TableMutex;
+std::map<std::string, StageTotals> &table() {
+  static auto *T = new std::map<std::string, StageTotals>();
+  return *T;
+}
+
+// Innermost active scope on this thread (the parent of a new scope).
+thread_local ProfileScope *ActiveScope = nullptr;
+
+} // namespace
+
+Profiler &Profiler::instance() {
+  static Profiler *P = [] {
+    Profiler *Inst = new Profiler();
+    if (envBoolOr("DYNACE_PROFILE", false))
+      Inst->setEnabled(true);
+    return Inst;
+  }();
+  return *P;
+}
+
+// Eager env configuration, for the same reason as the trace collector's:
+// DYNACE_PROFILE_SCOPE consults only the ProfileOn flag, so the singleton
+// must read DYNACE_PROFILE before the first scope runs, not after.
+const bool ProfileEnvConfigured = (Profiler::instance(), true);
+
+void Profiler::setEnabled(bool On) {
+  static std::once_flag AtExitOnce;
+  detail::ProfileOn.store(On, std::memory_order_relaxed);
+  if (On)
+    std::call_once(AtExitOnce, [] {
+      std::atexit([] { Profiler::instance().print(stderr); });
+    });
+}
+
+bool Profiler::enabled() const { return profileEnabled(); }
+
+void Profiler::charge(const char *Stage, double TotalUs, double SelfUs) {
+  std::lock_guard<std::mutex> Lock(TableMutex);
+  StageTotals &T = table()[Stage];
+  T.TotalUs += TotalUs;
+  T.SelfUs += SelfUs;
+  T.Count += 1;
+}
+
+void Profiler::print(std::FILE *Out) const {
+  std::vector<std::pair<std::string, StageTotals>> Rows;
+  {
+    std::lock_guard<std::mutex> Lock(TableMutex);
+    Rows.assign(table().begin(), table().end());
+  }
+  if (Rows.empty())
+    return;
+  std::sort(Rows.begin(), Rows.end(), [](const auto &A, const auto &B) {
+    return A.second.SelfUs > B.second.SelfUs;
+  });
+  double TotalSelfUs = 0.0;
+  for (const auto &[Name, T] : Rows)
+    TotalSelfUs += T.SelfUs;
+  std::fprintf(Out, "[dynace] profile (self-time attribution):\n");
+  std::fprintf(Out, "  %-12s %12s %12s %10s %7s\n", "stage", "total(ms)",
+               "self(ms)", "count", "self%");
+  for (const auto &[Name, T] : Rows)
+    std::fprintf(Out, "  %-12s %12.2f %12.2f %10llu %6.1f%%\n", Name.c_str(),
+                 T.TotalUs / 1000.0, T.SelfUs / 1000.0,
+                 static_cast<unsigned long long>(T.Count),
+                 TotalSelfUs > 0.0 ? 100.0 * T.SelfUs / TotalSelfUs : 0.0);
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> Lock(TableMutex);
+  table().clear();
+}
+
+ProfileScope::ProfileScope(const char *Stage)
+    : Stage(Stage), Enabled(profileEnabled()), Traced(traceEnabled()) {
+  if (Traced)
+    TraceStartUs = TraceCollector::instance().nowUs();
+  if (!Enabled)
+    return;
+  StartUs = nowUs();
+  Parent = ActiveScope;
+  ActiveScope = this;
+}
+
+ProfileScope::~ProfileScope() {
+  if (Traced)
+    traceComplete("stage", Stage, TraceStartUs,
+                  TraceCollector::instance().nowUs() - TraceStartUs);
+  if (!Enabled)
+    return;
+  double TotalUs = nowUs() - StartUs;
+  ActiveScope = Parent;
+  if (Parent)
+    Parent->ChildUs += TotalUs;
+  Profiler::instance().charge(Stage, TotalUs, TotalUs - ChildUs);
+}

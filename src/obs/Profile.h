@@ -1,0 +1,106 @@
+//===- obs/Profile.h - Pipeline-stage wall-time profiling ------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profiling hook of the observability layer (DESIGN.md §9):
+/// scoped timers that attribute wall time to named pipeline stages
+/// (generate, simulate, tune, report, cache) and print a self-time table
+/// at process exit when \c DYNACE_PROFILE=1.
+///
+/// Stages nest: "tune" runs inside "simulate", which runs inside an
+/// ExperimentRunner cell. Each thread keeps a stack of active stages; when
+/// a scope ends, its elapsed time is charged to its stage's *total* and
+/// subtracted from the parent's *self* time, so the table's self column
+/// sums to roughly the profiled wall clock without double counting.
+///
+/// Like tracing, the disabled path is a relaxed atomic-bool branch per
+/// facility (the DYNACE_PROFILE_SCOPE macro checks profiling and tracing);
+/// enabling it costs two clock reads per scope, and scopes sit at stage
+/// granularity (per run / per cell), never inside the batched kernel.
+/// When tracing is also enabled, each scope doubles as a "stage" duration
+/// event on the trace timeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_OBS_PROFILE_H
+#define DYNACE_OBS_PROFILE_H
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace dynace {
+namespace obs {
+
+/// Process-wide stage profiler.
+class Profiler {
+public:
+  /// \returns the singleton, configured from DYNACE_PROFILE on first use.
+  static Profiler &instance();
+
+  /// Enables/disables collection. Enabling the first time installs an
+  /// atexit hook that prints the table to stderr.
+  void setEnabled(bool On);
+  bool enabled() const;
+
+  /// Accumulates \p TotalUs/\p SelfUs onto stage \p Stage (which must be a
+  /// string literal; it is stored unowned).
+  void charge(const char *Stage, double TotalUs, double SelfUs);
+
+  /// Prints the per-stage table (total, self, count, self%) to \p Out,
+  /// widest self-time first. Safe to call when disabled (prints nothing).
+  void print(std::FILE *Out) const;
+
+  /// Drops all accumulated samples (tests).
+  void reset();
+
+private:
+  Profiler() = default;
+};
+
+namespace detail {
+extern std::atomic<bool> ProfileOn;
+} // namespace detail
+
+/// \returns true when profiling is collecting (the macro guard).
+inline bool profileEnabled() {
+  return detail::ProfileOn.load(std::memory_order_relaxed);
+}
+
+/// RAII stage scope. Pushes onto the calling thread's stage stack; on
+/// destruction charges elapsed time to the stage and deducts it from the
+/// parent scope's self time. When tracing is on, the scope additionally
+/// emits a "stage" duration event so the stage structure shows up on the
+/// Perfetto timeline. Enabledness of both facilities latches at
+/// construction.
+class ProfileScope {
+public:
+  explicit ProfileScope(const char *Stage);
+  ~ProfileScope();
+  ProfileScope(const ProfileScope &) = delete;
+  ProfileScope &operator=(const ProfileScope &) = delete;
+
+private:
+  const char *Stage;
+  bool Enabled;
+  bool Traced;
+  double StartUs = 0.0;
+  double TraceStartUs = 0.0;    ///< Trace-epoch start (tracing only).
+  double ChildUs = 0.0;         ///< Time claimed by nested scopes.
+  ProfileScope *Parent = nullptr; ///< Enclosing scope on this thread.
+};
+
+} // namespace obs
+} // namespace dynace
+
+/// Stage scope; single-branch when profiling is off.
+#define DYNACE_PROFILE_CONCAT2(A, B) A##B
+#define DYNACE_PROFILE_CONCAT(A, B) DYNACE_PROFILE_CONCAT2(A, B)
+#define DYNACE_PROFILE_SCOPE(Stage)                                            \
+  dynace::obs::ProfileScope DYNACE_PROFILE_CONCAT(DynaceProfileScope_,         \
+                                                  __LINE__)(Stage)
+
+#endif // DYNACE_OBS_PROFILE_H

@@ -1,0 +1,234 @@
+//===- obs/Trace.cpp ------------------------------------------------------==//
+
+#include "obs/Trace.h"
+
+#include "support/Env.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace dynace;
+using namespace dynace::obs;
+
+namespace {
+
+/// Per-thread event cap. 1 << 20 events * ~64 bytes is a few tens of MB in
+/// the worst case — generous for a traced tuning grid, bounded for a
+/// runaway loop. Overflow drops (counted), never reallocates unboundedly.
+constexpr size_t kMaxEventsPerThread = size_t(1) << 20;
+
+const char *const KnownCategories[] = {"hotspot", "tuning", "reconfig",
+                                       "vm",      "cache",  "runner",
+                                       "stage"};
+
+} // namespace
+
+std::atomic<bool> dynace::obs::detail::TraceOn{false};
+
+bool dynace::obs::isKnownTraceCategory(const char *Cat) {
+  for (const char *Known : KnownCategories)
+    if (!std::strcmp(Cat, Known))
+      return true;
+  return false;
+}
+
+std::string dynace::obs::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string dynace::obs::traceArg(const char *Key, uint64_t Value) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "\"%s\": %llu", Key,
+                static_cast<unsigned long long>(Value));
+  return Buf;
+}
+
+std::string dynace::obs::traceArg(const char *Key, const std::string &Value) {
+  return std::string("\"") + Key + "\": \"" + jsonEscape(Value) + "\"";
+}
+
+void dynace::obs::traceInstant(const char *Cat, const char *Name,
+                               std::string Args) {
+  TraceCollector &TC = TraceCollector::instance();
+  TraceEvent E;
+  E.Cat = Cat;
+  E.Name = Name;
+  E.TsUs = TC.nowUs();
+  E.Args = std::move(Args);
+  TC.emit(std::move(E));
+}
+
+void dynace::obs::traceComplete(const char *Cat, const char *Name,
+                                double StartUs, double DurUs,
+                                std::string Args) {
+  TraceEvent E;
+  E.Cat = Cat;
+  E.Name = Name;
+  E.TsUs = StartUs;
+  E.DurUs = DurUs < 0.0 ? 0.0 : DurUs;
+  E.Args = std::move(Args);
+  TraceCollector::instance().emit(std::move(E));
+}
+
+TraceCollector &TraceCollector::instance() {
+  // Leaked so worker threads and atexit handlers can never race a static
+  // destructor; configured from the environment exactly once.
+  static TraceCollector *TC = [] {
+    TraceCollector *C = new TraceCollector();
+    std::string Path = envString("DYNACE_TRACE");
+    if (!Path.empty())
+      C->configure(Path);
+    return C;
+  }();
+  return *TC;
+}
+
+// Force the env-driven configuration to happen at program start: emit
+// sites consult only the TraceOn flag, so waiting for a first instance()
+// call (which may not come until report time) would silently trace
+// nothing. This TU is linked in whenever any emit macro is used (they
+// reference detail::TraceOn), so the initializer runs in every
+// instrumented binary.
+const bool TraceEnvConfigured = (TraceCollector::instance(), true);
+
+TraceCollector::TraceCollector() : Epoch(std::chrono::steady_clock::now()) {}
+
+void TraceCollector::configure(const std::string &NewPath) {
+  std::lock_guard<std::mutex> Lock(M);
+  Path = NewPath;
+  for (std::unique_ptr<ThreadBuffer> &B : Buffers) {
+    std::lock_guard<std::mutex> BLock(B->M);
+    B->Events.clear();
+  }
+  Dropped.store(0, std::memory_order_relaxed);
+  Epoch = std::chrono::steady_clock::now();
+  detail::TraceOn.store(!Path.empty(), std::memory_order_relaxed);
+  if (!Path.empty() && !AtExitInstalled) {
+    AtExitInstalled = true;
+    std::atexit([] { TraceCollector::instance().flush(); });
+  }
+}
+
+std::string TraceCollector::path() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Path;
+}
+
+TraceCollector::ThreadBuffer &TraceCollector::threadBuffer() {
+  thread_local ThreadBuffer *TLB = nullptr;
+  if (!TLB) {
+    auto B = std::make_unique<ThreadBuffer>();
+    B->Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+    TLB = B.get();
+    std::lock_guard<std::mutex> Lock(M);
+    Buffers.push_back(std::move(B));
+  }
+  return *TLB;
+}
+
+void TraceCollector::emit(TraceEvent E) {
+  if (!traceEnabled())
+    return;
+  ThreadBuffer &B = threadBuffer();
+  E.Tid = B.Tid;
+  std::lock_guard<std::mutex> Lock(B.M);
+  if (B.Events.size() >= kMaxEventsPerThread) {
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  B.Events.push_back(std::move(E));
+}
+
+bool TraceCollector::flush() {
+  std::string OutPath;
+  std::vector<TraceEvent> All;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Path.empty())
+      return false;
+    OutPath = Path;
+    for (std::unique_ptr<ThreadBuffer> &B : Buffers) {
+      std::lock_guard<std::mutex> BLock(B->M);
+      All.insert(All.end(), std::make_move_iterator(B->Events.begin()),
+                 std::make_move_iterator(B->Events.end()));
+      B->Events.clear();
+    }
+  }
+  std::stable_sort(All.begin(), All.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.TsUs < B.TsUs;
+                   });
+
+  std::FILE *F = std::fopen(OutPath.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "[dynace] warning: cannot write trace to '%s'\n",
+                 OutPath.c_str());
+    return false;
+  }
+  std::fputs("{\"traceEvents\": [\n", F);
+  bool First = true;
+  for (const TraceEvent &E : All) {
+    if (!First)
+      std::fputs(",\n", F);
+    First = false;
+    // Chrome's importer wants integral pid/tid and microsecond ts/dur.
+    if (E.DurUs < 0.0)
+      std::fprintf(F,
+                   "{\"ph\": \"i\", \"s\": \"t\", \"cat\": \"%s\", "
+                   "\"name\": \"%s\", \"pid\": 1, \"tid\": %u, "
+                   "\"ts\": %.3f%s%s%s}",
+                   E.Cat, E.Name, E.Tid, E.TsUs,
+                   E.Args.empty() ? "" : ", \"args\": {",
+                   E.Args.c_str(), E.Args.empty() ? "" : "}");
+    else
+      std::fprintf(F,
+                   "{\"ph\": \"X\", \"cat\": \"%s\", \"name\": \"%s\", "
+                   "\"pid\": 1, \"tid\": %u, \"ts\": %.3f, "
+                   "\"dur\": %.3f%s%s%s}",
+                   E.Cat, E.Name, E.Tid, E.TsUs, E.DurUs,
+                   E.Args.empty() ? "" : ", \"args\": {",
+                   E.Args.c_str(), E.Args.empty() ? "" : "}");
+  }
+  uint64_t NDropped = Dropped.load(std::memory_order_relaxed);
+  std::fprintf(F,
+               "%s{\"ph\": \"i\", \"s\": \"t\", \"cat\": \"vm\", "
+               "\"name\": \"trace.flush\", \"pid\": 1, \"tid\": 0, "
+               "\"ts\": %.3f, \"args\": {\"events\": %zu, "
+               "\"dropped\": %llu}}\n",
+               First ? "" : ",\n", nowUs(), All.size(),
+               static_cast<unsigned long long>(NDropped));
+  std::fputs("]}\n", F);
+  bool Ok = std::fclose(F) == 0;
+  return Ok;
+}

@@ -1,0 +1,206 @@
+//===- obs/Trace.h - Chrome trace_event collection --------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing half of the observability layer (DESIGN.md §9): a
+/// process-wide \c TraceCollector that buffers timeline events per thread
+/// and writes them as Chrome \c trace_event JSON — loadable in
+/// \c chrome://tracing or https://ui.perfetto.dev — when the process exits
+/// (or on an explicit flush()).
+///
+/// Configuration: setting \c DYNACE_TRACE=<path> enables tracing to that
+/// file; unset/empty disables it. Tests and benches may also call
+/// \c TraceCollector::configure() directly (the microbench uses this to
+/// measure traced-vs-untraced overhead in one process).
+///
+/// **Disabled-path invariant:** every emit site is guarded by the
+/// \c DYNACE_TRACE_* macros, whose disabled path is a single relaxed
+/// atomic-bool load and branch — argument rendering, clock reads and
+/// buffer work all live behind it. The batched simulation kernel carries
+/// no per-instruction emit site at all (batch-boundary granularity only),
+/// so tracing-off throughput stays inside the microbench's 20% gate.
+///
+/// Emission is "lock-free-ish": each thread appends to its own buffer
+/// under a per-thread mutex that only flush() ever contends, so the
+/// enabled-path cost is one uncontended lock + vector push_back. Buffers
+/// are capped (dropped events are counted and reported in the trace
+/// metadata) so a pathological run cannot exhaust memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_OBS_TRACE_H
+#define DYNACE_OBS_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dynace {
+namespace obs {
+
+/// Event categories. A closed set so tools (scripts/check_trace.sh) can
+/// reject unknown categories as schema drift; add here AND to the script's
+/// known list when introducing a new one.
+///  * "hotspot"  — DO hotspot detection/promotion;
+///  * "tuning"   — ACE tuning-state transitions and measurements;
+///  * "reconfig" — CU requests (accept/silent-reject) and cache flushes;
+///  * "vm"       — interpreter/system events (run span, batches, traps);
+///  * "cache"    — result-cache probes (hit/miss/quarantine/save);
+///  * "runner"   — experiment-pipeline cells and retries;
+///  * "stage"    — profiler stage spans (generate/simulate/tune/report).
+///
+/// \returns true when \p Cat is one of the categories above.
+bool isKnownTraceCategory(const char *Cat);
+
+/// One buffered event. Cat/Name must be string literals (they are stored
+/// unowned); Args is a pre-rendered JSON object body ("\"k\":1") or empty.
+struct TraceEvent {
+  const char *Cat = "";
+  const char *Name = "";
+  double TsUs = 0.0;  ///< Microseconds since collector epoch.
+  double DurUs = -1.0; ///< Duration for complete events; < 0 = instant.
+  uint32_t Tid = 0;
+  std::string Args;
+};
+
+/// Process-wide trace sink.
+class TraceCollector {
+public:
+  /// \returns the singleton, configured from DYNACE_TRACE on first use.
+  static TraceCollector &instance();
+
+  /// Points the collector at \p Path (empty disables tracing). Buffered
+  /// events and drop counts are discarded; the epoch restarts. Installs an
+  /// atexit flush the first time a non-empty path is configured.
+  void configure(const std::string &Path);
+
+  /// Output path; empty when tracing is disabled.
+  std::string path() const;
+
+  /// Appends an event to the calling thread's buffer (no-op when
+  /// disabled). Prefer the DYNACE_TRACE_* macros, which guard argument
+  /// construction too.
+  void emit(TraceEvent E);
+
+  /// Writes all buffered events to the configured path as Chrome
+  /// trace_event JSON, sorted by timestamp, and clears the buffers.
+  /// \returns true on success (false: disabled or I/O failure).
+  bool flush();
+
+  /// Microseconds since the collector epoch (monotonic).
+  double nowUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - Epoch)
+        .count();
+  }
+
+  /// Events dropped because a thread buffer hit its cap, since the last
+  /// configure()/flush().
+  uint64_t droppedEvents() const {
+    return Dropped.load(std::memory_order_relaxed);
+  }
+
+private:
+  TraceCollector();
+
+  struct ThreadBuffer {
+    std::mutex M; ///< Owner-appends vs flush; effectively uncontended.
+    std::vector<TraceEvent> Events;
+    uint32_t Tid = 0;
+  };
+
+  ThreadBuffer &threadBuffer();
+
+  mutable std::mutex M; ///< Guards Path/Buffers registration.
+  std::string Path;
+  std::vector<std::unique_ptr<ThreadBuffer>> Buffers;
+  std::atomic<uint64_t> Dropped{0};
+  std::atomic<uint32_t> NextTid{1};
+  bool AtExitInstalled = false;
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+namespace detail {
+/// Tracing-enabled flag, mirrored out of the collector so emit sites pay
+/// one relaxed load when disabled.
+extern std::atomic<bool> TraceOn;
+} // namespace detail
+
+/// \returns true when tracing is configured (the macro guard).
+inline bool traceEnabled() {
+  return detail::TraceOn.load(std::memory_order_relaxed);
+}
+
+/// Minimal JSON string escaping for event argument values.
+std::string jsonEscape(const std::string &S);
+
+// Argument-rendering helpers (called only on the enabled path).
+std::string traceArg(const char *Key, uint64_t Value);
+std::string traceArg(const char *Key, const std::string &Value);
+inline std::string traceArg(const char *Key, const char *Value) {
+  return traceArg(Key, std::string(Value));
+}
+
+/// Emits an instant event ("i") with pre-rendered \p Args.
+void traceInstant(const char *Cat, const char *Name, std::string Args = "");
+
+/// Emits a complete event ("X") spanning [\p StartUs, \p StartUs+\p DurUs].
+void traceComplete(const char *Cat, const char *Name, double StartUs,
+                   double DurUs, std::string Args = "");
+
+/// RAII duration event: records the start at construction and emits a
+/// complete event at destruction. Enabledness is latched at construction
+/// so a mid-scope configure() cannot emit a garbage span.
+class TraceScope {
+public:
+  TraceScope(const char *Cat, const char *Name, std::string Args = "")
+      : Cat(Cat), Name(Name), Args(std::move(Args)),
+        Enabled(traceEnabled()) {
+    if (Enabled)
+      StartUs = TraceCollector::instance().nowUs();
+  }
+  ~TraceScope() {
+    if (Enabled)
+      traceComplete(Cat, Name,
+                    StartUs, TraceCollector::instance().nowUs() - StartUs,
+                    std::move(Args));
+  }
+  TraceScope(const TraceScope &) = delete;
+  TraceScope &operator=(const TraceScope &) = delete;
+
+private:
+  const char *Cat;
+  const char *Name;
+  std::string Args;
+  bool Enabled;
+  double StartUs = 0.0;
+};
+
+} // namespace obs
+} // namespace dynace
+
+/// Instant event; argument expressions are evaluated only when tracing is
+/// enabled (the disabled path is the single traceEnabled() branch).
+#define DYNACE_TRACE_INSTANT(Cat, Name, ...)                                   \
+  do {                                                                         \
+    if (dynace::obs::traceEnabled())                                           \
+      dynace::obs::traceInstant(Cat, Name, ##__VA_ARGS__);                     \
+  } while (0)
+
+/// Scoped duration event (one TraceScope per use; args evaluated lazily).
+#define DYNACE_TRACE_SCOPE_CONCAT2(A, B) A##B
+#define DYNACE_TRACE_SCOPE_CONCAT(A, B) DYNACE_TRACE_SCOPE_CONCAT2(A, B)
+#define DYNACE_TRACE_SCOPE(Cat, Name, ...)                                     \
+  dynace::obs::TraceScope DYNACE_TRACE_SCOPE_CONCAT(DynaceTraceScope_,         \
+                                                    __LINE__)(                 \
+      Cat, Name,                                                               \
+      dynace::obs::traceEnabled() ? std::string(__VA_ARGS__) : std::string())
+
+#endif // DYNACE_OBS_TRACE_H

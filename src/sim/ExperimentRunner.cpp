@@ -2,6 +2,9 @@
 
 #include "sim/ExperimentRunner.h"
 
+#include "obs/Metrics.h"
+#include "obs/Profile.h"
+#include "obs/Trace.h"
 #include "sim/ResultCache.h"
 #include "support/Env.h"
 #include "support/FaultInjector.h"
@@ -25,10 +28,7 @@ std::string CellOutcome::label() const {
 }
 
 /// Cache directory from DYNACE_CACHE_DIR; empty = on-disk caching disabled.
-static std::string cacheDir() {
-  const char *Dir = std::getenv("DYNACE_CACHE_DIR");
-  return Dir ? Dir : "";
-}
+static std::string cacheDir() { return envString("DYNACE_CACHE_DIR"); }
 
 static double secondsSince(std::chrono::steady_clock::time_point Start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -53,10 +53,14 @@ ExperimentRunner::workload(const WorkloadProfile &Profile) {
   // insertions by other workers.
   std::lock_guard<std::mutex> Lock(WorkloadsMutex);
   auto It = Workloads.find(Profile.Name);
-  if (It == Workloads.end())
+  if (It == Workloads.end()) {
+    DYNACE_PROFILE_SCOPE("generate");
+    DYNACE_TRACE_SCOPE("runner", "generate",
+                       obs::traceArg("workload", Profile.Name));
     It = Workloads
              .emplace(Profile.Name, WorkloadGenerator::generate(Profile))
              .first;
+  }
   return It->second;
 }
 
@@ -75,6 +79,10 @@ void ExperimentRunner::recordStats(const WorkloadProfile &Profile, Scheme S,
                  Profile.Name.c_str(), schemeName(S),
                  CacheHit ? "cached" : "simulated",
                  static_cast<double>(R.Instructions) / 1e6, WallSeconds);
+  // Pipeline accounting lands in the process registry: per-cell wall time
+  // depends on scheduling and disk state, so it is reported, never cached.
+  MetricsRegistry::process().histogram("runner.cell_ms").record(
+      static_cast<uint64_t>(WallSeconds * 1000.0));
   std::lock_guard<std::mutex> Lock(StatsMutex);
   Stats.push_back({Profile.Name, S, R.Instructions, CacheHit, WallSeconds,
                    Outcome.Failed, Outcome.Code, Outcome.Reason,
@@ -95,6 +103,9 @@ ExperimentRunner::runSchemeChecked(const WorkloadProfile &Profile, Scheme S) {
   if (Opts.TimeoutMs == 0)
     Opts.TimeoutMs = envUnsignedOr("DYNACE_RUN_TIMEOUT_MS", 0);
   auto Start = std::chrono::steady_clock::now();
+  DYNACE_TRACE_SCOPE("runner", "cell",
+                     obs::traceArg("cell", Profile.Name + "/" +
+                                               schemeName(S)));
 
   // Hold the key's in-process lock across probe + simulate + publish: of
   // two workers racing on one key, the loser blocks here and then loads
@@ -109,21 +120,29 @@ ExperimentRunner::runSchemeChecked(const WorkloadProfile &Profile, Scheme S) {
   if (!Dir.empty()) {
     ::mkdir(Dir.c_str(), 0755);
     Path = Dir + "/" + Key + ".txt";
+    DYNACE_PROFILE_SCOPE("cache");
     Expected<SimulationResult> Cached = loadResultChecked(Path);
     if (Cached.ok()) {
       SimulationResult R = Cached.take();
+      DYNACE_TRACE_INSTANT("cache", "hit", obs::traceArg("key", Key));
+      MetricsRegistry::process().counter("cache.hits").inc();
       recordStats(Profile, S, R, /*CacheHit=*/true, secondsSince(Start),
                   Outcome, /*Quarantined=*/0);
       return {std::move(R), Outcome};
     }
+    DYNACE_TRACE_INSTANT("cache", "miss", obs::traceArg("key", Key));
+    MetricsRegistry::process().counter("cache.misses").inc();
     // Every load failure degrades to a cache miss (re-simulate). A plain
     // miss — no entry, or an entry of another format version — is silent;
     // corruption and injected faults are worth a line.
     if (Cached.status().code() != ErrorCode::IoError)
       std::fprintf(stderr, "[dynace] cache: %s\n",
                    Cached.status().toString().c_str());
-    if (Cached.status().code() == ErrorCode::InvalidInput)
+    if (Cached.status().code() == ErrorCode::InvalidInput) {
       Quarantined = 1; // loadResultChecked() quarantined the entry.
+      DYNACE_TRACE_INSTANT("cache", "quarantine", obs::traceArg("key", Key));
+      MetricsRegistry::process().counter("cache.quarantined").inc();
+    }
   }
 
   const GeneratedWorkload &W = workload(Profile);
@@ -154,12 +173,19 @@ ExperimentRunner::runSchemeChecked(const WorkloadProfile &Profile, Scheme S) {
       Outcome.Reason = Err.message();
       R = SimulationResult();
       R.SchemeKind = S;
+      DYNACE_TRACE_INSTANT("runner", "cell.failed",
+                           obs::traceArg("reason", Err.message()));
+      MetricsRegistry::process().counter("runner.failures").inc();
       break;
     }
     // Capped exponential backoff before the next attempt. Purely pacing
     // for transient faults; results never depend on the delay.
     uint64_t DelayMs =
         std::min<uint64_t>(1ull << std::min<uint64_t>(Attempt, 6), 64);
+    DYNACE_TRACE_INSTANT("runner", "retry",
+                         obs::traceArg("attempt", Attempt + 1) + ", " +
+                             obs::traceArg("backoff_ms", DelayMs));
+    MetricsRegistry::process().counter("runner.retries").inc();
     std::fprintf(stderr,
                  "[dynace] %s/%s: attempt %llu failed (%s); retrying in "
                  "%llu ms\n",
@@ -170,12 +196,15 @@ ExperimentRunner::runSchemeChecked(const WorkloadProfile &Profile, Scheme S) {
     std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
   }
 
-  if (!Outcome.Failed && !Path.empty())
+  if (!Outcome.Failed && !Path.empty()) {
+    DYNACE_PROFILE_SCOPE("cache");
+    DYNACE_TRACE_INSTANT("cache", "save", obs::traceArg("key", Key));
     if (Status SaveErr = saveResultChecked(Path, R); !SaveErr)
       // Publishing is an optimization; a failed save is not a cell
       // failure — the next consumer just re-simulates.
       std::fprintf(stderr, "[dynace] cache: %s\n",
                    SaveErr.toString().c_str());
+  }
   recordStats(Profile, S, R, /*CacheHit=*/false, secondsSince(Start),
               Outcome, Quarantined);
   return {std::move(R), Outcome};

@@ -2,12 +2,16 @@
 
 #include "sim/Reports.h"
 
+#include "obs/Profile.h"
+#include "obs/Trace.h"
+#include "support/Env.h"
 #include "support/Format.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
 #include "workloads/WorkloadProfile.h"
 
 #include <algorithm>
+#include <set>
 
 using namespace dynace;
 
@@ -418,4 +422,85 @@ void dynace::printRunStats(std::ostream &OS,
   T.print(OS, "Pipeline accounting: per-run simulation cost (summed wall "
               "times; concurrent runs overlap, so the pipeline's wall "
               "clock is lower)");
+
+  // Point at observability artifacts so users find them without reading
+  // the env-var docs. Each line appears only when the facility is on.
+  const std::string &TracePath = obs::TraceCollector::instance().path();
+  if (!TracePath.empty())
+    OS << "Trace (Chrome trace_event JSON, open in Perfetto): " << TracePath
+       << "\n";
+  std::string MetricsPath = envString("DYNACE_METRICS");
+  if (!MetricsPath.empty())
+    OS << "Process metrics (JSON, written at exit): " << MetricsPath << "\n";
+  if (obs::profileEnabled())
+    OS << "Stage profile: printed to stderr at exit (DYNACE_PROFILE=1)\n";
+}
+
+void dynace::printMetrics(std::ostream &OS,
+                          const std::vector<BenchmarkRun> &Runs, Scheme S) {
+  auto ResultFor = [S](const BenchmarkRun &R) -> const SimulationResult & {
+    switch (S) {
+    case Scheme::Baseline:
+      return R.Baseline;
+    case Scheme::Bbv:
+      return R.Bbv;
+    case Scheme::Hotspot:
+      break;
+    }
+    return R.Hotspot;
+  };
+
+  // Union of instrument names across the runs, so every row has a cell in
+  // every column and the table layout is independent of which benchmark
+  // happened to touch which instrument.
+  std::set<std::string> CounterNames, GaugeNames, HistogramNames;
+  for (const BenchmarkRun &R : Runs) {
+    const MetricsSnapshot &M = ResultFor(R).Metrics;
+    for (const auto &[Name, V] : M.Counters)
+      CounterNames.insert(Name);
+    for (const auto &[Name, V] : M.Gauges)
+      GaugeNames.insert(Name);
+    for (const auto &[Name, H] : M.Histograms)
+      HistogramNames.insert(Name);
+  }
+
+  TextTable T;
+  T.setHeader(benchHeader(Runs, /*WithAvg=*/false));
+  for (const std::string &Name : CounterNames) {
+    std::vector<std::string> Row = {Name};
+    for (const BenchmarkRun &R : Runs) {
+      const auto &M = ResultFor(R).Metrics.Counters;
+      auto It = M.find(Name);
+      Row.push_back(It == M.end() ? "-" : formatCount(It->second));
+    }
+    T.addRow(Row);
+  }
+  for (const std::string &Name : GaugeNames) {
+    std::vector<std::string> Row = {Name};
+    for (const BenchmarkRun &R : Runs) {
+      const auto &M = ResultFor(R).Metrics.Gauges;
+      auto It = M.find(Name);
+      Row.push_back(It == M.end() ? "-" : formatFixed(It->second, 4));
+    }
+    T.addRow(Row);
+  }
+  for (const std::string &Name : HistogramNames) {
+    std::vector<std::string> Row = {Name};
+    for (const BenchmarkRun &R : Runs) {
+      const auto &M = ResultFor(R).Metrics.Histograms;
+      auto It = M.find(Name);
+      if (It == M.end()) {
+        Row.push_back("-");
+        continue;
+      }
+      const HistogramSnapshot &H = It->second;
+      Row.push_back(formatCount(H.Count) + " (p50>=" +
+                    formatCount(H.percentileLowerBound(0.5)) + ", p99>=" +
+                    formatCount(H.percentileLowerBound(0.99)) + ")");
+    }
+    T.addRow(Row);
+  }
+  T.print(OS, std::string("Observability metrics per run, ") + schemeName(S) +
+                  " scheme (histograms: count and log2-bucket percentile "
+                  "lower bounds)");
 }

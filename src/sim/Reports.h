@@ -56,6 +56,15 @@ void printFigure4(std::ostream &OS, const std::vector<BenchmarkRun> &Runs);
 /// pipeline's wall clock by roughly the parallel speedup.
 void printRunStats(std::ostream &OS, const std::vector<RunStats> &Stats);
 
+/// Observability metrics: the per-run MetricsSnapshot recorded by each
+/// simulation under scheme \p S, one column per benchmark. Counters print
+/// verbatim; histograms print as "count (p50/p99 lower bounds)"; gauges
+/// with six significant digits. Rows are the union of instrument names
+/// across the runs (a benchmark that never touched an instrument shows
+/// "-"), so the table stays stable as instrumentation grows.
+void printMetrics(std::ostream &OS, const std::vector<BenchmarkRun> &Runs,
+                  Scheme S = Scheme::Hotspot);
+
 } // namespace dynace
 
 #endif // DYNACE_SIM_REPORTS_H

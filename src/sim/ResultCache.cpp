@@ -209,6 +209,30 @@ void writeResult(FILE *F, const SimulationResult &R) {
     W.vec("bbv_reconfigs", R.BbvR->ReconfigsPerCu);
     W.f64("bbv_coverage", R.BbvR->Coverage);
   }
+
+  // v3: the per-run metrics snapshot. Names are dot-separated identifiers
+  // (no whitespace), so key-value lines round-trip through fscanf %s. The
+  // std::map ordering makes the serialization canonical — the golden
+  // determinism digest covers these fields too.
+  const MetricsSnapshot &M = R.Metrics;
+  W.u64("metrics_counters", M.Counters.size());
+  for (const auto &[Name, V] : M.Counters)
+    std::fprintf(F, "mc %s %" PRIu64 "\n", Name.c_str(), V);
+  W.u64("metrics_gauges", M.Gauges.size());
+  for (const auto &[Name, V] : M.Gauges)
+    std::fprintf(F, "mg %s %.17g\n", Name.c_str(), V);
+  W.u64("metrics_histograms", M.Histograms.size());
+  for (const auto &[Name, H] : M.Histograms) {
+    std::fprintf(F, "mh %s %" PRIu64 " %zu", Name.c_str(), H.Sum,
+                 H.Buckets.size());
+    for (uint64_t B : H.Buckets)
+      std::fprintf(F, " %" PRIu64, B);
+    std::fprintf(F, "\n");
+  }
+  // Explicit terminator: the metrics block ends in free-form digit runs,
+  // so without this a truncation inside the final bucket counts would
+  // still parse (as a shortened value). The loader requires the marker.
+  std::fprintf(F, "end\n");
 }
 
 } // namespace
@@ -355,6 +379,97 @@ Expected<SimulationResult> dynace::loadResultChecked(const std::string &Path) {
     B.ReconfigsPerCu = In.vec("bbv_reconfigs");
     B.Coverage = In.f64("bbv_coverage");
     R.BbvR = std::move(B);
+  }
+
+  // Metrics snapshot (v3). Instrument counts and bucket counts are capped
+  // so corrupted sizes cannot drive unbounded loops or allocations.
+  constexpr uint64_t kMaxInstruments = 512;
+  uint64_t NumCounters = In.u64("metrics_counters");
+  if (In.ok() && NumCounters > kMaxInstruments) {
+    std::fclose(F);
+    return quarantineCorruptEntry(Path, "metrics counter count out of range");
+  }
+  // Names load into std::map, so the canonical serialization is sorted;
+  // requiring strictly increasing identifier-charset names on the way in
+  // makes the parse byte-faithful (a corrupted name that reorders — or
+  // duplicates — a key would otherwise reserialize differently than the
+  // bytes on disk, and instrument names are dot-separated identifiers by
+  // construction, so anything else is corruption).
+  auto ValidMetricName = [](const char *Name) {
+    for (const char *P = Name; *P; ++P)
+      if (!std::isalnum(static_cast<unsigned char>(*P)) && *P != '.' &&
+          *P != '_' && *P != '-' && *P != '#')
+        return false;
+    return Name[0] != '\0';
+  };
+  std::string PrevName;
+  for (uint64_t I = 0; I != NumCounters && In.ok(); ++I) {
+    char Key[8], Name[128];
+    uint64_t V = 0;
+    if (std::fscanf(F, "%7s %127s %" SCNu64, Key, Name, &V) != 3 ||
+        std::string(Key) != "mc" || !ValidMetricName(Name) ||
+        Name <= PrevName) {
+      std::fclose(F);
+      return quarantineCorruptEntry(Path, "malformed metrics counter");
+    }
+    PrevName = Name;
+    R.Metrics.Counters[Name] = V;
+  }
+  uint64_t NumGauges = In.u64("metrics_gauges");
+  if (In.ok() && NumGauges > kMaxInstruments) {
+    std::fclose(F);
+    return quarantineCorruptEntry(Path, "metrics gauge count out of range");
+  }
+  PrevName.clear();
+  for (uint64_t I = 0; I != NumGauges && In.ok(); ++I) {
+    char Key[8], Name[128];
+    double V = 0;
+    if (std::fscanf(F, "%7s %127s %lg", Key, Name, &V) != 3 ||
+        std::string(Key) != "mg" || !ValidMetricName(Name) ||
+        Name <= PrevName) {
+      std::fclose(F);
+      return quarantineCorruptEntry(Path, "malformed metrics gauge");
+    }
+    PrevName = Name;
+    R.Metrics.Gauges[Name] = V;
+  }
+  uint64_t NumHistograms = In.u64("metrics_histograms");
+  if (In.ok() && NumHistograms > kMaxInstruments) {
+    std::fclose(F);
+    return quarantineCorruptEntry(Path, "metrics histogram count out of range");
+  }
+  PrevName.clear();
+  for (uint64_t I = 0; I != NumHistograms && In.ok(); ++I) {
+    char Key[8], Name[128];
+    uint64_t Sum = 0;
+    size_t NumBuckets = 0;
+    if (std::fscanf(F, "%7s %127s %" SCNu64 " %zu", Key, Name, &Sum,
+                    &NumBuckets) != 4 ||
+        std::string(Key) != "mh" || !ValidMetricName(Name) ||
+        Name <= PrevName ||
+        NumBuckets > kHistogramBuckets) {
+      std::fclose(F);
+      return quarantineCorruptEntry(Path, "malformed metrics histogram");
+    }
+    PrevName = Name;
+    HistogramSnapshot H;
+    H.Sum = Sum;
+    H.Buckets.resize(NumBuckets);
+    for (size_t B = 0; B != NumBuckets; ++B) {
+      if (std::fscanf(F, "%" SCNu64, &H.Buckets[B]) != 1) {
+        std::fclose(F);
+        return quarantineCorruptEntry(Path, "malformed metrics histogram");
+      }
+      H.Count += H.Buckets[B]; // Count is derived, not stored.
+    }
+    R.Metrics.Histograms[Name] = std::move(H);
+  }
+  if (In.ok()) {
+    char End[8] = {0};
+    if (std::fscanf(F, "%7s", End) != 1 || std::string(End) != "end") {
+      std::fclose(F);
+      return quarantineCorruptEntry(Path, "missing end marker");
+    }
   }
 
   bool Ok = In.ok();

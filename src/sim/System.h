@@ -23,6 +23,7 @@
 #include "bbv/BbvManager.h"
 #include "cache/MemoryHierarchy.h"
 #include "dosys/DoSystem.h"
+#include "obs/Metrics.h"
 #include "power/PowerMeter.h"
 #include "support/Status.h"
 #include "uarch/Core.h"
@@ -99,6 +100,11 @@ struct SimulationResult {
   DoStats Do;                     ///< Valid when the DO system ran.
   std::optional<AceReport> Ace;   ///< Hotspot scheme only.
   std::optional<BbvReport> BbvR;  ///< BBV scheme only.
+  /// Per-run observability counters/histograms (DESIGN.md §9). Every value
+  /// is driven by a deterministic simulation event, so the snapshot is
+  /// bit-identical across serial and parallel pipelines and participates
+  /// in the result cache and the golden determinism digest.
+  MetricsSnapshot Metrics;
 };
 
 /// One simulated machine + program instance.
@@ -138,6 +144,8 @@ public:
   ConfigurableUnit *l2Unit() { return L2Unit.get(); }
   ConfigurableUnit *windowUnit() { return WindowUnit.get(); }
   const SimulationOptions &options() const { return Options; }
+  /// This run's metrics registry (snapshotted into the result).
+  MetricsRegistry &metrics() { return RunMetrics; }
 
   /// \returns the total issue-window energy so far (dynamic + approximate
   ///          leakage).
@@ -151,6 +159,9 @@ private:
   SimulationResult collectResult();
 
   SimulationOptions Options;
+  /// Declared before the components so instruments cached by them via
+  /// setMetrics() stay valid for the components' whole lifetime.
+  MetricsRegistry RunMetrics;
   std::unique_ptr<MemoryHierarchy> Hier;
   std::unique_ptr<Core> Cpu;
   EnergyModel Energy;

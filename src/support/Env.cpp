@@ -60,3 +60,38 @@ uint64_t dynace::envUnsignedOr(const char *Name, uint64_t Default,
   }
   return *Value;
 }
+
+std::string dynace::envString(const char *Name, const std::string &Default) {
+  const char *Text = std::getenv(Name);
+  if (!Text || *Text == '\0')
+    return Default;
+  return Text;
+}
+
+Expected<bool> dynace::envBoolChecked(const char *Name, bool Default) {
+  const char *Text = std::getenv(Name);
+  if (!Text || *Text == '\0')
+    return Default;
+  if (!std::strcmp(Text, "1") || !std::strcmp(Text, "true") ||
+      !std::strcmp(Text, "on"))
+    return true;
+  if (!std::strcmp(Text, "0") || !std::strcmp(Text, "false") ||
+      !std::strcmp(Text, "off"))
+    return false;
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "%s='%s' is not a valid boolean; expected one of "
+                "0/false/off or 1/true/on",
+                Name, Text);
+  return Status::error(ErrorCode::InvalidInput, Buf);
+}
+
+bool dynace::envBoolOr(const char *Name, bool Default) {
+  Expected<bool> Value = envBoolChecked(Name, Default);
+  if (!Value) {
+    std::fprintf(stderr, "[dynace] fatal: %s\n",
+                 Value.status().message().c_str());
+    std::exit(2);
+  }
+  return *Value;
+}

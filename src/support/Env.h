@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 namespace dynace {
 
@@ -55,6 +56,26 @@ Expected<uint64_t> envUnsignedChecked(const char *Name, uint64_t Default,
 /// \returns the parsed value or \p Default.
 uint64_t envUnsignedOr(const char *Name, uint64_t Default, uint64_t Min = 0,
                        uint64_t Max = UINT64_MAX);
+
+/// Reads environment variable \p Name as a string. The single point of
+/// getenv() truth for string-valued DYNACE_* knobs (DYNACE_TRACE,
+/// DYNACE_METRICS, DYNACE_FAULT_SPEC, DYNACE_CACHE_DIR): unlike raw
+/// std::getenv, it normalises "unset" and "set to empty" to the same
+/// \p Default and copies out of the environment so later setenv calls
+/// cannot invalidate the result.
+/// \returns the variable's value, or \p Default when unset or empty.
+std::string envString(const char *Name, const std::string &Default = "");
+
+/// Reads environment variable \p Name as a boolean flag with the same
+/// strict-parse contract as the numeric readers: exactly "0"/"false"/"off"
+/// and "1"/"true"/"on" (lower case) are accepted; unset or empty yields
+/// \p Default; anything else ("yes", "TRUE", "2") is an InvalidInput error
+/// naming the variable and the accepted spellings.
+Expected<bool> envBoolChecked(const char *Name, bool Default);
+
+/// Fatal wrapper over envBoolChecked(), mirroring envUnsignedOr().
+/// \returns the parsed flag or \p Default.
+bool envBoolOr(const char *Name, bool Default);
 
 } // namespace dynace
 

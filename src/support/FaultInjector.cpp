@@ -53,7 +53,7 @@ FaultInjector &FaultInjector::instance() {
 }
 
 Status FaultInjector::configureFromEnv() {
-  return configure(std::getenv("DYNACE_FAULT_SPEC"));
+  return configure(envString("DYNACE_FAULT_SPEC").c_str());
 }
 
 Status FaultInjector::configure(const char *Spec) {

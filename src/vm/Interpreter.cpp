@@ -2,6 +2,8 @@
 
 #include "vm/Interpreter.h"
 
+#include "obs/Trace.h"
+
 #include <bit>
 #include <cassert>
 #include <cstring>
@@ -54,6 +56,10 @@ Interpreter::Status Interpreter::raiseTrap(TrapKind Kind, MethodId Id,
   Trap.Kind = Kind;
   Trap.PC = Prog.method(Id).pcOf(PC);
   Trap.Method = Id;
+  DYNACE_TRACE_INSTANT("vm", "trap",
+                       obs::traceArg("kind", trapKindName(Kind)) + ", " +
+                           obs::traceArg("method", uint64_t(Id)) + ", " +
+                           obs::traceArg("pc", uint64_t(Trap.PC)));
   return Status::Trapped;
 }
 

@@ -83,6 +83,48 @@ TEST(EnvParsingDeathTest, JobsGarbageIsFatal) {
   unsetenv("DYNACE_JOBS");
 }
 
+TEST(EnvString, UnsetOrEmptyYieldsDefault) {
+  unsetenv("DYNACE_TEST_STR");
+  EXPECT_EQ(envString("DYNACE_TEST_STR"), "");
+  EXPECT_EQ(envString("DYNACE_TEST_STR", "fallback"), "fallback");
+  setenv("DYNACE_TEST_STR", "", 1);
+  EXPECT_EQ(envString("DYNACE_TEST_STR", "fallback"), "fallback");
+  setenv("DYNACE_TEST_STR", "trace.json", 1);
+  EXPECT_EQ(envString("DYNACE_TEST_STR", "fallback"), "trace.json");
+  unsetenv("DYNACE_TEST_STR");
+}
+
+TEST(EnvBool, AcceptsCanonicalSpellingsOnly) {
+  unsetenv("DYNACE_TEST_BOOL");
+  EXPECT_TRUE(*envBoolChecked("DYNACE_TEST_BOOL", true));
+  EXPECT_FALSE(*envBoolChecked("DYNACE_TEST_BOOL", false));
+  for (const char *V : {"1", "true", "on"}) {
+    setenv("DYNACE_TEST_BOOL", V, 1);
+    EXPECT_TRUE(*envBoolChecked("DYNACE_TEST_BOOL", false)) << V;
+  }
+  for (const char *V : {"0", "false", "off"}) {
+    setenv("DYNACE_TEST_BOOL", V, 1);
+    EXPECT_FALSE(*envBoolChecked("DYNACE_TEST_BOOL", true)) << V;
+  }
+  // Strict parse: anything else is a structured error, not a guess.
+  for (const char *V : {"yes", "TRUE", "2", " 1", "banana"}) {
+    setenv("DYNACE_TEST_BOOL", V, 1);
+    Expected<bool> E = envBoolChecked("DYNACE_TEST_BOOL", false);
+    ASSERT_FALSE(E.ok()) << V;
+    EXPECT_EQ(E.status().code(), ErrorCode::InvalidInput) << V;
+    EXPECT_NE(E.status().message().find("DYNACE_TEST_BOOL"),
+              std::string::npos);
+  }
+  unsetenv("DYNACE_TEST_BOOL");
+}
+
+TEST(EnvBoolDeathTest, GarbageIsFatal) {
+  setenv("DYNACE_TEST_BOOL", "maybe", 1);
+  EXPECT_EXIT(envBoolOr("DYNACE_TEST_BOOL", false),
+              testing::ExitedWithCode(2), "DYNACE_TEST_BOOL");
+  unsetenv("DYNACE_TEST_BOOL");
+}
+
 TEST(EnvParsing, InstrBudgetAndJobsHonorValidValues) {
   setenv("DYNACE_INSTR_BUDGET", "123456", 1);
   EXPECT_EQ(ExperimentRunner::defaultOptions().MaxInstructions, 123456u);

@@ -1,0 +1,379 @@
+//===- tests/obs_test.cpp - Observability layer tests ---------------------==//
+//
+// Covers the obs/ subsystem: trace event ordering within a thread, log2
+// histogram bucket boundaries, metrics snapshot merging across ThreadPool
+// workers, structural JSON validity of an emitted trace file (including
+// the closed category set), and the determinism contract — per-run metrics
+// identical between a 1-worker and a 4-worker pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "sim/ExperimentRunner.h"
+#include "sim/ResultCache.h"
+#include "support/ThreadPool.h"
+#include "workloads/WorkloadGenerator.h"
+#include "workloads/WorkloadProfile.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace dynace;
+
+namespace {
+
+std::string tempTracePath(const char *Tag) {
+  return ::testing::TempDir() + "dynace_obs_" + Tag + "_" +
+         std::to_string(::getpid()) + ".json";
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::stringstream Ss;
+  Ss << In.rdbuf();
+  return Ss.str();
+}
+
+/// Restores a disabled collector and removes the trace file even when the
+/// test body exits early via a failed ASSERT.
+struct TraceFixture {
+  explicit TraceFixture(const char *Tag) : Path(tempTracePath(Tag)) {
+    obs::TraceCollector::instance().configure(Path);
+  }
+  ~TraceFixture() {
+    obs::TraceCollector::instance().configure("");
+    std::remove(Path.c_str());
+  }
+  std::string Path;
+};
+
+/// Minimal JSON syntax checker (objects, arrays, strings with escapes,
+/// numbers, true/false/null). \returns true when \p Text is exactly one
+/// valid JSON value. No external parser: the ctest must not depend on
+/// python (scripts/check_trace.sh covers that angle).
+class JsonChecker {
+public:
+  explicit JsonChecker(const std::string &Text) : S(Text) {}
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  bool value() {
+    if (Pos >= S.size())
+      return false;
+    switch (S[Pos]) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+  bool object() {
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}')
+      return ++Pos, true;
+    while (true) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return false;
+      ++Pos;
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    if (Pos >= S.size() || S[Pos] != '}')
+      return false;
+    return ++Pos, true;
+  }
+  bool array() {
+    ++Pos; // '['
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']')
+      return ++Pos, true;
+    while (true) {
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    if (Pos >= S.size() || S[Pos] != ']')
+      return false;
+    return ++Pos, true;
+  }
+  bool string() {
+    if (Pos >= S.size() || S[Pos] != '"')
+      return false;
+    ++Pos;
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return false;
+      }
+      ++Pos;
+    }
+    if (Pos >= S.size())
+      return false;
+    return ++Pos, true;
+  }
+  bool number() {
+    size_t Begin = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+            S[Pos] == '+' || S[Pos] == '-'))
+      ++Pos;
+    return Pos > Begin;
+  }
+  bool literal(const char *L) {
+    size_t N = std::strlen(L);
+    if (S.compare(Pos, N, L) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+  void skipWs() {
+    while (Pos < S.size() &&
+           std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+/// Every `"cat": "<...>"` occurrence in the trace text.
+std::vector<std::string> extractCategories(const std::string &Text) {
+  std::vector<std::string> Cats;
+  const std::string Needle = "\"cat\": \"";
+  for (size_t Pos = Text.find(Needle); Pos != std::string::npos;
+       Pos = Text.find(Needle, Pos + 1)) {
+    size_t Begin = Pos + Needle.size();
+    size_t End = Text.find('"', Begin);
+    if (End != std::string::npos)
+      Cats.push_back(Text.substr(Begin, End - Begin));
+  }
+  return Cats;
+}
+
+SimulationOptions quickOptions(Scheme S) {
+  SimulationOptions Opts;
+  Opts.SchemeKind = S;
+  Opts.MaxInstructions = 300000;
+  return Opts;
+}
+
+} // namespace
+
+TEST(TraceCollector, EventsWithinAThreadStayOrdered) {
+  TraceFixture Fx("order");
+  DYNACE_TRACE_INSTANT("vm", "first");
+  DYNACE_TRACE_INSTANT("vm", "second");
+  DYNACE_TRACE_INSTANT("vm", "third");
+  ASSERT_TRUE(obs::TraceCollector::instance().flush());
+
+  std::string Text = slurp(Fx.Path);
+  size_t First = Text.find("\"first\"");
+  size_t Second = Text.find("\"second\"");
+  size_t Third = Text.find("\"third\"");
+  ASSERT_NE(First, std::string::npos);
+  ASSERT_NE(Second, std::string::npos);
+  ASSERT_NE(Third, std::string::npos);
+  // flush() sorts by timestamp; same-thread emissions have monotonically
+  // increasing timestamps, so file order must equal emission order.
+  EXPECT_LT(First, Second);
+  EXPECT_LT(Second, Third);
+}
+
+TEST(TraceCollector, DisabledPathEmitsNothing) {
+  obs::TraceCollector::instance().configure("");
+  EXPECT_FALSE(obs::traceEnabled());
+  DYNACE_TRACE_INSTANT("vm", "ghost", obs::traceArg("k", uint64_t(1)));
+  EXPECT_FALSE(obs::TraceCollector::instance().flush());
+}
+
+TEST(TraceCollector, JsonEscapingAndKnownCategories) {
+  EXPECT_EQ(obs::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  for (const char *Cat :
+       {"hotspot", "tuning", "reconfig", "vm", "cache", "runner", "stage"})
+    EXPECT_TRUE(obs::isKnownTraceCategory(Cat)) << Cat;
+  EXPECT_FALSE(obs::isKnownTraceCategory("surprise"));
+}
+
+TEST(Histogram, BucketBoundariesAreLog2) {
+  // Bucket 0 holds only the value 0; bucket i >= 1 holds [2^(i-1), 2^i-1].
+  EXPECT_EQ(histogramBucketFor(0), 0u);
+  EXPECT_EQ(histogramBucketFor(1), 1u);
+  EXPECT_EQ(histogramBucketFor(2), 2u);
+  EXPECT_EQ(histogramBucketFor(3), 2u);
+  EXPECT_EQ(histogramBucketFor(4), 3u);
+  EXPECT_EQ(histogramBucketFor(7), 3u);
+  EXPECT_EQ(histogramBucketFor(8), 4u);
+  EXPECT_EQ(histogramBucketFor(1023), 10u);
+  EXPECT_EQ(histogramBucketFor(1024), 11u);
+  EXPECT_EQ(histogramBucketFor(UINT64_MAX), 64u);
+  for (unsigned I = 1; I != kHistogramBuckets; ++I) {
+    uint64_t Lo = histogramBucketLowerBound(I);
+    EXPECT_EQ(histogramBucketFor(Lo), I);
+    EXPECT_EQ(histogramBucketFor(Lo - 1), I - 1);
+  }
+
+  Histogram H;
+  for (uint64_t V : {0ull, 1ull, 2ull, 3ull, 1024ull})
+    H.record(V);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 5u);
+  EXPECT_EQ(S.Sum, 1030u);
+  EXPECT_EQ(S.Buckets[0], 1u);
+  EXPECT_EQ(S.Buckets[1], 1u);
+  EXPECT_EQ(S.Buckets[2], 2u);
+  EXPECT_EQ(S.Buckets[11], 1u);
+  // Trailing zero buckets are trimmed from snapshots.
+  EXPECT_EQ(S.Buckets.size(), 12u);
+}
+
+TEST(MetricsRegistry, SnapshotMergeAcrossThreadPoolWorkers) {
+  // The pipeline pattern: each worker accumulates into its own registry,
+  // and the per-worker snapshots merge into one aggregate. The merged
+  // instruments must equal the arithmetic totals regardless of worker
+  // count or scheduling.
+  constexpr unsigned kWorkers = 4;
+  constexpr unsigned kTasks = 16;
+  std::vector<MetricsSnapshot> Parts(kTasks);
+  {
+    ThreadPool Pool(kWorkers);
+    std::vector<std::future<void>> Futures;
+    for (unsigned T = 0; T != kTasks; ++T)
+      Futures.push_back(Pool.submit([T, &Parts] {
+        MetricsRegistry R;
+        R.counter("work.items").inc(T + 1);
+        R.gauge("work.last").set(static_cast<double>(T));
+        for (uint64_t V = 0; V != 10; ++V)
+          R.histogram("work.sizes").record(V * (T + 1));
+        Parts[T] = R.snapshot();
+      }));
+    for (std::future<void> &F : Futures)
+      F.get();
+  }
+
+  MetricsRegistry Merged;
+  for (const MetricsSnapshot &S : Parts)
+    Merged.merge(S);
+  MetricsSnapshot Total = Merged.snapshot();
+
+  // 1 + 2 + ... + 16.
+  EXPECT_EQ(Total.counterOr("work.items"), 136u);
+  // Sum over tasks of (0+1+...+9)*(T+1) = 45 * 136.
+  HistogramSnapshot H = Total.Histograms.at("work.sizes");
+  EXPECT_EQ(H.Count, kTasks * 10u);
+  EXPECT_EQ(H.Sum, 45u * 136u);
+  // merge() is associative with identical totals however it is grouped.
+  MetricsRegistry Pairwise;
+  for (unsigned T = 0; T != kTasks; T += 2) {
+    MetricsRegistry Pair;
+    Pair.merge(Parts[T]);
+    Pair.merge(Parts[T + 1]);
+    Pairwise.merge(Pair.snapshot());
+  }
+  EXPECT_EQ(Pairwise.snapshot().Counters, Total.Counters);
+  EXPECT_EQ(Pairwise.snapshot().Histograms, Total.Histograms);
+}
+
+TEST(TraceFile, TuningRunEmitsValidJsonWithKnownCategories) {
+  TraceFixture Fx("tuningrun");
+  GeneratedWorkload W = WorkloadGenerator::generate(specjvm98Profiles()[0]);
+  {
+    System Sys(W.Prog, quickOptions(Scheme::Hotspot));
+    SimulationResult R = Sys.run();
+    EXPECT_GT(R.Instructions, 0u);
+  }
+  ASSERT_TRUE(obs::TraceCollector::instance().flush());
+
+  std::string Text = slurp(Fx.Path);
+  ASSERT_FALSE(Text.empty());
+  EXPECT_TRUE(JsonChecker(Text).valid()) << "trace is not valid JSON";
+
+  std::vector<std::string> Cats = extractCategories(Text);
+  ASSERT_FALSE(Cats.empty());
+  for (const std::string &Cat : Cats)
+    EXPECT_TRUE(obs::isKnownTraceCategory(Cat.c_str()))
+        << "unknown category: " << Cat;
+  // The acceptance events of a tuning run: hotspot promotion, tuning
+  // transitions, and reconfiguration accept/reject.
+  EXPECT_NE(Text.find("\"cat\": \"hotspot\""), std::string::npos);
+  EXPECT_NE(Text.find("\"cat\": \"tuning\""), std::string::npos);
+  EXPECT_NE(Text.find("\"cat\": \"reconfig\""), std::string::npos);
+  EXPECT_NE(Text.find("\"trace.flush\""), std::string::npos);
+}
+
+TEST(MetricsDeterminism, PerRunMetricsIdenticalForJobs1And4) {
+  // The per-run registry must be driven only by deterministic simulation
+  // events: the snapshot (and hence the full serialized result) has to be
+  // bit-identical whether the pipeline ran on one worker or four.
+  unsetenv("DYNACE_CACHE_DIR");
+  std::vector<WorkloadProfile> Profiles(specjvm98Profiles().begin(),
+                                        specjvm98Profiles().begin() + 3);
+  SimulationOptions Opts;
+  Opts.MaxInstructions = 150000;
+
+  ExperimentRunner Serial(Opts);
+  std::vector<BenchmarkRun> RunsSerial = Serial.runAll(Profiles, /*Jobs=*/1);
+  ExperimentRunner Parallel(Opts);
+  std::vector<BenchmarkRun> RunsParallel =
+      Parallel.runAll(Profiles, /*Jobs=*/4);
+
+  ASSERT_EQ(RunsSerial.size(), RunsParallel.size());
+  for (size_t I = 0; I != RunsSerial.size(); ++I) {
+    EXPECT_EQ(RunsSerial[I].Hotspot.Metrics, RunsParallel[I].Hotspot.Metrics);
+    EXPECT_EQ(RunsSerial[I].Bbv.Metrics, RunsParallel[I].Bbv.Metrics);
+    EXPECT_FALSE(RunsSerial[I].Hotspot.Metrics.empty());
+    EXPECT_GT(RunsSerial[I].Hotspot.Metrics.counterOr("sim.batches"), 0u);
+    // The snapshot rides the canonical serialization, so the whole result
+    // digests identically too.
+    EXPECT_EQ(serializeResult(RunsSerial[I].Hotspot),
+              serializeResult(RunsParallel[I].Hotspot));
+  }
+}
