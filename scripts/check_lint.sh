@@ -1,0 +1,72 @@
+#!/bin/sh
+# check_lint.sh — project-convention lint over the source tree.
+#
+# Usage: scripts/check_lint.sh [repo-root]
+#
+# Greps enforce conventions the compiler cannot:
+#
+#  * no raw getenv() outside src/support/ — configuration flows through
+#    the strict envString/envBool/envUnsignedOr parsers (support/Env.h),
+#    which validate and fail loudly instead of silently defaulting;
+#  * no rand()/srand() outside src/support/ — all randomness comes from
+#    the seeded SplitMix64 in support/Random.h so runs stay deterministic
+#    and cacheable;
+#  * no time() outside src/support/ — wall-clock reads go through the
+#    observability layer (trace/profile epochs) or std::chrono at the
+#    measurement sites that own them; a stray time() is almost always a
+#    determinism bug;
+#  * no abort() outside src/support/ — fatal exits go through
+#    fatalError(support/Status.h), which reports the Status before
+#    exiting, or through the VM trap machinery.
+#
+# When clang-tidy is on PATH, the .clang-tidy checks also run over the
+# annotated concurrency TUs; without it the tidy step is skipped (the
+# greps still gate). Wired into CMake as the `check_lint` ctest; the
+# sanitize gate chains it too.
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+status=0
+
+# Scanned trees: everything that ships logic. src/support is the one
+# sanctioned home for env/random/clock/abort primitives and is excluded.
+scan_files() {
+  find "$root/src" "$root/bench" "$root/examples" "$root/tools" \
+       \( -name '*.cpp' -o -name '*.h' \) -print | sort |
+    grep -v '/src/support/'
+}
+
+# ban <label> <extended-regex>
+ban() {
+  label="$1"
+  pattern="$2"
+  hits=$(scan_files | xargs grep -En "$pattern" /dev/null 2>/dev/null)
+  if [ -n "$hits" ]; then
+    echo "error: banned call '$label' outside src/support/:" >&2
+    echo "$hits" >&2
+    status=1
+  fi
+}
+
+ban "getenv(" '(^|[^a-zA-Z_:.>])getenv *\('
+ban "rand()/srand()" '(^|[^a-zA-Z_])s?rand *\('
+ban "time(" '(^|[^a-zA-Z_])time *\('
+ban "abort(" '(^|[^a-zA-Z_])abort *\('
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  tidy_files="$root/src/support/ThreadPool.cpp $root/src/obs/Trace.cpp \
+              $root/src/obs/Metrics.cpp $root/src/obs/Profile.cpp"
+  if ! clang-tidy --quiet $tidy_files -- -std=c++20 -I"$root/src"; then
+    echo "error: clang-tidy reported findings" >&2
+    status=1
+  fi
+  tidy_note="greps + clang-tidy"
+else
+  tidy_note="greps only; clang-tidy not found"
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "check_lint: FAILED" >&2
+else
+  echo "check_lint: OK ($(scan_files | wc -l) files, $tidy_note)"
+fi
+exit $status

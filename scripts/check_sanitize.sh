@@ -24,7 +24,7 @@ cmake -S "$root" -B "$build" \
 jobs="$(nproc 2>/dev/null || echo 4)"
 cmake --build "$build" -j"$jobs" \
   --target fault_injection_test resultcache_corruption_test \
-           table6_tuning_coverage >/dev/null
+           table6_tuning_coverage dynalint >/dev/null
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
@@ -37,5 +37,14 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 # watching.
 "$root/scripts/check_trace.sh" "$root" "$build"
 
+# The static verifier over every generated workload, sanitized: CFG and
+# call-graph construction walk every instruction of every benchmark, so an
+# out-of-bounds read in the analysis itself surfaces here.
+"$build/tools/dynalint" --all
+
+# Convention lint rides along so the sanitize gate is also a full
+# conformance pass (greps are build-independent; cheap to repeat).
+"$root/scripts/check_lint.sh" "$root"
+
 echo "check_sanitize: OK (fault injection + cache corruption + traced grid" \
-     "under ASan/UBSan)"
+     "+ dynalint + lint under ASan/UBSan)"

@@ -1,0 +1,238 @@
+//===- analysis/Cfg.cpp ---------------------------------------------------==//
+
+#include "analysis/Cfg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace dynace;
+using namespace dynace::analysis;
+
+Cfg Cfg::build(const Method &M) {
+  assert(!M.Code.empty() && "CFG of an empty method");
+  const size_t N = M.Code.size();
+
+  // Pass 1: leaders. Instruction 0, every branch target, and every
+  // instruction following a terminator.
+  std::vector<bool> Leader(N, false);
+  Leader[0] = true;
+  for (size_t I = 0; I != N; ++I) {
+    const Instruction &In = M.Code[I];
+    switch (In.Op) {
+    case Opcode::Br:
+    case Opcode::BrI:
+    case Opcode::Jmp:
+      assert(In.Imm >= 0 && static_cast<size_t>(In.Imm) < N &&
+             "CFG build requires in-range branch targets");
+      Leader[static_cast<size_t>(In.Imm)] = true;
+      [[fallthrough]];
+    case Opcode::Ret:
+    case Opcode::Halt:
+      if (I + 1 < N)
+        Leader[I + 1] = true;
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Pass 2: blocks.
+  Cfg G;
+  std::vector<uint32_t> BlockOf(N, 0);
+  for (size_t I = 0; I != N; ++I) {
+    if (Leader[I]) {
+      BasicBlock B;
+      B.First = static_cast<uint32_t>(I);
+      G.Blocks.push_back(B);
+    }
+    BlockOf[I] = static_cast<uint32_t>(G.Blocks.size() - 1);
+    G.Blocks.back().Last = static_cast<uint32_t>(I);
+  }
+
+  // Pass 3: edges. A non-terminator block end (next instruction was a
+  // leader) falls through; the block ending at the method's last
+  // instruction with a fallthrough successor falls off the end instead.
+  for (uint32_t B = 0, E = static_cast<uint32_t>(G.Blocks.size()); B != E;
+       ++B) {
+    const Instruction &In = M.Code[G.Blocks[B].Last];
+    const bool HasNext = G.Blocks[B].Last + 1 < N;
+    auto AddEdge = [&](uint32_t Succ) {
+      G.Blocks[B].Succs.push_back(Succ);
+      G.Blocks[Succ].Preds.push_back(B);
+    };
+    switch (In.Op) {
+    case Opcode::Br:
+    case Opcode::BrI:
+      AddEdge(BlockOf[static_cast<size_t>(In.Imm)]);
+      if (HasNext)
+        AddEdge(B + 1);
+      else
+        G.OffEnd = true; // Not-taken path runs off the method.
+      break;
+    case Opcode::Jmp:
+      AddEdge(BlockOf[static_cast<size_t>(In.Imm)]);
+      break;
+    case Opcode::Ret:
+    case Opcode::Halt:
+      break; // Exit: no intra-method successor.
+    default:
+      if (HasNext)
+        AddEdge(B + 1);
+      else
+        G.OffEnd = true; // Straight-line code runs off the method.
+      break;
+    }
+  }
+  return G;
+}
+
+uint32_t Cfg::blockContaining(uint32_t Instr) const {
+  // Blocks are sorted by First; find the last block with First <= Instr.
+  auto It = std::upper_bound(Blocks.begin(), Blocks.end(), Instr,
+                             [](uint32_t I, const BasicBlock &B) {
+                               return I < B.First;
+                             });
+  assert(It != Blocks.begin() && "instruction before the entry block");
+  return static_cast<uint32_t>(std::distance(Blocks.begin(), It) - 1);
+}
+
+std::string Cfg::toDot(const Method &M) const {
+  std::string Out = "digraph \"" + M.Name + "\" {\n";
+  Out += "  node [shape=box, fontname=\"monospace\"];\n";
+  Out += "  label=\"" + M.Name + "\";\n";
+  char Buf[128];
+  for (uint32_t B = 0, E = static_cast<uint32_t>(Blocks.size()); B != E;
+       ++B) {
+    std::string Body;
+    for (uint32_t I = Blocks[B].First; I <= Blocks[B].Last; ++I) {
+      const Instruction &In = M.Code[I];
+      std::snprintf(Buf, sizeof(Buf), "%u: %s", I, opcodeName(In.Op));
+      Body += Buf;
+      if (In.Op == Opcode::Br || In.Op == Opcode::BrI ||
+          In.Op == Opcode::Jmp || In.Op == Opcode::Call) {
+        std::snprintf(Buf, sizeof(Buf), " -> %lld",
+                      static_cast<long long>(In.Imm));
+        Body += Buf;
+      }
+      Body += "\\l"; // Graphviz left-justified line break.
+    }
+    std::snprintf(Buf, sizeof(Buf), "  bb%u [label=\"bb%u:\\l", B, B);
+    Out += Buf;
+    Out += Body + "\"];\n";
+    for (uint32_t S : Blocks[B].Succs) {
+      std::snprintf(Buf, sizeof(Buf), "  bb%u -> bb%u;\n", B, S);
+      Out += Buf;
+    }
+  }
+  Out += "}\n";
+  return Out;
+}
+
+CallGraph CallGraph::build(const Program &P) {
+  CallGraph G;
+  G.Sites.resize(P.numMethods());
+  for (MethodId Id = 0; Id != P.numMethods(); ++Id) {
+    const Method &M = P.method(Id);
+    for (size_t I = 0, E = M.Code.size(); I != E; ++I) {
+      const Instruction &In = M.Code[I];
+      if (In.Op != Opcode::Call)
+        continue;
+      if (In.Imm < 0 || static_cast<size_t>(In.Imm) >= P.numMethods())
+        continue; // Out-of-range callee: reported by the verifier.
+      G.Sites[Id].push_back({static_cast<uint32_t>(I),
+                             static_cast<MethodId>(In.Imm)});
+    }
+  }
+  return G;
+}
+
+std::vector<MethodId> CallGraph::findCycle() const {
+  // Iterative DFS with colors; on hitting a gray node, unwind the explicit
+  // stack to recover the cycle.
+  enum : uint8_t { White, Gray, Black };
+  std::vector<uint8_t> Color(Sites.size(), White);
+  std::vector<MethodId> Stack; // Current DFS path.
+
+  // Non-recursive DFS frame: (method, next call-site index).
+  std::vector<std::pair<MethodId, size_t>> Frames;
+  for (MethodId Root = 0; Root != Sites.size(); ++Root) {
+    if (Color[Root] != White)
+      continue;
+    Frames.push_back({Root, 0});
+    Color[Root] = Gray;
+    Stack.push_back(Root);
+    while (!Frames.empty()) {
+      auto &[Id, Next] = Frames.back();
+      if (Next < Sites[Id].size()) {
+        MethodId Callee = Sites[Id][Next++].Callee;
+        if (Color[Callee] == Gray) {
+          // Cycle: the suffix of Stack starting at Callee.
+          auto It = std::find(Stack.begin(), Stack.end(), Callee);
+          return std::vector<MethodId>(It, Stack.end());
+        }
+        if (Color[Callee] == White) {
+          Color[Callee] = Gray;
+          Stack.push_back(Callee);
+          Frames.push_back({Callee, 0});
+        }
+      } else {
+        Color[Id] = Black;
+        Stack.pop_back();
+        Frames.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<bool> CallGraph::reachableFrom(MethodId Entry) const {
+  std::vector<bool> Seen(Sites.size(), false);
+  if (Entry >= Sites.size())
+    return Seen;
+  std::vector<MethodId> Work{Entry};
+  Seen[Entry] = true;
+  while (!Work.empty()) {
+    MethodId Id = Work.back();
+    Work.pop_back();
+    for (const CallSite &S : Sites[Id])
+      if (!Seen[S.Callee]) {
+        Seen[S.Callee] = true;
+        Work.push_back(S.Callee);
+      }
+  }
+  return Seen;
+}
+
+std::string CallGraph::toDot(const Program &P) const {
+  std::string Out = "digraph callgraph {\n  node [shape=oval];\n";
+  char Buf[160];
+  for (MethodId Id = 0; Id != Sites.size(); ++Id) {
+    std::snprintf(Buf, sizeof(Buf), "  m%u [label=\"%s\"%s];\n", Id,
+                  P.method(Id).Name.c_str(),
+                  Id == P.entry() ? ", penwidth=2" : "");
+    Out += Buf;
+    // Collapse duplicate edges, labeling with the call-site count.
+    std::vector<std::pair<MethodId, unsigned>> Edges;
+    for (const CallSite &S : Sites[Id]) {
+      auto It = std::find_if(Edges.begin(), Edges.end(),
+                             [&](const auto &E) {
+                               return E.first == S.Callee;
+                             });
+      if (It == Edges.end())
+        Edges.push_back({S.Callee, 1});
+      else
+        ++It->second;
+    }
+    for (const auto &[Callee, Count] : Edges) {
+      if (Count == 1)
+        std::snprintf(Buf, sizeof(Buf), "  m%u -> m%u;\n", Id, Callee);
+      else
+        std::snprintf(Buf, sizeof(Buf),
+                      "  m%u -> m%u [label=\"x%u\"];\n", Id, Callee, Count);
+      Out += Buf;
+    }
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,127 @@
+//===- analysis/Cfg.h - Control-flow and call graphs ------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow-graph construction over a \c Method and call-graph
+/// construction over a \c Program — the structures the static verifier
+/// (analysis/Verifier.h, surfaced as the \c dynalint tool) analyzes, and
+/// which dynalint can dump as Graphviz DOT.
+///
+/// Blocks are maximal straight-line instruction runs: a block ends at a
+/// control-transfer instruction (Br/BrI/Jmp/Ret/Halt) or just before a
+/// branch target. \c Call does NOT end a block — it returns to the next
+/// instruction, so for intra-method control flow it behaves like a
+/// straight-line instruction; call edges live in the \c CallGraph instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_ANALYSIS_CFG_H
+#define DYNACE_ANALYSIS_CFG_H
+
+#include "isa/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynace {
+namespace analysis {
+
+/// One basic block: the inclusive instruction index range [First, Last]
+/// plus CFG edges (block indices).
+struct BasicBlock {
+  uint32_t First = 0;
+  uint32_t Last = 0;
+  std::vector<uint32_t> Succs;
+  std::vector<uint32_t> Preds;
+
+  /// \returns the number of instructions in the block.
+  uint32_t size() const { return Last - First + 1; }
+};
+
+/// The control-flow graph of one method. Block 0 is the entry block (it
+/// starts at instruction 0).
+class Cfg {
+public:
+  /// Builds the CFG of \p M.
+  ///
+  /// Precondition: every Br/BrI/Jmp target of \p M is in range and the
+  /// method is non-empty (the verifier checks both before building; the
+  /// builder asserts them).
+  /// \returns the CFG.
+  static Cfg build(const Method &M);
+
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+  size_t numBlocks() const { return Blocks.size(); }
+
+  /// \returns the index of the block containing instruction \p Instr.
+  uint32_t blockContaining(uint32_t Instr) const;
+
+  /// True when some block's execution can run past the last instruction of
+  /// the method (its final instruction is neither an unconditional
+  /// transfer nor an exit) — the "off-end fallthrough" defect. Only the
+  /// block ending at the method's last instruction can have this property.
+  bool fallsOffEnd() const { return OffEnd; }
+
+  /// Renders the CFG as a Graphviz digraph: one record node per block
+  /// listing its instructions (disassembled via opcodeName), solid edges
+  /// for CFG successors. \p MethodName labels the graph.
+  /// \returns the DOT text.
+  std::string toDot(const Method &M) const;
+
+private:
+  std::vector<BasicBlock> Blocks;
+  bool OffEnd = false;
+};
+
+/// One call site: the Call instruction's index and its callee.
+struct CallSite {
+  uint32_t Instr = 0;
+  MethodId Callee = 0;
+};
+
+/// The program's call graph: per-method call-site lists.
+class CallGraph {
+public:
+  /// Builds the call graph of \p P.
+  ///
+  /// Precondition: every Call target is a valid method id (the verifier
+  /// checks this first; the builder skips out-of-range callees so it can
+  /// run on partially malformed fixtures).
+  /// \returns the call graph.
+  static CallGraph build(const Program &P);
+
+  /// Call sites of method \p Id, in instruction order.
+  const std::vector<CallSite> &callSites(MethodId Id) const {
+    return Sites[Id];
+  }
+  size_t numMethods() const { return Sites.size(); }
+
+  /// Finds a call-graph cycle (static recursion) if one exists.
+  /// \returns the methods on the first cycle found, in call order
+  ///          (front() calls [1], ... back() calls front()); empty when
+  ///          the call graph is acyclic.
+  std::vector<MethodId> findCycle() const;
+
+  /// Methods reachable (transitively, via call sites) from \p Entry,
+  /// including \p Entry itself.
+  /// \returns one flag per method id.
+  std::vector<bool> reachableFrom(MethodId Entry) const;
+
+  /// Renders the call graph as a Graphviz digraph (one node per method,
+  /// one edge per distinct caller->callee pair, labeled with the call-site
+  /// count).
+  /// \returns the DOT text.
+  std::string toDot(const Program &P) const;
+
+private:
+  std::vector<std::vector<CallSite>> Sites;
+};
+
+} // namespace analysis
+} // namespace dynace
+
+#endif // DYNACE_ANALYSIS_CFG_H

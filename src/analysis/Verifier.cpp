@@ -1,0 +1,395 @@
+//===- analysis/Verifier.cpp ----------------------------------------------==//
+
+#include "analysis/Verifier.h"
+
+#include "analysis/Cfg.h"
+
+#include <cassert>
+#include <deque>
+#include <string>
+
+using namespace dynace;
+using namespace dynace::analysis;
+
+const char *dynace::analysis::diagKindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::EmptyMethod:
+    return "empty-method";
+  case DiagKind::BadRegister:
+    return "bad-register";
+  case DiagKind::BadBranchTarget:
+    return "bad-branch-target";
+  case DiagKind::BadCallTarget:
+    return "bad-call-target";
+  case DiagKind::BadCallWindow:
+    return "bad-call-window";
+  case DiagKind::OffEndFallthrough:
+    return "off-end-fallthrough";
+  case DiagKind::DeadBlock:
+    return "dead-block";
+  case DiagKind::UnreachableExit:
+    return "unreachable-exit";
+  case DiagKind::NoExitPath:
+    return "no-exit-path";
+  case DiagKind::ReentrantEntry:
+    return "reentrant-entry";
+  case DiagKind::ReconfigInterval:
+    return "reconfig-interval";
+  case DiagKind::UnbalancedStack:
+    return "unbalanced-stack";
+  case DiagKind::BadEntryMethod:
+    return "bad-entry-method";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::render(const Program &P) const {
+  std::string Out;
+  if (Kind == DiagKind::BadEntryMethod || Method >= P.numMethods())
+    Out = "program: ";
+  else
+    Out = "method '" + P.method(Method).Name + "' instr " +
+          std::to_string(Instr) + ": ";
+  Out += std::string("[") + diagKindName(Kind) + "] " + Message;
+  return Out;
+}
+
+namespace {
+
+/// Appends \p D to \p Diags (tiny helper keeping call sites one-liners).
+void addDiag(std::vector<Diagnostic> &Diags, DiagKind Kind, MethodId Method,
+             uint32_t Instr, std::string Message) {
+  Diagnostic D;
+  D.Kind = Kind;
+  D.Method = Method;
+  D.Instr = Instr;
+  D.Message = std::move(Message);
+  Diags.push_back(std::move(D));
+}
+
+/// Invokes \p F for every intra-method successor of instruction \p I.
+/// Call falls through (it returns to I+1); a Br/BrI/Jmp target must be in
+/// range (checked before any caller runs).
+template <typename Fn>
+void forEachSucc(const Method &M, uint32_t I, Fn F) {
+  const Instruction &In = M.Code[I];
+  const uint32_t N = static_cast<uint32_t>(M.Code.size());
+  switch (In.Op) {
+  case Opcode::Br:
+  case Opcode::BrI:
+    F(static_cast<uint32_t>(In.Imm));
+    if (I + 1 < N)
+      F(I + 1);
+    break;
+  case Opcode::Jmp:
+    F(static_cast<uint32_t>(In.Imm));
+    break;
+  case Opcode::Ret:
+  case Opcode::Halt:
+    break;
+  default:
+    if (I + 1 < N)
+      F(I + 1);
+    break;
+  }
+}
+
+/// BFS over instructions from \p Starts (distance 0 each), stopping at
+/// Call instructions: a reconfiguration point ends the "consecutive pair"
+/// a path can form, so expansion never crosses one.
+/// \returns per instruction the minimum number of instructions executed
+///          strictly between the origin point and it (-1 = unreached);
+///          for a Call instruction this is the reconfiguration gap.
+std::vector<int64_t> minDistStoppingAtCalls(const Method &M,
+                                            const std::vector<uint32_t> &Starts) {
+  std::vector<int64_t> Dist(M.Code.size(), -1);
+  std::deque<uint32_t> Queue;
+  for (uint32_t S : Starts)
+    if (Dist[S] < 0) {
+      Dist[S] = 0;
+      Queue.push_back(S);
+    }
+  while (!Queue.empty()) {
+    uint32_t I = Queue.front();
+    Queue.pop_front();
+    if (M.Code[I].Op == Opcode::Call)
+      continue; // The pair ends here; paths beyond form new pairs.
+    forEachSucc(M, I, [&](uint32_t S) {
+      if (Dist[S] < 0) {
+        Dist[S] = Dist[I] + 1;
+        Queue.push_back(S);
+      }
+    });
+  }
+  return Dist;
+}
+
+/// The instruction-level structural checks (group one). \returns true when
+/// the method satisfies the Cfg::build preconditions (non-empty, all
+/// branch targets in range), so the CFG checks may run.
+bool checkInstructions(const Program &P, const Method &M,
+                       std::vector<Diagnostic> &Diags) {
+  if (M.Code.empty()) {
+    addDiag(Diags, DiagKind::EmptyMethod, M.Id, 0, "method has no code");
+    return false;
+  }
+
+  bool CfgSafe = true;
+  auto RegOk = [](uint8_t R) { return R == kNoReg || R < kNumRegs; };
+  for (uint32_t I = 0, E = static_cast<uint32_t>(M.Code.size()); I != E;
+       ++I) {
+    const Instruction &In = M.Code[I];
+    if (!RegOk(In.Dst) || !RegOk(In.Src1) || !RegOk(In.Src2))
+      addDiag(Diags, DiagKind::BadRegister, M.Id, I,
+              "register operand outside r0..r" +
+                  std::to_string(kNumRegs - 1));
+    switch (In.Op) {
+    case Opcode::Br:
+    case Opcode::BrI:
+    case Opcode::Jmp:
+      if (In.Imm < 0 || static_cast<size_t>(In.Imm) >= M.Code.size()) {
+        addDiag(Diags, DiagKind::BadBranchTarget, M.Id, I,
+                "branch target " + std::to_string(In.Imm) +
+                    " outside the method's " +
+                    std::to_string(M.Code.size()) + " instructions");
+        CfgSafe = false;
+      }
+      break;
+    case Opcode::Call: {
+      if (In.Imm < 0 || static_cast<size_t>(In.Imm) >= P.numMethods())
+        addDiag(Diags, DiagKind::BadCallTarget, M.Id, I,
+                "call target " + std::to_string(In.Imm) +
+                    " is not a method id (program has " +
+                    std::to_string(P.numMethods()) + " methods)");
+      unsigned NumArgs = In.Src2 == kNoReg ? 0 : In.Src2;
+      if (NumArgs > kNumRegs ||
+          (NumArgs > 0 &&
+           (In.Src1 == kNoReg || In.Src1 + NumArgs > kNumRegs)))
+        addDiag(Diags, DiagKind::BadCallWindow, M.Id, I,
+                "argument window [r" + std::to_string(In.Src1) + ", +" +
+                    std::to_string(NumArgs) +
+                    ") leaves the register file");
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  return CfgSafe;
+}
+
+/// The CFG checks (group two) plus the per-method DO/ACE placement checks
+/// (group three). Precondition: checkInstructions() returned true.
+void checkCfg(const Method &M, const VerifierOptions &O,
+              std::vector<Diagnostic> &Diags) {
+  Cfg G = Cfg::build(M);
+  const std::vector<BasicBlock> &Blocks = G.blocks();
+  const uint32_t NumBlocks = static_cast<uint32_t>(Blocks.size());
+
+  if (G.fallsOffEnd())
+    addDiag(Diags, DiagKind::OffEndFallthrough, M.Id,
+            static_cast<uint32_t>(M.Code.size()) - 1,
+            "execution can run past the method's last instruction");
+
+  // Forward reachability from the entry block.
+  std::vector<bool> Reach(NumBlocks, false);
+  {
+    std::deque<uint32_t> Queue{0};
+    Reach[0] = true;
+    while (!Queue.empty()) {
+      uint32_t B = Queue.front();
+      Queue.pop_front();
+      for (uint32_t S : Blocks[B].Succs)
+        if (!Reach[S]) {
+          Reach[S] = true;
+          Queue.push_back(S);
+        }
+    }
+  }
+
+  // Backward reachability from the exit blocks (Ret/Halt terminators). The
+  // block that falls off the end also "leaves" the method — seeding it
+  // keeps NoExitPath orthogonal to the OffEndFallthrough diagnostic above.
+  std::vector<bool> CanExit(NumBlocks, false);
+  {
+    std::deque<uint32_t> Queue;
+    for (uint32_t B = 0; B != NumBlocks; ++B) {
+      const Instruction &Last = M.Code[Blocks[B].Last];
+      if (Last.Op == Opcode::Ret || Last.Op == Opcode::Halt) {
+        CanExit[B] = true;
+        Queue.push_back(B);
+      }
+    }
+    if (G.fallsOffEnd()) {
+      // The block ending at the last instruction leaves the method too
+      // (erroneously — reported above as OffEndFallthrough, not again as
+      // NoExitPath).
+      uint32_t B =
+          G.blockContaining(static_cast<uint32_t>(M.Code.size()) - 1);
+      if (!CanExit[B]) {
+        CanExit[B] = true;
+        Queue.push_back(B);
+      }
+    }
+    while (!Queue.empty()) {
+      uint32_t B = Queue.front();
+      Queue.pop_front();
+      for (uint32_t Pred : Blocks[B].Preds)
+        if (!CanExit[Pred]) {
+          CanExit[Pred] = true;
+          Queue.push_back(Pred);
+        }
+    }
+  }
+
+  for (uint32_t B = 0; B != NumBlocks; ++B) {
+    if (!Reach[B]) {
+      // Both unreachability diagnostics sit behind FlagDeadBlocks (the
+      // option's contract): off means "only executability matters".
+      if (O.FlagDeadBlocks) {
+        addDiag(Diags, DiagKind::DeadBlock, M.Id, Blocks[B].First,
+                "block bb" + std::to_string(B) + " (instr " +
+                    std::to_string(Blocks[B].First) + ".." +
+                    std::to_string(Blocks[B].Last) +
+                    ") is unreachable from the method entry");
+        const Instruction &Last = M.Code[Blocks[B].Last];
+        if (Last.Op == Opcode::Ret || Last.Op == Opcode::Halt)
+          addDiag(Diags, DiagKind::UnreachableExit, M.Id, Blocks[B].Last,
+                  std::string(Last.Op == Opcode::Ret ? "ret" : "halt") +
+                      " is unreachable: its exit hook can never fire");
+      }
+      continue;
+    }
+    if (!CanExit[B])
+      addDiag(Diags, DiagKind::NoExitPath, M.Id, Blocks[B].First,
+              "no ret/halt is reachable from block bb" + std::to_string(B) +
+                  " (infinite loop without exit)");
+  }
+
+  if (!O.DoAceChecks)
+    return;
+
+  // Single entry: the hotspot entry hook fires when the VM enters
+  // instruction 0; a branch back to 0 would re-fire it mid-invocation.
+  for (uint32_t I = 0, E = static_cast<uint32_t>(M.Code.size()); I != E;
+       ++I) {
+    const Instruction &In = M.Code[I];
+    if ((In.Op == Opcode::Br || In.Op == Opcode::BrI ||
+         In.Op == Opcode::Jmp) &&
+        In.Imm == 0)
+      addDiag(Diags, DiagKind::ReentrantEntry, M.Id, I,
+              "branch re-enters instruction 0: the method-entry hook "
+              "point is also a loop target");
+  }
+
+  // Reconfiguration spacing: method entry and every Call are
+  // reconfiguration points (each fires the callee's method-entry hook).
+  // Check the minimum instruction distance of every consecutive pair on
+  // any static path.
+  if (O.ReconfigMinGap == 0)
+    return;
+  std::vector<uint32_t> CallSites;
+  for (uint32_t I = 0, E = static_cast<uint32_t>(M.Code.size()); I != E;
+       ++I)
+    if (M.Code[I].Op == Opcode::Call)
+      CallSites.push_back(I);
+  if (CallSites.empty())
+    return;
+
+  auto CheckOrigin = [&](const std::vector<uint32_t> &Starts,
+                         const std::string &OriginDesc) {
+    std::vector<int64_t> Dist = minDistStoppingAtCalls(M, Starts);
+    for (uint32_t C : CallSites)
+      if (Dist[C] >= 0 &&
+          static_cast<uint64_t>(Dist[C]) < O.ReconfigMinGap)
+        addDiag(Diags, DiagKind::ReconfigInterval, M.Id, C,
+                "call only " + std::to_string(Dist[C]) +
+                    " instruction(s) after " + OriginDesc +
+                    " (reconfiguration min gap " +
+                    std::to_string(O.ReconfigMinGap) + ")");
+  };
+
+  CheckOrigin({0}, "method entry");
+  for (uint32_t C : CallSites) {
+    std::vector<uint32_t> Starts;
+    forEachSucc(M, C, [&](uint32_t S) { Starts.push_back(S); });
+    if (!Starts.empty())
+      CheckOrigin(Starts, "the call at instr " + std::to_string(C));
+  }
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+dynace::analysis::verifyMethod(const Program &P, const Method &M,
+                               const VerifierOptions &O) {
+  std::vector<Diagnostic> Diags;
+  if (checkInstructions(P, M, Diags))
+    checkCfg(M, O, Diags);
+  return Diags;
+}
+
+std::vector<Diagnostic>
+dynace::analysis::verifyProgram(const Program &P, const VerifierOptions &O) {
+  std::vector<Diagnostic> Diags;
+  if (P.numMethods() == 0) {
+    addDiag(Diags, DiagKind::BadEntryMethod, 0, 0, "program has no methods");
+    return Diags;
+  }
+  if (P.entry() >= P.numMethods())
+    addDiag(Diags, DiagKind::BadEntryMethod, 0, 0,
+            "entry method id " + std::to_string(P.entry()) +
+                " out of range (program has " +
+                std::to_string(P.numMethods()) + " methods)");
+
+  for (MethodId Id = 0;
+       Id != P.numMethods() && Diags.size() < O.MaxDiagnostics; ++Id) {
+    std::vector<Diagnostic> MDiags = verifyMethod(P, P.method(Id), O);
+    for (Diagnostic &D : MDiags) {
+      if (Diags.size() >= O.MaxDiagnostics)
+        break;
+      Diags.push_back(std::move(D));
+    }
+  }
+
+  if (O.DoAceChecks && Diags.size() < O.MaxDiagnostics) {
+    CallGraph CG = CallGraph::build(P);
+    std::vector<MethodId> Cycle = CG.findCycle();
+    if (!Cycle.empty()) {
+      // Locate the call site in Cycle.front() that enters the cycle.
+      MethodId Caller = Cycle.front();
+      MethodId Callee = Cycle.size() > 1 ? Cycle[1] : Cycle.front();
+      uint32_t Site = 0;
+      for (const CallSite &S : CG.callSites(Caller))
+        if (S.Callee == Callee) {
+          Site = S.Instr;
+          break;
+        }
+      std::string Path;
+      for (MethodId Id : Cycle)
+        Path += P.method(Id).Name + " -> ";
+      Path += P.method(Cycle.front()).Name;
+      addDiag(Diags, DiagKind::UnbalancedStack, Caller, Site,
+              "static recursion (" + Path +
+                  "): call/ret stack depth is unbounded on this path");
+    }
+  }
+  return Diags;
+}
+
+Status dynace::analysis::verifyProgramStatus(const Program &P,
+                                             const VerifierOptions &O) {
+  VerifierOptions FirstOnly = O;
+  FirstOnly.MaxDiagnostics = 1;
+  std::vector<Diagnostic> Diags = verifyProgram(P, FirstOnly);
+  if (Diags.empty())
+    return Status();
+  const Diagnostic &D = Diags.front();
+  return Status::error(ErrorCode::InvalidInput,
+                       std::string("dynalint[") + diagKindName(D.Kind) +
+                           "]: " + D.render(P));
+}
+
+Status dynace::analysis::verifyProgramStatus(const Program &P) {
+  return verifyProgramStatus(P, VerifierOptions{});
+}

@@ -1,0 +1,148 @@
+//===- analysis/Verifier.h - Static IR verifier (dynalint) ------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static verifier over the \c Program IR — "dynalint" (DESIGN.md §13).
+///
+/// The paper's tuning protocol only works when hotspot entry/exit hooks
+/// fire at well-defined program points, and the hardware reconfiguration
+/// guard (ConfigurableUnit) assumes reconfiguration requests are spaced.
+/// Before this layer, a malformed program surfaced those violations as
+/// runtime traps (or as silently wrong tuning measurements); the verifier
+/// rejects them statically, before simulation runs.
+///
+/// Three groups of checks, each yielding a distinct \c DiagKind:
+///
+///  * **instruction checks** — register indices valid, branch/jump targets
+///    inside the method, call targets valid method ids, call argument
+///    windows inside the register file;
+///  * **CFG checks** (per method, over analysis/Cfg.h) — no path runs off
+///    the method end, every block is reachable from the entry, every
+///    reachable block can reach an exit (no infinite loop without exit),
+///    every exit instruction is reachable (hook coverage);
+///  * **DO/ACE placement checks** — every hotspot-eligible method has a
+///    single entry (no branch re-enters instruction 0, where the hotspot
+///    entry hook fires); no static path places two reconfiguration points
+///    (method-entry hooks, i.e. entering a method and then entering a
+///    callee) closer than \c ReconfigMinGap retired instructions, which
+///    would request two reconfigurations inside any CU's reconfiguration
+///    interval; the call graph is acyclic (static recursion means call/ret
+///    stack growth is unbounded — no stack balance along those paths).
+///
+/// Entry points: \c verifyProgram returns every diagnostic (for dynalint
+/// and tests); \c verifyProgramStatus folds the first diagnostic into the
+/// PR-3 \c Status taxonomy (InvalidInput, message prefixed
+/// "dynalint[<kind>]") for \c Program::finalize's strict mode and the
+/// workload-generator gate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_ANALYSIS_VERIFIER_H
+#define DYNACE_ANALYSIS_VERIFIER_H
+
+#include "isa/Program.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynace {
+namespace analysis {
+
+/// Every defect class the verifier can report. diagKindName() gives each a
+/// stable short name used in messages, test expectations and dynalint
+/// output.
+enum class DiagKind : uint8_t {
+  EmptyMethod,       ///< Method has no instructions.
+  BadRegister,       ///< Register operand outside r0..r31 (and not kNoReg).
+  BadBranchTarget,   ///< Br/BrI/Jmp target outside the method.
+  BadCallTarget,     ///< Call target is not a method id of the program.
+  BadCallWindow,     ///< Call argument window leaves the register file.
+  OffEndFallthrough, ///< Some path runs past the method's last instruction.
+  DeadBlock,         ///< Block unreachable from the method entry.
+  UnreachableExit,   ///< Ret/Halt unreachable from the entry (the exit
+                     ///< hook at that exit can never fire).
+  NoExitPath,        ///< Reachable block from which no Ret/Halt is
+                     ///< reachable (infinite loop without exit).
+  ReentrantEntry,    ///< Branch targets instruction 0: the method-entry
+                     ///< hook point is also a loop target (not a single
+                     ///< entry).
+  ReconfigInterval,  ///< Two reconfiguration points closer than the
+                     ///< minimum gap on some static path.
+  UnbalancedStack,   ///< Call-graph cycle: call/ret balance along the
+                     ///< recursive path is statically unbounded.
+  BadEntryMethod,    ///< Program entry id out of range.
+};
+
+/// \returns the stable short name of \p Kind ("bad-branch-target",
+///          "off-end-fallthrough", "reconfig-interval", ...).
+const char *diagKindName(DiagKind Kind);
+
+/// One verifier finding.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::EmptyMethod;
+  MethodId Method = 0;   ///< Offending method (0 for program-level diags —
+                         ///< see Kind).
+  uint32_t Instr = 0;    ///< Offending instruction index within Method.
+  std::string Message;   ///< Human-readable detail (no location prefix).
+
+  /// \returns "method '<name>' instr <i>: [<kind>] <message>" (the method
+  ///          name is looked up in \p P).
+  std::string render(const Program &P) const;
+};
+
+/// Verifier knobs.
+struct VerifierOptions {
+  /// Run the DO/ACE placement checks (single entry, reconfiguration gap,
+  /// acyclic call graph). Off = pure structural/CFG verification.
+  bool DoAceChecks = true;
+
+  /// Minimum retired instructions between two reconfiguration points on
+  /// any static path (method entry -> first nested call, and call ->
+  /// next call). The default of 1 rejects only *coincident* points — a
+  /// Call as a method's first instruction or two adjacent Calls — which
+  /// violate every CU interval; larger values model a specific interval.
+  /// 0 disables the check.
+  uint64_t ReconfigMinGap = 1;
+
+  /// Report unreachable blocks (DeadBlock/UnreachableExit). Off for
+  /// tooling that only cares about executability.
+  bool FlagDeadBlocks = true;
+
+  /// Stop after this many diagnostics per program.
+  size_t MaxDiagnostics = 64;
+};
+
+/// Verifies one method of \p P (instruction + CFG checks, plus per-method
+/// DO/ACE checks; the call-graph check lives in verifyProgram).
+/// \returns all diagnostics found, in instruction order per check group.
+std::vector<Diagnostic> verifyMethod(const Program &P, const Method &M,
+                                     const VerifierOptions &O = {});
+
+/// Verifies every method of \p P plus the program-level properties (entry
+/// id in range, call graph acyclic).
+/// \returns all diagnostics, methods in id order.
+std::vector<Diagnostic> verifyProgram(const Program &P,
+                                      const VerifierOptions &O = {});
+
+/// Status-returning wrapper: success when \p P verifies clean, else an
+/// InvalidInput error carrying the first diagnostic, rendered with a
+/// "dynalint[<kind>]: " prefix so callers (and tests) can dispatch on the
+/// defect class.
+/// \returns the verification status.
+Status verifyProgramStatus(const Program &P, const VerifierOptions &O);
+
+/// Default-options overload. Unary, so it converts to
+/// \c Program::VerifyHook — pass it to \c Program::finalize for the strict
+/// mode: \c Prog.finalize(analysis::verifyProgramStatus).
+/// \returns the verification status.
+Status verifyProgramStatus(const Program &P);
+
+} // namespace analysis
+} // namespace dynace
+
+#endif // DYNACE_ANALYSIS_VERIFIER_H

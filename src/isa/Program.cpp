@@ -76,7 +76,7 @@ Status Program::verifyMethod(const Method &M) const {
   return Status();
 }
 
-Status Program::finalize() {
+Status Program::finalize(VerifyHook Strict) {
   assert(!Finalized && "finalize() called twice");
   if (Methods.empty())
     return Status::error(ErrorCode::InvalidInput, "program has no methods");
@@ -91,6 +91,9 @@ Status Program::finalize() {
     if (Status S = verifyMethod(M); !S)
       return S;
   }
+  if (Strict)
+    if (Status S = Strict(*this); !S)
+      return S;
   Finalized = true;
   return Status();
 }

@@ -50,6 +50,12 @@ struct Method {
 /// A complete executable program.
 class Program {
 public:
+  /// A deep-verification pass finalize() can run after its structural
+  /// checks. The canonical hook is \c analysis::verifyProgramStatus (the
+  /// dynalint strict mode); the indirection keeps the ISA layer free of a
+  /// dependency on the analysis library.
+  using VerifyHook = Status (*)(const Program &);
+
   /// Adds a method and \returns its id. The method's Id field is filled in.
   MethodId addMethod(Method M);
 
@@ -58,10 +64,14 @@ public:
   /// deterministically so the generated code can embed them as immediates.
   uint64_t addGlobal(uint64_t Words);
 
-  /// Assigns code addresses to all methods and verifies the program.
+  /// Assigns code addresses to all methods and verifies the program:
+  /// always the structural checks (targets in range, terminator present),
+  /// then \p Strict when non-null — the dynalint strict mode, normally
+  /// \c analysis::verifyProgramStatus, which adds the CFG and DO/ACE
+  /// placement checks (DESIGN.md section 13).
   /// \returns success, or an InvalidInput error describing the first
   ///          verification failure (the program stays unfinalized).
-  Status finalize();
+  Status finalize(VerifyHook Strict = nullptr);
 
   /// Sets/gets the entry method.
   void setEntry(MethodId Id) { Entry = Id; }

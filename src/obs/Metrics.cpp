@@ -102,7 +102,7 @@ std::string MetricsSnapshot::toJson() const {
 }
 
 Counter &MetricsRegistry::counter(const std::string &Name) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   std::unique_ptr<Counter> &Slot = Counters[Name];
   if (!Slot)
     Slot = std::make_unique<Counter>();
@@ -110,7 +110,7 @@ Counter &MetricsRegistry::counter(const std::string &Name) {
 }
 
 Gauge &MetricsRegistry::gauge(const std::string &Name) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   std::unique_ptr<Gauge> &Slot = Gauges[Name];
   if (!Slot)
     Slot = std::make_unique<Gauge>();
@@ -118,7 +118,7 @@ Gauge &MetricsRegistry::gauge(const std::string &Name) {
 }
 
 Histogram &MetricsRegistry::histogram(const std::string &Name) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   std::unique_ptr<Histogram> &Slot = Histograms[Name];
   if (!Slot)
     Slot = std::make_unique<Histogram>();
@@ -126,7 +126,7 @@ Histogram &MetricsRegistry::histogram(const std::string &Name) {
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   MetricsSnapshot S;
   for (const auto &[Name, C] : Counters)
     S.Counters[Name] = C->value();

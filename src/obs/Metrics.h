@@ -37,12 +37,13 @@
 #ifndef DYNACE_OBS_METRICS_H
 #define DYNACE_OBS_METRICS_H
 
+#include "support/ThreadSafety.h"
+
 #include <atomic>
 #include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -151,30 +152,32 @@ struct MetricsSnapshot {
 /// Named instrument registry. Lookup (counter/gauge/histogram) takes a
 /// mutex and is meant for setup paths; the returned references are stable
 /// for the registry's lifetime, so hot call sites resolve once and cache
-/// the pointer.
+/// the pointer. The name->instrument maps are GUARDED_BY the registry
+/// mutex (checked by Clang's -Wthread-safety); the instruments themselves
+/// are internally atomic, so the returned references are written lock-free.
 class MetricsRegistry {
 public:
-  Counter &counter(const std::string &Name);
-  Gauge &gauge(const std::string &Name);
-  Histogram &histogram(const std::string &Name);
+  Counter &counter(const std::string &Name) EXCLUDES(M);
+  Gauge &gauge(const std::string &Name) EXCLUDES(M);
+  Histogram &histogram(const std::string &Name) EXCLUDES(M);
 
   /// Freezes current values. Safe concurrently with writers (each value is
   /// read atomically; cross-instrument skew is acceptable by design).
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const EXCLUDES(M);
 
   /// Accumulates a frozen snapshot into this registry (counter adds,
   /// bucket-wise histogram adds, gauge overwrites) — how per-run snapshots
   /// roll up into the process registry.
-  void merge(const MetricsSnapshot &S);
+  void merge(const MetricsSnapshot &S) EXCLUDES(M);
 
   /// The process-wide pipeline registry (cache/runner accounting).
   static MetricsRegistry &process();
 
 private:
-  mutable std::mutex M;
-  std::map<std::string, std::unique_ptr<Counter>> Counters;
-  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
-  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+  mutable Mutex M;
+  std::map<std::string, std::unique_ptr<Counter>> Counters GUARDED_BY(M);
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges GUARDED_BY(M);
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms GUARDED_BY(M);
 };
 
 } // namespace dynace

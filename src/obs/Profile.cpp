@@ -4,6 +4,7 @@
 
 #include "obs/Trace.h"
 #include "support/Env.h"
+#include "support/ThreadSafety.h"
 
 #include <algorithm>
 #include <chrono>
@@ -33,8 +34,10 @@ struct StageTotals {
 
 // Keyed by stage name; the literal pointers from call sites are unified
 // through a string map so identical names from different TUs aggregate.
-std::mutex TableMutex;
-std::map<std::string, StageTotals> &table() {
+// REQUIRES makes the discipline checkable: every table() caller must hold
+// TableMutex or the Clang thread-safety analysis rejects the TU.
+Mutex TableMutex;
+std::map<std::string, StageTotals> &table() REQUIRES(TableMutex) {
   static auto *T = new std::map<std::string, StageTotals>();
   return *T;
 }
@@ -71,7 +74,7 @@ void Profiler::setEnabled(bool On) {
 bool Profiler::enabled() const { return profileEnabled(); }
 
 void Profiler::charge(const char *Stage, double TotalUs, double SelfUs) {
-  std::lock_guard<std::mutex> Lock(TableMutex);
+  MutexLock Lock(TableMutex);
   StageTotals &T = table()[Stage];
   T.TotalUs += TotalUs;
   T.SelfUs += SelfUs;
@@ -81,7 +84,7 @@ void Profiler::charge(const char *Stage, double TotalUs, double SelfUs) {
 void Profiler::print(std::FILE *Out) const {
   std::vector<std::pair<std::string, StageTotals>> Rows;
   {
-    std::lock_guard<std::mutex> Lock(TableMutex);
+    MutexLock Lock(TableMutex);
     Rows.assign(table().begin(), table().end());
   }
   if (Rows.empty())
@@ -103,7 +106,7 @@ void Profiler::print(std::FILE *Out) const {
 }
 
 void Profiler::reset() {
-  std::lock_guard<std::mutex> Lock(TableMutex);
+  MutexLock Lock(TableMutex);
   table().clear();
 }
 

@@ -122,17 +122,29 @@ TraceCollector &TraceCollector::instance() {
 // instrumented binary.
 const bool TraceEnvConfigured = (TraceCollector::instance(), true);
 
-TraceCollector::TraceCollector() : Epoch(std::chrono::steady_clock::now()) {}
+TraceCollector::TraceCollector() {
+  EpochNs.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count(),
+                std::memory_order_relaxed);
+}
 
-void TraceCollector::configure(const std::string &NewPath) {
-  std::lock_guard<std::mutex> Lock(M);
-  Path = NewPath;
+void TraceCollector::clearBuffersLocked() {
   for (std::unique_ptr<ThreadBuffer> &B : Buffers) {
-    std::lock_guard<std::mutex> BLock(B->M);
+    MutexLock BLock(B->M);
     B->Events.clear();
   }
+}
+
+void TraceCollector::configure(const std::string &NewPath) {
+  MutexLock Lock(M);
+  Path = NewPath;
+  clearBuffersLocked();
   Dropped.store(0, std::memory_order_relaxed);
-  Epoch = std::chrono::steady_clock::now();
+  EpochNs.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count(),
+                std::memory_order_relaxed);
   detail::TraceOn.store(!Path.empty(), std::memory_order_relaxed);
   if (!Path.empty() && !AtExitInstalled) {
     AtExitInstalled = true;
@@ -141,7 +153,7 @@ void TraceCollector::configure(const std::string &NewPath) {
 }
 
 std::string TraceCollector::path() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Path;
 }
 
@@ -151,7 +163,7 @@ TraceCollector::ThreadBuffer &TraceCollector::threadBuffer() {
     auto B = std::make_unique<ThreadBuffer>();
     B->Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
     TLB = B.get();
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     Buffers.push_back(std::move(B));
   }
   return *TLB;
@@ -162,7 +174,7 @@ void TraceCollector::emit(TraceEvent E) {
     return;
   ThreadBuffer &B = threadBuffer();
   E.Tid = B.Tid;
-  std::lock_guard<std::mutex> Lock(B.M);
+  MutexLock Lock(B.M);
   if (B.Events.size() >= kMaxEventsPerThread) {
     Dropped.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -174,12 +186,12 @@ bool TraceCollector::flush() {
   std::string OutPath;
   std::vector<TraceEvent> All;
   {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     if (Path.empty())
       return false;
     OutPath = Path;
     for (std::unique_ptr<ThreadBuffer> &B : Buffers) {
-      std::lock_guard<std::mutex> BLock(B->M);
+      MutexLock BLock(B->M);
       All.insert(All.end(), std::make_move_iterator(B->Events.begin()),
                  std::make_move_iterator(B->Events.end()));
       B->Events.clear();

@@ -34,11 +34,12 @@
 #ifndef DYNACE_OBS_TRACE_H
 #define DYNACE_OBS_TRACE_H
 
+#include "support/ThreadSafety.h"
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -79,10 +80,10 @@ public:
   /// Points the collector at \p Path (empty disables tracing). Buffered
   /// events and drop counts are discarded; the epoch restarts. Installs an
   /// atexit flush the first time a non-empty path is configured.
-  void configure(const std::string &Path);
+  void configure(const std::string &Path) EXCLUDES(M);
 
   /// Output path; empty when tracing is disabled.
-  std::string path() const;
+  std::string path() const EXCLUDES(M);
 
   /// Appends an event to the calling thread's buffer (no-op when
   /// disabled). Prefer the DYNACE_TRACE_* macros, which guard argument
@@ -92,13 +93,18 @@ public:
   /// Writes all buffered events to the configured path as Chrome
   /// trace_event JSON, sorted by timestamp, and clears the buffers.
   /// \returns true on success (false: disabled or I/O failure).
-  bool flush();
+  bool flush() EXCLUDES(M);
 
-  /// Microseconds since the collector epoch (monotonic).
+  /// Microseconds since the collector epoch (monotonic). Lock-free: the
+  /// epoch is an atomic nanosecond count so hot emit paths never touch M
+  /// and a concurrent configure() cannot race the read.
   double nowUs() const {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - Epoch)
-        .count();
+    int64_t Now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+    return static_cast<double>(
+               Now - EpochNs.load(std::memory_order_relaxed)) /
+           1000.0;
   }
 
   /// Events dropped because a thread buffer hit its cap, since the last
@@ -111,20 +117,26 @@ private:
   TraceCollector();
 
   struct ThreadBuffer {
-    std::mutex M; ///< Owner-appends vs flush; effectively uncontended.
-    std::vector<TraceEvent> Events;
-    uint32_t Tid = 0;
+    Mutex M; ///< Owner-appends vs flush; effectively uncontended.
+    std::vector<TraceEvent> Events GUARDED_BY(M);
+    uint32_t Tid = 0; ///< Written once before publication; then read-only.
   };
 
-  ThreadBuffer &threadBuffer();
+  ThreadBuffer &threadBuffer() EXCLUDES(M);
 
-  mutable std::mutex M; ///< Guards Path/Buffers registration.
-  std::string Path;
-  std::vector<std::unique_ptr<ThreadBuffer>> Buffers;
+  /// Clears every thread buffer. Callers hold the registry lock (checked:
+  /// the Buffers walk needs M, each Events wipe takes the buffer's lock).
+  void clearBuffersLocked() REQUIRES(M);
+
+  mutable Mutex M; ///< Guards collector-wide configuration state.
+  std::string Path GUARDED_BY(M);
+  std::vector<std::unique_ptr<ThreadBuffer>> Buffers GUARDED_BY(M);
   std::atomic<uint64_t> Dropped{0};
   std::atomic<uint32_t> NextTid{1};
-  bool AtExitInstalled = false;
-  std::chrono::steady_clock::time_point Epoch;
+  bool AtExitInstalled GUARDED_BY(M) = false;
+  /// steady_clock epoch as a nanosecond count — atomic so nowUs() stays
+  /// lock-free against configure()'s epoch reset.
+  std::atomic<int64_t> EpochNs{0};
 };
 
 namespace detail {

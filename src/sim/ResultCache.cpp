@@ -3,6 +3,7 @@
 #include "sim/ResultCache.h"
 
 #include "support/FaultInjector.h"
+#include "support/ThreadSafety.h"
 
 #include <atomic>
 #include <cctype>
@@ -531,13 +532,26 @@ std::string dynace::resultCacheKey(const std::string &BenchmarkName,
   return Buf;
 }
 
+namespace {
+
+// Per-key mutex registry for lockResultKey. The map is GUARDED_BY the
+// registry mutex (checked under -Wthread-safety); the per-key mutexes stay
+// plain std::mutex because the public API hands out
+// std::unique_lock<std::mutex>. Leaked pointer: pipeline workers may hold
+// key locks across static destruction.
+Mutex KeyRegistryMutex;
+std::map<std::string, std::unique_ptr<std::mutex>> *KeyRegistry
+    GUARDED_BY(KeyRegistryMutex) = nullptr;
+
+} // namespace
+
 std::unique_lock<std::mutex> dynace::lockResultKey(const std::string &Key) {
-  static std::mutex RegistryMutex;
-  static std::map<std::string, std::unique_ptr<std::mutex>> Registry;
   std::mutex *KeyMutex;
   {
-    std::lock_guard<std::mutex> Guard(RegistryMutex);
-    std::unique_ptr<std::mutex> &Slot = Registry[Key];
+    MutexLock Guard(KeyRegistryMutex);
+    if (!KeyRegistry)
+      KeyRegistry = new std::map<std::string, std::unique_ptr<std::mutex>>();
+    std::unique_ptr<std::mutex> &Slot = (*KeyRegistry)[Key];
     if (!Slot)
       Slot = std::make_unique<std::mutex>();
     KeyMutex = Slot.get(); // Stable: entries are never erased.

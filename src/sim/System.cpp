@@ -147,11 +147,8 @@ AcePlatform System::makePlatform() {
 
 SimulationResult System::run() {
   Expected<SimulationResult> R = runChecked();
-  if (!R) {
-    std::fprintf(stderr, "[dynace] fatal: simulation failed: %s\n",
-                 R.status().toString().c_str());
-    std::abort();
-  }
+  if (!R)
+    fatalError("simulation failed", R.status());
   return R.take();
 }
 

@@ -2,7 +2,16 @@
 
 #include "support/Status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 using namespace dynace;
+
+void dynace::fatalError(const char *What, const Status &Failure) {
+  std::fprintf(stderr, "[dynace] fatal: %s: %s\n", What,
+               Failure.toString().c_str());
+  std::exit(2);
+}
 
 const char *dynace::errorCodeName(ErrorCode Code) {
   switch (Code) {

@@ -54,6 +54,15 @@ enum class ErrorCode : uint8_t {
 ///          report cells and log lines.
 const char *errorCodeName(ErrorCode Code);
 
+class Status;
+
+/// Terminates the process over an unrecoverable \p Failure, printing the
+/// structured "[dynace] fatal: <what>: <code>: <message>" diagnostic first
+/// (exit code 2, matching the strict environment-variable readers). The
+/// single sanctioned process-abort path outside the VM's trap machinery —
+/// scripts/check_lint.sh bans raw abort() everywhere else.
+[[noreturn]] void fatalError(const char *What, const Status &Failure);
+
 /// Success, or a classified error with a message. Cheap to return by value
 /// (success carries no allocation).
 class [[nodiscard]] Status {

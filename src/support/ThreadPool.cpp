@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(unsigned Threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    MutexLock Lock(PoolMutex);
     ShuttingDown = true;
   }
   WakeWorker.notify_all();
@@ -28,9 +28,11 @@ void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> Task;
     {
-      std::unique_lock<std::mutex> Lock(Mutex);
-      WakeWorker.wait(Lock,
-                      [this] { return ShuttingDown || !Queue.empty(); });
+      MutexLock Lock(PoolMutex);
+      // Hand-written predicate loop: the capability is held on both sides
+      // of wait(), so the guarded members are checked accesses throughout.
+      while (!ShuttingDown && Queue.empty())
+        WakeWorker.wait(Lock);
       if (Queue.empty()) // ShuttingDown and drained.
         return;
       Task = std::move(Queue.front());
@@ -39,7 +41,7 @@ void ThreadPool::workerLoop() {
     }
     Task(); // Exceptions are captured by the packaged_task wrapper.
     {
-      std::lock_guard<std::mutex> Lock(Mutex);
+      MutexLock Lock(PoolMutex);
       --Busy;
     }
     Idle.notify_all();
@@ -47,8 +49,9 @@ void ThreadPool::workerLoop() {
 }
 
 void ThreadPool::wait() {
-  std::unique_lock<std::mutex> Lock(Mutex);
-  Idle.wait(Lock, [this] { return Queue.empty() && Busy == 0; });
+  MutexLock Lock(PoolMutex);
+  while (!Queue.empty() || Busy != 0)
+    Idle.wait(Lock);
 }
 
 unsigned ThreadPool::defaultThreadCount() {

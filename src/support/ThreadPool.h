@@ -17,16 +17,22 @@
 /// degenerates to strict submission-order execution (used to verify that
 /// parallel and serial runs produce bit-identical results).
 ///
+/// Lock discipline is stated in the types (support/ThreadSafety.h): every
+/// queue/bookkeeping member is GUARDED_BY(PoolMutex), so an access outside
+/// the lock fails \c -Wthread-safety under Clang at compile time instead of
+/// waiting for TSan to catch the interleaving.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNACE_SUPPORT_THREADPOOL_H
 #define DYNACE_SUPPORT_THREADPOOL_H
 
+#include "support/ThreadSafety.h"
+
 #include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
@@ -61,7 +67,7 @@ public:
         std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(F));
     std::future<Result> Future = Task->get_future();
     {
-      std::lock_guard<std::mutex> Lock(Mutex);
+      MutexLock Lock(PoolMutex);
       Queue.push([Task] { (*Task)(); });
     }
     WakeWorker.notify_one();
@@ -85,12 +91,14 @@ private:
   void workerLoop();
 
   std::vector<std::thread> Workers;
-  std::queue<std::function<void()>> Queue;
-  std::mutex Mutex;
-  std::condition_variable WakeWorker;
-  std::condition_variable Idle;
-  unsigned Busy = 0;
-  bool ShuttingDown = false;
+  Mutex PoolMutex;
+  std::queue<std::function<void()>> Queue GUARDED_BY(PoolMutex);
+  /// _any variants: they wait on the annotated MutexLock (whose transient
+  /// unlock inside wait() is excluded from analysis — see ThreadSafety.h).
+  std::condition_variable_any WakeWorker;
+  std::condition_variable_any Idle;
+  unsigned Busy GUARDED_BY(PoolMutex) = 0;
+  bool ShuttingDown GUARDED_BY(PoolMutex) = false;
 };
 
 } // namespace dynace

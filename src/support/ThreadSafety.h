@@ -1,0 +1,130 @@
+//===- support/ThreadSafety.h - Clang thread-safety capabilities -*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time lock discipline for the concurrent pipeline (DESIGN.md §13).
+///
+/// Clang's \c -Wthread-safety analysis proves, per translation unit, that
+/// every access to a \c GUARDED_BY member happens with the named mutex
+/// held. The TSan gate only checks the interleavings a given run happens
+/// to produce; the static analysis checks *all* call paths, every build.
+///
+/// Two layers live here:
+///
+///  * the raw annotation macros (\c CAPABILITY, \c GUARDED_BY, \c REQUIRES,
+///    \c ACQUIRE / \c RELEASE, ...), expanding to Clang attributes when the
+///    compiler supports them and to nothing otherwise (GCC builds are
+///    unaffected);
+///  * annotated capability types — \c Mutex and the scoped \c MutexLock —
+///    wrapping \c std::mutex. The standard mutex types carry no
+///    annotations under libstdc++, so locking through them is invisible to
+///    the analysis; the annotated components (ThreadPool, TraceCollector,
+///    MetricsRegistry, the ResultCache key registry) lock exclusively
+///    through these wrappers.
+///
+/// Condition variables: pair \c Mutex with \c std::condition_variable_any
+/// and call \c wait(MutexLock&) in a hand-written predicate loop. The
+/// analysis cannot see the unlock/relock inside \c wait(), but the
+/// capability is held both before and after the call, so the checked state
+/// stays consistent (MutexLock's BasicLockable surface is excluded from
+/// analysis for exactly this reason).
+///
+/// The negative compile test (tests/thread_safety_negative.cpp, driven by
+/// scripts/check_thread_safety.sh) pins that an unannotated access really
+/// does fail \c -Werror=thread-safety-analysis under Clang.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SUPPORT_THREADSAFETY_H
+#define DYNACE_SUPPORT_THREADSAFETY_H
+
+#include <mutex>
+
+// Attribute detection: Clang defines __has_attribute and implements the
+// capability attributes; GCC reports 0 (or lacks __has_attribute), so every
+// macro below compiles away there.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DYNACE_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef DYNACE_TSA
+#define DYNACE_TSA(x) // no-op outside Clang
+#endif
+
+/// Marks a type as a capability (a lock) the analysis can track.
+#define CAPABILITY(x) DYNACE_TSA(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY DYNACE_TSA(scoped_lockable)
+
+/// Declares that a member may only be read or written while holding \p x.
+#define GUARDED_BY(x) DYNACE_TSA(guarded_by(x))
+
+/// Declares that the pointed-to data (not the pointer) is guarded by \p x.
+#define PT_GUARDED_BY(x) DYNACE_TSA(pt_guarded_by(x))
+
+/// Declares that callers must hold the given capabilities.
+#define REQUIRES(...) DYNACE_TSA(requires_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the given capabilities.
+#define ACQUIRE(...) DYNACE_TSA(acquire_capability(__VA_ARGS__))
+
+/// Declares that a function releases the given capabilities.
+#define RELEASE(...) DYNACE_TSA(release_capability(__VA_ARGS__))
+
+/// Declares that a function returns \p ret and acquires on that outcome.
+#define TRY_ACQUIRE(...) DYNACE_TSA(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that callers must NOT hold the given capabilities
+/// (non-reentrancy).
+#define EXCLUDES(...) DYNACE_TSA(locks_excluded(__VA_ARGS__))
+
+/// Declares the capability returned by a getter.
+#define RETURN_CAPABILITY(x) DYNACE_TSA(lock_returned(x))
+
+/// Opts a function out of the analysis (used sparingly, with a comment).
+#define NO_THREAD_SAFETY_ANALYSIS DYNACE_TSA(no_thread_safety_analysis)
+
+namespace dynace {
+
+/// An annotated \c std::mutex: the capability type the analysis tracks.
+/// Lock through MutexLock (or lock()/unlock() in annotated functions).
+class CAPABILITY("mutex") Mutex {
+public:
+  void lock() ACQUIRE() { M.lock(); }
+  void unlock() RELEASE() { M.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return M.try_lock(); }
+
+private:
+  std::mutex M;
+};
+
+/// Scoped holder of a Mutex (the annotated std::lock_guard). Also models
+/// BasicLockable so \c std::condition_variable_any can wait on it; those
+/// entry points are excluded from analysis (see \file comment).
+class SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &M) ACQUIRE(M) : M(M) { M.lock(); }
+  ~MutexLock() RELEASE() { M.unlock(); }
+
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+  // BasicLockable surface for condition_variable_any::wait. Only the
+  // condition variable calls these; the capability is held on both sides
+  // of wait(), so hiding the transient unlock keeps the analysis sound.
+  void lock() NO_THREAD_SAFETY_ANALYSIS { M.lock(); }
+  void unlock() NO_THREAD_SAFETY_ANALYSIS { M.unlock(); }
+
+private:
+  Mutex &M;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_SUPPORT_THREADSAFETY_H

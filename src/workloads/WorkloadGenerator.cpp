@@ -2,6 +2,7 @@
 
 #include "workloads/WorkloadGenerator.h"
 
+#include "analysis/Verifier.h"
 #include "isa/MethodBuilder.h"
 #include "support/Random.h"
 
@@ -9,8 +10,6 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 
 using namespace dynace;
 
@@ -425,10 +424,11 @@ GeneratedWorkload WorkloadGenerator::generate(const WorkloadProfile &P) {
   Prog.setEntry(MainId);
   W.EstimatedInstructions = MainEst;
 
-  if (Status S = Prog.finalize(); !S) {
-    std::fprintf(stderr, "workload generator produced invalid program: %s\n",
-                 S.toString().c_str());
-    std::abort();
-  }
+  // Post-generation gate: finalize runs the full dynalint verification
+  // (CFG + DO/ACE placement checks) on every generated program, so a
+  // generator bug is rejected here — with a classified diagnostic — rather
+  // than surfacing later as a runtime trap or a silently mistuned run.
+  if (Status S = Prog.finalize(analysis::verifyProgramStatus); !S)
+    fatalError("workload generator produced invalid program", S);
   return W;
 }

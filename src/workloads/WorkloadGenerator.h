@@ -44,8 +44,10 @@ struct GeneratedWorkload {
 /// Deterministic program generator (same profile -> same program).
 class WorkloadGenerator {
 public:
-  /// Builds and finalizes the program for \p P. Aborts on an internally
-  /// inconsistent profile (generator bugs surface as verifier failures).
+  /// Builds and finalizes the program for \p P, gating it through the full
+  /// dynalint verification (finalize with analysis::verifyProgramStatus).
+  /// Terminates via fatalError() on an internally inconsistent profile —
+  /// generator bugs surface as classified verifier diagnostics.
   static GeneratedWorkload generate(const WorkloadProfile &P);
 };
 

@@ -1,0 +1,468 @@
+//===- tests/analysis_test.cpp - CFG / call graph / verifier tests --------==//
+//
+// Coverage contract: every DiagKind has at least one malformed fixture
+// here that triggers it (and a well-formed near-miss that does not), so a
+// verifier regression that silently stops reporting a defect class fails
+// this suite, not a downstream simulation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+#include "analysis/Verifier.h"
+#include "isa/MethodBuilder.h"
+#include "workloads/WorkloadGenerator.h"
+#include "workloads/WorkloadProfile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace dynace;
+using namespace dynace::analysis;
+
+namespace {
+
+// ---------------------------------------------------- fixture construction
+//
+// Malformed fixtures are assembled from raw Instructions (MethodBuilder
+// and Program::finalize would reject them); the verifier runs fine on
+// unfinalized programs.
+
+Instruction ins(Opcode Op) {
+  Instruction I;
+  I.Op = Op;
+  return I;
+}
+
+Instruction iconst(uint8_t Dst, int64_t Imm) {
+  Instruction I = ins(Opcode::IConst);
+  I.Dst = Dst;
+  I.Imm = Imm;
+  return I;
+}
+
+Instruction addi(uint8_t Dst, uint8_t Src, int64_t Imm) {
+  Instruction I = ins(Opcode::AddI);
+  I.Dst = Dst;
+  I.Src1 = Src;
+  I.Imm = Imm;
+  return I;
+}
+
+Instruction bri(uint8_t Src, int64_t CmpImm, int64_t Target) {
+  Instruction I = ins(Opcode::BrI);
+  I.Cond = CondKind::Lt;
+  I.Src1 = Src;
+  I.Aux = CmpImm;
+  I.Imm = Target;
+  return I;
+}
+
+Instruction jmp(int64_t Target) {
+  Instruction I = ins(Opcode::Jmp);
+  I.Imm = Target;
+  return I;
+}
+
+Instruction call(MethodId Callee, uint8_t FirstArg = kNoReg,
+                 uint8_t NumArgs = kNoReg) {
+  Instruction I = ins(Opcode::Call);
+  I.Dst = 1;
+  I.Src1 = FirstArg;
+  I.Src2 = NumArgs;
+  I.Imm = static_cast<int64_t>(Callee);
+  return I;
+}
+
+Instruction ret(uint8_t Value) {
+  Instruction I = ins(Opcode::Ret);
+  I.Src1 = Value;
+  return I;
+}
+
+/// One-method program from a raw code vector.
+Program makeProgram(std::vector<Instruction> Code,
+                    const std::string &Name = "m") {
+  Program P;
+  Method M;
+  M.Name = Name;
+  M.Code = std::move(Code);
+  P.addMethod(std::move(M));
+  P.setEntry(0);
+  return P;
+}
+
+/// Appends another method; \returns its id.
+MethodId addMethod(Program &P, std::vector<Instruction> Code,
+                   const std::string &Name) {
+  Method M;
+  M.Name = Name;
+  M.Code = std::move(Code);
+  return P.addMethod(std::move(M));
+}
+
+bool hasKind(const std::vector<Diagnostic> &Diags, DiagKind Kind) {
+  return std::any_of(Diags.begin(), Diags.end(),
+                     [Kind](const Diagnostic &D) { return D.Kind == Kind; });
+}
+
+// A minimal well-formed method: loads a constant and returns it.
+std::vector<Instruction> cleanCode() { return {iconst(1, 7), ret(1)}; }
+
+// ----------------------------------------------------------- CFG structure
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  Method M;
+  M.Code = {iconst(1, 0), addi(1, 1, 1), ret(1)};
+  Cfg G = Cfg::build(M);
+  ASSERT_EQ(G.numBlocks(), 1u);
+  EXPECT_EQ(G.blocks()[0].First, 0u);
+  EXPECT_EQ(G.blocks()[0].Last, 2u);
+  EXPECT_FALSE(G.fallsOffEnd());
+}
+
+TEST(Cfg, LoopSplitsAtBranchTarget) {
+  // 0: iconst | 1: addi (loop head) | 2: bri -> 1 | 3: ret
+  Method M;
+  M.Code = {iconst(1, 0), addi(1, 1, 1), bri(1, 100, 1), ret(1)};
+  Cfg G = Cfg::build(M);
+  ASSERT_EQ(G.numBlocks(), 3u);
+  EXPECT_EQ(G.blockContaining(0), 0u);
+  EXPECT_EQ(G.blockContaining(1), 1u);
+  EXPECT_EQ(G.blockContaining(2), 1u);
+  EXPECT_EQ(G.blockContaining(3), 2u);
+  // bb1 (the loop body) has two successors: itself and the exit block.
+  const BasicBlock &Body = G.blocks()[1];
+  ASSERT_EQ(Body.Succs.size(), 2u);
+  EXPECT_TRUE(std::count(Body.Succs.begin(), Body.Succs.end(), 1u));
+  EXPECT_TRUE(std::count(Body.Succs.begin(), Body.Succs.end(), 2u));
+  // Preds mirror succs: the body is its own predecessor.
+  EXPECT_TRUE(std::count(Body.Preds.begin(), Body.Preds.end(), 1u));
+}
+
+TEST(Cfg, CallDoesNotEndABlock) {
+  Method M;
+  M.Code = {iconst(1, 0), call(0), addi(1, 1, 1), ret(1)};
+  Cfg G = Cfg::build(M);
+  EXPECT_EQ(G.numBlocks(), 1u);
+}
+
+TEST(Cfg, FallsOffEndWhenLastInstrIsNotATerminator) {
+  Method M;
+  M.Code = {iconst(1, 0), addi(1, 1, 1)};
+  EXPECT_TRUE(Cfg::build(M).fallsOffEnd());
+  M.Code.push_back(ret(1));
+  EXPECT_FALSE(Cfg::build(M).fallsOffEnd());
+}
+
+TEST(Cfg, DotDumpNamesTheMethodAndItsBlocks) {
+  Method M;
+  M.Name = "loopy";
+  M.Code = {iconst(1, 0), bri(1, 10, 0)};
+  // Self-contained check that the DOT dump is a digraph with block nodes.
+  std::string Dot = Cfg::build(M).toDot(M);
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("loopy"), std::string::npos);
+  EXPECT_NE(Dot.find("bb0"), std::string::npos);
+}
+
+// -------------------------------------------------------------- call graph
+
+TEST(CallGraph, CollectsCallSitesInInstructionOrder) {
+  Program P = makeProgram({iconst(1, 0), ret(1)}, "leaf");
+  MethodId Mid = addMethod(P, {call(0), addi(1, 1, 1), call(0), ret(1)},
+                           "mid");
+  CallGraph CG = CallGraph::build(P);
+  ASSERT_EQ(CG.numMethods(), 2u);
+  ASSERT_EQ(CG.callSites(Mid).size(), 2u);
+  EXPECT_EQ(CG.callSites(Mid)[0].Instr, 0u);
+  EXPECT_EQ(CG.callSites(Mid)[1].Instr, 2u);
+  EXPECT_EQ(CG.callSites(Mid)[0].Callee, 0u);
+  EXPECT_TRUE(CG.findCycle().empty());
+}
+
+TEST(CallGraph, FindsARecursionCycleInCallOrder) {
+  // a -> b -> a: the cycle must come back in call order.
+  Program P = makeProgram({iconst(1, 0), call(1), ret(1)}, "a");
+  addMethod(P, {iconst(1, 0), call(0), ret(1)}, "b");
+  std::vector<MethodId> Cycle = CallGraph::build(P).findCycle();
+  ASSERT_EQ(Cycle.size(), 2u);
+  // Each cycle element calls the next (wrapping): verify the edges exist.
+  CallGraph CG = CallGraph::build(P);
+  for (size_t I = 0; I != Cycle.size(); ++I) {
+    MethodId Caller = Cycle[I];
+    MethodId Callee = Cycle[(I + 1) % Cycle.size()];
+    bool Edge = false;
+    for (const CallSite &S : CG.callSites(Caller))
+      Edge |= S.Callee == Callee;
+    EXPECT_TRUE(Edge) << "missing cycle edge " << Caller << "->" << Callee;
+  }
+}
+
+TEST(CallGraph, ReachableFromFollowsCallEdges) {
+  Program P = makeProgram({iconst(1, 0), ret(1)}, "leaf");
+  MethodId Mid = addMethod(P, {call(0), ret(1)}, "mid");
+  MethodId Orphan = addMethod(P, cleanCode(), "orphan");
+  std::vector<bool> R = CallGraph::build(P).reachableFrom(Mid);
+  EXPECT_TRUE(R[Mid]);
+  EXPECT_TRUE(R[0]);
+  EXPECT_FALSE(R[Orphan]);
+}
+
+// ------------------------------------------------- verifier: defect table
+
+struct DefectCase {
+  const char *Name;
+  DiagKind Expected;
+  Program (*Build)();
+};
+
+class VerifierDefectTest : public ::testing::TestWithParam<DefectCase> {};
+
+TEST_P(VerifierDefectTest, ReportsTheExpectedKind) {
+  const DefectCase &C = GetParam();
+  Program P = C.Build();
+  std::vector<Diagnostic> Diags = verifyProgram(P);
+  EXPECT_TRUE(hasKind(Diags, C.Expected))
+      << C.Name << ": expected a " << diagKindName(C.Expected)
+      << " diagnostic";
+  // The Status wrapper folds the FIRST diagnostic — which may belong to a
+  // different check group — but must always classify as InvalidInput with
+  // a dynalint[...] prefix.
+  Status S = verifyProgramStatus(P);
+  ASSERT_FALSE(S.ok()) << C.Name;
+  EXPECT_EQ(S.code(), ErrorCode::InvalidInput);
+  EXPECT_NE(S.message().find("dynalint["), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, VerifierDefectTest,
+    ::testing::Values(
+        DefectCase{"empty-method", DiagKind::EmptyMethod,
+                   [] { return makeProgram({}); }},
+        DefectCase{"bad-register", DiagKind::BadRegister,
+                   [] {
+                     return makeProgram({iconst(40, 0), ret(1)});
+                   }},
+        DefectCase{"bad-branch-target", DiagKind::BadBranchTarget,
+                   [] { return makeProgram({jmp(99), ret(1)}); }},
+        DefectCase{"bad-call-target", DiagKind::BadCallTarget,
+                   [] {
+                     return makeProgram({iconst(1, 0), call(7), ret(1)});
+                   }},
+        DefectCase{"bad-call-window", DiagKind::BadCallWindow,
+                   [] {
+                     // Window [r30, +5) leaves the 32-register file.
+                     return makeProgram(
+                         {iconst(1, 0), call(0, 30, 5), ret(1)});
+                   }},
+        DefectCase{"off-end-fallthrough", DiagKind::OffEndFallthrough,
+                   [] {
+                     return makeProgram({iconst(1, 0), addi(1, 1, 1)});
+                   }},
+        DefectCase{"dead-block", DiagKind::DeadBlock,
+                   [] {
+                     // instr 1 is unreachable (jmp skips it).
+                     return makeProgram({jmp(2), addi(1, 1, 1), ret(1)});
+                   }},
+        DefectCase{"unreachable-exit", DiagKind::UnreachableExit,
+                   [] {
+                     // The skipped instruction IS an exit: its hook can
+                     // never fire.
+                     return makeProgram({jmp(2), ret(1), ret(1)});
+                   }},
+        DefectCase{"no-exit-path", DiagKind::NoExitPath,
+                   [] {
+                     // instr 1 jumps to itself; no ret/halt anywhere
+                     // beyond it.
+                     return makeProgram({iconst(1, 0), jmp(1)});
+                   }},
+        DefectCase{"reentrant-entry", DiagKind::ReentrantEntry,
+                   [] {
+                     // Loop back to instruction 0 = the entry hook point.
+                     return makeProgram({addi(1, 1, 1), bri(1, 10, 0),
+                                         ret(1)});
+                   }},
+        DefectCase{"reconfig-interval-entry", DiagKind::ReconfigInterval,
+                   [] {
+                     // Call as the first instruction: coincident with the
+                     // method-entry reconfiguration point.
+                     Program P = makeProgram({call(1), ret(1)}, "caller");
+                     addMethod(P, cleanCode(), "leaf");
+                     return P;
+                   }},
+        DefectCase{"reconfig-interval-call-call", DiagKind::ReconfigInterval,
+                   [] {
+                     // Two adjacent calls: zero instructions between the
+                     // reconfiguration points.
+                     Program P = makeProgram(
+                         {iconst(1, 0), call(1), call(1), ret(1)},
+                         "caller");
+                     addMethod(P, cleanCode(), "leaf");
+                     return P;
+                   }},
+        DefectCase{"unbalanced-stack", DiagKind::UnbalancedStack,
+                   [] {
+                     // Direct self-recursion.
+                     return makeProgram(
+                         {iconst(1, 0), call(0), ret(1)}, "rec");
+                   }},
+        DefectCase{"bad-entry-method", DiagKind::BadEntryMethod,
+                   [] {
+                     Program P = makeProgram(cleanCode());
+                     P.setEntry(5);
+                     return P;
+                   }}),
+    [](const ::testing::TestParamInfo<DefectCase> &Info) {
+      std::string Name = Info.param.Name;
+      std::replace(Name.begin(), Name.end(), '-', '_');
+      return Name;
+    });
+
+// --------------------------------------------- verifier: clean near-misses
+
+TEST(Verifier, CleanProgramHasNoDiagnostics) {
+  Program P = makeProgram(cleanCode());
+  EXPECT_TRUE(verifyProgram(P).empty());
+  EXPECT_TRUE(verifyProgramStatus(P).ok());
+}
+
+TEST(Verifier, LoopWithExitIsClean) {
+  // Loop head at instr 1 (NOT 0), bounded, with a reachable ret.
+  Program P = makeProgram({iconst(1, 0), addi(1, 1, 1), bri(1, 100, 1),
+                           ret(1)});
+  EXPECT_TRUE(verifyProgram(P).empty());
+}
+
+TEST(Verifier, SpacedCallsAreCleanAtDefaultGap) {
+  // One instruction between entry and the call, and between the calls:
+  // gap 1 >= ReconfigMinGap 1.
+  Program P = makeProgram(
+      {iconst(1, 0), call(1), addi(1, 1, 1), call(1), ret(1)}, "caller");
+  addMethod(P, cleanCode(), "leaf");
+  EXPECT_TRUE(verifyProgram(P).empty());
+}
+
+TEST(Verifier, EmptyProgramIsBadEntry) {
+  Program P;
+  std::vector<Diagnostic> Diags = verifyProgram(P);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].Kind, DiagKind::BadEntryMethod);
+}
+
+// ----------------------------------------------------- verifier: options
+
+TEST(VerifierOptions, LargerGapFlagsSpacedCalls) {
+  Program P = makeProgram(
+      {iconst(1, 0), call(1), addi(1, 1, 1), call(1), ret(1)}, "caller");
+  addMethod(P, cleanCode(), "leaf");
+  VerifierOptions O;
+  O.ReconfigMinGap = 10;
+  std::vector<Diagnostic> Diags = verifyProgram(P, O);
+  EXPECT_TRUE(hasKind(Diags, DiagKind::ReconfigInterval));
+  O.ReconfigMinGap = 0; // 0 disables the check entirely.
+  EXPECT_TRUE(verifyProgram(P, O).empty());
+}
+
+TEST(VerifierOptions, DoAceChecksOffSkipsPlacementChecks) {
+  Program P = makeProgram({iconst(1, 0), call(0), ret(1)}, "rec");
+  VerifierOptions O;
+  O.DoAceChecks = false;
+  // Recursion (UnbalancedStack) and the reconfig check are ACE-only.
+  EXPECT_TRUE(verifyProgram(P, O).empty());
+}
+
+TEST(VerifierOptions, FlagDeadBlocksOffSuppressesUnreachabilityDiags) {
+  Program P = makeProgram({jmp(2), ret(1), ret(1)});
+  VerifierOptions O;
+  O.FlagDeadBlocks = false;
+  std::vector<Diagnostic> Diags = verifyProgram(P, O);
+  EXPECT_FALSE(hasKind(Diags, DiagKind::DeadBlock));
+  EXPECT_FALSE(hasKind(Diags, DiagKind::UnreachableExit));
+}
+
+TEST(VerifierOptions, MaxDiagnosticsCapsTheReport) {
+  // Every instruction has a bad register: far more defects than the cap.
+  std::vector<Instruction> Code(10, iconst(40, 0));
+  Code.push_back(ret(1));
+  Program P = makeProgram(std::move(Code));
+  VerifierOptions O;
+  O.MaxDiagnostics = 3;
+  EXPECT_EQ(verifyProgram(P, O).size(), 3u);
+}
+
+// ------------------------------------------------- diagnostics rendering
+
+TEST(Diagnostic, RenderNamesMethodInstrAndKind) {
+  Program P = makeProgram({jmp(99), ret(1)}, "broken");
+  std::vector<Diagnostic> Diags = verifyProgram(P);
+  ASSERT_FALSE(Diags.empty());
+  std::string R = Diags[0].render(P);
+  EXPECT_NE(R.find("method 'broken'"), std::string::npos);
+  EXPECT_NE(R.find("instr 0"), std::string::npos);
+  EXPECT_NE(R.find("[bad-branch-target]"), std::string::npos);
+}
+
+TEST(Diagnostic, StatusMessageCarriesTheKindTag) {
+  Program P = makeProgram({iconst(1, 0), call(0), ret(1)}, "rec");
+  Status S = verifyProgramStatus(P);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("dynalint[unbalanced-stack]"),
+            std::string::npos);
+}
+
+TEST(Diagnostic, KindNamesAreStableAndDistinct) {
+  std::vector<std::string> Names;
+  for (int K = 0; K <= static_cast<int>(DiagKind::BadEntryMethod); ++K)
+    Names.push_back(diagKindName(static_cast<DiagKind>(K)));
+  std::vector<std::string> Sorted = Names;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_EQ(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+  EXPECT_EQ(Names.front(), "empty-method");
+  EXPECT_EQ(Names.back(), "bad-entry-method");
+}
+
+// ------------------------------------------------- finalize strict mode
+
+TEST(FinalizeStrict, StructurallyValidButUnverifiableProgramIsRejected) {
+  // Passes finalize's structural checks (targets in range, terminator
+  // present) but has a dead block — only the strict hook catches it.
+  Program P = makeProgram({jmp(2), addi(1, 1, 1), ret(1)});
+  EXPECT_TRUE(P.finalize().ok());
+
+  Program Q = makeProgram({jmp(2), addi(1, 1, 1), ret(1)});
+  Status S = Q.finalize(verifyProgramStatus);
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::InvalidInput);
+  EXPECT_NE(S.message().find("dynalint[dead-block]"), std::string::npos);
+  EXPECT_FALSE(Q.isFinalized());
+}
+
+TEST(FinalizeStrict, CleanProgramFinalizesAndAssignsAddresses) {
+  Program P = makeProgram(cleanCode());
+  ASSERT_TRUE(P.finalize(verifyProgramStatus).ok());
+  EXPECT_TRUE(P.isFinalized());
+  EXPECT_EQ(P.method(0).CodeBase, kCodeBase);
+}
+
+// --------------------------------------------- generated-workload sweep
+
+TEST(WorkloadSweep, EveryGeneratedBenchmarkVerifiesClean) {
+  // The generator gates through finalize(verifyProgramStatus) already (it
+  // fatalError()s otherwise); re-verifying here reports ALL diagnostics
+  // with full context if the gate and the verifier ever drift.
+  for (const WorkloadProfile &Profile : specjvm98Profiles()) {
+    GeneratedWorkload W = WorkloadGenerator::generate(Profile);
+    std::vector<Diagnostic> Diags = verifyProgram(W.Prog);
+    std::string Rendered;
+    for (const Diagnostic &D : Diags)
+      Rendered += D.render(W.Prog) + "\n";
+    EXPECT_TRUE(Diags.empty())
+        << Profile.Name << " has verifier diagnostics:\n" << Rendered;
+    EXPECT_TRUE(W.Prog.isFinalized()) << Profile.Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,40 @@
+//===- tests/thread_safety_negative.cpp -----------------------------------==//
+//
+// Must-NOT-compile fixture for the thread-safety gate: reads a GUARDED_BY
+// member without holding the mutex. scripts/check_thread_safety.sh
+// compiles this TU under clang++ -Werror=thread-safety-analysis and FAILS
+// the gate if it succeeds — a success would mean the analysis is silently
+// off and the positive half of the gate proves nothing.
+//
+// Deliberately not registered as a CMake target: GCC (which compiles the
+// annotations away) would happily build it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadSafety.h"
+
+namespace {
+
+class Account {
+public:
+  void deposit(int Amount) {
+    dynace::MutexLock Lock(M);
+    Balance += Amount;
+  }
+
+  // BUG (intentional): unlocked read of a guarded member. Clang's
+  // -Wthread-safety-analysis must reject this function.
+  int peek() const { return Balance; }
+
+private:
+  mutable dynace::Mutex M;
+  int Balance GUARDED_BY(M) = 0;
+};
+
+} // namespace
+
+int threadSafetyNegativeProbe() {
+  Account A;
+  A.deposit(1);
+  return A.peek();
+}

@@ -1,0 +1,192 @@
+//===- tools/dynalint/dynalint.cpp - Static IR linter CLI -----------------==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// dynalint — the standalone front end of the static verifier
+// (analysis/Verifier.h, DESIGN.md section 13). Lints the programs the
+// built-in benchmark generators produce and dumps their CFGs and call
+// graphs as Graphviz DOT.
+//
+//   dynalint --all                      lint every built-in benchmark
+//   dynalint compress db                lint the named benchmarks
+//   dynalint --list                     list benchmark names
+//   dynalint --dot-cfg main compress    dump the DOT CFG of one method
+//   dynalint --dot-callgraph compress   dump the DOT call graph
+//
+// Options: --gap N (reconfiguration min gap, default 1), --no-dead
+// (skip dead-block diagnostics), --max-diags N, --quiet (per-benchmark
+// summaries only on failure).
+//
+// Exit status: 0 when every linted program verifies clean, 1 when any
+// diagnostic was reported, 2 on usage errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+#include "analysis/Verifier.h"
+#include "support/Env.h"
+#include "workloads/WorkloadGenerator.h"
+#include "workloads/WorkloadProfile.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace dynace;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] [--all | benchmark...]\n"
+               "  --all              lint every built-in benchmark\n"
+               "  --list             list benchmark names and exit\n"
+               "  --dot-cfg NAME     dump the DOT CFG of method NAME (or a "
+               "numeric id)\n"
+               "  --dot-callgraph    dump the DOT call graph\n"
+               "  --gap N            reconfiguration min gap in instructions "
+               "(default 1)\n"
+               "  --no-dead          do not flag unreachable blocks\n"
+               "  --max-diags N      stop after N diagnostics per program "
+               "(default 64)\n"
+               "  --quiet            print per-benchmark lines only on "
+               "failure\n",
+               Argv0);
+  return 2;
+}
+
+/// Resolves \p Name to a method id: an exact method-name match, else a
+/// plain decimal id. \returns the id, or numMethods() when unresolved.
+MethodId resolveMethod(const Program &P, const std::string &Name) {
+  for (MethodId Id = 0; Id != P.numMethods(); ++Id)
+    if (P.method(Id).Name == Name)
+      return Id;
+  if (std::optional<uint64_t> Id = parseUnsignedInt(Name.c_str());
+      Id && *Id < P.numMethods())
+    return static_cast<MethodId>(*Id);
+  return static_cast<MethodId>(P.numMethods());
+}
+
+/// Lints one generated benchmark. \returns the number of diagnostics.
+size_t lintBenchmark(const WorkloadProfile &Profile,
+                     const analysis::VerifierOptions &Opts, bool Quiet,
+                     const std::string &DotCfgMethod, bool DotCallGraph) {
+  GeneratedWorkload W = WorkloadGenerator::generate(Profile);
+  const Program &P = W.Prog;
+
+  if (!DotCfgMethod.empty()) {
+    MethodId Id = resolveMethod(P, DotCfgMethod);
+    if (Id >= P.numMethods()) {
+      std::fprintf(stderr, "dynalint: %s: no method named '%s'\n",
+                   Profile.Name.c_str(), DotCfgMethod.c_str());
+      return 1;
+    }
+    std::fputs(analysis::Cfg::build(P.method(Id)).toDot(P.method(Id)).c_str(),
+               stdout);
+    return 0;
+  }
+  if (DotCallGraph) {
+    std::fputs(analysis::CallGraph::build(P).toDot(P).c_str(), stdout);
+    return 0;
+  }
+
+  std::vector<analysis::Diagnostic> Diags = analysis::verifyProgram(P, Opts);
+  for (const analysis::Diagnostic &D : Diags)
+    std::fprintf(stderr, "dynalint: %s: %s\n", Profile.Name.c_str(),
+                 D.render(P).c_str());
+  if (!Diags.empty())
+    std::fprintf(stderr, "dynalint: %s: FAILED (%zu diagnostic%s)\n",
+                 Profile.Name.c_str(), Diags.size(),
+                 Diags.size() == 1 ? "" : "s");
+  else if (!Quiet)
+    std::printf("dynalint: %s: OK (%zu methods, %llu instructions)\n",
+                Profile.Name.c_str(), P.numMethods(),
+                static_cast<unsigned long long>(P.staticInstructionCount()));
+  return Diags.size();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  analysis::VerifierOptions Opts;
+  bool All = false;
+  bool Quiet = false;
+  bool DotCallGraph = false;
+  std::string DotCfgMethod;
+  std::vector<std::string> Names;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto NextValue = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (!std::strcmp(Arg, "--all")) {
+      All = true;
+    } else if (!std::strcmp(Arg, "--list")) {
+      for (const WorkloadProfile &P : specjvm98Profiles())
+        std::printf("%s\n", P.Name.c_str());
+      return 0;
+    } else if (!std::strcmp(Arg, "--dot-cfg")) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      DotCfgMethod = V;
+    } else if (!std::strcmp(Arg, "--dot-callgraph")) {
+      DotCallGraph = true;
+    } else if (!std::strcmp(Arg, "--gap")) {
+      const char *V = NextValue();
+      std::optional<uint64_t> N = parseUnsignedInt(V);
+      if (!N)
+        return usage(Argv[0]);
+      Opts.ReconfigMinGap = *N;
+    } else if (!std::strcmp(Arg, "--max-diags")) {
+      const char *V = NextValue();
+      std::optional<uint64_t> N = parseUnsignedInt(V);
+      if (!N || *N == 0)
+        return usage(Argv[0]);
+      Opts.MaxDiagnostics = static_cast<size_t>(*N);
+    } else if (!std::strcmp(Arg, "--no-dead")) {
+      Opts.FlagDeadBlocks = false;
+    } else if (!std::strcmp(Arg, "--quiet")) {
+      Quiet = true;
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr, "dynalint: unknown option '%s'\n", Arg);
+      return usage(Argv[0]);
+    } else {
+      Names.push_back(Arg);
+    }
+  }
+
+  if (!All && Names.empty())
+    return usage(Argv[0]);
+  if ((!DotCfgMethod.empty() || DotCallGraph) && (All || Names.size() != 1)) {
+    std::fprintf(stderr, "dynalint: DOT dumps need exactly one benchmark\n");
+    return 2;
+  }
+
+  std::vector<const WorkloadProfile *> Selected;
+  if (All) {
+    for (const WorkloadProfile &P : specjvm98Profiles())
+      Selected.push_back(&P);
+  } else {
+    for (const std::string &Name : Names) {
+      const WorkloadProfile *P = findProfile(Name);
+      if (!P) {
+        std::fprintf(stderr,
+                     "dynalint: unknown benchmark '%s' (--list shows the "
+                     "names)\n",
+                     Name.c_str());
+        return 2;
+      }
+      Selected.push_back(P);
+    }
+  }
+
+  size_t TotalDiags = 0;
+  for (const WorkloadProfile *P : Selected)
+    TotalDiags += lintBenchmark(*P, Opts, Quiet, DotCfgMethod, DotCallGraph);
+  return TotalDiags == 0 ? 0 : 1;
+}
