@@ -1,0 +1,137 @@
+//===- bench/mix_interference.cpp - multi-tenant mixes --------------------==//
+//
+// Runs the standard multi-tenant mixes (workloads/WorkloadProfile.h,
+// standardMixProfiles) through the experiment pipeline: each mix is one
+// program whose interleaving main round-robins its tenants' segments, so
+// the adaptive schemes must re-tune across cross-tenant phase boundaries.
+// The second table attributes the DO database per tenant (hotspots,
+// invocations, inclusive instructions) and reports the tenant-switch count
+// — the interference pressure the interleaving generates.
+//
+// DYNACE_MIX_TENANTS adds a custom mix: a comma-separated list of built-in
+// benchmark names ("compress,db,jack"), at least two.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "sim/System.h"
+#include "support/Env.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "workloads/WorkloadGenerator.h"
+
+using namespace dynace;
+using namespace dynace_bench;
+
+static const std::vector<WorkloadProfile> &mixProfiles() {
+  static const std::vector<WorkloadProfile> Profiles = [] {
+    std::vector<WorkloadProfile> Out = standardMixProfiles();
+    std::string Custom = envString("DYNACE_MIX_TENANTS");
+    if (!Custom.empty()) {
+      std::vector<WorkloadProfile> Tenants;
+      size_t Pos = 0;
+      while (Pos <= Custom.size()) {
+        size_t Comma = Custom.find(',', Pos);
+        std::string Name = Custom.substr(
+            Pos, Comma == std::string::npos ? std::string::npos
+                                            : Comma - Pos);
+        Pos = Comma == std::string::npos ? Custom.size() + 1 : Comma + 1;
+        const WorkloadProfile *P = findProfile(Name);
+        if (!P)
+          fatalError("DYNACE_MIX_TENANTS",
+                     Status::error(ErrorCode::InvalidInput,
+                                   "'" + Name +
+                                       "' is not a built-in benchmark"));
+        Tenants.push_back(*P);
+      }
+      if (Tenants.size() < 2)
+        fatalError("DYNACE_MIX_TENANTS",
+                   Status::error(ErrorCode::InvalidInput,
+                                 "a mix needs at least two tenant names"));
+      Out.push_back(makeMixProfile(std::move(Tenants)));
+    }
+    return Out;
+  }();
+  return Profiles;
+}
+
+static void printMixes(std::ostream &OS) {
+  TextTable T;
+  T.setHeader({"", "scheme", "L1D energy red.", "L2 energy red.",
+               "slowdown", "reconfigs"});
+  for (const WorkloadProfile &P : mixProfiles()) {
+    const BenchmarkRun &R = runner().run(P);
+    if (!R.complete()) {
+      T.addRow({P.Name, "FAILED", "", "", "", ""});
+      continue;
+    }
+    auto AddScheme = [&](const char *Scheme, const SimulationResult &S) {
+      T.addRow({P.Name, Scheme,
+                formatPercent(BenchmarkRun::reduction(
+                                  S.L1DEnergy.total(),
+                                  R.Baseline.L1DEnergy.total()),
+                              1),
+                formatPercent(BenchmarkRun::reduction(
+                                  S.L2Energy.total(),
+                                  R.Baseline.L2Energy.total()),
+                              1),
+                formatPercent(
+                    BenchmarkRun::slowdown(S.Cycles, R.Baseline.Cycles), 2),
+                formatCount(S.L1DHardwareReconfigs + S.L2HardwareReconfigs)});
+    };
+    AddScheme("bbv", R.Bbv);
+    AddScheme("hotspot", R.Hotspot);
+  }
+  T.print(OS, "Multi-tenant mixes: adaptive schemes under cross-tenant "
+              "phase interference");
+
+  // Per-tenant attribution: a direct (serial, uncached) hotspot run per
+  // mix, querying the DO system's tenant slices — the per-run result cache
+  // stores aggregate DoStats only.
+  TextTable A;
+  A.setHeader({"", "tenant", "hotspots", "invocations", "incl. instrs"});
+  for (const WorkloadProfile &P : mixProfiles()) {
+    GeneratedWorkload W = WorkloadGenerator::generate(P);
+    SimulationOptions Opts = ExperimentRunner::defaultOptions();
+    Opts.SchemeKind = Scheme::Hotspot;
+    System Sys(W.Prog, Opts);
+    (void)Sys.run();
+    const DoSystem *Do = Sys.doSystem();
+    std::vector<TenantDoStats> Slices = Do->tenantStats();
+    for (const TenantDoStats &S : Slices) {
+      const std::string &TenantName =
+          P.Tenants[S.Tenant - 1].Name;
+      A.addRow({P.Name, TenantName, formatCount(S.NumHotspots),
+                formatCount(S.Invocations),
+                formatCount(S.InclusiveInstructions)});
+    }
+    A.addRow({P.Name, "(switches)",
+              formatCount(Do->tenantSwitches()), "", ""});
+  }
+  A.print(OS, "Per-tenant DO attribution (hotspot scheme)");
+}
+
+static void runOne(const WorkloadProfile &P, benchmark::State &State) {
+  const BenchmarkRun &R = runner().run(P);
+  State.counters["hotspot_slowdown_pct"] =
+      100.0 * BenchmarkRun::slowdown(R.Hotspot.Cycles, R.Baseline.Cycles);
+  State.counters["hotspot_reconfigs"] =
+      static_cast<double>(R.Hotspot.L1DHardwareReconfigs + R.Hotspot.L2HardwareReconfigs);
+}
+
+int main(int argc, char **argv) {
+  enableDefaultCache();
+  for (const WorkloadProfile &P : mixProfiles()) {
+    benchmark::RegisterBenchmark(
+        ("mix_interference/" + P.Name).c_str(),
+        [&P](benchmark::State &State) {
+          for (auto _ : State)
+            runOne(P, State);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  return benchMain(argc, argv, printMixes,
+                   [] { runner().runAll(mixProfiles()); });
+}

@@ -1,0 +1,98 @@
+//===- bench/zipf_theta_sweep.cpp - workload-skew frontier ----------------==//
+//
+// Sweeps the Zipf skew knobs (WorkloadProfile::MethodZipfTheta /
+// DataZipfTheta, set together by withZipfTheta) over a base benchmark and
+// reports how hotspot concentration translates into tuning benefit.
+// Expected shape: invocation concentration rises monotonically with theta
+// (the knob's contract, pinned by tests/zipf_test.cpp), and with it the
+// adaptive schemes' opportunity — fewer, hotter methods dominate execution,
+// so per-hotspot tuning covers more of the run.
+//
+// DYNACE_ZIPF_BASE picks the base benchmark (default db, the suite's
+// skew-story workload). DYNACE_ZIPF_THETA replaces the default sweep
+// {0, 0.6, 0.9, 1.2} with a single what-if point.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Env.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+using namespace dynace;
+using namespace dynace_bench;
+
+static const std::vector<WorkloadProfile> &sweepProfiles() {
+  static const std::vector<WorkloadProfile> Profiles = [] {
+    std::string BaseName = envString("DYNACE_ZIPF_BASE", "db");
+    const WorkloadProfile *Base = findProfile(BaseName);
+    if (!Base)
+      fatalError("DYNACE_ZIPF_BASE",
+                 Status::error(ErrorCode::InvalidInput,
+                               "'" + BaseName +
+                                   "' is not a built-in benchmark"));
+    std::vector<double> Thetas = {0.0, 0.6, 0.9, 1.2};
+    if (!envString("DYNACE_ZIPF_THETA").empty())
+      Thetas = {envDoubleOr("DYNACE_ZIPF_THETA", 0.0, 0.0, 4.0)};
+    return zipfSweepProfiles(*Base, Thetas);
+  }();
+  return Profiles;
+}
+
+static void printSweep(std::ostream &OS) {
+  TextTable T;
+  T.setHeader({"", "invoc. conc.", "hotspots", "hot code", "L1D energy red.",
+               "L2 energy red.", "slowdown"});
+  for (const WorkloadProfile &P : sweepProfiles()) {
+    const BenchmarkRun &R = runner().run(P);
+    if (!R.complete()) {
+      T.addRow({P.Name, "FAILED", "", "", "", "", ""});
+      continue;
+    }
+    T.addRow({P.Name,
+              formatPercent(R.Hotspot.Do.InvocationConcentration, 1),
+              formatCount(R.Hotspot.Do.NumHotspots),
+              formatPercent(R.Hotspot.Do.HotspotCodeFraction, 1),
+              formatPercent(BenchmarkRun::reduction(
+                                R.Hotspot.L1DEnergy.total(),
+                                R.Baseline.L1DEnergy.total()),
+                            1),
+              formatPercent(BenchmarkRun::reduction(
+                                R.Hotspot.L2Energy.total(),
+                                R.Baseline.L2Energy.total()),
+                            1),
+              formatPercent(BenchmarkRun::slowdown(R.Hotspot.Cycles,
+                                                   R.Baseline.Cycles),
+                            2)});
+  }
+  T.print(OS, "Zipf theta sweep (hotspot scheme vs baseline): skew -> "
+              "hotspot concentration -> tuning benefit");
+}
+
+static void runOne(const WorkloadProfile &P, benchmark::State &State) {
+  const BenchmarkRun &R = runner().run(P);
+  State.counters["invocation_concentration_pct"] =
+      100.0 * R.Hotspot.Do.InvocationConcentration;
+  State.counters["hotspot_code_pct"] =
+      100.0 * R.Hotspot.Do.HotspotCodeFraction;
+  State.counters["l1d_energy_red_pct"] =
+      100.0 * BenchmarkRun::reduction(R.Hotspot.L1DEnergy.total(),
+                                      R.Baseline.L1DEnergy.total());
+}
+
+int main(int argc, char **argv) {
+  enableDefaultCache();
+  for (const WorkloadProfile &P : sweepProfiles()) {
+    benchmark::RegisterBenchmark(
+        ("zipf_theta_sweep/" + P.Name).c_str(),
+        [&P](benchmark::State &State) {
+          for (auto _ : State)
+            runOne(P, State);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  return benchMain(argc, argv, printSweep,
+                   [] { runner().runAll(sweepProfiles()); });
+}

@@ -1,6 +1,7 @@
 #!/bin/sh
 # check_docs.sh — fail when a public header under src/ lacks a Doxygen
-# \file comment.
+# \file comment, or when a DYNACE_* environment variable read by the
+# product code is missing from the documentation.
 #
 # Usage: scripts/check_docs.sh [repo-root]
 #
@@ -17,9 +18,37 @@ for header in $(find "$root/src" -name '*.h' | sort); do
   fi
 done
 
+# Environment-variable completeness: every DYNACE_* knob the product code
+# (src/, bench/, tools/, examples/) reads must be documented in
+# README.md's environment table or EXPERIMENTS.md. Test fixtures under
+# tests/ (DYNACE_TEST_*, DYNACE_UPDATE_GOLDEN) are exempt; DYNACE_SANITIZE
+# is a CMake option, not an environment variable.
+vars=$(grep -rhoE '"DYNACE_[A-Z0-9_]+"' \
+         "$root/src" "$root/bench" "$root/tools" "$root/examples" \
+       | tr -d '"' | sort -u)
+nvars=0
+for var in $vars; do
+  nvars=$((nvars + 1))
+  if ! grep -q "$var" "$root/README.md" "$root/EXPERIMENTS.md"; then
+    echo "error: $var is read by the code but undocumented" \
+         "(add it to README.md's environment table)" >&2
+    status=1
+  fi
+done
+
+# The workload/scenario guide must exist and stay reachable from README.
+if [ ! -f "$root/docs/WORKLOADS.md" ]; then
+  echo "error: docs/WORKLOADS.md is missing" >&2
+  status=1
+elif ! grep -q 'docs/WORKLOADS\.md' "$root/README.md"; then
+  echo "error: README.md does not link docs/WORKLOADS.md" >&2
+  status=1
+fi
+
 if [ "$status" -ne 0 ]; then
-  echo "check_docs: FAILED (headers above need \\file documentation)" >&2
+  echo "check_docs: FAILED (see errors above)" >&2
 else
-  echo "check_docs: OK ($(find "$root/src" -name '*.h' | wc -l) headers)"
+  echo "check_docs: OK ($(find "$root/src" -name '*.h' | wc -l) headers," \
+       "$nvars env vars documented)"
 fi
 exit $status

@@ -24,7 +24,7 @@ cmake -S "$root" -B "$build" \
 jobs="$(nproc 2>/dev/null || echo 4)"
 cmake --build "$build" -j"$jobs" \
   --target fault_injection_test resultcache_corruption_test \
-           table6_tuning_coverage dynalint >/dev/null
+           table6_tuning_coverage dynalint dynatrace >/dev/null
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
@@ -42,9 +42,20 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 # out-of-bounds read in the analysis itself surfaces here.
 "$build/tools/dynalint" --all
 
+# dynatrace round-trip smoke, sanitized: the embedded selftest (parse ->
+# canonical dump -> re-parse -> compile -> simulate), then the shipped
+# example trace through the same canonical fixed point — parser, compiler
+# and formatter all run with ASan/UBSan watching.
+"$build/tools/dynatrace" --selftest >/dev/null
+"$build/tools/dynatrace" --dump "$root/tools/dynatrace/example.trace" \
+  > "$build/example.canon"
+"$build/tools/dynatrace" --dump - < "$build/example.canon" \
+  > "$build/example.canon2"
+cmp "$build/example.canon" "$build/example.canon2"
+
 # Convention lint rides along so the sanitize gate is also a full
 # conformance pass (greps are build-independent; cheap to repeat).
 "$root/scripts/check_lint.sh" "$root"
 
 echo "check_sanitize: OK (fault injection + cache corruption + traced grid" \
-     "+ dynalint + lint under ASan/UBSan)"
+     "+ dynalint + dynatrace round-trip + lint under ASan/UBSan)"

@@ -6,7 +6,9 @@
 #include "obs/Trace.h"
 #include "support/Statistics.h"
 
+#include <algorithm>
 #include <cassert>
+#include <functional>
 
 using namespace dynace;
 
@@ -14,6 +16,14 @@ DoClient::~DoClient() = default;
 
 void DoSystem::setMetrics(MetricsRegistry *M) {
   HotspotsCounter = M ? &M->counter("do.hotspots") : nullptr;
+  TenantSwitchCounter =
+      M && !TenantOf.empty() ? &M->counter("mix.tenant_switches") : nullptr;
+}
+
+void DoSystem::setTenants(std::vector<uint16_t> TenantOfMethod) {
+  assert(TenantOfMethod.size() == Entries.size() &&
+         "tenant map must cover every method");
+  TenantOf = std::move(TenantOfMethod);
 }
 
 DoSystem::DoSystem(size_t NumMethods, const DoConfig &Config,
@@ -25,6 +35,26 @@ DoSystem::DoSystem(size_t NumMethods, const DoConfig &Config,
 void DoSystem::onMethodEnter(MethodId Id, uint64_t InstrCount) {
   DoEntry &E = Entries[Id];
   ++E.Invocations;
+
+  if (!TenantOf.empty()) {
+    // Multi-tenant attribution: control moving into a method owned by a
+    // different tenant is a tenant switch — the cross-tenant interference
+    // events the mix bench correlates with retuning activity. Untagged
+    // driver methods (the interleaving main) belong to no tenant and
+    // neither switch nor reset.
+    uint16_t T = TenantOf[Id];
+    if (T != kNoTenant && T != CurrentTenant) {
+      if (CurrentTenant != kNoTenant) {
+        ++TenantSwitchCount;
+        if (TenantSwitchCounter)
+          TenantSwitchCounter->inc();
+        DYNACE_TRACE_INSTANT("vm", "tenant_switch",
+                             obs::traceArg("from", uint64_t(CurrentTenant)) +
+                                 ", " + obs::traceArg("to", uint64_t(T)));
+      }
+      CurrentTenant = T;
+    }
+  }
 
   if (!E.IsHotspot) {
     // Baseline-compiled path: the instrumented prologue bumps the
@@ -75,10 +105,15 @@ void DoSystem::onMethodExit(MethodId Id, uint64_t InclusiveInstructions,
     E.InclusiveSizeEma += Config.SizeEmaAlpha * (Sample - E.InclusiveSizeEma);
   ++E.SizeSamples;
 
-  assert(!EnterWasHot.empty() && "exit without matching enter");
+  E.InclusiveInstructions += InclusiveInstructions;
+  // The entry frame is pushed at Interpreter construction, before any
+  // listener can be attached, so its enter is never observed — but the
+  // halt unwind still reports its exit. There is no hot-region state to
+  // undo for it.
+  if (EnterWasHot.empty())
+    return;
   bool WasHot = EnterWasHot.back();
   EnterWasHot.pop_back();
-  E.InclusiveInstructions += InclusiveInstructions;
   if (!WasHot)
     return;
   assert(HotDepth > 0 && "hot exit without matching enter");
@@ -111,5 +146,47 @@ DoStats DoSystem::stats(uint64_t TotalInstructions) const {
     S.IdentificationLatencyFraction =
         static_cast<double>(Config.HotThreshold) /
         S.AvgInvocationsPerHotspot;
+
+  // Invocation concentration: share of all invocations landing on the
+  // top-10% most-invoked methods. Purely a function of the recorded
+  // counters, so it is deterministic and cheap to recompute.
+  std::vector<uint64_t> Invocations;
+  Invocations.reserve(Entries.size());
+  uint64_t TotalInvocations = 0;
+  for (const DoEntry &E : Entries) {
+    Invocations.push_back(E.Invocations);
+    TotalInvocations += E.Invocations;
+  }
+  if (TotalInvocations && !Invocations.empty()) {
+    std::sort(Invocations.begin(), Invocations.end(),
+              std::greater<uint64_t>());
+    size_t TopK = std::max<size_t>(1, (Invocations.size() + 9) / 10);
+    uint64_t Head = 0;
+    for (size_t I = 0; I != TopK; ++I)
+      Head += Invocations[I];
+    S.InvocationConcentration =
+        static_cast<double>(Head) / static_cast<double>(TotalInvocations);
+  }
   return S;
+}
+
+std::vector<TenantDoStats> DoSystem::tenantStats() const {
+  uint16_t MaxTenant = 0;
+  for (uint16_t T : TenantOf)
+    MaxTenant = std::max(MaxTenant, T);
+  std::vector<TenantDoStats> Out(MaxTenant);
+  for (uint16_t T = 0; T != MaxTenant; ++T)
+    Out[T].Tenant = T + 1;
+  for (size_t Id = 0; Id != TenantOf.size(); ++Id) {
+    uint16_t T = TenantOf[Id];
+    if (T == kNoTenant)
+      continue;
+    const DoEntry &E = Entries[Id];
+    TenantDoStats &S = Out[T - 1];
+    S.Invocations += E.Invocations;
+    S.InclusiveInstructions += E.InclusiveInstructions;
+    if (E.IsHotspot)
+      ++S.NumHotspots;
+  }
+  return Out;
 }

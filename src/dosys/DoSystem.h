@@ -101,6 +101,18 @@ struct DoStats {
   /// hot_threshold / average invocations per hotspot — the paper's estimate
   /// of identification latency as a fraction of execution.
   double IdentificationLatencyFraction = 0.0;
+  /// Invocation share of the top-10% most-invoked methods — the skew
+  /// measurement the theta-sweep bench reports: higher MethodZipfTheta
+  /// must raise it monotonically.
+  double InvocationConcentration = 0.0;
+};
+
+/// Per-tenant attribution slice of the DO database (multi-tenant mixes).
+struct TenantDoStats {
+  uint16_t Tenant = 0;
+  uint64_t NumHotspots = 0;
+  uint64_t Invocations = 0;
+  uint64_t InclusiveInstructions = 0;
 };
 
 /// The DO system. Installed as the VM's listener.
@@ -113,6 +125,13 @@ public:
 
   /// Installs the hotspot event receiver (may be null).
   void setClient(DoClient *C) { Client = C; }
+
+  /// Installs the per-method tenant map of a multi-tenant mix (one tag per
+  /// method, kNoTenant for untagged driver methods). Must be called before
+  /// setMetrics() so the tenant-switch counter registers with the run's
+  /// registry; single-tenant runs never call it and register no mix
+  /// instruments.
+  void setTenants(std::vector<uint16_t> TenantOfMethod);
 
   /// Attaches the run's metrics registry (may be null to detach). The DO
   /// system resolves its counters once here so the method-enter path never
@@ -141,6 +160,15 @@ public:
   /// Computes Table 4 statistics given the total dynamic instruction count.
   DoStats stats(uint64_t TotalInstructions) const;
 
+  /// Per-tenant attribution (one slice per tag 1..max). Empty unless
+  /// setTenants() installed a map with tagged methods.
+  std::vector<TenantDoStats> tenantStats() const;
+
+  /// Times control moved between methods of *different* tenants (the mix
+  /// interference pressure the interleaving main generates). 0 without a
+  /// tenant map.
+  uint64_t tenantSwitches() const { return TenantSwitchCount; }
+
 private:
   DoConfig Config;
   std::vector<DoEntry> Entries;
@@ -148,6 +176,16 @@ private:
   DoClient *Client = nullptr;
   /// Cached do.hotspots counter (null = metrics detached).
   Counter *HotspotsCounter = nullptr;
+  /// Cached mix.tenant_switches counter (null = detached or single-tenant;
+  /// registered only when a tenant map is installed so canonical
+  /// single-tenant snapshots gain no rows).
+  Counter *TenantSwitchCounter = nullptr;
+
+  /// Per-method tenant tags (empty = single-tenant program).
+  std::vector<uint16_t> TenantOf;
+  /// Tenant of the most recently entered tagged method.
+  uint16_t CurrentTenant = kNoTenant;
+  uint64_t TenantSwitchCount = 0;
 
   /// Nesting depth of hot frames, for hotspot code-coverage accounting.
   uint32_t HotDepth = 0;

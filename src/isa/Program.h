@@ -33,6 +33,10 @@ inline constexpr uint64_t kCodeBase = 0x40000000ull;
 /// Base byte address of the data region (data-cache address space).
 inline constexpr uint64_t kHeapBase = 0x00010000ull;
 
+/// Tenant tag value for methods that belong to no tenant (single-tenant
+/// programs, and the interleaving driver of a multi-tenant mix).
+inline constexpr uint16_t kNoTenant = 0;
+
 /// One procedure: a name, a register budget and a code vector.
 struct Method {
   std::string Name;
@@ -40,6 +44,10 @@ struct Method {
   std::vector<Instruction> Code;
   /// Byte address of Code[0]; assigned by Program::finalize().
   uint64_t CodeBase = 0;
+  /// Owning tenant in a multi-tenant mix (1-based; kNoTenant = unowned).
+  /// Purely attributive: execution semantics ignore it, but the DO system
+  /// uses it to attribute hotspots and count cross-tenant switches.
+  uint16_t Tenant = kNoTenant;
 
   /// \returns the byte address of the instruction at \p Index.
   uint64_t pcOf(size_t Index) const {
@@ -84,6 +92,16 @@ public:
   /// Total statically allocated global words (the VM sizes its heap from
   /// this plus a dynamic-allocation margin).
   uint64_t globalWords() const { return GlobalWords; }
+
+  /// Highest tenant tag across all methods: 0 for single-tenant programs,
+  /// the tenant count for a generated mix (tenants are tagged 1..N).
+  uint16_t maxTenant() const {
+    uint16_t Max = kNoTenant;
+    for (const Method &M : Methods)
+      if (M.Tenant > Max)
+        Max = M.Tenant;
+    return Max;
+  }
 
   /// Total static instruction count across all methods.
   uint64_t staticInstructionCount() const;

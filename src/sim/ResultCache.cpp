@@ -179,6 +179,7 @@ void writeResult(FILE *F, const SimulationResult &R) {
   W.f64("do_code_fraction", R.Do.HotspotCodeFraction);
   W.f64("do_avg_invocations", R.Do.AvgInvocationsPerHotspot);
   W.f64("do_ident_latency", R.Do.IdentificationLatencyFraction);
+  W.f64("do_invocation_conc", R.Do.InvocationConcentration);
 
   W.u64("has_ace", R.Ace.has_value());
   if (R.Ace) {
@@ -340,6 +341,7 @@ Expected<SimulationResult> dynace::loadResultChecked(const std::string &Path) {
   R.Do.HotspotCodeFraction = In.f64("do_code_fraction");
   R.Do.AvgInvocationsPerHotspot = In.f64("do_avg_invocations");
   R.Do.IdentificationLatencyFraction = In.f64("do_ident_latency");
+  R.Do.InvocationConcentration = In.f64("do_invocation_conc");
 
   if (In.u64("has_ace")) {
     AceReport Ace;

@@ -54,7 +54,7 @@ namespace dynace {
 /// change to the serialized fields or to the inputs of resultCacheKey();
 /// old entries then miss (different key and file magic) rather than being
 /// reinterpreted.
-constexpr unsigned kResultCacheVersion = 3; // v3: per-run metrics snapshot.
+constexpr unsigned kResultCacheVersion = 4; // v4: do_invocation_conc field.
 
 /// Serializes \p R to its canonical text form — the exact bytes
 /// saveResult() writes, including the version-magic first line. Fully

@@ -36,8 +36,18 @@ System::System(const Program &Prog, const SimulationOptions &Options)
   auto StallFn = [this](uint64_t Cycles) { Cpu->stall(Cycles); };
 
   if (Options.DoSystemAlwaysOn ||
-      this->Options.SchemeKind == Scheme::Hotspot)
+      this->Options.SchemeKind == Scheme::Hotspot) {
     Do = std::make_unique<DoSystem>(Prog.numMethods(), Options.Do, StallFn);
+    if (Prog.maxTenant() != kNoTenant) {
+      // Multi-tenant mix: hand the DO system the method->tenant map so
+      // hotspots are attributed per tenant and cross-tenant switches are
+      // counted (before setMetrics, which registers the mix counter).
+      std::vector<uint16_t> TenantOf(Prog.numMethods());
+      for (MethodId Id = 0; Id != Prog.numMethods(); ++Id)
+        TenantOf[Id] = Prog.method(Id).Tenant;
+      Do->setTenants(std::move(TenantOf));
+    }
+  }
 
   if (this->Options.SchemeKind != Scheme::Baseline) {
     // Both adaptive schemes drive the same configurable units.

@@ -61,6 +61,66 @@ uint64_t dynace::envUnsignedOr(const char *Name, uint64_t Default,
   return *Value;
 }
 
+std::optional<double> dynace::parseUnsignedDouble(const char *Text) {
+  if (!Text || *Text == '\0')
+    return std::nullopt;
+  // Accept only digits and at most one interior '.': rejects signs,
+  // exponents ("1e3"), hex floats, "nan"/"inf", and trailing characters.
+  bool SeenDot = false, SeenDigit = false;
+  for (const char *P = Text; *P; ++P) {
+    if (*P >= '0' && *P <= '9') {
+      SeenDigit = true;
+    } else if (*P == '.' && !SeenDot) {
+      SeenDot = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!SeenDigit)
+    return std::nullopt;
+  double Value = 0.0;
+  const char *End = Text + std::strlen(Text);
+  std::from_chars_result R = std::from_chars(Text, End, Value);
+  if (R.ec != std::errc() || R.ptr != End)
+    return std::nullopt;
+  return Value;
+}
+
+Expected<double> dynace::envDoubleChecked(const char *Name, double Default,
+                                          double Min, double Max) {
+  const char *Text = std::getenv(Name);
+  if (!Text || *Text == '\0')
+    return Default;
+  std::optional<double> Value = parseUnsignedDouble(Text);
+  if (!Value) {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s='%s' is not a valid non-negative decimal number "
+                  "(digits and at most one '.', no sign/exponent/suffix)",
+                  Name, Text);
+    return Status::error(ErrorCode::InvalidInput, Buf);
+  }
+  if (*Value < Min || *Value > Max) {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s=%g is out of range; expected a value in [%g, %g]",
+                  Name, *Value, Min, Max);
+    return Status::error(ErrorCode::InvalidInput, Buf);
+  }
+  return *Value;
+}
+
+double dynace::envDoubleOr(const char *Name, double Default, double Min,
+                           double Max) {
+  Expected<double> Value = envDoubleChecked(Name, Default, Min, Max);
+  if (!Value) {
+    std::fprintf(stderr, "[dynace] fatal: %s\n",
+                 Value.status().message().c_str());
+    std::exit(2);
+  }
+  return *Value;
+}
+
 std::string dynace::envString(const char *Name, const std::string &Default) {
   const char *Text = std::getenv(Name);
   if (!Text || *Text == '\0')

@@ -57,6 +57,28 @@ Expected<uint64_t> envUnsignedChecked(const char *Name, uint64_t Default,
 uint64_t envUnsignedOr(const char *Name, uint64_t Default, uint64_t Min = 0,
                        uint64_t Max = UINT64_MAX);
 
+/// Parses \p Text as a plain non-negative decimal floating-point number
+/// ("0.9", "12", "0.25"). No signs, whitespace, exponents, hex floats, or
+/// trailing characters are accepted — the same strictness contract as
+/// parseUnsignedInt(), so a shell typo cannot silently skew a sweep.
+/// \returns the value, or std::nullopt when \p Text is null, empty,
+///          malformed, or not finite.
+std::optional<double> parseUnsignedDouble(const char *Text);
+
+/// Reads environment variable \p Name as a non-negative double
+/// (DYNACE_ZIPF_THETA), mirroring envUnsignedChecked(): unset/empty yields
+/// \p Default (not range-checked), a set value must parse per
+/// parseUnsignedDouble() and lie in [\p Min, \p Max].
+/// \returns the parsed value, \p Default, or an InvalidInput error naming
+///          the variable, the offending value and the accepted range.
+Expected<double> envDoubleChecked(const char *Name, double Default,
+                                  double Min = 0.0, double Max = 1e308);
+
+/// Fatal wrapper over envDoubleChecked(), mirroring envUnsignedOr().
+/// \returns the parsed value or \p Default.
+double envDoubleOr(const char *Name, double Default, double Min = 0.0,
+                   double Max = 1e308);
+
 /// Reads environment variable \p Name as a string. The single point of
 /// getenv() truth for string-valued DYNACE_* knobs (DYNACE_TRACE,
 /// DYNACE_METRICS, DYNACE_FAULT_SPEC, DYNACE_CACHE_DIR): unlike raw

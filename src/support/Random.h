@@ -102,6 +102,85 @@ inline std::vector<double> zipfWeights(size_t N, double S) {
   return W;
 }
 
+/// Fraction of the Zipf(\p Theta) probability mass carried by the \p K
+/// highest-ranked of \p N items: H_K(Theta) / H_N(Theta) with the
+/// generalized harmonic H_M(s) = sum_{i=1..M} 1/i^s. The closed form the
+/// distribution tests compare empirical rank frequencies against, and the
+/// knob-to-hardware translation the workload generator uses to size its
+/// skewed data-access ladder.
+/// \returns the mass fraction in (0, 1]; 1 when K >= N, K/N when Theta==0.
+inline double zipfMassFraction(size_t N, size_t K, double Theta) {
+  assert(N > 0 && "zipfMassFraction requires items");
+  if (K >= N)
+    return 1.0;
+  double Head = 0.0, Total = 0.0;
+  for (size_t I = 0; I != N; ++I) {
+    double W = 1.0 / std::pow(static_cast<double>(I + 1), Theta);
+    Total += W;
+    if (I < K)
+      Head += W;
+  }
+  return Head / Total;
+}
+
+/// Rank sampler over a fixed Zipf(\p Theta) distribution.
+///
+/// Precomputes the weight vector once; each draw consumes exactly one
+/// uniform double from the caller's SplitMix64 and walks the unnormalized
+/// weights in the same order (and with the same floating-point
+/// associations) as sampleDiscrete(), so replacing a
+/// sampleDiscrete(Rng, zipfWeights(N, S)) call site with a ZipfSampler
+/// changes neither the draw sequence nor the sampled ranks — generated
+/// programs stay bit-identical.
+class ZipfSampler {
+public:
+  /// \param N number of ranks (> 0); \param Theta skew exponent (>= 0;
+  ///        0 degenerates to the uniform distribution).
+  ZipfSampler(size_t N, double Theta)
+      : Weights(zipfWeights(N, Theta)), Theta(Theta) {
+    for (double W : Weights)
+      Total += W;
+  }
+
+  /// Draws one rank using (and advancing) \p Rng.
+  /// \returns a rank in [0, N) with probability proportional to
+  ///          1/(rank+1)^Theta.
+  size_t next(SplitMix64 &Rng) const {
+    double X = Rng.nextDouble() * Total;
+    for (size_t I = 0, E = Weights.size(); I != E; ++I) {
+      X -= Weights[I];
+      if (X <= 0.0)
+        return I;
+    }
+    return Weights.size() - 1;
+  }
+
+  size_t numRanks() const { return Weights.size(); }
+  double theta() const { return Theta; }
+
+private:
+  std::vector<double> Weights;
+  double Total = 0.0;
+  double Theta;
+};
+
+/// Self-seeded convenience wrapper over ZipfSampler (the DiStore
+/// ZipfGenerator idiom): owns its SplitMix64 so callers that do not manage
+/// a shared deterministic stream — tests, standalone tools — can draw
+/// Zipf ranks from (range, theta, seed) alone. Deterministic per seed.
+class ZipfGenerator {
+public:
+  ZipfGenerator(size_t Range, double Theta, uint64_t Seed = 0)
+      : Sampler(Range, Theta), Rng(Seed * 0x9e3779b97f4a7c15ull + 1) {}
+
+  /// \returns the next rank in [0, Range).
+  size_t next() { return Sampler.next(Rng); }
+
+private:
+  ZipfSampler Sampler;
+  SplitMix64 Rng;
+};
+
 } // namespace dynace
 
 #endif // DYNACE_SUPPORT_RANDOM_H

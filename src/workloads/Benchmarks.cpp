@@ -10,6 +10,8 @@
 
 #include "workloads/WorkloadProfile.h"
 
+#include <cstdio>
+
 using namespace dynace;
 
 static std::vector<WorkloadProfile> makeProfiles() {
@@ -260,4 +262,70 @@ const WorkloadProfile *dynace::findProfile(const std::string &Name) {
     if (P.Name == Name)
       return &P;
   return nullptr;
+}
+
+WorkloadProfile dynace::withZipfTheta(WorkloadProfile Base, double Theta) {
+  char Suffix[32];
+  std::snprintf(Suffix, sizeof(Suffix), "@z%.2f", Theta);
+  Base.Name += Suffix;
+  Base.MethodZipfTheta = Theta;
+  Base.DataZipfTheta = Theta;
+  return Base;
+}
+
+std::vector<WorkloadProfile>
+dynace::zipfSweepProfiles(const WorkloadProfile &Base,
+                          const std::vector<double> &Thetas) {
+  std::vector<WorkloadProfile> Out;
+  Out.reserve(Thetas.size());
+  for (double Theta : Thetas)
+    Out.push_back(withZipfTheta(Base, Theta));
+  return Out;
+}
+
+WorkloadProfile
+dynace::makeMixProfile(std::vector<WorkloadProfile> TenantProfiles,
+                       uint32_t OuterIterations) {
+  WorkloadProfile Mix;
+  Mix.Name = "mix:";
+  Mix.Description = "Multi-tenant interleaving of:";
+  uint32_t MinOuter = 0;
+  for (size_t I = 0; I != TenantProfiles.size(); ++I) {
+    const WorkloadProfile &T = TenantProfiles[I];
+    if (I != 0)
+      Mix.Name += "+";
+    Mix.Name += T.Name;
+    Mix.Description += (I == 0 ? " " : ", ") + T.Name;
+    if (MinOuter == 0 || T.OuterIterations < MinOuter)
+      MinOuter = T.OuterIterations;
+  }
+  Mix.OuterIterations = OuterIterations != 0 ? OuterIterations
+                        : MinOuter != 0      ? MinOuter
+                                             : 1;
+  // The mix's own seed only varies the (unused) single-tenant knobs; each
+  // tenant generates from its own Seed so a tenant's instruction stream is
+  // the same inside and outside the mix.
+  Mix.Seed = 0;
+  Mix.Tenants = std::move(TenantProfiles);
+  return Mix;
+}
+
+const std::vector<WorkloadProfile> &dynace::standardMixProfiles() {
+  static const std::vector<WorkloadProfile> Mixes = [] {
+    std::vector<WorkloadProfile> Out;
+    const WorkloadProfile &Compress = *findProfile("compress");
+    const WorkloadProfile &Db = *findProfile("db");
+    const WorkloadProfile &Javac = *findProfile("javac");
+    const WorkloadProfile &Mpeg = *findProfile("mpegaudio");
+    // Cache antagonists: compress's large stable working sets against db's
+    // tiny ones — the schemes should want different L1D splits per tenant.
+    Out.push_back(makeMixProfile({Compress, Db}));
+    // Irregular three-way mix: javac's phase noise disrupts the other two
+    // tenants' stable phases.
+    Out.push_back(makeMixProfile({Db, Javac, Mpeg}));
+    // Skewed pair: a heavily skewed db against baseline compress.
+    Out.push_back(makeMixProfile({withZipfTheta(Db, 1.2), Compress}));
+    return Out;
+  }();
+  return Mixes;
 }

@@ -1,0 +1,465 @@
+//===- workloads/TraceFrontend.cpp ----------------------------------------==//
+
+#include "workloads/TraceFrontend.h"
+
+#include "analysis/Verifier.h"
+#include "isa/MethodBuilder.h"
+#include "support/Env.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <functional>
+#include <map>
+
+using namespace dynace;
+
+namespace {
+
+using Reg = MethodBuilder::Reg;
+
+/// Kernel registers; same convention as the workload generator (r0 is the
+/// salt argument, r1..r7 belong to caller-side control code).
+constexpr Reg RegI = 8;
+constexpr Reg RegBase = 9;
+constexpr Reg RegMask = 10;
+constexpr Reg RegIdx = 11;
+constexpr Reg RegVal = 12;
+constexpr Reg RegAcc = 13;
+constexpr Reg RegScratch = 14;
+constexpr Reg RegFpA = 15;
+constexpr Reg RegFpB = 16;
+constexpr Reg RegIdx2 = 17;
+
+/// Grammar limits: strict by design — a count outside these ranges is far
+/// more likely a capture bug than a real workload, and rejecting it here
+/// beats simulating garbage.
+constexpr uint64_t kMaxBlockIters = 1000000000;  // 1e9
+constexpr uint64_t kMaxCallTimes = 1000000;      // 1e6
+constexpr uint32_t kMaxOpsPerIter = 64;
+constexpr uint64_t kMinFootprintWords = 16;
+constexpr uint64_t kMaxFootprintWords = 1ull << 22;
+
+Status parseError(std::string_view File, size_t Line, std::string Msg) {
+  return Status::error(ErrorCode::InvalidInput,
+                       std::string(File) + ":" + std::to_string(Line) + ": " +
+                           std::move(Msg));
+}
+
+/// Splits \p Line into whitespace-separated tokens, dropping everything
+/// from the first '#'.
+std::vector<std::string> tokenize(std::string_view Line) {
+  std::vector<std::string> Tokens;
+  std::string Cur;
+  for (char C : Line) {
+    if (C == '#')
+      break;
+    if (C == ' ' || C == '\t' || C == '\r') {
+      if (!Cur.empty())
+        Tokens.push_back(std::move(Cur));
+      Cur.clear();
+    } else {
+      Cur.push_back(C);
+    }
+  }
+  if (!Cur.empty())
+    Tokens.push_back(std::move(Cur));
+  return Tokens;
+}
+
+bool validMethodName(const std::string &Name) {
+  if (Name.empty())
+    return false;
+  for (char C : Name)
+    if (!((C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+          (C >= '0' && C <= '9') || C == '_' || C == '.' || C == '-'))
+      return false;
+  return true;
+}
+
+/// Average executed instructions per block-loop iteration, mirroring the
+/// lowering in emitBlock().
+double blockIterCost(const TraceBlock &Blk) {
+  return 3.0 + 4.0 * Blk.Loads + static_cast<double>(Blk.Alu) +
+         static_cast<double>(Blk.Fp) + 3.0 * Blk.Stores +
+         (Blk.Branchy ? 2.5 : 0.0) + 2.0;
+}
+
+/// Emits one block's counted kernel loop. \p BlockIndex salts the access
+/// pattern so different blocks of a method do not walk identical indices.
+void emitBlock(MethodBuilder &B, const TraceBlock &Blk, size_t BlockIndex) {
+  B.iconst(RegI, 0);
+  MethodBuilder::Label Top = B.newLabel();
+  B.bind(Top);
+  // idx = (i * 7 + blockSalt) & mask
+  B.muli(RegIdx, RegI, 7);
+  B.addi(RegIdx, RegIdx, static_cast<int64_t>(BlockIndex) * 13 + 1);
+  B.and_(RegIdx, RegIdx, RegMask);
+  for (uint32_t L = 0; L != Blk.Loads; ++L) {
+    B.addi(RegIdx2, RegIdx, static_cast<int64_t>(L) * 64);
+    B.and_(RegIdx2, RegIdx2, RegMask);
+    B.loadIdx(RegVal, RegBase, RegIdx2);
+    B.add(RegAcc, RegAcc, RegVal);
+  }
+  for (uint32_t A = 0; A != Blk.Alu; ++A) {
+    if (A % 2 == 0)
+      B.xor_(RegScratch, RegAcc, RegVal);
+    else
+      B.addi(RegAcc, RegScratch, 0x5bd1);
+  }
+  for (uint32_t F = 0; F != Blk.Fp; ++F) {
+    if (F % 2 == 0)
+      B.fmul(RegFpA, RegFpA, RegFpB);
+    else
+      B.fadd(RegFpB, RegFpB, RegFpA);
+  }
+  for (uint32_t S = 0; S != Blk.Stores; ++S) {
+    B.addi(RegIdx2, RegIdx, static_cast<int64_t>(S) * 32);
+    B.and_(RegIdx2, RegIdx2, RegMask);
+    B.storeIdx(RegBase, RegIdx2, RegAcc);
+  }
+  if (Blk.Branchy) {
+    MethodBuilder::Label SkipOdd = B.newLabel();
+    B.andi(RegScratch, RegVal, 1);
+    B.bri(CondKind::Eq, RegScratch, 0, SkipOdd);
+    B.addi(RegAcc, RegAcc, 1);
+    B.bind(SkipOdd);
+  }
+  B.addi(RegI, RegI, 1);
+  B.bri(CondKind::Lt, RegI, static_cast<int64_t>(Blk.Iters), Top);
+}
+
+} // namespace
+
+Expected<TraceSpec> dynace::parseTraceSpec(std::string_view Text,
+                                           std::string_view Name) {
+  TraceSpec Spec;
+  bool SeenHeader = false;
+  bool InMethod = false;
+  size_t MethodLine = 0;
+  std::map<std::string, size_t> MethodIndex;
+
+  size_t LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    std::string_view Line = Text.substr(
+        Pos, Eol == std::string_view::npos ? std::string_view::npos
+                                           : Eol - Pos);
+    Pos = Eol == std::string_view::npos ? Text.size() + 1 : Eol + 1;
+    ++LineNo;
+
+    std::vector<std::string> Tok = tokenize(Line);
+    if (Tok.empty())
+      continue;
+    const std::string &Dir = Tok[0];
+
+    if (!SeenHeader) {
+      if (Dir != "dynatrace")
+        return parseError(Name, LineNo,
+                          "expected 'dynatrace 1' header, got '" + Dir + "'");
+      if (Tok.size() != 2 || Tok[1] != "1")
+        return parseError(Name, LineNo,
+                          "unsupported dynatrace version (only 1)");
+      SeenHeader = true;
+      continue;
+    }
+
+    if (Dir == "method") {
+      if (InMethod)
+        return parseError(Name, LineNo,
+                          "nested 'method' (missing 'end' for '" +
+                              Spec.Methods.back().Name + "'?)");
+      if (Tok.size() < 2 || Tok.size() > 3)
+        return parseError(Name, LineNo,
+                          "usage: method NAME [footprint=WORDS]");
+      TraceMethod M;
+      M.Name = Tok[1];
+      if (!validMethodName(M.Name))
+        return parseError(Name, LineNo,
+                          "invalid method name '" + M.Name +
+                              "' (use [A-Za-z0-9_.-]+)");
+      if (MethodIndex.count(M.Name))
+        return parseError(Name, LineNo,
+                          "duplicate method '" + M.Name + "'");
+      if (Tok.size() == 3) {
+        if (Tok[2].rfind("footprint=", 0) != 0)
+          return parseError(Name, LineNo,
+                            "unknown method attribute '" + Tok[2] + "'");
+        std::optional<uint64_t> Words =
+            parseUnsignedInt(Tok[2].c_str() + 10);
+        if (!Words || *Words < kMinFootprintWords ||
+            *Words > kMaxFootprintWords)
+          return parseError(Name, LineNo,
+                            "footprint must be an integer in [" +
+                                std::to_string(kMinFootprintWords) + ", " +
+                                std::to_string(kMaxFootprintWords) + "]");
+        M.FootprintWords = *Words;
+      }
+      MethodIndex[M.Name] = Spec.Methods.size();
+      Spec.Methods.push_back(std::move(M));
+      InMethod = true;
+      MethodLine = LineNo;
+      continue;
+    }
+
+    if (Dir == "block") {
+      if (!InMethod)
+        return parseError(Name, LineNo, "'block' outside a method");
+      if (Tok.size() < 6 || Tok.size() > 7)
+        return parseError(
+            Name, LineNo,
+            "usage: block ITERS LOADS STORES ALU FP [branchy]");
+      uint64_t Vals[5];
+      static const char *const Fields[5] = {"ITERS", "LOADS", "STORES",
+                                            "ALU", "FP"};
+      for (int I = 0; I != 5; ++I) {
+        std::optional<uint64_t> V = parseUnsignedInt(Tok[I + 1].c_str());
+        if (!V)
+          return parseError(Name, LineNo,
+                            std::string("block ") + Fields[I] + " '" +
+                                Tok[I + 1] +
+                                "' is not a non-negative integer");
+        Vals[I] = *V;
+      }
+      TraceStmt S;
+      S.K = TraceStmt::Block;
+      S.B.Iters = Vals[0];
+      if (S.B.Iters < 1 || S.B.Iters > kMaxBlockIters)
+        return parseError(Name, LineNo,
+                          "block ITERS must be in [1, " +
+                              std::to_string(kMaxBlockIters) + "]");
+      for (int I = 1; I != 5; ++I)
+        if (Vals[I] > kMaxOpsPerIter)
+          return parseError(Name, LineNo,
+                            std::string("block ") + Fields[I] +
+                                " exceeds the per-iteration cap of " +
+                                std::to_string(kMaxOpsPerIter));
+      S.B.Loads = static_cast<uint32_t>(Vals[1]);
+      S.B.Stores = static_cast<uint32_t>(Vals[2]);
+      S.B.Alu = static_cast<uint32_t>(Vals[3]);
+      S.B.Fp = static_cast<uint32_t>(Vals[4]);
+      if (Tok.size() == 7) {
+        if (Tok[6] != "branchy")
+          return parseError(Name, LineNo,
+                            "unknown block flag '" + Tok[6] +
+                                "' (only 'branchy')");
+        S.B.Branchy = true;
+      }
+      Spec.Methods.back().Stmts.push_back(std::move(S));
+      continue;
+    }
+
+    if (Dir == "call") {
+      if (!InMethod)
+        return parseError(Name, LineNo, "'call' outside a method");
+      if (Tok.size() < 2 || Tok.size() > 3)
+        return parseError(Name, LineNo, "usage: call NAME [TIMES]");
+      TraceStmt S;
+      S.K = TraceStmt::Call;
+      S.C.Callee = Tok[1];
+      if (!validMethodName(S.C.Callee))
+        return parseError(Name, LineNo,
+                          "invalid call target '" + S.C.Callee + "'");
+      if (Tok.size() == 3) {
+        std::optional<uint64_t> Times = parseUnsignedInt(Tok[2].c_str());
+        if (!Times || *Times < 1 || *Times > kMaxCallTimes)
+          return parseError(Name, LineNo,
+                            "call TIMES must be an integer in [1, " +
+                                std::to_string(kMaxCallTimes) + "]");
+        S.C.Times = *Times;
+      }
+      Spec.Methods.back().Stmts.push_back(std::move(S));
+      continue;
+    }
+
+    if (Dir == "end") {
+      if (!InMethod)
+        return parseError(Name, LineNo, "'end' without a matching 'method'");
+      if (Tok.size() != 1)
+        return parseError(Name, LineNo, "'end' takes no operands");
+      if (Spec.Methods.back().Stmts.empty())
+        return parseError(Name, MethodLine,
+                          "method '" + Spec.Methods.back().Name +
+                              "' has no statements");
+      InMethod = false;
+      continue;
+    }
+
+    if (Dir == "entry") {
+      if (InMethod)
+        return parseError(Name, LineNo, "'entry' inside a method body");
+      if (Tok.size() != 2)
+        return parseError(Name, LineNo, "usage: entry NAME");
+      if (!Spec.Entry.empty())
+        return parseError(Name, LineNo, "duplicate 'entry' directive");
+      Spec.Entry = Tok[1];
+      continue;
+    }
+
+    return parseError(Name, LineNo, "unknown directive '" + Dir + "'");
+  }
+
+  if (!SeenHeader)
+    return parseError(Name, 1, "empty trace (missing 'dynatrace 1' header)");
+  if (InMethod)
+    return parseError(Name, MethodLine,
+                      "method '" + Spec.Methods.back().Name +
+                          "' is missing its 'end'");
+  if (Spec.Methods.empty())
+    return parseError(Name, LineNo, "trace defines no methods");
+  if (Spec.Entry.empty())
+    return parseError(Name, LineNo, "missing 'entry' directive");
+  if (!MethodIndex.count(Spec.Entry))
+    return parseError(Name, LineNo,
+                      "entry '" + Spec.Entry + "' is not a defined method");
+  return Spec;
+}
+
+std::string dynace::formatTraceSpec(const TraceSpec &Spec) {
+  std::string Out = "dynatrace 1\n";
+  for (const TraceMethod &M : Spec.Methods) {
+    Out += "method " + M.Name +
+           " footprint=" + std::to_string(M.FootprintWords) + "\n";
+    for (const TraceStmt &S : M.Stmts) {
+      if (S.K == TraceStmt::Block) {
+        char Buf[128];
+        std::snprintf(Buf, sizeof(Buf), "  block %llu %u %u %u %u%s\n",
+                      static_cast<unsigned long long>(S.B.Iters), S.B.Loads,
+                      S.B.Stores, S.B.Alu, S.B.Fp,
+                      S.B.Branchy ? " branchy" : "");
+        Out += Buf;
+      } else {
+        Out += "  call " + S.C.Callee + " " + std::to_string(S.C.Times) +
+               "\n";
+      }
+    }
+    Out += "end\n";
+  }
+  Out += "entry " + Spec.Entry + "\n";
+  return Out;
+}
+
+Expected<GeneratedWorkload> dynace::compileTraceSpec(const TraceSpec &Spec) {
+  // Resolve names and reject call cycles: the per-method cost estimate is
+  // computed bottom-up, and trace captures are call trees — a cycle means
+  // the capture (or a hand-edit) went wrong.
+  std::map<std::string, size_t> Index;
+  for (size_t I = 0; I != Spec.Methods.size(); ++I)
+    Index[Spec.Methods[I].Name] = I;
+
+  std::vector<double> Estimates(Spec.Methods.size(), 0.0);
+  std::vector<uint8_t> Color(Spec.Methods.size(), 0); // 0 new 1 open 2 done
+  // DFS recursion depth is bounded by the method count (cycles are cut
+  // off), which the grammar keeps small.
+  std::function<Status(size_t)> Visit = [&](size_t I) -> Status {
+    if (Color[I] == 2)
+      return Status();
+    if (Color[I] == 1)
+      return Status::error(ErrorCode::InvalidInput,
+                           "recursive call cycle through method '" +
+                               Spec.Methods[I].Name + "'");
+    Color[I] = 1;
+    double Est = 4.0; // preamble + terminator
+    for (const TraceStmt &S : Spec.Methods[I].Stmts) {
+      if (S.K == TraceStmt::Block) {
+        Est += static_cast<double>(S.B.Iters) * blockIterCost(S.B) + 1.0;
+      } else {
+        auto It = Index.find(S.C.Callee);
+        if (It == Index.end())
+          return Status::error(ErrorCode::InvalidInput,
+                               "method '" + Spec.Methods[I].Name +
+                                   "' calls undefined method '" +
+                                   S.C.Callee + "'");
+        if (Status Sub = Visit(It->second); !Sub)
+          return Sub;
+        Est += static_cast<double>(S.C.Times) *
+                   (4.0 + Estimates[It->second]) +
+               1.0;
+      }
+    }
+    Estimates[I] = Est;
+    Color[I] = 2;
+    return Status();
+  };
+  for (size_t I = 0; I != Spec.Methods.size(); ++I)
+    if (Status S = Visit(I); !S)
+      return S;
+
+  GeneratedWorkload W;
+  Program &Prog = W.Prog;
+
+  // Two passes: reserve ids in spec order so forward calls resolve, then
+  // fill in each method's code.
+  std::vector<MethodId> Ids(Spec.Methods.size());
+  std::vector<uint64_t> Bases(Spec.Methods.size());
+  for (size_t I = 0; I != Spec.Methods.size(); ++I) {
+    Method Placeholder;
+    Placeholder.Name = Spec.Methods[I].Name;
+    Ids[I] = Prog.addMethod(std::move(Placeholder));
+    Bases[I] = Prog.addGlobal(std::bit_ceil(Spec.Methods[I].FootprintWords));
+  }
+
+  for (size_t I = 0; I != Spec.Methods.size(); ++I) {
+    const TraceMethod &M = Spec.Methods[I];
+    uint64_t FootWords = std::bit_ceil(M.FootprintWords);
+    bool AnyFp = false;
+    for (const TraceStmt &S : M.Stmts)
+      AnyFp |= S.K == TraceStmt::Block && S.B.Fp > 0;
+
+    MethodBuilder B(M.Name);
+    B.iconst(RegBase, static_cast<int64_t>(Bases[I]));
+    B.iconst(RegMask, static_cast<int64_t>(FootWords - 1));
+    B.iconst(RegAcc, 0x9e3779b9);
+    if (AnyFp) {
+      B.fconst(RegFpA, 1.0000001);
+      B.fconst(RegFpB, 0.9999999);
+    }
+    size_t BlockIndex = 0;
+    for (const TraceStmt &S : M.Stmts) {
+      if (S.K == TraceStmt::Block) {
+        emitBlock(B, S.B, BlockIndex++);
+        continue;
+      }
+      // call X n: a counted loop of invocations, salted by the counter.
+      MethodId Callee = Ids[Index[S.C.Callee]];
+      B.iconst(/*Dst=*/1, 0);
+      MethodBuilder::Label Top = B.newLabel();
+      B.bind(Top);
+      B.addi(/*Dst=*/2, /*A=*/1, 17);
+      B.call(/*Dst=*/3, Callee, /*FirstArg=*/2, /*NumArgs=*/1);
+      B.addi(/*Dst=*/1, /*A=*/1, 1);
+      B.bri(CondKind::Lt, /*A=*/1, static_cast<int64_t>(S.C.Times), Top);
+    }
+    if (M.Name == Spec.Entry)
+      B.halt();
+    else
+      B.ret(RegAcc);
+    Method Built = B.take();
+    Built.Name = M.Name;
+    Prog.method(Ids[I]).Code = std::move(Built.Code);
+  }
+
+  W.MethodSizeEst.resize(Spec.Methods.size(), 0.0);
+  for (size_t I = 0; I != Spec.Methods.size(); ++I)
+    W.MethodSizeEst[Ids[I]] = Estimates[I];
+  Prog.setEntry(Ids[Index.at(Spec.Entry)]);
+  W.EstimatedInstructions = Estimates[Index.at(Spec.Entry)];
+
+  // The same gate generated workloads pass: structural finalize plus the
+  // full dynalint verification. A rejected trace surfaces the verifier's
+  // diagnostic as a returned Status (the trace is external input — never
+  // fatalError here).
+  if (Status S = Prog.finalize(analysis::verifyProgramStatus); !S)
+    return Status::error(ErrorCode::InvalidInput,
+                         "trace failed verification: " + S.message());
+  return W;
+}
+
+Expected<GeneratedWorkload> dynace::ingestTrace(std::string_view Text,
+                                                std::string_view Name) {
+  Expected<TraceSpec> Spec = parseTraceSpec(Text, Name);
+  if (!Spec)
+    return Spec.status();
+  return compileTraceSpec(*Spec);
+}

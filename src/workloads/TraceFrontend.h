@@ -1,0 +1,116 @@
+//===- workloads/TraceFrontend.h - Text-trace program ingest ----*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ingests the "dynatrace v1" text format — a simple basic-block/call trace
+/// grammar — and compiles it into an executable \c Program, gated through
+/// the same strict finalize + dynalint pipeline as generated workloads.
+/// This is the path for driving the simulator with externally captured
+/// workload shapes instead of the synthetic SPECjvm98 stand-ins; the full
+/// grammar is documented in docs/WORKLOADS.md. Sketch:
+///
+/// \code
+///   dynatrace 1
+///   # comment
+///   method scan footprint=1024
+///     block 500 2 1 3 0          # iters loads stores alu fp [branchy]
+///     call helper 4
+///   end
+///   method helper
+///     block 64 1 0 2 0 branchy
+///   end
+///   entry scan
+/// \endcode
+///
+/// Parsing is strict: unknown directives, malformed counts, duplicate or
+/// unknown method names, missing entry, and recursive call cycles are all
+/// rejected with a Status diagnostic carrying "<file>:<line>: <problem>",
+/// never a best-effort program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_WORKLOADS_TRACEFRONTEND_H
+#define DYNACE_WORKLOADS_TRACEFRONTEND_H
+
+#include "support/Status.h"
+#include "workloads/WorkloadGenerator.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynace {
+
+/// One `block` line: a counted loop with a fixed per-iteration op mix over
+/// the owning method's data array.
+struct TraceBlock {
+  uint64_t Iters = 1;
+  uint32_t Loads = 1;
+  uint32_t Stores = 0;
+  uint32_t Alu = 1;
+  uint32_t Fp = 0;
+  bool Branchy = false; ///< Adds a hard-to-predict data-dependent branch.
+};
+
+/// One `call` line: \c Times back-to-back invocations of \c Callee.
+struct TraceCall {
+  std::string Callee;
+  uint64_t Times = 1;
+};
+
+/// One statement in a method body, in source order.
+struct TraceStmt {
+  enum Kind { Block, Call } K = Block;
+  TraceBlock B;
+  TraceCall C;
+};
+
+/// One `method ... end` group.
+struct TraceMethod {
+  std::string Name;
+  /// Words of statically allocated data the method's blocks walk; rounded
+  /// up to a power of two at compile time.
+  uint64_t FootprintWords = 256;
+  std::vector<TraceStmt> Stmts;
+};
+
+/// A parsed (but not yet compiled) trace file.
+struct TraceSpec {
+  std::vector<TraceMethod> Methods;
+  std::string Entry;
+};
+
+/// Parses dynatrace-v1 text into a TraceSpec.
+/// \param Text the whole file contents; \param Name the file name used in
+///        diagnostics.
+/// \returns the spec, or an InvalidInput error with a "<file>:<line>:"
+///          prefixed message for the first problem found.
+Expected<TraceSpec> parseTraceSpec(std::string_view Text,
+                                   std::string_view Name = "<trace>");
+
+/// Emits the canonical text form of \p Spec — normalized spacing, explicit
+/// footprints, defaults spelled out. parse(format(parse(X))) is identical
+/// to parse(X), which the dynatrace round-trip smoke relies on.
+/// \returns the canonical dynatrace-v1 text.
+std::string formatTraceSpec(const TraceSpec &Spec);
+
+/// Lowers \p Spec to an executable program: each block becomes a kernel
+/// loop over the method's array, each call a counted call loop. The result
+/// passes through Program::finalize with the full dynalint verification —
+/// a trace that compiles is exactly as trusted as a generated benchmark.
+/// \returns the workload (with instruction estimates), or an InvalidInput
+///          error (unknown callee, recursive cycle, verifier rejection).
+Expected<GeneratedWorkload> compileTraceSpec(const TraceSpec &Spec);
+
+/// Convenience: parseTraceSpec + compileTraceSpec.
+/// \returns the compiled workload or the first error from either stage.
+Expected<GeneratedWorkload> ingestTrace(std::string_view Text,
+                                        std::string_view Name = "<trace>");
+
+} // namespace dynace
+
+#endif // DYNACE_WORKLOADS_TRACEFRONTEND_H

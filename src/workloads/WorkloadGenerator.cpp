@@ -29,6 +29,8 @@ constexpr Reg RegScratch = 14;
 constexpr Reg RegFpA = 15;
 constexpr Reg RegFpB = 16;
 constexpr Reg RegIdx2 = 17;
+constexpr Reg RegHotMask = 18;
+constexpr Reg RegHash = 19;
 
 /// Parameters of one compute kernel (an array walk).
 struct KernelSpec {
@@ -40,7 +42,29 @@ struct KernelSpec {
   uint32_t AluOps = 1;
   uint32_t StoreEveryLog2 = 2;
   bool DataDependentBranch = false;
+  /// Data-access skew ladder (DataZipfTheta > 0): size of the hot array
+  /// prefix in words (power of two; 0 = ladder off, legacy uniform walk).
+  uint64_t HotMaskWords = 0;
+  /// Out-of-256 threshold routing an iteration's access into the hot
+  /// prefix; derived from the Zipf(theta) head-mass fraction.
+  uint32_t HotThresh256 = 0;
 };
+
+/// Configures \p K's skew ladder from the profile's DataZipfTheta: the
+/// fraction of accesses Zipf(theta) would place on the top 1/16 of ranks is
+/// routed into the array's 1/16 hot prefix. Theta == 0 leaves the ladder
+/// off, emitting exactly the legacy uniform walk (and the uniform
+/// distribution itself puts 1/16 of its mass there, so 0 is the correct
+/// degenerate point, not a discontinuity).
+void applyDataSkew(KernelSpec &K, double Theta) {
+  if (Theta <= 0.0 || K.FootprintWords < 32)
+    return;
+  uint64_t HotPrefix = K.FootprintWords / 16;
+  double HotFrac = zipfMassFraction(K.FootprintWords, HotPrefix, Theta);
+  K.HotMaskWords = HotPrefix;
+  K.HotThresh256 = static_cast<uint32_t>(std::clamp<long>(
+      std::lround(HotFrac * 256.0), 1, 256));
+}
 
 /// Average executed instructions per kernel iteration.
 double kernelIterCost(const KernelSpec &K) {
@@ -55,6 +79,9 @@ double kernelIterCost(const KernelSpec &K) {
                 + 2.0; // induction: addi + backedge bri
   if (K.DataDependentBranch)
     Body += 2.5; // andi + bri + taken-half addi
+  if (K.HotMaskWords)
+    Body += 3.0 // hot-route: muli + andi + bri
+            + static_cast<double>(K.HotThresh256) / 256.0; // hot-path and
   return Body;
 }
 
@@ -66,6 +93,11 @@ void emitKernel(MethodBuilder &B, const KernelSpec &K) {
   B.iconst(RegBase, static_cast<int64_t>(K.BaseAddr));
   B.iconst(RegMask, static_cast<int64_t>(K.FootprintWords - 1));
   B.iconst(RegAcc, 0x9e3779b9);
+  if (K.HotMaskWords) {
+    assert(std::has_single_bit(K.HotMaskWords) &&
+           "hot prefix must be a power of two");
+    B.iconst(RegHotMask, static_cast<int64_t>(K.HotMaskWords - 1));
+  }
   if (K.FpOps) {
     B.fconst(RegFpA, 1.0000001);
     B.fconst(RegFpB, 0.9999999);
@@ -77,6 +109,19 @@ void emitKernel(MethodBuilder &B, const KernelSpec &K) {
   B.muli(RegIdx, RegI, K.StrideWords);
   B.add(RegIdx, RegIdx, 0);
   B.and_(RegIdx, RegIdx, RegMask);
+  if (K.HotMaskWords) {
+    // Zipf data skew: hash the iteration counter to a lane in [0, 256);
+    // lanes below the threshold re-mask the access into the hot prefix.
+    // The multiplier is odd, so i -> lane is a bijection mod 256 and
+    // exactly HotThresh256/256 of iterations take the hot route.
+    MethodBuilder::Label SkipHot = B.newLabel();
+    B.muli(RegHash, RegI, 0x9e37);
+    B.andi(RegHash, RegHash, 255);
+    B.bri(CondKind::Ge, RegHash, static_cast<int64_t>(K.HotThresh256),
+          SkipHot);
+    B.and_(RegIdx, RegIdx, RegHotMask);
+    B.bind(SkipHot);
+  }
   B.loadIdx(RegVal, RegBase, RegIdx);
   B.add(RegAcc, RegAcc, RegVal);
   for (uint32_t I = 0; I != K.AluOps; ++I) {
@@ -129,23 +174,36 @@ uint64_t logUniform(SplitMix64 &Rng, uint64_t Lo, uint64_t Hi) {
   return static_cast<uint64_t>(std::llround(std::exp2(X)));
 }
 
-} // namespace
+/// Build products of one tenant's method tiers, consumed by main emission.
+struct TenantBuild {
+  std::vector<MethodId> Regions;
+  uint32_t RegionsPerSegment = 0;
+};
 
-GeneratedWorkload WorkloadGenerator::generate(const WorkloadProfile &P) {
+/// Builds the three method tiers (leaves, mids, regions + scanners) for
+/// profile \p P into \p Prog, tagging every method with \p Tenant. Each
+/// tenant draws from its own SplitMix64 seeded exactly as the single-tenant
+/// generator seeds it, so a tenant's methods are bit-identical inside and
+/// outside a mix (only code addresses and method ids shift).
+TenantBuild buildTenantTiers(Program &Prog, const WorkloadProfile &P,
+                             GeneratedWorkload &W, uint16_t Tenant) {
   assert(P.NumRegions >= P.NumSegments &&
          "each segment needs at least one region");
-  GeneratedWorkload W;
-  Program &Prog = W.Prog;
   SplitMix64 Rng(P.Seed * 0x9e3779b97f4a7c15ull + 0xd1b54a32d192ed03ull);
 
-  W.NumLeaves = P.NumLeaves;
-  W.NumMids = P.NumMids;
-  W.NumRegions = P.NumRegions;
+  W.NumLeaves += P.NumLeaves;
+  W.NumMids += P.NumMids;
+  W.NumRegions += P.NumRegions;
 
   auto Record = [&](MethodId Id, double Est) {
     if (W.MethodSizeEst.size() <= Id)
       W.MethodSizeEst.resize(Id + 1, 0.0);
     W.MethodSizeEst[Id] = Est;
+  };
+  auto AddMethod = [&](Method M) {
+    MethodId Id = Prog.addMethod(std::move(M));
+    Prog.method(Id).Tenant = Tenant;
+    return Id;
   };
 
   // --- Tier 1: leaf methods ----------------------------------------------
@@ -163,6 +221,7 @@ GeneratedWorkload WorkloadGenerator::generate(const WorkloadProfile &P) {
     K.AluOps = P.AluOpsPerIter;
     K.StoreEveryLog2 = P.StoreEveryLog2;
     K.DataDependentBranch = P.DataDependentBranch && Rng.nextBool(0.5);
+    applyDataSkew(K, P.DataZipfTheta);
     double IterCost = kernelIterCost(K);
     K.Iters = std::max<uint64_t>(
         4, static_cast<uint64_t>(static_cast<double>(Target) / IterCost));
@@ -170,14 +229,15 @@ GeneratedWorkload WorkloadGenerator::generate(const WorkloadProfile &P) {
     MethodBuilder B("leaf" + std::to_string(L));
     emitKernel(B, K);
     B.ret(RegAcc);
-    MethodId Id = Prog.addMethod(B.take());
+    MethodId Id = AddMethod(B.take());
     Leaves.push_back(Id);
     Record(Id, static_cast<double>(K.Iters) * IterCost + 6.0);
   }
   // Skewed leaf popularity: a few leaves take most calls (hotspot
-  // concentration). A round-robin cursor guarantees every leaf is bound to
-  // some mid, so the whole method population is reachable.
-  std::vector<double> LeafWeights = zipfWeights(Leaves.size(), 0.8);
+  // concentration), with the skew exponent as the profile's
+  // MethodZipfTheta knob. A round-robin cursor guarantees every leaf is
+  // bound to some mid, so the whole method population is reachable.
+  ZipfSampler LeafPicker(Leaves.size(), P.MethodZipfTheta);
   size_t LeafCursor = 0;
 
   // --- Tier 2: mid methods (L1D-hotspot band) -----------------------------
@@ -200,6 +260,7 @@ GeneratedWorkload WorkloadGenerator::generate(const WorkloadProfile &P) {
     K.AluOps = P.AluOpsPerIter;
     K.StoreEveryLog2 = P.StoreEveryLog2;
     K.DataDependentBranch = P.DataDependentBranch && Rng.nextBool(0.5);
+    applyDataSkew(K, P.DataZipfTheta);
 
     // Pick callees first, then size the kernel to hit the target. Cursor
     // picks guarantee full leaf coverage across the mid population; one
@@ -214,7 +275,7 @@ GeneratedWorkload WorkloadGenerator::generate(const WorkloadProfile &P) {
     for (uint32_t C = 0; C != NumCalls; ++C) {
       MethodId Callee =
           C + 1 == NumCalls
-              ? Leaves[sampleDiscrete(Rng, LeafWeights)]
+              ? Leaves[LeafPicker.next(Rng)]
               : Leaves[LeafCursor++ % Leaves.size()];
       double Cost = W.MethodSizeEst[Callee];
       if (CallCost + Cost > 0.7 * static_cast<double>(Target) && C > 0)
@@ -235,7 +296,7 @@ GeneratedWorkload WorkloadGenerator::generate(const WorkloadProfile &P) {
       B.call(/*Dst=*/2, Picks[C], /*FirstArg=*/1, /*NumArgs=*/1);
     }
     B.ret(RegAcc);
-    MethodId Id = Prog.addMethod(B.take());
+    MethodId Id = AddMethod(B.take());
     Mids.push_back(Id);
     MidFootprints.push_back(K.FootprintWords);
     Record(Id, static_cast<double>(K.Iters) * IterCost + CallCost +
@@ -296,6 +357,7 @@ GeneratedWorkload WorkloadGenerator::generate(const WorkloadProfile &P) {
     K.FpOps = P.FpOpsPerIter;
     K.AluOps = P.AluOpsPerIter;
     K.StoreEveryLog2 = P.StoreEveryLog2;
+    applyDataSkew(K, P.DataZipfTheta);
 
     // Scanner method over the region's array, sized into the L1D band.
     uint64_t ScanTarget = std::clamp<uint64_t>(
@@ -309,7 +371,7 @@ GeneratedWorkload WorkloadGenerator::generate(const WorkloadProfile &P) {
     MethodBuilder ScanB("scan" + std::to_string(R));
     emitKernel(ScanB, ScanK);
     ScanB.ret(RegAcc);
-    MethodId ScanId = Prog.addMethod(ScanB.take());
+    MethodId ScanId = AddMethod(ScanB.take());
     double ScanEst =
         static_cast<double>(ScanK.Iters) * ScanIterCost + 6.0;
     Record(ScanId, ScanEst);
@@ -359,7 +421,7 @@ GeneratedWorkload WorkloadGenerator::generate(const WorkloadProfile &P) {
       B.bri(CondKind::Lt, /*A=*/1, static_cast<int64_t>(MidRepeat), RepTop);
     }
     B.ret(/*Value=*/5);
-    MethodId Id = Prog.addMethod(B.take());
+    MethodId Id = AddMethod(B.take());
     Regions.push_back(Id);
     Record(Id, ScanEst + 2.0 +
                    static_cast<double>(MidRepeat) *
@@ -368,59 +430,112 @@ GeneratedWorkload WorkloadGenerator::generate(const WorkloadProfile &P) {
                    8.0);
   }
 
+  return TenantBuild{std::move(Regions), RegionsPerSegment};
+}
+
+/// Emits segment \p S's region bursts into the main under construction
+/// (r1 holds the outer-iteration counter). Segment s owns the contiguous
+/// chunk of regions starting at s * RegionsPerSegment (matching the
+/// footprint assignment in buildTenantTiers). Each region runs as a
+/// *burst* of SegmentRepeats back-to-back invocations: real programs
+/// dwell in one code region for a stretch, which is what gives BBV its
+/// stable phases and gives recurring hotspots their guard-friendly
+/// invocation pattern. \p SaltBias perturbs the salt per tenant in a mix
+/// (0 for single-tenant mains, which must stay bit-identical to the
+/// historical emission).
+/// \returns the estimated instructions contributed per outer iteration.
+double emitSegment(MethodBuilder &B, const WorkloadProfile &P,
+                   const GeneratedWorkload &W, const TenantBuild &T,
+                   uint32_t S, int64_t SaltBias) {
+  double PerSegment = 0.0;
+  uint32_t ChunkBegin = S * T.RegionsPerSegment;
+  uint32_t ChunkEnd =
+      std::min<uint32_t>(ChunkBegin + T.RegionsPerSegment, P.NumRegions);
+  for (uint32_t R = ChunkBegin; R < ChunkEnd; ++R) {
+    B.iconst(/*Dst=*/2, 0); // rep
+    MethodBuilder::Label RepTop = B.newLabel();
+    B.bind(RepTop);
+    // salt = outer * 31 + rep (+ tenant bias in mixes)
+    B.muli(/*Dst=*/3, /*A=*/1, 31);
+    B.add(/*Dst=*/3, /*A=*/3, /*B=*/2);
+    if (SaltBias != 0)
+      B.addi(/*Dst=*/3, /*A=*/3, SaltBias);
+    double PerRep = 6.0 + W.MethodSizeEst[T.Regions[R]];
+    B.call(/*Dst=*/4, T.Regions[R], /*FirstArg=*/3, /*NumArgs=*/1);
+    if (P.PhaseNoiseEveryN >= 2) {
+      // Every Nth repetition also runs a foreign region, blurring this
+      // burst's BBV signature (javac-style irregularity).
+      uint64_t NoiseMask = std::bit_ceil<uint64_t>(P.PhaseNoiseEveryN) - 1;
+      MethodBuilder::Label SkipNoise = B.newLabel();
+      B.andi(/*Dst=*/5, /*A=*/2, static_cast<int64_t>(NoiseMask));
+      B.bri(CondKind::Ne, /*A=*/5, 0, SkipNoise);
+      uint32_t Confuser = (R + 1) % P.NumRegions;
+      B.call(/*Dst=*/4, T.Regions[Confuser], /*FirstArg=*/3, /*NumArgs=*/1);
+      B.bind(SkipNoise);
+      PerRep += W.MethodSizeEst[T.Regions[Confuser]] /
+                    static_cast<double>(NoiseMask + 1) +
+                2.0;
+    }
+    B.addi(/*Dst=*/2, /*A=*/2, 1);
+    B.bri(CondKind::Lt, /*A=*/2, static_cast<int64_t>(P.SegmentRepeats),
+          RepTop);
+    PerSegment += PerRep * static_cast<double>(P.SegmentRepeats) + 2.0;
+  }
+  return PerSegment;
+}
+
+} // namespace
+
+GeneratedWorkload WorkloadGenerator::generate(const WorkloadProfile &P) {
+  GeneratedWorkload W;
+  Program &Prog = W.Prog;
+
+  // Tier construction: one tenant for ordinary profiles, each listed
+  // tenant (tagged 1..N) for a mix.
+  std::vector<TenantBuild> Builds;
+  if (P.isMix()) {
+    assert(P.Tenants.size() >= 2 && "a mix needs at least two tenants");
+    Builds.reserve(P.Tenants.size());
+    for (size_t I = 0; I != P.Tenants.size(); ++I)
+      Builds.push_back(buildTenantTiers(
+          Prog, P.Tenants[I], W, static_cast<uint16_t>(I + 1)));
+  } else {
+    Builds.push_back(buildTenantTiers(Prog, P, W, kNoTenant));
+  }
+
   // --- main: segments and phase recurrence --------------------------------
-  // Segment s owns the contiguous chunk of regions starting at
-  // s * RegionsPerSegment (matching the footprint assignment above). Each
-  // region runs as a *burst* of SegmentRepeats back-to-back invocations:
-  // real programs dwell in one code region for a stretch, which is what
-  // gives BBV its stable phases and gives recurring hotspots their
-  // guard-friendly invocation pattern.
+  // Single-tenant mains walk the profile's segments in order. Mix mains
+  // round-robin one segment per tenant per slot — tenant t's slot-k
+  // segment is k % NumSegments(t) — so the adaptive schemes see
+  // cross-tenant phase interference at every segment boundary. The mix
+  // driver itself is untagged (kNoTenant); only tenant methods carry tags.
   MethodBuilder B("main");
-  double MainEst = 0.0;
   B.iconst(/*Dst=*/1, 0); // outer
   MethodBuilder::Label OuterTop = B.newLabel();
   B.bind(OuterTop);
   double PerOuter = 0.0;
-  for (uint32_t S = 0; S != P.NumSegments; ++S) {
-    uint32_t ChunkBegin = S * RegionsPerSegment;
-    uint32_t ChunkEnd =
-        std::min<uint32_t>(ChunkBegin + RegionsPerSegment, P.NumRegions);
-    for (uint32_t R = ChunkBegin; R < ChunkEnd; ++R) {
-      B.iconst(/*Dst=*/2, 0); // rep
-      MethodBuilder::Label RepTop = B.newLabel();
-      B.bind(RepTop);
-      // salt = outer * 31 + rep
-      B.muli(/*Dst=*/3, /*A=*/1, 31);
-      B.add(/*Dst=*/3, /*A=*/3, /*B=*/2);
-      double PerRep = 6.0 + W.MethodSizeEst[Regions[R]];
-      B.call(/*Dst=*/4, Regions[R], /*FirstArg=*/3, /*NumArgs=*/1);
-      if (P.PhaseNoiseEveryN >= 2) {
-        // Every Nth repetition also runs a foreign region, blurring this
-        // burst's BBV signature (javac-style irregularity).
-        uint64_t NoiseMask = std::bit_ceil<uint64_t>(P.PhaseNoiseEveryN) - 1;
-        MethodBuilder::Label SkipNoise = B.newLabel();
-        B.andi(/*Dst=*/5, /*A=*/2, static_cast<int64_t>(NoiseMask));
-        B.bri(CondKind::Ne, /*A=*/5, 0, SkipNoise);
-        uint32_t Confuser = (R + 1) % P.NumRegions;
-        B.call(/*Dst=*/4, Regions[Confuser], /*FirstArg=*/3, /*NumArgs=*/1);
-        B.bind(SkipNoise);
-        PerRep += W.MethodSizeEst[Regions[Confuser]] /
-                      static_cast<double>(NoiseMask + 1) +
-                  2.0;
-      }
-      B.addi(/*Dst=*/2, /*A=*/2, 1);
-      B.bri(CondKind::Lt, /*A=*/2, static_cast<int64_t>(P.SegmentRepeats),
-            RepTop);
-      PerOuter += PerRep * static_cast<double>(P.SegmentRepeats) + 2.0;
-    }
+  if (P.isMix()) {
+    uint32_t MaxSegments = 0;
+    for (const WorkloadProfile &T : P.Tenants)
+      MaxSegments = std::max(MaxSegments, T.NumSegments);
+    for (uint32_t Slot = 0; Slot != MaxSegments; ++Slot)
+      for (size_t I = 0; I != P.Tenants.size(); ++I)
+        PerOuter += emitSegment(
+            B, P.Tenants[I], W, Builds[I], Slot % P.Tenants[I].NumSegments,
+            /*SaltBias=*/static_cast<int64_t>(I + 1) * 7);
+  } else {
+    for (uint32_t S = 0; S != P.NumSegments; ++S)
+      PerOuter += emitSegment(B, P, W, Builds[0], S, /*SaltBias=*/0);
   }
   B.addi(/*Dst=*/1, /*A=*/1, 1);
   B.bri(CondKind::Lt, /*A=*/1, static_cast<int64_t>(P.OuterIterations),
         OuterTop);
   B.halt();
-  MainEst = PerOuter * static_cast<double>(P.OuterIterations) + 4.0;
+  double MainEst = PerOuter * static_cast<double>(P.OuterIterations) + 4.0;
   MethodId MainId = Prog.addMethod(B.take());
-  Record(MainId, MainEst);
+  if (W.MethodSizeEst.size() <= MainId)
+    W.MethodSizeEst.resize(MainId + 1, 0.0);
+  W.MethodSizeEst[MainId] = MainEst;
   Prog.setEntry(MainId);
   W.EstimatedInstructions = MainEst;
 

@@ -80,6 +80,34 @@ struct WorkloadProfile {
   uint32_t LeafCallsPerMid = 4;
   uint32_t MidsPerRegion = 3;
   uint32_t MidRepeatPerRegion = 3;
+
+  // --- Skew knobs (scenario frontier) --------------------------------------
+  /// Zipf exponent on method-invocation popularity: each mid's skewed leaf
+  /// pick draws from zipfWeights(NumLeaves, MethodZipfTheta). 0 = uniform
+  /// picks; larger values concentrate invocations (and therefore hotspot
+  /// mass) on fewer leaves. The default 0.8 is the suite's historical
+  /// fixed skew — default-constructed profiles generate bit-identical
+  /// programs to the pre-knob generator.
+  double MethodZipfTheta = 0.8;
+  /// Zipf exponent on data-access distributions: 0 (the default) walks
+  /// each kernel's array uniformly, exactly the legacy access pattern;
+  /// when > 0 the kernel routes the Zipf(theta) head mass of its accesses
+  /// into a 1/16 hot prefix of the array, so higher theta shrinks the
+  /// effective working set the way skewed key popularity does in storage
+  /// workloads (SNIPPETS.md Snippet 3).
+  double DataZipfTheta = 0.0;
+
+  // --- Multi-tenant mixes --------------------------------------------------
+  /// Non-empty = this profile is a mix: the listed tenant profiles are all
+  /// generated into one program (tenant-tagged methods, disjoint data) and
+  /// an interleaving main round-robins their segments so the adaptive
+  /// schemes re-tune under cross-tenant phase interference. For a mix,
+  /// OuterIterations drives the mix main's outer loop; the per-tenant
+  /// execution-shape knobs come from each tenant's own profile.
+  std::vector<WorkloadProfile> Tenants;
+
+  /// \returns true when this profile describes a multi-tenant mix.
+  bool isMix() const { return !Tenants.empty(); }
 };
 
 /// \returns the seven SPECjvm98-like profiles in the paper's order
@@ -88,6 +116,31 @@ const std::vector<WorkloadProfile> &specjvm98Profiles();
 
 /// \returns the profile named \p Name, or null when unknown.
 const WorkloadProfile *findProfile(const std::string &Name);
+
+/// Derives a skewed variant of \p Base: sets both MethodZipfTheta and
+/// DataZipfTheta to \p Theta and renames it "<base>@z<theta>" (two
+/// decimals), so sweep variants get distinct result-cache identities.
+/// \returns the derived profile.
+WorkloadProfile withZipfTheta(WorkloadProfile Base, double Theta);
+
+/// Builds the theta-sweep profile list for \p Base — one withZipfTheta()
+/// variant per value of \p Thetas, in order.
+std::vector<WorkloadProfile>
+zipfSweepProfiles(const WorkloadProfile &Base,
+                  const std::vector<double> &Thetas);
+
+/// Builds a multi-tenant mix profile named "mix:<a>+<b>+..." over
+/// \p TenantProfiles (at least two). \p OuterIterations bounds the mix
+/// main's outer loop (0 = derive from the tenants: the minimum of their
+/// OuterIterations, at least 1).
+/// \returns the mix profile.
+WorkloadProfile makeMixProfile(std::vector<WorkloadProfile> TenantProfiles,
+                               uint32_t OuterIterations = 0);
+
+/// \returns the standard mix grid — the multi-tenant scenarios the mix
+/// bench runs: a two-tenant cache-antagonist pair, a three-tenant
+/// irregular mix, and a skewed two-tenant mix.
+const std::vector<WorkloadProfile> &standardMixProfiles();
 
 } // namespace dynace
 

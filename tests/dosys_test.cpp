@@ -179,3 +179,24 @@ TEST(DoSystem, EntryAccessorExposesState) {
   EXPECT_FALSE(E.IsHotspot);
   EXPECT_EQ(E.InclusiveInstructions, 20u);
 }
+
+// The VM pushes the entry frame at Interpreter construction, before a
+// listener can be attached, so the entry method's enter is never observed
+// — yet the halt unwind reports its exit. That unmatched exit must be
+// accounted (size/inclusive bookkeeping) without touching hot-region
+// state.
+TEST(DoSystem, ExitWithoutObservedEnterIsSafe) {
+  DoSystem Do(4, testConfig(2));
+  RecordingClient Client;
+  Do.setClient(&Client);
+  uint64_t Clock = 0;
+  // Promote method 1 with balanced invocations.
+  invoke(Do, 1, Clock, 100);
+  invoke(Do, 1, Clock, 100);
+  EXPECT_TRUE(Do.isHotspot(1));
+  // The entry method (id 0) exits at halt with no matching enter.
+  Do.onMethodExit(0, Clock, Clock);
+  DoStats S = Do.stats(Clock);
+  EXPECT_EQ(S.NumHotspots, 1u);
+  EXPECT_TRUE(Client.Exits.size() == 1) << "no phantom hot exit for id 0";
+}

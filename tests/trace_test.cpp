@@ -1,0 +1,181 @@
+//===- tests/trace_test.cpp - dynatrace-v1 frontend tests -----------------==//
+//
+// Pins the trace frontend's two contracts: well-formed traces round-trip
+// through parse -> canonical format -> compile into a verified, halting,
+// deterministic program; malformed traces are rejected as InvalidInput
+// Status values carrying "<file>:<line>:" diagnostics, never best-effort
+// programs (and never process aborts).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Interpreter.h"
+#include "workloads/TraceFrontend.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace dynace;
+
+namespace {
+
+const char *kGood = R"(dynatrace 1
+# comment
+method helper footprint=64
+  block 32 1 0 2 0 branchy
+end
+method fp footprint=128
+  block 16 1 1 0 2
+end
+method main footprint=32
+  block 10 2 1 1 1
+  call helper 3
+  call fp
+end
+entry main
+)";
+
+} // namespace
+
+TEST(TraceParse, AcceptsWellFormed) {
+  Expected<TraceSpec> Spec = parseTraceSpec(kGood, "good.trace");
+  ASSERT_TRUE(Spec.ok()) << Spec.status().toString();
+  ASSERT_EQ(Spec->Methods.size(), 3u);
+  EXPECT_EQ(Spec->Entry, "main");
+  EXPECT_EQ(Spec->Methods[0].Name, "helper");
+  EXPECT_EQ(Spec->Methods[0].FootprintWords, 64u);
+  ASSERT_EQ(Spec->Methods[0].Stmts.size(), 1u);
+  EXPECT_TRUE(Spec->Methods[0].Stmts[0].B.Branchy);
+  const TraceMethod &Main = Spec->Methods[2];
+  ASSERT_EQ(Main.Stmts.size(), 3u);
+  EXPECT_EQ(Main.Stmts[0].K, TraceStmt::Block);
+  EXPECT_EQ(Main.Stmts[1].K, TraceStmt::Call);
+  EXPECT_EQ(Main.Stmts[1].C.Callee, "helper");
+  EXPECT_EQ(Main.Stmts[1].C.Times, 3u);
+  EXPECT_EQ(Main.Stmts[2].C.Times, 1u) << "call count defaults to 1";
+}
+
+TEST(TraceParse, CanonicalFormatIsAFixedPoint) {
+  Expected<TraceSpec> Spec = parseTraceSpec(kGood);
+  ASSERT_TRUE(Spec.ok());
+  std::string Canon = formatTraceSpec(*Spec);
+  Expected<TraceSpec> Re = parseTraceSpec(Canon, "canon");
+  ASSERT_TRUE(Re.ok()) << Re.status().toString();
+  EXPECT_EQ(formatTraceSpec(*Re), Canon);
+}
+
+namespace {
+
+struct RejectCase {
+  const char *Label;
+  const char *Text;
+  /// Expected "<file>:<line>:" diagnostic prefix fragment (null = only the
+  /// error code is checked, for end-of-input problems with no single line).
+  const char *Needle;
+};
+
+} // namespace
+
+TEST(TraceParse, RejectsMalformedInput) {
+  const RejectCase Cases[] = {
+      {"missing header", "method m\n  block 1 1 0 1 0\nend\nentry m\n",
+       "t:1:"},
+      {"unsupported version", "dynatrace 2\n", "t:1:"},
+      {"unknown directive", "dynatrace 1\nfrobnicate\n", "t:2:"},
+      {"nested method", "dynatrace 1\nmethod a\nmethod b\n", "t:3:"},
+      {"duplicate method",
+       "dynatrace 1\nmethod a\n  block 1 1 0 1 0\nend\nmethod a\n"
+       "  block 1 1 0 1 0\nend\nentry a\n",
+       "t:5:"},
+      {"block outside method", "dynatrace 1\nblock 1 1 0 1 0\n", "t:2:"},
+      {"call outside method", "dynatrace 1\ncall a\n", "t:2:"},
+      {"non-numeric count",
+       "dynatrace 1\nmethod a\n  block x 1 0 1 0\nend\nentry a\n", "t:3:"},
+      {"too many ops per iteration",
+       "dynatrace 1\nmethod a\n  block 1 65 0 1 0\nend\nentry a\n", "t:3:"},
+      {"unknown block flag",
+       "dynatrace 1\nmethod a\n  block 1 1 0 1 0 sideways\nend\nentry a\n",
+       "t:3:"},
+      {"footprint out of range",
+       "dynatrace 1\nmethod a footprint=8\n  block 1 1 0 1 0\nend\n"
+       "entry a\n",
+       "t:2:"},
+      {"empty method body", "dynatrace 1\nmethod a\nend\nentry a\n", "t:2:"},
+      {"end without method", "dynatrace 1\nend\n", "t:2:"},
+      {"duplicate entry",
+       "dynatrace 1\nmethod a\n  block 1 1 0 1 0\nend\nentry a\nentry a\n",
+       "t:6:"},
+      {"missing entry", "dynatrace 1\nmethod a\n  block 1 1 0 1 0\nend\n",
+       nullptr},
+      {"unterminated method",
+       "dynatrace 1\nmethod a\n  block 1 1 0 1 0\n", nullptr},
+      {"empty input", "", nullptr},
+  };
+  for (const RejectCase &C : Cases) {
+    Expected<TraceSpec> Spec = parseTraceSpec(C.Text, "t");
+    ASSERT_FALSE(Spec.ok()) << C.Label;
+    EXPECT_EQ(Spec.status().code(), ErrorCode::InvalidInput) << C.Label;
+    if (C.Needle) {
+      EXPECT_NE(Spec.status().message().find(C.Needle), std::string::npos)
+          << C.Label << ": got \"" << Spec.status().message() << "\"";
+    }
+  }
+}
+
+TEST(TraceCompile, RejectsUnknownCallee) {
+  Expected<GeneratedWorkload> W =
+      ingestTrace("dynatrace 1\nmethod a\n  call b 2\nend\nentry a\n");
+  ASSERT_FALSE(W.ok());
+  EXPECT_EQ(W.status().code(), ErrorCode::InvalidInput);
+}
+
+TEST(TraceCompile, RejectsRecursion) {
+  // Direct self-recursion.
+  Expected<GeneratedWorkload> A =
+      ingestTrace("dynatrace 1\nmethod a\n  call a\nend\nentry a\n");
+  ASSERT_FALSE(A.ok());
+  EXPECT_EQ(A.status().code(), ErrorCode::InvalidInput);
+  // Mutual recursion through a forward reference.
+  Expected<GeneratedWorkload> B = ingestTrace(
+      "dynatrace 1\nmethod a\n  call b\nend\nmethod b\n  call a\nend\n"
+      "entry a\n");
+  ASSERT_FALSE(B.ok());
+  EXPECT_EQ(B.status().code(), ErrorCode::InvalidInput);
+}
+
+TEST(TraceCompile, CompilesToVerifiedHaltingProgram) {
+  Expected<GeneratedWorkload> W = ingestTrace(kGood, "good.trace");
+  ASSERT_TRUE(W.ok()) << W.status().toString();
+  EXPECT_TRUE(W->Prog.isFinalized());
+  EXPECT_GT(W->EstimatedInstructions, 0.0);
+  Interpreter I(W->Prog);
+  uint64_t Ran = I.run(10'000'000);
+  EXPECT_TRUE(I.isHalted()) << "trace programs terminate";
+  EXPECT_GT(Ran, 100u);
+}
+
+TEST(TraceCompile, SimulationIsDeterministic) {
+  Expected<GeneratedWorkload> A = ingestTrace(kGood);
+  Expected<GeneratedWorkload> B = ingestTrace(kGood);
+  ASSERT_TRUE(A.ok() && B.ok());
+  Interpreter IA(A->Prog), IB(B->Prog);
+  DynInst DA, DB;
+  while (!IA.isHalted()) {
+    IA.step(DA);
+    IB.step(DB);
+    ASSERT_EQ(DA.PC, DB.PC);
+    ASSERT_EQ(DA.MemAddr, DB.MemAddr);
+  }
+  EXPECT_TRUE(IB.isHalted());
+}
+
+TEST(TraceCompile, ForwardReferencesResolve) {
+  // main is defined before its callees; compile fills placeholders.
+  Expected<GeneratedWorkload> W = ingestTrace(
+      "dynatrace 1\nmethod main\n  call late 2\nend\n"
+      "method late footprint=64\n  block 8 1 0 1 0\nend\nentry main\n");
+  ASSERT_TRUE(W.ok()) << W.status().toString();
+  Interpreter I(W->Prog);
+  (void)I.run(1'000'000);
+  EXPECT_TRUE(I.isHalted());
+}

@@ -1,0 +1,210 @@
+//===- tests/zipf_test.cpp - Zipf sampling & workload-skew knobs ----------==//
+//
+// Pins the skew frontier's statistical contracts: the sampler's empirical
+// rank frequencies against the zipfMassFraction closed form, seed
+// determinism, the theta=0 uniform degenerate case, and the profile-level
+// knobs (withZipfTheta naming, sweep construction, multi-tenant mixes).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+#include "vm/Interpreter.h"
+#include "workloads/WorkloadGenerator.h"
+#include "workloads/WorkloadProfile.h"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <vector>
+
+using namespace dynace;
+
+TEST(ZipfMass, DegenerateCases) {
+  // Whole population (or more) carries all the mass.
+  EXPECT_DOUBLE_EQ(zipfMassFraction(100, 100, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(zipfMassFraction(100, 200, 0.7), 1.0);
+  // Theta 0 is uniform: the head carries exactly K/N.
+  EXPECT_NEAR(zipfMassFraction(100, 25, 0.0), 0.25, 1e-12);
+  EXPECT_NEAR(zipfMassFraction(64, 16, 0.0), 0.25, 1e-12);
+}
+
+TEST(ZipfMass, MonotoneInHeadSizeAndTheta) {
+  for (size_t K = 1; K < 50; ++K)
+    EXPECT_LT(zipfMassFraction(50, K, 0.9), zipfMassFraction(50, K + 1, 0.9));
+  double Prev = 0.0;
+  for (double Theta : {0.0, 0.3, 0.6, 0.9, 1.2, 2.0}) {
+    double F = zipfMassFraction(200, 20, Theta);
+    EXPECT_GT(F, Prev) << "theta=" << Theta;
+    Prev = F;
+  }
+}
+
+TEST(ZipfSampler, EmpiricalHeadMassMatchesClosedForm) {
+  constexpr size_t N = 100;
+  constexpr int Draws = 200000;
+  for (double Theta : {0.6, 1.0, 1.4}) {
+    ZipfGenerator G(N, Theta, /*Seed=*/42);
+    std::vector<uint64_t> Counts(N, 0);
+    for (int I = 0; I != Draws; ++I)
+      ++Counts[G.next()];
+    for (size_t K : {size_t(1), size_t(10), size_t(25)}) {
+      uint64_t Head = 0;
+      for (size_t I = 0; I != K; ++I)
+        Head += Counts[I];
+      double Empirical = static_cast<double>(Head) / Draws;
+      EXPECT_NEAR(Empirical, zipfMassFraction(N, K, Theta), 0.01)
+          << "theta=" << Theta << " K=" << K;
+    }
+  }
+}
+
+TEST(ZipfSampler, ThetaZeroIsUniform) {
+  constexpr size_t N = 64;
+  constexpr int Draws = 256000; // 4000 expected per rank.
+  ZipfGenerator G(N, 0.0, /*Seed=*/7);
+  std::vector<uint64_t> Counts(N, 0);
+  for (int I = 0; I != Draws; ++I)
+    ++Counts[G.next()];
+  // ~8 sigma per-rank band: loose enough to never flake (the stream is
+  // deterministic anyway), tight enough to catch any rank bias.
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_NEAR(static_cast<double>(Counts[I]), Draws / double(N), 500.0)
+        << "rank " << I;
+}
+
+TEST(ZipfSampler, SeedDeterminism) {
+  ZipfGenerator A(128, 0.9, 123), B(128, 0.9, 123), C(128, 0.9, 124);
+  bool Differs = false;
+  for (int I = 0; I != 1000; ++I) {
+    size_t RA = A.next();
+    ASSERT_EQ(RA, B.next());
+    Differs |= RA != C.next();
+  }
+  EXPECT_TRUE(Differs) << "different seeds must give different streams";
+}
+
+// ZipfSampler's documented contract: drop-in for sampleDiscrete over
+// zipfWeights with identical draw consumption and identical ranks. The
+// generator's single-tenant bit-identity rests on this.
+TEST(ZipfSampler, BitCompatibleWithSampleDiscrete) {
+  constexpr size_t N = 37;
+  const double Theta = 0.8;
+  ZipfSampler S(N, Theta);
+  std::vector<double> W = zipfWeights(N, Theta);
+  SplitMix64 RA(99), RB(99);
+  for (int I = 0; I != 5000; ++I)
+    ASSERT_EQ(S.next(RA), sampleDiscrete(RB, W));
+  EXPECT_EQ(S.numRanks(), N);
+  EXPECT_DOUBLE_EQ(S.theta(), Theta);
+}
+
+TEST(SkewKnob, WithZipfThetaNamingAndSweep) {
+  const WorkloadProfile *Db = findProfile("db");
+  ASSERT_NE(Db, nullptr);
+  WorkloadProfile V = withZipfTheta(*Db, 1.2);
+  EXPECT_EQ(V.Name, "db@z1.20");
+  EXPECT_DOUBLE_EQ(V.MethodZipfTheta, 1.2);
+  EXPECT_DOUBLE_EQ(V.DataZipfTheta, 1.2);
+  std::vector<WorkloadProfile> Sweep = zipfSweepProfiles(*Db, {0.0, 0.6});
+  ASSERT_EQ(Sweep.size(), 2u);
+  EXPECT_EQ(Sweep[0].Name, "db@z0.00");
+  EXPECT_EQ(Sweep[1].Name, "db@z0.60");
+}
+
+TEST(SkewKnob, ThetaChangesGeneratedProgram) {
+  const WorkloadProfile *Db = findProfile("db");
+  GeneratedWorkload Canonical = WorkloadGenerator::generate(*Db);
+  GeneratedWorkload Skewed =
+      WorkloadGenerator::generate(withZipfTheta(*Db, 1.2));
+  // Same method population; only picks, iteration budgets and data routes
+  // move with theta.
+  ASSERT_EQ(Canonical.Prog.numMethods(), Skewed.Prog.numMethods());
+  Interpreter IA(Canonical.Prog), IB(Skewed.Prog);
+  DynInst DA, DB;
+  bool Diverged = false;
+  for (int I = 0; I != 200000 && !Diverged; ++I) {
+    IA.step(DA);
+    IB.step(DB);
+    Diverged = DA.PC != DB.PC || DA.MemAddr != DB.MemAddr;
+  }
+  EXPECT_TRUE(Diverged) << "theta knob must change dynamic behavior";
+}
+
+TEST(SkewKnob, SkewedVariantGeneratesDeterministically) {
+  WorkloadProfile V = withZipfTheta(*findProfile("compress"), 1.2);
+  GeneratedWorkload A = WorkloadGenerator::generate(V);
+  GeneratedWorkload B = WorkloadGenerator::generate(V);
+  ASSERT_EQ(A.Prog.numMethods(), B.Prog.numMethods());
+  Interpreter IA(A.Prog), IB(B.Prog);
+  DynInst DA, DB;
+  for (int I = 0; I != 100000; ++I) {
+    IA.step(DA);
+    IB.step(DB);
+    ASSERT_EQ(DA.PC, DB.PC);
+    ASSERT_EQ(DA.MemAddr, DB.MemAddr);
+  }
+}
+
+TEST(Mix, ProfileConstruction) {
+  WorkloadProfile Mix =
+      makeMixProfile({*findProfile("compress"), *findProfile("db")});
+  EXPECT_EQ(Mix.Name, "mix:compress+db");
+  EXPECT_TRUE(Mix.isMix());
+  ASSERT_EQ(Mix.Tenants.size(), 2u);
+  EXPECT_GE(Mix.OuterIterations, 1u);
+}
+
+TEST(Mix, StandardMixGrid) {
+  const std::vector<WorkloadProfile> &Mixes = standardMixProfiles();
+  ASSERT_EQ(Mixes.size(), 3u);
+  EXPECT_EQ(Mixes[0].Name, "mix:compress+db");
+  EXPECT_EQ(Mixes[1].Name, "mix:db+javac+mpegaudio");
+  EXPECT_EQ(Mixes[2].Name, "mix:db@z1.20+compress");
+  for (const WorkloadProfile &P : Mixes)
+    EXPECT_TRUE(P.isMix());
+}
+
+TEST(Mix, GeneratesTenantTaggedProgram) {
+  WorkloadProfile Mix =
+      makeMixProfile({*findProfile("compress"), *findProfile("db")});
+  GeneratedWorkload W = WorkloadGenerator::generate(Mix);
+  EXPECT_TRUE(W.Prog.isFinalized());
+  // Per tenant: leaves + mids + regions + per-region scanner; plus the one
+  // untagged interleaving main.
+  uint32_t Expected = 1;
+  for (const WorkloadProfile &T : Mix.Tenants)
+    Expected += T.NumLeaves + T.NumMids + 2 * T.NumRegions;
+  ASSERT_EQ(W.Prog.numMethods(), Expected);
+  EXPECT_EQ(W.Prog.maxTenant(), 2u);
+  uint32_t PerTenant[3] = {0, 0, 0};
+  for (uint32_t Id = 0; Id != W.Prog.numMethods(); ++Id) {
+    uint16_t T = W.Prog.method(Id).Tenant;
+    ASSERT_LE(T, 2u);
+    ++PerTenant[T];
+  }
+  EXPECT_EQ(PerTenant[0], 1u) << "only main is untagged";
+  const WorkloadProfile &T1 = Mix.Tenants[0], &T2 = Mix.Tenants[1];
+  EXPECT_EQ(PerTenant[1], T1.NumLeaves + T1.NumMids + 2 * T1.NumRegions);
+  EXPECT_EQ(PerTenant[2], T2.NumLeaves + T2.NumMids + 2 * T2.NumRegions);
+}
+
+TEST(Mix, RunsUnderTheVmDeterministically) {
+  WorkloadProfile Mix =
+      makeMixProfile({*findProfile("compress"), *findProfile("db")});
+  GeneratedWorkload A = WorkloadGenerator::generate(Mix);
+  GeneratedWorkload B = WorkloadGenerator::generate(Mix);
+  Interpreter IA(A.Prog), IB(B.Prog);
+  DynInst DA, DB;
+  for (int I = 0; I != 200000; ++I) {
+    IA.step(DA);
+    IB.step(DB);
+    ASSERT_EQ(DA.PC, DB.PC);
+    ASSERT_EQ(DA.MemAddr, DB.MemAddr);
+  }
+  EXPECT_FALSE(IA.isHalted());
+}
+
+TEST(Mix, SingleTenantProfilesCarryNoTags) {
+  GeneratedWorkload W = WorkloadGenerator::generate(*findProfile("db"));
+  EXPECT_EQ(W.Prog.maxTenant(), kNoTenant);
+}

@@ -1,0 +1,238 @@
+//===- tools/dynatrace/dynatrace.cpp - Trace ingest CLI -------------------==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// dynatrace — the command-line front end of the trace ingest pipeline
+// (workloads/TraceFrontend.h). Parses a dynatrace-v1 text trace, compiles
+// it into a Program through the strict finalize + dynalint gate, and
+// optionally simulates it.
+//
+//   dynatrace capture.trace             ingest + print a summary
+//   dynatrace --dump capture.trace      print the canonical form
+//   dynatrace --simulate capture.trace  ingest + run (baseline scheme)
+//   dynatrace --simulate --scheme hotspot capture.trace
+//   dynatrace -                         read the trace from stdin
+//   dynatrace --selftest                round-trip the embedded sample
+//
+// The selftest parses an embedded sample trace, re-emits its canonical
+// form, re-parses that, and verifies the two canonical forms are
+// byte-identical and that both compile dynalint-clean and simulate to the
+// same instruction count — the round-trip smoke the sanitize gate runs.
+//
+// Exit status: 0 on success, 1 on a malformed or rejected trace, 2 on
+// usage errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/System.h"
+#include "workloads/TraceFrontend.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace dynace;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] <file.trace | ->\n"
+               "  --dump             print the canonical form of the trace\n"
+               "  --simulate         run the compiled trace and print\n"
+               "                     instructions/cycles/IPC\n"
+               "  --scheme NAME      simulation scheme: baseline, bbv or\n"
+               "                     hotspot (default baseline)\n"
+               "  --max-instr N      stop simulation after N instructions\n"
+               "  --selftest         run the embedded round-trip check\n",
+               Argv0);
+  return 2;
+}
+
+/// The embedded selftest sample: exercises every grammar production
+/// (footprints, all five block counts, branchy, multi-call, comments).
+const char *const kSampleTrace = R"(# dynatrace selftest sample
+dynatrace 1
+method hot_scan footprint=2048
+  block 600 2 1 2 0
+  block 200 1 0 1 0 branchy
+end
+method fp_kernel footprint=128
+  block 300 1 0 1 4
+end
+method driver footprint=64
+  call hot_scan 6
+  block 50 1 1 1 0
+  call fp_kernel 3
+end
+entry driver
+)";
+
+Expected<std::string> readAll(const char *Path) {
+  std::FILE *F =
+      std::strcmp(Path, "-") == 0 ? stdin : std::fopen(Path, "rb");
+  if (!F)
+    return Status::error(ErrorCode::IoError,
+                         std::string("cannot open '") + Path + "'");
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  bool ReadFailed = std::ferror(F) != 0;
+  if (F != stdin)
+    std::fclose(F);
+  if (ReadFailed)
+    return Status::error(ErrorCode::IoError,
+                         std::string("read error on '") + Path + "'");
+  return Text;
+}
+
+bool parseScheme(const char *Name, Scheme &Out) {
+  if (!std::strcmp(Name, "baseline"))
+    Out = Scheme::Baseline;
+  else if (!std::strcmp(Name, "bbv"))
+    Out = Scheme::Bbv;
+  else if (!std::strcmp(Name, "hotspot"))
+    Out = Scheme::Hotspot;
+  else
+    return false;
+  return true;
+}
+
+uint64_t simulate(const Program &Prog, Scheme SchemeKind, uint64_t MaxInstr,
+                  bool Print) {
+  SimulationOptions Opts;
+  Opts.SchemeKind = SchemeKind;
+  Opts.MaxInstructions = MaxInstr;
+  SimulationResult R = System(Prog, Opts).run();
+  if (Print)
+    std::printf("simulated: %llu instrs, %llu cycles, IPC %.2f, "
+                "%llu hotspots\n",
+                static_cast<unsigned long long>(R.Instructions),
+                static_cast<unsigned long long>(R.Cycles), R.Ipc,
+                static_cast<unsigned long long>(R.Do.NumHotspots));
+  return R.Instructions;
+}
+
+/// Round-trips the embedded sample. \returns 0 on success.
+int selftest() {
+  Expected<TraceSpec> First = parseTraceSpec(kSampleTrace, "selftest");
+  if (!First) {
+    std::fprintf(stderr, "selftest: sample failed to parse: %s\n",
+                 First.status().message().c_str());
+    return 1;
+  }
+  std::string Canon = formatTraceSpec(*First);
+  Expected<TraceSpec> Second = parseTraceSpec(Canon, "selftest-canon");
+  if (!Second) {
+    std::fprintf(stderr, "selftest: canonical form failed to re-parse: %s\n",
+                 Second.status().message().c_str());
+    return 1;
+  }
+  if (formatTraceSpec(*Second) != Canon) {
+    std::fprintf(stderr,
+                 "selftest: canonical form is not a fixed point\n");
+    return 1;
+  }
+  Expected<GeneratedWorkload> A = compileTraceSpec(*First);
+  Expected<GeneratedWorkload> B = compileTraceSpec(*Second);
+  if (!A || !B) {
+    std::fprintf(stderr, "selftest: compile failed: %s\n",
+                 (!A ? A.status() : B.status()).message().c_str());
+    return 1;
+  }
+  uint64_t InstrA = simulate(A->Prog, Scheme::Hotspot, 0, false);
+  uint64_t InstrB = simulate(B->Prog, Scheme::Hotspot, 0, false);
+  if (InstrA != InstrB || InstrA == 0) {
+    std::fprintf(stderr,
+                 "selftest: round-trip simulation diverged "
+                 "(%llu vs %llu instructions)\n",
+                 static_cast<unsigned long long>(InstrA),
+                 static_cast<unsigned long long>(InstrB));
+    return 1;
+  }
+  std::printf("selftest: ok (%zu methods, %llu instructions)\n",
+              First->Methods.size(),
+              static_cast<unsigned long long>(InstrA));
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Dump = false, Simulate = false, SelfTest = false;
+  Scheme SchemeKind = Scheme::Baseline;
+  uint64_t MaxInstr = 0;
+  const char *Path = nullptr;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (!std::strcmp(Arg, "--dump")) {
+      Dump = true;
+    } else if (!std::strcmp(Arg, "--simulate")) {
+      Simulate = true;
+    } else if (!std::strcmp(Arg, "--selftest")) {
+      SelfTest = true;
+    } else if (!std::strcmp(Arg, "--scheme")) {
+      if (I + 1 >= argc || !parseScheme(argv[++I], SchemeKind))
+        return usage(argv[0]);
+    } else if (!std::strcmp(Arg, "--max-instr")) {
+      if (I + 1 >= argc)
+        return usage(argv[0]);
+      char *End = nullptr;
+      MaxInstr = std::strtoull(argv[++I], &End, 10);
+      if (!End || *End != '\0')
+        return usage(argv[0]);
+    } else if (Arg[0] == '-' && std::strcmp(Arg, "-") != 0) {
+      return usage(argv[0]);
+    } else if (Path) {
+      return usage(argv[0]);
+    } else {
+      Path = Arg;
+    }
+  }
+
+  if (SelfTest)
+    return selftest();
+  if (!Path)
+    return usage(argv[0]);
+
+  Expected<std::string> Text = readAll(Path);
+  if (!Text) {
+    std::fprintf(stderr, "dynatrace: %s\n",
+                 Text.status().message().c_str());
+    return 1;
+  }
+
+  const char *Name = std::strcmp(Path, "-") == 0 ? "<stdin>" : Path;
+  Expected<TraceSpec> Spec = parseTraceSpec(*Text, Name);
+  if (!Spec) {
+    std::fprintf(stderr, "dynatrace: %s\n",
+                 Spec.status().message().c_str());
+    return 1;
+  }
+
+  if (Dump) {
+    std::fputs(formatTraceSpec(*Spec).c_str(), stdout);
+    return 0;
+  }
+
+  Expected<GeneratedWorkload> W = compileTraceSpec(*Spec);
+  if (!W) {
+    std::fprintf(stderr, "dynatrace: %s\n", W.status().message().c_str());
+    return 1;
+  }
+
+  std::printf("ingested %s: %zu methods, %llu static instrs, "
+              "~%.0f est dynamic instrs, dynalint clean\n",
+              Name, Spec->Methods.size(),
+              static_cast<unsigned long long>(
+                  W->Prog.staticInstructionCount()),
+              W->EstimatedInstructions);
+  if (Simulate)
+    simulate(W->Prog, SchemeKind, MaxInstr, true);
+  return 0;
+}
