@@ -9,27 +9,42 @@
 //
 // Modes:
 //   microbench_hotloop              full grid at --budget (default 20M)
-//                                   instructions per cell, preceded by a
-//                                   smoke-budget pass so the emitted JSON
-//                                   carries a reference value for --smoke,
-//                                   and by a traced smoke pass recording
-//                                   the DYNACE_TRACE overhead
-//                                   (traced_geomean_mips / trace_overhead_pct
-//                                   in the JSON);
+//                                   instructions per cell. Runs a
+//                                   smoke-budget comparison first —
+//                                   untraced vs DYNACE_TRACE'd reps
+//                                   interleaved, best-of-N per mode — for
+//                                   the smoke reference and the tracing
+//                                   overhead, then the full-budget grid
+//                                   with generic (DYNACE_SPECIALIZE=0) and
+//                                   specialized (auto) reps interleaved,
+//                                   best-of-N per mode per cell;
 //   microbench_hotloop --smoke      tight-budget pass (default 2M, or
 //                                   DYNACE_INSTR_BUDGET) compared against
 //                                   the committed baseline JSON; exits
 //                                   non-zero when geomean MIPS regressed
-//                                   more than 20% (the ctest perf gate).
-//                                   Tracing is forced off so the gate
-//                                   always measures the disabled path.
+//                                   below --min-ratio x baseline (the
+//                                   ctest perf gate). Honors
+//                                   DYNACE_SPECIALIZE so the gate can pin
+//                                   either kernel; tracing is forced off
+//                                   so the gate always measures the
+//                                   disabled path.
 //
 // Flags: --budget N, --reps N, --out PATH, --baseline PATH, --min-ratio R.
 //
-// Each cell is timed --reps times (default 3 full / 1 smoke) and the
-// fastest repetition is reported: simulated work is deterministic, so
-// run-to-run spread is host noise and the minimum time is the best
-// estimate of kernel capability on a shared machine.
+// Measurement discipline (the host is shared and noisy):
+//  * each cell is timed --reps times (default 3) and the fastest
+//    repetition is reported — simulated work is deterministic, so
+//    run-to-run spread is host noise and the minimum time is the best
+//    estimate of kernel capability;
+//  * whenever two modes are compared (traced vs untraced, specialized vs
+//    generic), their repetitions are interleaved A/B within every rep so
+//    slow host windows hit both modes alike — back-to-back passes used to
+//    credit whichever mode ran second with a warmed host (the committed
+//    trace overhead was once *negative* for exactly that reason);
+//  * the per-cell coefficient of variation across reps (sd/mean of the
+//    rep times) is reported next to every number and recorded in the
+//    JSON, so a flaky gate run can be told apart from a real regression
+//    at a glance; --smoke warns when any cell exceeds 5%.
 //
 //===----------------------------------------------------------------------===//
 
@@ -63,31 +78,72 @@ using namespace dynace;
 
 namespace {
 
+constexpr uint64_t kFullBudget = 20'000'000;
+constexpr uint64_t kSmokeBudget = 2'000'000;
+constexpr double kDefaultMinRatio = 0.8; ///< Fail below 80% of baseline.
+constexpr double kCvWarnPct = 5.0;       ///< --smoke noise warning level.
+
+/// One measured mode of one grid cell: best-of-reps time plus the spread
+/// across the reps.
+struct Timing {
+  double Seconds = 0.0; ///< Fastest repetition.
+  double Mips = 0.0;
+  double CvPct = 0.0; ///< sd/mean of the rep times, percent.
+};
+
 struct Cell {
   std::string Benchmark;
   Scheme SchemeKind = Scheme::Baseline;
   uint64_t Instructions = 0;
-  double Seconds = 0.0;
-  double Mips = 0.0;
+  Timing Generic;
+  Timing Specialized; ///< Meaningful only when WithSpecialized was set.
 };
 
-constexpr uint64_t kFullBudget = 20'000'000;
-constexpr uint64_t kSmokeBudget = 2'000'000;
-constexpr double kDefaultMinRatio = 0.8; ///< Fail below 80% of baseline.
+/// Reduces per-rep wall times to best + cv.
+Timing reduceReps(const std::vector<double> &RepSeconds,
+                  uint64_t Instructions) {
+  Timing T;
+  double Sum = 0.0;
+  T.Seconds = RepSeconds[0];
+  for (double S : RepSeconds) {
+    Sum += S;
+    if (S < T.Seconds)
+      T.Seconds = S;
+  }
+  double Mean = Sum / static_cast<double>(RepSeconds.size());
+  double Var = 0.0;
+  for (double S : RepSeconds)
+    Var += (S - Mean) * (S - Mean);
+  Var /= static_cast<double>(RepSeconds.size());
+  T.CvPct = Mean > 0.0 ? 100.0 * std::sqrt(Var) / Mean : 0.0;
+  T.Mips = T.Seconds > 0.0
+               ? static_cast<double>(Instructions) / T.Seconds / 1e6
+               : 0.0;
+  return T;
+}
 
-double geomeanMips(const std::vector<Cell> &Cells) {
-  if (Cells.empty())
-    return 0.0;
-  double LogSum = 0.0;
-  for (const Cell &C : Cells)
-    LogSum += std::log(C.Mips > 0.0 ? C.Mips : 1e-9);
-  return std::exp(LogSum / static_cast<double>(Cells.size()));
+/// Runs one cell once and \returns the wall time, storing the retired
+/// instruction count into \p Instructions.
+double timeOnce(const Program &Prog, const SimulationOptions &Opts,
+                uint64_t &Instructions) {
+  System Sys(Prog, Opts);
+  auto Start = std::chrono::steady_clock::now();
+  SimulationResult R = Sys.run();
+  double Seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  Instructions = R.Instructions;
+  return Seconds;
 }
 
 /// Runs the full (benchmark x scheme) grid serially at \p Budget
-/// instructions per cell, timing each cell \p Reps times and keeping the
-/// fastest repetition; returns one Cell per grid entry.
-std::vector<Cell> runGrid(uint64_t Budget, unsigned Reps, bool Verbose) {
+/// instructions per cell. When \p WithSpecialized is set, every rep runs
+/// the generic kernel (DYNACE_SPECIALIZE=0) and the specialized kernel
+/// (auto) back to back — interleaved best-of-N per mode; otherwise only
+/// the generic member is filled, with the specialization mode inherited
+/// from the environment (the --smoke gate contract).
+std::vector<Cell> runGrid(uint64_t Budget, unsigned Reps,
+                          bool WithSpecialized, bool Verbose) {
   constexpr Scheme Schemes[] = {Scheme::Baseline, Scheme::Bbv,
                                 Scheme::Hotspot};
   std::vector<Cell> Cells;
@@ -95,49 +151,138 @@ std::vector<Cell> runGrid(uint64_t Budget, unsigned Reps, bool Verbose) {
     // Generation is excluded from the timed region: the kernel under test
     // is step/consume, not the workload generator.
     GeneratedWorkload W = WorkloadGenerator::generate(P);
+    if (WithSpecialized) {
+      // One untimed auto-mode run per workload: the variant pick is
+      // memoized by program digest, so this absorbs the calibration burst
+      // that would otherwise land inside (only) the first timed
+      // specialized rep of the first scheme and inflate that cell's cv.
+      SimulationOptions Warm;
+      Warm.MaxInstructions = 100'000;
+      Warm.Specialize = "auto";
+      uint64_t Ignored = 0;
+      timeOnce(W.Prog, Warm, Ignored);
+    }
     for (Scheme S : Schemes) {
       SimulationOptions Opts;
       Opts.SchemeKind = S;
       Opts.MaxInstructions = Budget;
-      double Seconds = 0.0;
-      uint64_t Instructions = 0;
+      std::vector<double> GenSeconds(Reps);
+      std::vector<double> SpecSeconds(Reps);
+      uint64_t GenInstr = 0;
+      uint64_t SpecInstr = 0;
       for (unsigned Rep = 0; Rep != Reps; ++Rep) {
-        System Sys(W.Prog, Opts);
-        auto Start = std::chrono::steady_clock::now();
-        SimulationResult R = Sys.run();
-        double S0 = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - Start)
-                        .count();
-        if (Rep == 0 || S0 < Seconds) {
-          Seconds = S0;
-          Instructions = R.Instructions;
+        if (WithSpecialized)
+          Opts.Specialize = "0"; // Else: inherit DYNACE_SPECIALIZE.
+        GenSeconds[Rep] = timeOnce(W.Prog, Opts, GenInstr);
+        if (WithSpecialized) {
+          Opts.Specialize = "auto";
+          SpecSeconds[Rep] = timeOnce(W.Prog, Opts, SpecInstr);
         }
       }
       Cell C;
       C.Benchmark = P.Name;
       C.SchemeKind = S;
-      C.Instructions = Instructions;
-      C.Seconds = Seconds;
-      C.Mips = Seconds > 0.0
-                   ? static_cast<double>(Instructions) / Seconds / 1e6
-                   : 0.0;
-      if (Verbose)
-        std::fprintf(stderr, "[dynace] hotloop %s/%s: %.1fM instr, %.3fs, "
-                             "%.2f MIPS\n",
-                     C.Benchmark.c_str(), schemeName(S),
-                     static_cast<double>(C.Instructions) / 1e6, C.Seconds,
-                     C.Mips);
+      C.Instructions = GenInstr;
+      C.Generic = reduceReps(GenSeconds, GenInstr);
+      if (WithSpecialized) {
+        // The specialized kernel must retire exactly the same stream.
+        if (SpecInstr != GenInstr) {
+          std::fprintf(stderr,
+                       "error: specialized run retired %llu instructions "
+                       "vs %llu generic (%s/%s)\n",
+                       static_cast<unsigned long long>(SpecInstr),
+                       static_cast<unsigned long long>(GenInstr),
+                       C.Benchmark.c_str(), schemeName(S));
+          std::exit(1);
+        }
+        C.Specialized = reduceReps(SpecSeconds, SpecInstr);
+      }
+      if (Verbose) {
+        if (WithSpecialized)
+          std::fprintf(stderr,
+                       "[dynace] hotloop %s/%s: %.1fM instr, %.2f MIPS "
+                       "(cv %.1f%%), specialized %.2f MIPS (cv %.1f%%)\n",
+                       C.Benchmark.c_str(), schemeName(S),
+                       static_cast<double>(C.Instructions) / 1e6,
+                       C.Generic.Mips, C.Generic.CvPct, C.Specialized.Mips,
+                       C.Specialized.CvPct);
+        else
+          std::fprintf(stderr,
+                       "[dynace] hotloop %s/%s: %.1fM instr, %.3fs, "
+                       "%.2f MIPS (cv %.1f%%)\n",
+                       C.Benchmark.c_str(), schemeName(S),
+                       static_cast<double>(C.Instructions) / 1e6,
+                       C.Generic.Seconds, C.Generic.Mips, C.Generic.CvPct);
+      }
       Cells.push_back(std::move(C));
     }
   }
   return Cells;
 }
 
+double geomeanMips(const std::vector<Cell> &Cells, bool Specialized) {
+  if (Cells.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (const Cell &C : Cells) {
+    double M = Specialized ? C.Specialized.Mips : C.Generic.Mips;
+    LogSum += std::log(M > 0.0 ? M : 1e-9);
+  }
+  return std::exp(LogSum / static_cast<double>(Cells.size()));
+}
+
+double maxCvPct(const std::vector<Cell> &Cells) {
+  double Max = 0.0;
+  for (const Cell &C : Cells) {
+    Max = C.Generic.CvPct > Max ? C.Generic.CvPct : Max;
+    Max = C.Specialized.CvPct > Max ? C.Specialized.CvPct : Max;
+  }
+  return Max;
+}
+
+/// Smoke-budget traced vs untraced comparison (both generic): reps are
+/// interleaved and each mode keeps its best, so host drift between the
+/// two passes cannot masquerade as (negative) tracing overhead.
+void measureTraceOverhead(uint64_t Budget, unsigned Reps,
+                          const std::string &TracePath,
+                          double &UntracedGeomean, double &TracedGeomean) {
+  constexpr Scheme Schemes[] = {Scheme::Baseline, Scheme::Bbv,
+                                Scheme::Hotspot};
+  double UntracedLogSum = 0.0;
+  double TracedLogSum = 0.0;
+  size_t NumCells = 0;
+  for (const WorkloadProfile &P : specjvm98Profiles()) {
+    GeneratedWorkload W = WorkloadGenerator::generate(P);
+    for (Scheme S : Schemes) {
+      SimulationOptions Opts;
+      Opts.SchemeKind = S;
+      Opts.MaxInstructions = Budget;
+      Opts.Specialize = "0";
+      std::vector<double> Untraced(Reps);
+      std::vector<double> Traced(Reps);
+      uint64_t Instr = 0;
+      for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+        obs::TraceCollector::instance().configure("");
+        Untraced[Rep] = timeOnce(W.Prog, Opts, Instr);
+        obs::TraceCollector::instance().configure(TracePath);
+        Traced[Rep] = timeOnce(W.Prog, Opts, Instr);
+        obs::TraceCollector::instance().configure(""); // Drop events.
+      }
+      UntracedLogSum += std::log(reduceReps(Untraced, Instr).Mips);
+      TracedLogSum += std::log(reduceReps(Traced, Instr).Mips);
+      ++NumCells;
+    }
+  }
+  UntracedGeomean =
+      std::exp(UntracedLogSum / static_cast<double>(NumCells));
+  TracedGeomean = std::exp(TracedLogSum / static_cast<double>(NumCells));
+}
+
 void writeJson(std::ostream &OS, uint64_t Budget, uint64_t SmokeBudget,
                unsigned Reps, const std::vector<Cell> &Cells,
                double SmokeGeomean, double TracedGeomean,
                double TraceOverheadPct) {
-  char Buf[256];
+  char Buf[512];
   OS << "{\n";
   OS << "  \"build_type\": \"" << DYNACE_BUILD_TYPE << "\",\n";
   OS << "  \"build_flags\": \"" << DYNACE_BUILD_FLAGS << "\",\n";
@@ -150,18 +295,26 @@ void writeJson(std::ostream &OS, uint64_t Budget, uint64_t SmokeBudget,
   OS << "  \"traced_geomean_mips\": " << Buf << ",\n";
   std::snprintf(Buf, sizeof(Buf), "%.2f", TraceOverheadPct);
   OS << "  \"trace_overhead_pct\": " << Buf << ",\n";
-  std::snprintf(Buf, sizeof(Buf), "%.4f", geomeanMips(Cells));
+  std::snprintf(Buf, sizeof(Buf), "%.4f",
+                geomeanMips(Cells, /*Specialized=*/false));
   OS << "  \"geomean_mips\": " << Buf << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "%.4f",
+                geomeanMips(Cells, /*Specialized=*/true));
+  OS << "  \"specialized_geomean_mips\": " << Buf << ",\n";
   OS << "  \"cells\": [\n";
   for (size_t I = 0; I != Cells.size(); ++I) {
     const Cell &C = Cells[I];
     std::snprintf(Buf, sizeof(Buf),
                   "    {\"benchmark\": \"%s\", \"scheme\": \"%s\", "
                   "\"instructions\": %llu, \"seconds\": %.4f, "
-                  "\"mips\": %.4f}%s\n",
+                  "\"mips\": %.4f, \"cv\": %.2f, "
+                  "\"specialized_mips\": %.4f, \"specialized_cv\": "
+                  "%.2f}%s\n",
                   C.Benchmark.c_str(), schemeName(C.SchemeKind),
-                  static_cast<unsigned long long>(C.Instructions), C.Seconds,
-                  C.Mips, I + 1 == Cells.size() ? "" : ",");
+                  static_cast<unsigned long long>(C.Instructions),
+                  C.Generic.Seconds, C.Generic.Mips, C.Generic.CvPct,
+                  C.Specialized.Mips, C.Specialized.CvPct,
+                  I + 1 == Cells.size() ? "" : ",");
     OS << Buf;
   }
   OS << "  ]\n}\n";
@@ -196,10 +349,12 @@ bool findJsonString(const std::string &Text, const std::string &Key,
 
 void printHeader(uint64_t Budget, bool Smoke) {
   std::printf("[dynace] microbench_hotloop: build=%s flags=\"%s\" "
-              "budget=%llu mode=%s\n",
+              "budget=%llu mode=%s specialize=%s\n",
               DYNACE_BUILD_TYPE, DYNACE_BUILD_FLAGS,
               static_cast<unsigned long long>(Budget),
-              Smoke ? "smoke" : "full");
+              Smoke ? "smoke" : "full",
+              Smoke ? envString("DYNACE_SPECIALIZE", "auto").c_str()
+                    : "interleaved");
 }
 
 } // namespace
@@ -310,10 +465,22 @@ int main(int argc, char **argv) {
     double Geomean = 0.0;
     double Ratio = 1.0;
     for (int Attempt = 1; Attempt <= kMaxAttempts; ++Attempt) {
-      std::vector<Cell> Cells = runGrid(Budget, Reps, /*Verbose=*/false);
-      Geomean = geomeanMips(Cells);
-      std::printf("[dynace] hotloop smoke: geomean %.2f MIPS over %zu cells\n",
-                  Geomean, Cells.size());
+      std::vector<Cell> Cells =
+          runGrid(Budget, Reps, /*WithSpecialized=*/false,
+                  /*Verbose=*/false);
+      Geomean = geomeanMips(Cells, /*Specialized=*/false);
+      double MaxCv = maxCvPct(Cells);
+      std::printf("[dynace] hotloop smoke: geomean %.2f MIPS over %zu "
+                  "cells (max cv %.1f%%)\n",
+                  Geomean, Cells.size(), MaxCv);
+      // A noisy measurement is worth flagging even when the gate passes:
+      // a later flake investigation starts from this line.
+      for (const Cell &C : Cells)
+        if (C.Generic.CvPct > kCvWarnPct)
+          std::printf("[dynace] hotloop smoke: warning: %s/%s cv %.1f%% "
+                      "exceeds %.1f%% — treat this sample as noisy\n",
+                      C.Benchmark.c_str(), schemeName(C.SchemeKind),
+                      C.Generic.CvPct, kCvWarnPct);
       if (!HaveReference)
         return 0;
       Ratio = Geomean / Reference;
@@ -337,27 +504,27 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  // Full mode: a smoke-budget pass first (its geomean is what --smoke runs
-  // compare against, keeping the gate budget-for-budget fair), then a
-  // traced pass at the same budget to record the tracing overhead, then
-  // the full-budget grid for the recorded trajectory.
-  obs::TraceCollector::instance().configure("");
-  std::vector<Cell> SmokeCells = runGrid(kSmokeBudget, 1, /*Verbose=*/false);
-  double SmokeGeomean = geomeanMips(SmokeCells);
-
+  // Full mode. First the smoke-budget traced/untraced comparison: its
+  // untraced geomean is what --smoke runs compare against (keeping the
+  // gate budget-for-budget fair), its traced geomean records the tracing
+  // overhead.
+  double SmokeGeomean = 0.0;
+  double TracedGeomean = 0.0;
   std::string TracePath = OutPath + ".trace.tmp";
-  obs::TraceCollector::instance().configure(TracePath);
-  std::vector<Cell> TracedCells = runGrid(kSmokeBudget, 1, /*Verbose=*/false);
-  double TracedGeomean = geomeanMips(TracedCells);
-  obs::TraceCollector::instance().configure(""); // Drops buffered events.
+  measureTraceOverhead(kSmokeBudget, Reps, TracePath, SmokeGeomean,
+                       TracedGeomean);
   std::remove(TracePath.c_str());
   double TraceOverheadPct =
-      SmokeGeomean > 0.0 ? 100.0 * (1.0 - TracedGeomean / SmokeGeomean) : 0.0;
+      SmokeGeomean > 0.0 ? 100.0 * (1.0 - TracedGeomean / SmokeGeomean)
+                         : 0.0;
   std::printf("[dynace] hotloop traced: %.2f MIPS vs %.2f untraced "
               "(%.1f%% overhead)\n",
               TracedGeomean, SmokeGeomean, TraceOverheadPct);
 
-  std::vector<Cell> Cells = runGrid(Budget, Reps, /*Verbose=*/true);
+  // Then the full-budget grid, generic vs specialized interleaved.
+  obs::TraceCollector::instance().configure("");
+  std::vector<Cell> Cells =
+      runGrid(Budget, Reps, /*WithSpecialized=*/true, /*Verbose=*/true);
 
   std::ofstream Out(OutPath);
   if (!Out) {
@@ -366,9 +533,15 @@ int main(int argc, char **argv) {
   }
   writeJson(Out, Budget, kSmokeBudget, Reps, Cells, SmokeGeomean,
             TracedGeomean, TraceOverheadPct);
-  std::printf("[dynace] hotloop: geomean %.2f MIPS (smoke %.2f) over %zu "
-              "cells -> %s\n",
-              geomeanMips(Cells), SmokeGeomean, Cells.size(),
+  double Generic = geomeanMips(Cells, /*Specialized=*/false);
+  double Specialized = geomeanMips(Cells, /*Specialized=*/true);
+  std::printf("[dynace] hotloop: geomean %.2f MIPS, specialized %.2f MIPS "
+              "(%.3fx full / %.3fx smoke-generic), smoke %.2f, max cv "
+              "%.1f%%, over %zu cells -> %s\n",
+              Generic, Specialized,
+              Generic > 0.0 ? Specialized / Generic : 0.0,
+              SmokeGeomean > 0.0 ? Specialized / SmokeGeomean : 0.0,
+              SmokeGeomean, maxCvPct(Cells), Cells.size(),
               OutPath.c_str());
   return 0;
 }

@@ -24,7 +24,8 @@ cmake -S "$root" -B "$build" \
 jobs="$(nproc 2>/dev/null || echo 4)"
 cmake --build "$build" -j"$jobs" \
   --target fault_injection_test resultcache_corruption_test \
-           table6_tuning_coverage dynalint dynatrace >/dev/null
+           table6_tuning_coverage dynalint dynatrace \
+           microbench_hotloop >/dev/null
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
@@ -53,9 +54,19 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
   > "$build/example.canon2"
 cmp "$build/example.canon" "$build/example.canon2"
 
+# The specialized kernels under ASan/UBSan: one smoke-budget grid pass
+# with DYNACE_SPECIALIZE=1 drives every fused/branch-specialized handler,
+# the calibration burst and the image cache through the sanitizers. The
+# MIPS gate is moot here (a sanitized build never matches the Release
+# baseline, so the regression check self-skips on the build-type stamp);
+# what this buys is memory-safety coverage of the specializer paths.
+DYNACE_SPECIALIZE=1 "$build/bench/microbench_hotloop" --smoke \
+  --budget 200000 --reps 1 >/dev/null
+
 # Convention lint rides along so the sanitize gate is also a full
 # conformance pass (greps are build-independent; cheap to repeat).
 "$root/scripts/check_lint.sh" "$root"
 
 echo "check_sanitize: OK (fault injection + cache corruption + traced grid" \
-     "+ dynalint + dynatrace round-trip + lint under ASan/UBSan)"
+     "+ dynalint + dynatrace round-trip + specialized smoke + lint under" \
+     "ASan/UBSan)"

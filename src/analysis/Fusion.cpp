@@ -1,0 +1,236 @@
+//===- analysis/Fusion.cpp - Superinstruction fusion analysis -------------===//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Fusion.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace dynace;
+using namespace dynace::analysis;
+
+bool dynace::analysis::isFusibleInterior(Opcode Op) {
+  switch (Op) {
+  case Opcode::IConst:
+  case Opcode::Mov:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::AddI:
+  case Opcode::MulI:
+  case Opcode::AndI:
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv: // IEEE: x/0 is inf/nan, never a trap.
+  case Opcode::Load:
+  case Opcode::Store:
+  case Opcode::LoadIdx:
+  case Opcode::StoreIdx:
+  case Opcode::Alloc: // Bump allocation wraps, never traps.
+    return true;
+  case Opcode::Div: // Traps on zero divisor; a trap must not retire
+  case Opcode::Rem: // the instructions fused behind it.
+  case Opcode::Br:
+  case Opcode::BrI:
+  case Opcode::Jmp:
+  case Opcode::Call:
+  case Opcode::Ret:
+  case Opcode::Halt:
+    return false;
+  }
+  return false;
+}
+
+std::vector<FusionRun> dynace::analysis::fusibleRuns(const Method &M,
+                                                     const Cfg &G) {
+  std::vector<FusionRun> Runs;
+  for (const BasicBlock &B : G.blocks()) {
+    uint32_t I = B.First;
+    while (I <= B.Last) {
+      if (!isFusibleInterior(M.Code[I].Op)) {
+        ++I;
+        continue;
+      }
+      uint32_t First = I;
+      while (I <= B.Last && isFusibleInterior(M.Code[I].Op))
+        ++I;
+      bool EndsInBranch = false;
+      // A Br/BrI terminating the block may ride along as the run's final
+      // instruction: it cannot be entered mid-group (it ends the block)
+      // and fusing the compare-branch is the classic pair.
+      if (I == B.Last && (M.Code[I].Op == Opcode::Br ||
+                          M.Code[I].Op == Opcode::BrI)) {
+        EndsInBranch = true;
+        ++I;
+      }
+      uint32_t Len = I - First;
+      if (Len >= 2)
+        Runs.push_back({First, Len, EndsInBranch});
+    }
+  }
+  std::sort(Runs.begin(), Runs.end(),
+            [](const FusionRun &A, const FusionRun &B) {
+              return A.First < B.First;
+            });
+  return Runs;
+}
+
+std::vector<HotSequence>
+dynace::analysis::hotSequences(const Method &M, const Cfg &G, size_t TopK,
+                               uint64_t LoopWeight) {
+  // Loop headers: targets of a retreating CFG edge (successor block does
+  // not start later than its source) — the static stand-in for "executed
+  // many times".
+  std::vector<bool> IsLoopHeader(G.numBlocks(), false);
+  const auto &Blocks = G.blocks();
+  for (size_t S = 0; S < Blocks.size(); ++S)
+    for (uint32_t T : Blocks[S].Succs)
+      if (Blocks[T].First <= Blocks[S].First)
+        IsLoopHeader[T] = true;
+
+  struct SeqInfo {
+    uint64_t Weight = 0;
+    uint32_t FirstSeen = 0;
+  };
+  std::map<std::vector<Opcode>, SeqInfo> Counts;
+  for (const FusionRun &R : fusibleRuns(M, G)) {
+    uint32_t Block = G.blockContaining(R.First);
+    uint64_t W = IsLoopHeader[Block] ? LoopWeight : 1;
+    for (uint32_t N = 2; N <= 3; ++N) {
+      if (R.Len < N)
+        continue;
+      for (uint32_t I = R.First; I + N <= R.First + R.Len; ++I) {
+        std::vector<Opcode> Key;
+        Key.reserve(N);
+        for (uint32_t K = 0; K < N; ++K)
+          Key.push_back(M.Code[I + K].Op);
+        auto [It, Fresh] = Counts.try_emplace(std::move(Key));
+        It->second.Weight += W;
+        if (Fresh)
+          It->second.FirstSeen = I;
+      }
+    }
+  }
+
+  std::vector<HotSequence> Out;
+  Out.reserve(Counts.size());
+  for (auto &[Ops, Info] : Counts)
+    Out.push_back({Ops, Info.Weight});
+  std::stable_sort(Out.begin(), Out.end(),
+                   [&](const HotSequence &A, const HotSequence &B) {
+                     if (A.Weight != B.Weight)
+                       return A.Weight > B.Weight;
+                     if (A.Ops.size() != B.Ops.size())
+                       return A.Ops.size() < B.Ops.size();
+                     return Counts.at(A.Ops).FirstSeen <
+                            Counts.at(B.Ops).FirstSeen;
+                   });
+  if (Out.size() > TopK)
+    Out.resize(TopK);
+  return Out;
+}
+
+namespace {
+
+void addFusionDiag(std::vector<Diagnostic> &Diags, MethodId Id, uint32_t Instr,
+                   std::string Message) {
+  Diagnostic D;
+  D.Kind = DiagKind::FusionAcrossBoundary;
+  D.Method = Id;
+  D.Instr = Instr;
+  D.Message = std::move(Message);
+  Diags.push_back(std::move(D));
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+dynace::analysis::verifyFusionPlan(const Program &P, MethodId Id,
+                                   const std::vector<FusionGroup> &Groups) {
+  std::vector<Diagnostic> Diags;
+  if (Id >= P.numMethods()) {
+    addFusionDiag(Diags, Id, 0,
+                  "fusion plan names method id " + std::to_string(Id) +
+                      " of a " + std::to_string(P.numMethods()) +
+                      "-method program");
+    return Diags;
+  }
+  const Method &M = P.method(Id);
+  const Cfg G = Cfg::build(M);
+  std::vector<bool> Covered(M.Code.size(), false);
+  for (const FusionGroup &F : Groups) {
+    if (F.Len < 2 || F.Len > 3) {
+      addFusionDiag(Diags, Id, F.First,
+                    "fusion group of length " + std::to_string(F.Len) +
+                        " (only pairs and triples are instantiated)");
+      continue;
+    }
+    if (F.First >= M.Code.size() || F.Len > M.Code.size() - F.First) {
+      addFusionDiag(Diags, Id, F.First,
+                    "fusion group [" + std::to_string(F.First) + ", +" +
+                        std::to_string(F.Len) + ") leaves the method's " +
+                        std::to_string(M.Code.size()) + " instructions");
+      continue;
+    }
+    const uint32_t Last = F.First + F.Len - 1;
+    const uint32_t Block = G.blockContaining(F.First);
+    if (G.blocks()[Block].Last < Last ||
+        G.blockContaining(Last) != Block) {
+      addFusionDiag(Diags, Id, F.First,
+                    "fusion group crosses a basic-block boundary at instr " +
+                        std::to_string(G.blocks()[Block].Last + 1) +
+                        " (a branch may enter mid-group)");
+      continue;
+    }
+    bool Bad = false;
+    for (uint32_t I = F.First; I <= Last && !Bad; ++I) {
+      const Opcode Op = M.Code[I].Op;
+      const bool IsTailBranch =
+          I == Last && (Op == Opcode::Br || Op == Opcode::BrI);
+      if (Op == Opcode::Call || Op == Opcode::Ret || Op == Opcode::Halt) {
+        addFusionDiag(Diags, Id, I,
+                      std::string("fusion group spans the method-boundary "
+                                  "op at instr ") +
+                          std::to_string(I) +
+                          " — the DO hook would fire at a shifted "
+                          "instruction count");
+        Bad = true;
+      } else if (!IsTailBranch && !isFusibleInterior(Op)) {
+        addFusionDiag(Diags, Id, I,
+                      "non-fusible opcode at interior position " +
+                          std::to_string(I));
+        Bad = true;
+      }
+    }
+    if (Bad)
+      continue;
+    for (uint32_t I = F.First; I <= Last; ++I) {
+      if (Covered[I]) {
+        addFusionDiag(Diags, Id, I,
+                      "fusion groups overlap at instr " + std::to_string(I));
+        break;
+      }
+      Covered[I] = true;
+    }
+  }
+  return Diags;
+}
+
+Status dynace::analysis::verifyFusionPlanStatus(
+    const Program &P, MethodId Id, const std::vector<FusionGroup> &Groups) {
+  std::vector<Diagnostic> Diags = verifyFusionPlan(P, Id, Groups);
+  if (Diags.empty())
+    return Status();
+  return Status::error(ErrorCode::InvalidInput,
+                       std::string("dynalint[") + diagKindName(Diags[0].Kind) +
+                           "]: " + Diags[0].render(P));
+}

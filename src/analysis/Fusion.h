@@ -1,0 +1,120 @@
+//===- analysis/Fusion.h - Superinstruction fusion analysis -----*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static analysis backing the VM's superinstruction specializer
+/// (vm/Specializer.h, DESIGN.md §15): which instruction runs may be fused,
+/// which opcode sequences dominate a method statically, and whether a
+/// concrete fusion plan respects the DO hook-boundary rule.
+///
+/// The hook-boundary rule: the dynamic optimization system observes the
+/// program exclusively at method boundaries (Call/Ret/Halt, executed one
+/// at a time through Interpreter::step when a listener is installed). A
+/// fused group that contained one of those — or that straddled a basic
+/// block boundary, where a branch may enter its middle — would retire
+/// several instructions as one dispatch and shift the instruction counts
+/// at which hooks fire. Fusion is therefore restricted to straight-line
+/// runs strictly inside one CFG basic block containing no boundary op and
+/// no trap-prone op, with a conditional branch admitted only as a run's
+/// final instruction (it ends the block anyway).
+///
+/// \c fusibleRuns enumerates the maximal such runs; \c hotSequences ranks
+/// the opcode n-grams inside them by a static loop-depth-weighted count
+/// (the query the specializer's fixed handler family was curated from);
+/// \c verifyFusionPlan checks an externally produced plan against the
+/// rule, reporting DiagKind::FusionAcrossBoundary — the dynalint defect
+/// class registered for this layer. dynalint --all runs every generated
+/// method's own candidate enumeration back through the plan verifier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_ANALYSIS_FUSION_H
+#define DYNACE_ANALYSIS_FUSION_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Verifier.h"
+#include "isa/Program.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynace {
+namespace analysis {
+
+/// One fusion group: \c Len consecutive instructions of a method starting
+/// at instruction index \c First, dispatched as a single superinstruction.
+struct FusionGroup {
+  uint32_t First = 0;
+  uint32_t Len = 0;
+};
+
+/// A maximal fusible straight-line run (see file comment for the rules).
+struct FusionRun {
+  uint32_t First = 0;
+  uint32_t Len = 0;
+  /// True when the run's last instruction is a conditional branch
+  /// (Br/BrI) — admissible only in that final position.
+  bool EndsInCondBranch = false;
+};
+
+/// \returns true when \p Op may appear inside a fused group at a
+/// non-final position: integer/FP ALU ops, moves, constants and
+/// loads/stores. Excludes method-boundary ops (Call/Ret/Halt), control
+/// transfers (Br/BrI/Jmp) and the trapping divides (Div/Rem/FDiv keeps
+/// FDiv — it cannot trap; integer Div/Rem can, and a trap must not retire
+/// the instructions fused behind it).
+bool isFusibleInterior(Opcode Op);
+
+/// Enumerates the maximal fusible runs of \p M given its CFG \p G.
+/// Runs never cross a basic-block boundary and contain only
+/// isFusibleInterior() opcodes, except that a run extending to a block's
+/// final Br/BrI also includes that branch (EndsInCondBranch). Runs of
+/// length 1 are omitted — nothing to fuse.
+/// \returns the runs in instruction order.
+std::vector<FusionRun> fusibleRuns(const Method &M, const Cfg &G);
+
+/// One ranked opcode n-gram from hotSequences().
+struct HotSequence {
+  std::vector<Opcode> Ops;
+  /// Static occurrence count weighted by loop depth: an occurrence in a
+  /// block that is the target of a CFG back-edge counts kLoopWeight times.
+  uint64_t Weight = 0;
+};
+
+/// Static hot-sequence query: counts opcode n-grams (n = 2 and 3) inside
+/// the fusible runs of \p M, weighting occurrences in loop-header blocks
+/// (targets of a back-edge, the static stand-in for execution frequency)
+/// by \p LoopWeight.
+/// \returns up to \p TopK sequences, heaviest first (ties: shorter first,
+/// then instruction order of first occurrence).
+std::vector<HotSequence> hotSequences(const Method &M, const Cfg &G,
+                                      size_t TopK = 16,
+                                      uint64_t LoopWeight = 8);
+
+/// Checks the fusion plan \p Groups for method \p Id of \p P against the
+/// hook-boundary rule. Reports DiagKind::FusionAcrossBoundary for any
+/// group that overlaps another group, leaves the method's code, contains
+/// a Call/Ret/Halt or other non-fusible opcode at an interior position,
+/// has a conditional branch anywhere but last, or spans a basic-block
+/// boundary. Group lengths other than 2 or 3 are also flagged (the VM
+/// only instantiates pair/triple kernels).
+/// \returns all diagnostics, in plan order.
+std::vector<Diagnostic> verifyFusionPlan(const Program &P, MethodId Id,
+                                         const std::vector<FusionGroup> &Groups);
+
+/// Status-returning wrapper over verifyFusionPlan, mirroring
+/// verifyProgramStatus: success on a clean plan, else InvalidInput with
+/// the first diagnostic rendered under a "dynalint[<kind>]: " prefix.
+/// \returns the verification status.
+Status verifyFusionPlanStatus(const Program &P, MethodId Id,
+                              const std::vector<FusionGroup> &Groups);
+
+} // namespace analysis
+} // namespace dynace
+
+#endif // DYNACE_ANALYSIS_FUSION_H

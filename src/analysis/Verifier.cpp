@@ -39,6 +39,8 @@ const char *dynace::analysis::diagKindName(DiagKind Kind) {
     return "unbalanced-stack";
   case DiagKind::BadEntryMethod:
     return "bad-entry-method";
+  case DiagKind::FusionAcrossBoundary:
+    return "fusion-across-boundary";
   }
   return "unknown";
 }

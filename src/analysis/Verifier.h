@@ -76,6 +76,10 @@ enum class DiagKind : uint8_t {
   UnbalancedStack,   ///< Call-graph cycle: call/ret balance along the
                      ///< recursive path is statically unbounded.
   BadEntryMethod,    ///< Program entry id out of range.
+  FusionAcrossBoundary, ///< Fusion candidate spans a method-boundary op
+                        ///< (Call/Ret/Halt) or leaves its basic block, so
+                        ///< fused execution would move a DO hook point
+                        ///< (see analysis/Fusion.h).
 };
 
 /// \returns the stable short name of \p Kind ("bad-branch-target",

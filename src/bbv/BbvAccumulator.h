@@ -37,6 +37,16 @@ public:
       Bucket = Saturation;
   }
 
+  /// addBlock() when \p IsBlockEnd, identity otherwise — branchless, for
+  /// per-instruction feeders where "is this a branch?" is the least
+  /// predictable bit in the stream. The no-op case rewrites the (<= 32
+  /// resident) bucket with its own value, which is observably identical.
+  void addBlockIf(bool IsBlockEnd, uint64_t BranchPC, uint64_t BlockLength) {
+    uint64_t &Bucket = Buckets[(BranchPC >> 2) & Mask];
+    uint64_t New = Bucket + (IsBlockEnd ? BlockLength : 0);
+    Bucket = New > Saturation ? Saturation : New;
+  }
+
   /// \returns the vector normalized to sum 1 (all zeros when empty).
   std::vector<double> normalized() const;
 

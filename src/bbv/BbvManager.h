@@ -129,24 +129,31 @@ public:
   /// routine stays correct for arbitrary N.
   void onInstructionBatch(const DynInst *Buf, size_t N) {
     uint64_t Length = BlockLength;
-    uint64_t InInterval = InstrInInterval;
-    for (size_t I = 0; I != N; ++I) {
-      const DynInst &In = Buf[I];
-      ++Length;
-      if (In.IsCondBranch) {
-        Accum.addBlock(In.PC, Length);
-        Length = 0;
+    size_t I = 0;
+    while (I != N) {
+      // Process up to the next interval boundary with no per-instruction
+      // boundary check; the driver caps batches at
+      // instructionsUntilBoundary(), so the common case is one chunk.
+      const uint64_t Until = Config.IntervalInstructions - InstrInInterval;
+      const size_t Left = N - I;
+      const size_t Chunk =
+          Left < Until ? Left : static_cast<size_t>(Until);
+      for (const size_t End = I + Chunk; I != End; ++I) {
+        const DynInst &In = Buf[I];
+        // Block accounting as selects: whether an instruction ends a
+        // block is the least predictable bit in the stream.
+        ++Length;
+        Accum.addBlockIf(In.IsCondBranch, In.PC, Length);
+        Length = In.IsCondBranch ? 0 : Length;
       }
-      if (++InInterval >= Config.IntervalInstructions) {
+      InstrInInterval += Chunk;
+      if (InstrInInterval >= Config.IntervalInstructions) {
         BlockLength = Length;
-        InstrInInterval = InInterval;
         onIntervalBoundary(); // Resets both counters.
         Length = BlockLength;
-        InInterval = InstrInInterval;
       }
     }
     BlockLength = Length;
-    InstrInInterval = InInterval;
   }
 
   /// Instructions remaining until the next interval boundary fires.

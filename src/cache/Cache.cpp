@@ -38,6 +38,8 @@ CacheAccessResult Cache::accessSlow(uint64_t Addr, bool IsWrite) {
       L.LastUse = UseClock;
       L.Dirty |= IsWrite;
       MruWay = W;
+      LastBlock = Addr >> BlockShift;
+      LastLine = &L;
       Result.Hit = true;
       return Result;
     }
@@ -68,6 +70,8 @@ CacheAccessResult Cache::accessSlow(uint64_t Addr, bool IsWrite) {
   Victim->Tag = Tag;
   Victim->LastUse = UseClock;
   MruWay = static_cast<uint32_t>(Victim - Base);
+  LastBlock = Addr >> BlockShift;
+  LastLine = Victim;
   return Result;
 }
 
@@ -82,6 +86,8 @@ bool Cache::probe(uint64_t Addr) const {
 }
 
 uint64_t Cache::invalidateAll() {
+  LastBlock = kNoBlock;
+  LastLine = nullptr;
   uint64_t DirtyLost = 0;
   for (Line &L : Lines) {
     if (L.Valid && L.Dirty)
@@ -133,6 +139,8 @@ std::vector<Cache::LineImage> Cache::exportLines() const {
 
 void Cache::importLine(uint64_t Addr, bool Dirty,
                        std::vector<uint64_t> *LostDirty) {
+  LastBlock = kNoBlock;
+  LastLine = nullptr;
   uint64_t Set = setIndexOf(Addr);
   uint64_t Tag = tagOf(Addr);
   Line *Base = &Lines[Set * Geom.Assoc];

@@ -75,6 +75,24 @@ public:
   /// way case — the overwhelmingly common one thanks to spatial locality —
   /// is inlined; everything else takes the out-of-line slow path.
   CacheAccessResult access(uint64_t Addr, bool IsWrite) {
+    // Same-block shortcut: spatial runs in the data caches and page runs
+    // in the TLBs revisit one block many times in a row. A repeat visit
+    // needs only the counters and the dirty bit — one shift-and-compare
+    // replaces the set/way indexing chain (three dependent loads). The
+    // LRU stamp is deliberately NOT refreshed: victim choice compares
+    // stamps by order, not value, and between consecutive hits to one
+    // block no other line in this cache is stamped, so keeping the run's
+    // first stamp (and not advancing UseClock) preserves the relative
+    // order of every stamp — hit/miss outcomes and LRU victims are
+    // bit-identical.
+    if ((Addr >> BlockShift) == LastBlock) {
+      Stats.Reads += !IsWrite;
+      Stats.Writes += IsWrite;
+      LastLine->Dirty |= IsWrite;
+      CacheAccessResult Result;
+      Result.Hit = true;
+      return Result;
+    }
     uint64_t Set = setIndexOf(Addr);
     Line &L = Lines[Set * Geom.Assoc + Mru[Set]];
     // Single fused condition and unconditional counter updates: IsWrite is
@@ -84,6 +102,8 @@ public:
       Stats.Writes += IsWrite;
       L.LastUse = ++UseClock;
       L.Dirty |= IsWrite;
+      LastBlock = Addr >> BlockShift;
+      LastLine = &L;
       CacheAccessResult Result;
       Result.Hit = true;
       return Result;
@@ -157,6 +177,13 @@ private:
   /// Most-recently-hit way per set. Pure lookup accelerator for access():
   /// hit/miss outcomes and LRU victims are unaffected.
   std::vector<uint32_t> Mru;
+  /// Same-block shortcut state: when LastBlock != kNoBlock, LastLine points
+  /// at the resident line holding that block. Every path that retags or
+  /// invalidates lines either refreshes the pair (accessSlow) or resets it
+  /// (invalidateAll, importLine), so the pair can never go stale.
+  static constexpr uint64_t kNoBlock = ~0ull;
+  uint64_t LastBlock = kNoBlock;
+  Line *LastLine = nullptr;
   uint64_t UseClock = 0;
   CacheStats Stats;
 };

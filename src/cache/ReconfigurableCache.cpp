@@ -18,6 +18,7 @@ ReconfigurableCache::ReconfigurableCache(std::vector<CacheGeometry> Settings,
   for (size_t I = 0, E = Settings.size(); I != E; ++I)
     Caches.push_back(std::make_unique<Cache>(
         Settings[I], this->Name + "#" + std::to_string(I)));
+  ActiveCache = Caches[Active].get();
 }
 
 ReconfigResult ReconfigurableCache::reconfigure(
@@ -60,6 +61,7 @@ ReconfigResult ReconfigurableCache::reconfigure(
   }
 
   Active = NewSetting;
+  ActiveCache = Caches[Active].get();
   Result.Changed = true;
   ++ReconfigCount;
   ReconfigWritebacks += Result.Writebacks;

@@ -49,14 +49,17 @@ public:
                       unsigned InitialSetting, std::string Name,
                       bool RetainOnDownsize = true);
 
-  /// Performs one access on the active configuration.
+  /// Performs one access on the active configuration. Goes through the
+  /// raw active-cache pointer: this is called for every simulated load,
+  /// store and L2 access, and the double indirection through the
+  /// unique_ptr vector costs two dependent loads per access.
   CacheAccessResult access(uint64_t Addr, bool IsWrite) {
-    return Caches[Active]->access(Addr, IsWrite);
+    return ActiveCache->access(Addr, IsWrite);
   }
 
   /// \returns true if \p Addr hits in the active configuration, without
   /// updating any state.
-  bool probe(uint64_t Addr) const { return Caches[Active]->probe(Addr); }
+  bool probe(uint64_t Addr) const { return ActiveCache->probe(Addr); }
 
   /// Switches to \p NewSetting. Dirty lines of the outgoing configuration
   /// are written back; their addresses are appended to \p WritebackAddrs
@@ -96,6 +99,9 @@ private:
   std::string Name;
   std::vector<std::unique_ptr<Cache>> Caches;
   unsigned Active;
+  /// Caches[Active].get(), refreshed by the constructor and
+  /// reconfigure(); the per-access hot path dereferences only this.
+  Cache *ActiveCache = nullptr;
   bool RetainOnDownsize;
   uint64_t ReconfigCount = 0;
   uint64_t ReconfigWritebacks = 0;

@@ -4,6 +4,7 @@
 
 #include "obs/Profile.h"
 #include "obs/Trace.h"
+#include "vm/Specializer.h"
 
 #include <cassert>
 #include <chrono>
@@ -27,7 +28,7 @@ const char *dynace::schemeName(Scheme S) {
 }
 
 System::System(const Program &Prog, const SimulationOptions &Options)
-    : Options(Options), Energy(Options.Energy) {
+    : Prog(Prog), Options(Options), Energy(Options.Energy) {
   Hier = std::make_unique<MemoryHierarchy>(Options.Hierarchy);
   Cpu = std::make_unique<Core>(Options.Core, *Hier);
   Meter = std::make_unique<PowerMeter>(*Hier, Energy);
@@ -162,10 +163,29 @@ SimulationResult System::run() {
   return R.take();
 }
 
+void System::installSpecialization() {
+  SpecRequest Req = VariantPicker::requestFromEnv(Options.Specialize);
+  SpecDecision D = VariantPicker::decide(Prog, Req);
+  Vm->setSpecialization(D.Image);
+  // Process registry ONLY: which kernel ran (and how much of the program
+  // it fused) is a property of this process's environment and calibration
+  // timing, not of the simulated machine — the per-run snapshot feeds the
+  // result cache and the golden digest and must not see it.
+  MetricsRegistry &PM = MetricsRegistry::process();
+  PM.counter(std::string("vm.specialize.pick.") +
+             specVariantName(D.Variant))
+      .inc();
+  if (D.Image)
+    PM.gauge("vm.specialize.coverage_pct").set(D.CoveragePct);
+  if (D.Calibrated)
+    PM.counter("vm.specialize.calibrations").inc();
+}
+
 Expected<SimulationResult> System::runChecked() {
   DYNACE_PROFILE_SCOPE("simulate");
   DYNACE_TRACE_SCOPE("vm", "run", obs::traceArg("scheme",
                                                 schemeName(Options.SchemeKind)));
+  installSpecialization();
   if (Status S = runLoop(); !S)
     return S;
   return collectResult();

@@ -73,6 +73,15 @@ struct SimulationOptions {
   /// Deliberately NOT part of the result-cache key: it never changes what
   /// a completed run computes, only whether it is allowed to finish.
   uint64_t TimeoutMs = 0;
+  /// Interpreter-kernel specialization override (vm/Specializer.h):
+  /// "0"/"generic", "1", "auto", or an explicit variant name
+  /// ("fused2"/"fused3"/"branchspec"); empty defers to the
+  /// DYNACE_SPECIALIZE environment variable (default "auto"). Like
+  /// TimeoutMs, deliberately NOT part of the result-cache key: the §15
+  /// event-stream-identity invariant guarantees every kernel variant
+  /// computes bit-identical results, so the choice only changes how fast
+  /// a run finishes.
+  std::string Specialize;
 };
 
 /// Everything a run produces.
@@ -153,11 +162,17 @@ public:
 
 private:
   AcePlatform makePlatform();
+  /// Picks and installs the interpreter-kernel variant (Options.Specialize
+  /// / DYNACE_SPECIALIZE) right before the run loop starts; records the
+  /// choice in the PROCESS metrics registry only, so the per-run snapshot
+  /// — and with it the result cache and the golden digest — is unaffected.
+  void installSpecialization();
   /// Drives the VM/core loop to halt, trap, or timeout.
   Status runLoop();
   /// Harvests the result structures after a successful runLoop().
   SimulationResult collectResult();
 
+  const Program &Prog;
   SimulationOptions Options;
   /// Declared before the components so instruments cached by them via
   /// setMetrics() stay valid for the components' whole lifetime.

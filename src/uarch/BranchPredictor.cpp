@@ -8,7 +8,7 @@
 using namespace dynace;
 
 BranchPredictor::BranchPredictor(uint32_t Entries)
-    : Mask(Entries - 1), Bimodal(Entries, 2), Gshare(Entries, 2),
-      Chooser(Entries, 1) {
+    : Mask(Entries - 1), Pc(Entries, PcEntry{/*Bimodal=*/2, /*Chooser=*/1}),
+      Gshare(Entries, 2) {
   assert(std::has_single_bit(Entries) && "entries must be a power of two");
 }

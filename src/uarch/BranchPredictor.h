@@ -28,36 +28,62 @@ public:
   /// Predicts the direction of the branch at \p PC.
   bool predict(uint64_t PC) const {
     uint32_t BI = indexOf(PC);
-    bool B = taken(Bimodal[BI]);
+    bool B = taken(Pc[BI].Bimodal);
     bool G = taken(Gshare[gshareIndexOf(PC)]);
-    return taken(Chooser[BI]) ? G : B;
+    return taken(Pc[BI].Chooser) ? G : B;
   }
 
   /// Updates all component tables with the resolved outcome.
   void update(uint64_t PC, bool Taken) {
     uint32_t BI = indexOf(PC);
     uint32_t GI = gshareIndexOf(PC);
-    bool B = taken(Bimodal[BI]);
+    bool B = taken(Pc[BI].Bimodal);
     bool G = taken(Gshare[GI]);
     // Train the chooser toward the component that was right (when they
-    // disagree).
-    if (B != G)
-      Chooser[BI] = bump(Chooser[BI], G == Taken);
-    Bimodal[BI] = bump(Bimodal[BI], Taken);
+    // disagree). A select, not a branch: whether the components disagree
+    // is data-dependent noise to the host's branch predictor.
+    Pc[BI].Chooser = B != G ? bump(Pc[BI].Chooser, G == Taken) : Pc[BI].Chooser;
+    Pc[BI].Bimodal = bump(Pc[BI].Bimodal, Taken);
     Gshare[GI] = bump(Gshare[GI], Taken);
     History = ((History << 1) | (Taken ? 1u : 0u)) & Mask;
   }
 
   /// Predicts, updates, and \returns true when the prediction was wrong.
   /// Inline: called once per conditional branch from the batched core loop.
+  /// Fuses predict() + update() so each component table is indexed and
+  /// loaded exactly once per branch (the split path reads all three tables
+  /// twice); the resulting predictor state is identical.
   bool predictAndUpdate(uint64_t PC, bool Taken) {
     ++Lookups;
-    bool Predicted = predict(PC);
-    update(PC, Taken);
-    bool Wrong = Predicted != Taken;
-    if (Wrong)
-      ++Mispredicts;
+    bool Wrong = predictAndUpdateUncounted(PC, Taken);
+    Mispredicts += Wrong;
     return Wrong;
+  }
+
+  /// predictAndUpdate() without the lookup/mispredict bookkeeping. The
+  /// batched core loop accumulates both counts in locals and flushes them
+  /// once per batch through addStats(); the member read-modify-writes would
+  /// otherwise execute once per simulated branch.
+  bool predictAndUpdateUncounted(uint64_t PC, bool Taken) {
+    uint32_t BI = indexOf(PC);
+    uint32_t GI = gshareIndexOf(PC);
+    PcEntry E = Pc[BI];
+    uint8_t GC = Gshare[GI];
+    bool B = taken(E.Bimodal);
+    bool G = taken(GC);
+    bool Predicted = taken(E.Chooser) ? G : B;
+    E.Chooser = B != G ? bump(E.Chooser, G == Taken) : E.Chooser;
+    E.Bimodal = bump(E.Bimodal, Taken);
+    Pc[BI] = E;
+    Gshare[GI] = bump(GC, Taken);
+    History = ((History << 1) | (Taken ? 1u : 0u)) & Mask;
+    return Predicted != Taken;
+  }
+
+  /// Adds batch-accumulated statistics (see predictAndUpdateUncounted()).
+  void addStats(uint64_t NewLookups, uint64_t NewMispredicts) {
+    Lookups += NewLookups;
+    Mispredicts += NewMispredicts;
   }
 
   uint64_t lookups() const { return Lookups; }
@@ -77,16 +103,24 @@ private:
   }
   static bool taken(uint8_t Counter) { return Counter >= 2; }
   static uint8_t bump(uint8_t Counter, bool Taken) {
-    if (Taken)
-      return Counter < 3 ? Counter + 1 : 3;
-    return Counter > 0 ? Counter - 1 : 0;
+    // Saturate both directions with arithmetic and one select; Taken is
+    // the least predictable bit in the workload.
+    uint8_t Up = Counter + (Counter < 3);
+    uint8_t Down = Counter - (Counter > 0);
+    return Taken ? Up : Down;
   }
 
+  /// The two PC-indexed counters share one entry so a branch touches one
+  /// cache line here plus one in the gshare table, rather than three.
+  struct PcEntry {
+    uint8_t Bimodal = 0;
+    /// Chooser counter: >= 2 selects gshare.
+    uint8_t Chooser = 0;
+  };
+
   uint32_t Mask;
-  std::vector<uint8_t> Bimodal;
+  std::vector<PcEntry> Pc;
   std::vector<uint8_t> Gshare;
-  /// Chooser counters: >= 2 selects gshare.
-  std::vector<uint8_t> Chooser;
   uint32_t History = 0;
   uint64_t Lookups = 0;
   uint64_t Mispredicts = 0;

@@ -62,6 +62,15 @@ void Core::reset() {
 }
 
 void Core::consumeBatch(const DynInst *Buf, size_t N) {
+  if (Pools[kPoolIntAlu].Count == 4 && Pools[kPoolMem].Count == 2 &&
+      Pools[kPoolFpAlu].Count == 4 && Pools[kPoolFpMult].Count == 2)
+    consumeBatchImpl<true>(Buf, N);
+  else
+    consumeBatchImpl<false>(Buf, N);
+}
+
+template <bool FastFu>
+void Core::consumeBatchImpl(const DynInst *Buf, size_t N) {
   if (N == 0)
     return;
 
@@ -96,21 +105,93 @@ void Core::consumeBatch(const DynInst *Buf, size_t N) {
   FuPool AluPool = Pools[kPoolIntAlu];
   FuPool MemPool = Pools[kPoolMem];
 
+  // FastFu: the pipelined pools live in sorted registers for the batch —
+  // reservation becomes a handful of selects with no loads, no stores and
+  // no victim-index tracking. Only the multiset of free times is
+  // observable, so keeping it sorted (and writing it back sorted) cannot
+  // change any issue cycle. The int-mult pool stays generic: IntDiv is
+  // unpipelined there, so its busy interval is not always 1.
+  uint64_t A0 = 0, A1 = 0, A2 = 0, A3 = 0, M0 = 0, M1 = 0;
+  uint64_t F0 = 0, F1 = 0, F2 = 0, F3 = 0, P0 = 0, P1 = 0;
+  auto Sort4 = [](uint64_t &X0, uint64_t &X1, uint64_t &X2, uint64_t &X3) {
+    auto CSwap = [](uint64_t &X, uint64_t &Y) {
+      uint64_t Lo = X < Y ? X : Y;
+      Y = X < Y ? Y : X;
+      X = Lo;
+    };
+    CSwap(X0, X1);
+    CSwap(X2, X3);
+    CSwap(X0, X2);
+    CSwap(X1, X3);
+    CSwap(X1, X2);
+  };
+  // Reserve a pipelined unit (busy one cycle) from a sorted quad: issue on
+  // the earliest-free unit, then one insertion-merge pass restores
+  // sortedness.
+  auto ReserveSorted4 = [](uint64_t &X0, uint64_t &X1, uint64_t &X2,
+                           uint64_t &X3, uint64_t Ready) {
+    const uint64_t Issue = Ready > X0 ? Ready : X0;
+    const uint64_t V = Issue + 1;
+    const uint64_t H1 = X1 > V ? X1 : V;
+    X0 = X1 > V ? V : X1;
+    const uint64_t H2 = X2 > H1 ? X2 : H1;
+    X1 = X2 > H1 ? H1 : X2;
+    X2 = X3 > H2 ? H2 : X3;
+    X3 = X3 > H2 ? X3 : H2;
+    return Issue;
+  };
+  // Same for a sorted pair: re-sort with one compare.
+  auto ReserveSorted2 = [](uint64_t &X0, uint64_t &X1, uint64_t Ready) {
+    const uint64_t Issue = Ready > X0 ? Ready : X0;
+    const uint64_t V = Issue + 1;
+    X0 = X1 < V ? X1 : V;
+    X1 = X1 < V ? V : X1;
+    return Issue;
+  };
+  if constexpr (FastFu) {
+    A0 = AluPool.Free[0];
+    A1 = AluPool.Free[1];
+    A2 = AluPool.Free[2];
+    A3 = AluPool.Free[3];
+    Sort4(A0, A1, A2, A3);
+    M0 = MemPool.Free[0];
+    M1 = MemPool.Free[1];
+    if (M1 < M0)
+      std::swap(M0, M1);
+    F0 = Pools[kPoolFpAlu].Free[0];
+    F1 = Pools[kPoolFpAlu].Free[1];
+    F2 = Pools[kPoolFpAlu].Free[2];
+    F3 = Pools[kPoolFpAlu].Free[3];
+    Sort4(F0, F1, F2, F3);
+    P0 = Pools[kPoolFpMult].Free[0];
+    P1 = Pools[kPoolFpMult].Free[1];
+    if (P1 < P0)
+      std::swap(P0, P1);
+  }
+
+  // Predictor statistics are accumulated here and flushed once per batch.
+  uint64_t CondSeen = 0;
+  uint64_t CondWrong = 0;
+
   for (size_t I = 0; I != N; ++I) {
     const DynInst &In = Buf[I];
 
     // Front end: redirects (mispredict recovery / injected stalls) move
     // the fetch point forward and start a fresh fetch group; crossing into
-    // a new I-cache block costs the excess fetch latency.
-    if (Redirect > Fetch) {
+    // a new I-cache block costs the excess fetch latency. A pending
+    // redirect is rare — it fires on the first instruction after each
+    // mispredicted branch — so it is a predicted-not-taken branch rather
+    // than three selects feeding the loop-carried fetch chain. The width
+    // wrap fires every FetchWidth-th instruction out of phase with
+    // everything else, so it stays branchless.
+    if (Redirect > Fetch) [[unlikely]] {
       Fetch = Redirect;
       FetchedNow = 0;
       BlockAddr = ~0ull;
     }
-    if (FetchedNow >= FetchWidth) {
-      ++Fetch;
-      FetchedNow = 0;
-    }
+    const bool WidthWrap = FetchedNow >= FetchWidth;
+    Fetch += WidthWrap;
+    FetchedNow = WidthWrap ? 0 : FetchedNow;
     uint64_t Block = In.PC & ~63ull;
     if (Block != BlockAddr) {
       uint32_t FetchLat = Hierarchy.instrFetch(In.PC);
@@ -125,71 +206,86 @@ void Core::consumeBatch(const DynInst *Buf, size_t N) {
     uint64_t Ready = Fetch + FrontDepth;
 
     // RUU occupancy: cannot dispatch before the instruction
-    // EffectiveWindow older has committed.
+    // EffectiveWindow older has committed. Whether each structural or data
+    // hazard below binds is per-instruction noise, so every clamp is a
+    // select rather than a branch.
     uint32_t WIdx = WPos + WOcc;
-    if (WIdx >= WSize)
-      WIdx -= WSize;
-    if (Window[WIdx] > Ready)
-      Ready = Window[WIdx];
+    WIdx = WIdx >= WSize ? WIdx - WSize : WIdx;
+    const uint64_t WReady = Window[WIdx];
+    Ready = WReady > Ready ? WReady : Ready;
 
     const ClassTiming T = Timing[static_cast<size_t>(In.Class)];
     const bool IsMemOp =
         In.Class == OpClass::Load || In.Class == OpClass::Store;
-    if (IsMemOp && Lsq[LPos] > Ready)
-      Ready = Lsq[LPos];
+    const uint64_t LReady = Lsq[LPos];
+    Ready = (IsMemOp && LReady > Ready) ? LReady : Ready;
 
     // Source-operand dependences. Reg is indexable by the full uint8_t id
     // space; slot kNoReg holds 0, so no branch is needed.
-    if (Reg[In.Src1] > Ready)
-      Ready = Reg[In.Src1];
-    if (Reg[In.Src2] > Ready)
-      Ready = Reg[In.Src2];
+    const uint64_t S1 = Reg[In.Src1];
+    const uint64_t S2 = Reg[In.Src2];
+    Ready = S1 > Ready ? S1 : Ready;
+    Ready = S2 > Ready ? S2 : Ready;
 
     uint64_t Issue;
     uint64_t Complete;
     if (IsMemOp) {
       MemAccessInfo Mem =
           Hierarchy.dataAccess(In.MemAddr, In.Class == OpClass::Store);
-      Issue = reserveIn(MemPool, Ready, 1);
+      if constexpr (FastFu)
+        Issue = ReserveSorted2(M0, M1, Ready);
+      else
+        Issue = reserveIn(MemPool, Ready, 1);
       // Stores retire through the store buffer; their miss latency is
       // hidden. Loads expose the full access latency to dependents.
       Complete = Issue + (In.Class == OpClass::Load ? Mem.Latency : 1);
+    } else if (FastFu && T.Pool == kPoolIntAlu) {
+      Issue = ReserveSorted4(A0, A1, A2, A3, Ready);
+      Complete = Issue + T.Latency;
+    } else if (FastFu && T.Pool == kPoolFpAlu) {
+      Issue = ReserveSorted4(F0, F1, F2, F3, Ready);
+      Complete = Issue + T.Latency;
+    } else if (FastFu && T.Pool == kPoolFpMult) {
+      Issue = ReserveSorted2(P0, P1, Ready);
+      Complete = Issue + T.Latency;
     } else {
       FuPool &P = T.Pool == kPoolIntAlu ? AluPool : Pools[T.Pool];
       Issue = reserveIn(P, Ready, T.Unpipelined ? T.Latency : 1);
       Complete = Issue + T.Latency;
     }
 
-    if (In.Dst != kNoReg)
-      Reg[In.Dst] = Complete;
+    // Unconditional store, then re-zero the kNoReg slot: cheaper than a
+    // data-dependent "has destination?" branch. Slot kNoReg is read as a
+    // source only to contribute 0 to the ready-time max, so clobbering and
+    // restoring it within the same iteration is invisible.
+    Reg[In.Dst] = Complete;
+    Reg[kNoReg] = 0;
 
-    // Control flow.
+    // Control flow. Inside the conditional-branch case everything hinges
+    // on Taken and the predictor outcome — the two most data-dependent
+    // bits in the stream — so those updates are selects, not branches.
     if (In.IsCondBranch) {
-      bool Mispredicted = Predictor.predictAndUpdate(In.PC, In.Taken);
-      if (Mispredicted) {
-        uint64_t Resume = Complete + MispredictPenalty;
-        if (Resume > Redirect)
-          Redirect = Resume;
-      }
-      if (In.Taken)
-        FetchedNow = FetchWidth; // Fetch group ends at the taken branch.
+      ++CondSeen;
+      bool Mispredicted = Predictor.predictAndUpdateUncounted(In.PC, In.Taken);
+      CondWrong += Mispredicted;
+      uint64_t Resume = Complete + MispredictPenalty;
+      Redirect = (Mispredicted && Resume > Redirect) ? Resume : Redirect;
+      // Fetch group ends at a taken branch.
+      FetchedNow = In.Taken ? FetchWidth : FetchedNow;
     } else if (In.Class == OpClass::Jump) {
       // Unconditional transfers end the fetch group (target assumed
       // BTB-hit).
       FetchedNow = FetchWidth;
     }
 
-    // In-order commit, CommitWidth per cycle.
+    // In-order commit, CommitWidth per cycle — branchless: which of the
+    // three cases fires depends on the critical path of this particular
+    // instruction, the least predictable quantity in the model.
     uint64_t CommitReady = Complete + 1;
-    if (CommitReady > CommitCycle) {
-      CommitCycle = CommitReady;
-      CommitCount = 1;
-    } else if (CommitCount >= CommitWidth) {
-      ++CommitCycle;
-      CommitCount = 1;
-    } else {
-      ++CommitCount;
-    }
+    const bool Later = CommitReady > CommitCycle;
+    const bool Full = CommitCount >= CommitWidth;
+    CommitCycle = Later ? CommitReady : CommitCycle + (!Later & Full);
+    CommitCount = (Later | Full) ? 1 : CommitCount + 1;
 
     Window[WPos] = CommitCycle;
     if (++WPos == WSize)
@@ -201,8 +297,23 @@ void Core::consumeBatch(const DynInst *Buf, size_t N) {
     }
   }
 
+  if constexpr (FastFu) {
+    AluPool.Free[0] = A0;
+    AluPool.Free[1] = A1;
+    AluPool.Free[2] = A2;
+    AluPool.Free[3] = A3;
+    MemPool.Free[0] = M0;
+    MemPool.Free[1] = M1;
+    Pools[kPoolFpAlu].Free[0] = F0;
+    Pools[kPoolFpAlu].Free[1] = F1;
+    Pools[kPoolFpAlu].Free[2] = F2;
+    Pools[kPoolFpAlu].Free[3] = F3;
+    Pools[kPoolFpMult].Free[0] = P0;
+    Pools[kPoolFpMult].Free[1] = P1;
+  }
   Pools[kPoolIntAlu] = AluPool;
   Pools[kPoolMem] = MemPool;
+  Predictor.addStats(CondSeen, CondWrong);
   InstrCount += N;
   InstrByWindowSetting[ActiveWindowSetting] += N;
   LastCommitCycle = CommitCycle;

@@ -93,6 +93,17 @@ public:
   /// outstanding (the simulation driver only reconfigures between batches).
   void consumeBatch(const DynInst *Buf, size_t N);
 
+private:
+  /// consumeBatch() body. FastFu selects the register-resident sorted
+  /// reservation path for the stock functional-unit configuration (4 int
+  /// ALUs, 2 memory ports, 4 FP ALUs, 2 FP multipliers); any other
+  /// configuration takes the generic array-scan path. Both produce
+  /// identical issue cycles — the pool is a multiset of free times either
+  /// way.
+  template <bool FastFu> void consumeBatchImpl(const DynInst *Buf, size_t N);
+
+public:
+
   /// Injects a full pipeline stall of \p Cycles (used for reconfiguration
   /// overhead and DO-system service pauses).
   void stall(uint64_t Cycles);
@@ -152,11 +163,13 @@ private:
     uint64_t *Free = P.Free.data();
     uint32_t BestIdx = 0;
     uint64_t Best = Free[0];
-    for (uint32_t I = 1; I != P.Count; ++I)
-      if (Free[I] < Best) {
-        Best = Free[I];
-        BestIdx = I;
-      }
+    // Selects, not branches: which unit frees first is load noise to the
+    // host predictor, and this runs once per consumed instruction.
+    for (uint32_t I = 1; I != P.Count; ++I) {
+      const bool Less = Free[I] < Best;
+      Best = Less ? Free[I] : Best;
+      BestIdx = Less ? I : BestIdx;
+    }
     uint64_t Issue = Ready > Best ? Ready : Best;
     Free[BestIdx] = Issue + Busy;
     return Issue;

@@ -31,16 +31,18 @@ namespace dynace {
 ///    fields keep whatever the buffer previously held.
 /// Consumers on the hot path (Core, BbvManager) must therefore not read
 /// Target, nor MemAddr/Taken outside their validity classes.
-/// Kept to 32 bytes (two per cache line in the batch buffer) with the
-/// hot fields packed first.
+/// Kept to 24 bytes — the 1024-entry batch buffer is resident in the host
+/// L1 on every step/consume round trip, so every byte here is paid twice
+/// per simulated instruction.
 struct DynInst {
-  /// Byte address of the instruction (instruction-cache address).
-  uint64_t PC = 0;
   /// Effective byte address for loads/stores; 0 otherwise.
   uint64_t MemAddr = 0;
-  /// Byte address of the branch/jump target when control transferred.
+  /// Byte address of the instruction (instruction-cache address).
   /// uint32_t: code addresses start at kCodeBase (2^30) and programs are
   /// far smaller than the remaining 3 GiB of that space.
+  uint32_t PC = 0;
+  /// Byte address of the branch/jump target when control transferred
+  /// (uint32_t for the same reason as PC).
   uint32_t Target = 0;
   /// Timing class.
   OpClass Class = OpClass::IntAlu;
@@ -55,7 +57,8 @@ struct DynInst {
   bool Taken = false;
 };
 
-static_assert(sizeof(DynInst) <= 32, "DynInst grew past two per cache line");
+static_assert(sizeof(DynInst) <= 24, "DynInst grew; the batch buffer pays "
+                                     "for every byte twice per instruction");
 
 } // namespace dynace
 

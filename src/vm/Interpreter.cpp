@@ -73,6 +73,13 @@ void Interpreter::writeWord(uint64_t ByteAddr, uint64_t Value) {
   Memory[wordIndex(ByteAddr)] = Value;
 }
 
+std::vector<uint64_t> Interpreter::topFrameRegs() const {
+  if (Frames.empty())
+    return {};
+  const Frame &F = Frames.back();
+  return std::vector<uint64_t>(F.Regs, F.Regs + kNumRegs);
+}
+
 bool Interpreter::evalCond(CondKind Cond, int64_t A, int64_t B) const {
   switch (Cond) {
   case CondKind::Eq:
@@ -134,7 +141,7 @@ Interpreter::Status Interpreter::step(DynInst &Out) {
   uint64_t *R = F.Regs;
 
   Out = DynInst();
-  Out.PC = M.pcOf(F.PC);
+  Out.PC = static_cast<uint32_t>(M.pcOf(F.PC));
   Out.Class = opClassOf(In.Op);
   Out.Dst = In.Dst;
   Out.Src1 = In.Src1;
@@ -320,6 +327,8 @@ Interpreter::Status Interpreter::step(DynInst &Out) {
 size_t Interpreter::stepBatch(DynInst *Buf, size_t N) {
   if (Halted || trapped())
     return 0;
+  if (Spec)
+    return stepBatchSpec(Buf, N);
 
   // Hot state hoisted out of the dispatch loop. The frame/method pointers
   // are refreshed after any operation that changes the top frame (Call/Ret
@@ -404,7 +413,7 @@ size_t Interpreter::stepBatch(DynInst *Buf, size_t N) {
     if ((BoundaryMask >> static_cast<unsigned>(In->Op)) & 1)                 \
       goto BatchDone;                                                        \
     Out = &Buf[Filled++];                                                    \
-    Out->PC = CodeBase + uint64_t(PC) * kInstrBytes;                         \
+    Out->PC = static_cast<uint32_t>(CodeBase + uint64_t(PC) * kInstrBytes); \
     Out->Class = opClassOf(In->Op);                                          \
     Out->Dst = In->Dst;                                                      \
     Out->Src1 = In->Src1;                                                    \

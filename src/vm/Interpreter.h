@@ -35,6 +35,8 @@
 
 namespace dynace {
 
+struct SpecProgram;
+
 /// Observer of VM-level events. The dynamic optimization system implements
 /// this to detect hotspots and drive tuning at hotspot boundaries.
 class VmListener {
@@ -101,6 +103,18 @@ public:
   /// Installs the method-boundary listener (may be null).
   void setListener(VmListener *L) { Listener = L; }
 
+  /// Installs a specialized kernel image (vm/Specializer.h; null reverts
+  /// to the generic kernel). \p S must have been built from this
+  /// interpreter's program and must outlive the interpreter. stepBatch
+  /// then dispatches over the pre-decoded image; the emitted DynInst
+  /// stream and all architectural state remain exactly those of the
+  /// generic kernel (the §15 event-stream-identity invariant). Survives
+  /// reset().
+  void setSpecialization(const SpecProgram *S) { Spec = S; }
+
+  /// \returns the installed specialization image (null = generic).
+  const SpecProgram *specialization() const { return Spec; }
+
   /// Executes one instruction. \p Out receives the dynamic instruction
   /// event. \returns Halted once the program executed Halt or returned from
   /// the entry method (further calls keep returning Halted), or Trapped
@@ -155,6 +169,11 @@ public:
   /// Heap capacity in words.
   uint64_t heapWords() const { return Memory.size(); }
 
+  /// Snapshot of the top frame's registers (empty when no frame is
+  /// live) — lets the differential tests compare final register state
+  /// across kernel variants.
+  std::vector<uint64_t> topFrameRegs() const;
+
 private:
   struct Frame {
     MethodId Id;
@@ -175,6 +194,9 @@ private:
   }
 
   bool evalCond(CondKind Cond, int64_t A, int64_t B) const;
+  /// The specialized-image dispatch loop (InterpreterSpec.cpp); stepBatch
+  /// tail-calls it when an image is installed. Identical contract.
+  size_t stepBatchSpec(DynInst *Buf, size_t N);
   /// Records a trap at instruction index \p PC of method \p Id and puts
   /// the machine into the trapped state.
   /// \returns Status::Trapped for tail-returning from step().
@@ -190,6 +212,7 @@ private:
   uint64_t AllocCursorWords; ///< Bump pointer for Alloc, in words.
   std::vector<Frame> Frames;
   VmListener *Listener = nullptr;
+  const SpecProgram *Spec = nullptr;
   uint64_t InstrCount = 0;
   bool Halted = false;
   TrapInfo Trap;

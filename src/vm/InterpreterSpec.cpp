@@ -1,0 +1,538 @@
+//===- vm/InterpreterSpec.cpp - Specialized dispatch kernels --------------===//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The specialized stepBatch kernel (DESIGN.md §15): threaded dispatch
+/// over a Specializer-built image of pre-decoded 32-byte SpecInst entries
+/// instead of raw bytecode. Relative to the generic kernel it removes the
+/// per-instruction PC bounds check (off-end sentinel), the opcode
+/// validity check (validated at build), and the boundary-mask test
+/// (Call/Ret/Halt have their own handler), collapses the seven DynInst
+/// field stores into two 8-byte event-template stores, and — through the
+/// fused pair/triple handlers — amortizes the indirect dispatch branch
+/// over up to three retired instructions.
+///
+/// Every handler preserves the generic batch contract exactly: one
+/// DynInst per retired instruction with identical contract fields,
+/// identical architectural state transitions, identical trap points and
+/// identical batch-boundary behavior (the differential test in vm_test
+/// checks all four across every workload profile). When a fused group
+/// does not fit in the batch's remaining capacity, the head instruction
+/// falls back to its single-op handler — the batch fills to exactly N,
+/// like the generic kernel, and the next batch re-enters at the
+/// interior entry the image keeps for every instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "isa/Opcode.h"
+#include "vm/DynInst.h"
+#include "vm/Interpreter.h"
+#include "vm/Specializer.h"
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+
+using namespace dynace;
+
+namespace {
+
+// The 8-byte event-template store below writes DynInst bytes [16, 24)
+// (Class through the tail padding); these asserts pin the layout it
+// assumes.
+static_assert(sizeof(DynInst) == 24, "event-template store assumes 24B");
+static_assert(offsetof(DynInst, Class) == 16, "Evt store offset");
+static_assert(offsetof(DynInst, Dst) == 17, "Evt byte 1");
+static_assert(offsetof(DynInst, Src1) == 18, "Evt byte 2");
+static_assert(offsetof(DynInst, Src2) == 19, "Evt byte 3");
+static_assert(offsetof(DynInst, IsCondBranch) == 20, "Evt byte 4");
+static_assert(offsetof(DynInst, Taken) == 21, "Evt byte 5");
+
+/// Stores the event template (compilers lower the memcpy to one 8-byte
+/// store).
+inline void putEvt(DynInst *O, uint64_t Evt) {
+  std::memcpy(reinterpret_cast<unsigned char *>(O) + 16, &Evt, 8);
+}
+
+} // namespace
+
+size_t Interpreter::stepBatchSpec(DynInst *Buf, size_t N) {
+  if (N == 0)
+    return 0;
+  assert(Spec && Spec->Methods.size() == Prog.numMethods() &&
+         "image does not match the program");
+
+  Frame *F = nullptr;
+  const SpecInst *MBase = nullptr;
+  const SpecInst *SI = nullptr;
+  uint64_t *R = nullptr;
+  // The retired count is not carried in a register: every retired
+  // instruction emits exactly one DynInst, so it is always
+  // CountBase + (Out - Buf) — one fewer loop-carried value in a kernel
+  // that is starved for registers.
+  const uint64_t CountBase = InstrCount;
+  auto RefreshSpec = [&] {
+    F = &Frames.back();
+    const SpecMethodImage &MI = Spec->Methods[F->Id];
+    MBase = MI.Insts.data();
+    // Image index Code.size() is the off-end sentinel; clamping an (only
+    // defensively possible) larger PC there raises the same trap kind.
+    const uint32_t Sentinel = static_cast<uint32_t>(MI.Insts.size() - 1);
+    SI = MBase + (F->PC < Sentinel ? F->PC : Sentinel);
+    R = F->Regs;
+  };
+  RefreshSpec();
+
+  uint64_t *const Mem = Memory.data();
+  const uint64_t Mask = WordMask;
+  auto WordAt = [Mem, Mask](uint64_t ByteAddr) -> uint64_t & {
+    uint64_t Index =
+        (ByteAddr >= kHeapBase ? ByteAddr - kHeapBase : ByteAddr) >> 3;
+    return Mem[Index & Mask];
+  };
+  auto AsF = [](uint64_t V) { return std::bit_cast<double>(V); };
+  auto FromF = [](double V) { return std::bit_cast<uint64_t>(V); };
+  const uint64_t EvtBrTaken = specEvtBranch(true);
+  const uint64_t EvtBrNot = specEvtBranch(false);
+
+  DynInst *Out = Buf;
+  DynInst *const OutEnd = Buf + N;
+  TrapKind TrapK = TrapKind::None;
+
+  // Handler table in exact SpecHandler order — generated from the same
+  // X-macros as the enum, so the two cannot drift.
+  static const void *const Tbl[] = {
+#define DYNACE_X(Op) &&L_##Op,
+      DYNACE_SPEC_SINGLE(DYNACE_X)
+#undef DYNACE_X
+      &&L_Call,
+      &&L_Ret,
+      &&L_Halt,
+      &&L_TrapInvalid,
+      &&L_TrapOffEnd,
+#define DYNACE_X(C) &&L_Br_##C, &&L_BrI_##C,
+      DYNACE_SPEC_COND(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A, B) &&L_F2_##A##_##B,
+      DYNACE_SPEC_F2(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A) &&L_F2B_##A,
+      DYNACE_SPEC_F2B(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A, B, C) &&L_F3_##A##_##B##_##C,
+      DYNACE_SPEC_F3(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A, B) &&L_F3B_##A##_##B,
+      DYNACE_SPEC_F3B(DYNACE_X)
+#undef DYNACE_X
+  };
+  static_assert(sizeof(Tbl) / sizeof(Tbl[0]) == HS_Count,
+                "dispatch table out of sync with SpecHandler");
+
+// Emits the pre-decoded event for (S) into (O); EvtA carries
+// IsCondBranch = Taken = false for non-branches.
+#define SPEC_EMIT(S, O)                                                      \
+  do {                                                                       \
+    (O)->PC = (S)->PC;                                                       \
+    putEvt((O), (S)->EvtA);                                                  \
+  } while (0)
+
+// One execute+emit step per fusible opcode, usable from both the single
+// and the fused handler bodies. (S): const SpecInst*, (O): DynInst*.
+#define SPEC_STEP_IConst(S, O)                                               \
+  do {                                                                       \
+    R[(S)->Dst] = static_cast<uint64_t>((S)->Imm);                           \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_Mov(S, O)                                                  \
+  do {                                                                       \
+    R[(S)->Dst] = R[(S)->Src1];                                              \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_Add(S, O)                                                  \
+  do {                                                                       \
+    R[(S)->Dst] = R[(S)->Src1] + R[(S)->Src2];                               \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_Sub(S, O)                                                  \
+  do {                                                                       \
+    R[(S)->Dst] = R[(S)->Src1] - R[(S)->Src2];                               \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_Mul(S, O)                                                  \
+  do {                                                                       \
+    R[(S)->Dst] = R[(S)->Src1] * R[(S)->Src2];                               \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_And(S, O)                                                  \
+  do {                                                                       \
+    R[(S)->Dst] = R[(S)->Src1] & R[(S)->Src2];                               \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_Or(S, O)                                                   \
+  do {                                                                       \
+    R[(S)->Dst] = R[(S)->Src1] | R[(S)->Src2];                               \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_Xor(S, O)                                                  \
+  do {                                                                       \
+    R[(S)->Dst] = R[(S)->Src1] ^ R[(S)->Src2];                               \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_Shl(S, O)                                                  \
+  do {                                                                       \
+    R[(S)->Dst] = R[(S)->Src1] << (R[(S)->Src2] & 63);                       \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_Shr(S, O)                                                  \
+  do {                                                                       \
+    R[(S)->Dst] = R[(S)->Src1] >> (R[(S)->Src2] & 63);                       \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_AddI(S, O)                                                 \
+  do {                                                                       \
+    R[(S)->Dst] = R[(S)->Src1] + static_cast<uint64_t>((S)->Imm);            \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_MulI(S, O)                                                 \
+  do {                                                                       \
+    R[(S)->Dst] = R[(S)->Src1] * static_cast<uint64_t>((S)->Imm);            \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_AndI(S, O)                                                 \
+  do {                                                                       \
+    R[(S)->Dst] = R[(S)->Src1] & static_cast<uint64_t>((S)->Imm);            \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_FAdd(S, O)                                                 \
+  do {                                                                       \
+    R[(S)->Dst] = FromF(AsF(R[(S)->Src1]) + AsF(R[(S)->Src2]));              \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_FSub(S, O)                                                 \
+  do {                                                                       \
+    R[(S)->Dst] = FromF(AsF(R[(S)->Src1]) - AsF(R[(S)->Src2]));              \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_FMul(S, O)                                                 \
+  do {                                                                       \
+    R[(S)->Dst] = FromF(AsF(R[(S)->Src1]) * AsF(R[(S)->Src2]));              \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_FDiv(S, O)                                                 \
+  do {                                                                       \
+    R[(S)->Dst] = FromF(AsF(R[(S)->Src1]) / AsF(R[(S)->Src2]));              \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_Load(S, O)                                                 \
+  do {                                                                       \
+    const uint64_t A_ = R[(S)->Src1] + static_cast<uint64_t>((S)->Imm);      \
+    (O)->MemAddr = A_;                                                       \
+    R[(S)->Dst] = WordAt(A_);                                                \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_Store(S, O)                                                \
+  do {                                                                       \
+    const uint64_t A_ = R[(S)->Src1] + static_cast<uint64_t>((S)->Imm);      \
+    (O)->MemAddr = A_;                                                       \
+    WordAt(A_) = R[(S)->Src2];                                               \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_LoadIdx(S, O)                                              \
+  do {                                                                       \
+    const uint64_t A_ =                                                      \
+        R[(S)->Src1] + R[(S)->Src2] * 8 + static_cast<uint64_t>((S)->Imm);   \
+    (O)->MemAddr = A_;                                                       \
+    R[(S)->Dst] = WordAt(A_);                                                \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_StoreIdx(S, O)                                             \
+  do {                                                                       \
+    const uint64_t A_ =                                                      \
+        R[(S)->Src1] + R[(S)->Dst] * 8 + static_cast<uint64_t>((S)->Imm);    \
+    (O)->MemAddr = A_;                                                       \
+    WordAt(A_) = R[(S)->Src2];                                               \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_Alloc(S, O)                                                \
+  do {                                                                       \
+    uint64_t Words_ = R[(S)->Src1];                                          \
+    if (Words_ == 0)                                                         \
+      Words_ = 1;                                                            \
+    if (AllocCursorWords + Words_ > Memory.size())                           \
+      AllocCursorWords = Prog.globalWords(); /* Wrap: arena reuse. */        \
+    R[(S)->Dst] = kHeapBase + AllocCursorWords * 8;                          \
+    AllocCursorWords += Words_;                                              \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+
+// Capacity check + dispatch on the next image entry.
+#define SPEC_DISPATCH()                                                      \
+  do {                                                                       \
+    if (Out == OutEnd)                                                       \
+      goto SpecDone;                                                         \
+    goto *Tbl[SI->Handler];                                                  \
+  } while (0)
+
+// Branch tail shared by every conditional-branch handler: emit the event
+// with the Taken outcome, then continue at the taken target or fall
+// through.
+#define SPEC_BR_TAIL(T)                                                      \
+  Out->PC = SI->PC;                                                          \
+  putEvt(Out, SI->EvtA | ((T) ? EvtBrTaken : EvtBrNot));                        \
+  ++Out;                                                                     \
+  SI = (T) ? MBase + SI->Alt : SI + 1;                                       \
+  SPEC_DISPATCH()
+
+  // Opcode-valid, PC-in-image and capacity >= 1 all hold here (see the
+  // prologue and SPEC_DISPATCH); go straight to the first handler.
+  goto *Tbl[SI->Handler];
+
+// Plain single-op handlers (execute + emit + advance). The fusible subset
+// of DYNACE_SPEC_SINGLE; Div/Rem/branches/Jmp need bespoke bodies below.
+#define DYNACE_SPEC_PLAIN(X)                                                 \
+  X(IConst) X(Mov) X(Add) X(Sub) X(Mul) X(And) X(Or) X(Xor) X(Shl) X(Shr)   \
+  X(AddI) X(MulI) X(AndI) X(FAdd) X(FSub) X(FMul) X(FDiv) X(Load) X(Store)  \
+  X(LoadIdx) X(StoreIdx) X(Alloc)
+
+#define DYNACE_X(Op)                                                         \
+  L_##Op : {                                                                 \
+    SPEC_STEP_##Op(SI, Out);                                                 \
+    ++Out;                                                                   \
+    ++SI;                                                                    \
+    SPEC_DISPATCH();                                                         \
+  }
+  DYNACE_SPEC_PLAIN(DYNACE_X)
+#undef DYNACE_X
+
+L_Div : {
+  const int64_t B = static_cast<int64_t>(R[SI->Src2]);
+  if (B == 0) {
+    TrapK = TrapKind::DivideByZero;
+    goto SpecTrap;
+  }
+  R[SI->Dst] = static_cast<uint64_t>(static_cast<int64_t>(R[SI->Src1]) / B);
+  SPEC_EMIT(SI, Out);
+  ++Out;
+  ++SI;
+  SPEC_DISPATCH();
+}
+L_Rem : {
+  const int64_t B = static_cast<int64_t>(R[SI->Src2]);
+  if (B == 0) {
+    TrapK = TrapKind::DivideByZero;
+    goto SpecTrap;
+  }
+  R[SI->Dst] = static_cast<uint64_t>(static_cast<int64_t>(R[SI->Src1]) % B);
+  SPEC_EMIT(SI, Out);
+  ++Out;
+  ++SI;
+  SPEC_DISPATCH();
+}
+
+// Runtime-condition branches (Generic..Fused3 images).
+L_Br : {
+  const bool T = evalCond(static_cast<CondKind>(SI->Cond),
+                          static_cast<int64_t>(R[SI->Src1]),
+                          static_cast<int64_t>(R[SI->Src2]));
+  SPEC_BR_TAIL(T);
+}
+L_BrI : {
+  const bool T = evalCond(static_cast<CondKind>(SI->Cond),
+                          static_cast<int64_t>(R[SI->Src1]), SI->Imm);
+  SPEC_BR_TAIL(T);
+}
+
+// Condition-baked branches (BranchSpec images): the CondKind switch is
+// resolved at image build.
+#define SPEC_CMP_Eq(A, B) ((A) == (B))
+#define SPEC_CMP_Ne(A, B) ((A) != (B))
+#define SPEC_CMP_Lt(A, B) ((A) < (B))
+#define SPEC_CMP_Le(A, B) ((A) <= (B))
+#define SPEC_CMP_Gt(A, B) ((A) > (B))
+#define SPEC_CMP_Ge(A, B) ((A) >= (B))
+#define DYNACE_X(C)                                                          \
+  L_Br_##C : {                                                               \
+    const bool T = SPEC_CMP_##C(static_cast<int64_t>(R[SI->Src1]),           \
+                                static_cast<int64_t>(R[SI->Src2]));          \
+    SPEC_BR_TAIL(T);                                                         \
+  }                                                                          \
+  L_BrI_##C : {                                                              \
+    const bool T =                                                           \
+        SPEC_CMP_##C(static_cast<int64_t>(R[SI->Src1]), SI->Imm);            \
+    SPEC_BR_TAIL(T);                                                         \
+  }
+  DYNACE_SPEC_COND(DYNACE_X)
+#undef DYNACE_X
+
+L_Jmp : {
+  SPEC_EMIT(SI, Out);
+  ++Out;
+  SI = MBase + SI->Alt;
+  SPEC_DISPATCH();
+}
+
+// Boundary handlers. With a listener the batch stops BEFORE the boundary
+// (the caller drains it, then step()s the instruction so method hooks
+// fire at exact instruction counts); without one the boundary executes
+// inline, mirroring the generic kernel's no-listener Op_Call/Op_Ret/
+// Op_Halt bodies state transition for state transition.
+L_Call : {
+  if (Listener) {
+    F->PC = static_cast<uint32_t>(SI - MBase);
+    InstrCount = CountBase + static_cast<uint64_t>(Out - Buf);
+    return static_cast<size_t>(Out - Buf);
+  }
+  const MethodId Callee = static_cast<MethodId>(SI->Imm);
+  if (Callee >= Prog.numMethods() || Frames.size() >= kMaxCallDepth) {
+    TrapK = Callee >= Prog.numMethods() ? TrapKind::BadCallTarget
+                                        : TrapKind::StackOverflow;
+    goto SpecTrap; // No event: the trapping Call did not retire.
+  }
+  SPEC_EMIT(SI, Out);
+  ++Out;
+  F->PC = static_cast<uint32_t>(SI - MBase) + 1; // Resume after the Call.
+  InstrCount = CountBase + static_cast<uint64_t>(Out - Buf); // pushFrame snapshots the entry count.
+  const unsigned NumArgs = SI->Src2 == kNoReg ? 0 : SI->Src2;
+  uint64_t Args[kNumRegs];
+  for (unsigned I = 0; I != NumArgs; ++I)
+    Args[I] = R[SI->Src1 + I];
+  pushFrame(Callee, SI->Dst);
+  Frame &CalleeFrame = Frames.back();
+  for (unsigned I = 0; I != NumArgs; ++I)
+    CalleeFrame.Regs[I] = Args[I];
+  RefreshSpec();
+  SPEC_DISPATCH();
+}
+L_Ret : {
+  if (Listener) {
+    F->PC = static_cast<uint32_t>(SI - MBase);
+    InstrCount = CountBase + static_cast<uint64_t>(Out - Buf);
+    return static_cast<size_t>(Out - Buf);
+  }
+  SPEC_EMIT(SI, Out);
+  ++Out;
+  const uint64_t Value = SI->Src1 == kNoReg ? 0 : R[SI->Src1];
+  InstrCount = CountBase + static_cast<uint64_t>(Out - Buf);
+  if (!popFrame(Value)) {
+    Halted = true;
+    return static_cast<size_t>(Out - Buf); // The Ret itself still executed.
+  }
+  RefreshSpec();
+  SPEC_DISPATCH();
+}
+L_Halt : {
+  if (Listener) {
+    F->PC = static_cast<uint32_t>(SI - MBase);
+    InstrCount = CountBase + static_cast<uint64_t>(Out - Buf);
+    return static_cast<size_t>(Out - Buf);
+  }
+  SPEC_EMIT(SI, Out);
+  ++Out;
+  InstrCount = CountBase + static_cast<uint64_t>(Out - Buf);
+  while (popFrame(0))
+    ;
+  Halted = true;
+  return static_cast<size_t>(Out - Buf);
+}
+
+L_TrapInvalid:
+  TrapK = TrapKind::InvalidOpcode;
+  goto SpecTrap;
+L_TrapOffEnd:
+  TrapK = TrapKind::PcOutOfRange;
+  goto SpecTrap;
+
+// Fused pairs: one capacity check and one dispatch per two retired
+// instructions. On insufficient capacity the head falls back to its
+// single-op handler — the image keeps an interior entry per instruction,
+// so the next batch resumes mid-group.
+#define DYNACE_X(A, B)                                                       \
+  L_F2_##A##_##B : {                                                         \
+    if (OutEnd - Out < 2)                                                    \
+      goto L_##A;                                                            \
+    SPEC_STEP_##A(SI, Out);                                                  \
+    SPEC_STEP_##B((SI + 1), (Out + 1));                                      \
+    Out += 2;                                                                \
+    SI += 2;                                                                 \
+    SPEC_DISPATCH();                                                         \
+  }
+  DYNACE_SPEC_F2(DYNACE_X)
+#undef DYNACE_X
+
+// Fused (op, BrI) compare-branch pairs.
+#define DYNACE_X(A)                                                          \
+  L_F2B_##A : {                                                              \
+    if (OutEnd - Out < 2)                                                    \
+      goto L_##A;                                                            \
+    SPEC_STEP_##A(SI, Out);                                                  \
+    const SpecInst *S1 = SI + 1;                                             \
+    DynInst *O1 = Out + 1;                                                   \
+    const bool T = evalCond(static_cast<CondKind>(S1->Cond),                 \
+                            static_cast<int64_t>(R[S1->Src1]), S1->Imm);     \
+    O1->PC = S1->PC;                                                         \
+    putEvt(O1, S1->EvtA | (T ? EvtBrTaken : EvtBrNot));                         \
+    Out += 2;                                                                \
+    SI = T ? MBase + S1->Alt : SI + 2;                                       \
+    SPEC_DISPATCH();                                                         \
+  }
+  DYNACE_SPEC_F2B(DYNACE_X)
+#undef DYNACE_X
+
+// Fused triples.
+#define DYNACE_X(A, B, C)                                                    \
+  L_F3_##A##_##B##_##C : {                                                   \
+    if (OutEnd - Out < 3)                                                    \
+      goto L_##A;                                                            \
+    SPEC_STEP_##A(SI, Out);                                                  \
+    SPEC_STEP_##B((SI + 1), (Out + 1));                                      \
+    SPEC_STEP_##C((SI + 2), (Out + 2));                                      \
+    Out += 3;                                                                \
+    SI += 3;                                                                 \
+    SPEC_DISPATCH();                                                         \
+  }
+  DYNACE_SPEC_F3(DYNACE_X)
+#undef DYNACE_X
+
+// Fused (op, op, BrI) triples.
+#define DYNACE_X(A, B)                                                       \
+  L_F3B_##A##_##B : {                                                        \
+    if (OutEnd - Out < 3)                                                    \
+      goto L_##A;                                                            \
+    SPEC_STEP_##A(SI, Out);                                                  \
+    SPEC_STEP_##B((SI + 1), (Out + 1));                                      \
+    const SpecInst *S2 = SI + 2;                                             \
+    DynInst *O2 = Out + 2;                                                   \
+    const bool T = evalCond(static_cast<CondKind>(S2->Cond),                 \
+                            static_cast<int64_t>(R[S2->Src1]), S2->Imm);     \
+    O2->PC = S2->PC;                                                         \
+    putEvt(O2, S2->EvtA | (T ? EvtBrTaken : EvtBrNot));                         \
+    Out += 3;                                                                \
+    SI = T ? MBase + S2->Alt : SI + 3;                                       \
+    SPEC_DISPATCH();                                                         \
+  }
+  DYNACE_SPEC_F3B(DYNACE_X)
+#undef DYNACE_X
+
+SpecTrap : {
+  const uint32_t PcIdx = static_cast<uint32_t>(SI - MBase);
+  F->PC = PcIdx;
+  InstrCount = CountBase + static_cast<uint64_t>(Out - Buf);
+  raiseTrap(TrapK, F->Id, PcIdx);
+  return static_cast<size_t>(Out - Buf);
+}
+
+SpecDone:
+  F->PC = static_cast<uint32_t>(SI - MBase);
+  InstrCount = CountBase + static_cast<uint64_t>(Out - Buf);
+  return static_cast<size_t>(Out - Buf);
+
+#undef SPEC_EMIT
+#undef SPEC_DISPATCH
+#undef SPEC_BR_TAIL
+#undef DYNACE_SPEC_PLAIN
+}

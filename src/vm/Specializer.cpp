@@ -1,0 +1,425 @@
+//===- vm/Specializer.cpp - Specialized simulation kernels ----------------===//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Specializer.h"
+
+#include "analysis/Cfg.h"
+#include "obs/Metrics.h"
+#include "support/Env.h"
+#include "support/ThreadSafety.h"
+#include "vm/Interpreter.h"
+
+#include <chrono>
+#include <map>
+#include <memory>
+
+using namespace dynace;
+
+const char *dynace::specVariantName(SpecVariant V) {
+  switch (V) {
+  case SpecVariant::Generic:
+    return "generic";
+  case SpecVariant::Fused2:
+    return "fused2";
+  case SpecVariant::Fused3:
+    return "fused3";
+  case SpecVariant::BranchSpec:
+    return "branchspec";
+  }
+  return "unknown";
+}
+
+Expected<SpecRequest> dynace::parseSpecializeValue(const std::string &Value) {
+  SpecRequest R;
+  if (Value == "0" || Value == "generic") {
+    R.K = SpecRequest::Kind::Off;
+    return R;
+  }
+  if (Value == "1") {
+    R.K = SpecRequest::Kind::Force;
+    R.Variant = SpecVariant::BranchSpec;
+    return R;
+  }
+  if (Value == "auto") {
+    R.K = SpecRequest::Kind::Auto;
+    return R;
+  }
+  for (SpecVariant V : {SpecVariant::Fused2, SpecVariant::Fused3,
+                        SpecVariant::BranchSpec}) {
+    if (Value == specVariantName(V)) {
+      R.K = SpecRequest::Kind::Force;
+      R.Variant = V;
+      return R;
+    }
+  }
+  return Status::error(ErrorCode::InvalidInput,
+                       "DYNACE_SPECIALIZE: expected 0|1|auto|generic|fused2|"
+                       "fused3|branchspec, got '" +
+                           Value + "'");
+}
+
+namespace {
+
+// The branch-specialized handler ids are laid out Br/BrI interleaved per
+// CondKind by the X-macro; these asserts pin the arithmetic used below.
+static_assert(HS_BrI_Eq == HS_Br_Eq + 1, "cond handler layout");
+static_assert(HS_Br_Ne == HS_Br_Eq + 2, "cond handler layout");
+static_assert(HS_BrI_Ge == HS_Br_Eq + 2 * 5 + 1, "cond handler layout");
+
+/// Single-op handler per opcode, in Opcode order.
+constexpr uint16_t kSingleHandler[kNumOpcodes] = {
+    HS_IConst, HS_Mov,      HS_Add,      HS_Sub,      HS_Mul,
+    HS_Div,    HS_Rem,      HS_And,      HS_Or,       HS_Xor,
+    HS_Shl,    HS_Shr,      HS_AddI,     HS_MulI,     HS_AndI,
+    HS_FAdd,   HS_FSub,     HS_FMul,     HS_FDiv,     HS_Load,
+    HS_Store,  HS_LoadIdx,  HS_StoreIdx, HS_Br,       HS_BrI,
+    HS_Jmp,    HS_Call,     HS_Ret,      HS_Alloc,    HS_Halt,
+};
+static_assert(static_cast<size_t>(Opcode::Halt) == kNumOpcodes - 1,
+              "kSingleHandler must cover every opcode");
+
+struct PairEntry {
+  Opcode A, B;
+  uint16_t H;
+};
+constexpr PairEntry kPairs[] = {
+#define DYNACE_X(A, B) {Opcode::A, Opcode::B, HS_F2_##A##_##B},
+    DYNACE_SPEC_F2(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A) {Opcode::A, Opcode::BrI, HS_F2B_##A},
+    DYNACE_SPEC_F2B(DYNACE_X)
+#undef DYNACE_X
+};
+
+struct TripleEntry {
+  Opcode A, B, C;
+  uint16_t H;
+};
+constexpr TripleEntry kTriples[] = {
+#define DYNACE_X(A, B, C) {Opcode::A, Opcode::B, Opcode::C, HS_F3_##A##_##B##_##C},
+    DYNACE_SPEC_F3(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A, B) {Opcode::A, Opcode::B, Opcode::BrI, HS_F3B_##A##_##B},
+    DYNACE_SPEC_F3B(DYNACE_X)
+#undef DYNACE_X
+};
+
+/// \returns the fused-pair handler for (A, B), or 0 when the family has
+///          none (0 is HS_IConst, never a fused id).
+uint16_t findPair(Opcode A, Opcode B) {
+  for (const PairEntry &E : kPairs)
+    if (E.A == A && E.B == B)
+      return E.H;
+  return 0;
+}
+
+uint16_t findTriple(Opcode A, Opcode B, Opcode C) {
+  for (const TripleEntry &E : kTriples)
+    if (E.A == A && E.B == B && E.C == C)
+      return E.H;
+  return 0;
+}
+
+/// Specialization requires what the strict verifier guarantees; programs
+/// finalized with a lax hook (tests) may violate it. \returns true when
+/// every method is non-empty with valid opcode bytes and in-image branch
+/// targets (target == code size falls through to the off-end sentinel,
+/// like the generic kernel's bounds check).
+bool isSpecializable(const Program &P) {
+  if (P.numMethods() == 0)
+    return false;
+  for (MethodId Id = 0; Id < P.numMethods(); ++Id) {
+    const Method &M = P.method(Id);
+    if (M.Code.empty())
+      return false;
+    for (const Instruction &In : M.Code) {
+      if (static_cast<uint8_t>(In.Op) >= kNumOpcodes)
+        return false;
+      if (In.Op == Opcode::Br || In.Op == Opcode::BrI ||
+          In.Op == Opcode::Jmp) {
+        if (In.Imm < 0 ||
+            In.Imm > static_cast<int64_t>(M.Code.size()))
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Builds the unfused pre-decoded entry for instruction \p I of \p M.
+SpecInst singleEntry(const Method &M, uint32_t I, SpecVariant V) {
+  const Instruction &In = M.Code[I];
+  SpecInst S;
+  S.PC = static_cast<uint32_t>(M.pcOf(I));
+  S.Handler = kSingleHandler[static_cast<uint8_t>(In.Op)];
+  S.Dst = In.Dst;
+  S.Src1 = In.Src1;
+  S.Src2 = In.Src2;
+  S.Cond = static_cast<uint8_t>(In.Cond);
+  switch (In.Op) {
+  case Opcode::Br:
+    S.Alt = static_cast<uint32_t>(In.Imm);
+    if (V == SpecVariant::BranchSpec)
+      S.Handler = static_cast<uint16_t>(HS_Br_Eq + 2 * S.Cond);
+    break;
+  case Opcode::BrI:
+    S.Alt = static_cast<uint32_t>(In.Imm);
+    S.Imm = In.Aux; // Compare immediate; the branch target lives in Alt.
+    if (V == SpecVariant::BranchSpec)
+      S.Handler = static_cast<uint16_t>(HS_Br_Eq + 2 * S.Cond + 1);
+    break;
+  case Opcode::Jmp:
+    S.Alt = static_cast<uint32_t>(In.Imm);
+    break;
+  default:
+    S.Imm = In.Imm;
+    break;
+  }
+  // Event view: identical to the generic batch contract, which copies the
+  // instruction operands except for StoreIdx's index-register swap.
+  uint8_t EvDst = In.Dst, EvSrc2 = In.Src2;
+  if (In.Op == Opcode::StoreIdx) {
+    EvDst = kNoReg;
+    EvSrc2 = In.Dst;
+  }
+  S.EvtA = specEvtA(opClassOf(In.Op), EvDst, In.Src1, EvSrc2);
+  return S;
+}
+
+} // namespace
+
+uint64_t Specializer::programDigest(const Program &P) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    for (int I = 0; I < 8; ++I) {
+      H ^= (V >> (I * 8)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  };
+  Mix(P.numMethods());
+  Mix(P.entry());
+  Mix(P.globalWords());
+  for (MethodId Id = 0; Id < P.numMethods(); ++Id) {
+    const Method &M = P.method(Id);
+    Mix(M.Code.size());
+    Mix(M.CodeBase);
+    for (const Instruction &In : M.Code) {
+      Mix(static_cast<uint64_t>(In.Op) | (static_cast<uint64_t>(In.Cond) << 8) |
+          (static_cast<uint64_t>(In.Dst) << 16) |
+          (static_cast<uint64_t>(In.Src1) << 24) |
+          (static_cast<uint64_t>(In.Src2) << 32));
+      Mix(static_cast<uint64_t>(In.Imm));
+      Mix(static_cast<uint64_t>(In.Aux));
+    }
+  }
+  return H;
+}
+
+SpecProgram Specializer::build(const Program &P, SpecVariant V) {
+  SpecProgram SP;
+  if (V == SpecVariant::Generic || !isSpecializable(P)) {
+    if (V != SpecVariant::Generic)
+      MetricsRegistry::process()
+          .counter("vm.specialize.unsupported_program")
+          .inc();
+    return SP; // Variant stays Generic: "no image".
+  }
+  SP.Variant = V;
+  SP.Methods.resize(P.numMethods());
+  const unsigned MaxLen = V >= SpecVariant::Fused3 ? 3 : 2;
+  for (MethodId Id = 0; Id < P.numMethods(); ++Id) {
+    const Method &M = P.method(Id);
+    SpecMethodImage &Img = SP.Methods[Id];
+    SP.TotalInstructions += M.Code.size();
+    Img.Insts.reserve(M.Code.size() + 1);
+    for (uint32_t I = 0; I < M.Code.size(); ++I)
+      Img.Insts.push_back(singleEntry(M, I, V));
+    // Off-end sentinel: running past the last instruction raises
+    // PcOutOfRange without a per-instruction bounds check.
+    SpecInst Sentinel;
+    Sentinel.PC = static_cast<uint32_t>(M.pcOf(M.Code.size()));
+    Sentinel.Handler = HS_TrapOffEnd;
+    Img.Insts.push_back(Sentinel);
+
+    // Fusion selection: greedy longest-match over the fusible runs, so
+    // groups can never contain a boundary op or leave a basic block.
+    const analysis::Cfg G = analysis::Cfg::build(M);
+    for (const analysis::FusionRun &Run : analysis::fusibleRuns(M, G)) {
+      uint32_t I = Run.First;
+      const uint32_t End = Run.First + Run.Len;
+      while (I + 2 <= End) {
+        uint16_t H = 0;
+        uint32_t Len = 0;
+        if (MaxLen >= 3 && I + 3 <= End) {
+          H = findTriple(M.Code[I].Op, M.Code[I + 1].Op, M.Code[I + 2].Op);
+          if (H)
+            Len = 3;
+        }
+        if (!H) {
+          H = findPair(M.Code[I].Op, M.Code[I + 1].Op);
+          if (H)
+            Len = 2;
+        }
+        if (!H) {
+          ++I;
+          continue;
+        }
+        Img.Insts[I].Handler = H;
+        Img.Plan.push_back({I, Len});
+        SP.FusedInstructions += Len;
+        I += Len;
+      }
+    }
+
+    // Defense in depth: the dynalint fusion check must agree that the
+    // plan respects the hook-boundary rule; a disagreement voids the
+    // method's fusion rather than shipping a hook-moving kernel.
+    if (!Img.Plan.empty() &&
+        !analysis::verifyFusionPlan(P, Id, Img.Plan).empty()) {
+      MetricsRegistry::process()
+          .counter("vm.specialize.plan_rejected")
+          .inc();
+      for (const analysis::FusionGroup &F : Img.Plan) {
+        SP.FusedInstructions -= F.Len;
+        Img.Insts[F.First] = singleEntry(M, F.First, V);
+      }
+      Img.Plan.clear();
+    }
+  }
+  return SP;
+}
+
+//===----------------------------------------------------------------------===//
+// VariantPicker
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Process-wide image + pick memoization, keyed by program digest. Images
+/// are immutable after build and outlive every System, so workers under
+/// DYNACE_JOBS share them safely.
+struct SpecCache {
+  struct Entry {
+    std::unique_ptr<SpecProgram> Images[kNumSpecVariants];
+    bool HasAutoPick = false;
+    SpecVariant AutoPick = SpecVariant::Generic;
+  };
+  Mutex M;
+  std::map<uint64_t, Entry> Entries GUARDED_BY(M);
+};
+
+SpecCache &specCache() {
+  static SpecCache C;
+  return C;
+}
+
+/// Times one calibration burst: kCalibInstructions through stepBatch on a
+/// scratch interpreter (no listener — method boundaries execute inline,
+/// as in the no-listener contract). The instruction stream is fixed by
+/// the program, so every variant measures identical work.
+/// \returns achieved instructions per second.
+double calibrate(const Program &P, const SpecProgram *Image) {
+  Interpreter I(P);
+  I.setSpecialization(Image);
+  std::vector<DynInst> Buf(1024);
+  uint64_t Executed = 0;
+  const auto Start = std::chrono::steady_clock::now();
+  while (Executed < VariantPicker::kCalibInstructions) {
+    size_t N = I.stepBatch(Buf.data(), Buf.size());
+    if (N == 0) {
+      if (I.trapped())
+        break;
+      if (I.isHalted()) {
+        I.reset(); // Loop short programs; the stream stays deterministic.
+        continue;
+      }
+      DynInst D;
+      if (I.step(D) == Interpreter::Status::Running)
+        ++Executed;
+      continue;
+    }
+    Executed += N;
+  }
+  const std::chrono::duration<double> Secs =
+      std::chrono::steady_clock::now() - Start;
+  if (Executed == 0 || Secs.count() <= 0.0)
+    return 0.0;
+  return static_cast<double>(Executed) / Secs.count();
+}
+
+} // namespace
+
+SpecRequest VariantPicker::requestFromEnv(const std::string &Override) {
+  const std::string Value =
+      !Override.empty() ? Override : envString("DYNACE_SPECIALIZE", "auto");
+  Expected<SpecRequest> R = parseSpecializeValue(Value);
+  if (!R)
+    fatalError("invalid DYNACE_SPECIALIZE", R.status());
+  return *R;
+}
+
+SpecDecision VariantPicker::decide(const Program &P, const SpecRequest &Req) {
+  SpecDecision D;
+  if (Req.K == SpecRequest::Kind::Off ||
+      (Req.K == SpecRequest::Kind::Force &&
+       Req.Variant == SpecVariant::Generic))
+    return D;
+
+  const uint64_t Digest = Specializer::programDigest(P);
+  MutexLock Lock(specCache().M);
+  SpecCache::Entry &E = specCache().Entries[Digest];
+  auto ImageFor = [&](SpecVariant V) -> const SpecProgram * {
+    if (V == SpecVariant::Generic)
+      return nullptr;
+    std::unique_ptr<SpecProgram> &Slot = E.Images[static_cast<size_t>(V)];
+    if (!Slot)
+      Slot = std::make_unique<SpecProgram>(Specializer::build(P, V));
+    return Slot->Variant == V ? Slot.get() : nullptr;
+  };
+
+  if (Req.K == SpecRequest::Kind::Force) {
+    D.Image = ImageFor(Req.Variant);
+    D.Variant = D.Image ? Req.Variant : SpecVariant::Generic;
+    D.CoveragePct = D.Image ? D.Image->coveragePct() : 0.0;
+    return D;
+  }
+
+  // Auto: calibrate once per program digest per process. Each variant is
+  // timed in several rounds interleaved with the others and scored by its
+  // best round: a single burst on a loaded host swings by more than the
+  // spread between variants, and interleaving exposes every variant to
+  // the same transient load. Only the pick's wall-clock inputs vary; the
+  // simulated streams are deterministic for every candidate.
+  if (!E.HasAutoPick) {
+    E.HasAutoPick = true;
+    E.AutoPick = SpecVariant::Generic;
+    if (ImageFor(SpecVariant::Fused2)) { // Program is specializable.
+      constexpr SpecVariant Cands[] = {SpecVariant::Fused2,
+                                       SpecVariant::Fused3,
+                                       SpecVariant::BranchSpec};
+      constexpr int kRounds = 3;
+      double GenericBest = 0.0;
+      double CandBest[std::size(Cands)] = {};
+      for (int Round = 0; Round != kRounds; ++Round) {
+        GenericBest = std::max(GenericBest, calibrate(P, nullptr));
+        for (size_t I = 0; I != std::size(Cands); ++I)
+          CandBest[I] = std::max(CandBest[I], calibrate(P, ImageFor(Cands[I])));
+      }
+      double Best = GenericBest;
+      for (size_t I = 0; I != std::size(Cands); ++I) {
+        if (CandBest[I] > Best) {
+          Best = CandBest[I];
+          E.AutoPick = Cands[I];
+        }
+      }
+      D.Calibrated = true;
+    }
+  }
+  D.Image = ImageFor(E.AutoPick);
+  D.Variant = D.Image ? E.AutoPick : SpecVariant::Generic;
+  D.CoveragePct = D.Image ? D.Image->coveragePct() : 0.0;
+  return D;
+}

@@ -1,0 +1,313 @@
+//===- vm/Specializer.h - Specialized simulation kernels --------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-program kernel specialization for the batched interpreter
+/// (DESIGN.md §15). The Specializer is a static pass over a finalized
+/// \c Program: it pre-decodes every instruction into a 32-byte \c SpecInst
+/// (handler id, raw operands, immediate, and the precomputed DynInst event
+/// bytes) and — using the analysis-layer CFG and fusion rules
+/// (analysis/Fusion.h) — assigns superinstruction handlers to the hottest
+/// fusible pair/triple opcode sequences. \c Interpreter::stepBatch
+/// dispatches over the image instead of raw bytecode when an image is
+/// installed; a fused dispatch retires two or three instructions with one
+/// indirect branch while still emitting one DynInst per retired
+/// instruction.
+///
+/// Invariants (enforced by the differential test in vm_test and the
+/// fusion-plan dynalint check):
+///  * **event-stream identity** — the specialized kernels produce exactly
+///    the DynInst stream of the generic kernel (lean batch contract);
+///  * **hook-boundary rule** — no fused group contains or crosses a
+///    Call/Ret/Halt or a basic-block boundary, so DO method hooks fire at
+///    identical instruction counts;
+///  * **variant-pick determinism** — the *results* never depend on the
+///    picked variant, and `DYNACE_SPECIALIZE=1` forces the most
+///    specialized variant without any timing so golden digests are
+///    reproducible bit-for-bit.
+///
+/// \c VariantPicker selects among the variant family at System::run
+/// start: a short calibration burst per (program, variant) on a scratch
+/// interpreter, memoized process-wide by program digest
+/// (`DYNACE_SPECIALIZE=0|1|auto|<variant>`; libVC's compile-and-pick
+/// pattern). The pick and fusion coverage are recorded in the *process*
+/// metrics registry only — per-run metrics are serialized into result
+/// digests, which must not depend on wall-clock calibration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_VM_SPECIALIZER_H
+#define DYNACE_VM_SPECIALIZER_H
+
+#include "analysis/Fusion.h"
+#include "isa/Program.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dynace {
+
+/// Number of defined opcodes (Opcode is dense, Halt last).
+inline constexpr size_t kNumOpcodes = static_cast<size_t>(Opcode::Halt) + 1;
+
+/// The fixed kernel-variant family, least to most specialized. Each
+/// variant adds handler forms on top of the previous one; all share the
+/// pre-decoded image format.
+enum class SpecVariant : uint8_t {
+  Generic,    ///< The PR-2 threaded bytecode kernel (no image).
+  Fused2,     ///< Pre-decoded image + fused pair handlers.
+  Fused3,     ///< Fused2 + fused triple handlers.
+  BranchSpec, ///< Fused3 + condition-baked Br/BrI handlers.
+};
+inline constexpr size_t kNumSpecVariants = 4;
+
+/// \returns the stable lowercase name of \p V ("generic", "fused2",
+///          "fused3", "branchspec") — the DYNACE_SPECIALIZE vocabulary.
+const char *specVariantName(SpecVariant V);
+
+//===----------------------------------------------------------------------===//
+// Fused handler family
+//
+// The X-macro lists below are the single source of truth for the fixed
+// superinstruction family: they generate the SpecHandler enum here and the
+// dispatch table + handler bodies in InterpreterSpec.cpp, so the two can
+// never disagree on ordering. The family was curated from the static
+// hot-sequence query (analysis::hotSequences) over the seven workload
+// profiles: AddI/Add/BrI/LoadIdx/And dominate, with compare-branch and
+// load-op pairs close behind.
+//===----------------------------------------------------------------------===//
+
+/// Single-op handlers, one per opcode that executes inside a batch.
+/// Call/Ret/Halt get the dedicated HS_Call/HS_Ret/HS_Halt boundary
+/// handlers: with a listener attached the batch stops BEFORE them so
+/// method hooks fire at exact instruction counts; without one they
+/// execute inline, mirroring the generic kernel's no-listener bodies.
+#define DYNACE_SPEC_SINGLE(X)                                                  \
+  X(IConst) X(Mov) X(Add) X(Sub) X(Mul) X(Div) X(Rem) X(And) X(Or) X(Xor)     \
+  X(Shl) X(Shr) X(AddI) X(MulI) X(AndI) X(FAdd) X(FSub) X(FMul) X(FDiv)       \
+  X(Load) X(Store) X(LoadIdx) X(StoreIdx) X(Br) X(BrI) X(Jmp) X(Alloc)
+
+/// Condition kinds baked into branch-specialized handlers (BranchSpec).
+#define DYNACE_SPEC_COND(X) X(Eq) X(Ne) X(Lt) X(Le) X(Gt) X(Ge)
+
+/// Fused pairs with a non-branch tail.
+#define DYNACE_SPEC_F2(X)                                                      \
+  X(Add, Add) X(Add, AddI) X(AddI, Add) X(AddI, AddI) X(Add, And)             \
+  X(And, Add) X(Add, AndI) X(Add, Xor) X(Xor, Add) X(Xor, AddI)               \
+  X(AddI, Xor) X(Sub, AddI) X(AddI, Sub) X(MulI, Add) X(Add, MulI)            \
+  X(MulI, AddI) X(Mov, AddI) X(IConst, Add) X(And, LoadIdx)                   \
+  X(AndI, LoadIdx) X(AddI, LoadIdx) X(Add, LoadIdx) X(LoadIdx, Add)           \
+  X(LoadIdx, AddI) X(LoadIdx, And) X(LoadIdx, Xor) X(AddI, StoreIdx)          \
+  X(Add, StoreIdx) X(StoreIdx, AddI) X(StoreIdx, Add) X(Load, AddI)           \
+  X(AddI, Load) X(Store, AddI) X(Shl, Or) X(Shr, And) X(AddI, And)            \
+  X(Xor, FMul) X(FMul, FAdd) X(FAdd, FMul) X(FMul, AddI)                      \
+  X(IConst, IConst)
+
+/// Fused pairs whose tail is a BrI compare-branch.
+#define DYNACE_SPEC_F2B(X)                                                     \
+  X(AddI) X(Add) X(Sub) X(And) X(AndI) X(Xor) X(MulI) X(LoadIdx) X(Load)      \
+  X(Mov)
+
+/// Fused triples with a non-branch tail.
+#define DYNACE_SPEC_F3(X)                                                      \
+  X(AddI, AddI, AddI) X(Add, AddI, AddI) X(LoadIdx, Add, AddI)                \
+  X(And, LoadIdx, Add) X(AddI, LoadIdx, Add) X(Add, Xor, AddI)                \
+  X(LoadIdx, Xor, AddI) X(MulI, Add, AddI) X(Add, And, LoadIdx)               \
+  X(AndI, LoadIdx, Add) X(MulI, Add, And) X(LoadIdx, Add, Xor)                \
+  X(LoadIdx, Add, AndI) X(AddI, And, LoadIdx) X(Xor, AddI, AddI)              \
+  X(AddI, AddI, And) X(Xor, AddI, And) X(Add, Xor, FMul)                      \
+  X(FMul, FAdd, FMul) X(FMul, AddI, And) X(FAdd, FMul, AddI)                  \
+  X(Xor, FMul, FAdd) X(IConst, IConst, IConst)
+
+/// Fused triples whose tail is a BrI compare-branch.
+#define DYNACE_SPEC_F3B(X)                                                     \
+  X(AddI, AddI) X(Add, AddI) X(Sub, AddI) X(AddI, Sub) X(Xor, AddI)           \
+  X(LoadIdx, And) X(LoadIdx, AddI) X(StoreIdx, AddI) X(Add, Sub)              \
+  X(Add, AndI) X(And, AddI) X(AndI, AddI)
+
+/// Handler ids. The dispatch table in InterpreterSpec.cpp is generated
+/// from the same X-macros in the same order; SpecInst::Handler indexes it.
+enum SpecHandler : uint16_t {
+#define DYNACE_X(Op) HS_##Op,
+  DYNACE_SPEC_SINGLE(DYNACE_X)
+#undef DYNACE_X
+  HS_Call,        ///< Call: stop with a listener, else push a frame inline.
+  HS_Ret,         ///< Ret: stop with a listener, else pop a frame inline.
+  HS_Halt,        ///< Halt: stop with a listener, else unwind and halt.
+  HS_TrapInvalid, ///< Invalid opcode byte: raise InvalidOpcode.
+  HS_TrapOffEnd,  ///< Off-end sentinel: raise PcOutOfRange.
+#define DYNACE_X(C) HS_Br_##C, HS_BrI_##C,
+  DYNACE_SPEC_COND(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A, B) HS_F2_##A##_##B,
+  DYNACE_SPEC_F2(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A) HS_F2B_##A,
+  DYNACE_SPEC_F2B(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A, B, C) HS_F3_##A##_##B##_##C,
+  DYNACE_SPEC_F3(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A, B) HS_F3B_##A##_##B,
+  DYNACE_SPEC_F3B(DYNACE_X)
+#undef DYNACE_X
+  HS_Count,
+};
+
+/// One pre-decoded instruction of a specialized image. 32 bytes — the
+/// image streams through L1 at two entries per cache line, like DynInst.
+struct SpecInst {
+  /// Full instruction byte address (kCodeBase + index * kInstrBytes; code
+  /// addresses fit in 32 bits, see DynInst::Target).
+  uint32_t PC = 0;
+  /// Taken-target image index for Br/BrI/Jmp; 0 otherwise.
+  uint32_t Alt = 0;
+  /// Immediate: IConst/AddI/MulI/AndI value, Load/Store displacement,
+  /// BrI compare immediate (the instruction's Aux).
+  int64_t Imm = 0;
+  /// Precomputed DynInst bytes [16, 24): Class, the *event view* of
+  /// Dst/Src1/Src2 (StoreIdx swap baked in), IsCondBranch = Taken = false
+  /// and the tail padding. The kernel stores this as one 8-byte write;
+  /// branch handlers OR in a specEvtBranch() image first.
+  uint64_t EvtA = 0;
+  uint16_t Handler = HS_TrapOffEnd;
+  /// Raw execution operands (StoreIdx keeps Dst = index register here).
+  uint8_t Dst = 0xff;
+  uint8_t Src1 = 0xff;
+  uint8_t Src2 = 0xff;
+  /// CondKind for Br/BrI.
+  uint8_t Cond = 0;
+  uint16_t Pad = 0;
+};
+static_assert(sizeof(SpecInst) == 32, "SpecInst must stay two per line");
+
+/// Packs 8 bytes (lowest address first) into the uint64_t with exactly
+/// that object representation — endianness-agnostic by construction.
+inline uint64_t specPackBytes(const unsigned char (&B)[8]) {
+  uint64_t V;
+  std::memcpy(&V, B, 8);
+  return V;
+}
+
+/// \returns the EvtA image for an event with timing class \p C and event
+///          operands \p Dst / \p Src1 / \p Src2 (not a branch).
+inline uint64_t specEvtA(OpClass C, uint8_t Dst, uint8_t Src1, uint8_t Src2) {
+  const unsigned char B[8] = {static_cast<unsigned char>(C), Dst, Src1, Src2,
+                              0, 0, 0, 0};
+  return specPackBytes(B);
+}
+
+/// \returns the IsCondBranch/Taken image for a conditional branch with
+///          outcome \p Taken, to be ORed into an EvtA image.
+inline uint64_t specEvtBranch(bool Taken) {
+  const unsigned char B[8] = {0, 0, 0, 0,
+                              1, static_cast<unsigned char>(Taken ? 1 : 0),
+                              0, 0};
+  return specPackBytes(B);
+}
+
+/// The specialized image of one method: one SpecInst per instruction plus
+/// an off-end sentinel (index Code.size()) that raises PcOutOfRange, so
+/// the kernel needs no per-instruction PC bounds check.
+struct SpecMethodImage {
+  std::vector<SpecInst> Insts;
+  /// The fusion plan the image encodes (group heads carry fused
+  /// handlers). Verified against analysis::verifyFusionPlan at build.
+  std::vector<analysis::FusionGroup> Plan;
+};
+
+/// A full specialized program image. Immutable after build; shared
+/// read-only across interpreters and worker threads.
+struct SpecProgram {
+  std::vector<SpecMethodImage> Methods;
+  SpecVariant Variant = SpecVariant::Generic;
+  /// Static instructions covered by fused groups / total static
+  /// instructions — the fusion-coverage metric.
+  uint64_t FusedInstructions = 0;
+  uint64_t TotalInstructions = 0;
+
+  /// \returns the fusion coverage in percent (0 when the program is
+  ///          empty).
+  double coveragePct() const {
+    return TotalInstructions
+               ? 100.0 * static_cast<double>(FusedInstructions) /
+                     static_cast<double>(TotalInstructions)
+               : 0.0;
+  }
+};
+
+/// The static specialization pass.
+class Specializer {
+public:
+  /// Builds the \p V image of finalized program \p P. The fusion plan of
+  /// every method is re-verified against the hook-boundary rule
+  /// (analysis::verifyFusionPlan); a violation — impossible unless the
+  /// selector and verifier disagree — falls back to an unfused image for
+  /// that method and bumps the `vm.specialize.plan_rejected` process
+  /// counter.
+  static SpecProgram build(const Program &P, SpecVariant V);
+
+  /// FNV-1a digest over \p P's code bytes, entry and global size — the
+  /// memoization key for images and calibration picks. Two Programs with
+  /// identical content share a digest (and may share images).
+  static uint64_t programDigest(const Program &P);
+};
+
+/// A parsed DYNACE_SPECIALIZE request.
+struct SpecRequest {
+  enum class Kind : uint8_t {
+    Off,   ///< "0" / "generic": always the generic kernel.
+    Auto,  ///< "auto": calibrate per program, pick the fastest.
+    Force, ///< "1" (-> BranchSpec) or an explicit variant name.
+  };
+  Kind K = Kind::Auto;
+  SpecVariant Variant = SpecVariant::Generic;
+};
+
+/// Strict-parses a DYNACE_SPECIALIZE value ("0", "1", "auto", "generic",
+/// "fused2", "fused3", "branchspec").
+/// \returns the request, or InvalidInput for anything else.
+Expected<SpecRequest> parseSpecializeValue(const std::string &Value);
+
+/// What VariantPicker decided for one program.
+struct SpecDecision {
+  /// Image to install (null = generic kernel). Process-lifetime storage.
+  const SpecProgram *Image = nullptr;
+  SpecVariant Variant = SpecVariant::Generic;
+  double CoveragePct = 0.0;
+  /// True when a calibration burst ran for this decision (Auto, first
+  /// sighting of the program digest).
+  bool Calibrated = false;
+};
+
+/// Runtime variant selection (libVC compile-and-pick): builds the image
+/// family for a program on first sight, optionally times a short
+/// deterministic calibration burst per variant, and memoizes both images
+/// and pick process-wide keyed by Specializer::programDigest. Thread-safe.
+class VariantPicker {
+public:
+  /// Resolves \p Req for \p P. Off returns the null decision; Force
+  /// returns the requested variant's image without timing; Auto runs the
+  /// calibration burst (once per program digest per process) and returns
+  /// the measured winner, which may be Generic.
+  static SpecDecision decide(const Program &P, const SpecRequest &Req);
+
+  /// Parses \p Override when non-empty, else the DYNACE_SPECIALIZE
+  /// environment variable (default "auto") — strict support/Env parsing:
+  /// a malformed value is fatal.
+  /// \returns the request.
+  static SpecRequest requestFromEnv(const std::string &Override = "");
+
+  /// Instructions each calibration burst executes per variant.
+  static constexpr uint64_t kCalibInstructions = 400'000;
+};
+
+} // namespace dynace
+
+#endif // DYNACE_VM_SPECIALIZER_H

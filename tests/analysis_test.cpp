@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Cfg.h"
+#include "analysis/Fusion.h"
 #include "analysis/Verifier.h"
 #include "isa/MethodBuilder.h"
 #include "workloads/WorkloadGenerator.h"
@@ -415,13 +416,14 @@ TEST(Diagnostic, StatusMessageCarriesTheKindTag) {
 
 TEST(Diagnostic, KindNamesAreStableAndDistinct) {
   std::vector<std::string> Names;
-  for (int K = 0; K <= static_cast<int>(DiagKind::BadEntryMethod); ++K)
+  for (int K = 0; K <= static_cast<int>(DiagKind::FusionAcrossBoundary);
+       ++K)
     Names.push_back(diagKindName(static_cast<DiagKind>(K)));
   std::vector<std::string> Sorted = Names;
   std::sort(Sorted.begin(), Sorted.end());
   EXPECT_EQ(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
   EXPECT_EQ(Names.front(), "empty-method");
-  EXPECT_EQ(Names.back(), "bad-entry-method");
+  EXPECT_EQ(Names.back(), "fusion-across-boundary");
 }
 
 // ------------------------------------------------- finalize strict mode
@@ -466,3 +468,129 @@ TEST(WorkloadSweep, EveryGeneratedBenchmarkVerifiesClean) {
 }
 
 } // namespace
+
+// ---------------------------------------------- fusion hook-boundary rule
+//
+// verifyFusionPlan takes the plan as external input (the specializer's
+// selection), so its defect classes get their own table here rather than
+// riding the verifyProgram DefectCase suite. Every way a plan can move a
+// DO hook point has a fixture; dynalint --all runs the same check over
+// the fusible-run-derived plans of every generated benchmark.
+
+namespace {
+
+/// caller: two blocks (a loop body entered at instr 3) plus a leaf
+/// callee — enough shape for spans-call and spans-block fixtures.
+///   0: iconst  1: addi  2: call leaf  |  3: addi  4: addi  5: bri->3  |
+///   6: ret
+Program fusionFixture() {
+  Program P = makeProgram({iconst(1, 0), addi(1, 1, 1), call(1),
+                           addi(1, 1, 1), addi(2, 1, 1), bri(1, 10, 3),
+                           ret(1)},
+                          "caller");
+  addMethod(P, cleanCode(), "leaf");
+  return P;
+}
+
+/// One straight-line block ending in Ret: spans-ret and off-end fixtures.
+Program straightLineFixture() {
+  return makeProgram({iconst(1, 0), addi(1, 1, 1), addi(2, 1, 1), ret(1)});
+}
+
+} // namespace
+
+TEST(FusionPlan, SpanningACallIsFlagged) {
+  Program P = fusionFixture();
+  std::vector<Diagnostic> Diags =
+      verifyFusionPlan(P, 0, {{/*First=*/1, /*Len=*/2}});
+  ASSERT_TRUE(hasKind(Diags, DiagKind::FusionAcrossBoundary));
+  EXPECT_NE(Diags[0].Message.find("method-boundary"), std::string::npos);
+}
+
+TEST(FusionPlan, SpanningARetIsFlagged) {
+  Program P = straightLineFixture();
+  std::vector<Diagnostic> Diags =
+      verifyFusionPlan(P, 0, {{/*First=*/2, /*Len=*/2}});
+  ASSERT_TRUE(hasKind(Diags, DiagKind::FusionAcrossBoundary));
+  EXPECT_NE(Diags[0].Message.find("method-boundary"), std::string::npos);
+}
+
+TEST(FusionPlan, CrossingABasicBlockIsFlagged) {
+  // [2, +2) starts in the entry block and reaches into the loop body the
+  // bri at 5 targets — a branch may enter mid-group.
+  Program P = fusionFixture();
+  std::vector<Diagnostic> Diags =
+      verifyFusionPlan(P, 0, {{/*First=*/2, /*Len=*/2}});
+  ASSERT_TRUE(hasKind(Diags, DiagKind::FusionAcrossBoundary));
+  EXPECT_NE(Diags[0].Message.find("basic-block"), std::string::npos);
+}
+
+TEST(FusionPlan, LeavingTheMethodIsFlagged) {
+  Program P = straightLineFixture();
+  std::vector<Diagnostic> Diags =
+      verifyFusionPlan(P, 0, {{/*First=*/3, /*Len=*/2}});
+  ASSERT_TRUE(hasKind(Diags, DiagKind::FusionAcrossBoundary));
+  EXPECT_NE(Diags[0].Message.find("leaves the method"), std::string::npos);
+}
+
+TEST(FusionPlan, OverlappingGroupsAreFlagged) {
+  Program P = straightLineFixture();
+  std::vector<Diagnostic> Diags =
+      verifyFusionPlan(P, 0, {{0, 2}, {1, 2}});
+  ASSERT_TRUE(hasKind(Diags, DiagKind::FusionAcrossBoundary));
+  EXPECT_NE(Diags[0].Message.find("overlap"), std::string::npos);
+}
+
+TEST(FusionPlan, BadGroupLengthIsFlagged) {
+  Program P = straightLineFixture();
+  for (uint32_t Len : {0u, 1u, 4u}) {
+    std::vector<Diagnostic> Diags = verifyFusionPlan(P, 0, {{0, Len}});
+    ASSERT_TRUE(hasKind(Diags, DiagKind::FusionAcrossBoundary)) << Len;
+    EXPECT_NE(Diags[0].Message.find("pairs and triples"),
+              std::string::npos);
+  }
+}
+
+TEST(FusionPlan, TailConditionalBranchIsAdmissible) {
+  // [3, +3) = addi addi bri, all inside the loop-body block with the
+  // branch last — the one position a cond branch may be fused at.
+  Program P = fusionFixture();
+  EXPECT_TRUE(verifyFusionPlan(P, 0, {{3, 3}}).empty());
+  EXPECT_TRUE(verifyFusionPlanStatus(P, 0, {{3, 3}}).ok());
+}
+
+TEST(FusionPlan, CleanPlanPassesAndStatusTagsFailures) {
+  Program P = straightLineFixture();
+  EXPECT_TRUE(verifyFusionPlanStatus(P, 0, {{0, 2}}).ok());
+  Status S = verifyFusionPlanStatus(P, 0, {{2, 2}});
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::InvalidInput);
+  EXPECT_NE(S.message().find("dynalint[fusion-across-boundary]"),
+            std::string::npos);
+}
+
+TEST(FusionPlan, FusibleRunsNeverProduceAFlaggedPlan) {
+  // The selector/verifier agreement dynalint asserts per benchmark, in
+  // miniature: the densest plan derivable from fusibleRuns must verify
+  // clean on every generated benchmark's entry method.
+  for (const WorkloadProfile &Prof : specjvm98Profiles()) {
+    GeneratedWorkload W = WorkloadGenerator::generate(Prof);
+    const Program &P = W.Prog;
+    for (MethodId Id = 0; Id != P.numMethods(); ++Id) {
+      const Method &M = P.method(Id);
+      Cfg G = Cfg::build(M);
+      std::vector<FusionGroup> Plan;
+      for (const FusionRun &R : fusibleRuns(M, G)) {
+        uint32_t I = R.First;
+        const uint32_t End = R.First + R.Len;
+        while (End - I >= 2) {
+          uint32_t Len = End - I >= 3 ? 3 : 2;
+          Plan.push_back({I, Len});
+          I += Len;
+        }
+      }
+      EXPECT_TRUE(verifyFusionPlan(P, Id, Plan).empty())
+          << Prof.Name << " method " << Id;
+    }
+  }
+}

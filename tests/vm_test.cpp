@@ -2,6 +2,9 @@
 
 #include "isa/MethodBuilder.h"
 #include "vm/Interpreter.h"
+#include "vm/Specializer.h"
+#include "workloads/WorkloadGenerator.h"
+#include "workloads/WorkloadProfile.h"
 
 #include <gtest/gtest.h>
 
@@ -647,4 +650,187 @@ TEST(Trap, TrapKindNamesAreStable) {
   EXPECT_STREQ(trapKindName(TrapKind::BadCallTarget), "bad-call-target");
   EXPECT_STREQ(trapKindName(TrapKind::DivideByZero), "divide-by-zero");
   EXPECT_STREQ(trapKindName(TrapKind::StackOverflow), "stack-overflow");
+}
+
+// ------------------------------------------------------- Specialization
+
+// The specialized kernels (Fused2/Fused3/BranchSpec) are a pure
+// performance substitution: for every program, every batch size, and
+// every stopping condition they must emit the exact DynInst stream the
+// generic kernel emits and leave identical architectural state behind.
+// These tests run the two kernels in lockstep over the full SPECjvm98
+// profile set plus a high-skew Zipf variant of each, with batch lengths
+// drawn from an LCG so batch boundaries land at arbitrary points in
+// fused groups.
+
+namespace {
+
+/// The event-stream contract: fields the timing model and BBV accounting
+/// consume. Target is intentionally excluded (the generic kernel leaves
+/// it stale for non-branches), MemAddr only matters for memory ops and
+/// Taken only for conditional branches.
+void expectSameEvent(const DynInst &G, const DynInst &S, uint64_t Idx) {
+  ASSERT_EQ(G.PC, S.PC) << "at instruction " << Idx;
+  ASSERT_EQ(G.Class, S.Class) << "at instruction " << Idx;
+  ASSERT_EQ(G.Dst, S.Dst) << "at instruction " << Idx;
+  ASSERT_EQ(G.Src1, S.Src1) << "at instruction " << Idx;
+  ASSERT_EQ(G.Src2, S.Src2) << "at instruction " << Idx;
+  ASSERT_EQ(G.IsCondBranch, S.IsCondBranch) << "at instruction " << Idx;
+  if (G.Class == OpClass::Load || G.Class == OpClass::Store)
+    ASSERT_EQ(G.MemAddr, S.MemAddr) << "at instruction " << Idx;
+  if (G.IsCondBranch)
+    ASSERT_EQ(G.Taken, S.Taken) << "at instruction " << Idx;
+}
+
+/// FNV-1a over the whole heap — cheap way to compare final memory images.
+uint64_t heapDigest(const Interpreter &I) {
+  uint64_t H = 1469598103934665603ull;
+  for (uint64_t W = 0; W != I.heapWords(); ++W) {
+    uint64_t V = I.readWord(W * 8);
+    for (int B = 0; B != 8; ++B) {
+      H ^= (V >> (8 * B)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  }
+  return H;
+}
+
+/// Steps \p G (generic) and \p S (specialized image installed) in
+/// lockstep for up to \p Cap instructions with LCG-drawn batch sizes,
+/// asserting stream and state equality throughout.
+void runLockstep(const Program &P, SpecVariant V, uint64_t Cap,
+                 uint64_t Seed) {
+  Interpreter G(P), S(P);
+  SpecProgram Image = Specializer::build(P, V);
+  S.setSpecialization(&Image);
+  std::vector<DynInst> BG(257), BS(257);
+  uint64_t Lcg = Seed, Checked = 0;
+  while (Checked < Cap) {
+    Lcg = Lcg * 6364136223846793005ull + 1442695040888963407ull;
+    // Mostly small batches (so boundaries bisect fused pairs/triples),
+    // with occasional full buffers.
+    static constexpr size_t Sizes[] = {1, 2, 3, 7, 64, 257};
+    size_t N = Sizes[(Lcg >> 33) % 6];
+    size_t NG = G.stepBatch(BG.data(), N);
+    size_t NS = S.stepBatch(BS.data(), N);
+    ASSERT_EQ(NG, NS) << "batch length diverged after " << Checked;
+    for (size_t I = 0; I != NG; ++I)
+      expectSameEvent(BG[I], BS[I], Checked + I);
+    Checked += NG;
+    ASSERT_EQ(G.instructionCount(), S.instructionCount());
+    ASSERT_EQ(G.isHalted(), S.isHalted());
+    ASSERT_EQ(G.trapped(), S.trapped());
+    if (G.isHalted() || G.trapped())
+      break;
+    // Without a listener the kernels execute method boundaries inline, so
+    // a zero-length batch is only legal at end of execution.
+    ASSERT_NE(NG, 0u) << "zero-length batch while still running";
+  }
+  EXPECT_EQ(G.topFrameRegs(), S.topFrameRegs());
+  EXPECT_EQ(heapDigest(G), heapDigest(S));
+}
+
+} // namespace
+
+TEST(Specializer, DifferentialAgainstGenericAllProfiles) {
+  for (const WorkloadProfile &Base : specjvm98Profiles()) {
+    for (bool Skewed : {false, true}) {
+      WorkloadProfile P = Skewed ? withZipfTheta(Base, 1.2) : Base;
+      GeneratedWorkload W = WorkloadGenerator::generate(P);
+      for (SpecVariant V : {SpecVariant::Fused2, SpecVariant::Fused3,
+                            SpecVariant::BranchSpec}) {
+        SCOPED_TRACE(P.Name + "/" + specVariantName(V));
+        runLockstep(W.Prog, V, 120'000,
+                    Specializer::programDigest(W.Prog) ^
+                        static_cast<uint64_t>(V));
+      }
+    }
+  }
+}
+
+TEST(Specializer, DifferentialWithListenerStopsBeforeBoundaries) {
+  // With a listener installed (the System::run configuration) both
+  // kernels stop BEFORE Call/Ret/Halt and the boundary instruction runs
+  // through step(), firing method-entry/exit hooks. The two kernels must
+  // agree on where the stops fall and on the hook sequence.
+  struct CountingListener : VmListener {
+    std::vector<std::pair<bool, MethodId>> Hooks;
+    void onMethodEnter(MethodId Id, uint64_t) override {
+      Hooks.push_back({true, Id});
+    }
+    void onMethodExit(MethodId Id, uint64_t, uint64_t) override {
+      Hooks.push_back({false, Id});
+    }
+  };
+  for (const WorkloadProfile &Base : specjvm98Profiles()) {
+    if (Base.Name != "compress" && Base.Name != "javac")
+      continue;
+    GeneratedWorkload W = WorkloadGenerator::generate(Base);
+    SpecProgram Image =
+        Specializer::build(W.Prog, SpecVariant::BranchSpec);
+    Interpreter G(W.Prog), S(W.Prog);
+    CountingListener LG, LS;
+    G.setListener(&LG);
+    S.setListener(&LS);
+    S.setSpecialization(&Image);
+    std::vector<DynInst> BG(64), BS(64);
+    uint64_t Checked = 0;
+    while (Checked < 100'000 && !G.isHalted() && !G.trapped()) {
+      size_t NG = G.stepBatch(BG.data(), 64);
+      size_t NS = S.stepBatch(BS.data(), 64);
+      ASSERT_EQ(NG, NS) << "stop point diverged after " << Checked;
+      for (size_t I = 0; I != NG; ++I)
+        expectSameEvent(BG[I], BS[I], Checked + I);
+      Checked += NG;
+      if (NG == 0) {
+        // Next instruction is a method boundary: run it serially, as
+        // System::runLoop does.
+        DynInst DG, DS;
+        G.step(DG);
+        S.step(DS);
+        if (!G.trapped())
+          expectSameEvent(DG, DS, Checked);
+        ++Checked;
+      }
+      ASSERT_EQ(G.instructionCount(), S.instructionCount());
+      ASSERT_EQ(G.isHalted(), S.isHalted());
+      ASSERT_EQ(G.trapped(), S.trapped());
+    }
+    ASSERT_EQ(LG.Hooks, LS.Hooks);
+    EXPECT_GT(LG.Hooks.size(), 0u);
+  }
+}
+
+TEST(Specializer, ParseSpecializeValueAcceptsDocumentedForms) {
+  struct Case {
+    const char *Value;
+    SpecRequest::Kind K;
+    SpecVariant V;
+  } Cases[] = {
+      {"0", SpecRequest::Kind::Off, SpecVariant::Generic},
+      {"generic", SpecRequest::Kind::Off, SpecVariant::Generic},
+      {"1", SpecRequest::Kind::Force, SpecVariant::BranchSpec},
+      {"auto", SpecRequest::Kind::Auto, SpecVariant::Generic},
+      {"fused2", SpecRequest::Kind::Force, SpecVariant::Fused2},
+      {"fused3", SpecRequest::Kind::Force, SpecVariant::Fused3},
+      {"branchspec", SpecRequest::Kind::Force, SpecVariant::BranchSpec},
+  };
+  for (const Case &C : Cases) {
+    Expected<SpecRequest> R = parseSpecializeValue(C.Value);
+    ASSERT_TRUE(R) << C.Value;
+    EXPECT_EQ(R->K, C.K) << C.Value;
+    if (R->K == SpecRequest::Kind::Force)
+      EXPECT_EQ(R->Variant, C.V) << C.Value;
+  }
+}
+
+TEST(Specializer, ParseSpecializeValueRejectsEverythingElse) {
+  // Strict parsing: misconfiguration fails loudly instead of silently
+  // running the wrong kernel.
+  for (const char *Bad :
+       {"", "2", "on", "off", "AUTO", " auto", "auto ", "Fused2",
+        "fused4", "branch", "true", "yes"}) {
+    Expected<SpecRequest> R = parseSpecializeValue(Bad);
+    EXPECT_FALSE(R) << "'" << Bad << "' should not parse";
+  }
 }

@@ -6,8 +6,9 @@
 //
 // dynalint — the standalone front end of the static verifier
 // (analysis/Verifier.h, DESIGN.md section 13). Lints the programs the
-// built-in benchmark generators produce and dumps their CFGs and call
-// graphs as Graphviz DOT.
+// built-in benchmark generators produce — IR well-formedness plus the
+// specializer's fusion hook-boundary rule (analysis/Fusion.h) — and
+// dumps their CFGs and call graphs as Graphviz DOT.
 //
 //   dynalint --all                      lint every built-in benchmark
 //   dynalint compress db                lint the named benchmarks
@@ -25,6 +26,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Cfg.h"
+#include "analysis/Fusion.h"
 #include "analysis/Verifier.h"
 #include "support/Env.h"
 #include "workloads/WorkloadGenerator.h"
@@ -94,6 +96,33 @@ size_t lintBenchmark(const WorkloadProfile &Profile,
   }
 
   std::vector<analysis::Diagnostic> Diags = analysis::verifyProgram(P, Opts);
+
+  // Fusion hook-boundary lint: derive the densest pair/triple plan the
+  // specializer could select from each method's fusible runs and push it
+  // back through the plan verifier. A FusionAcrossBoundary diagnostic
+  // here means the run enumerator and the hook-boundary verifier
+  // disagree — exactly the defect Specializer::build voids a method's
+  // fusion over at runtime, surfaced statically.
+  size_t FusionGroups = 0;
+  for (MethodId Id = 0; Id != P.numMethods(); ++Id) {
+    const Method &M = P.method(Id);
+    analysis::Cfg G = analysis::Cfg::build(M);
+    std::vector<analysis::FusionGroup> Plan;
+    for (const analysis::FusionRun &R : analysis::fusibleRuns(M, G)) {
+      uint32_t I = R.First;
+      const uint32_t End = R.First + R.Len;
+      while (End - I >= 2) {
+        uint32_t Len = End - I >= 3 ? 3 : 2;
+        Plan.push_back({I, Len});
+        I += Len;
+      }
+    }
+    FusionGroups += Plan.size();
+    std::vector<analysis::Diagnostic> FusionDiags =
+        analysis::verifyFusionPlan(P, Id, Plan);
+    Diags.insert(Diags.end(), FusionDiags.begin(), FusionDiags.end());
+  }
+
   for (const analysis::Diagnostic &D : Diags)
     std::fprintf(stderr, "dynalint: %s: %s\n", Profile.Name.c_str(),
                  D.render(P).c_str());
@@ -102,9 +131,11 @@ size_t lintBenchmark(const WorkloadProfile &Profile,
                  Profile.Name.c_str(), Diags.size(),
                  Diags.size() == 1 ? "" : "s");
   else if (!Quiet)
-    std::printf("dynalint: %s: OK (%zu methods, %llu instructions)\n",
+    std::printf("dynalint: %s: OK (%zu methods, %llu instructions, "
+                "%zu fusion groups)\n",
                 Profile.Name.c_str(), P.numMethods(),
-                static_cast<unsigned long long>(P.staticInstructionCount()));
+                static_cast<unsigned long long>(P.staticInstructionCount()),
+                FusionGroups);
   return Diags.size();
 }
 
