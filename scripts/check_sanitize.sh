@@ -24,14 +24,27 @@ cmake -S "$root" -B "$build" \
 jobs="$(nproc 2>/dev/null || echo 4)"
 cmake --build "$build" -j"$jobs" \
   --target fault_injection_test resultcache_corruption_test \
+           serve_wire_test serve_journal_test serve_test \
            table6_tuning_coverage dynalint dynatrace \
-           microbench_hotloop >/dev/null
+           microbench_hotloop dynace-serve dynace-submit >/dev/null
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
 "$build/tests/fault_injection_test"
 "$build/tests/resultcache_corruption_test"
+
+# The distributed-service suites: wire/protocol fuzz, journal torn-tail
+# and kill-resume, and the coordinator chaos grid (worker crashes, lease
+# re-dispatch, breaker fallback) — fork, socketpair and shared-state
+# paths all under ASan/UBSan.
+"$build/tests/serve_wire_test"
+"$build/tests/serve_journal_test"
+"$build/tests/serve_test"
+
+# And the real binaries end to end (daemon + client over a Unix socket,
+# chaos on, journal resume, clean shutdown).
+"$root/scripts/check_serve.sh" "$root" "$build"
 
 # The trace schema gate under sanitizers: the traced grid exercises every
 # emit site (per-thread buffers, flush, JSON rendering) with ASan/UBSan
@@ -67,6 +80,6 @@ DYNACE_SPECIALIZE=1 "$build/bench/microbench_hotloop" --smoke \
 # conformance pass (greps are build-independent; cheap to repeat).
 "$root/scripts/check_lint.sh" "$root"
 
-echo "check_sanitize: OK (fault injection + cache corruption + traced grid" \
-     "+ dynalint + dynatrace round-trip + specialized smoke + lint under" \
-     "ASan/UBSan)"
+echo "check_sanitize: OK (fault injection + cache corruption + serve chaos" \
+     "+ traced grid + dynalint + dynatrace round-trip + specialized smoke" \
+     "+ lint under ASan/UBSan)"

@@ -1,0 +1,128 @@
+#!/bin/sh
+# check_serve.sh — end-to-end smoke of the distributed experiment service.
+#
+# Usage: scripts/check_serve.sh [repo-root [build-dir]]
+#
+# Drives the real binaries over a real Unix socket, the way a user would:
+#
+#  1. `dynace-submit --local` runs the grid serially in-process — the
+#     ground-truth report.
+#  2. A `dynace-serve --once` daemon runs the same grid across 3 forked
+#     workers WITH CHAOS ON (every worker's second assignment crashes it,
+#     and a fraction of coordinator/worker receives are dropped), plus a
+#     write-ahead journal. The streamed report must be byte-identical to
+#     the serial one (`cmp`), and the daemon log must show at least one
+#     worker crash — chaos that never fired proves nothing.
+#  3. A fresh daemon is pointed at the journal the first one left behind
+#     (the "coordinator killed and restarted" story): its grid must be
+#     fully replayed — zero re-execution — and still byte-identical.
+#  4. `dynace-submit --shutdown` must stop that daemon with exit 0.
+#
+# Wired into CMake as the `check_serve` ctest and into check_sanitize.sh
+# (the same flow under ASan/UBSan covers the fork/IPC paths that the
+# gtest serve suite skips under TSan).
+
+set -e
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+build="${2:-$root/build}"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+cmake --build "$build" -j"$jobs" --target dynace-serve dynace-submit >/dev/null
+
+tmp="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null
+  rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+serve="$build/tools/dynace-serve"
+submit="$build/tools/dynace-submit"
+benchmarks="compress,db"
+export DYNACE_INSTR_BUDGET=200000
+
+wait_for_socket() {
+  i=0
+  while [ ! -S "$1" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "check_serve: daemon never bound $1" >&2
+      cat "$tmp/serve.log" >&2 2>/dev/null
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+# --- 1. Serial ground truth ------------------------------------------------
+DYNACE_CACHE_DIR="$tmp/cache-local" \
+  "$submit" --local --benchmarks "$benchmarks" > "$tmp/local.txt"
+
+# --- 2. Distributed grid under chaos, journaled ----------------------------
+# worker.crash:2:1 — every worker's 2nd CellAssign kills it (with 3 workers
+# and 6 cells the pigeonhole guarantees at least one fires);
+# rpc.recv:13:1 — dropped receives in coordinator handlers and workers.
+# Seed 1 keeps arm 0 clean, so the daemon's client-facing GridRequest recv
+# (always the process's first) never injects — all chaos lands on paths
+# the coordinator must absorb.
+env DYNACE_CACHE_DIR="$tmp/cache-serve" \
+    DYNACE_SERVE_WORKERS=3 \
+    DYNACE_SERVE_HEARTBEAT_MS=50 \
+    DYNACE_SERVE_JOURNAL="$tmp/journal.bin" \
+    DYNACE_FAULT_SPEC='worker.crash:2:1,rpc.recv:13:1' \
+    "$serve" --socket "$tmp/sock1" --once 2> "$tmp/serve.log" &
+daemon_pid=$!
+wait_for_socket "$tmp/sock1"
+
+"$submit" --socket "$tmp/sock1" --benchmarks "$benchmarks" \
+  > "$tmp/served.txt" 2> "$tmp/submit.log"
+wait "$daemon_pid"
+daemon_pid=""
+
+if ! cmp -s "$tmp/local.txt" "$tmp/served.txt"; then
+  echo "check_serve: chaos grid report differs from the serial run" >&2
+  diff "$tmp/local.txt" "$tmp/served.txt" >&2 || true
+  exit 1
+fi
+first_grid="$(grep 'grid done' "$tmp/serve.log" | head -n 1)"
+case "$first_grid" in
+  *" 0 crashes"*|"")
+    echo "check_serve: chaos never fired (no worker crash): $first_grid" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1 ;;
+esac
+
+# --- 3. Restarted coordinator resumes from the journal ---------------------
+[ -s "$tmp/journal.bin" ] || { echo "check_serve: no journal written" >&2; exit 1; }
+env DYNACE_CACHE_DIR="$tmp/cache-serve" \
+    DYNACE_SERVE_WORKERS=3 \
+    DYNACE_SERVE_JOURNAL="$tmp/journal.bin" \
+    "$serve" --socket "$tmp/sock2" 2> "$tmp/serve2.log" &
+daemon_pid=$!
+wait_for_socket "$tmp/sock2"
+
+"$submit" --socket "$tmp/sock2" --benchmarks "$benchmarks" > "$tmp/resumed.txt"
+if ! cmp -s "$tmp/local.txt" "$tmp/resumed.txt"; then
+  echo "check_serve: resumed grid report differs from the serial run" >&2
+  diff "$tmp/local.txt" "$tmp/resumed.txt" >&2 || true
+  exit 1
+fi
+if ! grep -q '(6 replayed' "$tmp/serve2.log"; then
+  echo "check_serve: restarted daemon re-ran cells instead of replaying" \
+       "the journal" >&2
+  cat "$tmp/serve2.log" >&2
+  exit 1
+fi
+
+# --- 4. Clean shutdown -----------------------------------------------------
+"$submit" --socket "$tmp/sock2" --shutdown 2>/dev/null
+if ! wait "$daemon_pid"; then
+  echo "check_serve: daemon did not exit 0 on shutdown" >&2
+  exit 1
+fi
+daemon_pid=""
+
+echo "check_serve: OK (chaos grid byte-identical to serial, journal resume" \
+     "replayed all cells, clean shutdown)"

@@ -42,7 +42,8 @@ DYNACE_PROFILE=1 \
 python3 -c '
 import json, sys
 events = json.load(open(sys.argv[1]))["traceEvents"]
-known = {"hotspot", "tuning", "reconfig", "vm", "cache", "runner", "stage"}
+known = {"hotspot", "tuning", "reconfig", "vm", "cache", "runner", "stage",
+         "serve"}
 cats = {e["cat"] for e in events if "cat" in e}
 unknown = cats - known
 assert not unknown, "unknown trace categories: %s" % sorted(unknown)

@@ -21,7 +21,7 @@ constexpr size_t kMaxEventsPerThread = size_t(1) << 20;
 
 const char *const KnownCategories[] = {"hotspot", "tuning", "reconfig",
                                        "vm",      "cache",  "runner",
-                                       "stage"};
+                                       "stage",   "serve"};
 
 } // namespace
 

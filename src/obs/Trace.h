@@ -55,7 +55,9 @@ namespace obs {
 ///  * "vm"       — interpreter/system events (run span, batches, traps);
 ///  * "cache"    — result-cache probes (hit/miss/quarantine/save);
 ///  * "runner"   — experiment-pipeline cells and retries;
-///  * "stage"    — profiler stage spans (generate/simulate/tune/report).
+///  * "stage"    — profiler stage spans (generate/simulate/tune/report);
+///  * "serve"    — distributed experiment service (grid spans, lease
+///                 re-dispatch, worker respawn, journal replay).
 ///
 /// \returns true when \p Cat is one of the categories above.
 bool isKnownTraceCategory(const char *Cat);

@@ -1,0 +1,701 @@
+//===- serve/Coordinator.cpp ----------------------------------------------==//
+
+#include "serve/Coordinator.h"
+
+#include "serve/Journal.h"
+#include "serve/Wire.h"
+#include "serve/Worker.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "sim/ResultCache.h"
+#include "support/Env.h"
+#include "support/ThreadSafety.h"
+#include "workloads/WorkloadProfile.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace dynace;
+using namespace dynace::serve;
+
+Expected<ServeConfig> dynace::serve::ServeConfig::fromEnv() {
+  ServeConfig C;
+  Expected<uint64_t> Workers =
+      envUnsignedChecked("DYNACE_SERVE_WORKERS", C.Workers, 0, 64);
+  if (!Workers.ok())
+    return Workers.status();
+  C.Workers = static_cast<unsigned>(Workers.get());
+
+  Expected<uint64_t> Lease =
+      envUnsignedChecked("DYNACE_SERVE_LEASE_MS", C.LeaseMs, 1, 3600000);
+  if (!Lease.ok())
+    return Lease.status();
+  C.LeaseMs = Lease.get();
+
+  Expected<uint64_t> Beat =
+      envUnsignedChecked("DYNACE_SERVE_HEARTBEAT_MS", C.HeartbeatMs, 0, 60000);
+  if (!Beat.ok())
+    return Beat.status();
+  C.HeartbeatMs = Beat.get();
+
+  Expected<uint64_t> Respawns =
+      envUnsignedChecked("DYNACE_SERVE_MAX_RESPAWNS", C.MaxRespawns, 0, 1024);
+  if (!Respawns.ok())
+    return Respawns.status();
+  C.MaxRespawns = Respawns.get();
+
+  Expected<uint64_t> Dispatches =
+      envUnsignedChecked("DYNACE_SERVE_MAX_RETRIES", C.MaxDispatches, 1, 64);
+  if (!Dispatches.ok())
+    return Dispatches.status();
+  C.MaxDispatches = Dispatches.get();
+
+  C.JournalPath = envString("DYNACE_SERVE_JOURNAL");
+  return C;
+}
+
+std::vector<CellSpec> dynace::serve::gridForBenchmarks(
+    const std::vector<std::string> &Benchmarks) {
+  std::vector<CellSpec> Cells;
+  Cells.reserve(Benchmarks.size() * 3);
+  for (const std::string &B : Benchmarks)
+    for (Scheme S : {Scheme::Baseline, Scheme::Bbv, Scheme::Hotspot})
+      Cells.push_back(CellSpec{B, S});
+  return Cells;
+}
+
+Expected<std::vector<BenchmarkRun>> dynace::serve::assembleBenchmarkRuns(
+    const std::vector<CellSpec> &Cells, const std::vector<GridCell> &Results) {
+  if (Cells.size() != Results.size() || Cells.size() % 3 != 0)
+    return Status::error(ErrorCode::InvalidInput,
+                         "grid is not a profile-major (benchmark x scheme) "
+                         "grid of triples");
+  std::vector<BenchmarkRun> Runs;
+  for (size_t I = 0; I < Cells.size(); I += 3) {
+    constexpr Scheme Order[3] = {Scheme::Baseline, Scheme::Bbv,
+                                 Scheme::Hotspot};
+    BenchmarkRun Run;
+    Run.Name = Cells[I].Benchmark;
+    for (size_t J = 0; J != 3; ++J) {
+      const CellSpec &Spec = Cells[I + J];
+      if (Spec.Benchmark != Run.Name || Spec.SchemeKind != Order[J])
+        return Status::error(ErrorCode::InvalidInput,
+                             "cell " + std::to_string(I + J) +
+                                 " breaks profile-major grid order");
+      const GridCell &Cell = Results[I + J];
+      switch (Order[J]) {
+      case Scheme::Baseline:
+        Run.Baseline = Cell.Result;
+        Run.BaselineOutcome = Cell.Outcome;
+        break;
+      case Scheme::Bbv:
+        Run.Bbv = Cell.Result;
+        Run.BbvOutcome = Cell.Outcome;
+        break;
+      case Scheme::Hotspot:
+        Run.Hotspot = Cell.Result;
+        Run.HotspotOutcome = Cell.Outcome;
+        break;
+      }
+    }
+    Runs.push_back(std::move(Run));
+  }
+  return Runs;
+}
+
+namespace {
+
+constexpr uint64_t kNoCell = ~0ull;
+
+using Clock = std::chrono::steady_clock;
+
+/// One worker slot: process + socket + handler thread. Mutable fields are
+/// guarded by GridRun::M (not annotatable from here: the mutex lives in
+/// the owning GridRun); SendM alone orders frames on Fd.
+struct WorkerSlot {
+  unsigned Index = 0;
+  uint64_t WorkerId = 0;
+  pid_t Pid = -1;
+  int Fd = -1;
+  std::thread Handler;
+  Mutex SendM;            ///< Serializes sendFrame on Fd (handler vs main).
+  bool Live = false;      ///< Worker believed alive, handler running.
+  uint64_t LeasedCell = kNoCell;
+  bool LeaseRequeued = false; ///< This lease already expired and re-queued.
+  Clock::time_point LeaseDeadline;
+  Clock::time_point LastSeen;
+};
+
+/// All state of one in-flight grid. Handler threads and the runGrid
+/// thread rendezvous on M/Cv; fork() happens only on the runGrid thread.
+struct GridRun {
+  ServeConfig Cfg;
+  SimulationOptions Base;
+  std::vector<CellSpec> Specs;
+  std::vector<std::string> ExpectedKeys; ///< Content address per cell.
+
+  Mutex M;
+  std::condition_variable_any Cv;
+
+  std::vector<bool> Done GUARDED_BY(M);
+  std::vector<GridCell> Results GUARDED_BY(M);
+  std::deque<size_t> Pending GUARDED_BY(M); ///< Dispatchable to workers.
+  std::deque<size_t> InlineOnly GUARDED_BY(M); ///< Dispatch-capped cells.
+  std::vector<uint32_t> Dispatches GUARDED_BY(M);
+  size_t DoneCount GUARDED_BY(M) = 0;
+  GridStats Stats GUARDED_BY(M);
+  std::vector<std::unique_ptr<WorkerSlot>> Slots GUARDED_BY(M);
+  unsigned LiveWorkers GUARDED_BY(M) = 0;
+  uint64_t NextWorkerId GUARDED_BY(M) = 1;
+  std::deque<unsigned> DeadSlots GUARDED_BY(M); ///< Awaiting reap/respawn.
+  bool Stop GUARDED_BY(M) = false;
+};
+
+/// Builds the CellOutcome a CellResultMsg describes.
+CellOutcome outcomeOf(const CellResultMsg &M) {
+  CellOutcome O;
+  O.Failed = M.Failed;
+  O.Code = static_cast<ErrorCode>(M.Code);
+  O.Reason = M.Reason;
+  O.Attempts = M.Attempts;
+  O.CacheHit = M.CacheHit;
+  O.Quarantined = M.Quarantined;
+  return O;
+}
+
+/// Validates and adopts one terminal cell record (wire or journal or
+/// inline — one zero-trust path for all three).
+///
+/// \param FromJournal true during replay: counts ReplayedCells and never
+///        re-appends to the journal.
+/// \returns ok (including the benign already-done duplicate case), or
+///          InvalidInput when the record is malformed/mismatched — the
+///          caller treats the source as corrupt.
+Status commitLocked(GridRun &Run, const CellResultMsg &Msg, bool FromJournal)
+    REQUIRES(Run.M) {
+  size_t N = Run.Specs.size();
+  if (Msg.CellIndex >= N)
+    return Status::error(ErrorCode::InvalidInput,
+                         "cell index " + std::to_string(Msg.CellIndex) +
+                             " out of range");
+  size_t I = static_cast<size_t>(Msg.CellIndex);
+  const CellSpec &Spec = Run.Specs[I];
+  if (Msg.Cell.Benchmark != Spec.Benchmark ||
+      Msg.Cell.SchemeKind != Spec.SchemeKind)
+    return Status::error(ErrorCode::InvalidInput,
+                         "cell " + std::to_string(I) +
+                             " spec mismatch: got (" + Msg.Cell.Benchmark +
+                             ", " + schemeName(Msg.Cell.SchemeKind) + ")");
+  // Content-address check: first-completed-wins is only safe because any
+  // two honest executions of one cell share a cache key and, being
+  // deterministic, the exact result bytes. A failed cell may carry an
+  // empty key (unknown benchmark never reaches key derivation).
+  if (!(Msg.CacheKey == Run.ExpectedKeys[I] ||
+        (Msg.Failed && Msg.CacheKey.empty())))
+    return Status::error(ErrorCode::InvalidInput,
+                         "cell " + std::to_string(I) +
+                             " cache-key mismatch (stale config?)");
+  if (Run.Done[I]) {
+    if (!FromJournal)
+      Run.Stats.DuplicateResults++;
+    return Status();
+  }
+  Expected<SimulationResult> R = parseResultText(Msg.ResultText);
+  if (!R.ok())
+    return Status::error(ErrorCode::InvalidInput,
+                         "cell " + std::to_string(I) +
+                             " result rejected: " + R.status().toString());
+
+  Run.Results[I].Result = R.take();
+  Run.Results[I].Outcome = outcomeOf(Msg);
+  Run.Results[I].CacheKey = Msg.CacheKey;
+  Run.Done[I] = true;
+  Run.DoneCount++;
+  if (Msg.Failed)
+    Run.Stats.FailedCells++;
+  if (FromJournal) {
+    Run.Stats.ReplayedCells++;
+  } else if (!Run.Cfg.JournalPath.empty()) {
+    // Journal before anyone can observe the cell as done. Held-lock fsync
+    // is deliberate: it keeps "done" strictly behind "durable", and grid
+    // commit rates are far below fsync rates.
+    if (Status S = journalAppend(Run.Cfg.JournalPath, Msg); !S)
+      std::fprintf(stderr, "[dynace-serve] journal append failed: %s\n",
+                   S.toString().c_str());
+  }
+  Run.Cv.notify_all();
+  return Status();
+}
+
+/// Hands the next dispatchable pending cell to \p Slot (no-op when it
+/// already holds a lease or nothing is pending). Dispatch-capped cells
+/// divert to the inline queue. Send failure marks nothing — the caller's
+/// transport error handling owns the slot's fate; the cell is re-queued.
+void assignNextLocked(GridRun &Run, WorkerSlot &Slot) REQUIRES(Run.M) {
+  if (!Slot.Live || Slot.LeasedCell != kNoCell)
+    return;
+  while (!Run.Pending.empty()) {
+    size_t I = Run.Pending.front();
+    Run.Pending.pop_front();
+    if (Run.Done[I])
+      continue;
+    if (Run.Dispatches[I] >= Run.Cfg.MaxDispatches) {
+      Run.InlineOnly.push_back(I);
+      Run.Cv.notify_all();
+      continue;
+    }
+    CellAssignMsg Assign;
+    Assign.CellIndex = I;
+    Assign.Cell = Run.Specs[I];
+    Run.Dispatches[I]++;
+    Run.Stats.WorkerDispatches++;
+    Slot.LeasedCell = I;
+    Slot.LeaseRequeued = false;
+    Slot.LeaseDeadline =
+        Clock::now() + std::chrono::milliseconds(Run.Cfg.LeaseMs);
+    Status Sent;
+    {
+      MutexLock SL(Slot.SendM);
+      Sent = sendFrame(Slot.Fd, FrameType::CellAssign,
+                       encodeCellAssign(Assign));
+    }
+    if (!Sent.ok()) {
+      // The worker never saw the lease; give the cell back immediately.
+      // The slot stays Live — if the transport is truly gone the handler
+      // will find out on its next receive.
+      Slot.LeasedCell = kNoCell;
+      Run.Pending.push_back(I);
+      return;
+    }
+    return;
+  }
+}
+
+/// Marks \p Slot dead: re-queues its lease and schedules it for reaping
+/// (and possible respawn) by the runGrid thread.
+void markDeadLocked(GridRun &Run, WorkerSlot &Slot) REQUIRES(Run.M) {
+  if (!Slot.Live)
+    return;
+  Slot.Live = false;
+  Run.LiveWorkers--;
+  if (Slot.LeasedCell != kNoCell && !Run.Done[Slot.LeasedCell] &&
+      !Slot.LeaseRequeued)
+    Run.Pending.push_back(Slot.LeasedCell);
+  Slot.LeasedCell = kNoCell;
+  // During shutdown every handler exits through here; those deaths are
+  // orchestrated, not failures — the post-loop reap owns them.
+  if (!Run.Stop)
+    Run.DeadSlots.push_back(Slot.Index);
+  Run.Cv.notify_all();
+}
+
+/// Per-worker receive loop. Touches no singleton locks in steady state
+/// (see the fork discipline in Coordinator.h).
+void handlerLoop(GridRun &Run, WorkerSlot &Slot) {
+  uint64_t SilenceMs = Run.Cfg.silenceMs();
+  for (;;) {
+    Expected<Frame> F = recvFrame(Slot.Fd, 100);
+    MutexLock L(Run.M);
+    if (Run.Stop || !Slot.Live) {
+      markDeadLocked(Run, Slot);
+      return;
+    }
+    if (!F.ok()) {
+      if (F.status().code() == ErrorCode::Timeout) {
+        // No traffic. Heartbeat silence beyond the threshold means the
+        // worker is gone or wedged; either way its lease must move on.
+        if (SilenceMs != 0 &&
+            Clock::now() - Slot.LastSeen >
+                std::chrono::milliseconds(SilenceMs)) {
+          markDeadLocked(Run, Slot);
+          return;
+        }
+        continue;
+      }
+      // EOF, injected drop, corrupt frame, I/O error: the stream is dead
+      // or untrustworthy. Same verdict for all of them.
+      markDeadLocked(Run, Slot);
+      return;
+    }
+    Slot.LastSeen = Clock::now();
+    Frame Msg = F.take();
+    switch (Msg.Type) {
+    case FrameType::Hello:
+      assignNextLocked(Run, Slot);
+      break;
+    case FrameType::Heartbeat:
+      break; // LastSeen already refreshed.
+    case FrameType::CellResult: {
+      Expected<CellResultMsg> Result = decodeCellResult(Msg.Payload);
+      if (!Result.ok() ||
+          !commitLocked(Run, Result.get(), /*FromJournal=*/false).ok()) {
+        markDeadLocked(Run, Slot);
+        return;
+      }
+      if (Slot.LeasedCell == Result.get().CellIndex) {
+        Slot.LeasedCell = kNoCell;
+        Slot.LeaseRequeued = false;
+      }
+      assignNextLocked(Run, Slot);
+      break;
+    }
+    default:
+      markDeadLocked(Run, Slot); // Workers never send anything else.
+      return;
+    }
+  }
+}
+
+/// Forks a worker into \p Slot and starts its handler thread. runGrid
+/// thread only.
+/// \returns true on success.
+bool spawnWorker(GridRun &Run, WorkerSlot &Slot) EXCLUDES(Run.M) {
+  int Sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Sv) != 0)
+    return false;
+
+  // Snapshot sibling fds before forking so the child can drop them: a
+  // child holding another worker's socket would defeat EOF-based death
+  // detection for that worker.
+  std::vector<int> CloseFds = Run.Cfg.CloseInChild;
+  uint64_t WorkerId;
+  {
+    MutexLock L(Run.M);
+    WorkerId = Run.NextWorkerId++;
+    for (const auto &S : Run.Slots)
+      if (S.get() != &Slot && S->Fd >= 0)
+        CloseFds.push_back(S->Fd);
+  }
+
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Sv[0]);
+    ::close(Sv[1]);
+    return false;
+  }
+  if (Pid == 0) {
+    ::close(Sv[0]);
+    for (int Fd : CloseFds)
+      ::close(Fd);
+    serveWorkerMain(Sv[1], WorkerId, Run.Cfg.HeartbeatMs, Run.Base);
+    // serveWorkerMain never returns.
+  }
+  ::close(Sv[1]);
+
+  MutexLock L(Run.M);
+  Slot.WorkerId = WorkerId;
+  Slot.Pid = Pid;
+  Slot.Fd = Sv[0];
+  Slot.Live = true;
+  Slot.LeasedCell = kNoCell;
+  Slot.LeaseRequeued = false;
+  Slot.LastSeen = Clock::now();
+  Run.LiveWorkers++;
+  Slot.Handler = std::thread(handlerLoop, std::ref(Run), std::ref(Slot));
+  return true;
+}
+
+/// Reaps \p Slot's dead worker process and closes its socket. runGrid
+/// thread only; the handler thread must already be joined.
+/// \returns true when the worker did NOT exit cleanly (a crash).
+bool reapWorker(WorkerSlot &Slot) {
+  bool Crashed = false;
+  if (Slot.Pid > 0) {
+    ::kill(Slot.Pid, SIGKILL); // Idempotent; usually already dead.
+    int WStatus = 0;
+    if (::waitpid(Slot.Pid, &WStatus, 0) == Slot.Pid)
+      Crashed = !(WIFEXITED(WStatus) &&
+                  WEXITSTATUS(WStatus) == kWorkerExitClean);
+    Slot.Pid = -1;
+  }
+  if (Slot.Fd >= 0) {
+    ::close(Slot.Fd);
+    Slot.Fd = -1;
+  }
+  return Crashed;
+}
+
+/// Validates the grid and precomputes content-address keys.
+Status prepareGrid(GridRun &Run) {
+  std::set<std::pair<std::string, uint8_t>> Seen;
+  for (const CellSpec &C : Run.Specs) {
+    if (C.Benchmark.empty())
+      return Status::error(ErrorCode::InvalidInput,
+                           "grid contains an empty benchmark name");
+    if (!Seen.insert({C.Benchmark, static_cast<uint8_t>(C.SchemeKind)})
+             .second)
+      return Status::error(ErrorCode::InvalidInput,
+                           "duplicate grid cell (" + C.Benchmark + ", " +
+                               schemeName(C.SchemeKind) + ")");
+  }
+  Run.ExpectedKeys.reserve(Run.Specs.size());
+  for (const CellSpec &C : Run.Specs) {
+    SimulationOptions Opts = Run.Base;
+    Opts.SchemeKind = C.SchemeKind;
+    Run.ExpectedKeys.push_back(resultCacheKey(C.Benchmark, Opts));
+  }
+  // Pre-generate every known workload once: the memo (cachedWorkload) is
+  // inherited copy-on-write by forked workers, so no worker re-generates
+  // programs — and generation happens before any thread exists that could
+  // hold the memo lock across a fork.
+  std::set<std::string> Generated;
+  for (const CellSpec &C : Run.Specs)
+    if (Generated.insert(C.Benchmark).second)
+      if (const WorkloadProfile *P = findProfile(C.Benchmark))
+        cachedWorkload(*P);
+  return Status();
+}
+
+/// Replays the journal into the grid (runGrid thread, before workers).
+Status replayJournalLocked(GridRun &Run) REQUIRES(Run.M) {
+  if (Run.Cfg.JournalPath.empty())
+    return Status();
+  Expected<JournalReplay> Replay = journalReplay(Run.Cfg.JournalPath);
+  if (!Replay.ok())
+    return Replay.status();
+  Run.Stats.JournalTailDropBytes = Replay.get().DroppedTailBytes;
+  for (const CellResultMsg &Rec : Replay.get().Records) {
+    // Records that do not match this grid (other run, other config, or a
+    // corrupt-but-checksummed body) are skipped, not fatal: the journal
+    // resumes what it can and the rest re-runs.
+    (void)commitLocked(Run, Rec, /*FromJournal=*/true);
+  }
+  return Status();
+}
+
+} // namespace
+
+Expected<GridResult> dynace::serve::runGrid(const ServeConfig &Config,
+                                            const SimulationOptions &Base,
+                                            const std::vector<CellSpec> &Cells,
+                                            const CellSink &Sink) {
+  GridRun Run;
+  Run.Cfg = Config;
+  Run.Base = Base;
+  Run.Specs = Cells;
+  if (Status S = prepareGrid(Run); !S)
+    return S;
+
+  size_t N = Cells.size();
+  DYNACE_TRACE_SCOPE("serve", "grid",
+                     obs::traceArg("cells", static_cast<uint64_t>(N)));
+  size_t NextStream = 0;
+  {
+    MutexLock L(Run.M);
+    Run.Done.assign(N, false);
+    Run.Results.assign(N, GridCell());
+    Run.Dispatches.assign(N, 0);
+    Run.Stats.Cells = N;
+    if (Status S = replayJournalLocked(Run); !S)
+      return S;
+    for (size_t I = 0; I != N; ++I)
+      if (!Run.Done[I])
+        Run.Pending.push_back(I);
+  }
+
+  // Spawn the initial fleet (never more workers than open cells).
+  size_t Open;
+  {
+    MutexLock L(Run.M);
+    Open = N - Run.DoneCount;
+    if (Run.Stats.ReplayedCells != 0)
+      DYNACE_TRACE_INSTANT("serve", "journal.replay",
+                           obs::traceArg("cells", Run.Stats.ReplayedCells));
+  }
+  unsigned Fleet =
+      static_cast<unsigned>(std::min<uint64_t>(Config.Workers, Open));
+  for (unsigned I = 0; I != Fleet; ++I) {
+    auto Slot = std::make_unique<WorkerSlot>();
+    Slot->Index = I;
+    {
+      MutexLock L(Run.M);
+      Run.Slots.push_back(std::move(Slot));
+    }
+    WorkerSlot *S;
+    {
+      MutexLock L(Run.M);
+      S = Run.Slots.back().get();
+    }
+    spawnWorker(Run, *S); // Failure: fewer workers; inline path covers.
+  }
+
+  // The coordination loop: stream results, reap/respawn dead workers,
+  // expire leases, run fallback cells — until every cell is terminal.
+  for (;;) {
+    std::vector<std::pair<size_t, GridCell>> ToStream;
+    unsigned RespawnSlot = ~0u;
+    bool RespawnAllowed = false;
+    size_t InlineCell = kNoCell;
+
+    {
+      MutexLock L(Run.M);
+      while (NextStream < N && Run.Done[NextStream]) {
+        ToStream.emplace_back(NextStream, Run.Results[NextStream]);
+        NextStream++;
+      }
+      if (Run.DoneCount == N && Run.DeadSlots.empty()) {
+        Run.Stop = true;
+        Run.Cv.notify_all();
+      } else if (!Run.DeadSlots.empty()) {
+        RespawnSlot = Run.DeadSlots.front();
+        Run.DeadSlots.pop_front();
+        RespawnAllowed = !Run.Stop && Run.DoneCount < N &&
+                         Run.Stats.Respawns < Run.Cfg.MaxRespawns;
+        if (RespawnAllowed)
+          Run.Stats.Respawns++;
+      } else {
+        // Fixed-deadline lease expiry: the straggler keeps computing, the
+        // cell goes back in the queue for someone faster. First result in
+        // wins; the duplicate is dropped at commit.
+        for (auto &SlotPtr : Run.Slots) {
+          WorkerSlot &Slot = *SlotPtr;
+          if (Slot.Live && Slot.LeasedCell != kNoCell &&
+              !Slot.LeaseRequeued && Clock::now() > Slot.LeaseDeadline &&
+              !Run.Done[Slot.LeasedCell]) {
+            Run.Pending.push_back(Slot.LeasedCell);
+            Slot.LeaseRequeued = true;
+            Run.Stats.Redispatches++;
+            DYNACE_TRACE_INSTANT(
+                "serve", "lease.redispatch",
+                obs::traceArg("cell",
+                              static_cast<uint64_t>(Slot.LeasedCell)));
+          }
+        }
+        // Poke idle workers (a worker with no lease blocks in recv and
+        // cannot notice a refilled queue on its own).
+        for (auto &SlotPtr : Run.Slots)
+          assignNextLocked(Run, *SlotPtr);
+
+        // Inline fallback: dispatch-capped cells always; everything else
+        // only once no worker can make progress.
+        if (!Run.InlineOnly.empty()) {
+          InlineCell = Run.InlineOnly.front();
+          Run.InlineOnly.pop_front();
+          if (Run.Done[InlineCell])
+            InlineCell = kNoCell;
+        }
+        if (InlineCell == kNoCell && Run.LiveWorkers == 0 &&
+            Run.DoneCount < N) {
+          for (size_t I = 0; I != N; ++I)
+            if (!Run.Done[I]) {
+              InlineCell = I;
+              break;
+            }
+        }
+        if (InlineCell == kNoCell && Run.DoneCount < N)
+          Run.Cv.wait_for(L, std::chrono::milliseconds(20));
+      }
+      if (Run.Stop && Run.DeadSlots.empty() && ToStream.empty() &&
+          NextStream == N && Run.DoneCount == N)
+        break;
+    }
+
+    for (auto &[Index, Cell] : ToStream)
+      if (Sink)
+        Sink(Index, Cell);
+
+    if (RespawnSlot != ~0u) {
+      WorkerSlot *Slot;
+      {
+        MutexLock L(Run.M);
+        Slot = Run.Slots[RespawnSlot].get();
+      }
+      if (Slot->Handler.joinable())
+        Slot->Handler.join();
+      bool Crashed = reapWorker(*Slot);
+      {
+        MutexLock L(Run.M);
+        if (Crashed)
+          Run.Stats.WorkerCrashes++;
+      }
+      if (RespawnAllowed) {
+        DYNACE_TRACE_INSTANT("serve", "worker.respawn",
+                             obs::traceArg("slot",
+                                           static_cast<uint64_t>(RespawnSlot)));
+        if (!spawnWorker(Run, *Slot)) {
+          MutexLock L(Run.M);
+          Run.Stats.Respawns--; // The fork failed; refund the budget.
+        }
+      } else {
+        MutexLock L(Run.M);
+        if (!Run.Stop && Run.LiveWorkers == 0 && Run.DoneCount < N)
+          DYNACE_TRACE_INSTANT("serve", "breaker.open");
+      }
+    }
+
+    if (InlineCell != kNoCell) {
+      CellAssignMsg Assign;
+      Assign.CellIndex = InlineCell;
+      {
+        MutexLock L(Run.M);
+        Assign.Cell = Run.Specs[InlineCell];
+        Run.Stats.InlineCells++;
+      }
+      DYNACE_TRACE_INSTANT("serve", "inline.cell",
+                           obs::traceArg("cell",
+                                         static_cast<uint64_t>(InlineCell)));
+      CellResultMsg Msg = runServeCell(Assign, Base);
+      MutexLock L(Run.M);
+      if (Status S = commitLocked(Run, Msg, /*FromJournal=*/false); !S)
+        // An inline cell rejecting its own record means the grid config
+        // itself is inconsistent; surface it as the cell's outcome.
+        std::fprintf(stderr, "[dynace-serve] inline cell %zu rejected: %s\n",
+                     InlineCell, S.toString().c_str());
+    }
+  }
+
+  // Shutdown: ask politely, then reap unconditionally.
+  std::vector<WorkerSlot *> AllSlots;
+  {
+    MutexLock L(Run.M);
+    Run.Stop = true;
+    Run.Cv.notify_all();
+    for (auto &SlotPtr : Run.Slots)
+      AllSlots.push_back(SlotPtr.get());
+  }
+  for (WorkerSlot *Slot : AllSlots) {
+    if (Slot->Fd >= 0) {
+      MutexLock SL(Slot->SendM);
+      (void)sendFrame(Slot->Fd, FrameType::Shutdown, "");
+    }
+  }
+  for (WorkerSlot *Slot : AllSlots)
+    if (Slot->Handler.joinable())
+      Slot->Handler.join();
+  // A worker SIGKILLed here while still chewing a superseded lease is not
+  // a crash — every cell completed; mid-grid deaths were already tallied.
+  for (WorkerSlot *Slot : AllSlots)
+    (void)reapWorker(*Slot);
+
+  GridResult Out;
+  {
+    MutexLock L(Run.M);
+    Out.Cells = Run.Results;
+    Out.Stats = Run.Stats;
+  }
+
+  // One-shot flush of the grid's accounting into the process registry —
+  // from this thread only, after all forking is over (fork discipline).
+  auto &Reg = MetricsRegistry::process();
+  Reg.counter("serve.cells.total").inc(Out.Stats.Cells);
+  Reg.counter("serve.cells.replayed").inc(Out.Stats.ReplayedCells);
+  Reg.counter("serve.cells.inline").inc(Out.Stats.InlineCells);
+  Reg.counter("serve.cells.failed").inc(Out.Stats.FailedCells);
+  Reg.counter("serve.dispatches").inc(Out.Stats.WorkerDispatches);
+  Reg.counter("serve.redispatches").inc(Out.Stats.Redispatches);
+  Reg.counter("serve.duplicates.dropped").inc(Out.Stats.DuplicateResults);
+  Reg.counter("serve.workers.crashed").inc(Out.Stats.WorkerCrashes);
+  Reg.counter("serve.workers.respawned").inc(Out.Stats.Respawns);
+  return Out;
+}

@@ -1,0 +1,158 @@
+//===- serve/Coordinator.h - Fault-tolerant grid coordinator ----*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinator half of the distributed experiment service
+/// (DESIGN.md §16): shards a (benchmark × scheme) grid across fork()ed
+/// worker processes and survives every failure mode the chaos tests can
+/// inject while keeping the final report bit-identical to a serial
+/// in-process run.
+///
+/// Mechanisms, in the order a cell meets them:
+///
+///  * **Journal replay** — with DYNACE_SERVE_JOURNAL set, completed cells
+///    from a previous (killed) coordinator are validated and adopted, so
+///    a restart resumes the grid instead of re-running it.
+///  * **Lease-based assignment** — each dispatched cell carries a fixed
+///    deadline (DYNACE_SERVE_LEASE_MS from assignment). Heartbeats prove
+///    liveness but never extend a lease.
+///  * **Straggler re-dispatch** — an expired lease re-queues the cell for
+///    another worker while the straggler keeps running; the first
+///    CellResult to arrive wins and later duplicates are dropped, which
+///    is safe because results are content-addressed (identical cache key
+///    ⇒ identical deterministic bytes).
+///  * **Death detection & respawn** — heartbeat silence, EOF or a
+///    transport error marks a worker dead: it is killed, reaped, its
+///    lease re-queued and a replacement forked, up to
+///    DYNACE_SERVE_MAX_RESPAWNS total (the crash-loop circuit breaker).
+///  * **Dispatch cap** — a cell dispatched DYNACE_SERVE_MAX_RETRIES times
+///    to workers without completing is taken away from them and executed
+///    inline.
+///  * **Inline fallback** — with the breaker open and no live workers
+///    (or DYNACE_SERVE_WORKERS=0 from the start), remaining cells run in
+///    the coordinator thread via the same execution core, so a grid
+///    always completes.
+///
+/// Concurrency/fork discipline: one handler thread per worker reads its
+/// socket; all shared state hangs off a single grid mutex. fork() happens
+/// only on the runGrid() caller's thread, and handler threads touch no
+/// singleton locks in steady state (serve metrics are aggregated under
+/// the grid mutex and flushed to the process MetricsRegistry once, at
+/// grid end; serve trace events are emitted from the runGrid thread
+/// only), so a forked child never inherits a held lock it would later
+/// need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SERVE_COORDINATOR_H
+#define DYNACE_SERVE_COORDINATOR_H
+
+#include "serve/Protocol.h"
+#include "sim/ExperimentRunner.h"
+#include "support/Status.h"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dynace {
+namespace serve {
+
+/// Coordinator configuration, normally read from DYNACE_SERVE_* (see
+/// README "Environment variables").
+struct ServeConfig {
+  /// Worker processes to fork (0 = run every cell inline, no forks).
+  unsigned Workers = 2;
+  /// Fixed lease per dispatched cell; expiry re-queues the cell.
+  uint64_t LeaseMs = 30000;
+  /// Worker heartbeat period (0 disables heartbeats AND silence-based
+  /// death detection; EOF/errors still detect death).
+  uint64_t HeartbeatMs = 100;
+  /// Total worker respawns allowed per grid (the circuit breaker).
+  uint64_t MaxRespawns = 8;
+  /// Worker dispatches allowed per cell before it runs inline only.
+  uint64_t MaxDispatches = 4;
+  /// Write-ahead journal path; empty disables journaling.
+  std::string JournalPath;
+  /// Extra parent file descriptors to close in forked workers (a daemon
+  /// passes its listening and client sockets so workers never hold them).
+  std::vector<int> CloseInChild;
+
+  /// Heartbeat-silence threshold after which a worker is declared dead.
+  uint64_t silenceMs() const {
+    return HeartbeatMs == 0 ? 0 : std::max<uint64_t>(10 * HeartbeatMs, 500);
+  }
+
+  /// Reads DYNACE_SERVE_WORKERS / _LEASE_MS / _HEARTBEAT_MS /
+  /// _MAX_RESPAWNS / _MAX_RETRIES / _JOURNAL.
+  /// \returns the config, or InvalidInput naming the malformed variable.
+  static Expected<ServeConfig> fromEnv();
+};
+
+/// What happened while running one grid (asserted by the chaos tests and
+/// summarized by the daemon log line).
+struct GridStats {
+  uint64_t Cells = 0;            ///< Grid size.
+  uint64_t ReplayedCells = 0;    ///< Adopted from the journal, not run.
+  uint64_t WorkerDispatches = 0; ///< CellAssign frames sent.
+  uint64_t Redispatches = 0;     ///< Lease expiries that re-queued a cell.
+  uint64_t DuplicateResults = 0; ///< Late straggler results dropped.
+  uint64_t WorkerCrashes = 0;    ///< Workers that died without exit 0.
+  uint64_t Respawns = 0;         ///< Replacement workers forked.
+  uint64_t InlineCells = 0;      ///< Cells executed in the coordinator.
+  uint64_t FailedCells = 0;      ///< Cells whose outcome is Failed.
+  uint64_t JournalTailDropBytes = 0; ///< Torn journal tail discarded.
+};
+
+/// Terminal state of one grid cell.
+struct GridCell {
+  SimulationResult Result;
+  CellOutcome Outcome;
+  std::string CacheKey;
+};
+
+/// A completed grid: per-cell results in grid order, plus the stats.
+struct GridResult {
+  std::vector<GridCell> Cells;
+  GridStats Stats;
+};
+
+/// Streaming callback: invoked strictly in grid order (cell 0, 1, 2...)
+/// as soon as each cell and all its predecessors are terminal, from the
+/// runGrid() caller's thread.
+using CellSink =
+    std::function<void(size_t Index, const GridCell &Cell)>;
+
+/// Runs \p Cells under \p Config with base simulation options \p Base.
+///
+/// Blocks until every cell is terminal (the fallback ladder above makes
+/// that unconditional) and returns results in grid order, bit-identical
+/// to a serial in-process run of the same cells. \p Sink, when set,
+/// observes cells streaming in grid order.
+/// \returns the grid result, or an error when the grid could not start
+///          (corrupt journal file, duplicate cell specs).
+Expected<GridResult> runGrid(const ServeConfig &Config,
+                             const SimulationOptions &Base,
+                             const std::vector<CellSpec> &Cells,
+                             const CellSink &Sink = {});
+
+/// \returns the standard profile-major grid for \p Benchmarks: for each
+///          name, one cell per scheme (Baseline, Bbv, Hotspot).
+std::vector<CellSpec> gridForBenchmarks(
+    const std::vector<std::string> &Benchmarks);
+
+/// Groups a profile-major grid (gridForBenchmarks order) back into
+/// BenchmarkRun triples for the report printers.
+/// \returns the runs, or InvalidInput when \p Cells is not such a grid.
+Expected<std::vector<BenchmarkRun>>
+assembleBenchmarkRuns(const std::vector<CellSpec> &Cells,
+                      const std::vector<GridCell> &Results);
+
+} // namespace serve
+} // namespace dynace
+
+#endif // DYNACE_SERVE_COORDINATOR_H

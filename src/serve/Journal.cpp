@@ -1,0 +1,145 @@
+//===- serve/Journal.cpp --------------------------------------------------==//
+
+#include "serve/Journal.h"
+
+#include "serve/Wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace dynace;
+using namespace dynace::serve;
+
+namespace {
+
+constexpr char kJournalMagic[4] = {'D', 'Y', 'N', 'J'};
+constexpr size_t kJournalHeaderSize = 8;
+constexpr size_t kRecordHeaderSize = 12;
+
+std::string journalHeader() {
+  std::string H(kJournalMagic, sizeof(kJournalMagic));
+  H.push_back(static_cast<char>(kJournalVersion));
+  H.append(3, '\0');
+  return H;
+}
+
+Status ioError(const std::string &What, const std::string &Path) {
+  return Status::error(ErrorCode::IoError,
+                       What + " '" + Path + "': " + std::strerror(errno));
+}
+
+/// Writes all of \p Bytes to \p Fd (O_APPEND keeps the record contiguous
+/// for any one write; the loop only resumes after EINTR/short writes,
+/// which on a regular file never interleave with another appender of
+/// well-formed records anyway — and this journal has one writer).
+Status writeAll(int Fd, const std::string &Bytes, const std::string &Path) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return ioError("write journal", Path);
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return Status();
+}
+
+} // namespace
+
+Status dynace::serve::journalAppend(const std::string &Path,
+                                    const CellResultMsg &M) {
+  // O_APPEND per call: no descriptor survives between appends, so a
+  // fork()ed worker can never inherit (and corrupt) the journal position.
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (Fd < 0)
+    return ioError("open journal", Path);
+
+  struct stat St;
+  if (::fstat(Fd, &St) != 0) {
+    Status S = ioError("stat journal", Path);
+    ::close(Fd);
+    return S;
+  }
+  std::string Bytes;
+  if (St.st_size == 0)
+    Bytes += journalHeader();
+
+  std::string Body = encodeCellResult(M);
+  for (unsigned I = 0; I != 4; ++I)
+    Bytes.push_back(static_cast<char>((Body.size() >> (8 * I)) & 0xff));
+  uint64_t Sum = fnv1a64(Body.data(), Body.size());
+  for (unsigned I = 0; I != 8; ++I)
+    Bytes.push_back(static_cast<char>((Sum >> (8 * I)) & 0xff));
+  Bytes += Body;
+
+  Status S = writeAll(Fd, Bytes, Path);
+  if (S.ok() && ::fsync(Fd) != 0)
+    S = ioError("fsync journal", Path);
+  ::close(Fd);
+  return S;
+}
+
+Expected<JournalReplay> dynace::serve::journalReplay(const std::string &Path) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (errno == ENOENT)
+      return JournalReplay(); // First run: nothing to resume.
+    return ioError("open journal", Path);
+  }
+  std::string Bytes;
+  char Chunk[1 << 16];
+  size_t N;
+  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Bytes.append(Chunk, N);
+  bool ReadErr = std::ferror(F) != 0;
+  std::fclose(F);
+  if (ReadErr)
+    return ioError("read journal", Path);
+
+  if (Bytes.empty())
+    return JournalReplay(); // Created but never written: empty resume.
+  if (Bytes.size() < kJournalHeaderSize ||
+      std::memcmp(Bytes.data(), kJournalMagic, sizeof(kJournalMagic)) != 0)
+    return Status::error(ErrorCode::InvalidInput,
+                         "'" + Path + "' is not a dynace-serve journal");
+  if (static_cast<uint8_t>(Bytes[4]) != kJournalVersion)
+    return Status::error(ErrorCode::InvalidInput,
+                         "journal '" + Path + "' has version " +
+                             std::to_string(static_cast<uint8_t>(Bytes[4])) +
+                             ", want " + std::to_string(kJournalVersion));
+
+  JournalReplay Replay;
+  size_t Pos = kJournalHeaderSize;
+  const auto *P = reinterpret_cast<const unsigned char *>(Bytes.data());
+  while (Pos < Bytes.size()) {
+    // A record that does not fully parse ends the replay: everything from
+    // here is a torn tail (crash mid-append) or corruption; either way
+    // the safe move is to drop it and let those cells re-run.
+    if (Bytes.size() - Pos < kRecordHeaderSize)
+      break;
+    uint32_t Len = 0;
+    for (unsigned I = 0; I != 4; ++I)
+      Len |= static_cast<uint32_t>(P[Pos + I]) << (8 * I);
+    uint64_t Sum = 0;
+    for (unsigned I = 0; I != 8; ++I)
+      Sum |= static_cast<uint64_t>(P[Pos + 4 + I]) << (8 * I);
+    if (Len > kMaxFramePayload || Bytes.size() - Pos - kRecordHeaderSize < Len)
+      break;
+    std::string Body(Bytes, Pos + kRecordHeaderSize, Len);
+    if (fnv1a64(Body.data(), Body.size()) != Sum)
+      break;
+    Expected<CellResultMsg> M = decodeCellResult(Body);
+    if (!M.ok())
+      break;
+    Replay.Records.push_back(M.take());
+    Pos += kRecordHeaderSize + Len;
+  }
+  Replay.DroppedTailBytes = Bytes.size() - Pos;
+  return Replay;
+}

@@ -1,0 +1,76 @@
+//===- serve/Journal.h - Crash-resumable grid outcome journal ---*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Write-ahead journal of terminal cell outcomes, so a coordinator killed
+/// mid-grid *resumes* on restart instead of re-running completed cells
+/// (DESIGN.md §16). The file is append-only:
+///
+///   offset  size  field
+///        0     4  magic "DYNJ"
+///        4     1  journal version (kJournalVersion)
+///        5     3  zero padding
+///   then, per record:
+///        0     4  body length (little-endian)
+///        4     8  FNV-1a-64 checksum of the body
+///       12   len  body — a CellResult payload (serve/Protocol.h), the
+///                 exact bytes the wire carried
+///
+/// Appends open the file O_APPEND, write the whole record with one
+/// write(2) and fsync before closing — no file descriptor is held
+/// between appends, so forked worker processes never inherit one and a
+/// record is either fully durable or (at worst) a torn tail.
+///
+/// replay() validates the header, then reads records until the first
+/// torn or checksum-failing one; everything from that point on is
+/// discarded (the cells re-run — always safe, results are
+/// content-addressed and deterministic). A mid-file flip therefore costs
+/// re-execution, never a wrong result: record bodies are re-decoded and
+/// the embedded result text re-parsed by the consumer, the same
+/// zero-trust path as the wire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SERVE_JOURNAL_H
+#define DYNACE_SERVE_JOURNAL_H
+
+#include "serve/Protocol.h"
+#include "support/Status.h"
+
+#include <string>
+#include <vector>
+
+namespace dynace {
+namespace serve {
+
+/// Journal format version; bump on any layout or record-body change.
+inline constexpr uint8_t kJournalVersion = 1;
+
+/// Result of replaying a journal file.
+struct JournalReplay {
+  /// Fully validated records, in append order (may contain duplicates of
+  /// one CellIndex when a grid was resumed more than once; last wins).
+  std::vector<CellResultMsg> Records;
+  /// Bytes dropped from the tail (0 = clean file). A non-zero value after
+  /// a crash is expected — a torn final record — and harmless.
+  uint64_t DroppedTailBytes = 0;
+};
+
+/// Appends one outcome record to the journal at \p Path, creating the
+/// file (with its header) on first use. Durable on return (fsync).
+/// \returns ok, or IoError naming the failing step.
+Status journalAppend(const std::string &Path, const CellResultMsg &M);
+
+/// Replays the journal at \p Path.
+/// \returns the validated records (a missing file is an empty replay, not
+///          an error), or IoError (unreadable) / InvalidInput (the header
+///          is not a journal — refusing to append garbage to garbage).
+Expected<JournalReplay> journalReplay(const std::string &Path);
+
+} // namespace serve
+} // namespace dynace
+
+#endif // DYNACE_SERVE_JOURNAL_H

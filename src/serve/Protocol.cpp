@@ -1,0 +1,285 @@
+//===- serve/Protocol.cpp -------------------------------------------------==//
+
+#include "serve/Protocol.h"
+
+#include "serve/Wire.h"
+
+using namespace dynace;
+using namespace dynace::serve;
+
+namespace {
+
+/// Append-only little-endian payload builder.
+class PayloadWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) {
+    for (unsigned I = 0; I != 4; ++I)
+      Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+  void u64(uint64_t V) {
+    for (unsigned I = 0; I != 8; ++I)
+      Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Buf += S;
+  }
+  std::string take() { return std::move(Buf); }
+
+private:
+  std::string Buf;
+};
+
+/// Bounds-checked reader; any overrun poisons the parse. finish() rejects
+/// trailing bytes so a payload is consumed exactly or not at all.
+class PayloadReader {
+public:
+  explicit PayloadReader(const std::string &Buf) : Buf(Buf) {}
+  bool ok() const { return Ok; }
+
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return static_cast<uint8_t>(Buf[Pos++]);
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (unsigned I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<unsigned char>(Buf[Pos++]))
+           << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (unsigned I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<unsigned char>(Buf[Pos++]))
+           << (8 * I);
+    return V;
+  }
+  std::string str() {
+    uint32_t N = u32();
+    // The cap bounds a corrupted length before the need() subtraction can
+    // be reasoned about; it can never exceed a legal frame anyway.
+    if (N > kMaxFramePayload || !need(N))
+      return std::string();
+    std::string S(Buf, Pos, N);
+    Pos += N;
+    return S;
+  }
+  Status finish(const char *What) {
+    if (!Ok)
+      return Status::error(ErrorCode::InvalidInput,
+                           std::string("truncated ") + What + " payload");
+    if (Pos != Buf.size())
+      return Status::error(ErrorCode::InvalidInput,
+                           std::string(What) + " payload has " +
+                               std::to_string(Buf.size() - Pos) +
+                               " trailing bytes");
+    return Status();
+  }
+
+private:
+  bool need(size_t N) {
+    if (!Ok || Buf.size() - Pos < N) {
+      Ok = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::string &Buf;
+  size_t Pos = 0;
+  bool Ok = true;
+};
+
+Status badEnum(const char *What, uint64_t V) {
+  return Status::error(ErrorCode::InvalidInput,
+                       std::string("out-of-range ") + What + " value " +
+                           std::to_string(V));
+}
+
+void writeCellSpec(PayloadWriter &W, const CellSpec &C) {
+  W.str(C.Benchmark);
+  W.u8(static_cast<uint8_t>(C.SchemeKind));
+}
+
+/// \returns ok and fills \p C, or the range error (reader errors surface
+///          via finish()).
+Status readCellSpec(PayloadReader &R, CellSpec &C) {
+  C.Benchmark = R.str();
+  uint8_t S = R.u8();
+  if (R.ok() && S > static_cast<uint8_t>(Scheme::Hotspot))
+    return badEnum("scheme", S);
+  C.SchemeKind = static_cast<Scheme>(S);
+  return Status();
+}
+
+} // namespace
+
+std::string dynace::serve::encodeGridRequest(const GridRequestMsg &M) {
+  PayloadWriter W;
+  W.u32(static_cast<uint32_t>(M.Cells.size()));
+  for (const CellSpec &C : M.Cells)
+    writeCellSpec(W, C);
+  return W.take();
+}
+
+Expected<GridRequestMsg> dynace::serve::decodeGridRequest(
+    const std::string &Payload) {
+  PayloadReader R(Payload);
+  GridRequestMsg M;
+  uint32_t N = R.u32();
+  // Each cell costs at least 5 bytes on the wire; a count the payload
+  // cannot possibly hold is a corrupted length, not a big grid.
+  if (R.ok() && static_cast<uint64_t>(N) * 5 > Payload.size())
+    return Status::error(ErrorCode::InvalidInput,
+                         "grid cell count " + std::to_string(N) +
+                             " exceeds payload");
+  for (uint32_t I = 0; I != N && R.ok(); ++I) {
+    CellSpec C;
+    if (Status S = readCellSpec(R, C); !S)
+      return S;
+    M.Cells.push_back(std::move(C));
+  }
+  if (Status S = R.finish("grid-request"); !S)
+    return S;
+  return M;
+}
+
+std::string dynace::serve::encodeCellAssign(const CellAssignMsg &M) {
+  PayloadWriter W;
+  W.u64(M.CellIndex);
+  writeCellSpec(W, M.Cell);
+  return W.take();
+}
+
+Expected<CellAssignMsg> dynace::serve::decodeCellAssign(
+    const std::string &Payload) {
+  PayloadReader R(Payload);
+  CellAssignMsg M;
+  M.CellIndex = R.u64();
+  if (Status S = readCellSpec(R, M.Cell); !S)
+    return S;
+  if (Status S = R.finish("cell-assign"); !S)
+    return S;
+  return M;
+}
+
+std::string dynace::serve::encodeCellResult(const CellResultMsg &M) {
+  PayloadWriter W;
+  W.u64(M.CellIndex);
+  writeCellSpec(W, M.Cell);
+  W.str(M.CacheKey);
+  W.u8(M.Failed ? 1 : 0);
+  W.u8(M.Code);
+  W.u32(M.Attempts);
+  W.u8(M.CacheHit ? 1 : 0);
+  W.u64(M.Quarantined);
+  W.str(M.Reason);
+  W.str(M.ResultText);
+  return W.take();
+}
+
+Expected<CellResultMsg> dynace::serve::decodeCellResult(
+    const std::string &Payload) {
+  PayloadReader R(Payload);
+  CellResultMsg M;
+  M.CellIndex = R.u64();
+  if (Status S = readCellSpec(R, M.Cell); !S)
+    return S;
+  M.CacheKey = R.str();
+  uint8_t Failed = R.u8();
+  M.Code = R.u8();
+  M.Attempts = R.u32();
+  uint8_t CacheHit = R.u8();
+  M.Quarantined = R.u64();
+  M.Reason = R.str();
+  M.ResultText = R.str();
+  if (R.ok()) {
+    if (Failed > 1)
+      return badEnum("failed flag", Failed);
+    if (CacheHit > 1)
+      return badEnum("cache-hit flag", CacheHit);
+    if (M.Code > static_cast<uint8_t>(ErrorCode::Unavailable))
+      return badEnum("error code", M.Code);
+  }
+  M.Failed = Failed != 0;
+  M.CacheHit = CacheHit != 0;
+  if (Status S = R.finish("cell-result"); !S)
+    return S;
+  return M;
+}
+
+std::string dynace::serve::encodeHello(const HelloMsg &M) {
+  PayloadWriter W;
+  W.u64(M.WorkerId);
+  W.u64(M.Pid);
+  return W.take();
+}
+
+Expected<HelloMsg> dynace::serve::decodeHello(const std::string &Payload) {
+  PayloadReader R(Payload);
+  HelloMsg M;
+  M.WorkerId = R.u64();
+  M.Pid = R.u64();
+  if (Status S = R.finish("hello"); !S)
+    return S;
+  return M;
+}
+
+std::string dynace::serve::encodeHeartbeat(const HeartbeatMsg &M) {
+  PayloadWriter W;
+  W.u64(M.WorkerId);
+  W.u64(M.CellIndex);
+  return W.take();
+}
+
+Expected<HeartbeatMsg> dynace::serve::decodeHeartbeat(
+    const std::string &Payload) {
+  PayloadReader R(Payload);
+  HeartbeatMsg M;
+  M.WorkerId = R.u64();
+  M.CellIndex = R.u64();
+  if (Status S = R.finish("heartbeat"); !S)
+    return S;
+  return M;
+}
+
+std::string dynace::serve::encodeDone(const DoneMsg &M) {
+  PayloadWriter W;
+  W.u64(M.Cells);
+  W.u64(M.FailedCells);
+  W.str(M.Report);
+  return W.take();
+}
+
+Expected<DoneMsg> dynace::serve::decodeDone(const std::string &Payload) {
+  PayloadReader R(Payload);
+  DoneMsg M;
+  M.Cells = R.u64();
+  M.FailedCells = R.u64();
+  M.Report = R.str();
+  if (Status S = R.finish("done"); !S)
+    return S;
+  return M;
+}
+
+std::string dynace::serve::encodeErrorMsg(const ErrorMsg &M) {
+  PayloadWriter W;
+  W.str(M.Reason);
+  return W.take();
+}
+
+Expected<ErrorMsg> dynace::serve::decodeErrorMsg(const std::string &Payload) {
+  PayloadReader R(Payload);
+  ErrorMsg M;
+  M.Reason = R.str();
+  if (Status S = R.finish("error"); !S)
+    return S;
+  return M;
+}

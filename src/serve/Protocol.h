@@ -1,0 +1,123 @@
+//===- serve/Protocol.h - Serve message payload encodings -------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Payload encodings for the serve frame types (serve/Wire.h): a tiny
+/// little-endian binary format — u8/u32/u64 integers and u32
+/// length-prefixed strings — with strict, Status-returning decoders.
+///
+/// Decoders share one contract with the wire layer: payload bytes are
+/// *input*, not state. Every read is bounds-checked, string lengths are
+/// capped by the frame cap, enums are range-checked, and a payload must
+/// be consumed exactly — trailing bytes are corruption, not padding. A
+/// malformed payload yields InvalidInput and the message is discarded;
+/// nothing is ever partially applied.
+///
+/// The CellResult encoding doubles as the journal record body
+/// (serve/Journal.h): a journaled cell is exactly what the wire would
+/// have carried, so replay and receive share one validation path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SERVE_PROTOCOL_H
+#define DYNACE_SERVE_PROTOCOL_H
+
+#include "sim/ExperimentRunner.h"
+#include "sim/System.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynace {
+namespace serve {
+
+/// One (benchmark, scheme) cell of a grid, addressed by profile name.
+struct CellSpec {
+  std::string Benchmark;
+  Scheme SchemeKind = Scheme::Baseline;
+};
+
+/// GridRequest payload: the ordered list of cells to run. Order is
+/// load-bearing — results stream back and journal in this order.
+struct GridRequestMsg {
+  std::vector<CellSpec> Cells;
+};
+
+/// CellAssign payload: lease cell \p CellIndex (an index into the grid
+/// order) to the receiving worker.
+struct CellAssignMsg {
+  uint64_t CellIndex = 0;
+  CellSpec Cell;
+};
+
+/// CellResult payload: the terminal outcome of one cell. Also the journal
+/// record body. \p ResultText is the canonical serializeResult() form and
+/// is re-parsed (sim/ResultCache.h parseResultText) by every consumer —
+/// a worker or journal is no more trusted than any other peer.
+struct CellResultMsg {
+  uint64_t CellIndex = 0;
+  CellSpec Cell;          ///< Echoed spec; must match the lease/grid.
+  std::string CacheKey;   ///< resultCacheKey() — content address.
+  bool Failed = false;
+  uint8_t Code = 0;       ///< ErrorCode of the final attempt (when Failed).
+  uint32_t Attempts = 1;
+  bool CacheHit = false;
+  uint64_t Quarantined = 0;
+  std::string Reason;     ///< Final error message (when Failed).
+  std::string ResultText; ///< serializeResult() bytes.
+};
+
+/// Hello payload: a worker announcing itself.
+struct HelloMsg {
+  uint64_t WorkerId = 0;
+  uint64_t Pid = 0;
+};
+
+/// Heartbeat payload: liveness while a cell simulates.
+struct HeartbeatMsg {
+  uint64_t WorkerId = 0;
+  /// Cell currently leased, or kIdle between assignments.
+  uint64_t CellIndex = 0;
+  static constexpr uint64_t kIdle = ~0ull;
+};
+
+/// Done payload: the grid completed; \p Report is the full deterministic
+/// report text (sim/Reports.h printGridReport).
+struct DoneMsg {
+  std::string Report;
+  uint64_t Cells = 0;
+  uint64_t FailedCells = 0;
+};
+
+/// Error payload: a human-readable reason the request was refused.
+struct ErrorMsg {
+  std::string Reason;
+};
+
+std::string encodeGridRequest(const GridRequestMsg &M);
+std::string encodeCellAssign(const CellAssignMsg &M);
+std::string encodeCellResult(const CellResultMsg &M);
+std::string encodeHello(const HelloMsg &M);
+std::string encodeHeartbeat(const HeartbeatMsg &M);
+std::string encodeDone(const DoneMsg &M);
+std::string encodeErrorMsg(const ErrorMsg &M);
+
+/// Strict decoders: InvalidInput on any malformed, truncated, trailing or
+/// out-of-range byte; the message is never partially applied.
+Expected<GridRequestMsg> decodeGridRequest(const std::string &Payload);
+Expected<CellAssignMsg> decodeCellAssign(const std::string &Payload);
+Expected<CellResultMsg> decodeCellResult(const std::string &Payload);
+Expected<HelloMsg> decodeHello(const std::string &Payload);
+Expected<HeartbeatMsg> decodeHeartbeat(const std::string &Payload);
+Expected<DoneMsg> decodeDone(const std::string &Payload);
+Expected<ErrorMsg> decodeErrorMsg(const std::string &Payload);
+
+} // namespace serve
+} // namespace dynace
+
+#endif // DYNACE_SERVE_PROTOCOL_H

@@ -1,0 +1,243 @@
+//===- serve/Wire.cpp -----------------------------------------------------==//
+
+#include "serve/Wire.h"
+
+#include "support/FaultInjector.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace dynace;
+using namespace dynace::serve;
+
+const char *dynace::serve::frameTypeName(FrameType T) {
+  switch (T) {
+  case FrameType::Hello:
+    return "hello";
+  case FrameType::GridRequest:
+    return "grid-request";
+  case FrameType::CellAssign:
+    return "cell-assign";
+  case FrameType::CellResult:
+    return "cell-result";
+  case FrameType::Heartbeat:
+    return "heartbeat";
+  case FrameType::Shutdown:
+    return "shutdown";
+  case FrameType::Done:
+    return "done";
+  case FrameType::Error:
+    return "error";
+  }
+  return "?";
+}
+
+uint64_t dynace::serve::fnv1a64(const void *Data, size_t Size, uint64_t Seed) {
+  uint64_t H = Seed;
+  const auto *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != Size; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'Y', 'N', 'W'};
+
+void putU32(std::string &Out, uint32_t V) {
+  for (unsigned I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (unsigned I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+uint32_t getU32(const unsigned char *P) {
+  uint32_t V = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(P[I]) << (8 * I);
+  return V;
+}
+
+uint64_t getU64(const unsigned char *P) {
+  uint64_t V = 0;
+  for (unsigned I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  return V;
+}
+
+/// Checksum covering the type byte and the payload: a frame whose type
+/// byte is flipped must fail the checksum, not execute as another message.
+uint64_t frameChecksum(FrameType Type, const std::string &Payload) {
+  unsigned char T = static_cast<unsigned char>(Type);
+  uint64_t H = fnv1a64(&T, 1);
+  return fnv1a64(Payload.data(), Payload.size(), H);
+}
+
+bool knownFrameType(uint8_t T) {
+  return T >= static_cast<uint8_t>(FrameType::Hello) &&
+         T <= static_cast<uint8_t>(FrameType::Error);
+}
+
+} // namespace
+
+std::string dynace::serve::encodeFrame(FrameType Type,
+                                       const std::string &Payload) {
+  if (Payload.size() > kMaxFramePayload)
+    fatalError("serve frame payload exceeds kMaxFramePayload",
+               Status::error(ErrorCode::InvalidInput,
+                             std::to_string(Payload.size()) + " bytes"));
+  std::string Out;
+  Out.reserve(kFrameHeaderSize + Payload.size());
+  Out.append(kMagic, sizeof(kMagic));
+  Out.push_back(static_cast<char>(kWireVersion));
+  Out.push_back(static_cast<char>(Type));
+  putU32(Out, static_cast<uint32_t>(Payload.size()));
+  putU64(Out, frameChecksum(Type, Payload));
+  Out += Payload;
+  return Out;
+}
+
+Expected<Frame> dynace::serve::decodeFrame(const std::string &Bytes,
+                                           size_t &Consumed) {
+  Consumed = 0;
+  const auto *P = reinterpret_cast<const unsigned char *>(Bytes.data());
+  // Reject a wrong magic as soon as the prefix diverges — a stream that
+  // does not open with "DYNW" is not a short frame, it is garbage.
+  size_t MagicLen = Bytes.size() < sizeof(kMagic) ? Bytes.size()
+                                                  : sizeof(kMagic);
+  if (std::memcmp(Bytes.data(), kMagic, MagicLen) != 0)
+    return Status::error(ErrorCode::InvalidInput, "bad frame magic");
+  if (Bytes.size() < kFrameHeaderSize)
+    return Status::error(ErrorCode::IoError, "incomplete frame header");
+  if (P[4] != kWireVersion)
+    return Status::error(ErrorCode::InvalidInput,
+                         "wire version " + std::to_string(P[4]) +
+                             ", want " + std::to_string(kWireVersion));
+  if (!knownFrameType(P[5]))
+    return Status::error(ErrorCode::InvalidInput,
+                         "unknown frame type " + std::to_string(P[5]));
+  uint32_t Len = getU32(P + 6);
+  if (Len > kMaxFramePayload)
+    return Status::error(ErrorCode::InvalidInput,
+                         "frame payload length " + std::to_string(Len) +
+                             " exceeds cap");
+  uint64_t WantSum = getU64(P + 10);
+  if (Bytes.size() < kFrameHeaderSize + Len)
+    return Status::error(ErrorCode::IoError, "incomplete frame payload");
+
+  Frame F;
+  F.Type = static_cast<FrameType>(P[5]);
+  F.Payload.assign(Bytes, kFrameHeaderSize, Len);
+  if (frameChecksum(F.Type, F.Payload) != WantSum)
+    return Status::error(ErrorCode::InvalidInput,
+                         std::string("frame checksum mismatch (type ") +
+                             frameTypeName(F.Type) + ")");
+  Consumed = kFrameHeaderSize + Len;
+  return F;
+}
+
+namespace {
+
+Status mapSendErrno(int E) {
+  if (E == EPIPE || E == ECONNRESET || E == ENOTCONN)
+    return Status::error(ErrorCode::Unavailable,
+                         std::string("peer gone: ") + std::strerror(E));
+  return Status::error(ErrorCode::IoError,
+                       std::string("send failed: ") + std::strerror(E));
+}
+
+} // namespace
+
+Status dynace::serve::sendFrame(int Fd, FrameType Type,
+                                const std::string &Payload) {
+  if (FaultInjector::instance().shouldFail(FaultSite::RpcSend))
+    return FaultInjector::makeError(FaultSite::RpcSend);
+  std::string Bytes = encodeFrame(Type, Payload);
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return mapSendErrno(errno);
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return Status();
+}
+
+Expected<Frame> dynace::serve::recvFrame(int Fd, int TimeoutMs) {
+  if (FaultInjector::instance().shouldFail(FaultSite::RpcRecv))
+    return FaultInjector::makeError(FaultSite::RpcRecv);
+
+  std::string Buf;
+  bool FirstByte = true;
+  for (;;) {
+    size_t Consumed = 0;
+    Expected<Frame> F = decodeFrame(Buf, Consumed);
+    if (F.ok())
+      return F;
+    if (F.status().code() != ErrorCode::IoError)
+      return F.status(); // Corrupt beyond repair; more bytes cannot help.
+
+    if (FirstByte && TimeoutMs >= 0) {
+      struct pollfd P = {Fd, POLLIN, 0};
+      int R;
+      do {
+        R = ::poll(&P, 1, TimeoutMs);
+      } while (R < 0 && errno == EINTR);
+      if (R == 0)
+        return Status::error(ErrorCode::Timeout,
+                             "no frame within " +
+                                 std::to_string(TimeoutMs) + " ms");
+      if (R < 0)
+        return Status::error(ErrorCode::IoError,
+                             std::string("poll failed: ") +
+                                 std::strerror(errno));
+    }
+
+    // Read ONLY up to this frame's end, never past it: callers share the
+    // socket across recvFrame() calls with no buffer between them, so a
+    // byte of the next frame pulled here would be lost on return. Until
+    // the header is complete the frame length is unknown and reads stay
+    // within the header; after that the remainder is exact. (decodeFrame
+    // rejects oversized lengths from a bare header, so Need is bounded.)
+    size_t Need;
+    if (Buf.size() < kFrameHeaderSize) {
+      Need = kFrameHeaderSize - Buf.size();
+    } else {
+      uint32_t Len = 0;
+      for (unsigned I = 0; I != 4; ++I)
+        Len |= static_cast<uint32_t>(
+                   static_cast<unsigned char>(Buf[6 + I]))
+               << (8 * I);
+      Need = kFrameHeaderSize + Len - Buf.size();
+    }
+    size_t Old = Buf.size();
+    Buf.resize(Old + Need);
+    ssize_t N = ::recv(Fd, &Buf[Old], Need, 0);
+    Buf.resize(Old + (N > 0 ? static_cast<size_t>(N) : 0));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::error(ErrorCode::IoError,
+                           std::string("recv failed: ") +
+                               std::strerror(errno));
+    }
+    if (N == 0)
+      return Status::error(ErrorCode::Unavailable,
+                           Buf.empty() ? "peer closed the connection"
+                                       : "peer closed mid-frame");
+    FirstByte = false;
+  }
+}

@@ -1,0 +1,127 @@
+//===- serve/Wire.h - Length-prefixed framed transport ----------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framing layer of the distributed experiment service (DESIGN.md §16):
+/// every message between the dynace-serve coordinator, its worker
+/// processes and the dynace-submit client travels as one frame over a
+/// local stream socket.
+///
+/// Frame layout (all integers little-endian):
+///
+///   offset  size  field
+///        0     4  magic "DYNW"
+///        4     1  wire version (kWireVersion)
+///        5     1  frame type (FrameType)
+///        6     4  payload length (bytes; <= kMaxFramePayload)
+///       10     8  FNV-1a-64 checksum over type byte + payload
+///       18   len  payload
+///
+/// Bytes off the wire are never trusted: decodeFrame() rejects bad magic,
+/// unknown versions/types, oversized lengths and checksum mismatches with
+/// a structured InvalidInput status, and a peer that feeds garbage is cut
+/// off rather than reasoned with. Truncation at *any* byte offset parses
+/// as "incomplete" (recvFrame keeps reading) or, at EOF, as Unavailable —
+/// never as a different message (pinned by the serve_wire fuzz test,
+/// which truncates and bit-flips a frame at every offset).
+///
+/// sendFrame()/recvFrame() arm the deterministic fault-injection sites
+/// `rpc.send` / `rpc.recv` (support/FaultInjector.h) before touching the
+/// socket, so transport loss is reproducible on demand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SERVE_WIRE_H
+#define DYNACE_SERVE_WIRE_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dynace {
+namespace serve {
+
+/// Wire format version; bump on any change to the frame layout or to a
+/// message payload encoding. Peers of a different version are rejected at
+/// decode (a version skew must never be half-understood).
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Frame header size in bytes (magic + version + type + length + checksum).
+inline constexpr size_t kFrameHeaderSize = 18;
+
+/// Hard cap on a frame payload. Large enough for a full grid report,
+/// small enough that a corrupted length field cannot drive an allocation
+/// bomb.
+inline constexpr uint32_t kMaxFramePayload = 32u << 20;
+
+/// Message kinds of the serve protocol (payload encodings in Protocol.h).
+enum class FrameType : uint8_t {
+  Hello = 1,    ///< worker -> coordinator: "worker <id> is live".
+  GridRequest,  ///< client -> daemon: run this list of cells.
+  CellAssign,   ///< coordinator -> worker: lease one cell.
+  CellResult,   ///< worker -> coordinator: terminal outcome of a cell.
+  Heartbeat,    ///< worker -> coordinator: liveness while simulating.
+  Shutdown,     ///< "stop after current work" (daemon and workers).
+  Done,         ///< daemon -> client: grid complete + report text.
+  Error,        ///< either direction: structured failure message.
+};
+
+/// \returns the spelling of \p T (for diagnostics), or "?".
+const char *frameTypeName(FrameType T);
+
+/// One decoded frame.
+struct Frame {
+  FrameType Type = FrameType::Error;
+  std::string Payload;
+};
+
+/// FNV-1a 64-bit over \p Size bytes at \p Data.
+uint64_t fnv1a64(const void *Data, size_t Size,
+                 uint64_t Seed = 14695981039346656037ull);
+
+/// Encodes a frame of \p Type around \p Payload.
+/// \returns the full wire bytes (header + payload). Payloads above
+///          kMaxFramePayload are a caller bug and are reported via a
+///          fatal error (they cannot be represented on the wire).
+std::string encodeFrame(FrameType Type, const std::string &Payload);
+
+/// Parses one frame from the front of \p Bytes without consuming input.
+///
+/// Outcomes:
+///  * ok — a complete, checksummed frame; \p Consumed is set to its total
+///    size (header + payload);
+///  * IoError "incomplete frame" — \p Bytes is a valid prefix; read more;
+///  * InvalidInput — the bytes can never become a valid frame (bad magic,
+///    version or type, oversized length, checksum mismatch). The caller
+///    must drop the connection; resynchronising inside a corrupt stream
+///    is guessing.
+/// \returns the frame or the status above.
+Expected<Frame> decodeFrame(const std::string &Bytes, size_t &Consumed);
+
+/// Sends one frame over socket \p Fd (blocking, handles partial writes,
+/// MSG_NOSIGNAL so a dead peer reports instead of killing the process).
+/// Arms fault site `rpc.send` first.
+/// \returns ok, or Injected / Unavailable (peer gone: EPIPE, ECONNRESET)
+///          / IoError (other send failure).
+Status sendFrame(int Fd, FrameType Type, const std::string &Payload);
+
+/// Receives exactly one frame from socket \p Fd. Arms fault site
+/// `rpc.recv` first (a fired injection reads nothing — the frame stays
+/// queued for a later, luckier receiver of the stream's next owner; the
+/// caller must treat the peer as lost).
+///
+/// \param TimeoutMs poll budget for the *first* byte; -1 blocks forever.
+///        Once a header starts arriving the frame is read to completion.
+/// \returns the frame, or Timeout (no data inside \p TimeoutMs) /
+///          Unavailable (clean EOF before a frame, or mid-frame EOF) /
+///          InvalidInput (corrupt bytes, via decodeFrame) / Injected.
+Expected<Frame> recvFrame(int Fd, int TimeoutMs = -1);
+
+} // namespace serve
+} // namespace dynace
+
+#endif // DYNACE_SERVE_WIRE_H

@@ -1,0 +1,149 @@
+//===- serve/Worker.cpp ---------------------------------------------------==//
+
+#include "serve/Worker.h"
+
+#include "serve/Protocol.h"
+#include "serve/Wire.h"
+#include "sim/ExperimentRunner.h"
+#include "sim/ResultCache.h"
+#include "support/FaultInjector.h"
+#include "support/ThreadSafety.h"
+#include "workloads/WorkloadProfile.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace dynace;
+using namespace dynace::serve;
+
+namespace {
+
+/// Shared socket state: the cell loop and the heartbeat thread both send
+/// frames, and frames must never interleave on the stream.
+struct WorkerLink {
+  int Fd;
+  uint64_t WorkerId;
+  Mutex SendMutex;
+  /// Cell currently being simulated (HeartbeatMsg::kIdle between cells).
+  std::atomic<uint64_t> CurrentCell{HeartbeatMsg::kIdle};
+  std::atomic<bool> Stop{false};
+
+  Status send(FrameType T, const std::string &Payload) EXCLUDES(SendMutex) {
+    MutexLock L(SendMutex);
+    return sendFrame(Fd, T, Payload);
+  }
+};
+
+void heartbeatLoop(WorkerLink &Link, uint64_t HeartbeatMs) {
+  while (!Link.Stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(HeartbeatMs));
+    if (Link.Stop.load(std::memory_order_acquire))
+      return;
+    HeartbeatMsg M;
+    M.WorkerId = Link.WorkerId;
+    M.CellIndex = Link.CurrentCell.load(std::memory_order_relaxed);
+    // A failed beat is not fatal here: the cell loop owns the verdict on
+    // the transport (and an injected rpc.send drop merely skips a beat —
+    // exactly the silence the coordinator is built to notice).
+    (void)Link.send(FrameType::Heartbeat, encodeHeartbeat(M));
+  }
+}
+
+} // namespace
+
+CellResultMsg dynace::serve::runServeCell(const CellAssignMsg &Assign,
+                                          const SimulationOptions &Base) {
+  CellResultMsg Reply;
+  Reply.CellIndex = Assign.CellIndex;
+  Reply.Cell = Assign.Cell;
+
+  const WorkloadProfile *Profile = findProfile(Assign.Cell.Benchmark);
+  if (!Profile) {
+    Reply.Failed = true;
+    Reply.Code = static_cast<uint8_t>(ErrorCode::InvalidInput);
+    Reply.Reason = "unknown benchmark '" + Assign.Cell.Benchmark + "'";
+    Reply.Attempts = 0;
+    // Even a failed cell carries a parseable (empty) result: commitLocked
+    // re-parses every record, and an unparseable one would be rejected
+    // and the cell re-dispatched forever. Mirrors runExperimentCell's
+    // failed-cell shape.
+    SimulationResult Empty;
+    Empty.SchemeKind = Assign.Cell.SchemeKind;
+    Reply.ResultText = serializeResult(Empty);
+    return Reply;
+  }
+
+  auto [Result, Outcome] =
+      runExperimentCell(*Profile, Assign.Cell.SchemeKind, Base);
+  SimulationOptions KeyOpts = Base;
+  KeyOpts.SchemeKind = Assign.Cell.SchemeKind;
+  Reply.CacheKey = resultCacheKey(Profile->Name, KeyOpts);
+  Reply.Failed = Outcome.Failed;
+  Reply.Code = static_cast<uint8_t>(Outcome.Code);
+  Reply.Attempts = Outcome.Attempts;
+  Reply.CacheHit = Outcome.CacheHit;
+  Reply.Quarantined = Outcome.Quarantined;
+  Reply.Reason = Outcome.Reason;
+  Reply.ResultText = serializeResult(Result);
+  return Reply;
+}
+
+void dynace::serve::serveWorkerMain(int Fd, uint64_t WorkerId,
+                                    uint64_t HeartbeatMs,
+                                    const SimulationOptions &Base) {
+  WorkerLink Link{};
+  Link.Fd = Fd;
+  Link.WorkerId = WorkerId;
+
+  HelloMsg Hello;
+  Hello.WorkerId = WorkerId;
+  Hello.Pid = static_cast<uint64_t>(::getpid());
+  if (!Link.send(FrameType::Hello, encodeHello(Hello)).ok())
+    ::_exit(kWorkerExitError);
+
+  if (HeartbeatMs != 0) {
+    // The thread is never joined: every path below _exit()s, which is the
+    // point — a worker must die instantly and completely, never run the
+    // parent's inherited atexit work.
+    std::thread(heartbeatLoop, std::ref(Link), HeartbeatMs).detach();
+  }
+
+  for (;;) {
+    Expected<Frame> F = recvFrame(Fd);
+    if (!F.ok()) {
+      // EOF means the coordinator is gone or done with us: clean exit.
+      // Anything else (corrupt frame, injected receive drop, I/O error)
+      // is a transport failure the coordinator handles by respawning.
+      ::_exit(F.status().code() == ErrorCode::Unavailable ? kWorkerExitClean
+                                                          : kWorkerExitError);
+    }
+    Frame Msg = F.take();
+    switch (Msg.Type) {
+    case FrameType::Shutdown:
+      ::_exit(kWorkerExitClean);
+    case FrameType::CellAssign: {
+      Expected<CellAssignMsg> E = decodeCellAssign(Msg.Payload);
+      if (!E.ok())
+        ::_exit(kWorkerExitError);
+      CellAssignMsg Assign = E.take();
+      // The chaos tests' crash stand-in: die exactly where a real fault
+      // would — after taking the lease, before producing the result.
+      if (FaultInjector::instance().shouldFail(FaultSite::WorkerCrash))
+        ::_exit(kWorkerExitCrash);
+      Link.CurrentCell.store(Assign.CellIndex, std::memory_order_relaxed);
+      CellResultMsg Reply = runServeCell(Assign, Base);
+      Link.CurrentCell.store(HeartbeatMsg::kIdle, std::memory_order_relaxed);
+      if (!Link.send(FrameType::CellResult, encodeCellResult(Reply)).ok())
+        ::_exit(kWorkerExitError);
+      break;
+    }
+    default:
+      // A coordinator never sends anything else; a frame that decodes to
+      // another type is protocol corruption.
+      ::_exit(kWorkerExitError);
+    }
+  }
+}

@@ -1,0 +1,72 @@
+//===- serve/Worker.h - Serve worker process main ---------------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worker half of the distributed experiment service. A worker is a
+/// fork()ed child of the coordinator sharing one socketpair end with it;
+/// it announces itself (Hello), then loops: receive a CellAssign, run the
+/// cell via sim/ExperimentRunner.h runExperimentCell() — the exact same
+/// execution core as the in-process pipeline, so results are bit-identical
+/// — and reply with a CellResult carrying the serialized result text and
+/// its content-addressed cache key.
+///
+/// A heartbeat thread sends a Heartbeat frame every \p HeartbeatMs while
+/// the main thread simulates, so the coordinator can tell "slow cell"
+/// from "dead worker". Both threads share the socket through one send
+/// mutex (frames must never interleave).
+///
+/// Workers never return: every exit path is _exit(2) —
+///  * kWorkerExitClean (0): Shutdown frame or coordinator EOF;
+///  * kWorkerExitError (2): transport/protocol failure;
+///  * kWorkerExitCrash (3): the deterministic `worker.crash` fault site
+///    fired on a CellAssign — the chaos tests' stand-in for a real crash.
+/// _exit skips atexit handlers (trace flush, sanitizer leak check), which
+/// is deliberate: a worker shares the parent's inherited state and must
+/// not flush or double-report it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_SERVE_WORKER_H
+#define DYNACE_SERVE_WORKER_H
+
+#include "serve/Protocol.h"
+#include "sim/System.h"
+
+#include <cstdint>
+
+namespace dynace {
+namespace serve {
+
+inline constexpr int kWorkerExitClean = 0;
+inline constexpr int kWorkerExitError = 2;
+inline constexpr int kWorkerExitCrash = 3;
+
+/// Runs one assigned cell to its terminal outcome (runExperimentCell
+/// under \p Base) and encodes the CellResult reply: serialized result
+/// text, content-addressed cache key, outcome taxonomy. Shared by the
+/// worker loop and by the coordinator's inline-fallback path, so both
+/// produce byte-identical records. An unknown benchmark name yields a
+/// Failed/InvalidInput reply (Attempts = 0), never a crash.
+/// \returns the encoded reply message.
+CellResultMsg runServeCell(const CellAssignMsg &Assign,
+                           const SimulationOptions &Base);
+
+/// Runs the worker protocol loop on socket \p Fd. Never returns (always
+/// _exit with one of the codes above).
+///
+/// \param Fd the worker's socketpair end to the coordinator.
+/// \param WorkerId this worker's id (echoed in Hello and Heartbeats).
+/// \param HeartbeatMs heartbeat period; 0 disables the heartbeat thread.
+/// \param Base simulation options shared by every cell (SchemeKind is
+///        overridden per assignment).
+[[noreturn]] void serveWorkerMain(int Fd, uint64_t WorkerId,
+                                  uint64_t HeartbeatMs,
+                                  const SimulationOptions &Base);
+
+} // namespace serve
+} // namespace dynace
+
+#endif // DYNACE_SERVE_WORKER_H

@@ -48,17 +48,21 @@ SimulationOptions ExperimentRunner::defaultOptions() {
 }
 
 const GeneratedWorkload &
-ExperimentRunner::workload(const WorkloadProfile &Profile) {
+dynace::cachedWorkload(const WorkloadProfile &Profile) {
   // Map nodes are stable, so the returned reference survives later
-  // insertions by other workers.
-  std::lock_guard<std::mutex> Lock(WorkloadsMutex);
-  auto It = Workloads.find(Profile.Name);
-  if (It == Workloads.end()) {
+  // insertions by other workers. Leaked pointer: serve workers may hold
+  // references across static destruction (they _exit()).
+  static std::mutex *WorkloadsMutex = new std::mutex();
+  static std::map<std::string, GeneratedWorkload> *Workloads =
+      new std::map<std::string, GeneratedWorkload>();
+  std::lock_guard<std::mutex> Lock(*WorkloadsMutex);
+  auto It = Workloads->find(Profile.Name);
+  if (It == Workloads->end()) {
     DYNACE_PROFILE_SCOPE("generate");
     DYNACE_TRACE_SCOPE("runner", "generate",
                        obs::traceArg("workload", Profile.Name));
     It = Workloads
-             .emplace(Profile.Name, WorkloadGenerator::generate(Profile))
+             ->emplace(Profile.Name, WorkloadGenerator::generate(Profile))
              .first;
   }
   return It->second;
@@ -95,14 +99,14 @@ std::vector<RunStats> ExperimentRunner::stats() const {
 }
 
 std::pair<SimulationResult, CellOutcome>
-ExperimentRunner::runSchemeChecked(const WorkloadProfile &Profile, Scheme S) {
+dynace::runExperimentCell(const WorkloadProfile &Profile, Scheme S,
+                          const SimulationOptions &Base) {
   SimulationOptions Opts = Base;
   Opts.SchemeKind = S;
   // The watchdog is an execution-policy knob, not a result input: read it
   // from the environment here and keep it out of resultCacheKey().
   if (Opts.TimeoutMs == 0)
     Opts.TimeoutMs = envUnsignedOr("DYNACE_RUN_TIMEOUT_MS", 0);
-  auto Start = std::chrono::steady_clock::now();
   DYNACE_TRACE_SCOPE("runner", "cell",
                      obs::traceArg("cell", Profile.Name + "/" +
                                                schemeName(S)));
@@ -114,7 +118,6 @@ ExperimentRunner::runSchemeChecked(const WorkloadProfile &Profile, Scheme S) {
   std::unique_lock<std::mutex> KeyLock = lockResultKey(Key);
 
   CellOutcome Outcome;
-  uint64_t Quarantined = 0;
   std::string Dir = cacheDir();
   std::string Path;
   if (!Dir.empty()) {
@@ -126,8 +129,7 @@ ExperimentRunner::runSchemeChecked(const WorkloadProfile &Profile, Scheme S) {
       SimulationResult R = Cached.take();
       DYNACE_TRACE_INSTANT("cache", "hit", obs::traceArg("key", Key));
       MetricsRegistry::process().counter("cache.hits").inc();
-      recordStats(Profile, S, R, /*CacheHit=*/true, secondsSince(Start),
-                  Outcome, /*Quarantined=*/0);
+      Outcome.CacheHit = true;
       return {std::move(R), Outcome};
     }
     DYNACE_TRACE_INSTANT("cache", "miss", obs::traceArg("key", Key));
@@ -139,13 +141,13 @@ ExperimentRunner::runSchemeChecked(const WorkloadProfile &Profile, Scheme S) {
       std::fprintf(stderr, "[dynace] cache: %s\n",
                    Cached.status().toString().c_str());
     if (Cached.status().code() == ErrorCode::InvalidInput) {
-      Quarantined = 1; // loadResultChecked() quarantined the entry.
+      Outcome.Quarantined = 1; // loadResultChecked() quarantined the entry.
       DYNACE_TRACE_INSTANT("cache", "quarantine", obs::traceArg("key", Key));
       MetricsRegistry::process().counter("cache.quarantined").inc();
     }
   }
 
-  const GeneratedWorkload &W = workload(Profile);
+  const GeneratedWorkload &W = cachedWorkload(Profile);
   // Total attempts = 1 + DYNACE_MAX_RETRIES. Retrying helps transient
   // faults (injected ones, watchdog near-misses); deterministic failures
   // burn the budget and surface as a FAILED cell.
@@ -154,16 +156,42 @@ ExperimentRunner::runSchemeChecked(const WorkloadProfile &Profile, Scheme S) {
   SimulationResult R;
   for (uint64_t Attempt = 0;; ++Attempt) {
     Outcome.Attempts = static_cast<unsigned>(Attempt) + 1;
+    // Per-attempt watchdog budget: the deadline is measured from THIS
+    // attempt's start, never from the cell's. Earlier attempts, their
+    // backoff, and injected stalls do not shrink a later attempt's budget.
+    auto AttemptStart = std::chrono::steady_clock::now();
     Status Err;
     if (FI.shouldFail(FaultSite::RunnerWorker)) {
       Err = FaultInjector::makeError(FaultSite::RunnerWorker);
     } else {
-      System Sys(W.Prog, Opts);
-      Expected<SimulationResult> E = Sys.runChecked();
-      if (E)
-        R = E.take();
-      else
-        Err = E.status();
+      if (FI.shouldFail(FaultSite::WorkerStall)) {
+        // A deterministic straggler: this attempt sleeps before touching
+        // the simulator, exercising serve lease expiry and the
+        // per-attempt watchdog below.
+        uint64_t StallMs = envUnsignedOr("DYNACE_STALL_MS", 100, 0, 600000);
+        DYNACE_TRACE_INSTANT("runner", "stall",
+                             obs::traceArg("stall_ms", StallMs));
+        MetricsRegistry::process().counter("runner.stalls").inc();
+        std::this_thread::sleep_for(std::chrono::milliseconds(StallMs));
+      }
+      uint64_t AttemptElapsedMs = static_cast<uint64_t>(
+          secondsSince(AttemptStart) * 1000.0);
+      if (Opts.TimeoutMs != 0 && AttemptElapsedMs >= Opts.TimeoutMs) {
+        // The attempt overran its own budget before simulating (stalled
+        // worker); the NEXT attempt starts with a fresh budget.
+        Err = Status::error(
+            ErrorCode::Timeout,
+            "attempt spent " + std::to_string(AttemptElapsedMs) +
+                " ms of its " + std::to_string(Opts.TimeoutMs) +
+                " ms per-attempt budget before simulating");
+      } else {
+        System Sys(W.Prog, Opts);
+        Expected<SimulationResult> E = Sys.runChecked();
+        if (E)
+          R = E.take();
+        else
+          Err = E.status();
+      }
     }
     if (Err.ok())
       break;
@@ -205,9 +233,17 @@ ExperimentRunner::runSchemeChecked(const WorkloadProfile &Profile, Scheme S) {
       std::fprintf(stderr, "[dynace] cache: %s\n",
                    SaveErr.toString().c_str());
   }
-  recordStats(Profile, S, R, /*CacheHit=*/false, secondsSince(Start),
-              Outcome, Quarantined);
   return {std::move(R), Outcome};
+}
+
+std::pair<SimulationResult, CellOutcome>
+ExperimentRunner::runSchemeChecked(const WorkloadProfile &Profile, Scheme S) {
+  auto Start = std::chrono::steady_clock::now();
+  std::pair<SimulationResult, CellOutcome> Cell =
+      runExperimentCell(Profile, S, Base);
+  recordStats(Profile, S, Cell.first, Cell.second.CacheHit,
+              secondsSince(Start), Cell.second, Cell.second.Quarantined);
+  return Cell;
 }
 
 SimulationResult ExperimentRunner::runScheme(const WorkloadProfile &Profile,
@@ -247,7 +283,7 @@ ExperimentRunner::runAll(const std::vector<WorkloadProfile> &Profiles,
   // Generate all workloads up front so every worker starts from the same
   // immutable programs instead of serializing on the generation lock.
   for (const WorkloadProfile &P : Profiles)
-    workload(P);
+    cachedWorkload(P);
 
   constexpr Scheme Schemes[] = {Scheme::Baseline, Scheme::Bbv,
                                 Scheme::Hotspot};
@@ -301,7 +337,7 @@ ExperimentRunner::runAllScheme(const std::vector<WorkloadProfile> &Profiles,
   if (Jobs == 0)
     Jobs = ThreadPool::defaultThreadCount();
   for (const WorkloadProfile &P : Profiles)
-    workload(P);
+    cachedWorkload(P);
 
   std::vector<std::future<SimulationResult>> Futures;
   Futures.reserve(Profiles.size());

@@ -36,6 +36,20 @@
 /// simulations are deterministic, a run whose injected faults all resolved
 /// within the retry budget is bit-identical to an undisturbed run.
 ///
+/// **Watchdog semantics — per attempt, never cumulative.** Every attempt
+/// gets a fresh DYNACE_RUN_TIMEOUT_MS budget measured from its own start:
+/// wall clock burnt by earlier failed attempts, retry backoff, or an
+/// injected `worker.stall` delay never counts against a later attempt. A
+/// stalled attempt that overruns its own budget before the simulator even
+/// starts fails with ErrorCode::Timeout and is retried like any other
+/// transient failure (pinned by the PerAttemptTimeoutBudget regression
+/// test).
+///
+/// Cell execution is a free function — runExperimentCell() — so the
+/// distributed experiment service (src/serve/) can run cells in worker
+/// processes without constructing a runner; ExperimentRunner's methods
+/// delegate to it and add only in-memory memoization and accounting.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNACE_SIM_EXPERIMENTRUNNER_H
@@ -60,6 +74,9 @@ struct CellOutcome {
   ErrorCode Code = ErrorCode::InvalidInput;
   std::string Reason;    ///< Final attempt's error message (when Failed).
   unsigned Attempts = 1; ///< Simulation attempts consumed (1 = no retry).
+  bool CacheHit = false; ///< Served from the on-disk result cache.
+  /// Corrupt cache entries quarantined while probing this cell.
+  uint64_t Quarantined = 0;
 
   /// \returns "ok", or "FAILED(<code>)" for report cells.
   std::string label() const;
@@ -139,6 +156,33 @@ struct BenchmarkRun {
            1.0;
   }
 };
+
+/// Runs one (benchmark, scheme) cell to its terminal outcome: probe the
+/// on-disk result cache (under the key's in-process lock), simulate under
+/// the per-attempt retry/backoff/watchdog policy, publish the fresh result
+/// back to the cache. Never aborts: when every attempt fails the outcome
+/// carries the final error and the result is empty (scheme field only).
+///
+/// This is the execution core shared by ExperimentRunner (in-process
+/// grids) and the serve worker processes (src/serve/Worker.h): generated
+/// workloads are memoized process-wide, so repeated cells of one benchmark
+/// generate its program once per process.
+///
+/// \param Profile the benchmark to run.
+/// \param S the management scheme to evaluate.
+/// \param Base options shared by all runs; SchemeKind is overridden with
+///        \p S, and TimeoutMs (when 0) is read from DYNACE_RUN_TIMEOUT_MS.
+/// \returns the result and its cell outcome.
+std::pair<SimulationResult, CellOutcome>
+runExperimentCell(const WorkloadProfile &Profile, Scheme S,
+                  const SimulationOptions &Base);
+
+/// Process-wide generated-workload memo used by runExperimentCell() (and
+/// by ExperimentRunner's pre-generation pass). Generation is deterministic
+/// so sharing across runners is safe; map nodes are stable, so the
+/// returned reference stays valid for the process lifetime.
+/// \returns the generated workload for \p Profile.
+const GeneratedWorkload &cachedWorkload(const WorkloadProfile &Profile);
 
 /// Accounting for one completed (benchmark, scheme) simulation: what ran,
 /// where the result came from, and how long producing it took.
@@ -220,17 +264,13 @@ public:
   std::vector<RunStats> stats() const;
 
 private:
-  const GeneratedWorkload &workload(const WorkloadProfile &Profile);
   void recordStats(const WorkloadProfile &Profile, Scheme S,
                    const SimulationResult &R, bool CacheHit,
                    double WallSeconds, const CellOutcome &Outcome,
                    uint64_t Quarantined);
 
   SimulationOptions Base;
-  std::map<std::string, GeneratedWorkload> Workloads;
   std::map<std::string, BenchmarkRun> Cache;
-  /// Serializes workload generation and map access.
-  std::mutex WorkloadsMutex;
   /// Guards Cache; never held while simulating.
   std::mutex CacheMutex;
   /// Guards Stats.

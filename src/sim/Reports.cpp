@@ -4,6 +4,7 @@
 
 #include "obs/Profile.h"
 #include "obs/Trace.h"
+#include "sim/ResultCache.h"
 #include "support/Env.h"
 #include "support/Format.h"
 #include "support/Statistics.h"
@@ -503,4 +504,36 @@ void dynace::printMetrics(std::ostream &OS,
   T.print(OS, std::string("Observability metrics per run, ") + schemeName(S) +
                   " scheme (histograms: count and log2-bucket percentile "
                   "lower bounds)");
+}
+
+void dynace::printGridReport(std::ostream &OS,
+                             const std::vector<BenchmarkRun> &Runs) {
+  OS << "== DynACE grid report (" << Runs.size() << " benchmarks x 3 schemes)"
+     << " ==\n\n";
+  printFigure3(OS, Runs);
+  OS << "\n";
+  printFigure4(OS, Runs);
+  OS << "\n";
+  printTable6(OS, Runs);
+  OS << "\nCell digests (FNV-1a-64 of the canonical result serialization)\n";
+  auto Digest = [](const SimulationResult &R) {
+    std::string Text = serializeResult(R);
+    uint64_t H = 14695981039346656037ull;
+    for (unsigned char C : Text) {
+      H ^= C;
+      H *= 1099511628211ull;
+    }
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%016llx",
+                  static_cast<unsigned long long>(H));
+    return std::string(Buf);
+  };
+  for (const BenchmarkRun &Run : Runs)
+    for (Scheme S : {Scheme::Baseline, Scheme::Bbv, Scheme::Hotspot}) {
+      const SimulationResult &R = S == Scheme::Baseline ? Run.Baseline
+                                  : S == Scheme::Bbv    ? Run.Bbv
+                                                        : Run.Hotspot;
+      OS << "  " << Run.Name << " " << schemeName(S) << " "
+         << Run.outcome(S).label() << " " << Digest(R) << "\n";
+    }
 }

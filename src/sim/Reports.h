@@ -56,6 +56,15 @@ void printFigure4(std::ostream &OS, const std::vector<BenchmarkRun> &Runs);
 /// pipeline's wall clock by roughly the parallel speedup.
 void printRunStats(std::ostream &OS, const std::vector<RunStats> &Stats);
 
+/// The deterministic grid report of the distributed experiment service
+/// (src/serve/): the energy/performance/coverage tables (Figures 3-4,
+/// Table 6) plus one digest line per (benchmark, scheme) cell — an
+/// FNV-1a-64 over the cell's canonical serializeResult() text. Contains
+/// no wall times, host names or other nondeterminism, so a serve run is
+/// bit-identical to a serial in-process run of the same grid — the
+/// invariant the serve chaos tests and scripts/check_serve.sh assert.
+void printGridReport(std::ostream &OS, const std::vector<BenchmarkRun> &Runs);
+
 /// Observability metrics: the per-run MetricsSnapshot recorded by each
 /// simulation under scheme \p S, one column per benchmark. Counters print
 /// verbatim; histograms print as "count (p50/p99 lower bounds)"; gauges

@@ -291,30 +291,29 @@ bool dynace::saveResult(const std::string &Path, const SimulationResult &R) {
   return saveResultChecked(Path, R).ok();
 }
 
-Expected<SimulationResult> dynace::loadResultChecked(const std::string &Path) {
-  if (FaultInjector::instance().shouldFail(FaultSite::CacheRead))
-    return FaultInjector::makeError(FaultSite::CacheRead);
+namespace {
 
-  FILE *F = std::fopen(Path.c_str(), "r");
-  if (!F)
-    return Status::error(ErrorCode::IoError,
-                         "no cache entry '" + Path +
-                             "': " + std::strerror(errno));
+/// Parses one serialized result from \p F (which is NOT closed). Every
+/// failure is InvalidInput carrying the reason — the file loader maps that
+/// to quarantine, the in-memory parsers surface it as-is — except a
+/// well-formed entry of another kResultCacheVersion, which is IoError (a
+/// plain miss for the file loader, "stale version" for wire payloads).
+Expected<SimulationResult> parseResultStream(FILE *F) {
+  auto Corrupt = [](const char *Why) {
+    return Status::error(ErrorCode::InvalidInput, Why);
+  };
   char Magic[64] = {0};
-  if (std::fscanf(F, "%63s", Magic) != 1) {
-    std::fclose(F);
-    return quarantineCorruptEntry(Path, "empty or unreadable header");
-  }
+  if (std::fscanf(F, "%63s", Magic) != 1)
+    return Corrupt("empty or unreadable header");
   if (std::string(Magic) != cacheMagic()) {
-    std::fclose(F);
     // An entry from another format version is expected in a shared cache
     // directory (old binaries, future binaries): a plain miss, left in
     // place. Anything else claiming to be a cache entry is corruption.
     if (std::string(Magic).rfind("dynace-result-v", 0) == 0)
       return Status::error(ErrorCode::IoError,
-                           "stale cache entry '" + Path + "' (version " +
-                               Magic + ", want " + cacheMagic() + ")");
-    return quarantineCorruptEntry(Path, "bad magic");
+                           std::string("stale entry version ") + Magic +
+                               ", want " + cacheMagic());
+    return Corrupt("bad magic");
   }
   Reader In(F);
   SimulationResult R;
@@ -354,10 +353,8 @@ Expected<SimulationResult> dynace::loadResultChecked(const std::string &Path) {
       AceCuReport Cu;
       char Key[64], Name[64];
       if (std::fscanf(F, "%63s %63s", Key, Name) != 2 ||
-          std::string(Key) != "cu") {
-        std::fclose(F);
-        return quarantineCorruptEntry(Path, "malformed cu record");
-      }
+          std::string(Key) != "cu")
+        return Corrupt("malformed cu record");
       Cu.CuName = Name;
       Cu.NumHotspots = In.u64("cu_hotspots");
       Cu.TunedHotspots = In.u64("cu_tuned");
@@ -388,10 +385,8 @@ Expected<SimulationResult> dynace::loadResultChecked(const std::string &Path) {
   // so corrupted sizes cannot drive unbounded loops or allocations.
   constexpr uint64_t kMaxInstruments = 512;
   uint64_t NumCounters = In.u64("metrics_counters");
-  if (In.ok() && NumCounters > kMaxInstruments) {
-    std::fclose(F);
-    return quarantineCorruptEntry(Path, "metrics counter count out of range");
-  }
+  if (In.ok() && NumCounters > kMaxInstruments)
+    return Corrupt("metrics counter count out of range");
   // Names load into std::map, so the canonical serialization is sorted;
   // requiring strictly increasing identifier-charset names on the way in
   // makes the parse byte-faithful (a corrupted name that reorders — or
@@ -411,36 +406,28 @@ Expected<SimulationResult> dynace::loadResultChecked(const std::string &Path) {
     uint64_t V = 0;
     if (std::fscanf(F, "%7s %127s %" SCNu64, Key, Name, &V) != 3 ||
         std::string(Key) != "mc" || !ValidMetricName(Name) ||
-        Name <= PrevName) {
-      std::fclose(F);
-      return quarantineCorruptEntry(Path, "malformed metrics counter");
-    }
+        Name <= PrevName)
+      return Corrupt("malformed metrics counter");
     PrevName = Name;
     R.Metrics.Counters[Name] = V;
   }
   uint64_t NumGauges = In.u64("metrics_gauges");
-  if (In.ok() && NumGauges > kMaxInstruments) {
-    std::fclose(F);
-    return quarantineCorruptEntry(Path, "metrics gauge count out of range");
-  }
+  if (In.ok() && NumGauges > kMaxInstruments)
+    return Corrupt("metrics gauge count out of range");
   PrevName.clear();
   for (uint64_t I = 0; I != NumGauges && In.ok(); ++I) {
     char Key[8], Name[128];
     double V = 0;
     if (std::fscanf(F, "%7s %127s %lg", Key, Name, &V) != 3 ||
         std::string(Key) != "mg" || !ValidMetricName(Name) ||
-        Name <= PrevName) {
-      std::fclose(F);
-      return quarantineCorruptEntry(Path, "malformed metrics gauge");
-    }
+        Name <= PrevName)
+      return Corrupt("malformed metrics gauge");
     PrevName = Name;
     R.Metrics.Gauges[Name] = V;
   }
   uint64_t NumHistograms = In.u64("metrics_histograms");
-  if (In.ok() && NumHistograms > kMaxInstruments) {
-    std::fclose(F);
-    return quarantineCorruptEntry(Path, "metrics histogram count out of range");
-  }
+  if (In.ok() && NumHistograms > kMaxInstruments)
+    return Corrupt("metrics histogram count out of range");
   PrevName.clear();
   for (uint64_t I = 0; I != NumHistograms && In.ok(); ++I) {
     char Key[8], Name[128];
@@ -450,46 +437,69 @@ Expected<SimulationResult> dynace::loadResultChecked(const std::string &Path) {
                     &NumBuckets) != 4 ||
         std::string(Key) != "mh" || !ValidMetricName(Name) ||
         Name <= PrevName ||
-        NumBuckets > kHistogramBuckets) {
-      std::fclose(F);
-      return quarantineCorruptEntry(Path, "malformed metrics histogram");
-    }
+        NumBuckets > kHistogramBuckets)
+      return Corrupt("malformed metrics histogram");
     PrevName = Name;
     HistogramSnapshot H;
     H.Sum = Sum;
     H.Buckets.resize(NumBuckets);
     for (size_t B = 0; B != NumBuckets; ++B) {
-      if (std::fscanf(F, "%" SCNu64, &H.Buckets[B]) != 1) {
-        std::fclose(F);
-        return quarantineCorruptEntry(Path, "malformed metrics histogram");
-      }
+      if (std::fscanf(F, "%" SCNu64, &H.Buckets[B]) != 1)
+        return Corrupt("malformed metrics histogram");
       H.Count += H.Buckets[B]; // Count is derived, not stored.
     }
     R.Metrics.Histograms[Name] = std::move(H);
   }
-  if (In.ok()) {
+  {
     char End[8] = {0};
-    if (std::fscanf(F, "%7s", End) != 1 || std::string(End) != "end") {
-      std::fclose(F);
-      return quarantineCorruptEntry(Path, "missing end marker");
-    }
+    if (std::fscanf(F, "%7s", End) != 1 || std::string(End) != "end")
+      return Corrupt("missing end marker");
   }
 
-  bool Ok = In.ok();
   // Reject trailing junk: a corrupted byte in the final field's digits
   // would otherwise load as a silently shortened value (fscanf stops at
   // the first non-digit and nothing ever reads the remainder).
-  if (Ok) {
-    int C;
-    while ((C = std::fgetc(F)) != EOF && std::isspace(C))
-      ;
-    if (C != EOF)
-      Ok = false;
-  }
-  std::fclose(F);
-  if (!Ok)
-    return quarantineCorruptEntry(Path, "truncated or malformed fields");
+  int C;
+  while ((C = std::fgetc(F)) != EOF && std::isspace(C))
+    ;
+  if (C != EOF)
+    return Corrupt("truncated or malformed fields");
+  if (!In.ok())
+    return Corrupt("truncated or malformed fields");
   return R;
+}
+
+} // namespace
+
+Expected<SimulationResult> dynace::parseResultText(const std::string &Text) {
+  FILE *F = ::fmemopen(const_cast<char *>(Text.data()),
+                       Text.size(), "r");
+  if (!F)
+    return Status::error(ErrorCode::IoError, "fmemopen failed");
+  Expected<SimulationResult> R = parseResultStream(F);
+  std::fclose(F);
+  return R;
+}
+
+Expected<SimulationResult> dynace::loadResultChecked(const std::string &Path) {
+  if (FaultInjector::instance().shouldFail(FaultSite::CacheRead))
+    return FaultInjector::makeError(FaultSite::CacheRead);
+
+  FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return Status::error(ErrorCode::IoError,
+                         "no cache entry '" + Path +
+                             "': " + std::strerror(errno));
+  Expected<SimulationResult> R = parseResultStream(F);
+  std::fclose(F);
+  if (R.ok())
+    return R;
+  if (R.status().code() == ErrorCode::IoError)
+    // Stale version: a plain miss, left in place for the matching binary.
+    return Status::error(ErrorCode::IoError,
+                         "stale cache entry '" + Path + "' (" +
+                             R.status().message() + ")");
+  return quarantineCorruptEntry(Path, R.status().message().c_str());
 }
 
 bool dynace::loadResult(const std::string &Path, SimulationResult &R) {

@@ -79,6 +79,15 @@ Status saveResultChecked(const std::string &Path, const SimulationResult &R);
 /// dropped). \returns true on success.
 bool saveResult(const std::string &Path, const SimulationResult &R);
 
+/// Parses a result from its canonical serializeResult() text held in
+/// memory — the same strict parse as loadResultChecked(), with no file
+/// and therefore no quarantine. The serve transport and journal use this
+/// to deserialize result payloads received over the wire, which must
+/// never be trusted.
+/// \returns the result, or InvalidInput (malformed/truncated/bit-flipped
+///          bytes) / IoError (entry of a different kResultCacheVersion).
+Expected<SimulationResult> parseResultText(const std::string &Text);
+
 /// Loads a result previously written by saveResult().
 ///
 /// Every failure is a structured error the caller can triage:

@@ -21,6 +21,14 @@ const char *dynace::faultSiteName(FaultSite Site) {
     return "cache.rename";
   case FaultSite::RunnerWorker:
     return "runner.worker";
+  case FaultSite::RpcSend:
+    return "rpc.send";
+  case FaultSite::RpcRecv:
+    return "rpc.recv";
+  case FaultSite::WorkerCrash:
+    return "worker.crash";
+  case FaultSite::WorkerStall:
+    return "worker.stall";
   }
   return "?";
 }
@@ -86,7 +94,8 @@ Status FaultInjector::configure(const char *Spec) {
       return Status::error(ErrorCode::InvalidInput,
                            "unknown fault site '" + SiteName +
                                "' (sites: cache.read, cache.write, "
-                               "cache.rename, runner.worker)");
+                               "cache.rename, runner.worker, rpc.send, "
+                               "rpc.recv, worker.crash, worker.stall)");
 
     std::optional<uint64_t> Rate =
         parseUnsignedInt(Entry.substr(C1 + 1, C2 - C1 - 1).c_str());

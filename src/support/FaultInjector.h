@@ -22,9 +22,15 @@
 ///    guaranteed to get past the site (tests retry + bit-identical
 ///    results); seed selects which armings fail.
 ///
-/// Sites: `cache.read`, `cache.write`, `cache.rename` (ResultCache I/O)
-/// and `runner.worker` (ExperimentRunner per-cell worker entry). Malformed
-/// specs are rejected with a structured InvalidInput error (fatal at
+/// Sites: `cache.read`, `cache.write`, `cache.rename` (ResultCache I/O),
+/// `runner.worker` (ExperimentRunner per-cell worker entry), and the
+/// distributed-service sites `rpc.send` / `rpc.recv` (serve/Wire framed
+/// transport), `worker.crash` (serve worker exits mid-cell) and
+/// `worker.stall` (a cell attempt sleeps DYNACE_STALL_MS before
+/// simulating, exercising lease expiry and the per-attempt watchdog).
+/// Multiple comma-separated clauses may arm different sites simultaneously
+/// (e.g. transport + cache chaos in one run); duplicate sites are rejected
+/// with a clear InvalidInput error, as are malformed specs (fatal at
 /// process startup, same strictness as support/Env).
 ///
 /// With no spec configured, \c shouldFail() is a single relaxed atomic
@@ -48,10 +54,15 @@ enum class FaultSite : uint8_t {
   CacheWrite,   ///< ResultCache saveResult temp-file write.
   CacheRename,  ///< ResultCache saveResult atomic publish rename.
   RunnerWorker, ///< ExperimentRunner per-(benchmark, scheme) worker entry.
+  RpcSend,      ///< serve/Wire sendFrame entry (transport send drops).
+  RpcRecv,      ///< serve/Wire recvFrame entry (transport receive drops).
+  WorkerCrash,  ///< serve worker cell receipt: the worker process exits.
+  WorkerStall,  ///< per-attempt stall (sleep DYNACE_STALL_MS) before a
+                ///< simulation attempt — straggler / watchdog exercise.
 };
 
 /// Number of distinct injection sites.
-inline constexpr unsigned kNumFaultSites = 4;
+inline constexpr unsigned kNumFaultSites = 8;
 
 /// \returns the spec/spelling name of \p Site (e.g. "cache.read").
 const char *faultSiteName(FaultSite Site);

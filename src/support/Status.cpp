@@ -25,6 +25,8 @@ const char *dynace::errorCodeName(ErrorCode Code) {
     return "timeout";
   case ErrorCode::Injected:
     return "injected";
+  case ErrorCode::Unavailable:
+    return "unavailable";
   }
   return "?";
 }

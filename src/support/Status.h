@@ -47,11 +47,13 @@ enum class ErrorCode : uint8_t {
   IoError,      ///< A filesystem operation failed (open/write/rename).
   Timeout,      ///< A watchdog deadline expired before the run finished.
   Injected,     ///< A deterministic FaultInjector site fired.
+  Unavailable,  ///< A peer process is gone (worker crash, closed socket,
+                ///< unreachable daemon) — retryable against a fresh peer.
 };
 
 /// \returns the stable short name of \p Code ("invalid-input", "trap",
-///          "io-error", "timeout", "injected") — used in FAILED(<code>)
-///          report cells and log lines.
+///          "io-error", "timeout", "injected", "unavailable") — used in
+///          FAILED(<code>) report cells and log lines.
 const char *errorCodeName(ErrorCode Code);
 
 class Status;

@@ -58,6 +58,7 @@ protected:
     unsetenv("DYNACE_CACHE_DIR");
     unsetenv("DYNACE_MAX_RETRIES");
     unsetenv("DYNACE_RUN_TIMEOUT_MS");
+    unsetenv("DYNACE_STALL_MS");
     unsetenv("DYNACE_FAULT_SPEC");
   }
 };
@@ -289,6 +290,64 @@ TEST_F(FaultInjection, ExhaustedRetriesFailTheCellButCompleteTheGrid) {
   printFigure3(Tables, Runs);
   printFigure4(Tables, Runs);
   EXPECT_NE(Tables.str().find("FAILED(injected)"), std::string::npos);
+}
+
+TEST_F(FaultInjection, MultiClauseSpecFiresEverySiteIndependently) {
+  // The positive half of the multi-clause DYNACE_FAULT_SPEC contract: with
+  // several sites armed SIMULTANEOUSLY, each follows its own
+  // (N + seed) % rate counter, every site fires, and the pipeline still
+  // degrades to bit-identical results.
+  const WorkloadProfile &P = specjvm98Profiles()[0];
+  ExperimentRunner Golden(quickOptions());
+  std::string GoldenBytes =
+      serializeResult(Golden.runScheme(P, Scheme::Baseline));
+
+  std::string Dir = freshDir("multisite");
+  ASSERT_EQ(setenv("DYNACE_CACHE_DIR", Dir.c_str(), 1), 0);
+  FaultInjector &FI = FaultInjector::instance();
+  ASSERT_TRUE(
+      FI.configure("cache.read:2:0,cache.write:2:0,runner.worker:2:1").ok());
+
+  // Run 1: the read probe faults (-> miss), the first attempt survives
+  // (seed 1), the publish faults (-> unpublished). Run 2: the read probe
+  // passes but finds nothing, the first attempt faults and the retry
+  // recovers, the publish succeeds.
+  ExperimentRunner Runner(quickOptions());
+  SimulationResult R1 = Runner.runScheme(P, Scheme::Baseline);
+  SimulationResult R2 = Runner.runScheme(P, Scheme::Baseline);
+  EXPECT_GE(FI.firedCount(FaultSite::CacheRead), 1u);
+  EXPECT_GE(FI.firedCount(FaultSite::CacheWrite), 1u);
+  EXPECT_GE(FI.firedCount(FaultSite::RunnerWorker), 1u);
+  EXPECT_EQ(serializeResult(R1), GoldenBytes);
+  EXPECT_EQ(serializeResult(R2), GoldenBytes);
+}
+
+TEST_F(FaultInjection, PerAttemptTimeoutBudget) {
+  // DYNACE_RUN_TIMEOUT_MS is a PER-ATTEMPT budget: an injected stall burns
+  // attempt 1's own budget before it ever simulates (Timeout), and attempt
+  // 2 starts with a fresh deadline — earlier attempts, their backoff, and
+  // their stalls must never shrink a later attempt's budget. If the
+  // deadline were measured from the cell's start instead, attempt 2 would
+  // inherit an already-expired budget and the cell could never recover.
+  const WorkloadProfile &P = specjvm98Profiles()[0];
+  std::string GoldenBytes =
+      serializeResult(runExperimentCell(P, Scheme::Baseline, quickOptions())
+                          .first);
+
+  ASSERT_EQ(setenv("DYNACE_STALL_MS", "2000", 1), 0);
+  ASSERT_EQ(setenv("DYNACE_RUN_TIMEOUT_MS", "1500", 1), 0);
+  FaultInjector &FI = FaultInjector::instance();
+  ASSERT_TRUE(FI.configure("worker.stall:2:0").ok());
+
+  auto [R, Outcome] = runExperimentCell(P, Scheme::Baseline, quickOptions());
+  EXPECT_EQ(FI.firedCount(FaultSite::WorkerStall), 1u);
+  ASSERT_TRUE(FI.configure("").ok());
+  unsetenv("DYNACE_STALL_MS");
+  unsetenv("DYNACE_RUN_TIMEOUT_MS");
+  EXPECT_FALSE(Outcome.Failed) << Outcome.Reason;
+  EXPECT_EQ(Outcome.Attempts, 2u)
+      << "attempt 1 times out pre-simulation, attempt 2 recovers";
+  EXPECT_EQ(serializeResult(R), GoldenBytes);
 }
 
 TEST_F(FaultInjection, MaxRetriesEnvBoundsTheAttempts) {

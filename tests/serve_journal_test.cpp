@@ -1,0 +1,242 @@
+//===- tests/serve_journal_test.cpp - Crash-resumable journal -------------==//
+//
+// Pins the journal's durability contract (serve/Journal.h): append ->
+// replay round-trips records exactly; truncation at ANY length replays a
+// clean prefix and reports the dropped tail (a torn final record after a
+// crash costs re-execution, never a wrong record); mid-file corruption
+// ends the replay at the last valid record; a foreign file is refused.
+// The capstone test fork()s a coordinator running a journaled grid,
+// _exit()s it mid-grid — the "kill -9 the coordinator" scenario — and
+// asserts the resumed grid adopts the journaled cells instead of
+// re-running them, with per-cell results bit-identical to an undisturbed
+// serial run.
+//
+//===----------------------------------------------------------------------==//
+
+#include "serve/Coordinator.h"
+#include "serve/Journal.h"
+#include "sim/ResultCache.h"
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace dynace;
+using namespace dynace::serve;
+
+namespace {
+
+std::string freshDir(const std::string &Tag) {
+  std::string Dir = ::testing::TempDir() + "dynace_" + Tag + "_" +
+                    std::to_string(::getpid());
+  ::mkdir(Dir.c_str(), 0755);
+  return Dir;
+}
+
+/// Small enough for sub-second cells.
+SimulationOptions quickOptions() {
+  SimulationOptions Opts;
+  Opts.MaxInstructions = 50000;
+  return Opts;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+void writeFile(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+CellResultMsg record(uint64_t Index, const std::string &Bench) {
+  CellResultMsg M;
+  M.CellIndex = Index;
+  M.Cell = {Bench, Scheme::Baseline};
+  M.CacheKey = "key-" + std::to_string(Index);
+  M.Attempts = 1;
+  M.ResultText = "body of record " + std::to_string(Index);
+  return M;
+}
+
+class ServeJournal : public ::testing::Test {
+protected:
+  void SetUp() override {
+    ASSERT_TRUE(FaultInjector::instance().configure("").ok());
+    unsetenv("DYNACE_CACHE_DIR");
+    unsetenv("DYNACE_RUN_TIMEOUT_MS");
+  }
+  void TearDown() override {
+    ASSERT_TRUE(FaultInjector::instance().configure("").ok());
+  }
+};
+
+} // namespace
+
+TEST_F(ServeJournal, MissingFileIsAnEmptyReplay) {
+  Expected<JournalReplay> R =
+      journalReplay(freshDir("missing") + "/nope.bin");
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_TRUE(R.get().Records.empty());
+  EXPECT_EQ(R.get().DroppedTailBytes, 0u);
+}
+
+TEST_F(ServeJournal, AppendReplayRoundTripsInOrder) {
+  std::string Path = freshDir("roundtrip") + "/journal.bin";
+  for (uint64_t I = 0; I != 3; ++I)
+    ASSERT_TRUE(journalAppend(Path, record(I, "compress")).ok());
+
+  Expected<JournalReplay> R = journalReplay(Path);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  ASSERT_EQ(R.get().Records.size(), 3u);
+  EXPECT_EQ(R.get().DroppedTailBytes, 0u);
+  for (uint64_t I = 0; I != 3; ++I) {
+    const CellResultMsg &M = R.get().Records[I];
+    EXPECT_EQ(M.CellIndex, I);
+    EXPECT_EQ(M.CacheKey, "key-" + std::to_string(I));
+    EXPECT_EQ(M.ResultText, "body of record " + std::to_string(I));
+  }
+}
+
+TEST_F(ServeJournal, TruncationAtEveryLengthReplaysACleanPrefix) {
+  std::string Dir = freshDir("torn");
+  std::string Path = Dir + "/journal.bin";
+  for (uint64_t I = 0; I != 3; ++I)
+    ASSERT_TRUE(journalAppend(Path, record(I, "db")).ok());
+  std::string Full = readFile(Path);
+  ASSERT_GT(Full.size(), 8u);
+
+  std::string Torn = Dir + "/torn.bin";
+  for (size_t Len = 0; Len != Full.size(); ++Len) {
+    writeFile(Torn, Full.substr(0, Len));
+    Expected<JournalReplay> R = journalReplay(Torn);
+    if (Len == 0) {
+      // Created-but-empty: a coordinator killed before its first append.
+      ASSERT_TRUE(R.ok());
+      EXPECT_TRUE(R.get().Records.empty());
+      continue;
+    }
+    if (Len < 8) {
+      // Too short to even hold the header: refused as not-a-journal.
+      ASSERT_FALSE(R.ok()) << "length " << Len;
+      EXPECT_EQ(R.status().code(), ErrorCode::InvalidInput);
+      continue;
+    }
+    ASSERT_TRUE(R.ok()) << "length " << Len << ": " << R.status().toString();
+    // Whatever replays is a clean prefix with every field intact — a torn
+    // tail may only DROP records, never alter one.
+    ASSERT_LE(R.get().Records.size(), 3u);
+    for (size_t I = 0; I != R.get().Records.size(); ++I) {
+      EXPECT_EQ(R.get().Records[I].CellIndex, I) << "length " << Len;
+      EXPECT_EQ(R.get().Records[I].ResultText,
+                "body of record " + std::to_string(I))
+          << "length " << Len;
+    }
+    EXPECT_EQ(R.get().DroppedTailBytes + 8 +
+                  (Full.size() - 8) / 3 * R.get().Records.size(),
+              Len)
+        << "length " << Len;
+  }
+}
+
+TEST_F(ServeJournal, MidFileCorruptionEndsTheReplayAtTheLastValidRecord) {
+  std::string Dir = freshDir("flip");
+  std::string Path = Dir + "/journal.bin";
+  for (uint64_t I = 0; I != 3; ++I)
+    ASSERT_TRUE(journalAppend(Path, record(I, "jack")).ok());
+  std::string Full = readFile(Path);
+
+  // Flip one bit inside the second record's body (records are equal-sized
+  // here, so its byte range is easy to compute).
+  size_t RecordSize = (Full.size() - 8) / 3;
+  std::string Mut = Full;
+  Mut[8 + RecordSize + RecordSize / 2] ^= 0x10;
+  std::string Flipped = Dir + "/flipped.bin";
+  writeFile(Flipped, Mut);
+
+  Expected<JournalReplay> R = journalReplay(Flipped);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  ASSERT_EQ(R.get().Records.size(), 1u) << "replay must stop at the flip";
+  EXPECT_EQ(R.get().Records[0].CellIndex, 0u);
+  EXPECT_EQ(R.get().DroppedTailBytes, Full.size() - 8 - RecordSize);
+}
+
+TEST_F(ServeJournal, ForeignFilesAreRefusedNotAppendedTo) {
+  std::string Dir = freshDir("foreign");
+  std::string Path = Dir + "/notes.txt";
+  writeFile(Path, "these are not journal bytes at all");
+  Expected<JournalReplay> R = journalReplay(Path);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), ErrorCode::InvalidInput);
+
+  // Wrong version: same refusal (version skew must never half-parse).
+  std::string Versioned = Dir + "/v9.bin";
+  writeFile(Versioned, std::string("DYNJ\x09\0\0\0", 8));
+  R = journalReplay(Versioned);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), ErrorCode::InvalidInput);
+}
+
+TEST_F(ServeJournal, KilledCoordinatorResumesFromTheJournal) {
+  std::string Dir = freshDir("resume");
+  std::string Journal = Dir + "/journal.bin";
+  std::vector<CellSpec> Cells = gridForBenchmarks({"compress"}); // 3 cells.
+  SimulationOptions Opts = quickOptions();
+  ServeConfig Config;
+  Config.Workers = 0; // Inline: the child must die mid-grid, not mid-fork.
+  Config.JournalPath = Journal;
+
+  // "kill -9" the first coordinator after its second cell committed. The
+  // sink streams in grid order from the coordinator thread, so dying
+  // inside it models a crash at a precise, reproducible point.
+  pid_t Pid = ::fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    size_t Streamed = 0;
+    (void)runGrid(Config, Opts, Cells,
+                  [&](size_t, const GridCell &) {
+                    if (++Streamed == 2)
+                      ::_exit(0);
+                  });
+    ::_exit(1); // Unreachable when the kill fired as intended.
+  }
+  int St = 0;
+  ASSERT_EQ(::waitpid(Pid, &St, 0), Pid);
+  ASSERT_TRUE(WIFEXITED(St) && WEXITSTATUS(St) == 0)
+      << "child coordinator did not die inside the sink";
+
+  // Exactly the two committed cells are durable.
+  Expected<JournalReplay> Replay = journalReplay(Journal);
+  ASSERT_TRUE(Replay.ok()) << Replay.status().toString();
+  ASSERT_EQ(Replay.get().Records.size(), 2u);
+  EXPECT_EQ(Replay.get().DroppedTailBytes, 0u);
+
+  // The resumed coordinator adopts them and executes only the third cell.
+  Expected<GridResult> Grid = runGrid(Config, Opts, Cells);
+  ASSERT_TRUE(Grid.ok()) << Grid.status().toString();
+  EXPECT_EQ(Grid.get().Stats.ReplayedCells, 2u);
+  EXPECT_EQ(Grid.get().Stats.InlineCells, 1u);
+  EXPECT_EQ(Grid.get().Stats.FailedCells, 0u);
+
+  // And the resumed grid is bit-identical to an undisturbed serial run.
+  const WorkloadProfile *P = findProfile("compress");
+  ASSERT_NE(P, nullptr);
+  ASSERT_EQ(Grid.get().Cells.size(), 3u);
+  for (size_t I = 0; I != 3; ++I) {
+    SimulationResult Serial =
+        runExperimentCell(*P, Cells[I].SchemeKind, Opts).first;
+    EXPECT_EQ(serializeResult(Grid.get().Cells[I].Result),
+              serializeResult(Serial))
+        << "cell " << I;
+  }
+}

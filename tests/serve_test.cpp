@@ -1,0 +1,337 @@
+//===- tests/serve_test.cpp - Distributed experiment service chaos --------==//
+//
+// End-to-end coverage of the serve coordinator (serve/Coordinator.h): a
+// clean multi-worker grid is bit-identical to a serial in-process run,
+// and stays bit-identical under every injected failure — worker crashes
+// mid-grid (with respawn and, once the circuit breaker opens, inline
+// fallback), transport faults, stalled workers whose leases expire and
+// re-dispatch, and a full journal replay. Determinism is the load-bearing
+// invariant: the chaos tests compare serialized result bytes, not just
+// outcomes.
+//
+// Worker tests fork() from a multithreaded parent, which ThreadSanitizer
+// does not support (its runtime deadlocks in the child); those tests skip
+// under TSan and the sanitize gate covers them via scripts/check_serve.sh
+// with ASan/UBSan instead.
+//
+//===----------------------------------------------------------------------==//
+
+#include "serve/Coordinator.h"
+#include "sim/Reports.h"
+#include "sim/ResultCache.h"
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dynace;
+using namespace dynace::serve;
+
+namespace {
+
+bool tsanActive() {
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  return true;
+#endif
+#endif
+  return false;
+}
+
+/// Small enough for sub-second cells.
+SimulationOptions quickOptions() {
+  SimulationOptions Opts;
+  Opts.MaxInstructions = 50000;
+  return Opts;
+}
+
+/// Serial ground truth: the same cells through the same execution core,
+/// no coordinator involved.
+std::vector<std::string> serialCellBytes(const std::vector<CellSpec> &Cells,
+                                         const SimulationOptions &Opts) {
+  std::vector<std::string> Bytes;
+  for (const CellSpec &Spec : Cells) {
+    const WorkloadProfile *P = findProfile(Spec.Benchmark);
+    EXPECT_NE(P, nullptr) << Spec.Benchmark;
+    Bytes.push_back(
+        serializeResult(runExperimentCell(*P, Spec.SchemeKind, Opts).first));
+  }
+  return Bytes;
+}
+
+void expectBitIdentical(const GridResult &Grid,
+                        const std::vector<std::string> &Serial) {
+  ASSERT_EQ(Grid.Cells.size(), Serial.size());
+  for (size_t I = 0; I != Serial.size(); ++I)
+    EXPECT_EQ(serializeResult(Grid.Cells[I].Result), Serial[I])
+        << "cell " << I;
+}
+
+/// Every test starts and ends with injection disabled and the serve env
+/// knobs unset (the injector is a process singleton; forked workers
+/// inherit both).
+class Serve : public ::testing::Test {
+protected:
+  void SetUp() override { clean(); }
+  void TearDown() override { clean(); }
+
+  static void clean() {
+    ASSERT_TRUE(FaultInjector::instance().configure("").ok());
+    unsetenv("DYNACE_CACHE_DIR");
+    unsetenv("DYNACE_RUN_TIMEOUT_MS");
+    unsetenv("DYNACE_STALL_MS");
+    unsetenv("DYNACE_MAX_RETRIES");
+  }
+};
+
+} // namespace
+
+// -------------------------------------------------------------- Grid shape
+
+TEST_F(Serve, GridForBenchmarksIsProfileMajor) {
+  std::vector<CellSpec> Cells = gridForBenchmarks({"compress", "db"});
+  ASSERT_EQ(Cells.size(), 6u);
+  EXPECT_EQ(Cells[0].Benchmark, "compress");
+  EXPECT_EQ(Cells[0].SchemeKind, Scheme::Baseline);
+  EXPECT_EQ(Cells[2].SchemeKind, Scheme::Hotspot);
+  EXPECT_EQ(Cells[3].Benchmark, "db");
+}
+
+TEST_F(Serve, DuplicateCellsAreRejectedUpFront) {
+  std::vector<CellSpec> Cells = gridForBenchmarks({"compress", "compress"});
+  Expected<GridResult> Grid =
+      runGrid(ServeConfig{}, quickOptions(), Cells);
+  ASSERT_FALSE(Grid.ok());
+  EXPECT_EQ(Grid.status().code(), ErrorCode::InvalidInput);
+}
+
+TEST_F(Serve, ConfigFromEnvRejectsMalformedValues) {
+  ASSERT_EQ(setenv("DYNACE_SERVE_WORKERS", "not-a-number", 1), 0);
+  Expected<ServeConfig> C = ServeConfig::fromEnv();
+  unsetenv("DYNACE_SERVE_WORKERS");
+  ASSERT_FALSE(C.ok());
+  EXPECT_EQ(C.status().code(), ErrorCode::InvalidInput);
+  EXPECT_NE(C.status().message().find("DYNACE_SERVE_WORKERS"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------------- Inline ladder
+
+TEST_F(Serve, WorkersZeroRunsTheGridInline) {
+  std::vector<CellSpec> Cells = gridForBenchmarks({"compress"});
+  SimulationOptions Opts = quickOptions();
+  ServeConfig Config;
+  Config.Workers = 0;
+
+  std::vector<size_t> Streamed;
+  Expected<GridResult> Grid =
+      runGrid(Config, Opts, Cells,
+              [&](size_t I, const GridCell &) { Streamed.push_back(I); });
+  ASSERT_TRUE(Grid.ok()) << Grid.status().toString();
+  EXPECT_EQ(Grid.get().Stats.Cells, 3u);
+  EXPECT_EQ(Grid.get().Stats.InlineCells, 3u);
+  EXPECT_EQ(Grid.get().Stats.WorkerDispatches, 0u);
+  EXPECT_EQ(Grid.get().Stats.Respawns, 0u);
+  // The sink observed every cell, strictly in grid order.
+  EXPECT_EQ(Streamed, (std::vector<size_t>{0, 1, 2}));
+  expectBitIdentical(Grid.get(), serialCellBytes(Cells, Opts));
+}
+
+TEST_F(Serve, UnknownBenchmarkFailsItsCellButCompletesTheGrid) {
+  std::vector<CellSpec> Cells = gridForBenchmarks({"compress"});
+  Cells.push_back({"no-such-benchmark", Scheme::Baseline});
+  ServeConfig Config;
+  Config.Workers = 0;
+  Expected<GridResult> Grid = runGrid(Config, quickOptions(), Cells);
+  ASSERT_TRUE(Grid.ok()) << Grid.status().toString();
+  ASSERT_EQ(Grid.get().Cells.size(), 4u);
+  EXPECT_EQ(Grid.get().Stats.FailedCells, 1u);
+  EXPECT_TRUE(Grid.get().Cells[3].Outcome.Failed);
+  EXPECT_EQ(Grid.get().Cells[3].Outcome.Code, ErrorCode::InvalidInput);
+  EXPECT_FALSE(Grid.get().Cells[0].Outcome.Failed);
+}
+
+// ------------------------------------------------------------ Worker fleet
+
+TEST_F(Serve, CleanWorkerGridMatchesTheSerialRunBitForBit) {
+  if (tsanActive())
+    GTEST_SKIP() << "fork-based; covered by check_serve.sh under ASan";
+  std::vector<CellSpec> Cells = gridForBenchmarks({"compress", "db"});
+  SimulationOptions Opts = quickOptions();
+  ServeConfig Config;
+  Config.Workers = 3;
+  Config.HeartbeatMs = 50;
+
+  Expected<GridResult> Grid = runGrid(Config, Opts, Cells);
+  ASSERT_TRUE(Grid.ok()) << Grid.status().toString();
+  const GridStats &St = Grid.get().Stats;
+  EXPECT_EQ(St.Cells, 6u);
+  EXPECT_EQ(St.WorkerCrashes, 0u);
+  EXPECT_EQ(St.InlineCells, 0u);
+  EXPECT_GE(St.WorkerDispatches, 6u);
+  expectBitIdentical(Grid.get(), serialCellBytes(Cells, Opts));
+}
+
+TEST_F(Serve, ChaosCrashAndRecvFaultsStayBitIdentical) {
+  if (tsanActive())
+    GTEST_SKIP() << "fork-based; covered by check_serve.sh under ASan";
+  // Two simultaneous fault clauses: every worker's second CellAssign
+  // crashes it (worker.crash seed 1 rate 2) and every 13th receive — in
+  // the coordinator's handler threads and in workers alike — is dropped.
+  // The grid must still complete with results bit-identical to serial.
+  std::vector<CellSpec> Cells = gridForBenchmarks({"compress", "db"});
+  SimulationOptions Opts = quickOptions();
+  ASSERT_TRUE(FaultInjector::instance()
+                  .configure("worker.crash:2:1,rpc.recv:13:1")
+                  .ok());
+  ServeConfig Config;
+  Config.Workers = 3;
+  Config.HeartbeatMs = 50;
+  Config.MaxRespawns = 16;
+
+  Expected<GridResult> Grid = runGrid(Config, Opts, Cells);
+  ASSERT_TRUE(FaultInjector::instance().configure("").ok());
+  ASSERT_TRUE(Grid.ok()) << Grid.status().toString();
+  const GridStats &St = Grid.get().Stats;
+  EXPECT_EQ(St.Cells, 6u);
+  EXPECT_EQ(St.FailedCells, 0u);
+  EXPECT_GE(St.WorkerCrashes, 1u) << "the chaos spec never fired";
+  EXPECT_GE(St.Respawns, 1u);
+  expectBitIdentical(Grid.get(), serialCellBytes(Cells, Opts));
+}
+
+TEST_F(Serve, StalledWorkerLeaseExpiresAndRedispatches) {
+  if (tsanActive())
+    GTEST_SKIP() << "fork-based; covered by check_serve.sh under ASan";
+  // Each worker's second cell stalls 1500 ms against a 250 ms lease: the
+  // lease expires, the cell re-dispatches, the first completion wins and
+  // the straggler's late duplicate is dropped — results still serial.
+  std::vector<CellSpec> Cells = gridForBenchmarks({"compress", "db"});
+  SimulationOptions Opts = quickOptions();
+  ASSERT_EQ(setenv("DYNACE_STALL_MS", "1500", 1), 0);
+  ASSERT_TRUE(FaultInjector::instance().configure("worker.stall:5:4").ok());
+  ServeConfig Config;
+  Config.Workers = 2;
+  Config.HeartbeatMs = 50;
+  Config.LeaseMs = 250;
+
+  Expected<GridResult> Grid = runGrid(Config, Opts, Cells);
+  ASSERT_TRUE(FaultInjector::instance().configure("").ok());
+  unsetenv("DYNACE_STALL_MS");
+  ASSERT_TRUE(Grid.ok()) << Grid.status().toString();
+  const GridStats &St = Grid.get().Stats;
+  EXPECT_EQ(St.Cells, 6u);
+  EXPECT_EQ(St.FailedCells, 0u);
+  EXPECT_GE(St.Redispatches, 1u) << "no lease ever expired";
+  expectBitIdentical(Grid.get(), serialCellBytes(Cells, Opts));
+}
+
+TEST_F(Serve, CrashLoopOpensTheBreakerAndFallsBackInline) {
+  if (tsanActive())
+    GTEST_SKIP() << "fork-based; covered by check_serve.sh under ASan";
+  // Every CellAssign crashes its worker (rate 1): the fleet crash-loops,
+  // the respawn budget burns out, and the whole grid completes inline.
+  std::vector<CellSpec> Cells = gridForBenchmarks({"compress"});
+  SimulationOptions Opts = quickOptions();
+  ASSERT_TRUE(FaultInjector::instance().configure("worker.crash:1:0").ok());
+  ServeConfig Config;
+  Config.Workers = 2;
+  Config.HeartbeatMs = 50;
+  Config.MaxRespawns = 2;
+
+  Expected<GridResult> Grid = runGrid(Config, Opts, Cells);
+  ASSERT_TRUE(FaultInjector::instance().configure("").ok());
+  ASSERT_TRUE(Grid.ok()) << Grid.status().toString();
+  const GridStats &St = Grid.get().Stats;
+  EXPECT_EQ(St.Cells, 3u);
+  EXPECT_EQ(St.FailedCells, 0u);
+  EXPECT_GE(St.WorkerCrashes, 2u);
+  EXPECT_EQ(St.Respawns, 2u) << "breaker must cap respawns exactly";
+  EXPECT_GE(St.InlineCells, 1u) << "no inline fallback happened";
+  expectBitIdentical(Grid.get(), serialCellBytes(Cells, Opts));
+}
+
+// ------------------------------------------------------------ Journal path
+
+TEST_F(Serve, FullJournalReplaySkipsAllExecution) {
+  std::string Journal = ::testing::TempDir() + "dynace_serve_replay_" +
+                        std::to_string(::getpid()) + ".bin";
+  std::remove(Journal.c_str());
+  std::vector<CellSpec> Cells = gridForBenchmarks({"compress"});
+  SimulationOptions Opts = quickOptions();
+  ServeConfig Config;
+  Config.Workers = 0;
+  Config.JournalPath = Journal;
+
+  Expected<GridResult> First = runGrid(Config, Opts, Cells);
+  ASSERT_TRUE(First.ok()) << First.status().toString();
+  EXPECT_EQ(First.get().Stats.InlineCells, 3u);
+
+  // Second run: every cell adopted from the journal, nothing executes.
+  Expected<GridResult> Second = runGrid(Config, Opts, Cells);
+  ASSERT_TRUE(Second.ok()) << Second.status().toString();
+  EXPECT_EQ(Second.get().Stats.ReplayedCells, 3u);
+  EXPECT_EQ(Second.get().Stats.InlineCells, 0u);
+  EXPECT_EQ(Second.get().Stats.WorkerDispatches, 0u);
+  for (size_t I = 0; I != 3; ++I)
+    EXPECT_EQ(serializeResult(Second.get().Cells[I].Result),
+              serializeResult(First.get().Cells[I].Result))
+        << "cell " << I;
+  std::remove(Journal.c_str());
+}
+
+// ------------------------------------------------------------- The report
+
+TEST_F(Serve, GridReportIsBitIdenticalAcrossServeAndSerial) {
+  if (tsanActive())
+    GTEST_SKIP() << "fork-based; covered by check_serve.sh under ASan";
+  std::vector<std::string> Benchmarks = {"compress", "db"};
+  std::vector<CellSpec> Cells = gridForBenchmarks(Benchmarks);
+  SimulationOptions Opts = quickOptions();
+
+  // Serial: plain in-process cells, assembled and printed.
+  std::vector<GridCell> SerialCells;
+  for (const CellSpec &Spec : Cells) {
+    const WorkloadProfile *P = findProfile(Spec.Benchmark);
+    ASSERT_NE(P, nullptr);
+    auto [R, Outcome] = runExperimentCell(*P, Spec.SchemeKind, Opts);
+    SerialCells.push_back({std::move(R), Outcome, ""});
+  }
+  Expected<std::vector<BenchmarkRun>> SerialRuns =
+      assembleBenchmarkRuns(Cells, SerialCells);
+  ASSERT_TRUE(SerialRuns.ok());
+  std::ostringstream SerialReport;
+  printGridReport(SerialReport, SerialRuns.get());
+
+  // Distributed, with chaos on top.
+  ASSERT_TRUE(FaultInjector::instance().configure("worker.crash:2:1").ok());
+  ServeConfig Config;
+  Config.Workers = 3;
+  Config.HeartbeatMs = 50;
+  Expected<GridResult> Grid = runGrid(Config, Opts, Cells);
+  ASSERT_TRUE(FaultInjector::instance().configure("").ok());
+  ASSERT_TRUE(Grid.ok()) << Grid.status().toString();
+  Expected<std::vector<BenchmarkRun>> ServeRuns =
+      assembleBenchmarkRuns(Cells, Grid.get().Cells);
+  ASSERT_TRUE(ServeRuns.ok());
+  std::ostringstream ServeReport;
+  printGridReport(ServeReport, ServeRuns.get());
+
+  EXPECT_EQ(ServeReport.str(), SerialReport.str());
+  EXPECT_NE(ServeReport.str().find("Cell digests"), std::string::npos);
+}
+
+TEST_F(Serve, AssembleRejectsANonProfileMajorGrid) {
+  std::vector<CellSpec> Cells = {{"compress", Scheme::Baseline},
+                                 {"compress", Scheme::Hotspot},
+                                 {"compress", Scheme::Bbv}};
+  std::vector<GridCell> Results(3);
+  Expected<std::vector<BenchmarkRun>> Runs =
+      assembleBenchmarkRuns(Cells, Results);
+  ASSERT_FALSE(Runs.ok());
+  EXPECT_EQ(Runs.status().code(), ErrorCode::InvalidInput);
+}

@@ -1,0 +1,329 @@
+//===- tests/serve_wire_test.cpp - Serve framing + protocol fuzz ----------==//
+//
+// Pins the zero-trust contract of the serve transport (serve/Wire.h,
+// serve/Protocol.h): a frame truncated at ANY byte offset parses as
+// "incomplete" (keep reading) and a frame bit-flipped at ANY offset is
+// rejected — never silently decoded as a different message. Also covers
+// the socket paths (roundtrip, EOF, timeout, garbage, injected rpc.send /
+// rpc.recv faults) and the strict Status-returning payload decoders.
+//
+//===----------------------------------------------------------------------==//
+
+#include "serve/Protocol.h"
+#include "serve/Wire.h"
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace dynace;
+using namespace dynace::serve;
+
+namespace {
+
+/// Every test starts and ends with fault injection disabled (the injector
+/// is a process singleton).
+class ServeWire : public ::testing::Test {
+protected:
+  void SetUp() override {
+    ASSERT_TRUE(FaultInjector::instance().configure("").ok());
+  }
+  void TearDown() override {
+    ASSERT_TRUE(FaultInjector::instance().configure("").ok());
+  }
+};
+
+/// A representative CellResult payload: every field type the protocol
+/// uses (u8, u32, u64, strings with embedded NULs).
+CellResultMsg sampleResult() {
+  CellResultMsg M;
+  M.CellIndex = 7;
+  M.Cell.Benchmark = "compress";
+  M.Cell.SchemeKind = Scheme::Hotspot;
+  M.CacheKey = "0123456789abcdef";
+  M.Failed = false;
+  M.Code = 0;
+  M.Attempts = 2;
+  M.CacheHit = true;
+  M.Quarantined = 1;
+  M.Reason = "";
+  M.ResultText = std::string("dynace-result-v3\nbin\0ary\n", 25);
+  return M;
+}
+
+} // namespace
+
+// ----------------------------------------------------------- Frame basics
+
+TEST_F(ServeWire, FrameTypeNamesAreStable) {
+  EXPECT_STREQ(frameTypeName(FrameType::Hello), "hello");
+  EXPECT_STREQ(frameTypeName(FrameType::GridRequest), "grid-request");
+  EXPECT_STREQ(frameTypeName(FrameType::CellAssign), "cell-assign");
+  EXPECT_STREQ(frameTypeName(FrameType::CellResult), "cell-result");
+  EXPECT_STREQ(frameTypeName(FrameType::Heartbeat), "heartbeat");
+  EXPECT_STREQ(frameTypeName(FrameType::Shutdown), "shutdown");
+  EXPECT_STREQ(frameTypeName(FrameType::Done), "done");
+  EXPECT_STREQ(frameTypeName(FrameType::Error), "error");
+  EXPECT_STREQ(frameTypeName(static_cast<FrameType>(0)), "?");
+}
+
+TEST_F(ServeWire, RoundTripsEveryTypeAndPayloadShape) {
+  const FrameType Types[] = {FrameType::Hello,     FrameType::GridRequest,
+                             FrameType::CellAssign, FrameType::CellResult,
+                             FrameType::Heartbeat, FrameType::Shutdown,
+                             FrameType::Done,      FrameType::Error};
+  const std::string Payloads[] = {
+      "", "x", std::string("\0\xff\x01", 3), std::string(4096, 'A')};
+  for (FrameType T : Types)
+    for (const std::string &P : Payloads) {
+      std::string Bytes = encodeFrame(T, P);
+      ASSERT_EQ(Bytes.size(), kFrameHeaderSize + P.size());
+      size_t Consumed = 0;
+      Expected<Frame> F = decodeFrame(Bytes, Consumed);
+      ASSERT_TRUE(F.ok()) << F.status().toString();
+      EXPECT_EQ(Consumed, Bytes.size());
+      EXPECT_EQ(F.get().Type, T);
+      EXPECT_EQ(F.get().Payload, P);
+    }
+}
+
+TEST_F(ServeWire, DecodeConsumesOnlyTheFirstFrame) {
+  std::string Two =
+      encodeFrame(FrameType::Hello, "a") + encodeFrame(FrameType::Done, "b");
+  size_t Consumed = 0;
+  Expected<Frame> F = decodeFrame(Two, Consumed);
+  ASSERT_TRUE(F.ok());
+  EXPECT_EQ(F.get().Type, FrameType::Hello);
+  EXPECT_EQ(Consumed, kFrameHeaderSize + 1);
+}
+
+// ------------------------------------------------------------- Fuzz sweeps
+
+TEST_F(ServeWire, TruncationAtEveryOffsetParsesAsIncompleteNeverWrong) {
+  std::string Bytes =
+      encodeFrame(FrameType::CellResult, encodeCellResult(sampleResult()));
+  for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+    size_t Consumed = 0;
+    Expected<Frame> F = decodeFrame(Bytes.substr(0, Len), Consumed);
+    ASSERT_FALSE(F.ok()) << "decoded a truncated frame at length " << Len;
+    EXPECT_EQ(F.status().code(), ErrorCode::IoError) << "length " << Len;
+    EXPECT_NE(F.status().message().find("incomplete"), std::string::npos)
+        << "length " << Len << ": " << F.status().toString();
+  }
+}
+
+TEST_F(ServeWire, BitFlipAtEveryOffsetNeverYieldsADifferentFrame) {
+  std::string Bytes =
+      encodeFrame(FrameType::CellResult, encodeCellResult(sampleResult()));
+  for (size_t Off = 0; Off != Bytes.size(); ++Off)
+    for (int Bit = 0; Bit != 8; ++Bit) {
+      std::string Mut = Bytes;
+      Mut[Off] = static_cast<char>(Mut[Off] ^ (1 << Bit));
+      size_t Consumed = 0;
+      Expected<Frame> F = decodeFrame(Mut, Consumed);
+      // A flip may look "incomplete" (the length field grew) or invalid
+      // (magic/version/type/length/checksum); it must never decode.
+      ASSERT_FALSE(F.ok())
+          << "accepted a corrupt frame (offset " << Off << " bit " << Bit
+          << ")";
+      EXPECT_TRUE(F.status().code() == ErrorCode::InvalidInput ||
+                  F.status().code() == ErrorCode::IoError)
+          << "offset " << Off << " bit " << Bit << ": "
+          << F.status().toString();
+    }
+}
+
+TEST_F(ServeWire, OversizedLengthIsRejectedBeforeBuffering) {
+  // Craft a header whose length field exceeds the cap: rejected as
+  // InvalidInput immediately — NOT treated as an incomplete frame the
+  // receiver would buffer 4 GiB for.
+  std::string Bytes = encodeFrame(FrameType::Hello, "");
+  uint32_t Huge = kMaxFramePayload + 1;
+  for (int I = 0; I != 4; ++I)
+    Bytes[6 + I] = static_cast<char>((Huge >> (8 * I)) & 0xff);
+  size_t Consumed = 0;
+  Expected<Frame> F = decodeFrame(Bytes, Consumed);
+  ASSERT_FALSE(F.ok());
+  EXPECT_EQ(F.status().code(), ErrorCode::InvalidInput);
+}
+
+TEST_F(ServeWire, ForeignMagicIsRejectedAtAnyLength) {
+  // Even a 1-byte stream that can never become "DYNW" is InvalidInput
+  // (drop the connection), not "incomplete" (wait forever).
+  size_t Consumed = 0;
+  Expected<Frame> F = decodeFrame("G", Consumed);
+  ASSERT_FALSE(F.ok());
+  EXPECT_EQ(F.status().code(), ErrorCode::InvalidInput);
+}
+
+// ------------------------------------------------------------ Socket paths
+
+TEST_F(ServeWire, SendRecvRoundTripsOverASocketpair) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  std::string Payload = encodeCellResult(sampleResult());
+  ASSERT_TRUE(sendFrame(Fds[0], FrameType::CellResult, Payload).ok());
+  ASSERT_TRUE(sendFrame(Fds[0], FrameType::Shutdown, "").ok());
+
+  Expected<Frame> A = recvFrame(Fds[1], /*TimeoutMs=*/2000);
+  ASSERT_TRUE(A.ok()) << A.status().toString();
+  EXPECT_EQ(A.get().Type, FrameType::CellResult);
+  EXPECT_EQ(A.get().Payload, Payload);
+  Expected<Frame> B = recvFrame(Fds[1], /*TimeoutMs=*/2000);
+  ASSERT_TRUE(B.ok()) << B.status().toString();
+  EXPECT_EQ(B.get().Type, FrameType::Shutdown);
+
+  // No data inside the poll budget -> Timeout (the connection is fine).
+  Expected<Frame> T = recvFrame(Fds[1], /*TimeoutMs=*/20);
+  ASSERT_FALSE(T.ok());
+  EXPECT_EQ(T.status().code(), ErrorCode::Timeout);
+
+  // Peer gone -> Unavailable, on both recv and send.
+  ::close(Fds[0]);
+  Expected<Frame> E = recvFrame(Fds[1], /*TimeoutMs=*/2000);
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.status().code(), ErrorCode::Unavailable);
+  Status S = sendFrame(Fds[1], FrameType::Hello, "");
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::Unavailable);
+  ::close(Fds[1]);
+}
+
+TEST_F(ServeWire, GarbageOnTheSocketIsInvalidInput) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  std::string Garbage = "this is not a DYNW frame";
+  ASSERT_EQ(::send(Fds[0], Garbage.data(), Garbage.size(), 0),
+            static_cast<ssize_t>(Garbage.size()));
+  Expected<Frame> F = recvFrame(Fds[1], /*TimeoutMs=*/2000);
+  ASSERT_FALSE(F.ok());
+  EXPECT_EQ(F.status().code(), ErrorCode::InvalidInput);
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST_F(ServeWire, RpcFaultSitesInjectDeterministically) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  FaultInjector &FI = FaultInjector::instance();
+
+  ASSERT_TRUE(FI.configure("rpc.send:2:0").ok());
+  Status S = sendFrame(Fds[0], FrameType::Hello, "");
+  EXPECT_EQ(S.code(), ErrorCode::Injected); // Arm 0 fires; nothing sent.
+  EXPECT_TRUE(sendFrame(Fds[0], FrameType::Hello, "x").ok()); // Arm 1 passes.
+
+  ASSERT_TRUE(FI.configure("rpc.recv:2:0").ok());
+  Expected<Frame> F = recvFrame(Fds[1], /*TimeoutMs=*/2000);
+  ASSERT_FALSE(F.ok());
+  EXPECT_EQ(F.status().code(), ErrorCode::Injected);
+  // The injected receive read nothing: the frame is still queued and the
+  // next receive gets it intact.
+  F = recvFrame(Fds[1], /*TimeoutMs=*/2000);
+  ASSERT_TRUE(F.ok()) << F.status().toString();
+  EXPECT_EQ(F.get().Payload, "x");
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+// ------------------------------------------------- Strict payload decoders
+
+TEST_F(ServeWire, ProtocolMessagesRoundTrip) {
+  GridRequestMsg G;
+  G.Cells = {{"compress", Scheme::Baseline},
+             {"compress", Scheme::Hotspot},
+             {"db", Scheme::Bbv}};
+  Expected<GridRequestMsg> G2 = decodeGridRequest(encodeGridRequest(G));
+  ASSERT_TRUE(G2.ok());
+  ASSERT_EQ(G2.get().Cells.size(), 3u);
+  EXPECT_EQ(G2.get().Cells[1].Benchmark, "compress");
+  EXPECT_EQ(G2.get().Cells[1].SchemeKind, Scheme::Hotspot);
+  EXPECT_EQ(G2.get().Cells[2].Benchmark, "db");
+
+  CellAssignMsg A;
+  A.CellIndex = 42;
+  A.Cell = {"mtrt", Scheme::Bbv};
+  Expected<CellAssignMsg> A2 = decodeCellAssign(encodeCellAssign(A));
+  ASSERT_TRUE(A2.ok());
+  EXPECT_EQ(A2.get().CellIndex, 42u);
+  EXPECT_EQ(A2.get().Cell.Benchmark, "mtrt");
+
+  CellResultMsg R = sampleResult();
+  Expected<CellResultMsg> R2 = decodeCellResult(encodeCellResult(R));
+  ASSERT_TRUE(R2.ok());
+  EXPECT_EQ(R2.get().CellIndex, R.CellIndex);
+  EXPECT_EQ(R2.get().Cell.Benchmark, R.Cell.Benchmark);
+  EXPECT_EQ(R2.get().Cell.SchemeKind, R.Cell.SchemeKind);
+  EXPECT_EQ(R2.get().CacheKey, R.CacheKey);
+  EXPECT_EQ(R2.get().Attempts, R.Attempts);
+  EXPECT_EQ(R2.get().CacheHit, R.CacheHit);
+  EXPECT_EQ(R2.get().Quarantined, R.Quarantined);
+  EXPECT_EQ(R2.get().ResultText, R.ResultText); // Embedded NULs survive.
+
+  HelloMsg H{11, 222};
+  Expected<HelloMsg> H2 = decodeHello(encodeHello(H));
+  ASSERT_TRUE(H2.ok());
+  EXPECT_EQ(H2.get().WorkerId, 11u);
+  EXPECT_EQ(H2.get().Pid, 222u);
+
+  HeartbeatMsg B{3, HeartbeatMsg::kIdle};
+  Expected<HeartbeatMsg> B2 = decodeHeartbeat(encodeHeartbeat(B));
+  ASSERT_TRUE(B2.ok());
+  EXPECT_EQ(B2.get().CellIndex, HeartbeatMsg::kIdle);
+
+  DoneMsg D{"report text\n", 21, 2};
+  Expected<DoneMsg> D2 = decodeDone(encodeDone(D));
+  ASSERT_TRUE(D2.ok());
+  EXPECT_EQ(D2.get().Report, "report text\n");
+  EXPECT_EQ(D2.get().Cells, 21u);
+  EXPECT_EQ(D2.get().FailedCells, 2u);
+
+  Expected<ErrorMsg> E2 = decodeErrorMsg(encodeErrorMsg({"why"}));
+  ASSERT_TRUE(E2.ok());
+  EXPECT_EQ(E2.get().Reason, "why");
+}
+
+TEST_F(ServeWire, DecodersRejectTruncationAtEveryOffsetAndTrailingBytes) {
+  std::string Bytes = encodeCellResult(sampleResult());
+  for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+    Expected<CellResultMsg> M = decodeCellResult(Bytes.substr(0, Len));
+    ASSERT_FALSE(M.ok()) << "decoded a truncated payload at length " << Len;
+    EXPECT_EQ(M.status().code(), ErrorCode::InvalidInput) << Len;
+  }
+  Expected<CellResultMsg> M = decodeCellResult(Bytes + "z");
+  ASSERT_FALSE(M.ok()) << "accepted trailing bytes";
+  EXPECT_EQ(M.status().code(), ErrorCode::InvalidInput);
+}
+
+TEST_F(ServeWire, DecodersRejectOutOfRangeEnumsAndFlags) {
+  // Encoders write fields verbatim; decoders are the trust boundary.
+  CellAssignMsg A;
+  A.Cell = {"compress", static_cast<Scheme>(3)}; // No such scheme.
+  Expected<CellAssignMsg> A2 = decodeCellAssign(encodeCellAssign(A));
+  ASSERT_FALSE(A2.ok());
+  EXPECT_EQ(A2.status().code(), ErrorCode::InvalidInput);
+
+  CellResultMsg R = sampleResult();
+  R.Code = 200; // No such ErrorCode.
+  Expected<CellResultMsg> R2 = decodeCellResult(encodeCellResult(R));
+  ASSERT_FALSE(R2.ok());
+  EXPECT_EQ(R2.status().code(), ErrorCode::InvalidInput);
+}
+
+TEST_F(ServeWire, GridRequestCountFieldCannotDriveAllocation) {
+  // A forged cell count far beyond the actual payload is rejected by the
+  // count*minsize <= payload guard, not trusted into a reserve().
+  GridRequestMsg G;
+  G.Cells = {{"a", Scheme::Baseline}};
+  std::string Bytes = encodeGridRequest(G);
+  uint32_t Forged = 0x40000000;
+  for (int I = 0; I != 4; ++I)
+    Bytes[I] = static_cast<char>((Forged >> (8 * I)) & 0xff);
+  Expected<GridRequestMsg> G2 = decodeGridRequest(Bytes);
+  ASSERT_FALSE(G2.ok());
+  EXPECT_EQ(G2.status().code(), ErrorCode::InvalidInput);
+}

@@ -41,6 +41,7 @@ TEST(Status, ErrorCodeNamesAreStable) {
   EXPECT_STREQ(errorCodeName(ErrorCode::IoError), "io-error");
   EXPECT_STREQ(errorCodeName(ErrorCode::Timeout), "timeout");
   EXPECT_STREQ(errorCodeName(ErrorCode::Injected), "injected");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Unavailable), "unavailable");
 }
 
 TEST(Status, CopyPreservesError) {

@@ -1,0 +1,200 @@
+//===- tools/dynace-serve/dynace-serve.cpp - Experiment daemon ------------==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// dynace-serve — the coordinator daemon of the distributed experiment
+// service (serve/Coordinator.h). Listens on a Unix-domain socket, accepts
+// one client at a time, and runs each submitted (benchmark × scheme) grid
+// across a fleet of forked worker processes with lease-based assignment,
+// straggler re-dispatch, crash respawn and an optional write-ahead
+// journal. The reply is the deterministic grid report — bit-identical to
+// a serial in-process run of the same grid (`dynace-submit --local`).
+//
+//   dynace-serve [--socket PATH] [--once]
+//
+//   --socket PATH   listen here (default: DYNACE_SERVE_SOCKET, falling
+//                   back to /tmp/dynace-serve.sock)
+//   --once          exit after serving one grid (test harness mode)
+//
+// Configuration comes from the DYNACE_SERVE_* environment variables (see
+// README): WORKERS, LEASE_MS, HEARTBEAT_MS, MAX_RESPAWNS, MAX_RETRIES,
+// JOURNAL. A client Shutdown frame stops the daemon cleanly.
+//
+// Exit status: 0 clean shutdown, 1 socket/setup failure, 2 usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Coordinator.h"
+#include "serve/Protocol.h"
+#include "serve/Wire.h"
+#include "sim/Reports.h"
+#include "support/Env.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace dynace;
+using namespace dynace::serve;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr, "usage: %s [--socket PATH] [--once]\n", Argv0);
+  return 2;
+}
+
+/// Binds and listens on the Unix socket at \p Path (replacing any stale
+/// socket file). \returns the listening fd, or -1 (message printed).
+int listenOn(const std::string &Path) {
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "dynace-serve: socket path too long: %s\n",
+                 Path.c_str());
+    return -1;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    std::fprintf(stderr, "dynace-serve: socket: %s\n", std::strerror(errno));
+    return -1;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  ::unlink(Path.c_str()); // Replace a stale socket from a killed daemon.
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 4) != 0) {
+    std::fprintf(stderr, "dynace-serve: bind/listen %s: %s\n", Path.c_str(),
+                 std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// Serves one accepted client connection.
+/// \returns true when the client asked the daemon to shut down.
+bool serveClient(int ClientFd, int ListenFd, const ServeConfig &BaseConfig,
+                 const SimulationOptions &Base) {
+  Expected<Frame> F = recvFrame(ClientFd);
+  if (!F.ok()) {
+    std::fprintf(stderr, "dynace-serve: client receive: %s\n",
+                 F.status().toString().c_str());
+    return false;
+  }
+  if (F.get().Type == FrameType::Shutdown)
+    return true;
+  if (F.get().Type != FrameType::GridRequest) {
+    (void)sendFrame(ClientFd, FrameType::Error,
+                    encodeErrorMsg({"expected a grid-request frame"}));
+    return false;
+  }
+  Expected<GridRequestMsg> Req = decodeGridRequest(F.get().Payload);
+  if (!Req.ok()) {
+    (void)sendFrame(ClientFd, FrameType::Error,
+                    encodeErrorMsg({Req.status().toString()}));
+    return false;
+  }
+
+  ServeConfig Config = BaseConfig;
+  // Workers must never hold the daemon's sockets: a child keeping the
+  // client fd open would keep the connection alive past a daemon crash.
+  Config.CloseInChild = {ListenFd, ClientFd};
+
+  Expected<GridResult> Grid = runGrid(Config, Base, Req.get().Cells);
+  if (!Grid.ok()) {
+    (void)sendFrame(ClientFd, FrameType::Error,
+                    encodeErrorMsg({Grid.status().toString()}));
+    return false;
+  }
+  Expected<std::vector<BenchmarkRun>> Runs =
+      assembleBenchmarkRuns(Req.get().Cells, Grid.get().Cells);
+  if (!Runs.ok()) {
+    (void)sendFrame(ClientFd, FrameType::Error,
+                    encodeErrorMsg({Runs.status().toString()}));
+    return false;
+  }
+
+  std::ostringstream Report;
+  printGridReport(Report, Runs.get());
+  DoneMsg Done;
+  Done.Report = Report.str();
+  Done.Cells = Grid.get().Stats.Cells;
+  Done.FailedCells = Grid.get().Stats.FailedCells;
+  if (Status S = sendFrame(ClientFd, FrameType::Done, encodeDone(Done)); !S)
+    std::fprintf(stderr, "dynace-serve: reply failed: %s\n",
+                 S.toString().c_str());
+
+  const GridStats &St = Grid.get().Stats;
+  std::fprintf(stderr,
+               "dynace-serve: grid done: %llu cells (%llu replayed, %llu "
+               "inline, %llu failed), %llu dispatches (%llu re-dispatched, "
+               "%llu duplicates dropped), %llu crashes, %llu respawns\n",
+               static_cast<unsigned long long>(St.Cells),
+               static_cast<unsigned long long>(St.ReplayedCells),
+               static_cast<unsigned long long>(St.InlineCells),
+               static_cast<unsigned long long>(St.FailedCells),
+               static_cast<unsigned long long>(St.WorkerDispatches),
+               static_cast<unsigned long long>(St.Redispatches),
+               static_cast<unsigned long long>(St.DuplicateResults),
+               static_cast<unsigned long long>(St.WorkerCrashes),
+               static_cast<unsigned long long>(St.Respawns));
+  return false;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SocketPath =
+      envString("DYNACE_SERVE_SOCKET", "/tmp/dynace-serve.sock");
+  bool Once = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--socket" && I + 1 < argc)
+      SocketPath = argv[++I];
+    else if (Arg == "--once")
+      Once = true;
+    else
+      return usage(argv[0]);
+  }
+
+  Expected<ServeConfig> Config = ServeConfig::fromEnv();
+  if (!Config.ok())
+    fatalError("DYNACE_SERVE_* configuration", Config.status());
+  SimulationOptions Base = ExperimentRunner::defaultOptions();
+
+  int ListenFd = listenOn(SocketPath);
+  if (ListenFd < 0)
+    return 1;
+  std::fprintf(stderr, "dynace-serve: listening on %s (%u workers)\n",
+               SocketPath.c_str(), Config.get().Workers);
+
+  bool ShutdownRequested = false;
+  while (!ShutdownRequested) {
+    int ClientFd = ::accept(ListenFd, nullptr, nullptr);
+    if (ClientFd < 0) {
+      if (errno == EINTR)
+        continue;
+      std::fprintf(stderr, "dynace-serve: accept: %s\n",
+                   std::strerror(errno));
+      break;
+    }
+    ShutdownRequested =
+        serveClient(ClientFd, ListenFd, Config.get(), Base);
+    ::close(ClientFd);
+    if (Once)
+      break;
+  }
+  ::close(ListenFd);
+  ::unlink(SocketPath.c_str());
+  std::fprintf(stderr, "dynace-serve: %s\n",
+               ShutdownRequested ? "shutdown requested, exiting"
+                                 : "exiting");
+  return 0;
+}

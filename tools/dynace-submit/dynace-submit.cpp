@@ -1,0 +1,229 @@
+//===- tools/dynace-submit/dynace-submit.cpp - Serve client ---------------==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// dynace-submit — client for the dynace-serve daemon. Submits a
+// (benchmark × scheme) grid over the Unix-domain socket and prints the
+// daemon's deterministic grid report to stdout.
+//
+//   dynace-submit [--socket PATH] [--benchmarks a,b,c] [--local]
+//   dynace-submit [--socket PATH] --shutdown
+//
+//   --socket PATH      daemon socket (default: DYNACE_SERVE_SOCKET,
+//                      falling back to /tmp/dynace-serve.sock)
+//   --benchmarks LIST  comma-separated benchmark names (default: the
+//                      seven SPECjvm98-like profiles)
+//   --local            do not contact the daemon: run the same grid
+//                      serially in this process and print the same
+//                      report. Because serve results are deterministic
+//                      and content-addressed, this output must be
+//                      bit-identical to the daemon's — the invariant
+//                      scripts/check_serve.sh asserts with diff.
+//   --shutdown         send a Shutdown frame and exit.
+//
+// Exit status: 0 success, 1 transport/grid failure (daemon Error frames
+// are printed to stderr), 2 usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Coordinator.h"
+#include "serve/Protocol.h"
+#include "serve/Wire.h"
+#include "sim/Reports.h"
+#include "support/Env.h"
+#include "workloads/WorkloadProfile.h"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace dynace;
+using namespace dynace::serve;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH] [--benchmarks a,b,c] [--local]\n"
+               "       %s [--socket PATH] --shutdown\n",
+               Argv0, Argv0);
+  return 2;
+}
+
+std::vector<std::string> splitNames(const std::string &List) {
+  std::vector<std::string> Names;
+  std::string Cur;
+  for (char C : List) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Names.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur.push_back(C);
+    }
+  }
+  if (!Cur.empty())
+    Names.push_back(Cur);
+  return Names;
+}
+
+/// Connects to the daemon socket. \returns the fd, or -1 (message
+/// printed).
+int connectTo(const std::string &Path) {
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "dynace-submit: socket path too long: %s\n",
+                 Path.c_str());
+    return -1;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    std::fprintf(stderr, "dynace-submit: socket: %s\n", std::strerror(errno));
+    return -1;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    std::fprintf(stderr, "dynace-submit: connect %s: %s\n", Path.c_str(),
+                 std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// The --local comparison baseline: runs every cell serially in this
+/// process through the same execution core (runExperimentCell) and prints
+/// the same deterministic report — deliberately without touching the
+/// coordinator, so a serve-vs-local diff exercises the whole distributed
+/// path.
+int runLocal(const std::vector<std::string> &Benchmarks) {
+  SimulationOptions Base = ExperimentRunner::defaultOptions();
+  std::vector<CellSpec> Cells = gridForBenchmarks(Benchmarks);
+  std::vector<GridCell> Results;
+  Results.reserve(Cells.size());
+  for (const CellSpec &Spec : Cells) {
+    const WorkloadProfile *Profile = findProfile(Spec.Benchmark);
+    if (!Profile) {
+      std::fprintf(stderr, "dynace-submit: unknown benchmark: %s\n",
+                   Spec.Benchmark.c_str());
+      return 1;
+    }
+    auto [Result, Outcome] =
+        runExperimentCell(*Profile, Spec.SchemeKind, Base);
+    Results.push_back({std::move(Result), Outcome, /*CacheKey=*/""});
+  }
+  Expected<std::vector<BenchmarkRun>> Runs =
+      assembleBenchmarkRuns(Cells, Results);
+  if (!Runs.ok()) {
+    std::fprintf(stderr, "dynace-submit: %s\n",
+                 Runs.status().toString().c_str());
+    return 1;
+  }
+  printGridReport(std::cout, Runs.get());
+  return 0;
+}
+
+int sendShutdown(const std::string &SocketPath) {
+  int Fd = connectTo(SocketPath);
+  if (Fd < 0)
+    return 1;
+  Status S = sendFrame(Fd, FrameType::Shutdown, {});
+  ::close(Fd);
+  if (!S) {
+    std::fprintf(stderr, "dynace-submit: shutdown: %s\n",
+                 S.toString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "dynace-submit: shutdown sent\n");
+  return 0;
+}
+
+int submitGrid(const std::string &SocketPath,
+               const std::vector<std::string> &Benchmarks) {
+  GridRequestMsg Req;
+  Req.Cells = gridForBenchmarks(Benchmarks);
+  int Fd = connectTo(SocketPath);
+  if (Fd < 0)
+    return 1;
+  if (Status S = sendFrame(Fd, FrameType::GridRequest, encodeGridRequest(Req));
+      !S) {
+    std::fprintf(stderr, "dynace-submit: send: %s\n", S.toString().c_str());
+    ::close(Fd);
+    return 1;
+  }
+  // A grid can take minutes; block until the daemon replies or drops the
+  // connection (recvFrame maps EOF to Unavailable).
+  Expected<Frame> Reply = recvFrame(Fd, /*TimeoutMs=*/-1);
+  ::close(Fd);
+  if (!Reply.ok()) {
+    std::fprintf(stderr, "dynace-submit: receive: %s\n",
+                 Reply.status().toString().c_str());
+    return 1;
+  }
+  if (Reply.get().Type == FrameType::Error) {
+    Expected<ErrorMsg> Err = decodeErrorMsg(Reply.get().Payload);
+    std::fprintf(stderr, "dynace-submit: daemon error: %s\n",
+                 Err.ok() ? Err.get().Reason.c_str() : "<undecodable>");
+    return 1;
+  }
+  if (Reply.get().Type != FrameType::Done) {
+    std::fprintf(stderr, "dynace-submit: unexpected %s frame\n",
+                 frameTypeName(Reply.get().Type));
+    return 1;
+  }
+  Expected<DoneMsg> Done = decodeDone(Reply.get().Payload);
+  if (!Done.ok()) {
+    std::fprintf(stderr, "dynace-submit: bad done frame: %s\n",
+                 Done.status().toString().c_str());
+    return 1;
+  }
+  std::cout << Done.get().Report;
+  std::fprintf(stderr, "dynace-submit: %llu cells, %llu failed\n",
+               static_cast<unsigned long long>(Done.get().Cells),
+               static_cast<unsigned long long>(Done.get().FailedCells));
+  return Done.get().FailedCells == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SocketPath =
+      envString("DYNACE_SERVE_SOCKET", "/tmp/dynace-serve.sock");
+  std::vector<std::string> Benchmarks;
+  bool Local = false;
+  bool Shutdown = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--socket" && I + 1 < argc)
+      SocketPath = argv[++I];
+    else if (Arg == "--benchmarks" && I + 1 < argc)
+      Benchmarks = splitNames(argv[++I]);
+    else if (Arg == "--local")
+      Local = true;
+    else if (Arg == "--shutdown")
+      Shutdown = true;
+    else
+      return usage(argv[0]);
+  }
+  if (Local && Shutdown)
+    return usage(argv[0]);
+
+  if (Benchmarks.empty())
+    for (const WorkloadProfile &P : specjvm98Profiles())
+      Benchmarks.push_back(P.Name);
+
+  if (Shutdown)
+    return sendShutdown(SocketPath);
+  if (Local)
+    return runLocal(Benchmarks);
+  return submitGrid(SocketPath, Benchmarks);
+}
