@@ -36,14 +36,17 @@ for var in $vars; do
   fi
 done
 
-# The workload/scenario guide must exist and stay reachable from README.
-if [ ! -f "$root/docs/WORKLOADS.md" ]; then
-  echo "error: docs/WORKLOADS.md is missing" >&2
-  status=1
-elif ! grep -q 'docs/WORKLOADS\.md' "$root/README.md"; then
-  echo "error: README.md does not link docs/WORKLOADS.md" >&2
-  status=1
-fi
+# The workload/scenario and observability guides must exist and stay
+# reachable from README.
+for doc in WORKLOADS OBSERVABILITY; do
+  if [ ! -f "$root/docs/$doc.md" ]; then
+    echo "error: docs/$doc.md is missing" >&2
+    status=1
+  elif ! grep -q "docs/$doc\\.md" "$root/README.md"; then
+    echo "error: README.md does not link docs/$doc.md" >&2
+    status=1
+  fi
+done
 
 if [ "$status" -ne 0 ]; then
   echo "check_docs: FAILED (see errors above)" >&2

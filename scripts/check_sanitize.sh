@@ -26,7 +26,8 @@ cmake --build "$build" -j"$jobs" \
   --target fault_injection_test resultcache_corruption_test \
            serve_wire_test serve_journal_test serve_test \
            table6_tuning_coverage dynalint dynatrace \
-           microbench_hotloop dynace-serve dynace-submit >/dev/null
+           microbench_hotloop dynace-serve dynace-submit \
+           dynace-top obs_test >/dev/null
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
@@ -34,17 +35,27 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 "$build/tests/fault_injection_test"
 "$build/tests/resultcache_corruption_test"
 
-# The distributed-service suites: wire/protocol fuzz, journal torn-tail
-# and kill-resume, and the coordinator chaos grid (worker crashes, lease
-# re-dispatch, breaker fallback) — fork, socketpair and shared-state
-# paths all under ASan/UBSan.
+# The distributed-service suites: wire/protocol fuzz (including the
+# telemetry and stats codecs), journal torn-tail and kill-resume, the
+# coordinator chaos grid (worker crashes, lease re-dispatch, breaker
+# fallback) with its merged-trace and stats-plane assertions, and the
+# observability layer itself — fork, socketpair and shared-state paths
+# all under ASan/UBSan.
 "$build/tests/serve_wire_test"
 "$build/tests/serve_journal_test"
 "$build/tests/serve_test"
+"$build/tests/obs_test"
 
 # And the real binaries end to end (daemon + client over a Unix socket,
-# chaos on, journal resume, clean shutdown).
+# chaos on with a merged trace, journal resume, stats plane, clean
+# shutdown). check_serve.sh also drives dynace-top --once against the
+# live daemon; the no-daemon exit contract runs sanitized here.
 "$root/scripts/check_serve.sh" "$root" "$build"
+if "$build/tools/dynace-top" --once \
+     --stats-socket "$build/no-such-daemon.stats" >/dev/null; then
+  echo "check_sanitize: dynace-top --once must exit nonzero with no daemon" >&2
+  exit 1
+fi
 
 # The trace schema gate under sanitizers: the traced grid exercises every
 # emit site (per-thread buffers, flush, JSON rendering) with ASan/UBSan

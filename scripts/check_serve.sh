@@ -13,10 +13,17 @@
 #     write-ahead journal. The streamed report must be byte-identical to
 #     the serial one (`cmp`), and the daemon log must show at least one
 #     worker crash — chaos that never fired proves nothing.
+#     The chaos daemon also runs with DYNACE_TRACE on: the merged trace
+#     it writes must be valid JSON with at least one per-worker track
+#     carrying worker.cell spans whose args name the cell and dispatch
+#     attempt (the cross-process correlation contract).
 #  3. A fresh daemon is pointed at the journal the first one left behind
 #     (the "coordinator killed and restarted" story): its grid must be
 #     fully replayed — zero re-execution — and still byte-identical.
-#  4. `dynace-submit --shutdown` must stop that daemon with exit 0.
+#  4. The introspection plane: `dynace-top --once` and `dynace-submit
+#     --stats` against the live daemon must exit 0 and describe the
+#     replayed grid.
+#  5. `dynace-submit --shutdown` must stop that daemon with exit 0.
 #
 # Wired into CMake as the `check_serve` ctest and into check_sanitize.sh
 # (the same flow under ASan/UBSan covers the fork/IPC paths that the
@@ -28,7 +35,8 @@ root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 build="${2:-$root/build}"
 
 jobs="$(nproc 2>/dev/null || echo 4)"
-cmake --build "$build" -j"$jobs" --target dynace-serve dynace-submit >/dev/null
+cmake --build "$build" -j"$jobs" --target dynace-serve dynace-submit \
+  dynace-top >/dev/null
 
 tmp="$(mktemp -d)"
 daemon_pid=""
@@ -40,6 +48,7 @@ trap cleanup EXIT INT TERM
 
 serve="$build/tools/dynace-serve"
 submit="$build/tools/dynace-submit"
+top="$build/tools/dynace-top"
 benchmarks="compress,db"
 export DYNACE_INSTR_BUDGET=200000
 
@@ -72,6 +81,7 @@ env DYNACE_CACHE_DIR="$tmp/cache-serve" \
     DYNACE_SERVE_HEARTBEAT_MS=50 \
     DYNACE_SERVE_JOURNAL="$tmp/journal.bin" \
     DYNACE_FAULT_SPEC='worker.crash:2:1,rpc.recv:13:1' \
+    DYNACE_TRACE="$tmp/trace.json" \
     "$serve" --socket "$tmp/sock1" --once 2> "$tmp/serve.log" &
 daemon_pid=$!
 wait_for_socket "$tmp/sock1"
@@ -93,6 +103,36 @@ case "$first_grid" in
     cat "$tmp/serve.log" >&2
     exit 1 ;;
 esac
+
+# The chaos daemon's merged trace: one file, coordinator and (respawned)
+# worker spans on shared clock-aligned timelines. Validated structurally,
+# not against exact scheduling — chaos timing varies, the contract does
+# not: valid JSON, at least one per-worker track (tid >= 1001) whose
+# worker.cell spans name their cell and dispatch attempt.
+[ -s "$tmp/trace.json" ] || {
+  echo "check_serve: chaos daemon wrote no trace" >&2; exit 1; }
+python3 -c '
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+tracks = {}
+for e in events:
+    if e.get("tid", 0) >= 1001 and e.get("ph") == "X":
+        tracks.setdefault(e["tid"], []).append(e)
+assert tracks, "no per-worker spans merged into the coordinator trace"
+cells = [e for t in tracks.values() for e in t
+         if e.get("name") == "worker.cell"]
+assert cells, "no worker.cell spans on any worker track"
+for e in cells:
+    args = e.get("args", {})
+    assert "cell" in args and "attempt" in args, \
+        "worker.cell span without cell/attempt args: %r" % (e,)
+names = {e.get("args", {}).get("name") for e in events
+         if e.get("name") == "thread_name"}
+assert any(n and n.startswith("worker ") for n in names), \
+    "worker tracks are unnamed"
+print("check_serve: merged trace OK (%d worker tracks, %d worker.cell "
+      "spans)" % (len(tracks), len(cells)))
+' "$tmp/trace.json"
 
 # --- 3. Restarted coordinator resumes from the journal ---------------------
 [ -s "$tmp/journal.bin" ] || { echo "check_serve: no journal written" >&2; exit 1; }
@@ -116,7 +156,24 @@ if ! grep -q '(6 replayed' "$tmp/serve2.log"; then
   exit 1
 fi
 
-# --- 4. Clean shutdown -----------------------------------------------------
+# --- 4. Introspection plane ------------------------------------------------
+# The daemon is idle between grids: both pollers must reach it over the
+# stats socket (default: "<socket>.stats") and describe the grid it just
+# replayed.
+"$top" --once --stats-socket "$tmp/sock2.stats" > "$tmp/top.txt"
+if ! grep -q 'last grid' "$tmp/top.txt"; then
+  echo "check_serve: dynace-top --once did not describe the last grid" >&2
+  cat "$tmp/top.txt" >&2
+  exit 1
+fi
+"$submit" --socket "$tmp/sock2" --stats > "$tmp/stats.txt"
+if ! grep -q 'cells: 6 total' "$tmp/stats.txt"; then
+  echo "check_serve: dynace-submit --stats missing the cell totals" >&2
+  cat "$tmp/stats.txt" >&2
+  exit 1
+fi
+
+# --- 5. Clean shutdown -----------------------------------------------------
 "$submit" --socket "$tmp/sock2" --shutdown 2>/dev/null
 if ! wait "$daemon_pid"; then
   echo "check_serve: daemon did not exit 0 on shutdown" >&2
@@ -124,5 +181,6 @@ if ! wait "$daemon_pid"; then
 fi
 daemon_pid=""
 
-echo "check_serve: OK (chaos grid byte-identical to serial, journal resume" \
-     "replayed all cells, clean shutdown)"
+echo "check_serve: OK (chaos grid byte-identical to serial with a merged" \
+     "trace, journal resume replayed all cells, stats plane live, clean" \
+     "shutdown)"

@@ -60,6 +60,42 @@ void MetricsSnapshot::merge(const MetricsSnapshot &O) {
     Histograms[Name].merge(H);
 }
 
+MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot &Since) const {
+  MetricsSnapshot D;
+  for (const auto &[Name, V] : Counters) {
+    uint64_t Base = Since.counterOr(Name);
+    if (V > Base)
+      D.Counters[Name] = V - Base;
+  }
+  for (const auto &[Name, V] : Gauges) {
+    auto It = Since.Gauges.find(Name);
+    if (It == Since.Gauges.end() || It->second != V)
+      D.Gauges[Name] = V;
+  }
+  for (const auto &[Name, H] : Histograms) {
+    auto It = Since.Histograms.find(Name);
+    const HistogramSnapshot *Base = It == Since.Histograms.end()
+                                        ? nullptr
+                                        : &It->second;
+    HistogramSnapshot DH;
+    DH.Buckets.resize(H.Buckets.size(), 0);
+    for (size_t I = 0, E = H.Buckets.size(); I != E; ++I) {
+      uint64_t B = Base && I < Base->Buckets.size() ? Base->Buckets[I] : 0;
+      if (H.Buckets[I] > B) {
+        DH.Buckets[I] = H.Buckets[I] - B;
+        DH.Count += DH.Buckets[I];
+      }
+    }
+    uint64_t BaseSum = Base ? Base->Sum : 0;
+    DH.Sum = H.Sum > BaseSum ? H.Sum - BaseSum : 0;
+    while (!DH.Buckets.empty() && DH.Buckets.back() == 0)
+      DH.Buckets.pop_back();
+    if (DH.Count != 0 || DH.Sum != 0)
+      D.Histograms[Name] = std::move(DH);
+  }
+  return D;
+}
+
 std::string MetricsSnapshot::toJson() const {
   std::string Out = "{\n  \"counters\": {";
   bool First = true;

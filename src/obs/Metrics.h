@@ -135,6 +135,13 @@ struct MetricsSnapshot {
   /// Accumulates \p O: counters and histograms add, gauges take \p O's
   /// value (last writer wins).
   void merge(const MetricsSnapshot &O);
+  /// \returns what happened after \p Since: counter and histogram-bucket
+  /// differences (clamped at zero, zero entries omitted) and every gauge
+  /// whose value changed or appeared. delta(Since) is merge()'s inverse
+  /// on a monotonically growing registry — how a serve worker reports
+  /// per-cell increments the coordinator can fold into the fleet registry
+  /// without double counting (including state inherited across fork()).
+  MetricsSnapshot delta(const MetricsSnapshot &Since) const;
   /// \returns the named counter's value, or 0 when absent.
   uint64_t counterOr(const std::string &Name, uint64_t Default = 0) const {
     auto It = Counters.find(Name);

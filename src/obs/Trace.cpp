@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 
 using namespace dynace;
 using namespace dynace::obs;
@@ -32,6 +33,19 @@ bool dynace::obs::isKnownTraceCategory(const char *Cat) {
     if (!std::strcmp(Cat, Known))
       return true;
   return false;
+}
+
+const char *dynace::obs::internTraceString(const std::string &S) {
+  for (const char *Known : KnownCategories)
+    if (S == Known)
+      return Known;
+  // Leaked on purpose: interned strings back TraceEvent::Cat/Name, which
+  // may sit in thread buffers until an atexit flush — no destructor may
+  // ever pull the rug. The set keeps each distinct string to one entry.
+  static Mutex *InternM = new Mutex();
+  static std::set<std::string> *Table = new std::set<std::string>();
+  MutexLock Lock(*InternM);
+  return Table->insert(S).first->c_str();
 }
 
 std::string dynace::obs::jsonEscape(const std::string &S) {
@@ -140,6 +154,7 @@ void TraceCollector::configure(const std::string &NewPath) {
   MutexLock Lock(M);
   Path = NewPath;
   clearBuffersLocked();
+  TrackNames.clear();
   Dropped.store(0, std::memory_order_relaxed);
   EpochNs.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
                     std::chrono::steady_clock::now().time_since_epoch())
@@ -182,14 +197,58 @@ void TraceCollector::emit(TraceEvent E) {
   B.Events.push_back(std::move(E));
 }
 
+void TraceCollector::emitForeign(TraceEvent E) {
+  if (!traceEnabled())
+    return;
+  // The foreign event keeps its own Tid (a merged worker track); it still
+  // buffers in the calling thread so the cap/drop discipline is uniform.
+  ThreadBuffer &B = threadBuffer();
+  MutexLock Lock(B.M);
+  if (B.Events.size() >= kMaxEventsPerThread) {
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  B.Events.push_back(std::move(E));
+}
+
+std::vector<TraceEvent> TraceCollector::drain() {
+  std::vector<TraceEvent> All;
+  {
+    MutexLock Lock(M);
+    for (std::unique_ptr<ThreadBuffer> &B : Buffers) {
+      MutexLock BLock(B->M);
+      All.insert(All.end(), std::make_move_iterator(B->Events.begin()),
+                 std::make_move_iterator(B->Events.end()));
+      B->Events.clear();
+    }
+  }
+  std::stable_sort(All.begin(), All.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.TsUs < B.TsUs;
+                   });
+  return All;
+}
+
+void TraceCollector::nameTrack(uint32_t Tid, const std::string &Name) {
+  MutexLock Lock(M);
+  for (auto &[T, N] : TrackNames)
+    if (T == Tid) {
+      N = Name;
+      return;
+    }
+  TrackNames.emplace_back(Tid, Name);
+}
+
 bool TraceCollector::flush() {
   std::string OutPath;
   std::vector<TraceEvent> All;
+  std::vector<std::pair<uint32_t, std::string>> Tracks;
   {
     MutexLock Lock(M);
     if (Path.empty())
       return false;
     OutPath = Path;
+    Tracks = TrackNames;
     for (std::unique_ptr<ThreadBuffer> &B : Buffers) {
       MutexLock BLock(B->M);
       All.insert(All.end(), std::make_move_iterator(B->Events.begin()),
@@ -210,6 +269,17 @@ bool TraceCollector::flush() {
   }
   std::fputs("{\"traceEvents\": [\n", F);
   bool First = true;
+  // Track-name metadata first: Chrome/Perfetto label the tid rows (the
+  // merged per-worker tracks) from these before any span lands on them.
+  for (const auto &[Tid, Name] : Tracks) {
+    if (!First)
+      std::fputs(",\n", F);
+    First = false;
+    std::fprintf(F,
+                 "{\"ph\": \"M\", \"pid\": 1, \"tid\": %u, "
+                 "\"name\": \"thread_name\", \"args\": {\"name\": \"%s\"}}",
+                 Tid, jsonEscape(Name).c_str());
+  }
   for (const TraceEvent &E : All) {
     if (!First)
       std::fputs(",\n", F);

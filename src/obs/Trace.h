@@ -97,6 +97,29 @@ public:
   /// \returns true on success (false: disabled or I/O failure).
   bool flush() EXCLUDES(M);
 
+  /// Removes and returns every buffered event (all threads), sorted by
+  /// timestamp. How a serve worker ships its span buffer back to the
+  /// coordinator instead of writing a file: the worker drains, the
+  /// coordinator re-emits clock-aligned via emitForeign(). Also used to
+  /// discard a forked child's inherited parent buffers.
+  std::vector<TraceEvent> drain() EXCLUDES(M);
+
+  /// Appends an event that already carries its own Tid (a cross-process
+  /// span merged by the coordinator) — unlike emit(), the calling
+  /// thread's id is NOT stamped over E.Tid. E.Cat/E.Name must still be
+  /// process-lifetime strings (see internTraceString()). No-op when
+  /// disabled; the per-thread cap and drop accounting still apply.
+  void emitForeign(TraceEvent E);
+
+  /// Names the timeline track \p Tid (flush() renders a thread_name
+  /// metadata event), e.g. "worker 3" for a merged per-worker track.
+  void nameTrack(uint32_t Tid, const std::string &Name) EXCLUDES(M);
+
+  /// The collector epoch as a steady_clock nanosecond count — what
+  /// HelloMsg carries so the coordinator can align a worker's span
+  /// timestamps onto its own clock.
+  int64_t epochNs() const { return EpochNs.load(std::memory_order_relaxed); }
+
   /// Microseconds since the collector epoch (monotonic). Lock-free: the
   /// epoch is an atomic nanosecond count so hot emit paths never touch M
   /// and a concurrent configure() cannot race the read.
@@ -133,6 +156,7 @@ private:
   mutable Mutex M; ///< Guards collector-wide configuration state.
   std::string Path GUARDED_BY(M);
   std::vector<std::unique_ptr<ThreadBuffer>> Buffers GUARDED_BY(M);
+  std::vector<std::pair<uint32_t, std::string>> TrackNames GUARDED_BY(M);
   std::atomic<uint64_t> Dropped{0};
   std::atomic<uint32_t> NextTid{1};
   bool AtExitInstalled GUARDED_BY(M) = false;
@@ -154,6 +178,13 @@ inline bool traceEnabled() {
 
 /// Minimal JSON string escaping for event argument values.
 std::string jsonEscape(const std::string &S);
+
+/// Interns \p S into a process-lifetime string (TraceEvent stores Cat and
+/// Name unowned, which is free for literals but needs a stable home for
+/// strings that arrived over the serve wire). Known categories intern to
+/// their canonical literal; everything else is deduplicated in a leaked
+/// table, so repeated span names cost one entry.
+const char *internTraceString(const std::string &S);
 
 // Argument-rendering helpers (called only on the enabled path).
 std::string traceArg(const char *Key, uint64_t Value);

@@ -134,7 +134,34 @@ struct WorkerSlot {
   uint64_t LeasedCell = kNoCell;
   bool LeaseRequeued = false; ///< This lease already expired and re-queued.
   Clock::time_point LeaseDeadline;
+  Clock::time_point LeaseStart; ///< When the current lease was dispatched.
   Clock::time_point LastSeen;
+  uint64_t CellsDone = 0; ///< Results this worker landed (first-wins only).
+  /// Microseconds to add to this worker's span timestamps to land them on
+  /// the coordinator's trace clock: (worker epoch - coordinator epoch).
+  /// ~0 for fork()ed workers, which inherit the epoch; the Hello exchange
+  /// is what keeps future remote workers mergeable.
+  double ClockOffsetUs = 0.0;
+};
+
+/// A worker's span buffer for one cell, parked by the handler thread for
+/// the runGrid thread to merge into the trace (fork discipline: handler
+/// threads never touch the TraceCollector's registry lock).
+struct SpanBatch {
+  uint64_t WorkerId = 0;
+  double OffsetUs = 0.0; ///< The worker's ClockOffsetUs at receive time.
+  std::vector<WireSpan> Spans;
+  uint32_t Dropped = 0; ///< Worker-side cap casualties.
+};
+
+/// A coordinator-side "serve" timeline event recorded by a handler thread
+/// and emitted later from the runGrid thread (same fork discipline).
+struct DeferredLease {
+  double TsUs = 0.0;
+  double DurUs = 0.0;
+  uint64_t WorkerId = 0;
+  uint64_t Cell = 0;
+  uint32_t Attempt = 0;
 };
 
 /// All state of one in-flight grid. Handler threads and the runGrid
@@ -144,6 +171,8 @@ struct GridRun {
   SimulationOptions Base;
   std::vector<CellSpec> Specs;
   std::vector<std::string> ExpectedKeys; ///< Content address per cell.
+  uint64_t GridId = 0;     ///< Trace correlation id (set before threads).
+  int64_t CoordEpochNs = 0; ///< Coordinator trace epoch (set before threads).
 
   Mutex M;
   std::condition_variable_any Cv;
@@ -160,7 +189,42 @@ struct GridRun {
   uint64_t NextWorkerId GUARDED_BY(M) = 1;
   std::deque<unsigned> DeadSlots GUARDED_BY(M); ///< Awaiting reap/respawn.
   bool Stop GUARDED_BY(M) = false;
+
+  /// Observability freight parked for the runGrid thread.
+  std::vector<SpanBatch> SpanBatches GUARDED_BY(M);
+  std::vector<DeferredLease> DeferredLeases GUARDED_BY(M);
+  MetricsSnapshot FleetDelta GUARDED_BY(M); ///< Folded worker deltas.
+  uint64_t WorkerDroppedSpans GUARDED_BY(M) = 0;
+
+  /// Fleet latency/depth instruments (internally atomic; recorded under M
+  /// anyway, folded into the process registry once at grid end).
+  Histogram LeaseLatencyMs;
+  Histogram HeartbeatGapMs;
+  Histogram QueueDepth;
 };
+
+/// The stats plane's view of the coordinator: at most one grid is ever
+/// in flight per process — the daemon serves clients sequentially — and
+/// the listener thread reads it through this registration. Lock order:
+/// StatsRegM before GridRun::M, everywhere.
+Mutex StatsRegM;
+GridRun *ActiveRun GUARDED_BY(StatsRegM) = nullptr;
+StatsReplyMsg LastGridStats GUARDED_BY(StatsRegM);
+uint64_t GridsServed GUARDED_BY(StatsRegM) = 0;
+
+/// Millisecond count of \p D, clamped at zero.
+template <class Dur> uint64_t toMs(Dur D) {
+  auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(D).count();
+  return Ms < 0 ? 0 : static_cast<uint64_t>(Ms);
+}
+
+/// \p T as microseconds on the coordinator's trace clock.
+double traceUs(const GridRun &Run, Clock::time_point T) {
+  int64_t Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   T.time_since_epoch())
+                   .count();
+  return static_cast<double>(Ns - Run.CoordEpochNs) / 1000.0;
+}
 
 /// Builds the CellOutcome a CellResultMsg describes.
 CellOutcome outcomeOf(const CellResultMsg &M) {
@@ -224,15 +288,27 @@ Status commitLocked(GridRun &Run, const CellResultMsg &Msg, bool FromJournal)
   Run.DoneCount++;
   if (Msg.Failed)
     Run.Stats.FailedCells++;
+  if (Msg.Quarantined != 0)
+    Run.Stats.QuarantinedCells++;
   if (FromJournal) {
     Run.Stats.ReplayedCells++;
   } else if (!Run.Cfg.JournalPath.empty()) {
     // Journal before anyone can observe the cell as done. Held-lock fsync
     // is deliberate: it keeps "done" strictly behind "durable", and grid
-    // commit rates are far below fsync rates.
-    if (Status S = journalAppend(Run.Cfg.JournalPath, Msg); !S)
+    // commit rates are far below fsync rates. Telemetry (spans, metrics
+    // delta) is stripped first: it is per-execution freight, and a replay
+    // re-merging stale telemetry would double count the fleet registry.
+    CellResultMsg Record = Msg;
+    Record.Spans.clear();
+    Record.DroppedSpans = 0;
+    Record.MetricsDelta = MetricsSnapshot();
+    Expected<uint64_t> Appended =
+        journalAppend(Run.Cfg.JournalPath, Record);
+    if (!Appended.ok())
       std::fprintf(stderr, "[dynace-serve] journal append failed: %s\n",
-                   S.toString().c_str());
+                   Appended.status().toString().c_str());
+    else
+      Run.Stats.JournalBytes += Appended.get();
   }
   Run.Cv.notify_all();
   return Status();
@@ -247,6 +323,7 @@ void assignNextLocked(GridRun &Run, WorkerSlot &Slot) REQUIRES(Run.M) {
     return;
   while (!Run.Pending.empty()) {
     size_t I = Run.Pending.front();
+    Run.QueueDepth.record(Run.Pending.size());
     Run.Pending.pop_front();
     if (Run.Done[I])
       continue;
@@ -258,10 +335,13 @@ void assignNextLocked(GridRun &Run, WorkerSlot &Slot) REQUIRES(Run.M) {
     CellAssignMsg Assign;
     Assign.CellIndex = I;
     Assign.Cell = Run.Specs[I];
+    Assign.GridId = Run.GridId;
+    Assign.Attempt = Run.Dispatches[I] + 1;
     Run.Dispatches[I]++;
     Run.Stats.WorkerDispatches++;
     Slot.LeasedCell = I;
     Slot.LeaseRequeued = false;
+    Slot.LeaseStart = Clock::now();
     Slot.LeaseDeadline =
         Clock::now() + std::chrono::milliseconds(Run.Cfg.LeaseMs);
     Status Sent;
@@ -328,22 +408,64 @@ void handlerLoop(GridRun &Run, WorkerSlot &Slot) {
       markDeadLocked(Run, Slot);
       return;
     }
-    Slot.LastSeen = Clock::now();
+    Clock::time_point Now = Clock::now();
     Frame Msg = F.take();
     switch (Msg.Type) {
-    case FrameType::Hello:
+    case FrameType::Hello: {
+      Expected<HelloMsg> Hello = decodeHello(Msg.Payload);
+      if (!Hello.ok()) {
+        markDeadLocked(Run, Slot); // A worker that garbles its own
+        return;                    // introduction is not trustworthy.
+      }
+      // Clock alignment: the worker's spans are stamped on *its* trace
+      // clock; this offset re-bases them onto the coordinator's. (~0 for
+      // fork()ed workers — they inherit the epoch.)
+      Slot.ClockOffsetUs =
+          static_cast<double>(
+              static_cast<int64_t>(Hello.get().TraceEpochNs) -
+              Run.CoordEpochNs) /
+          1000.0;
+      Slot.LastSeen = Now;
       assignNextLocked(Run, Slot);
       break;
+    }
     case FrameType::Heartbeat:
-      break; // LastSeen already refreshed.
+      Run.HeartbeatGapMs.record(toMs(Now - Slot.LastSeen));
+      Slot.LastSeen = Now;
+      break;
     case FrameType::CellResult: {
       Expected<CellResultMsg> Result = decodeCellResult(Msg.Payload);
-      if (!Result.ok() ||
-          !commitLocked(Run, Result.get(), /*FromJournal=*/false).ok()) {
+      Slot.LastSeen = Now;
+      if (!Result.ok()) {
         markDeadLocked(Run, Slot);
         return;
       }
-      if (Slot.LeasedCell == Result.get().CellIndex) {
+      CellResultMsg R = Result.take();
+      if (!commitLocked(Run, R, /*FromJournal=*/false).ok()) {
+        markDeadLocked(Run, Slot);
+        return;
+      }
+      // Fleet telemetry folds in even for a dropped duplicate: the
+      // straggler's work was real, and its spans belong on the timeline
+      // (the (cell, attempt) stamps keep the two executions apart).
+      Run.FleetDelta.merge(R.MetricsDelta);
+      Run.WorkerDroppedSpans += R.DroppedSpans;
+      if (obs::traceEnabled() && (!R.Spans.empty() || R.DroppedSpans != 0))
+        Run.SpanBatches.push_back(SpanBatch{Slot.WorkerId, Slot.ClockOffsetUs,
+                                            std::move(R.Spans),
+                                            R.DroppedSpans});
+      if (Slot.LeasedCell == R.CellIndex) {
+        Run.LeaseLatencyMs.record(toMs(Now - Slot.LeaseStart));
+        Slot.CellsDone++;
+        if (obs::traceEnabled()) {
+          DeferredLease D;
+          D.TsUs = traceUs(Run, Slot.LeaseStart);
+          D.DurUs = traceUs(Run, Now) - D.TsUs;
+          D.WorkerId = Slot.WorkerId;
+          D.Cell = R.CellIndex;
+          D.Attempt = R.DispatchAttempt;
+          Run.DeferredLeases.push_back(D);
+        }
         Slot.LeasedCell = kNoCell;
         Slot.LeaseRequeued = false;
       }
@@ -354,6 +476,44 @@ void handlerLoop(GridRun &Run, WorkerSlot &Slot) {
       markDeadLocked(Run, Slot); // Workers never send anything else.
       return;
     }
+  }
+}
+
+/// Merges parked observability freight into the trace — runGrid thread
+/// only (the TraceCollector's registry lock must never be held by a
+/// thread that could race fork()). \p NamedWorkers dedupes track naming.
+void emitParkedTelemetry(std::vector<SpanBatch> Batches,
+                         std::vector<DeferredLease> Leases,
+                         std::set<uint64_t> &NamedWorkers) {
+  if (!obs::traceEnabled())
+    return;
+  auto &TC = obs::TraceCollector::instance();
+  for (SpanBatch &B : Batches) {
+    uint32_t Tid = 1000 + static_cast<uint32_t>(B.WorkerId);
+    if (NamedWorkers.insert(B.WorkerId).second)
+      TC.nameTrack(Tid, "worker " + std::to_string(B.WorkerId));
+    for (WireSpan &S : B.Spans) {
+      obs::TraceEvent E;
+      E.Cat = obs::internTraceString(S.Cat);
+      E.Name = obs::internTraceString(S.Name);
+      E.TsUs = S.TsUs + B.OffsetUs;
+      E.DurUs = S.DurUs;
+      E.Tid = Tid;
+      E.Args = std::move(S.Args);
+      TC.emitForeign(std::move(E));
+    }
+  }
+  for (const DeferredLease &D : Leases) {
+    obs::TraceEvent E;
+    E.Cat = "serve";
+    E.Name = "lease";
+    E.TsUs = D.TsUs;
+    E.DurUs = D.DurUs;
+    E.Tid = 1000 + static_cast<uint32_t>(D.WorkerId);
+    E.Args = obs::traceArg("cell", D.Cell) + ", " +
+             obs::traceArg("attempt", static_cast<uint64_t>(D.Attempt)) +
+             ", " + obs::traceArg("worker", D.WorkerId);
+    TC.emitForeign(std::move(E));
   }
 }
 
@@ -487,9 +647,19 @@ Expected<GridResult> dynace::serve::runGrid(const ServeConfig &Config,
   if (Status S = prepareGrid(Run); !S)
     return S;
 
+  // Trace correlation identity: workers echo the grid id on every span,
+  // so one daemon's timeline keeps consecutive grids apart. Uniqueness per
+  // process suffices (and pid-tagging keeps restarted daemons apart too);
+  // the id is telemetry, never part of any cached or golden artifact.
+  static std::atomic<uint64_t> GridSeq{0};
+  Run.GridId = (static_cast<uint64_t>(::getpid()) << 32) |
+               (GridSeq.fetch_add(1, std::memory_order_relaxed) + 1);
+  Run.CoordEpochNs = obs::TraceCollector::instance().epochNs();
+
   size_t N = Cells.size();
   DYNACE_TRACE_SCOPE("serve", "grid",
-                     obs::traceArg("cells", static_cast<uint64_t>(N)));
+                     obs::traceArg("cells", static_cast<uint64_t>(N)) +
+                         ", " + obs::traceArg("grid", Run.GridId));
   size_t NextStream = 0;
   {
     MutexLock L(Run.M);
@@ -503,6 +673,14 @@ Expected<GridResult> dynace::serve::runGrid(const ServeConfig &Config,
       if (!Run.Done[I])
         Run.Pending.push_back(I);
   }
+
+  // Publish to the stats plane (dynace-top polls through this). From here
+  // to the matching unpublish there are no early returns.
+  {
+    MutexLock SL(StatsRegM);
+    ActiveRun = &Run;
+  }
+  std::set<uint64_t> NamedWorkers; ///< Trace tracks already labelled.
 
   // Spawn the initial fleet (never more workers than open cells).
   size_t Open;
@@ -653,6 +831,20 @@ Expected<GridResult> dynace::serve::runGrid(const ServeConfig &Config,
         std::fprintf(stderr, "[dynace-serve] inline cell %zu rejected: %s\n",
                      InlineCell, S.toString().c_str());
     }
+
+    // Merge this round's parked worker spans and lease events into the
+    // trace — from this thread only (fork discipline), outside Run.M.
+    {
+      std::vector<SpanBatch> Batches;
+      std::vector<DeferredLease> Leases;
+      {
+        MutexLock L(Run.M);
+        Batches.swap(Run.SpanBatches);
+        Leases.swap(Run.DeferredLeases);
+      }
+      emitParkedTelemetry(std::move(Batches), std::move(Leases),
+                          NamedWorkers);
+    }
   }
 
   // Shutdown: ask politely, then reap unconditionally.
@@ -679,23 +871,182 @@ Expected<GridResult> dynace::serve::runGrid(const ServeConfig &Config,
     (void)reapWorker(*Slot);
 
   GridResult Out;
+  MetricsSnapshot FleetDelta;
+  uint64_t DroppedSpans = 0;
   {
     MutexLock L(Run.M);
     Out.Cells = Run.Results;
     Out.Stats = Run.Stats;
+    FleetDelta = std::move(Run.FleetDelta);
+    DroppedSpans = Run.WorkerDroppedSpans;
+  }
+
+  // Final telemetry drain: every handler is joined, so nothing can park
+  // more freight after this.
+  {
+    std::vector<SpanBatch> Batches;
+    std::vector<DeferredLease> Leases;
+    {
+      MutexLock L(Run.M);
+      Batches.swap(Run.SpanBatches);
+      Leases.swap(Run.DeferredLeases);
+    }
+    emitParkedTelemetry(std::move(Batches), std::move(Leases), NamedWorkers);
   }
 
   // One-shot flush of the grid's accounting into the process registry —
   // from this thread only, after all forking is over (fork discipline).
+  // The daemon's "grid done" line is renderServeSummary() over a delta of
+  // exactly these serve.* counters, so the human text and the registry
+  // cannot drift apart.
   auto &Reg = MetricsRegistry::process();
+  Reg.counter("serve.grids").inc();
   Reg.counter("serve.cells.total").inc(Out.Stats.Cells);
   Reg.counter("serve.cells.replayed").inc(Out.Stats.ReplayedCells);
   Reg.counter("serve.cells.inline").inc(Out.Stats.InlineCells);
   Reg.counter("serve.cells.failed").inc(Out.Stats.FailedCells);
+  Reg.counter("serve.cells.quarantined").inc(Out.Stats.QuarantinedCells);
   Reg.counter("serve.dispatches").inc(Out.Stats.WorkerDispatches);
   Reg.counter("serve.redispatches").inc(Out.Stats.Redispatches);
   Reg.counter("serve.duplicates.dropped").inc(Out.Stats.DuplicateResults);
   Reg.counter("serve.workers.crashed").inc(Out.Stats.WorkerCrashes);
   Reg.counter("serve.workers.respawned").inc(Out.Stats.Respawns);
+  Reg.counter("serve.journal.bytes").inc(Out.Stats.JournalBytes);
+  Reg.counter("serve.spans.dropped").inc(DroppedSpans);
+  // Fleet roll-up: the workers' own per-cell registry deltas (cache
+  // probes, runner retries...) plus the coordinator-side latency/depth
+  // histograms. Worker deltas exclude state inherited across fork(), so
+  // nothing here double counts the coordinator's own increments.
+  Reg.merge(FleetDelta);
+  MetricsSnapshot Hists;
+  if (HistogramSnapshot H = Run.LeaseLatencyMs.snapshot(); H.Count != 0)
+    Hists.Histograms["serve.lease.latency_ms"] = std::move(H);
+  if (HistogramSnapshot H = Run.HeartbeatGapMs.snapshot(); H.Count != 0)
+    Hists.Histograms["serve.heartbeat.gap_ms"] = std::move(H);
+  if (HistogramSnapshot H = Run.QueueDepth.snapshot(); H.Count != 0)
+    Hists.Histograms["serve.queue.depth"] = std::move(H);
+  Reg.merge(Hists);
+
+  // Unpublish from the stats plane; between grids the totals of this one
+  // stay visible as the "last grid" snapshot.
+  {
+    MutexLock SL(StatsRegM);
+    ActiveRun = nullptr;
+    GridsServed++;
+    StatsReplyMsg Last;
+    Last.GridActive = false;
+    Last.GridsServed = GridsServed;
+    Last.GridId = Run.GridId;
+    Last.Cells = Out.Stats.Cells;
+    Last.DoneCells = Out.Stats.Cells;
+    Last.FailedCells = Out.Stats.FailedCells;
+    Last.ReplayedCells = Out.Stats.ReplayedCells;
+    Last.InlineCells = Out.Stats.InlineCells;
+    Last.Dispatches = Out.Stats.WorkerDispatches;
+    Last.Redispatches = Out.Stats.Redispatches;
+    Last.DuplicateResults = Out.Stats.DuplicateResults;
+    Last.WorkerCrashes = Out.Stats.WorkerCrashes;
+    Last.Respawns = Out.Stats.Respawns;
+    Last.QuarantinedCells = Out.Stats.QuarantinedCells;
+    Last.JournalBytes = Out.Stats.JournalBytes;
+    LastGridStats = std::move(Last);
+  }
   return Out;
+}
+
+StatsReplyMsg dynace::serve::currentServeStats() {
+  MutexLock SL(StatsRegM);
+  if (ActiveRun == nullptr) {
+    StatsReplyMsg S = LastGridStats;
+    S.GridsServed = GridsServed;
+    return S;
+  }
+  GridRun &Run = *ActiveRun;
+  StatsReplyMsg S;
+  S.GridActive = true;
+  S.GridsServed = GridsServed;
+  Clock::time_point Now = Clock::now();
+  MutexLock L(Run.M);
+  S.GridId = Run.GridId;
+  S.Cells = Run.Stats.Cells;
+  S.DoneCells = Run.DoneCount;
+  S.PendingCells = Run.Pending.size() + Run.InlineOnly.size();
+  S.FailedCells = Run.Stats.FailedCells;
+  S.ReplayedCells = Run.Stats.ReplayedCells;
+  S.InlineCells = Run.Stats.InlineCells;
+  S.Dispatches = Run.Stats.WorkerDispatches;
+  S.Redispatches = Run.Stats.Redispatches;
+  S.DuplicateResults = Run.Stats.DuplicateResults;
+  S.WorkerCrashes = Run.Stats.WorkerCrashes;
+  S.Respawns = Run.Stats.Respawns;
+  S.QuarantinedCells = Run.Stats.QuarantinedCells;
+  S.JournalBytes = Run.Stats.JournalBytes;
+  for (const auto &SlotPtr : Run.Slots) {
+    const WorkerSlot &W = *SlotPtr;
+    if (W.WorkerId == 0)
+      continue; // Never spawned.
+    WorkerStatMsg WS;
+    WS.WorkerId = W.WorkerId;
+    WS.Pid = W.Pid > 0 ? static_cast<uint64_t>(W.Pid) : 0;
+    WS.Live = W.Live;
+    WS.CellsDone = W.CellsDone;
+    WS.LastSeenMsAgo = toMs(Now - W.LastSeen);
+    if (W.Live && W.LeasedCell != kNoCell) {
+      S.InFlightLeases++;
+      WS.LeasedCell = W.LeasedCell;
+      WS.LeaseRemainingMs =
+          W.LeaseDeadline > Now ? toMs(W.LeaseDeadline - Now) : 0;
+    }
+    S.Workers.push_back(WS);
+  }
+  return S;
+}
+
+std::string dynace::serve::renderServeStats(const StatsReplyMsg &S) {
+  auto U = [](uint64_t V) { return std::to_string(V); };
+  std::string Out;
+  if (S.GridActive)
+    Out += "grid " + U(S.GridId) + " active (grids served: " +
+           U(S.GridsServed) + ")\n";
+  else if (S.GridsServed != 0)
+    Out += "idle; last grid " + U(S.GridId) + " (grids served: " +
+           U(S.GridsServed) + ")\n";
+  else
+    return "idle (no grids served yet)\n";
+  Out += "  cells: " + U(S.Cells) + " total, " + U(S.DoneCells) + " done, " +
+         U(S.PendingCells) + " pending, " + U(S.InFlightLeases) +
+         " in flight, " + U(S.FailedCells) + " failed (" +
+         U(S.ReplayedCells) + " replayed, " + U(S.InlineCells) +
+         " inline, " + U(S.QuarantinedCells) + " quarantined)\n";
+  Out += "  dispatches: " + U(S.Dispatches) + " (" + U(S.Redispatches) +
+         " re-dispatched, " + U(S.DuplicateResults) +
+         " duplicates dropped), " + U(S.WorkerCrashes) + " crashes, " +
+         U(S.Respawns) + " respawns, journal " + U(S.JournalBytes) +
+         " bytes\n";
+  for (const WorkerStatMsg &W : S.Workers) {
+    Out += "  worker " + U(W.WorkerId) + " (pid " + U(W.Pid) + "): " +
+           (W.Live ? "live" : "dead");
+    if (W.Live && W.LeasedCell != WorkerStatMsg::kIdle)
+      Out += ", cell " + U(W.LeasedCell) + " leased (" +
+             U(W.LeaseRemainingMs) + " ms left)";
+    else if (W.Live)
+      Out += ", idle";
+    Out += ", seen " + U(W.LastSeenMsAgo) + " ms ago, " + U(W.CellsDone) +
+           " done\n";
+  }
+  return Out;
+}
+
+std::string dynace::serve::renderServeSummary(const MetricsSnapshot &Delta) {
+  auto C = [&Delta](const char *Name) {
+    return std::to_string(Delta.counterOr(Name));
+  };
+  return "grid done: " + C("serve.cells.total") + " cells (" +
+         C("serve.cells.replayed") + " replayed, " +
+         C("serve.cells.inline") + " inline, " + C("serve.cells.failed") +
+         " failed), " + C("serve.dispatches") + " dispatches (" +
+         C("serve.redispatches") + " re-dispatched, " +
+         C("serve.duplicates.dropped") + " duplicates dropped), " +
+         C("serve.workers.crashed") + " crashes, " +
+         C("serve.workers.respawned") + " respawns";
 }

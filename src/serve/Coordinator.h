@@ -106,6 +106,8 @@ struct GridStats {
   uint64_t InlineCells = 0;      ///< Cells executed in the coordinator.
   uint64_t FailedCells = 0;      ///< Cells whose outcome is Failed.
   uint64_t JournalTailDropBytes = 0; ///< Torn journal tail discarded.
+  uint64_t JournalBytes = 0;     ///< Bytes appended to the journal.
+  uint64_t QuarantinedCells = 0; ///< Cells whose outcome quarantined runs.
 };
 
 /// Terminal state of one grid cell.
@@ -151,6 +153,23 @@ std::vector<CellSpec> gridForBenchmarks(
 Expected<std::vector<BenchmarkRun>>
 assembleBenchmarkRuns(const std::vector<CellSpec> &Cells,
                       const std::vector<GridCell> &Results);
+
+/// Live introspection source for the stats plane (dynace-top,
+/// dynace-submit --stats): a snapshot of the active grid — queue depths,
+/// lease state and per-worker liveness — or, between grids, the totals of
+/// the last completed one. Callable from any thread (the daemon's stats
+/// listener); internally ordered before the grid mutex.
+StatsReplyMsg currentServeStats();
+
+/// Renders \p S as the multi-line human text dynace-top and
+/// dynace-submit --stats print. Deterministic given the snapshot.
+std::string renderServeStats(const StatsReplyMsg &S);
+
+/// Renders the daemon's one-line grid summary from the serve.* counters
+/// in \p Delta (a process-registry delta covering exactly one grid) —
+/// the "grid done: ..." line is a *rendering of the metrics registry*,
+/// not an independent tally.
+std::string renderServeSummary(const MetricsSnapshot &Delta);
 
 } // namespace serve
 } // namespace dynace

@@ -52,8 +52,8 @@ Status writeAll(int Fd, const std::string &Bytes, const std::string &Path) {
 
 } // namespace
 
-Status dynace::serve::journalAppend(const std::string &Path,
-                                    const CellResultMsg &M) {
+Expected<uint64_t> dynace::serve::journalAppend(const std::string &Path,
+                                                const CellResultMsg &M) {
   // O_APPEND per call: no descriptor survives between appends, so a
   // fork()ed worker can never inherit (and corrupt) the journal position.
   int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
@@ -82,7 +82,9 @@ Status dynace::serve::journalAppend(const std::string &Path,
   if (S.ok() && ::fsync(Fd) != 0)
     S = ioError("fsync journal", Path);
   ::close(Fd);
-  return S;
+  if (!S)
+    return S;
+  return static_cast<uint64_t>(Bytes.size());
 }
 
 Expected<JournalReplay> dynace::serve::journalReplay(const std::string &Path) {

@@ -47,7 +47,10 @@ namespace dynace {
 namespace serve {
 
 /// Journal format version; bump on any layout or record-body change.
-inline constexpr uint8_t kJournalVersion = 1;
+/// v2: record bodies are wire-v2 CellResult payloads (trace context,
+/// span list, metrics block) — telemetry fields are stripped before
+/// appending, but the encoding itself changed shape.
+inline constexpr uint8_t kJournalVersion = 2;
 
 /// Result of replaying a journal file.
 struct JournalReplay {
@@ -61,8 +64,10 @@ struct JournalReplay {
 
 /// Appends one outcome record to the journal at \p Path, creating the
 /// file (with its header) on first use. Durable on return (fsync).
-/// \returns ok, or IoError naming the failing step.
-Status journalAppend(const std::string &Path, const CellResultMsg &M);
+/// \returns the bytes appended (header + record on first use), or
+///          IoError naming the failing step.
+Expected<uint64_t> journalAppend(const std::string &Path,
+                                 const CellResultMsg &M);
 
 /// Replays the journal at \p Path.
 /// \returns the validated records (a missing file is an empty replay, not

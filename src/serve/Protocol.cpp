@@ -2,7 +2,12 @@
 
 #include "serve/Protocol.h"
 
+#include "obs/Trace.h"
 #include "serve/Wire.h"
+
+#include <bit>
+#include <cctype>
+#include <cmath>
 
 using namespace dynace;
 using namespace dynace::serve;
@@ -103,6 +108,275 @@ Status badEnum(const char *What, uint64_t V) {
                            std::to_string(V));
 }
 
+Status badField(const char *What, const std::string &Why) {
+  return Status::error(ErrorCode::InvalidInput,
+                       std::string("bad ") + What + ": " + Why);
+}
+
+/// Doubles travel as their IEEE-754 bit pattern in a u64 (bit-exact,
+/// endian-defined by the integer encoding). Finiteness is checked at
+/// decode where it matters (timestamps and gauges end up in JSON, where
+/// NaN/Inf have no spelling).
+void writeF64(PayloadWriter &W, double V) { W.u64(std::bit_cast<uint64_t>(V)); }
+double readF64(PayloadReader &R) { return std::bit_cast<double>(R.u64()); }
+
+/// A span name lands unescaped in the trace JSON, so the wire only admits
+/// printable ASCII without the two JSON-active characters. (Worker-side
+/// names are string literals that trivially satisfy this; the check is
+/// for the hostile peer.)
+bool isSafeTraceName(const std::string &S) {
+  if (S.empty() || S.size() > 256)
+    return false;
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    if (U < 0x20 || U > 0x7e || C == '"' || C == '\\')
+      return false;
+  }
+  return true;
+}
+
+/// Validates a pre-rendered trace-args body: zero or more comma-separated
+/// `"key": value` pairs where value is a JSON string, number, true, false
+/// or null — exactly the grammar traceArg() produces. Anything else
+/// (nested containers, stray braces, raw control bytes) is rejected: the
+/// body is spliced verbatim into the merged trace file, so this validator
+/// is the only thing between a hostile worker and corrupt JSON.
+bool isValidTraceArgsBody(const std::string &S) {
+  size_t Pos = 0;
+  auto SkipWs = [&] {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t'))
+      Pos++;
+  };
+  auto ParseString = [&] {
+    if (Pos >= S.size() || S[Pos] != '"')
+      return false;
+    Pos++;
+    while (Pos < S.size() && S[Pos] != '"') {
+      unsigned char U = static_cast<unsigned char>(S[Pos]);
+      if (U < 0x20)
+        return false;
+      if (S[Pos] == '\\') {
+        if (Pos + 1 >= S.size())
+          return false;
+        char E = S[Pos + 1];
+        if (E == 'u') {
+          if (Pos + 5 >= S.size())
+            return false;
+          for (size_t I = Pos + 2; I != Pos + 6; ++I)
+            if (!std::isxdigit(static_cast<unsigned char>(S[I])))
+              return false;
+          Pos += 6;
+          continue;
+        }
+        if (E != '"' && E != '\\' && E != '/' && E != 'b' && E != 'f' &&
+            E != 'n' && E != 'r' && E != 't')
+          return false;
+        Pos += 2;
+        continue;
+      }
+      Pos++;
+    }
+    if (Pos >= S.size())
+      return false;
+    Pos++; // Closing quote.
+    return true;
+  };
+  auto ParseNumber = [&] {
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      Pos++;
+    size_t Digits = Pos;
+    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+      Pos++;
+    if (Pos == Digits)
+      return false;
+    if (Pos < S.size() && S[Pos] == '.') {
+      Pos++;
+      size_t Frac = Pos;
+      while (Pos < S.size() &&
+             std::isdigit(static_cast<unsigned char>(S[Pos])))
+        Pos++;
+      if (Pos == Frac)
+        return false;
+    }
+    if (Pos < S.size() && (S[Pos] == 'e' || S[Pos] == 'E')) {
+      Pos++;
+      if (Pos < S.size() && (S[Pos] == '+' || S[Pos] == '-'))
+        Pos++;
+      size_t Exp = Pos;
+      while (Pos < S.size() &&
+             std::isdigit(static_cast<unsigned char>(S[Pos])))
+        Pos++;
+      if (Pos == Exp)
+        return false;
+    }
+    return Pos != Start;
+  };
+  auto ParseLiteral = [&](const char *Lit) {
+    size_t N = std::char_traits<char>::length(Lit);
+    if (S.compare(Pos, N, Lit) != 0)
+      return false;
+    Pos += N;
+    return true;
+  };
+
+  SkipWs();
+  if (Pos == S.size())
+    return true; // Empty body: event with no args.
+  for (;;) {
+    if (!ParseString()) // Key.
+      return false;
+    SkipWs();
+    if (Pos >= S.size() || S[Pos] != ':')
+      return false;
+    Pos++;
+    SkipWs();
+    if (Pos < S.size() && S[Pos] == '"') {
+      if (!ParseString())
+        return false;
+    } else if (ParseLiteral("true") || ParseLiteral("false") ||
+               ParseLiteral("null")) {
+      // Literal consumed.
+    } else if (!ParseNumber()) {
+      return false;
+    }
+    SkipWs();
+    if (Pos == S.size())
+      return true;
+    if (S[Pos] != ',')
+      return false;
+    Pos++;
+    SkipWs();
+  }
+}
+
+void writeSpan(PayloadWriter &W, const WireSpan &S) {
+  W.str(S.Cat);
+  W.str(S.Name);
+  writeF64(W, S.TsUs);
+  writeF64(W, S.DurUs);
+  W.str(S.Args);
+}
+
+Status readSpan(PayloadReader &R, WireSpan &S) {
+  S.Cat = R.str();
+  S.Name = R.str();
+  S.TsUs = readF64(R);
+  S.DurUs = readF64(R);
+  S.Args = R.str();
+  if (!R.ok())
+    return Status(); // finish() reports truncation.
+  if (!obs::isKnownTraceCategory(S.Cat.c_str()))
+    return badField("span category", "'" + S.Cat + "' is not known");
+  if (!isSafeTraceName(S.Name))
+    return badField("span name", "empty, oversized or non-printable");
+  if (!std::isfinite(S.TsUs) || !std::isfinite(S.DurUs))
+    return badField("span timestamp", "non-finite value");
+  if (S.Args.size() > 4096 || !isValidTraceArgsBody(S.Args))
+    return badField("span args", "not a rendered JSON object body");
+  return Status();
+}
+
+/// Metric names follow the result cache's charset discipline and each
+/// section arrives strictly name-ascending (what a std::map serializes),
+/// so a forged block can neither smuggle JSON through a name nor inflate
+/// the registry with duplicates.
+bool isValidMetricName(const std::string &Name) {
+  if (Name.empty() || Name.size() > kMaxMetricNameLen)
+    return false;
+  for (char C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '.' &&
+        C != '_' && C != '-' && C != '#')
+      return false;
+  return true;
+}
+
+void writeMetricsBlock(PayloadWriter &W, const MetricsSnapshot &S) {
+  W.u32(static_cast<uint32_t>(S.Counters.size()));
+  for (const auto &[Name, V] : S.Counters) {
+    W.str(Name);
+    W.u64(V);
+  }
+  W.u32(static_cast<uint32_t>(S.Gauges.size()));
+  for (const auto &[Name, V] : S.Gauges) {
+    W.str(Name);
+    writeF64(W, V);
+  }
+  W.u32(static_cast<uint32_t>(S.Histograms.size()));
+  for (const auto &[Name, H] : S.Histograms) {
+    W.str(Name);
+    W.u64(H.Sum);
+    W.u32(static_cast<uint32_t>(H.Buckets.size()));
+    for (uint64_t B : H.Buckets)
+      W.u64(B);
+  }
+}
+
+Status readMetricsBlock(PayloadReader &R, MetricsSnapshot &S) {
+  uint32_t NC = R.u32();
+  if (R.ok() && NC > kMaxWireMetrics)
+    return badField("metrics block", "counter count exceeds cap");
+  std::string Prev;
+  for (uint32_t I = 0; I != NC && R.ok(); ++I) {
+    std::string Name = R.str();
+    uint64_t V = R.u64();
+    if (!R.ok())
+      break;
+    if (!isValidMetricName(Name))
+      return badField("counter name", "'" + Name + "'");
+    if (I != 0 && Name <= Prev)
+      return badField("metrics block", "counter names not ascending");
+    Prev = Name;
+    S.Counters.emplace(std::move(Name), V);
+  }
+  uint32_t NG = R.u32();
+  if (R.ok() && NG > kMaxWireMetrics)
+    return badField("metrics block", "gauge count exceeds cap");
+  Prev.clear();
+  for (uint32_t I = 0; I != NG && R.ok(); ++I) {
+    std::string Name = R.str();
+    double V = readF64(R);
+    if (!R.ok())
+      break;
+    if (!isValidMetricName(Name))
+      return badField("gauge name", "'" + Name + "'");
+    if (I != 0 && Name <= Prev)
+      return badField("metrics block", "gauge names not ascending");
+    if (!std::isfinite(V))
+      return badField("gauge value", "non-finite");
+    Prev = Name;
+    S.Gauges.emplace(std::move(Name), V);
+  }
+  uint32_t NH = R.u32();
+  if (R.ok() && NH > kMaxWireMetrics)
+    return badField("metrics block", "histogram count exceeds cap");
+  Prev.clear();
+  for (uint32_t I = 0; I != NH && R.ok(); ++I) {
+    std::string Name = R.str();
+    HistogramSnapshot H;
+    H.Sum = R.u64();
+    uint32_t NB = R.u32();
+    if (R.ok() && NB > kHistogramBuckets)
+      return badField("histogram", "'" + Name + "' bucket count " +
+                                       std::to_string(NB) + " exceeds " +
+                                       std::to_string(kHistogramBuckets));
+    for (uint32_t B = 0; B != NB && R.ok(); ++B) {
+      uint64_t V = R.u64();
+      H.Buckets.push_back(V);
+      H.Count += V; // Count is derived, never trusted off the wire.
+    }
+    if (!R.ok())
+      break;
+    if (!isValidMetricName(Name))
+      return badField("histogram name", "'" + Name + "'");
+    if (I != 0 && Name <= Prev)
+      return badField("metrics block", "histogram names not ascending");
+    Prev = Name;
+    S.Histograms.emplace(std::move(Name), std::move(H));
+  }
+  return Status();
+}
+
 void writeCellSpec(PayloadWriter &W, const CellSpec &C) {
   W.str(C.Benchmark);
   W.u8(static_cast<uint8_t>(C.SchemeKind));
@@ -155,6 +429,8 @@ std::string dynace::serve::encodeCellAssign(const CellAssignMsg &M) {
   PayloadWriter W;
   W.u64(M.CellIndex);
   writeCellSpec(W, M.Cell);
+  W.u64(M.GridId);
+  W.u32(M.Attempt);
   return W.take();
 }
 
@@ -165,6 +441,8 @@ Expected<CellAssignMsg> dynace::serve::decodeCellAssign(
   M.CellIndex = R.u64();
   if (Status S = readCellSpec(R, M.Cell); !S)
     return S;
+  M.GridId = R.u64();
+  M.Attempt = R.u32();
   if (Status S = R.finish("cell-assign"); !S)
     return S;
   return M;
@@ -182,6 +460,13 @@ std::string dynace::serve::encodeCellResult(const CellResultMsg &M) {
   W.u64(M.Quarantined);
   W.str(M.Reason);
   W.str(M.ResultText);
+  W.u64(M.GridId);
+  W.u32(M.DispatchAttempt);
+  W.u32(static_cast<uint32_t>(M.Spans.size()));
+  for (const WireSpan &S : M.Spans)
+    writeSpan(W, S);
+  W.u32(M.DroppedSpans);
+  writeMetricsBlock(W, M.MetricsDelta);
   return W.take();
 }
 
@@ -210,6 +495,25 @@ Expected<CellResultMsg> dynace::serve::decodeCellResult(
   }
   M.Failed = Failed != 0;
   M.CacheHit = CacheHit != 0;
+  M.GridId = R.u64();
+  M.DispatchAttempt = R.u32();
+  uint32_t NSpans = R.u32();
+  if (R.ok() && NSpans > kMaxWireSpans)
+    return badField("cell-result", "span count " + std::to_string(NSpans) +
+                                       " exceeds cap");
+  // Each span costs at least 28 bytes (3 length prefixes + 2 doubles);
+  // a count the payload cannot hold is a corrupted length.
+  if (R.ok() && static_cast<uint64_t>(NSpans) * 28 > Payload.size())
+    return badField("cell-result", "span count exceeds payload");
+  for (uint32_t I = 0; I != NSpans && R.ok(); ++I) {
+    WireSpan S;
+    if (Status St = readSpan(R, S); !St)
+      return St;
+    M.Spans.push_back(std::move(S));
+  }
+  M.DroppedSpans = R.u32();
+  if (Status S = readMetricsBlock(R, M.MetricsDelta); !S)
+    return S;
   if (Status S = R.finish("cell-result"); !S)
     return S;
   return M;
@@ -219,6 +523,7 @@ std::string dynace::serve::encodeHello(const HelloMsg &M) {
   PayloadWriter W;
   W.u64(M.WorkerId);
   W.u64(M.Pid);
+  W.u64(M.TraceEpochNs);
   return W.take();
 }
 
@@ -227,6 +532,7 @@ Expected<HelloMsg> dynace::serve::decodeHello(const std::string &Payload) {
   HelloMsg M;
   M.WorkerId = R.u64();
   M.Pid = R.u64();
+  M.TraceEpochNs = R.u64();
   if (Status S = R.finish("hello"); !S)
     return S;
   return M;
@@ -280,6 +586,101 @@ Expected<ErrorMsg> dynace::serve::decodeErrorMsg(const std::string &Payload) {
   ErrorMsg M;
   M.Reason = R.str();
   if (Status S = R.finish("error"); !S)
+    return S;
+  return M;
+}
+
+std::string dynace::serve::encodeStatsRequest(const StatsRequestMsg &) {
+  return std::string();
+}
+
+Expected<StatsRequestMsg> dynace::serve::decodeStatsRequest(
+    const std::string &Payload) {
+  PayloadReader R(Payload);
+  if (Status S = R.finish("stats-request"); !S)
+    return S;
+  return StatsRequestMsg();
+}
+
+std::string dynace::serve::encodeStatsReply(const StatsReplyMsg &M) {
+  PayloadWriter W;
+  W.u8(M.GridActive ? 1 : 0);
+  W.u64(M.GridsServed);
+  W.u64(M.GridId);
+  W.u64(M.Cells);
+  W.u64(M.DoneCells);
+  W.u64(M.PendingCells);
+  W.u64(M.InFlightLeases);
+  W.u64(M.FailedCells);
+  W.u64(M.ReplayedCells);
+  W.u64(M.InlineCells);
+  W.u64(M.Dispatches);
+  W.u64(M.Redispatches);
+  W.u64(M.DuplicateResults);
+  W.u64(M.WorkerCrashes);
+  W.u64(M.Respawns);
+  W.u64(M.QuarantinedCells);
+  W.u64(M.JournalBytes);
+  W.u32(static_cast<uint32_t>(M.Workers.size()));
+  for (const WorkerStatMsg &S : M.Workers) {
+    W.u64(S.WorkerId);
+    W.u64(S.Pid);
+    W.u8(S.Live ? 1 : 0);
+    W.u64(S.LeasedCell);
+    W.u64(S.LeaseRemainingMs);
+    W.u64(S.LastSeenMsAgo);
+    W.u64(S.CellsDone);
+  }
+  return W.take();
+}
+
+Expected<StatsReplyMsg> dynace::serve::decodeStatsReply(
+    const std::string &Payload) {
+  PayloadReader R(Payload);
+  StatsReplyMsg M;
+  uint8_t Active = R.u8();
+  M.GridsServed = R.u64();
+  M.GridId = R.u64();
+  M.Cells = R.u64();
+  M.DoneCells = R.u64();
+  M.PendingCells = R.u64();
+  M.InFlightLeases = R.u64();
+  M.FailedCells = R.u64();
+  M.ReplayedCells = R.u64();
+  M.InlineCells = R.u64();
+  M.Dispatches = R.u64();
+  M.Redispatches = R.u64();
+  M.DuplicateResults = R.u64();
+  M.WorkerCrashes = R.u64();
+  M.Respawns = R.u64();
+  M.QuarantinedCells = R.u64();
+  M.JournalBytes = R.u64();
+  if (R.ok() && Active > 1)
+    return badEnum("grid-active flag", Active);
+  M.GridActive = Active != 0;
+  uint32_t NW = R.u32();
+  if (R.ok() && NW > kMaxWireWorkerStats)
+    return badField("stats-reply", "worker count " + std::to_string(NW) +
+                                       " exceeds cap");
+  // Each worker entry is exactly 49 bytes; a count the payload cannot
+  // hold is a corrupted length.
+  if (R.ok() && static_cast<uint64_t>(NW) * 49 > Payload.size())
+    return badField("stats-reply", "worker count exceeds payload");
+  for (uint32_t I = 0; I != NW && R.ok(); ++I) {
+    WorkerStatMsg S;
+    S.WorkerId = R.u64();
+    S.Pid = R.u64();
+    uint8_t Live = R.u8();
+    S.LeasedCell = R.u64();
+    S.LeaseRemainingMs = R.u64();
+    S.LastSeenMsAgo = R.u64();
+    S.CellsDone = R.u64();
+    if (R.ok() && Live > 1)
+      return badEnum("worker live flag", Live);
+    S.Live = Live != 0;
+    M.Workers.push_back(S);
+  }
+  if (Status S = R.finish("stats-reply"); !S)
     return S;
   return M;
 }

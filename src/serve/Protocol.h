@@ -25,6 +25,7 @@
 #ifndef DYNACE_SERVE_PROTOCOL_H
 #define DYNACE_SERVE_PROTOCOL_H
 
+#include "obs/Metrics.h"
 #include "sim/ExperimentRunner.h"
 #include "sim/System.h"
 #include "support/Status.h"
@@ -49,16 +50,48 @@ struct GridRequestMsg {
 };
 
 /// CellAssign payload: lease cell \p CellIndex (an index into the grid
-/// order) to the receiving worker.
+/// order) to the receiving worker. GridId/Attempt are the trace context:
+/// the worker stamps both onto its spans, so re-dispatched attempts of
+/// one cell stay distinguishable in the merged timeline.
 struct CellAssignMsg {
   uint64_t CellIndex = 0;
   CellSpec Cell;
+  uint64_t GridId = 0;  ///< Coordinator-assigned id of the owning grid.
+  uint32_t Attempt = 0; ///< Dispatch ordinal of this cell (1-based).
 };
+
+/// One trace span shipped inside a CellResult: a worker-side TraceEvent
+/// with owned strings. Timestamps are microseconds on the *worker's*
+/// trace clock; the coordinator re-bases them using the epoch exchanged
+/// in Hello. Decoding is zero-trust: the category must be a known trace
+/// category, the name printable, timestamps finite and Args a valid
+/// rendered JSON-object body — a hostile worker must not be able to
+/// corrupt the merged trace file.
+struct WireSpan {
+  std::string Cat;
+  std::string Name;
+  double TsUs = 0.0;
+  double DurUs = -1.0; ///< < 0 encodes an instant event.
+  std::string Args;    ///< Pre-rendered JSON object body ("\"k\": 1").
+};
+
+/// Hard cap on spans per CellResult, enforced on both sides: the worker
+/// truncates (counting DroppedSpans), the decoder rejects anything above.
+inline constexpr uint32_t kMaxWireSpans = 8192;
+
+/// Instrument-count / name-length caps for the metrics block, mirroring
+/// the result cache's serialization discipline (sim/ResultCache.cpp).
+inline constexpr uint32_t kMaxWireMetrics = 512;
+inline constexpr uint32_t kMaxMetricNameLen = 200;
 
 /// CellResult payload: the terminal outcome of one cell. Also the journal
 /// record body. \p ResultText is the canonical serializeResult() form and
 /// is re-parsed (sim/ResultCache.h parseResultText) by every consumer —
-/// a worker or journal is no more trusted than any other peer.
+/// a worker or journal is no more trusted than any other peer. Spans and
+/// MetricsDelta are observability freight: the worker's trace buffer for
+/// this cell and its process-registry delta, folded fleet-side by the
+/// coordinator (and stripped before journaling — replay must not re-merge
+/// stale telemetry).
 struct CellResultMsg {
   uint64_t CellIndex = 0;
   CellSpec Cell;          ///< Echoed spec; must match the lease/grid.
@@ -70,12 +103,22 @@ struct CellResultMsg {
   uint64_t Quarantined = 0;
   std::string Reason;     ///< Final error message (when Failed).
   std::string ResultText; ///< serializeResult() bytes.
+  uint64_t GridId = 0;       ///< Echoed trace context.
+  uint32_t DispatchAttempt = 0;
+  std::vector<WireSpan> Spans;
+  uint32_t DroppedSpans = 0; ///< Spans lost to the worker-side cap.
+  MetricsSnapshot MetricsDelta; ///< Worker process-registry delta.
 };
 
-/// Hello payload: a worker announcing itself.
+/// Hello payload: a worker announcing itself. TraceEpochNs is the
+/// worker's trace-collector epoch (steady_clock nanoseconds) so the
+/// coordinator can align the worker's span timestamps onto its own
+/// timeline (zero for fork()ed workers, which inherit the epoch — the
+/// exchange is what makes future remote workers mergeable).
 struct HelloMsg {
   uint64_t WorkerId = 0;
   uint64_t Pid = 0;
+  uint64_t TraceEpochNs = 0;
 };
 
 /// Heartbeat payload: liveness while a cell simulates.
@@ -99,6 +142,50 @@ struct ErrorMsg {
   std::string Reason;
 };
 
+/// StatsRequest payload: an introspection poll (no fields yet; the empty
+/// payload still travels framed and checksummed like every message).
+struct StatsRequestMsg {};
+
+/// Per-worker slice of a StatsReply.
+struct WorkerStatMsg {
+  uint64_t WorkerId = 0;
+  uint64_t Pid = 0;
+  bool Live = false;
+  uint64_t LeasedCell = ~0ull;    ///< ~0 = idle.
+  uint64_t LeaseRemainingMs = 0;  ///< 0 when idle or expired.
+  uint64_t LastSeenMsAgo = 0;
+  uint64_t CellsDone = 0;
+  static constexpr uint64_t kIdle = ~0ull;
+};
+
+/// StatsReply payload: a live snapshot of the daemon's serve state —
+/// what dynace-top and dynace-submit --stats render. When no grid is
+/// active the totals describe the last completed grid.
+struct StatsReplyMsg {
+  bool GridActive = false;
+  uint64_t GridsServed = 0;
+  uint64_t GridId = 0;
+  uint64_t Cells = 0;
+  uint64_t DoneCells = 0;
+  uint64_t PendingCells = 0;   ///< Queued (worker + inline-only queues).
+  uint64_t InFlightLeases = 0;
+  uint64_t FailedCells = 0;
+  uint64_t ReplayedCells = 0;
+  uint64_t InlineCells = 0;
+  uint64_t Dispatches = 0;
+  uint64_t Redispatches = 0;
+  uint64_t DuplicateResults = 0;
+  uint64_t WorkerCrashes = 0;
+  uint64_t Respawns = 0;
+  uint64_t QuarantinedCells = 0;
+  uint64_t JournalBytes = 0;
+  std::vector<WorkerStatMsg> Workers;
+};
+
+/// Decode-side cap on StatsReply worker entries (the coordinator caps
+/// workers at 64; anything past this is a forged count).
+inline constexpr uint32_t kMaxWireWorkerStats = 1024;
+
 std::string encodeGridRequest(const GridRequestMsg &M);
 std::string encodeCellAssign(const CellAssignMsg &M);
 std::string encodeCellResult(const CellResultMsg &M);
@@ -106,6 +193,8 @@ std::string encodeHello(const HelloMsg &M);
 std::string encodeHeartbeat(const HeartbeatMsg &M);
 std::string encodeDone(const DoneMsg &M);
 std::string encodeErrorMsg(const ErrorMsg &M);
+std::string encodeStatsRequest(const StatsRequestMsg &M);
+std::string encodeStatsReply(const StatsReplyMsg &M);
 
 /// Strict decoders: InvalidInput on any malformed, truncated, trailing or
 /// out-of-range byte; the message is never partially applied.
@@ -116,6 +205,8 @@ Expected<HelloMsg> decodeHello(const std::string &Payload);
 Expected<HeartbeatMsg> decodeHeartbeat(const std::string &Payload);
 Expected<DoneMsg> decodeDone(const std::string &Payload);
 Expected<ErrorMsg> decodeErrorMsg(const std::string &Payload);
+Expected<StatsRequestMsg> decodeStatsRequest(const std::string &Payload);
+Expected<StatsReplyMsg> decodeStatsReply(const std::string &Payload);
 
 } // namespace serve
 } // namespace dynace

@@ -32,6 +32,10 @@ const char *dynace::serve::frameTypeName(FrameType T) {
     return "done";
   case FrameType::Error:
     return "error";
+  case FrameType::StatsRequest:
+    return "stats-request";
+  case FrameType::StatsReply:
+    return "stats-reply";
   }
   return "?";
 }
@@ -84,7 +88,7 @@ uint64_t frameChecksum(FrameType Type, const std::string &Payload) {
 
 bool knownFrameType(uint8_t T) {
   return T >= static_cast<uint8_t>(FrameType::Hello) &&
-         T <= static_cast<uint8_t>(FrameType::Error);
+         T <= static_cast<uint8_t>(FrameType::StatsReply);
 }
 
 } // namespace

@@ -48,7 +48,10 @@ namespace serve {
 /// Wire format version; bump on any change to the frame layout or to a
 /// message payload encoding. Peers of a different version are rejected at
 /// decode (a version skew must never be half-understood).
-inline constexpr uint8_t kWireVersion = 1;
+/// v2: Hello carries the worker trace epoch, CellAssign a trace context
+/// (grid id + dispatch attempt), CellResult the worker's span buffer and
+/// metrics delta; StatsRequest/StatsReply added.
+inline constexpr uint8_t kWireVersion = 2;
 
 /// Frame header size in bytes (magic + version + type + length + checksum).
 inline constexpr size_t kFrameHeaderSize = 18;
@@ -68,6 +71,8 @@ enum class FrameType : uint8_t {
   Shutdown,     ///< "stop after current work" (daemon and workers).
   Done,         ///< daemon -> client: grid complete + report text.
   Error,        ///< either direction: structured failure message.
+  StatsRequest, ///< client -> daemon (stats socket): introspection poll.
+  StatsReply,   ///< daemon -> client: live fleet/grid state snapshot.
 };
 
 /// \returns the spelling of \p T (for diagnostics), or "?".

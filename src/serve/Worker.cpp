@@ -2,6 +2,8 @@
 
 #include "serve/Worker.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "serve/Protocol.h"
 #include "serve/Wire.h"
 #include "sim/ExperimentRunner.h"
@@ -98,9 +100,20 @@ void dynace::serve::serveWorkerMain(int Fd, uint64_t WorkerId,
   Link.Fd = Fd;
   Link.WorkerId = WorkerId;
 
+  // Telemetry baseline. fork() copied the coordinator's trace buffers and
+  // process registry into this worker; discard the inherited spans (the
+  // coordinator still owns them) and snapshot the registry so per-cell
+  // deltas report only work done *here*. Workers never flush a trace file
+  // themselves — every exit is _exit(), which skips the atexit flush, and
+  // spans travel home inside CellResult instead.
+  obs::TraceCollector &Trace = obs::TraceCollector::instance();
+  (void)Trace.drain();
+  MetricsSnapshot MetricsBase = MetricsRegistry::process().snapshot();
+
   HelloMsg Hello;
   Hello.WorkerId = WorkerId;
   Hello.Pid = static_cast<uint64_t>(::getpid());
+  Hello.TraceEpochNs = static_cast<uint64_t>(Trace.epochNs());
   if (!Link.send(FrameType::Hello, encodeHello(Hello)).ok())
     ::_exit(kWorkerExitError);
 
@@ -134,8 +147,46 @@ void dynace::serve::serveWorkerMain(int Fd, uint64_t WorkerId,
       if (FaultInjector::instance().shouldFail(FaultSite::WorkerCrash))
         ::_exit(kWorkerExitCrash);
       Link.CurrentCell.store(Assign.CellIndex, std::memory_order_relaxed);
-      CellResultMsg Reply = runServeCell(Assign, Base);
+      CellResultMsg Reply;
+      {
+        // The cell's own span: stamped with the trace context from the
+        // lease so re-dispatched attempts stay distinguishable after the
+        // coordinator merges every worker's buffer into one timeline.
+        DYNACE_TRACE_SCOPE(
+            "serve", "worker.cell",
+            obs::traceArg("cell", Assign.CellIndex) + ", " +
+                obs::traceArg("attempt",
+                              static_cast<uint64_t>(Assign.Attempt)) +
+                ", " + obs::traceArg("grid", Assign.GridId) + ", " +
+                obs::traceArg("key", Assign.Cell.Benchmark + "/" +
+                                         schemeName(Assign.Cell.SchemeKind)));
+        Reply = runServeCell(Assign, Base);
+      }
       Link.CurrentCell.store(HeartbeatMsg::kIdle, std::memory_order_relaxed);
+      Reply.GridId = Assign.GridId;
+      Reply.DispatchAttempt = Assign.Attempt;
+      // Ship this cell's telemetry home: the drained trace buffer (the
+      // worker.cell span plus whatever vm/cache/runner spans the
+      // simulation emitted) and the registry delta since the last ship.
+      if (obs::traceEnabled()) {
+        std::vector<obs::TraceEvent> Events = Trace.drain();
+        for (obs::TraceEvent &Ev : Events) {
+          if (Reply.Spans.size() >= kMaxWireSpans) {
+            Reply.DroppedSpans++;
+            continue;
+          }
+          WireSpan S;
+          S.Cat = Ev.Cat;
+          S.Name = Ev.Name;
+          S.TsUs = Ev.TsUs;
+          S.DurUs = Ev.DurUs;
+          S.Args = std::move(Ev.Args);
+          Reply.Spans.push_back(std::move(S));
+        }
+      }
+      MetricsSnapshot MetricsNow = MetricsRegistry::process().snapshot();
+      Reply.MetricsDelta = MetricsNow.delta(MetricsBase);
+      MetricsBase = std::move(MetricsNow);
       if (!Link.send(FrameType::CellResult, encodeCellResult(Reply)).ok())
         ::_exit(kWorkerExitError);
       break;

@@ -237,10 +237,74 @@ TEST(TraceCollector, DisabledPathEmitsNothing) {
 
 TEST(TraceCollector, JsonEscapingAndKnownCategories) {
   EXPECT_EQ(obs::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-  for (const char *Cat :
-       {"hotspot", "tuning", "reconfig", "vm", "cache", "runner", "stage"})
+  for (const char *Cat : {"hotspot", "tuning", "reconfig", "vm", "cache",
+                          "runner", "stage", "serve"})
     EXPECT_TRUE(obs::isKnownTraceCategory(Cat)) << Cat;
-  EXPECT_FALSE(obs::isKnownTraceCategory("surprise"));
+  // The set is closed: anything else — including near-misses and the
+  // kind of attacker-chosen category a forged serve frame could carry —
+  // must reject so the wire decoder can refuse it outright.
+  for (const char *Cat : {"surprise", "serve2", "Serve", "", "vm "})
+    EXPECT_FALSE(obs::isKnownTraceCategory(Cat)) << Cat;
+}
+
+TEST(TraceCollector, DrainReturnsSortedEventsAndClearsBuffers) {
+  TraceFixture Fx("drain");
+  obs::TraceCollector &C = obs::TraceCollector::instance();
+  DYNACE_TRACE_INSTANT("vm", "one");
+  DYNACE_TRACE_INSTANT("vm", "two");
+  obs::traceComplete("serve", "span", 10.0, 5.0);
+
+  std::vector<obs::TraceEvent> Events = C.drain();
+  ASSERT_EQ(Events.size(), 3u);
+  for (size_t I = 1; I != Events.size(); ++I)
+    EXPECT_LE(Events[I - 1].TsUs, Events[I].TsUs) << "drain must sort";
+  // The worker-side contract: drain empties the buffers, so the next
+  // per-cell drain ships only that cell's spans.
+  EXPECT_TRUE(C.drain().empty());
+  // And the drained events never reach the trace file.
+  ASSERT_TRUE(C.flush());
+  std::string Text = slurp(Fx.Path);
+  EXPECT_EQ(Text.find("\"one\""), std::string::npos);
+}
+
+TEST(TraceCollector, ForeignEventsKeepTheirTidAndNamedTrack) {
+  TraceFixture Fx("foreign");
+  obs::TraceCollector &C = obs::TraceCollector::instance();
+  // The coordinator-side merge contract: a worker span re-emitted via
+  // emitForeign() keeps its synthetic per-worker track id instead of
+  // being stamped with the emitting thread's id.
+  obs::TraceEvent E;
+  E.Cat = obs::internTraceString("serve");
+  E.Name = obs::internTraceString("worker.cell");
+  E.TsUs = 42.0;
+  E.DurUs = 7.0;
+  E.Tid = 1042;
+  E.Args = obs::traceArg("cell", uint64_t(3));
+  C.emitForeign(std::move(E));
+  C.nameTrack(1042, "worker 42");
+  ASSERT_TRUE(C.flush());
+
+  std::string Text = slurp(Fx.Path);
+  EXPECT_TRUE(JsonChecker(Text).valid());
+  EXPECT_NE(Text.find("\"tid\": 1042"), std::string::npos);
+  EXPECT_NE(Text.find("\"worker.cell\""), std::string::npos);
+  EXPECT_NE(Text.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(Text.find("\"worker 42\""), std::string::npos);
+}
+
+TEST(TraceCollector, InternTraceStringCanonicalizesAndDeduplicates) {
+  // Known categories intern to their canonical literal, so decoded wire
+  // spans compare pointer-equal with locally emitted ones.
+  const char *Serve = obs::internTraceString("serve");
+  EXPECT_STREQ(Serve, "serve");
+  EXPECT_EQ(Serve, obs::internTraceString(std::string("ser") + "ve"));
+  EXPECT_TRUE(obs::isKnownTraceCategory(Serve));
+  // Arbitrary names dedupe: the same content yields the same storage.
+  const char *A = obs::internTraceString("worker.cell.custom");
+  const char *B = obs::internTraceString("worker.cell.custom");
+  EXPECT_EQ(A, B);
+  EXPECT_STREQ(A, "worker.cell.custom");
+  EXPECT_NE(A, obs::internTraceString("worker.cell.other"));
 }
 
 TEST(Histogram, BucketBoundariesAreLog2) {
@@ -320,6 +384,61 @@ TEST(MetricsRegistry, SnapshotMergeAcrossThreadPoolWorkers) {
   }
   EXPECT_EQ(Pairwise.snapshot().Counters, Total.Counters);
   EXPECT_EQ(Pairwise.snapshot().Histograms, Total.Histograms);
+}
+
+TEST(MetricsSnapshot, DeltaClampsCountersAndDetectsGaugeChanges) {
+  MetricsSnapshot Base;
+  Base.Counters = {{"kept", 5}, {"shrunk", 7}, {"flat", 2}};
+  Base.Gauges = {{"same", 1.5}, {"moved", 2.0}};
+  MetricsSnapshot Now;
+  Now.Counters = {{"kept", 9}, {"shrunk", 3}, {"flat", 2}, {"fresh", 4}};
+  Now.Gauges = {{"same", 1.5}, {"moved", 8.0}, {"appeared", 0.5}};
+
+  MetricsSnapshot D = Now.delta(Base);
+  EXPECT_EQ(D.counterOr("kept"), 4u);
+  EXPECT_EQ(D.counterOr("fresh"), 4u);
+  // A counter that went backwards (a registry reset, or fork-inherited
+  // state the worker never touched) clamps to zero and is omitted — the
+  // coordinator must never fold negative noise into the fleet registry.
+  EXPECT_EQ(D.Counters.count("shrunk"), 0u);
+  EXPECT_EQ(D.Counters.count("flat"), 0u);
+  // Gauges: only changed or newly appeared values ride the delta.
+  EXPECT_EQ(D.Gauges.count("same"), 0u);
+  EXPECT_EQ(D.Gauges.at("moved"), 8.0);
+  EXPECT_EQ(D.Gauges.at("appeared"), 0.5);
+}
+
+TEST(MetricsSnapshot, DeltaIsMergesInverseOnAGrowingRegistry) {
+  // The serve worker telemetry contract: Base.merge(Now.delta(Base))
+  // reconstructs Now exactly when the registry only grew — so per-cell
+  // deltas folded into the coordinator's fleet registry sum to the same
+  // totals the worker holds, with no double counting of the baseline.
+  MetricsRegistry R;
+  R.counter("cells").inc(2);
+  R.histogram("wall_ms").record(100);
+  R.gauge("ipc").set(1.25);
+  MetricsSnapshot Base = R.snapshot();
+
+  R.counter("cells").inc(3);
+  R.counter("retries").inc(1);
+  R.histogram("wall_ms").record(100);
+  R.histogram("wall_ms").record(4096);
+  R.gauge("ipc").set(2.5);
+  MetricsSnapshot Now = R.snapshot();
+
+  MetricsSnapshot Delta = Now.delta(Base);
+  EXPECT_EQ(Delta.counterOr("cells"), 3u);
+  EXPECT_EQ(Delta.counterOr("retries"), 1u);
+  EXPECT_EQ(Delta.Histograms.at("wall_ms").Count, 2u);
+  EXPECT_EQ(Delta.Histograms.at("wall_ms").Sum, 100u + 4096u);
+
+  MetricsRegistry Rebuilt;
+  Rebuilt.merge(Base);
+  Rebuilt.merge(Delta);
+  MetricsSnapshot Round = Rebuilt.snapshot();
+  EXPECT_EQ(Round.Counters, Now.Counters);
+  EXPECT_EQ(Round.Histograms, Now.Histograms);
+  EXPECT_EQ(Round.Gauges, Now.Gauges);
 }
 
 TEST(TraceFile, TuningRunEmitsValidJsonWithKnownCategories) {

@@ -16,6 +16,8 @@
 //
 //===----------------------------------------------------------------------==//
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "serve/Coordinator.h"
 #include "sim/Reports.h"
 #include "sim/ResultCache.h"
@@ -23,10 +25,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace dynace;
 using namespace dynace::serve;
@@ -70,6 +76,27 @@ void expectBitIdentical(const GridResult &Grid,
     EXPECT_EQ(serializeResult(Grid.Cells[I].Result), Serial[I])
         << "cell " << I;
 }
+
+/// Enables tracing to a temp file for one test body and restores the
+/// disabled collector (and removes the file) even on early ASSERT exits.
+struct ServeTraceFixture {
+  explicit ServeTraceFixture(const char *Tag)
+      : Path(::testing::TempDir() + "dynace_serve_" + Tag + "_" +
+             std::to_string(::getpid()) + ".json") {
+    obs::TraceCollector::instance().configure(Path);
+  }
+  ~ServeTraceFixture() {
+    obs::TraceCollector::instance().configure("");
+    std::remove(Path.c_str());
+  }
+  std::string slurp() const {
+    std::ifstream In(Path, std::ios::binary);
+    std::stringstream Ss;
+    Ss << In.rdbuf();
+    return Ss.str();
+  }
+  std::string Path;
+};
 
 /// Every test starts and ends with injection disabled and the serve env
 /// knobs unset (the injector is a process singleton; forked workers
@@ -282,6 +309,142 @@ TEST_F(Serve, FullJournalReplaySkipsAllExecution) {
               serializeResult(First.get().Cells[I].Result))
         << "cell " << I;
   std::remove(Journal.c_str());
+}
+
+// -------------------------------------------------- Telemetry and stats
+
+TEST_F(Serve, GridFoldsServeCountersIntoTheProcessRegistry) {
+  // The coordinator's one-shot flush: exactly one serve.grids increment
+  // per grid, cell accounting mirrored into serve.* counters, and the
+  // daemon's human "grid done" line is a rendering of that same delta —
+  // the two cannot drift apart.
+  std::vector<CellSpec> Cells = gridForBenchmarks({"compress"});
+  ServeConfig Config;
+  Config.Workers = 0;
+
+  MetricsSnapshot Before = MetricsRegistry::process().snapshot();
+  Expected<GridResult> Grid = runGrid(Config, quickOptions(), Cells);
+  ASSERT_TRUE(Grid.ok()) << Grid.status().toString();
+  MetricsSnapshot Delta =
+      MetricsRegistry::process().snapshot().delta(Before);
+
+  EXPECT_EQ(Delta.counterOr("serve.grids"), 1u);
+  EXPECT_EQ(Delta.counterOr("serve.cells.total"), 3u);
+  EXPECT_EQ(Delta.counterOr("serve.cells.inline"), 3u);
+  EXPECT_EQ(Delta.counterOr("serve.dispatches"), 0u);
+  EXPECT_EQ(renderServeSummary(Delta),
+            "grid done: 3 cells (0 replayed, 3 inline, 0 failed), "
+            "0 dispatches (0 re-dispatched, 0 duplicates dropped), "
+            "0 crashes, 0 respawns");
+}
+
+TEST_F(Serve, PerCellResultMetricsStayFreeOfFleetAccounting) {
+  if (tsanActive())
+    GTEST_SKIP() << "fork-based; covered by check_serve.sh under ASan";
+  // The determinism firewall: per-run metrics inside each cell result are
+  // driven only by simulation events, so a served cell's snapshot equals
+  // the serial one bit-for-bit and never carries serve.*/scheduling noise
+  // (which would poison the result cache and the golden digests).
+  std::vector<CellSpec> Cells = gridForBenchmarks({"compress"});
+  SimulationOptions Opts = quickOptions();
+  ServeConfig Config;
+  Config.Workers = 2;
+  Config.HeartbeatMs = 50;
+
+  Expected<GridResult> Grid = runGrid(Config, Opts, Cells);
+  ASSERT_TRUE(Grid.ok()) << Grid.status().toString();
+  ASSERT_EQ(Grid.get().Stats.InlineCells, 0u);
+
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    const WorkloadProfile *P = findProfile(Cells[I].Benchmark);
+    ASSERT_NE(P, nullptr);
+    MetricsSnapshot Serial =
+        runExperimentCell(*P, Cells[I].SchemeKind, Opts).first.Metrics;
+    const MetricsSnapshot &Served = Grid.get().Cells[I].Result.Metrics;
+    EXPECT_EQ(Served, Serial) << "cell " << I;
+    EXPECT_FALSE(Served.empty());
+    for (const auto &[Name, V] : Served.Counters)
+      EXPECT_NE(Name.substr(0, 6), "serve.") << Name;
+    for (const auto &[Name, H] : Served.Histograms)
+      EXPECT_NE(Name.substr(0, 6), "serve.") << Name;
+  }
+}
+
+TEST_F(Serve, CrashChaosTraceMergesWorkerSpansWithCellAndAttempt) {
+  if (tsanActive())
+    GTEST_SKIP() << "fork-based; covered by check_serve.sh under ASan";
+  // The cross-process correlation contract, on a deterministic chaos
+  // scenario: one worker slot, every second CellAssign crashes its
+  // worker, and a crashed cell requeues to the back of the pending
+  // queue. Worker 1 finishes cell 0 and dies on cell 1; respawned
+  // worker 2 finishes cell 2 (cell 1 went to the back) and dies
+  // retrying cell 1; worker 3 finally lands cell 1 on attempt 3. The
+  // merged trace must carry each completion as a worker.cell span on
+  // its own worker track, distinguishable by (cell, attempt) — crashed
+  // attempts emit no span (the crash fires before the span opens).
+  ServeTraceFixture Fx("chaostrace");
+  std::vector<CellSpec> Cells = gridForBenchmarks({"compress"});
+  SimulationOptions Opts = quickOptions();
+  ASSERT_TRUE(FaultInjector::instance().configure("worker.crash:2:1").ok());
+  ServeConfig Config;
+  Config.Workers = 1;
+  Config.HeartbeatMs = 50;
+  Config.MaxRespawns = 2;
+
+  Expected<GridResult> Grid = runGrid(Config, Opts, Cells);
+  ASSERT_TRUE(FaultInjector::instance().configure("").ok());
+  ASSERT_TRUE(Grid.ok()) << Grid.status().toString();
+  EXPECT_EQ(Grid.get().Stats.WorkerCrashes, 2u);
+  EXPECT_EQ(Grid.get().Stats.Respawns, 2u);
+  EXPECT_EQ(Grid.get().Stats.Redispatches, 0u);
+  expectBitIdentical(Grid.get(), serialCellBytes(Cells, Opts));
+
+  ASSERT_TRUE(obs::TraceCollector::instance().flush());
+  std::string Text = Fx.slurp();
+  ASSERT_FALSE(Text.empty());
+  // Every completion span, with its dispatch attempt: cells 0 and 2 on
+  // their first try, cell 1 on its third.
+  EXPECT_NE(Text.find("\"worker.cell\""), std::string::npos);
+  EXPECT_NE(Text.find("\"cell\": 0, \"attempt\": 1"), std::string::npos);
+  EXPECT_NE(Text.find("\"cell\": 2, \"attempt\": 1"), std::string::npos);
+  EXPECT_NE(Text.find("\"cell\": 1, \"attempt\": 3"), std::string::npos);
+  // Distinct per-worker tracks (1000 + WorkerId), each named; a respawn
+  // gets a fresh id, so the crashed and replacement workers never share
+  // a track.
+  EXPECT_NE(Text.find("\"tid\": 1001"), std::string::npos);
+  EXPECT_NE(Text.find("\"tid\": 1003"), std::string::npos);
+  EXPECT_NE(Text.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(Text.find("\"worker 1\""), std::string::npos);
+  EXPECT_NE(Text.find("\"worker 3\""), std::string::npos);
+  // Coordinator-side serve events share the same timeline.
+  EXPECT_NE(Text.find("\"lease\""), std::string::npos);
+  EXPECT_NE(Text.find("\"worker.respawn\""), std::string::npos);
+}
+
+TEST_F(Serve, StatsSnapshotDescribesTheLastGridWhenIdle) {
+  std::vector<CellSpec> Cells = gridForBenchmarks({"compress"});
+  ServeConfig Config;
+  Config.Workers = 0;
+  Expected<GridResult> Grid = runGrid(Config, quickOptions(), Cells);
+  ASSERT_TRUE(Grid.ok()) << Grid.status().toString();
+
+  StatsReplyMsg S = currentServeStats();
+  EXPECT_FALSE(S.GridActive);
+  EXPECT_GE(S.GridsServed, 1u);
+  EXPECT_NE(S.GridId, 0u);
+  EXPECT_EQ(S.Cells, 3u);
+  EXPECT_EQ(S.DoneCells, 3u);
+  EXPECT_EQ(S.InlineCells, 3u);
+  EXPECT_EQ(S.PendingCells, 0u);
+  EXPECT_EQ(S.InFlightLeases, 0u);
+  EXPECT_TRUE(S.Workers.empty());
+
+  std::string Text = renderServeStats(S);
+  EXPECT_NE(Text.find("idle; last grid "), std::string::npos);
+  EXPECT_NE(Text.find("  cells: 3 total, 3 done, 0 pending, 0 in flight, "
+                      "0 failed (0 replayed, 3 inline, 0 quarantined)\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("journal 0 bytes"), std::string::npos);
 }
 
 // ------------------------------------------------------------- The report

@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -39,7 +40,9 @@ protected:
 };
 
 /// A representative CellResult payload: every field type the protocol
-/// uses (u8, u32, u64, strings with embedded NULs).
+/// uses (u8, u32, u64, doubles, strings with embedded NULs) including the
+/// wire-v2 telemetry freight (spans + metrics delta), so the fuzz sweeps
+/// below cover every section of the encoding.
 CellResultMsg sampleResult() {
   CellResultMsg M;
   M.CellIndex = 7;
@@ -53,7 +56,46 @@ CellResultMsg sampleResult() {
   M.Quarantined = 1;
   M.Reason = "";
   M.ResultText = std::string("dynace-result-v3\nbin\0ary\n", 25);
+  M.GridId = 0xabcdef0012345678ull;
+  M.DispatchAttempt = 3;
+  M.Spans.push_back({"serve", "worker.cell", 12.5, 3400.75,
+                     "\"cell\": 7, \"attempt\": 3"});
+  M.Spans.push_back({"vm", "run", 20.0, -1.0, ""});
+  M.DroppedSpans = 2;
+  M.MetricsDelta.Counters["cache.miss"] = 4;
+  M.MetricsDelta.Gauges["vm.final_ipc"] = 1.25;
+  HistogramSnapshot H;
+  H.Count = 2;
+  H.Sum = 6;
+  H.Buckets = {0, 1, 0, 1};
+  M.MetricsDelta.Histograms["runner.cell_ms"] = H;
   return M;
+}
+
+/// A representative StatsReply: active grid, two workers (one leased,
+/// one dead).
+StatsReplyMsg sampleStats() {
+  StatsReplyMsg S;
+  S.GridActive = true;
+  S.GridsServed = 3;
+  S.GridId = 0x1234000000000042ull;
+  S.Cells = 21;
+  S.DoneCells = 10;
+  S.PendingCells = 8;
+  S.InFlightLeases = 1;
+  S.FailedCells = 1;
+  S.ReplayedCells = 6;
+  S.InlineCells = 2;
+  S.Dispatches = 15;
+  S.Redispatches = 3;
+  S.DuplicateResults = 1;
+  S.WorkerCrashes = 2;
+  S.Respawns = 2;
+  S.QuarantinedCells = 1;
+  S.JournalBytes = 4096;
+  S.Workers.push_back({1, 4242, true, 5, 1200, 17, 4});
+  S.Workers.push_back({2, 4243, false, WorkerStatMsg::kIdle, 0, 900, 6});
+  return S;
 }
 
 } // namespace
@@ -69,14 +111,17 @@ TEST_F(ServeWire, FrameTypeNamesAreStable) {
   EXPECT_STREQ(frameTypeName(FrameType::Shutdown), "shutdown");
   EXPECT_STREQ(frameTypeName(FrameType::Done), "done");
   EXPECT_STREQ(frameTypeName(FrameType::Error), "error");
+  EXPECT_STREQ(frameTypeName(FrameType::StatsRequest), "stats-request");
+  EXPECT_STREQ(frameTypeName(FrameType::StatsReply), "stats-reply");
   EXPECT_STREQ(frameTypeName(static_cast<FrameType>(0)), "?");
 }
 
 TEST_F(ServeWire, RoundTripsEveryTypeAndPayloadShape) {
-  const FrameType Types[] = {FrameType::Hello,     FrameType::GridRequest,
-                             FrameType::CellAssign, FrameType::CellResult,
-                             FrameType::Heartbeat, FrameType::Shutdown,
-                             FrameType::Done,      FrameType::Error};
+  const FrameType Types[] = {FrameType::Hello,      FrameType::GridRequest,
+                             FrameType::CellAssign,  FrameType::CellResult,
+                             FrameType::Heartbeat,  FrameType::Shutdown,
+                             FrameType::Done,       FrameType::Error,
+                             FrameType::StatsRequest, FrameType::StatsReply};
   const std::string Payloads[] = {
       "", "x", std::string("\0\xff\x01", 3), std::string(4096, 'A')};
   for (FrameType T : Types)
@@ -135,6 +180,29 @@ TEST_F(ServeWire, BitFlipAtEveryOffsetNeverYieldsADifferentFrame) {
                   F.status().code() == ErrorCode::IoError)
           << "offset " << Off << " bit " << Bit << ": "
           << F.status().toString();
+    }
+}
+
+TEST_F(ServeWire, StatsReplyTruncationAndBitFlipFuzz) {
+  // Same sweep as the CellResult one, over the other telemetry-heavy
+  // codec: truncation is always "incomplete", a flip never decodes.
+  std::string Bytes =
+      encodeFrame(FrameType::StatsReply, encodeStatsReply(sampleStats()));
+  for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+    size_t Consumed = 0;
+    Expected<Frame> F = decodeFrame(Bytes.substr(0, Len), Consumed);
+    ASSERT_FALSE(F.ok()) << "decoded a truncated frame at length " << Len;
+    EXPECT_EQ(F.status().code(), ErrorCode::IoError) << "length " << Len;
+  }
+  for (size_t Off = 0; Off != Bytes.size(); ++Off)
+    for (int Bit = 0; Bit != 8; ++Bit) {
+      std::string Mut = Bytes;
+      Mut[Off] = static_cast<char>(Mut[Off] ^ (1 << Bit));
+      size_t Consumed = 0;
+      Expected<Frame> F = decodeFrame(Mut, Consumed);
+      ASSERT_FALSE(F.ok())
+          << "accepted a corrupt frame (offset " << Off << " bit " << Bit
+          << ")";
     }
 }
 
@@ -247,10 +315,14 @@ TEST_F(ServeWire, ProtocolMessagesRoundTrip) {
   CellAssignMsg A;
   A.CellIndex = 42;
   A.Cell = {"mtrt", Scheme::Bbv};
+  A.GridId = 0xfeed000000000001ull;
+  A.Attempt = 2;
   Expected<CellAssignMsg> A2 = decodeCellAssign(encodeCellAssign(A));
   ASSERT_TRUE(A2.ok());
   EXPECT_EQ(A2.get().CellIndex, 42u);
   EXPECT_EQ(A2.get().Cell.Benchmark, "mtrt");
+  EXPECT_EQ(A2.get().GridId, A.GridId);
+  EXPECT_EQ(A2.get().Attempt, 2u);
 
   CellResultMsg R = sampleResult();
   Expected<CellResultMsg> R2 = decodeCellResult(encodeCellResult(R));
@@ -263,12 +335,48 @@ TEST_F(ServeWire, ProtocolMessagesRoundTrip) {
   EXPECT_EQ(R2.get().CacheHit, R.CacheHit);
   EXPECT_EQ(R2.get().Quarantined, R.Quarantined);
   EXPECT_EQ(R2.get().ResultText, R.ResultText); // Embedded NULs survive.
+  EXPECT_EQ(R2.get().GridId, R.GridId);
+  EXPECT_EQ(R2.get().DispatchAttempt, R.DispatchAttempt);
+  ASSERT_EQ(R2.get().Spans.size(), 2u);
+  EXPECT_EQ(R2.get().Spans[0].Cat, "serve");
+  EXPECT_EQ(R2.get().Spans[0].Name, "worker.cell");
+  EXPECT_EQ(R2.get().Spans[0].TsUs, 12.5);
+  EXPECT_EQ(R2.get().Spans[0].DurUs, 3400.75);
+  EXPECT_EQ(R2.get().Spans[0].Args, "\"cell\": 7, \"attempt\": 3");
+  EXPECT_EQ(R2.get().Spans[1].DurUs, -1.0); // Instant events survive.
+  EXPECT_EQ(R2.get().DroppedSpans, 2u);
+  EXPECT_EQ(R2.get().MetricsDelta, R.MetricsDelta);
 
-  HelloMsg H{11, 222};
+  HelloMsg H{11, 222, 987654321123ull};
   Expected<HelloMsg> H2 = decodeHello(encodeHello(H));
   ASSERT_TRUE(H2.ok());
   EXPECT_EQ(H2.get().WorkerId, 11u);
   EXPECT_EQ(H2.get().Pid, 222u);
+  EXPECT_EQ(H2.get().TraceEpochNs, 987654321123ull);
+
+  Expected<StatsRequestMsg> Q2 =
+      decodeStatsRequest(encodeStatsRequest(StatsRequestMsg()));
+  ASSERT_TRUE(Q2.ok());
+  EXPECT_FALSE(decodeStatsRequest("x").ok()); // Must be empty.
+
+  StatsReplyMsg T = sampleStats();
+  Expected<StatsReplyMsg> T2 = decodeStatsReply(encodeStatsReply(T));
+  ASSERT_TRUE(T2.ok()) << T2.status().toString();
+  EXPECT_EQ(T2.get().GridActive, true);
+  EXPECT_EQ(T2.get().GridsServed, T.GridsServed);
+  EXPECT_EQ(T2.get().GridId, T.GridId);
+  EXPECT_EQ(T2.get().Cells, T.Cells);
+  EXPECT_EQ(T2.get().DoneCells, T.DoneCells);
+  EXPECT_EQ(T2.get().PendingCells, T.PendingCells);
+  EXPECT_EQ(T2.get().InFlightLeases, T.InFlightLeases);
+  EXPECT_EQ(T2.get().JournalBytes, T.JournalBytes);
+  ASSERT_EQ(T2.get().Workers.size(), 2u);
+  EXPECT_EQ(T2.get().Workers[0].WorkerId, 1u);
+  EXPECT_EQ(T2.get().Workers[0].LeasedCell, 5u);
+  EXPECT_EQ(T2.get().Workers[0].LeaseRemainingMs, 1200u);
+  EXPECT_EQ(T2.get().Workers[1].Live, false);
+  EXPECT_EQ(T2.get().Workers[1].LeasedCell, WorkerStatMsg::kIdle);
+  EXPECT_EQ(T2.get().Workers[1].CellsDone, 6u);
 
   HeartbeatMsg B{3, HeartbeatMsg::kIdle};
   Expected<HeartbeatMsg> B2 = decodeHeartbeat(encodeHeartbeat(B));
@@ -312,6 +420,106 @@ TEST_F(ServeWire, DecodersRejectOutOfRangeEnumsAndFlags) {
   Expected<CellResultMsg> R2 = decodeCellResult(encodeCellResult(R));
   ASSERT_FALSE(R2.ok());
   EXPECT_EQ(R2.status().code(), ErrorCode::InvalidInput);
+}
+
+TEST_F(ServeWire, SpanDecodingIsZeroTrust) {
+  // A hostile worker must not be able to corrupt the merged trace file:
+  // categories outside the closed set, unprintable names, non-finite
+  // timestamps and non-JSON args bodies are all rejected at decode.
+  auto Reject = [](WireSpan S) {
+    CellResultMsg M = sampleResult();
+    M.Spans = {std::move(S)};
+    Expected<CellResultMsg> D = decodeCellResult(encodeCellResult(M));
+    ASSERT_FALSE(D.ok());
+    EXPECT_EQ(D.status().code(), ErrorCode::InvalidInput);
+  };
+  Reject({"exfil", "worker.cell", 1.0, 2.0, ""});       // Unknown category.
+  Reject({"serve", "", 1.0, 2.0, ""});                  // Empty name.
+  Reject({"serve", "bad\"name", 1.0, 2.0, ""});         // Quote in name.
+  Reject({"serve", "bad\nname", 1.0, 2.0, ""});         // Control char.
+  Reject({"serve", "x", std::nan(""), 2.0, ""});        // Non-finite ts.
+  Reject({"serve", "x", 1.0, std::nan(""), ""});        // Non-finite dur.
+  Reject({"serve", "x", 1.0, 2.0, "not json"});         // Garbage args.
+  Reject({"serve", "x", 1.0, 2.0, "\"k\": {\"v\": 1}"}); // Nested object.
+  Reject({"serve", "x", 1.0, 2.0, "\"k\": \"\x01\""});  // Raw control char.
+  Reject({"serve", "x", 1.0, 2.0, std::string(5000, ' ')}); // Args cap.
+
+  // And the edge of validity still decodes: escaped strings, numbers,
+  // literals.
+  CellResultMsg M = sampleResult();
+  M.Spans = {{"serve", "x", 0.0, -1.0,
+              "\"s\": \"a\\\"b\\u0041\", \"n\": -1.5e3, \"t\": true, "
+              "\"z\": null"}};
+  EXPECT_TRUE(decodeCellResult(encodeCellResult(M)).ok());
+}
+
+TEST_F(ServeWire, SpanCountFieldCannotDriveAllocation) {
+  // Forged span count beyond the cap, and beyond what the payload could
+  // hold, are both rejected before any allocation happens.
+  CellResultMsg M = sampleResult();
+  std::string Bytes = encodeCellResult(M);
+  // The span-count u32 sits right after the DispatchAttempt u32; find it
+  // by re-encoding with zero spans and diffing the prefix length.
+  CellResultMsg Zero = M;
+  Zero.Spans.clear();
+  std::string ZeroBytes = encodeCellResult(Zero);
+  size_t Prefix = 0;
+  while (Prefix < ZeroBytes.size() && Bytes[Prefix] == ZeroBytes[Prefix])
+    Prefix++;
+  // Everything before the span count is identical (2 vs 0 spans), so the
+  // first diverging byte is the count's little-endian LSB.
+  size_t CountOff = Prefix;
+  ASSERT_LE(CountOff + 4, Bytes.size());
+  for (uint32_t Forged : {kMaxWireSpans + 1, 0x40000000u}) {
+    std::string Mut = Bytes;
+    for (int I = 0; I != 4; ++I)
+      Mut[CountOff + I] = static_cast<char>((Forged >> (8 * I)) & 0xff);
+    Expected<CellResultMsg> D = decodeCellResult(Mut);
+    ASSERT_FALSE(D.ok());
+    EXPECT_EQ(D.status().code(), ErrorCode::InvalidInput);
+  }
+}
+
+TEST_F(ServeWire, MetricsBlockIsZeroTrust) {
+  auto Encoded = [](const MetricsSnapshot &Delta) {
+    CellResultMsg M = sampleResult();
+    M.MetricsDelta = Delta;
+    return encodeCellResult(M);
+  };
+  // Metric names outside the [A-Za-z0-9._#-] alphabet or over the length
+  // cap are rejected (they feed registry lookups and JSON dumps).
+  MetricsSnapshot Bad;
+  Bad.Counters["evil name"] = 1;
+  EXPECT_FALSE(decodeCellResult(Encoded(Bad)).ok());
+  Bad = MetricsSnapshot();
+  Bad.Counters[std::string(300, 'a')] = 1;
+  EXPECT_FALSE(decodeCellResult(Encoded(Bad)).ok());
+  Bad = MetricsSnapshot();
+  Bad.Gauges["g"] = std::nan(""); // Non-finite gauge.
+  EXPECT_FALSE(decodeCellResult(Encoded(Bad)).ok());
+  // A histogram with more buckets than the fixed layout is a forgery.
+  Bad = MetricsSnapshot();
+  HistogramSnapshot H;
+  H.Buckets.assign(kHistogramBuckets + 1, 1);
+  Bad.Histograms["h"] = H;
+  EXPECT_FALSE(decodeCellResult(Encoded(Bad)).ok());
+}
+
+TEST_F(ServeWire, StatsReplyWorkerCountCannotDriveAllocation) {
+  StatsReplyMsg S = sampleStats();
+  std::string Bytes = encodeStatsReply(S);
+  // The worker-count u32 sits 4 + 49*2 + 4 bytes from the end (two
+  // 49-byte worker entries follow it).
+  ASSERT_GE(Bytes.size(), 4u + 49u * 2);
+  size_t CountOff = Bytes.size() - 49 * 2 - 4;
+  for (uint32_t Forged : {kMaxWireWorkerStats + 1, 0x20000000u}) {
+    std::string Mut = Bytes;
+    for (int I = 0; I != 4; ++I)
+      Mut[CountOff + I] = static_cast<char>((Forged >> (8 * I)) & 0xff);
+    Expected<StatsReplyMsg> D = decodeStatsReply(Mut);
+    ASSERT_FALSE(D.ok());
+    EXPECT_EQ(D.status().code(), ErrorCode::InvalidInput);
+  }
 }
 
 TEST_F(ServeWire, GridRequestCountFieldCannotDriveAllocation) {

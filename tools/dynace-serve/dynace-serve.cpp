@@ -12,20 +12,31 @@
 // journal. The reply is the deterministic grid report — bit-identical to
 // a serial in-process run of the same grid (`dynace-submit --local`).
 //
-//   dynace-serve [--socket PATH] [--once]
+//   dynace-serve [--socket PATH] [--stats-socket PATH] [--once]
 //
-//   --socket PATH   listen here (default: DYNACE_SERVE_SOCKET, falling
-//                   back to /tmp/dynace-serve.sock)
-//   --once          exit after serving one grid (test harness mode)
+//   --socket PATH        listen here (default: DYNACE_SERVE_SOCKET,
+//                        falling back to /tmp/dynace-serve.sock)
+//   --stats-socket PATH  introspection socket answering StatsRequest
+//                        frames with live fleet state (default:
+//                        DYNACE_SERVE_STATS_SOCKET, falling back to
+//                        "<socket>.stats"); polled by dynace-top and
+//                        dynace-submit --stats
+//   --once               exit after serving one grid (test harness mode)
 //
 // Configuration comes from the DYNACE_SERVE_* environment variables (see
 // README): WORKERS, LEASE_MS, HEARTBEAT_MS, MAX_RESPAWNS, MAX_RETRIES,
 // JOURNAL. A client Shutdown frame stops the daemon cleanly.
 //
+// The per-grid "grid done" log line is a rendering of the process
+// MetricsRegistry's serve.* counters (a before/after delta around the
+// grid), not an independent tally — the human text and the DYNACE_METRICS
+// dump cannot drift apart.
+//
 // Exit status: 0 clean shutdown, 1 socket/setup failure, 2 usage error.
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Metrics.h"
 #include "serve/Coordinator.h"
 #include "serve/Protocol.h"
 #include "serve/Wire.h"
@@ -36,6 +47,7 @@
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -47,7 +59,9 @@ using namespace dynace::serve;
 namespace {
 
 int usage(const char *Argv0) {
-  std::fprintf(stderr, "usage: %s [--socket PATH] [--once]\n", Argv0);
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH] [--stats-socket PATH] [--once]\n",
+               Argv0);
   return 2;
 }
 
@@ -78,9 +92,36 @@ int listenOn(const std::string &Path) {
   return Fd;
 }
 
+/// The introspection plane: answers StatsRequest frames on the stats
+/// socket with live StatsReply snapshots. Runs detached — a poll must
+/// never block grid progress, and currentServeStats() orders its locks
+/// so a poll cannot deadlock the coordinator either.
+void statsListener(int StatsFd) {
+  for (;;) {
+    int ClientFd = ::accept(StatsFd, nullptr, nullptr);
+    if (ClientFd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // Listening socket closed: the daemon is exiting.
+    }
+    // Serve polls on this connection until the client leaves; the
+    // receive timeout bounds how long a wedged client pins the thread.
+    for (;;) {
+      Expected<Frame> F = recvFrame(ClientFd, /*TimeoutMs=*/10000);
+      if (!F.ok() || F.get().Type != FrameType::StatsRequest)
+        break;
+      std::string Reply = encodeStatsReply(currentServeStats());
+      if (!sendFrame(ClientFd, FrameType::StatsReply, Reply).ok())
+        break;
+    }
+    ::close(ClientFd);
+  }
+}
+
 /// Serves one accepted client connection.
 /// \returns true when the client asked the daemon to shut down.
-bool serveClient(int ClientFd, int ListenFd, const ServeConfig &BaseConfig,
+bool serveClient(int ClientFd, int ListenFd, int StatsFd,
+                 const ServeConfig &BaseConfig,
                  const SimulationOptions &Base) {
   Expected<Frame> F = recvFrame(ClientFd);
   if (!F.ok()) {
@@ -105,8 +146,9 @@ bool serveClient(int ClientFd, int ListenFd, const ServeConfig &BaseConfig,
   ServeConfig Config = BaseConfig;
   // Workers must never hold the daemon's sockets: a child keeping the
   // client fd open would keep the connection alive past a daemon crash.
-  Config.CloseInChild = {ListenFd, ClientFd};
+  Config.CloseInChild = {ListenFd, ClientFd, StatsFd};
 
+  MetricsSnapshot Before = MetricsRegistry::process().snapshot();
   Expected<GridResult> Grid = runGrid(Config, Base, Req.get().Cells);
   if (!Grid.ok()) {
     (void)sendFrame(ClientFd, FrameType::Error,
@@ -131,20 +173,11 @@ bool serveClient(int ClientFd, int ListenFd, const ServeConfig &BaseConfig,
     std::fprintf(stderr, "dynace-serve: reply failed: %s\n",
                  S.toString().c_str());
 
-  const GridStats &St = Grid.get().Stats;
-  std::fprintf(stderr,
-               "dynace-serve: grid done: %llu cells (%llu replayed, %llu "
-               "inline, %llu failed), %llu dispatches (%llu re-dispatched, "
-               "%llu duplicates dropped), %llu crashes, %llu respawns\n",
-               static_cast<unsigned long long>(St.Cells),
-               static_cast<unsigned long long>(St.ReplayedCells),
-               static_cast<unsigned long long>(St.InlineCells),
-               static_cast<unsigned long long>(St.FailedCells),
-               static_cast<unsigned long long>(St.WorkerDispatches),
-               static_cast<unsigned long long>(St.Redispatches),
-               static_cast<unsigned long long>(St.DuplicateResults),
-               static_cast<unsigned long long>(St.WorkerCrashes),
-               static_cast<unsigned long long>(St.Respawns));
+  // The log line is the registry delta for this grid, rendered — the
+  // serve.* counters are the source of truth, the text just displays them.
+  MetricsSnapshot After = MetricsRegistry::process().snapshot();
+  std::fprintf(stderr, "dynace-serve: %s\n",
+               renderServeSummary(After.delta(Before)).c_str());
   return false;
 }
 
@@ -153,16 +186,21 @@ bool serveClient(int ClientFd, int ListenFd, const ServeConfig &BaseConfig,
 int main(int argc, char **argv) {
   std::string SocketPath =
       envString("DYNACE_SERVE_SOCKET", "/tmp/dynace-serve.sock");
+  std::string StatsPath = envString("DYNACE_SERVE_STATS_SOCKET");
   bool Once = false;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--socket" && I + 1 < argc)
       SocketPath = argv[++I];
+    else if (Arg == "--stats-socket" && I + 1 < argc)
+      StatsPath = argv[++I];
     else if (Arg == "--once")
       Once = true;
     else
       return usage(argv[0]);
   }
+  if (StatsPath.empty())
+    StatsPath = SocketPath + ".stats";
 
   Expected<ServeConfig> Config = ServeConfig::fromEnv();
   if (!Config.ok())
@@ -172,8 +210,18 @@ int main(int argc, char **argv) {
   int ListenFd = listenOn(SocketPath);
   if (ListenFd < 0)
     return 1;
-  std::fprintf(stderr, "dynace-serve: listening on %s (%u workers)\n",
-               SocketPath.c_str(), Config.get().Workers);
+  int StatsFd = listenOn(StatsPath);
+  if (StatsFd < 0) {
+    ::close(ListenFd);
+    ::unlink(SocketPath.c_str());
+    return 1;
+  }
+  // Detached on purpose: the listener blocks in accept() and every exit
+  // path below ends the process, which tears it down with the socket.
+  std::thread(statsListener, StatsFd).detach();
+  std::fprintf(stderr,
+               "dynace-serve: listening on %s (%u workers, stats on %s)\n",
+               SocketPath.c_str(), Config.get().Workers, StatsPath.c_str());
 
   bool ShutdownRequested = false;
   while (!ShutdownRequested) {
@@ -186,13 +234,15 @@ int main(int argc, char **argv) {
       break;
     }
     ShutdownRequested =
-        serveClient(ClientFd, ListenFd, Config.get(), Base);
+        serveClient(ClientFd, ListenFd, StatsFd, Config.get(), Base);
     ::close(ClientFd);
     if (Once)
       break;
   }
   ::close(ListenFd);
   ::unlink(SocketPath.c_str());
+  ::close(StatsFd);
+  ::unlink(StatsPath.c_str());
   std::fprintf(stderr, "dynace-serve: %s\n",
                ShutdownRequested ? "shutdown requested, exiting"
                                  : "exiting");

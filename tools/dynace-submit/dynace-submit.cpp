@@ -10,6 +10,7 @@
 //
 //   dynace-submit [--socket PATH] [--benchmarks a,b,c] [--local]
 //   dynace-submit [--socket PATH] --shutdown
+//   dynace-submit [--socket PATH] [--stats-socket PATH] --stats
 //
 //   --socket PATH      daemon socket (default: DYNACE_SERVE_SOCKET,
 //                      falling back to /tmp/dynace-serve.sock)
@@ -22,6 +23,12 @@
 //                      bit-identical to the daemon's — the invariant
 //                      scripts/check_serve.sh asserts with diff.
 //   --shutdown         send a Shutdown frame and exit.
+//   --stats            poll the daemon's introspection socket once and
+//                      print the live fleet state (grid progress, queue
+//                      depths, per-worker leases).
+//   --stats-socket     the introspection socket (default:
+//                      DYNACE_SERVE_STATS_SOCKET, falling back to
+//                      "<socket>.stats").
 //
 // Exit status: 0 success, 1 transport/grid failure (daemon Error frames
 // are printed to stderr), 2 usage error.
@@ -53,8 +60,9 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--socket PATH] [--benchmarks a,b,c] [--local]\n"
-               "       %s [--socket PATH] --shutdown\n",
-               Argv0, Argv0);
+               "       %s [--socket PATH] --shutdown\n"
+               "       %s [--socket PATH] [--stats-socket PATH] --stats\n",
+               Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -132,6 +140,41 @@ int runLocal(const std::vector<std::string> &Benchmarks) {
   return 0;
 }
 
+/// --stats: one introspection poll, printed as renderServeStats() text.
+int queryStats(const std::string &StatsPath) {
+  int Fd = connectTo(StatsPath);
+  if (Fd < 0)
+    return 1;
+  if (Status S = sendFrame(Fd, FrameType::StatsRequest,
+                           encodeStatsRequest(StatsRequestMsg()));
+      !S) {
+    std::fprintf(stderr, "dynace-submit: stats request: %s\n",
+                 S.toString().c_str());
+    ::close(Fd);
+    return 1;
+  }
+  Expected<Frame> Reply = recvFrame(Fd, /*TimeoutMs=*/10000);
+  ::close(Fd);
+  if (!Reply.ok()) {
+    std::fprintf(stderr, "dynace-submit: stats receive: %s\n",
+                 Reply.status().toString().c_str());
+    return 1;
+  }
+  if (Reply.get().Type != FrameType::StatsReply) {
+    std::fprintf(stderr, "dynace-submit: unexpected %s frame\n",
+                 frameTypeName(Reply.get().Type));
+    return 1;
+  }
+  Expected<StatsReplyMsg> S = decodeStatsReply(Reply.get().Payload);
+  if (!S.ok()) {
+    std::fprintf(stderr, "dynace-submit: bad stats frame: %s\n",
+                 S.status().toString().c_str());
+    return 1;
+  }
+  std::cout << "dynace-serve: " << renderServeStats(S.get());
+  return 0;
+}
+
 int sendShutdown(const std::string &SocketPath) {
   int Fd = connectTo(SocketPath);
   if (Fd < 0)
@@ -198,29 +241,37 @@ int submitGrid(const std::string &SocketPath,
 int main(int argc, char **argv) {
   std::string SocketPath =
       envString("DYNACE_SERVE_SOCKET", "/tmp/dynace-serve.sock");
+  std::string StatsPath = envString("DYNACE_SERVE_STATS_SOCKET");
   std::vector<std::string> Benchmarks;
   bool Local = false;
   bool Shutdown = false;
+  bool Stats = false;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--socket" && I + 1 < argc)
       SocketPath = argv[++I];
+    else if (Arg == "--stats-socket" && I + 1 < argc)
+      StatsPath = argv[++I];
     else if (Arg == "--benchmarks" && I + 1 < argc)
       Benchmarks = splitNames(argv[++I]);
     else if (Arg == "--local")
       Local = true;
     else if (Arg == "--shutdown")
       Shutdown = true;
+    else if (Arg == "--stats")
+      Stats = true;
     else
       return usage(argv[0]);
   }
-  if (Local && Shutdown)
+  if (Local + Shutdown + Stats > 1)
     return usage(argv[0]);
 
   if (Benchmarks.empty())
     for (const WorkloadProfile &P : specjvm98Profiles())
       Benchmarks.push_back(P.Name);
 
+  if (Stats)
+    return queryStats(StatsPath.empty() ? SocketPath + ".stats" : StatsPath);
   if (Shutdown)
     return sendShutdown(SocketPath);
   if (Local)

@@ -1,0 +1,154 @@
+//===- tools/dynace-top/dynace-top.cpp - Live fleet introspection ---------==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// dynace-top — top(1)-style live view of a dynace-serve daemon. Polls the
+// daemon's introspection socket (StatsRequest/StatsReply frames,
+// serve/Protocol.h) and re-renders the fleet state every interval: grid
+// progress, queue depths, lease/dispatch accounting and one line per
+// worker with its lease and liveness.
+//
+//   dynace-top [--socket PATH] [--stats-socket PATH] [--interval-ms N]
+//              [--once]
+//
+//   --socket PATH        the daemon's main socket; only used to derive
+//                        the default stats socket path
+//                        (default: DYNACE_SERVE_SOCKET, falling back to
+//                        /tmp/dynace-serve.sock)
+//   --stats-socket PATH  the introspection socket to poll (default:
+//                        DYNACE_SERVE_STATS_SOCKET, falling back to
+//                        "<socket>.stats")
+//   --interval-ms N      refresh period, 100..60000 (default 1000)
+//   --once               print one snapshot and exit (no screen clearing;
+//                        the scripted smoke-test mode)
+//
+// Each poll opens a fresh connection, so the daemon may restart between
+// refreshes without wedging the view; an unreachable daemon renders as a
+// "daemon unreachable" frame and the loop keeps trying.
+//
+// Exit status: 0 snapshot printed (--once), 1 daemon unreachable
+// (--once), 2 usage error. The refresh loop only ends on SIGINT.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Coordinator.h"
+#include "serve/Protocol.h"
+#include "serve/Wire.h"
+#include "support/Env.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace dynace;
+using namespace dynace::serve;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH] [--stats-socket PATH] "
+               "[--interval-ms N] [--once]\n",
+               Argv0);
+  return 2;
+}
+
+/// Connects to the stats socket. \returns the fd, or -1 (quietly: an
+/// unreachable daemon is a rendered state here, not an error spew).
+int connectTo(const std::string &Path) {
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// One introspection poll over a fresh connection.
+Expected<StatsReplyMsg> pollStats(const std::string &Path) {
+  int Fd = connectTo(Path);
+  if (Fd < 0)
+    return Status::error(ErrorCode::Unavailable,
+                         "cannot connect to '" + Path + "'");
+  if (Status S = sendFrame(Fd, FrameType::StatsRequest,
+                           encodeStatsRequest(StatsRequestMsg()));
+      !S) {
+    ::close(Fd);
+    return S;
+  }
+  Expected<Frame> Reply = recvFrame(Fd, /*TimeoutMs=*/10000);
+  ::close(Fd);
+  if (!Reply.ok())
+    return Reply.status();
+  if (Reply.get().Type != FrameType::StatsReply)
+    return Status::error(ErrorCode::InvalidInput,
+                         std::string("unexpected ") +
+                             frameTypeName(Reply.get().Type) + " frame");
+  return decodeStatsReply(Reply.get().Payload);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SocketPath =
+      envString("DYNACE_SERVE_SOCKET", "/tmp/dynace-serve.sock");
+  std::string StatsPath = envString("DYNACE_SERVE_STATS_SOCKET");
+  uint64_t IntervalMs = 1000;
+  bool Once = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--socket" && I + 1 < argc)
+      SocketPath = argv[++I];
+    else if (Arg == "--stats-socket" && I + 1 < argc)
+      StatsPath = argv[++I];
+    else if (Arg == "--interval-ms" && I + 1 < argc) {
+      char *End = nullptr;
+      IntervalMs = std::strtoull(argv[++I], &End, 10);
+      if (End == argv[I] || *End != '\0' || IntervalMs < 100 ||
+          IntervalMs > 60000)
+        return usage(argv[0]);
+    } else if (Arg == "--once")
+      Once = true;
+    else
+      return usage(argv[0]);
+  }
+  if (StatsPath.empty())
+    StatsPath = SocketPath + ".stats";
+
+  for (;;) {
+    Expected<StatsReplyMsg> S = pollStats(StatsPath);
+    std::string Body = S.ok()
+                           ? renderServeStats(S.get())
+                           : "daemon unreachable: " +
+                                 S.status().toString() + "\n";
+    if (Once) {
+      std::fputs(("dynace-top: " + StatsPath + "\n" + Body).c_str(),
+                 stdout);
+      return S.ok() ? 0 : 1;
+    }
+    // Home the cursor and wipe the previous frame (plain ANSI; dynace-top
+    // is interactive-terminal-only by design, like top itself).
+    std::fputs("\033[H\033[2J", stdout);
+    std::fputs(("dynace-top: " + StatsPath + " (refresh " +
+                std::to_string(IntervalMs) + " ms, ctrl-c quits)\n" + Body)
+                   .c_str(),
+               stdout);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+  }
+}
