@@ -1,0 +1,87 @@
+#!/bin/sh
+# check_dataflow.sh — end-to-end gate for the dataflow analysis engine.
+#
+# Usage: scripts/check_dataflow.sh [repo-root [build-dir]]
+#
+# Drives the dynalint binary (the consumer surface of analysis/Dataflow)
+# through every shipped entry point and checks the contracts the unit
+# tests cannot see from inside the library:
+#  * `--dataflow --all` exits 0 over the full benchmark suite — the
+#    dataflow diagnostics are advisory (Warning severity) and must never
+#    flip the exit code of a suite that lints clean today;
+#  * `--all` (no --dataflow) stays warning-free — the default contract
+#    is unchanged by this analysis existing;
+#  * `--dataflow --zipf-sweep` covers the skewed profile variants the
+#    experiments actually run;
+#  * the dynatrace selftest sample, canonically dumped and piped through
+#    `--trace -`, compiles and lints clean with dataflow on;
+#  * `--dot-dataflow` emits a well-formed digraph: one `digraph` header,
+#    balanced braces, and at least one mem-in-bounds fact over compress
+#    (the generator's constant-base + masked-index idiom is provable; if
+#    the fact count drops to zero the unguarded specializer tier has
+#    silently stopped eliding guards).
+#
+# Wired into CMake as the `check_dataflow` ctest and into the sanitize
+# gate chain.
+
+set -e
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+build="${2:-$root/build}"
+lint="$build/tools/dynalint"
+trace="$build/tools/dynatrace"
+
+for bin in "$lint" "$trace"; do
+  if [ ! -x "$bin" ]; then
+    echo "check_dataflow: missing $bin (build the tools targets first)" >&2
+    exit 1
+  fi
+done
+
+# Runs a dynalint invocation with output captured; on failure the full
+# output is replayed so the ctest log shows what broke.
+run_quiet() {
+  log=$("$@" 2>&1) || {
+    echo "check_dataflow: FAILED: $*" >&2
+    echo "$log" >&2
+    exit 1
+  }
+}
+
+echo "check_dataflow: dynalint --dataflow --all"
+run_quiet "$lint" --dataflow --all
+
+echo "check_dataflow: default --all stays warning-free"
+out=$("$lint" --all)
+if echo "$out" | grep -vq ', 0 warnings)'; then
+  echo "check_dataflow: default lint grew warnings:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+echo "check_dataflow: dynalint --dataflow --zipf-sweep compress javac"
+run_quiet "$lint" --dataflow --zipf-sweep compress javac
+
+echo "check_dataflow: dynatrace --selftest-dump | dynalint --trace -"
+run_quiet sh -c "'$trace' --selftest-dump | '$lint' --dataflow --trace -"
+
+echo "check_dataflow: --dot-dataflow well-formedness"
+dot=$("$lint" --dot-dataflow mid0 compress)
+headers=$(echo "$dot" | grep -c '^digraph dataflow_')
+if [ "$headers" -ne 1 ]; then
+  echo "check_dataflow: expected exactly one digraph header, got $headers" >&2
+  exit 1
+fi
+open=$(echo "$dot" | tr -cd '{' | wc -c)
+close=$(echo "$dot" | tr -cd '}' | wc -c)
+if [ "$open" -ne "$close" ]; then
+  echo "check_dataflow: unbalanced braces in DOT output ($open vs $close)" >&2
+  exit 1
+fi
+if ! echo "$dot" | grep -q 'mem-in-bounds'; then
+  echo "check_dataflow: no mem-in-bounds facts in compress/mid0 —" \
+       "the proof engine regressed" >&2
+  exit 1
+fi
+
+echo "check_dataflow: OK"

@@ -27,10 +27,13 @@
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 status=0
 
-# Scanned trees: everything that ships logic. src/support is the one
+# Scanned trees: everything that ships logic, plus the test sources —
+# a nondeterministic test (raw rand/time) is as much a reproducibility
+# bug as nondeterministic product code. src/support is the one
 # sanctioned home for env/random/clock/abort primitives and is excluded.
 scan_files() {
   find "$root/src" "$root/bench" "$root/examples" "$root/tools" \
+       "$root/tests" \
        \( -name '*.cpp' -o -name '*.h' \) -print | sort |
     grep -v '/src/support/'
 }

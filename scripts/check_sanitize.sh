@@ -78,8 +78,15 @@ fi
   > "$build/example.canon2"
 cmp "$build/example.canon" "$build/example.canon2"
 
+# The dataflow analysis gate, sanitized: abstract interpretation walks
+# every instruction of every benchmark (plus the zipf-skewed variants and
+# the dynatrace pipe), so a lattice indexing bug or an overflow in the
+# interval arithmetic surfaces here with ASan/UBSan watching.
+"$root/scripts/check_dataflow.sh" "$root" "$build"
+
 # The specialized kernels under ASan/UBSan: one smoke-budget grid pass
-# with DYNACE_SPECIALIZE=1 drives every fused/branch-specialized handler,
+# with DYNACE_SPECIALIZE=1 (the proof-gated unguarded tier) drives every
+# fused/branch-specialized/unguarded handler,
 # the calibration burst and the image cache through the sanitizers. The
 # MIPS gate is moot here (a sanitized build never matches the Release
 # baseline, so the regression check self-skips on the build-type stamp);
@@ -92,5 +99,5 @@ DYNACE_SPECIALIZE=1 "$build/bench/microbench_hotloop" --smoke \
 "$root/scripts/check_lint.sh" "$root"
 
 echo "check_sanitize: OK (fault injection + cache corruption + serve chaos" \
-     "+ traced grid + dynalint + dynatrace round-trip + specialized smoke" \
-     "+ lint under ASan/UBSan)"
+     "+ traced grid + dynalint + dynatrace round-trip + dataflow gate" \
+     "+ specialized smoke + lint under ASan/UBSan)"

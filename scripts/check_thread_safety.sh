@@ -9,7 +9,9 @@
 #  * positive half: every annotated TU must compile clean under
 #    -Werror=thread-safety-analysis — an unlocked access to a GUARDED_BY
 #    member anywhere in ThreadPool/TraceCollector/MetricsRegistry/
-#    Profiler/ResultCache or the serve coordinator/worker fails the build;
+#    Profiler/ResultCache or the serve coordinator/worker fails the build
+#    (the lock-free analysis TUs — Dataflow, Verifier — ride along so new
+#    shared state there cannot land unannotated);
 #  * negative half: tests/thread_safety_negative.cpp, which reads a
 #    guarded member without the lock, must FAIL to compile — proving the
 #    analysis is actually live, not silently disabled.
@@ -33,7 +35,8 @@ flags="-fsyntax-only -std=c++20 -I$root/src -Wthread-safety \
 status=0
 for tu in src/support/ThreadPool.cpp src/obs/Trace.cpp src/obs/Metrics.cpp \
           src/obs/Profile.cpp src/sim/ResultCache.cpp \
-          src/serve/Coordinator.cpp src/serve/Worker.cpp; do
+          src/serve/Coordinator.cpp src/serve/Worker.cpp \
+          src/analysis/Dataflow.cpp src/analysis/Verifier.cpp; do
   if ! clang++ $flags "$root/$tu"; then
     echo "error: $tu fails -Wthread-safety" >&2
     status=1
@@ -51,7 +54,7 @@ fi
 if [ "$status" -ne 0 ]; then
   echo "check_thread_safety: FAILED" >&2
 else
-  echo "check_thread_safety: OK (7 annotated TUs clean, negative test" \
+  echo "check_thread_safety: OK (9 checked TUs clean, negative test" \
        "rejected)"
 fi
 exit $status

@@ -1,0 +1,620 @@
+//===- analysis/Dataflow.cpp - Worklist dataflow analyses -----------------===//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+#include <cstdio>
+#include <deque>
+
+using namespace dynace;
+using namespace dynace::analysis;
+
+namespace {
+
+/// Bit for register \p R; 0 for kNoReg or out-of-range operands (the
+/// verifier's instruction checks report those — the analysis just stays
+/// well-defined on malformed input).
+uint32_t regBit(uint8_t R) { return R < kNumRegs ? (1u << R) : 0u; }
+
+/// \returns the register-read mask of \p In.
+uint32_t useMask(const Instruction &In) {
+  switch (In.Op) {
+  case Opcode::IConst:
+  case Opcode::Jmp:
+  case Opcode::Halt:
+    return 0;
+  case Opcode::Mov:
+  case Opcode::AddI:
+  case Opcode::MulI:
+  case Opcode::AndI:
+  case Opcode::Load:
+  case Opcode::BrI:
+  case Opcode::Alloc:
+    return regBit(In.Src1);
+  case Opcode::Ret:
+    return In.Src1 == kNoReg ? 0 : regBit(In.Src1);
+  case Opcode::StoreIdx: // Dst holds the index register (a read).
+    return regBit(In.Src1) | regBit(In.Src2) | regBit(In.Dst);
+  case Opcode::Call: {
+    const unsigned NumArgs = In.Src2 == kNoReg ? 0 : In.Src2;
+    uint32_t M = 0;
+    for (unsigned I = 0; I != NumArgs; ++I)
+      M |= regBit(static_cast<uint8_t>(In.Src1 + I));
+    return M;
+  }
+  default: // Reg-reg ALU/FP, Store, LoadIdx, Br.
+    return regBit(In.Src1) | regBit(In.Src2);
+  }
+}
+
+/// \returns the register \p In writes, or kNoReg.
+uint8_t defReg(const Instruction &In) {
+  switch (In.Op) {
+  case Opcode::Store:
+  case Opcode::StoreIdx:
+  case Opcode::Br:
+  case Opcode::BrI:
+  case Opcode::Jmp:
+  case Opcode::Ret:
+  case Opcode::Halt:
+    return kNoReg;
+  default:
+    return In.Dst < kNumRegs ? In.Dst : kNoReg;
+  }
+}
+
+/// True for side-effect-free register producers — the only ops the
+/// dead-store diagnostic may flag. Div/Rem can trap, memory ops carry a
+/// MemAddr event, Alloc moves the bump cursor, Call transfers control.
+bool isPureDef(Opcode Op) {
+  switch (Op) {
+  case Opcode::IConst:
+  case Opcode::Mov:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::AddI:
+  case Opcode::MulI:
+  case Opcode::AndI:
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+    return true;
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Interval transfer functions
+//
+// Registers hold uint64 values with wrap-around semantics; ranges track
+// the signed (two's-complement) reinterpretation. Interval arithmetic is
+// applied only when the __builtin overflow checks prove no value in
+// range can wrap — then the signed result equals the VM's uint64 result
+// reinterpreted — and degrades to top otherwise. Constant folds mirror
+// the VM operation exactly on uint64 before reinterpreting.
+//===----------------------------------------------------------------------===//
+
+ValueRange addRange(const ValueRange &A, const ValueRange &B) {
+  if (A.isBottom() || B.isBottom())
+    return ValueRange::bottom();
+  int64_t Lo, Hi;
+  if (__builtin_add_overflow(A.Lo, B.Lo, &Lo) ||
+      __builtin_add_overflow(A.Hi, B.Hi, &Hi))
+    return ValueRange::top();
+  return {Lo, Hi};
+}
+
+ValueRange subRange(const ValueRange &A, const ValueRange &B) {
+  if (A.isBottom() || B.isBottom())
+    return ValueRange::bottom();
+  int64_t Lo, Hi;
+  if (__builtin_sub_overflow(A.Lo, B.Hi, &Lo) ||
+      __builtin_sub_overflow(A.Hi, B.Lo, &Hi))
+    return ValueRange::top();
+  return {Lo, Hi};
+}
+
+ValueRange mulRange(const ValueRange &A, const ValueRange &B) {
+  if (A.isBottom() || B.isBottom())
+    return ValueRange::bottom();
+  // Exact products over a box attain min/max at corners; if no corner
+  // overflows, no interior product does either, so uint64 wrap never
+  // engages.
+  const int64_t As[2] = {A.Lo, A.Hi}, Bs[2] = {B.Lo, B.Hi};
+  int64_t Lo = INT64_MAX, Hi = INT64_MIN;
+  for (int64_t X : As)
+    for (int64_t Y : Bs) {
+      int64_t P;
+      if (__builtin_mul_overflow(X, Y, &P))
+        return ValueRange::top();
+      Lo = P < Lo ? P : Lo;
+      Hi = P > Hi ? P : Hi;
+    }
+  return {Lo, Hi};
+}
+
+ValueRange andRange(const ValueRange &A, const ValueRange &B) {
+  if (A.isBottom() || B.isBottom())
+    return ValueRange::bottom();
+  if (A.isConstant() && B.isConstant())
+    return ValueRange::constant(static_cast<int64_t>(
+        static_cast<uint64_t>(A.Lo) & static_cast<uint64_t>(B.Lo)));
+  // Masking with a non-negative value clears the sign bit and can only
+  // lower the magnitude: a & b <= b when b >= 0.
+  if (B.Lo >= 0)
+    return {0, B.Hi};
+  if (A.Lo >= 0)
+    return {0, A.Hi};
+  return ValueRange::top();
+}
+
+/// Constant folds for ops with no useful interval rule; mirrors the VM's
+/// uint64 semantics bit for bit.
+ValueRange foldBinary(Opcode Op, const ValueRange &A, const ValueRange &B) {
+  if (A.isBottom() || B.isBottom())
+    return ValueRange::bottom();
+  if (!A.isConstant() || !B.isConstant())
+    return ValueRange::top();
+  const uint64_t X = static_cast<uint64_t>(A.Lo);
+  const uint64_t Y = static_cast<uint64_t>(B.Lo);
+  switch (Op) {
+  case Opcode::Or:
+    return ValueRange::constant(static_cast<int64_t>(X | Y));
+  case Opcode::Xor:
+    return ValueRange::constant(static_cast<int64_t>(X ^ Y));
+  case Opcode::Shl:
+    return ValueRange::constant(static_cast<int64_t>(X << (Y & 63)));
+  case Opcode::Shr:
+    return ValueRange::constant(static_cast<int64_t>(X >> (Y & 63)));
+  default:
+    return ValueRange::top();
+  }
+}
+
+/// Forward state: one range per register plus the definitely-assigned
+/// mask (intersection lattice).
+struct FlowState {
+  std::array<ValueRange, kNumRegs> R;
+  uint32_t Assigned = 0;
+};
+
+ValueRange regRange(const FlowState &S, uint8_t Reg) {
+  return Reg < kNumRegs ? S.R[Reg] : ValueRange::top();
+}
+
+/// Applies \p In to \p S (register effects only; control flow is the
+/// caller's job).
+void transfer(const Instruction &In, FlowState &S) {
+  const uint8_t D = defReg(In);
+  if (D == kNoReg)
+    return;
+  ValueRange V = ValueRange::top();
+  switch (In.Op) {
+  case Opcode::IConst:
+    V = ValueRange::constant(In.Imm);
+    break;
+  case Opcode::Mov:
+    V = regRange(S, In.Src1);
+    break;
+  case Opcode::Add:
+    V = addRange(regRange(S, In.Src1), regRange(S, In.Src2));
+    break;
+  case Opcode::Sub:
+    V = subRange(regRange(S, In.Src1), regRange(S, In.Src2));
+    break;
+  case Opcode::Mul:
+    V = mulRange(regRange(S, In.Src1), regRange(S, In.Src2));
+    break;
+  case Opcode::And:
+    V = andRange(regRange(S, In.Src1), regRange(S, In.Src2));
+    break;
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+    V = foldBinary(In.Op, regRange(S, In.Src1), regRange(S, In.Src2));
+    break;
+  case Opcode::AddI:
+    V = addRange(regRange(S, In.Src1), ValueRange::constant(In.Imm));
+    break;
+  case Opcode::MulI:
+    V = mulRange(regRange(S, In.Src1), ValueRange::constant(In.Imm));
+    break;
+  case Opcode::AndI:
+    V = andRange(regRange(S, In.Src1), ValueRange::constant(In.Imm));
+    break;
+  default:
+    // Div/Rem (trap-prone), FP (bit patterns), Load/LoadIdx (memory),
+    // Alloc (heap address), Call (return value): top.
+    break;
+  }
+  S.R[D] = V;
+  S.Assigned |= regBit(D);
+}
+
+/// Condition outcome over ranges: can \p Cond be true / false for some
+/// concrete values in \p A x \p B?
+struct CondOutcome {
+  bool MayTrue = true;
+  bool MayFalse = true;
+};
+
+CondOutcome evalCondRange(CondKind Cond, const ValueRange &A,
+                          const ValueRange &B) {
+  CondOutcome O;
+  if (A.isBottom() || B.isBottom())
+    return O;
+  const bool Disjoint = A.Hi < B.Lo || B.Hi < A.Lo;
+  const bool BothSameConst =
+      A.isConstant() && B.isConstant() && A.Lo == B.Lo;
+  switch (Cond) {
+  case CondKind::Eq:
+    O.MayTrue = !Disjoint;
+    O.MayFalse = !BothSameConst;
+    break;
+  case CondKind::Ne:
+    O.MayTrue = !BothSameConst;
+    O.MayFalse = !Disjoint;
+    break;
+  case CondKind::Lt:
+    O.MayTrue = A.Lo < B.Hi;
+    O.MayFalse = A.Hi >= B.Lo;
+    break;
+  case CondKind::Le:
+    O.MayTrue = A.Lo <= B.Hi;
+    O.MayFalse = A.Hi > B.Lo;
+    break;
+  case CondKind::Gt:
+    O.MayTrue = A.Hi > B.Lo;
+    O.MayFalse = A.Lo <= B.Hi;
+    break;
+  case CondKind::Ge:
+    O.MayTrue = A.Hi >= B.Lo;
+    O.MayFalse = A.Lo < B.Hi;
+    break;
+  }
+  return O;
+}
+
+/// \returns the range of the effective address of memory op \p In under
+/// \p S, or top when any component could make the uint64 arithmetic
+/// wrap. Load/Store: Src1 + Imm; LoadIdx: Src1 + Src2*8 + Imm; StoreIdx:
+/// Src1 + Dst*8 + Imm (Dst holds the index register).
+ValueRange addressRange(const Instruction &In, const FlowState &S) {
+  ValueRange Addr = addRange(regRange(S, In.Src1),
+                             ValueRange::constant(In.Imm));
+  if (In.Op == Opcode::LoadIdx || In.Op == Opcode::StoreIdx) {
+    const uint8_t IdxReg = In.Op == Opcode::LoadIdx ? In.Src2 : In.Dst;
+    Addr = addRange(Addr, mulRange(regRange(S, IdxReg),
+                                   ValueRange::constant(8)));
+  }
+  return Addr;
+}
+
+/// After the forward fixpoint: walks each reachable block once more with
+/// its converged entry state and derives the per-instruction facts.
+void deriveFacts(const Program &P, const Method &M, const Cfg &G,
+                 const std::vector<FlowState> &In,
+                 const std::vector<bool> &Reached, MethodDataflow &DF) {
+  // The static global segment [kHeapBase, kHeapBase + 8*globalWords):
+  // addresses proven inside it make the interpreter's heap-base rebias
+  // exact and its power-of-two wrap mask a no-op (the memory array is at
+  // least globalWords long).
+  int64_t SegLo = static_cast<int64_t>(kHeapBase);
+  int64_t SegHi = 0;
+  bool HaveSegment = false;
+  {
+    int64_t Span;
+    if (P.globalWords() > 0 &&
+        P.globalWords() <= (1ull << 40) && // Far above any real program.
+        !__builtin_mul_overflow(static_cast<int64_t>(P.globalWords()), 8,
+                                &Span) &&
+        !__builtin_add_overflow(SegLo, Span - 1, &SegHi))
+      HaveSegment = true;
+  }
+
+  const std::vector<BasicBlock> &Blocks = G.blocks();
+  for (uint32_t B = 0; B != Blocks.size(); ++B) {
+    const BasicBlock &BB = Blocks[B];
+    if (!Reached[B]) {
+      for (uint32_t I = BB.First; I <= BB.Last; ++I)
+        DF.Facts[I] |= DF_Unreachable;
+      continue;
+    }
+    FlowState S = In[B];
+    for (uint32_t I = BB.First; I <= BB.Last; ++I) {
+      const Instruction &Ins = M.Code[I];
+      if (useMask(Ins) & ~S.Assigned)
+        DF.Facts[I] |= DF_MaybeUninitRead;
+      switch (Ins.Op) {
+      case Opcode::Div:
+      case Opcode::Rem: {
+        const ValueRange Divisor = regRange(S, Ins.Src2);
+        if (!Divisor.isBottom()) {
+          if (!Divisor.contains(0))
+            DF.Facts[I] |= DF_DivisorNonZero;
+          else if (Divisor.isConstant())
+            DF.Facts[I] |= DF_DivisorZero;
+        }
+        break;
+      }
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::LoadIdx:
+      case Opcode::StoreIdx: {
+        const ValueRange Addr = addressRange(Ins, S);
+        if (HaveSegment && !Addr.isBottom() && !Addr.isTop() &&
+            Addr.Lo >= SegLo && Addr.Hi <= SegHi)
+          DF.Facts[I] |= DF_MemInBounds;
+        break;
+      }
+      case Opcode::Br:
+      case Opcode::BrI: {
+        const ValueRange A = regRange(S, Ins.Src1);
+        const ValueRange B2 = Ins.Op == Opcode::Br
+                                  ? regRange(S, Ins.Src2)
+                                  : ValueRange::constant(Ins.Aux);
+        const CondOutcome O = evalCondRange(Ins.Cond, A, B2);
+        if (!O.MayTrue)
+          DF.Facts[I] |= DF_BranchNeverTaken;
+        if (!O.MayFalse)
+          DF.Facts[I] |= DF_BranchAlwaysTaken;
+        break;
+      }
+      default:
+        break;
+      }
+      transfer(Ins, S);
+    }
+
+    // Dead stores: backward in-block walk from the converged live-out.
+    uint32_t Live = DF.LiveOut[B];
+    for (uint32_t I = BB.Last + 1; I-- > BB.First;) {
+      const Instruction &Ins = M.Code[I];
+      const uint8_t D = defReg(Ins);
+      if (D != kNoReg && isPureDef(Ins.Op) && !(Live & regBit(D)))
+        DF.Facts[I] |= DF_DeadStore;
+      if (D != kNoReg)
+        Live &= ~regBit(D);
+      Live |= useMask(Ins);
+    }
+  }
+}
+
+} // namespace
+
+std::vector<unsigned> dynace::analysis::maxEntryArgs(const Program &P) {
+  std::vector<unsigned> Args(P.numMethods(), 0);
+  for (MethodId Id = 0; Id != P.numMethods(); ++Id)
+    for (const Instruction &In : P.method(Id).Code) {
+      if (In.Op != Opcode::Call || In.Imm < 0 ||
+          static_cast<size_t>(In.Imm) >= P.numMethods())
+        continue;
+      unsigned N = In.Src2 == kNoReg ? 0 : In.Src2;
+      if (N > kNumRegs)
+        N = kNumRegs; // BadCallWindow reports the defect; stay in range.
+      unsigned &Slot = Args[static_cast<MethodId>(In.Imm)];
+      Slot = N > Slot ? N : Slot;
+    }
+  return Args;
+}
+
+MethodDataflow dynace::analysis::analyzeMethod(const Program &P,
+                                               const Method &M, const Cfg &G,
+                                               unsigned EntryArgs) {
+  (void)P;
+  const std::vector<BasicBlock> &Blocks = G.blocks();
+  const uint32_t NumBlocks = static_cast<uint32_t>(Blocks.size());
+  MethodDataflow DF;
+  DF.LiveIn.assign(NumBlocks, 0);
+  DF.LiveOut.assign(NumBlocks, 0);
+  DF.AssignedIn.assign(NumBlocks, 0);
+  DF.RangeIn.resize(NumBlocks);
+  DF.Facts.assign(M.Code.size(), 0);
+  if (NumBlocks == 0)
+    return DF;
+
+  // ------------------------------------------------------------ liveness
+  // Backward bitvector fixpoint. The worklist is a simple round-robin
+  // sweep in reverse block order: bitvector liveness converges in a
+  // handful of sweeps and the order keeps results deterministic.
+  {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (uint32_t B = NumBlocks; B-- > 0;) {
+        uint32_t Out = 0;
+        for (uint32_t S : Blocks[B].Succs)
+          Out |= DF.LiveIn[S];
+        uint32_t Live = Out;
+        for (uint32_t I = Blocks[B].Last + 1; I-- > Blocks[B].First;) {
+          const Instruction &In = M.Code[I];
+          const uint8_t D = defReg(In);
+          if (D != kNoReg)
+            Live &= ~regBit(D);
+          Live |= useMask(In);
+        }
+        if (Out != DF.LiveOut[B] || Live != DF.LiveIn[B]) {
+          DF.LiveOut[B] = Out;
+          DF.LiveIn[B] = Live;
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  // ------------------------------- ranges + definite assignment (forward)
+  // Deterministic worklist with interval widening: after a block's entry
+  // state has been updated kWidenAfter times, any still-growing bound
+  // jumps to the lattice extreme, so the ascending chain is finite.
+  constexpr uint32_t kWidenAfter = 8;
+  std::vector<FlowState> In(NumBlocks);
+  std::vector<bool> Reached(NumBlocks, false);
+  std::vector<uint32_t> Updates(NumBlocks, 0);
+  std::vector<bool> Queued(NumBlocks, false);
+  {
+    FlowState Entry;
+    for (unsigned R = 0; R != kNumRegs; ++R)
+      Entry.R[R] = R < EntryArgs ? ValueRange::top()
+                                 : ValueRange::constant(0); // Frame zero-fill.
+    Entry.Assigned = EntryArgs >= kNumRegs
+                         ? ~0u
+                         : ((EntryArgs ? (1u << EntryArgs) - 1u : 0u));
+    In[0] = Entry;
+    Reached[0] = true;
+
+    std::deque<uint32_t> Worklist{0};
+    Queued[0] = true;
+    while (!Worklist.empty()) {
+      const uint32_t B = Worklist.front();
+      Worklist.pop_front();
+      Queued[B] = false;
+      FlowState Out = In[B];
+      for (uint32_t I = Blocks[B].First; I <= Blocks[B].Last; ++I)
+        transfer(M.Code[I], Out);
+      for (uint32_t S : Blocks[B].Succs) {
+        bool ChangedSucc = false;
+        if (!Reached[S]) {
+          In[S] = Out;
+          Reached[S] = true;
+          ChangedSucc = true;
+        } else {
+          FlowState Joined = In[S];
+          Joined.Assigned &= Out.Assigned;
+          for (unsigned R = 0; R != kNumRegs; ++R)
+            Joined.R[R] = In[S].R[R].join(Out.R[R]);
+          if (Updates[S] >= kWidenAfter)
+            for (unsigned R = 0; R != kNumRegs; ++R)
+              Joined.R[R] = Joined.R[R].widen(In[S].R[R]);
+          bool Same = Joined.Assigned == In[S].Assigned;
+          for (unsigned R = 0; Same && R != kNumRegs; ++R)
+            Same = Joined.R[R] == In[S].R[R];
+          if (!Same) {
+            In[S] = Joined;
+            ChangedSucc = true;
+          }
+        }
+        if (ChangedSucc) {
+          ++Updates[S];
+          if (!Queued[S]) {
+            Worklist.push_back(S);
+            Queued[S] = true;
+          }
+        }
+      }
+    }
+  }
+
+  for (uint32_t B = 0; B != NumBlocks; ++B) {
+    DF.AssignedIn[B] = Reached[B] ? In[B].Assigned : ~0u;
+    DF.RangeIn[B] = Reached[B]
+                        ? In[B].R
+                        : [] {
+                            std::array<ValueRange, kNumRegs> Bot;
+                            Bot.fill(ValueRange::bottom());
+                            return Bot;
+                          }();
+  }
+
+  deriveFacts(P, M, G, In, Reached, DF);
+  return DF;
+}
+
+ProofSet dynace::analysis::computeProofSet(const Program &P) {
+  ProofSet PS;
+  PS.MethodFacts.resize(P.numMethods());
+  const std::vector<unsigned> Args = maxEntryArgs(P);
+  for (MethodId Id = 0; Id != P.numMethods(); ++Id) {
+    const Method &M = P.method(Id);
+    // Cfg::build requires a non-empty method with every branch target
+    // strictly inside the code (the specializer tolerates a target ==
+    // size — it falls through to the off-end sentinel — so check here
+    // rather than assume the caller verified). No CFG, no facts: the
+    // method simply keeps every guard.
+    bool CfgSafe = !M.Code.empty();
+    for (const Instruction &In : M.Code) {
+      if (In.Op != Opcode::Br && In.Op != Opcode::BrI &&
+          In.Op != Opcode::Jmp)
+        continue;
+      if (In.Imm < 0 || static_cast<size_t>(In.Imm) >= M.Code.size())
+        CfgSafe = false;
+    }
+    if (!CfgSafe)
+      continue;
+    const Cfg G = Cfg::build(M);
+    PS.MethodFacts[Id] = analyzeMethod(P, M, G, Args[Id]).Facts;
+  }
+  return PS;
+}
+
+std::string dynace::analysis::dataflowToDot(const Program &P, const Method &M,
+                                            const Cfg &G,
+                                            const MethodDataflow &DF) {
+  (void)P;
+  auto Hex = [](uint32_t V) {
+    char Buf[16];
+    std::snprintf(Buf, sizeof(Buf), "0x%08x", V);
+    return std::string(Buf);
+  };
+  std::string Out = "digraph dataflow_" + M.Name + " {\n";
+  Out += "  label=\"" + M.Name + " dataflow\";\n  node [shape=box];\n";
+  const std::vector<BasicBlock> &Blocks = G.blocks();
+  for (uint32_t B = 0; B != Blocks.size(); ++B) {
+    const BasicBlock &BB = Blocks[B];
+    std::string Label = "bb" + std::to_string(B) + " [" +
+                        std::to_string(BB.First) + ".." +
+                        std::to_string(BB.Last) + "]\\l";
+    Label += "live-in " + Hex(DF.LiveIn[B]) + "  live-out " +
+             Hex(DF.LiveOut[B]) + "\\l";
+    Label += "assigned " + Hex(DF.AssignedIn[B]) + "\\l";
+    for (unsigned R = 0; R != kNumRegs; ++R) {
+      const ValueRange &V = DF.RangeIn[B][R];
+      if (V.isTop() || V.isBottom())
+        continue;
+      Label += "r" + std::to_string(R) + " = [" + std::to_string(V.Lo) +
+               ", " + std::to_string(V.Hi) + "]\\l";
+    }
+    // Per-instruction facts, one line per flagged instruction.
+    for (uint32_t I = BB.First; I <= BB.Last; ++I) {
+      const uint8_t F = DF.Facts[I];
+      if (!F)
+        continue;
+      Label += "instr " + std::to_string(I) + ":";
+      if (F & DF_DivisorNonZero)
+        Label += " div-nonzero";
+      if (F & DF_DivisorZero)
+        Label += " div-zero";
+      if (F & DF_MemInBounds)
+        Label += " mem-in-bounds";
+      if (F & DF_DeadStore)
+        Label += " dead-store";
+      if (F & DF_MaybeUninitRead)
+        Label += " maybe-uninit";
+      if (F & DF_BranchNeverTaken)
+        Label += " never-taken";
+      if (F & DF_BranchAlwaysTaken)
+        Label += " always-taken";
+      if (F & DF_Unreachable)
+        Label += " unreachable";
+      Label += "\\l";
+    }
+    Out += "  bb" + std::to_string(B) + " [label=\"" + Label + "\"];\n";
+  }
+  for (uint32_t B = 0; B != Blocks.size(); ++B)
+    for (uint32_t S : Blocks[B].Succs)
+      Out += "  bb" + std::to_string(B) + " -> bb" + std::to_string(S) +
+             ";\n";
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,194 @@
+//===- analysis/Dataflow.h - Worklist dataflow analyses ---------*- C++ -*-==//
+//
+// Part of the DynACE project (CGO 2005 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Worklist-based abstract interpretation over the per-method CFG
+/// (DESIGN.md §18). Four analyses share one engine:
+///
+///  * **liveness** — backward bitvector analysis (one uint32_t per block,
+///    kNumRegs == 32) feeding the dead-store diagnostic;
+///  * **definite assignment** — forward intersection analysis over the
+///    registers written on every path, seeded with the method's incoming
+///    argument window, feeding the use-before-def diagnostic (frames are
+///    zero-initialized, so an uninitialized read yields 0, not UB — the
+///    diagnostic is a lint warning, not an executability error);
+///  * **value ranges** — a signed-interval lattice per register
+///    (constants, intervals, top), with widening at loop heads so the
+///    fixpoint terminates, feeding the branch-guard diagnostics and the
+///    trap-freedom proofs;
+///  * **trap freedom** — per-instruction facts derived from the converged
+///    ranges: a Div/Rem divisor that provably excludes zero, and a memory
+///    address provably inside the program's static global segment (where
+///    the interpreter's heap-base rebias and wrap mask are no-ops).
+///
+/// Soundness is by construction: every transfer function either models
+/// the VM's uint64 wrap-around semantics exactly (interval arithmetic is
+/// used only where __builtin overflow checks prove no wrap can occur for
+/// any value in range) or returns top. A fact is emitted only when it
+/// holds for every concrete execution; anything unknown keeps the guarded
+/// path. The engine is deterministic — fixed worklist order, no hashing
+/// of pointers — so facts (and the specializer images derived from them)
+/// are identical across runs and hosts.
+///
+/// Consumers: the verifier's dataflow diagnostics (Verifier.h,
+/// VerifierOptions::DataflowChecks), dynalint's --dataflow/--dot-dataflow
+/// modes, and the specializer's proof-gated unguarded kernel tier
+/// (vm/Specializer.h consumes a ProofSet).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNACE_ANALYSIS_DATAFLOW_H
+#define DYNACE_ANALYSIS_DATAFLOW_H
+
+#include "analysis/Cfg.h"
+#include "isa/Program.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynace {
+namespace analysis {
+
+/// A signed interval [Lo, Hi] over the two's-complement reinterpretation
+/// of a register's uint64 value. Lo > Hi encodes bottom (no value; the
+/// state of an unreached path); the full int64 range is top.
+struct ValueRange {
+  int64_t Lo = 1;
+  int64_t Hi = 0;
+
+  static ValueRange bottom() { return {1, 0}; }
+  static ValueRange top() { return {INT64_MIN, INT64_MAX}; }
+  static ValueRange constant(int64_t V) { return {V, V}; }
+  static ValueRange interval(int64_t Lo, int64_t Hi) { return {Lo, Hi}; }
+
+  bool isBottom() const { return Lo > Hi; }
+  bool isTop() const { return Lo == INT64_MIN && Hi == INT64_MAX; }
+  bool isConstant() const { return Lo == Hi; }
+  /// \returns true when \p V is a possible concrete value.
+  bool contains(int64_t V) const { return Lo <= V && V <= Hi; }
+
+  bool operator==(const ValueRange &O) const {
+    if (isBottom() && O.isBottom())
+      return true;
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+
+  /// Least upper bound (interval hull).
+  ValueRange join(const ValueRange &O) const {
+    if (isBottom())
+      return O;
+    if (O.isBottom())
+      return *this;
+    return {Lo < O.Lo ? Lo : O.Lo, Hi > O.Hi ? Hi : O.Hi};
+  }
+
+  /// Standard interval widening: any bound that moved since \p Prev jumps
+  /// to the lattice extreme, bounding the ascending-chain length.
+  ValueRange widen(const ValueRange &Prev) const {
+    if (Prev.isBottom() || isBottom())
+      return *this;
+    return {Lo < Prev.Lo ? INT64_MIN : Lo, Hi > Prev.Hi ? INT64_MAX : Hi};
+  }
+};
+
+/// Per-instruction fact bits (MethodDataflow::Facts / ProofSet). The
+/// *proof* bits (DivisorNonZero, MemInBounds) license guard elision in
+/// the specializer; the rest back diagnostics.
+enum DataflowFact : uint8_t {
+  DF_DivisorNonZero = 1u << 0, ///< Div/Rem divisor range excludes 0.
+  DF_DivisorZero = 1u << 1,    ///< Div/Rem divisor is provably 0: the
+                               ///< instruction always traps.
+  DF_MemInBounds = 1u << 2,    ///< Load/Store/LoadIdx/StoreIdx address is
+                               ///< provably inside the static global
+                               ///< segment [kHeapBase, kHeapBase +
+                               ///< 8*globalWords): the interpreter's
+                               ///< rebias-and-wrap is the identity there.
+  DF_DeadStore = 1u << 3,      ///< Pure register write never read.
+  DF_MaybeUninitRead = 1u << 4,///< Reads a register not definitely
+                               ///< assigned on every path (yields the
+                               ///< frame's zero-fill, not UB).
+  DF_BranchNeverTaken = 1u << 5,  ///< Conditional branch provably not
+                                  ///< taken (always-false guard).
+  DF_BranchAlwaysTaken = 1u << 6, ///< Conditional branch provably taken.
+  DF_Unreachable = 1u << 7,    ///< Instruction in a block the value
+                               ///< analysis never reached (no facts or
+                               ///< diagnostics are derived there).
+};
+
+/// Converged analysis results for one method.
+struct MethodDataflow {
+  /// Per block: registers live at block entry / exit (bit r = register r).
+  std::vector<uint32_t> LiveIn, LiveOut;
+  /// Per block: registers definitely assigned on every path reaching the
+  /// block entry (arguments count as assigned).
+  std::vector<uint32_t> AssignedIn;
+  /// Per block, per register: value range at block entry. Bottom
+  /// everywhere in blocks the forward analysis never reached.
+  std::vector<std::array<ValueRange, kNumRegs>> RangeIn;
+  /// Per instruction: DataflowFact bits.
+  std::vector<uint8_t> Facts;
+};
+
+/// Runs all analyses over \p M given its CFG \p G. \p EntryArgs is the
+/// number of incoming argument registers to treat as unknown-but-assigned
+/// (r0..EntryArgs-1); the remaining registers start as the frame's
+/// zero-fill, i.e. constant 0. Pass the maximum Call-site argument count
+/// targeting the method (0 for the program entry); computeProofSet and
+/// the verifier derive it from the call graph.
+/// \returns the converged per-block states and per-instruction facts.
+MethodDataflow analyzeMethod(const Program &P, const Method &M, const Cfg &G,
+                             unsigned EntryArgs);
+
+/// \returns the number of incoming argument registers to assume for every
+/// method of \p P: the maximum Src2 over all call sites targeting it
+/// (kNoReg counts as 0; the entry method's initial invocation passes
+/// none).
+std::vector<unsigned> maxEntryArgs(const Program &P);
+
+/// The proof bits the specializer consumes: per method, per instruction,
+/// the DataflowFact mask from analyzeMethod. Built once per program;
+/// deterministic.
+struct ProofSet {
+  std::vector<std::vector<uint8_t>> MethodFacts;
+
+  /// \returns true when fact \p Bit holds for instruction \p I of method
+  ///          \p Id (false for out-of-range queries).
+  bool has(MethodId Id, uint32_t I, uint8_t Bit) const {
+    return Id < MethodFacts.size() && I < MethodFacts[Id].size() &&
+           (MethodFacts[Id][I] & Bit) != 0;
+  }
+
+  /// \returns the number of (instruction, proof-bit) pairs for the two
+  ///          guard-elision facts — the coverage statistic dynalint and
+  ///          the metrics registry report.
+  uint64_t provenGuardCount() const {
+    uint64_t N = 0;
+    for (const std::vector<uint8_t> &MF : MethodFacts)
+      for (uint8_t F : MF)
+        N += ((F & DF_DivisorNonZero) ? 1 : 0) +
+             ((F & DF_MemInBounds) ? 1 : 0);
+    return N;
+  }
+};
+
+/// Analyzes every method of \p P (building CFGs and the call-site arity
+/// table internally).
+/// \returns the per-instruction fact masks.
+ProofSet computeProofSet(const Program &P);
+
+/// Graphviz DOT dump of \p DF over \p G: one node per basic block
+/// annotated with live-in/out masks, the definitely-assigned mask, and
+/// the non-top entry ranges — dynalint's --dot-dataflow rendering.
+/// \returns the DOT text (a single digraph).
+std::string dataflowToDot(const Program &P, const Method &M, const Cfg &G,
+                          const MethodDataflow &DF);
+
+} // namespace analysis
+} // namespace dynace
+
+#endif // DYNACE_ANALYSIS_DATAFLOW_H

@@ -3,6 +3,7 @@
 #include "analysis/Verifier.h"
 
 #include "analysis/Cfg.h"
+#include "analysis/Dataflow.h"
 
 #include <cassert>
 #include <deque>
@@ -41,8 +42,27 @@ const char *dynace::analysis::diagKindName(DiagKind Kind) {
     return "bad-entry-method";
   case DiagKind::FusionAcrossBoundary:
     return "fusion-across-boundary";
+  case DiagKind::DeadStore:
+    return "dead-store";
+  case DiagKind::UseBeforeDef:
+    return "use-before-def";
+  case DiagKind::ProvablyTrapping:
+    return "provably-trapping";
+  case DiagKind::AlwaysFalseGuard:
+    return "always-false-guard";
   }
   return "unknown";
+}
+
+DiagSeverity dynace::analysis::diagSeverity(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::DeadStore:
+  case DiagKind::UseBeforeDef:
+  case DiagKind::AlwaysFalseGuard:
+    return DiagSeverity::Warning;
+  default:
+    return DiagSeverity::Error;
+  }
 }
 
 std::string Diagnostic::render(const Program &P) const {
@@ -320,6 +340,43 @@ void checkCfg(const Method &M, const VerifierOptions &O,
   }
 }
 
+/// The dataflow diagnostics (group four; behind VerifierOptions::
+/// DataflowChecks). Precondition: verifyMethod reported nothing for \p M,
+/// so the CFG and the analyses are well-defined. Facts on DF_Unreachable
+/// instructions are skipped — the DeadBlock diagnostic already covers
+/// those.
+void checkDataflow(const Program &P, const Method &M, unsigned EntryArgs,
+                   std::vector<Diagnostic> &Diags) {
+  const Cfg G = Cfg::build(M);
+  const MethodDataflow DF = analyzeMethod(P, M, G, EntryArgs);
+  for (uint32_t I = 0, E = static_cast<uint32_t>(M.Code.size()); I != E;
+       ++I) {
+    const uint8_t F = DF.Facts[I];
+    if (F & DF_Unreachable)
+      continue;
+    const Instruction &In = M.Code[I];
+    if (F & DF_DeadStore)
+      addDiag(Diags, DiagKind::DeadStore, M.Id, I,
+              "r" + std::to_string(In.Dst) +
+                  " written here is never read on any path (dead store)");
+    if (F & DF_MaybeUninitRead)
+      addDiag(Diags, DiagKind::UseBeforeDef, M.Id, I,
+              "reads a register not definitely assigned on every path "
+              "(observes the frame's zero-fill)");
+    if (F & DF_DivisorZero)
+      addDiag(Diags, DiagKind::ProvablyTrapping, M.Id, I,
+              std::string(In.Op == Opcode::Div ? "div" : "rem") +
+                  " divisor r" + std::to_string(In.Src2) +
+                  " is provably zero: this instruction always traps");
+    if (F & DF_BranchNeverTaken)
+      addDiag(Diags, DiagKind::AlwaysFalseGuard, M.Id, I,
+              "branch condition is provably false: the guard never fires");
+    if (F & DF_BranchAlwaysTaken)
+      addDiag(Diags, DiagKind::AlwaysFalseGuard, M.Id, I,
+              "branch condition is provably true: the fallthrough is dead");
+  }
+}
+
 } // namespace
 
 std::vector<Diagnostic>
@@ -344,13 +401,33 @@ dynace::analysis::verifyProgram(const Program &P, const VerifierOptions &O) {
                 " out of range (program has " +
                 std::to_string(P.numMethods()) + " methods)");
 
+  std::vector<bool> MethodClean(P.numMethods(), false);
   for (MethodId Id = 0;
        Id != P.numMethods() && Diags.size() < O.MaxDiagnostics; ++Id) {
     std::vector<Diagnostic> MDiags = verifyMethod(P, P.method(Id), O);
+    MethodClean[Id] = MDiags.empty();
     for (Diagnostic &D : MDiags) {
       if (Diags.size() >= O.MaxDiagnostics)
         break;
       Diags.push_back(std::move(D));
+    }
+  }
+
+  if (O.DataflowChecks) {
+    const std::vector<unsigned> Args = maxEntryArgs(P);
+    for (MethodId Id = 0;
+         Id != P.numMethods() && Diags.size() < O.MaxDiagnostics; ++Id) {
+      if (!MethodClean[Id])
+        continue; // The analyses assume a structurally valid method.
+      std::vector<Diagnostic> DFDiags;
+      checkDataflow(P, P.method(Id), Args[Id], DFDiags);
+      for (Diagnostic &D : DFDiags) {
+        if (O.ErrorsOnly && diagSeverity(D.Kind) == DiagSeverity::Warning)
+          continue;
+        if (Diags.size() >= O.MaxDiagnostics)
+          break;
+        Diags.push_back(std::move(D));
+      }
     }
   }
 
@@ -383,6 +460,7 @@ Status dynace::analysis::verifyProgramStatus(const Program &P,
                                              const VerifierOptions &O) {
   VerifierOptions FirstOnly = O;
   FirstOnly.MaxDiagnostics = 1;
+  FirstOnly.ErrorsOnly = true; // Warnings never fail a Status.
   std::vector<Diagnostic> Diags = verifyProgram(P, FirstOnly);
   if (Diags.empty())
     return Status();
@@ -393,5 +471,7 @@ Status dynace::analysis::verifyProgramStatus(const Program &P,
 }
 
 Status dynace::analysis::verifyProgramStatus(const Program &P) {
-  return verifyProgramStatus(P, VerifierOptions{});
+  VerifierOptions Strict;
+  Strict.DataflowChecks = true; // Strict mode also rejects provable traps.
+  return verifyProgramStatus(P, Strict);
 }

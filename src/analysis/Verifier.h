@@ -80,11 +80,31 @@ enum class DiagKind : uint8_t {
                         ///< (Call/Ret/Halt) or leaves its basic block, so
                         ///< fused execution would move a DO hook point
                         ///< (see analysis/Fusion.h).
+  // Dataflow diagnostics (analysis/Dataflow.h; VerifierOptions::
+  // DataflowChecks). The first three are warnings — the program still
+  // executes deterministically — the fourth is an error.
+  DeadStore,         ///< Pure register write that no path ever reads.
+  UseBeforeDef,      ///< Reads a register not assigned on every path
+                     ///< (observes the frame's zero-fill — legal but
+                     ///< almost always a generator defect).
+  ProvablyTrapping,  ///< Instruction traps on every execution reaching
+                     ///< it (e.g. Div/Rem with a provably-zero divisor).
+  AlwaysFalseGuard,  ///< Conditional branch whose outcome is statically
+                     ///< known: the guard (or its fallthrough) is dead.
 };
 
 /// \returns the stable short name of \p Kind ("bad-branch-target",
 ///          "off-end-fallthrough", "reconfig-interval", ...).
 const char *diagKindName(DiagKind Kind);
+
+/// Diagnostic severity: errors reject the program (Status failure, nonzero
+/// dynalint exit); warnings are advisory lint findings — the program still
+/// executes deterministically, so they never gate finalize strict mode.
+enum class DiagSeverity : uint8_t { Warning, Error };
+
+/// \returns the severity of \p Kind. DeadStore, UseBeforeDef and
+///          AlwaysFalseGuard are warnings; everything else is an error.
+DiagSeverity diagSeverity(DiagKind Kind);
 
 /// One verifier finding.
 struct Diagnostic {
@@ -119,6 +139,18 @@ struct VerifierOptions {
 
   /// Stop after this many diagnostics per program.
   size_t MaxDiagnostics = 64;
+
+  /// Run the dataflow analyses (analysis/Dataflow.h) and report the
+  /// derived diagnostics (DeadStore, UseBeforeDef, ProvablyTrapping,
+  /// AlwaysFalseGuard). Off by default: the analyses cost a fixpoint per
+  /// method, and the warning kinds are lint findings rather than
+  /// executability errors. dynalint --dataflow and finalize strict mode
+  /// turn this on.
+  bool DataflowChecks = false;
+
+  /// Suppress Warning-severity diagnostics (see diagSeverity). The Status
+  /// wrapper forces this on: warnings never fold into a Status failure.
+  bool ErrorsOnly = false;
 };
 
 /// Verifies one method of \p P (instruction + CFG checks, plus per-method
@@ -133,16 +165,18 @@ std::vector<Diagnostic> verifyMethod(const Program &P, const Method &M,
 std::vector<Diagnostic> verifyProgram(const Program &P,
                                       const VerifierOptions &O = {});
 
-/// Status-returning wrapper: success when \p P verifies clean, else an
-/// InvalidInput error carrying the first diagnostic, rendered with a
-/// "dynalint[<kind>]: " prefix so callers (and tests) can dispatch on the
-/// defect class.
+/// Status-returning wrapper: success when \p P verifies clean of
+/// Error-severity diagnostics (ErrorsOnly is forced on — warnings never
+/// fail a Status), else an InvalidInput error carrying the first
+/// diagnostic, rendered with a "dynalint[<kind>]: " prefix so callers
+/// (and tests) can dispatch on the defect class.
 /// \returns the verification status.
 Status verifyProgramStatus(const Program &P, const VerifierOptions &O);
 
-/// Default-options overload. Unary, so it converts to
-/// \c Program::VerifyHook — pass it to \c Program::finalize for the strict
-/// mode: \c Prog.finalize(analysis::verifyProgramStatus).
+/// Default-options overload with DataflowChecks on — the strict-mode
+/// gate also rejects provably-trapping instructions. Unary, so it
+/// converts to \c Program::VerifyHook — pass it to \c Program::finalize
+/// for the strict mode: \c Prog.finalize(analysis::verifyProgramStatus).
 /// \returns the verification status.
 Status verifyProgramStatus(const Program &P);
 

@@ -94,6 +94,13 @@ size_t Interpreter::stepBatchSpec(DynInst *Buf, size_t N) {
         (ByteAddr >= kHeapBase ? ByteAddr - kHeapBase : ByteAddr) >> 3;
     return Mem[Index & Mask];
   };
+  // Proof-gated variant (Unguarded images): the dataflow analysis proved
+  // the address inside [kHeapBase, kHeapBase + 8*globalWords), where the
+  // rebias select always takes the subtract arm and the resulting index
+  // is < globalWords <= Memory.size(), so the wrap mask is the identity.
+  auto WordAtU = [Mem](uint64_t ByteAddr) -> uint64_t & {
+    return Mem[(ByteAddr - kHeapBase) >> 3];
+  };
   auto AsF = [](uint64_t V) { return std::bit_cast<double>(V); };
   auto FromF = [](double V) { return std::bit_cast<uint64_t>(V); };
   const uint64_t EvtBrTaken = specEvtBranch(true);
@@ -128,6 +135,23 @@ size_t Interpreter::stepBatchSpec(DynInst *Buf, size_t N) {
 #undef DYNACE_X
 #define DYNACE_X(A, B) &&L_F3B_##A##_##B,
       DYNACE_SPEC_F3B(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(Op) &&L_##Op##U,
+      DYNACE_SPEC_MEMU(DYNACE_X)
+#undef DYNACE_X
+      &&L_DivNZ,
+      &&L_RemNZ,
+#define DYNACE_X(A, B) &&L_F2U_##A##_##B,
+      DYNACE_SPEC_F2U(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A) &&L_F2BU_##A,
+      DYNACE_SPEC_F2BU(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A, B, C) &&L_F3U_##A##_##B##_##C,
+      DYNACE_SPEC_F3U(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A, B) &&L_F3BU_##A##_##B,
+      DYNACE_SPEC_F3BU(DYNACE_X)
 #undef DYNACE_X
   };
   static_assert(sizeof(Tbl) / sizeof(Tbl[0]) == HS_Count,
@@ -269,6 +293,48 @@ size_t Interpreter::stepBatchSpec(DynInst *Buf, size_t N) {
     AllocCursorWords += Words_;                                              \
     SPEC_EMIT(S, O);                                                         \
   } while (0)
+
+// Unguarded twins of the memory steps (Unguarded images only; installed
+// solely where the image carries a DF_MemInBounds proof). Identical
+// contract — same MemAddr event, same cell — minus the rebias select and
+// wrap mask.
+#define SPEC_STEP_LoadU(S, O)                                                \
+  do {                                                                       \
+    const uint64_t A_ = R[(S)->Src1] + static_cast<uint64_t>((S)->Imm);      \
+    (O)->MemAddr = A_;                                                       \
+    R[(S)->Dst] = WordAtU(A_);                                               \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_StoreU(S, O)                                               \
+  do {                                                                       \
+    const uint64_t A_ = R[(S)->Src1] + static_cast<uint64_t>((S)->Imm);      \
+    (O)->MemAddr = A_;                                                       \
+    WordAtU(A_) = R[(S)->Src2];                                              \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_LoadIdxU(S, O)                                             \
+  do {                                                                       \
+    const uint64_t A_ =                                                      \
+        R[(S)->Src1] + R[(S)->Src2] * 8 + static_cast<uint64_t>((S)->Imm);   \
+    (O)->MemAddr = A_;                                                       \
+    R[(S)->Dst] = WordAtU(A_);                                               \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+#define SPEC_STEP_StoreIdxU(S, O)                                            \
+  do {                                                                       \
+    const uint64_t A_ =                                                      \
+        R[(S)->Src1] + R[(S)->Dst] * 8 + static_cast<uint64_t>((S)->Imm);    \
+    (O)->MemAddr = A_;                                                       \
+    WordAtU(A_) = R[(S)->Src2];                                              \
+    SPEC_EMIT(S, O);                                                         \
+  } while (0)
+// Non-memory members of unguarded fused groups run their normal steps;
+// these aliases let the U fused bodies paste SPEC_STEP_<Op>U uniformly.
+#define SPEC_STEP_AddU(S, O) SPEC_STEP_Add(S, O)
+#define SPEC_STEP_AddIU(S, O) SPEC_STEP_AddI(S, O)
+#define SPEC_STEP_AndU(S, O) SPEC_STEP_And(S, O)
+#define SPEC_STEP_AndIU(S, O) SPEC_STEP_AndI(S, O)
+#define SPEC_STEP_XorU(S, O) SPEC_STEP_Xor(S, O)
 
 // Capacity check + dispatch on the next image entry.
 #define SPEC_DISPATCH()                                                      \
@@ -516,6 +582,107 @@ L_TrapOffEnd:
     SPEC_DISPATCH();                                                         \
   }
   DYNACE_SPEC_F3B(DYNACE_X)
+#undef DYNACE_X
+
+// Unguarded single-op handlers (Unguarded images; proof-gated at build).
+#define DYNACE_X(Op)                                                         \
+  L_##Op##U : {                                                              \
+    SPEC_STEP_##Op##U(SI, Out);                                              \
+    ++Out;                                                                   \
+    ++SI;                                                                    \
+    SPEC_DISPATCH();                                                         \
+  }
+  DYNACE_SPEC_MEMU(DYNACE_X)
+#undef DYNACE_X
+
+// Div/Rem with a proven-nonzero divisor: the generic bodies minus the
+// zero check (the proof says the trap arm is dead code here).
+L_DivNZ : {
+  R[SI->Dst] = static_cast<uint64_t>(static_cast<int64_t>(R[SI->Src1]) /
+                                     static_cast<int64_t>(R[SI->Src2]));
+  SPEC_EMIT(SI, Out);
+  ++Out;
+  ++SI;
+  SPEC_DISPATCH();
+}
+L_RemNZ : {
+  R[SI->Dst] = static_cast<uint64_t>(static_cast<int64_t>(R[SI->Src1]) %
+                                     static_cast<int64_t>(R[SI->Src2]));
+  SPEC_EMIT(SI, Out);
+  ++Out;
+  ++SI;
+  SPEC_DISPATCH();
+}
+
+// Unguarded fused pairs. The capacity fallback targets the head's plain
+// guarded single handler — correct on a proven address too, and the
+// interior image entries keep their (possibly unguarded) single handlers
+// for the re-entry.
+#define DYNACE_X(A, B)                                                       \
+  L_F2U_##A##_##B : {                                                        \
+    if (OutEnd - Out < 2)                                                    \
+      goto L_##A;                                                            \
+    SPEC_STEP_##A##U(SI, Out);                                               \
+    SPEC_STEP_##B##U((SI + 1), (Out + 1));                                   \
+    Out += 2;                                                                \
+    SI += 2;                                                                 \
+    SPEC_DISPATCH();                                                         \
+  }
+  DYNACE_SPEC_F2U(DYNACE_X)
+#undef DYNACE_X
+
+// Unguarded (mem op, BrI) pairs.
+#define DYNACE_X(A)                                                          \
+  L_F2BU_##A : {                                                             \
+    if (OutEnd - Out < 2)                                                    \
+      goto L_##A;                                                            \
+    SPEC_STEP_##A##U(SI, Out);                                               \
+    const SpecInst *S1 = SI + 1;                                             \
+    DynInst *O1 = Out + 1;                                                   \
+    const bool T = evalCond(static_cast<CondKind>(S1->Cond),                 \
+                            static_cast<int64_t>(R[S1->Src1]), S1->Imm);     \
+    O1->PC = S1->PC;                                                         \
+    putEvt(O1, S1->EvtA | (T ? EvtBrTaken : EvtBrNot));                         \
+    Out += 2;                                                                \
+    SI = T ? MBase + S1->Alt : SI + 2;                                       \
+    SPEC_DISPATCH();                                                         \
+  }
+  DYNACE_SPEC_F2BU(DYNACE_X)
+#undef DYNACE_X
+
+// Unguarded fused triples.
+#define DYNACE_X(A, B, C)                                                    \
+  L_F3U_##A##_##B##_##C : {                                                  \
+    if (OutEnd - Out < 3)                                                    \
+      goto L_##A;                                                            \
+    SPEC_STEP_##A##U(SI, Out);                                               \
+    SPEC_STEP_##B##U((SI + 1), (Out + 1));                                   \
+    SPEC_STEP_##C##U((SI + 2), (Out + 2));                                   \
+    Out += 3;                                                                \
+    SI += 3;                                                                 \
+    SPEC_DISPATCH();                                                         \
+  }
+  DYNACE_SPEC_F3U(DYNACE_X)
+#undef DYNACE_X
+
+// Unguarded (op, op, BrI) triples.
+#define DYNACE_X(A, B)                                                       \
+  L_F3BU_##A##_##B : {                                                       \
+    if (OutEnd - Out < 3)                                                    \
+      goto L_##A;                                                            \
+    SPEC_STEP_##A##U(SI, Out);                                               \
+    SPEC_STEP_##B##U((SI + 1), (Out + 1));                                   \
+    const SpecInst *S2 = SI + 2;                                             \
+    DynInst *O2 = Out + 2;                                                   \
+    const bool T = evalCond(static_cast<CondKind>(S2->Cond),                 \
+                            static_cast<int64_t>(R[S2->Src1]), S2->Imm);     \
+    O2->PC = S2->PC;                                                         \
+    putEvt(O2, S2->EvtA | (T ? EvtBrTaken : EvtBrNot));                         \
+    Out += 3;                                                                \
+    SI = T ? MBase + S2->Alt : SI + 3;                                       \
+    SPEC_DISPATCH();                                                         \
+  }
+  DYNACE_SPEC_F3BU(DYNACE_X)
 #undef DYNACE_X
 
 SpecTrap : {

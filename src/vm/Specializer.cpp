@@ -7,6 +7,7 @@
 #include "vm/Specializer.h"
 
 #include "analysis/Cfg.h"
+#include "analysis/Dataflow.h"
 #include "obs/Metrics.h"
 #include "support/Env.h"
 #include "support/ThreadSafety.h"
@@ -28,6 +29,8 @@ const char *dynace::specVariantName(SpecVariant V) {
     return "fused3";
   case SpecVariant::BranchSpec:
     return "branchspec";
+  case SpecVariant::Unguarded:
+    return "unguarded";
   }
   return "unknown";
 }
@@ -40,7 +43,7 @@ Expected<SpecRequest> dynace::parseSpecializeValue(const std::string &Value) {
   }
   if (Value == "1") {
     R.K = SpecRequest::Kind::Force;
-    R.Variant = SpecVariant::BranchSpec;
+    R.Variant = SpecVariant::Unguarded; // The most specialized tier.
     return R;
   }
   if (Value == "auto") {
@@ -48,7 +51,7 @@ Expected<SpecRequest> dynace::parseSpecializeValue(const std::string &Value) {
     return R;
   }
   for (SpecVariant V : {SpecVariant::Fused2, SpecVariant::Fused3,
-                        SpecVariant::BranchSpec}) {
+                        SpecVariant::BranchSpec, SpecVariant::Unguarded}) {
     if (Value == specVariantName(V)) {
       R.K = SpecRequest::Kind::Force;
       R.Variant = V;
@@ -57,7 +60,7 @@ Expected<SpecRequest> dynace::parseSpecializeValue(const std::string &Value) {
   }
   return Status::error(ErrorCode::InvalidInput,
                        "DYNACE_SPECIALIZE: expected 0|1|auto|generic|fused2|"
-                       "fused3|branchspec, got '" +
+                       "fused3|branchspec|unguarded, got '" +
                            Value + "'");
 }
 
@@ -123,6 +126,59 @@ uint16_t findTriple(Opcode A, Opcode B, Opcode C) {
   return 0;
 }
 
+// Unguarded twins (Unguarded variant): same lookup shape, separate tables
+// so the guarded fast path never scans them.
+constexpr PairEntry kPairsU[] = {
+#define DYNACE_X(A, B) {Opcode::A, Opcode::B, HS_F2U_##A##_##B},
+    DYNACE_SPEC_F2U(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A) {Opcode::A, Opcode::BrI, HS_F2BU_##A},
+    DYNACE_SPEC_F2BU(DYNACE_X)
+#undef DYNACE_X
+};
+
+constexpr TripleEntry kTriplesU[] = {
+#define DYNACE_X(A, B, C) {Opcode::A, Opcode::B, Opcode::C, HS_F3U_##A##_##B##_##C},
+    DYNACE_SPEC_F3U(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A, B) {Opcode::A, Opcode::B, Opcode::BrI, HS_F3BU_##A##_##B},
+    DYNACE_SPEC_F3BU(DYNACE_X)
+#undef DYNACE_X
+};
+
+uint16_t findPairU(Opcode A, Opcode B) {
+  for (const PairEntry &E : kPairsU)
+    if (E.A == A && E.B == B)
+      return E.H;
+  return 0;
+}
+
+uint16_t findTripleU(Opcode A, Opcode B, Opcode C) {
+  for (const TripleEntry &E : kTriplesU)
+    if (E.A == A && E.B == B && E.C == C)
+      return E.H;
+  return 0;
+}
+
+bool isMemOp(Opcode Op) {
+  return Op == Opcode::Load || Op == Opcode::Store ||
+         Op == Opcode::LoadIdx || Op == Opcode::StoreIdx;
+}
+
+/// True when every memory instruction of the group [\p First, \p First +
+/// \p Len) carries a DF_MemInBounds proof — the license for the group's
+/// unguarded fused twin. Groups without memory ops return true trivially,
+/// but have no U twin in the tables, so the lookup still keeps them
+/// guarded.
+bool groupMemProven(const Method &M, const std::vector<uint8_t> &Facts,
+                    uint32_t First, uint32_t Len) {
+  for (uint32_t I = First; I != First + Len; ++I)
+    if (isMemOp(M.Code[I].Op) &&
+        !(Facts[I] & analysis::DF_MemInBounds))
+      return false;
+  return true;
+}
+
 /// Specialization requires what the strict verifier guarantees; programs
 /// finalized with a lax hook (tests) may violate it. \returns true when
 /// every method is non-empty with valid opcode bytes and in-image branch
@@ -150,7 +206,11 @@ bool isSpecializable(const Program &P) {
 }
 
 /// Builds the unfused pre-decoded entry for instruction \p I of \p M.
-SpecInst singleEntry(const Method &M, uint32_t I, SpecVariant V) {
+/// \p Facts is the method's per-instruction dataflow mask (null for every
+/// variant below Unguarded): a DF_MemInBounds or DF_DivisorNonZero proof
+/// swaps the guarded handler for its unguarded twin.
+SpecInst singleEntry(const Method &M, uint32_t I, SpecVariant V,
+                     const uint8_t *Facts) {
   const Instruction &In = M.Code[I];
   SpecInst S;
   S.PC = static_cast<uint32_t>(M.pcOf(I));
@@ -162,13 +222,13 @@ SpecInst singleEntry(const Method &M, uint32_t I, SpecVariant V) {
   switch (In.Op) {
   case Opcode::Br:
     S.Alt = static_cast<uint32_t>(In.Imm);
-    if (V == SpecVariant::BranchSpec)
+    if (V >= SpecVariant::BranchSpec)
       S.Handler = static_cast<uint16_t>(HS_Br_Eq + 2 * S.Cond);
     break;
   case Opcode::BrI:
     S.Alt = static_cast<uint32_t>(In.Imm);
     S.Imm = In.Aux; // Compare immediate; the branch target lives in Alt.
-    if (V == SpecVariant::BranchSpec)
+    if (V >= SpecVariant::BranchSpec)
       S.Handler = static_cast<uint16_t>(HS_Br_Eq + 2 * S.Cond + 1);
     break;
   case Opcode::Jmp:
@@ -177,6 +237,28 @@ SpecInst singleEntry(const Method &M, uint32_t I, SpecVariant V) {
   default:
     S.Imm = In.Imm;
     break;
+  }
+  if (Facts) {
+    const uint8_t F = Facts[I];
+    if (isMemOp(In.Op) && (F & analysis::DF_MemInBounds))
+      switch (In.Op) {
+      case Opcode::Load:
+        S.Handler = HS_LoadU;
+        break;
+      case Opcode::Store:
+        S.Handler = HS_StoreU;
+        break;
+      case Opcode::LoadIdx:
+        S.Handler = HS_LoadIdxU;
+        break;
+      default:
+        S.Handler = HS_StoreIdxU;
+        break;
+      }
+    else if (In.Op == Opcode::Div && (F & analysis::DF_DivisorNonZero))
+      S.Handler = HS_DivNZ;
+    else if (In.Op == Opcode::Rem && (F & analysis::DF_DivisorNonZero))
+      S.Handler = HS_RemNZ;
   }
   // Event view: identical to the generic batch contract, which copies the
   // instruction operands except for StoreIdx's index-register swap.
@@ -230,13 +312,29 @@ SpecProgram Specializer::build(const Program &P, SpecVariant V) {
   SP.Variant = V;
   SP.Methods.resize(P.numMethods());
   const unsigned MaxLen = V >= SpecVariant::Fused3 ? 3 : 2;
+  // The Unguarded tier consumes the dataflow proofs; every lower tier
+  // builds without them (Proofs stays empty and Facts below stays null),
+  // so guarded images are byte-identical to what they were before the
+  // proof layer existed.
+  analysis::ProofSet Proofs;
+  if (V >= SpecVariant::Unguarded) {
+    Proofs = analysis::computeProofSet(P);
+    MetricsRegistry::process()
+        .counter("vm.specialize.proven_guards")
+        .inc(Proofs.provenGuardCount());
+  }
   for (MethodId Id = 0; Id < P.numMethods(); ++Id) {
     const Method &M = P.method(Id);
+    const uint8_t *Facts =
+        V >= SpecVariant::Unguarded && Id < Proofs.MethodFacts.size() &&
+                Proofs.MethodFacts[Id].size() == M.Code.size()
+            ? Proofs.MethodFacts[Id].data()
+            : nullptr;
     SpecMethodImage &Img = SP.Methods[Id];
     SP.TotalInstructions += M.Code.size();
     Img.Insts.reserve(M.Code.size() + 1);
     for (uint32_t I = 0; I < M.Code.size(); ++I)
-      Img.Insts.push_back(singleEntry(M, I, V));
+      Img.Insts.push_back(singleEntry(M, I, V, Facts));
     // Off-end sentinel: running past the last instruction raises
     // PcOutOfRange without a per-instruction bounds check.
     SpecInst Sentinel;
@@ -267,6 +365,17 @@ SpecProgram Specializer::build(const Program &P, SpecVariant V) {
           ++I;
           continue;
         }
+        // Unguarded: swap in the group's U twin when every memory op in
+        // it carries an in-bounds proof. Twin-less groups (no memory op,
+        // or no proof) keep the guarded handler — same retired work.
+        if (Facts && groupMemProven(M, Proofs.MethodFacts[Id], I, Len)) {
+          const uint16_t HU =
+              Len == 3 ? findTripleU(M.Code[I].Op, M.Code[I + 1].Op,
+                                     M.Code[I + 2].Op)
+                       : findPairU(M.Code[I].Op, M.Code[I + 1].Op);
+          if (HU)
+            H = HU;
+        }
         Img.Insts[I].Handler = H;
         Img.Plan.push_back({I, Len});
         SP.FusedInstructions += Len;
@@ -284,7 +393,7 @@ SpecProgram Specializer::build(const Program &P, SpecVariant V) {
           .inc();
       for (const analysis::FusionGroup &F : Img.Plan) {
         SP.FusedInstructions -= F.Len;
-        Img.Insts[F.First] = singleEntry(M, F.First, V);
+        Img.Insts[F.First] = singleEntry(M, F.First, V, Facts);
       }
       Img.Plan.clear();
     }
@@ -399,7 +508,8 @@ SpecDecision VariantPicker::decide(const Program &P, const SpecRequest &Req) {
     if (ImageFor(SpecVariant::Fused2)) { // Program is specializable.
       constexpr SpecVariant Cands[] = {SpecVariant::Fused2,
                                        SpecVariant::Fused3,
-                                       SpecVariant::BranchSpec};
+                                       SpecVariant::BranchSpec,
+                                       SpecVariant::Unguarded};
       constexpr int kRounds = 3;
       double GenericBest = 0.0;
       double CandBest[std::size(Cands)] = {};

@@ -64,11 +64,19 @@ enum class SpecVariant : uint8_t {
   Fused2,     ///< Pre-decoded image + fused pair handlers.
   Fused3,     ///< Fused2 + fused triple handlers.
   BranchSpec, ///< Fused3 + condition-baked Br/BrI handlers.
+  Unguarded,  ///< BranchSpec + proof-gated unguarded handlers: where the
+              ///< dataflow analysis (analysis/Dataflow.h) proves a memory
+              ///< address inside the static global segment or a Div/Rem
+              ///< divisor nonzero, the handler skips the rebias-select,
+              ///< wrap mask or zero check. Facts are sound, so the event
+              ///< stream and every trap stay bit-identical; unproven
+              ///< instructions keep the guarded handlers.
 };
-inline constexpr size_t kNumSpecVariants = 4;
+inline constexpr size_t kNumSpecVariants = 5;
 
 /// \returns the stable lowercase name of \p V ("generic", "fused2",
-///          "fused3", "branchspec") — the DYNACE_SPECIALIZE vocabulary.
+///          "fused3", "branchspec", "unguarded") — the DYNACE_SPECIALIZE
+///          vocabulary.
 const char *specVariantName(SpecVariant V);
 
 //===----------------------------------------------------------------------===//
@@ -131,6 +139,45 @@ const char *specVariantName(SpecVariant V);
   X(LoadIdx, And) X(LoadIdx, AddI) X(StoreIdx, AddI) X(Add, Sub)              \
   X(Add, AndI) X(And, AddI) X(AndI, AddI)
 
+//===----------------------------------------------------------------------===//
+// Unguarded (proof-gated) handler family — the Unguarded variant.
+//
+// Twins of the guarded handlers above for exactly the instructions the
+// dataflow proofs can license: memory ops with a DF_MemInBounds fact drop
+// the heap-base rebias select and the power-of-two wrap mask (the address
+// is statically inside the global segment, where both are the identity),
+// and Div/Rem with DF_DivisorNonZero drop the zero check. The specializer
+// swaps a guarded handler for its U twin only when the ProofSet carries
+// the fact for that instruction; everything else keeps the guarded form,
+// so unproven paths are untouched and the event stream is bit-identical.
+//===----------------------------------------------------------------------===//
+
+/// Memory opcodes with unguarded single-op twins (HS_<Op>U).
+#define DYNACE_SPEC_MEMU(X) X(Load) X(Store) X(LoadIdx) X(StoreIdx)
+
+/// Fused pairs containing one memory op (unguarded twins HS_F2U_*). Must
+/// stay a subset of DYNACE_SPEC_F2.
+#define DYNACE_SPEC_F2U(X)                                                     \
+  X(And, LoadIdx) X(AndI, LoadIdx) X(AddI, LoadIdx) X(Add, LoadIdx)           \
+  X(LoadIdx, Add) X(LoadIdx, AddI) X(LoadIdx, And) X(LoadIdx, Xor)            \
+  X(AddI, StoreIdx) X(Add, StoreIdx) X(StoreIdx, AddI) X(StoreIdx, Add)       \
+  X(Load, AddI) X(AddI, Load) X(Store, AddI)
+
+/// Memory-headed pairs with a BrI tail (unguarded twins HS_F2BU_*).
+/// Subset of DYNACE_SPEC_F2B.
+#define DYNACE_SPEC_F2BU(X) X(LoadIdx) X(Load)
+
+/// Fused triples containing one memory op (unguarded twins HS_F3U_*).
+/// Subset of DYNACE_SPEC_F3.
+#define DYNACE_SPEC_F3U(X)                                                     \
+  X(LoadIdx, Add, AddI) X(And, LoadIdx, Add) X(AddI, LoadIdx, Add)            \
+  X(LoadIdx, Xor, AddI) X(Add, And, LoadIdx) X(AndI, LoadIdx, Add)            \
+  X(LoadIdx, Add, Xor) X(LoadIdx, Add, AndI) X(AddI, And, LoadIdx)
+
+/// Memory-containing triples with a BrI tail (unguarded twins HS_F3BU_*).
+/// Subset of DYNACE_SPEC_F3B.
+#define DYNACE_SPEC_F3BU(X) X(LoadIdx, And) X(LoadIdx, AddI) X(StoreIdx, AddI)
+
 /// Handler ids. The dispatch table in InterpreterSpec.cpp is generated
 /// from the same X-macros in the same order; SpecInst::Handler indexes it.
 enum SpecHandler : uint16_t {
@@ -156,6 +203,25 @@ enum SpecHandler : uint16_t {
 #undef DYNACE_X
 #define DYNACE_X(A, B) HS_F3B_##A##_##B,
   DYNACE_SPEC_F3B(DYNACE_X)
+#undef DYNACE_X
+  // Unguarded twins (Unguarded variant; appended so every guarded id
+  // above stays stable).
+#define DYNACE_X(Op) HS_##Op##U,
+  DYNACE_SPEC_MEMU(DYNACE_X)
+#undef DYNACE_X
+  HS_DivNZ, ///< Div with a proven nonzero divisor: no zero check.
+  HS_RemNZ, ///< Rem with a proven nonzero divisor: no zero check.
+#define DYNACE_X(A, B) HS_F2U_##A##_##B,
+  DYNACE_SPEC_F2U(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A) HS_F2BU_##A,
+  DYNACE_SPEC_F2BU(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A, B, C) HS_F3U_##A##_##B##_##C,
+  DYNACE_SPEC_F3U(DYNACE_X)
+#undef DYNACE_X
+#define DYNACE_X(A, B) HS_F3BU_##A##_##B,
+  DYNACE_SPEC_F3BU(DYNACE_X)
 #undef DYNACE_X
   HS_Count,
 };
@@ -264,14 +330,15 @@ struct SpecRequest {
   enum class Kind : uint8_t {
     Off,   ///< "0" / "generic": always the generic kernel.
     Auto,  ///< "auto": calibrate per program, pick the fastest.
-    Force, ///< "1" (-> BranchSpec) or an explicit variant name.
+    Force, ///< "1" (-> Unguarded, the most specialized tier) or an
+           ///< explicit variant name.
   };
   Kind K = Kind::Auto;
   SpecVariant Variant = SpecVariant::Generic;
 };
 
 /// Strict-parses a DYNACE_SPECIALIZE value ("0", "1", "auto", "generic",
-/// "fused2", "fused3", "branchspec").
+/// "fused2", "fused3", "branchspec", "unguarded").
 /// \returns the request, or InvalidInput for anything else.
 Expected<SpecRequest> parseSpecializeValue(const std::string &Value);
 

@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Cfg.h"
+#include "analysis/Dataflow.h"
 #include "analysis/Fusion.h"
 #include "analysis/Verifier.h"
 #include "isa/MethodBuilder.h"
@@ -416,14 +417,26 @@ TEST(Diagnostic, StatusMessageCarriesTheKindTag) {
 
 TEST(Diagnostic, KindNamesAreStableAndDistinct) {
   std::vector<std::string> Names;
-  for (int K = 0; K <= static_cast<int>(DiagKind::FusionAcrossBoundary);
-       ++K)
+  for (int K = 0; K <= static_cast<int>(DiagKind::AlwaysFalseGuard); ++K)
     Names.push_back(diagKindName(static_cast<DiagKind>(K)));
   std::vector<std::string> Sorted = Names;
   std::sort(Sorted.begin(), Sorted.end());
   EXPECT_EQ(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
   EXPECT_EQ(Names.front(), "empty-method");
-  EXPECT_EQ(Names.back(), "fusion-across-boundary");
+  EXPECT_EQ(Names.back(), "always-false-guard");
+}
+
+TEST(Diagnostic, SeverityPartitionsWarningsFromErrors) {
+  // The dataflow lints are advisory (Warning); everything pre-existing
+  // plus provable traps keeps gating Status (Error).
+  EXPECT_EQ(diagSeverity(DiagKind::DeadStore), DiagSeverity::Warning);
+  EXPECT_EQ(diagSeverity(DiagKind::UseBeforeDef), DiagSeverity::Warning);
+  EXPECT_EQ(diagSeverity(DiagKind::AlwaysFalseGuard),
+            DiagSeverity::Warning);
+  EXPECT_EQ(diagSeverity(DiagKind::ProvablyTrapping), DiagSeverity::Error);
+  EXPECT_EQ(diagSeverity(DiagKind::EmptyMethod), DiagSeverity::Error);
+  EXPECT_EQ(diagSeverity(DiagKind::FusionAcrossBoundary),
+            DiagSeverity::Error);
 }
 
 // ------------------------------------------------- finalize strict mode
@@ -593,4 +606,277 @@ TEST(FusionPlan, FusibleRunsNeverProduceAFlaggedPlan) {
           << Prof.Name << " method " << Id;
     }
   }
+}
+
+// -------------------------------------------------------- dataflow engine
+//
+// Defect-table discipline for the dataflow DiagKinds: every kind has a
+// minimal firing fixture AND a structurally-similar near-miss that stays
+// silent, so a lattice regression shows up here rather than as a silent
+// loss of diagnostics (or worse, an unsound proof).
+
+namespace {
+
+Instruction div3(uint8_t Dst, uint8_t A, uint8_t B) {
+  Instruction I = ins(Opcode::Div);
+  I.Dst = Dst;
+  I.Src1 = A;
+  I.Src2 = B;
+  return I;
+}
+
+Instruction store(uint8_t Base, uint8_t Value, int64_t Disp = 0) {
+  Instruction I = ins(Opcode::Store);
+  I.Src1 = Base;
+  I.Src2 = Value;
+  I.Imm = Disp;
+  return I;
+}
+
+Instruction load(uint8_t Dst, uint8_t Base, int64_t Disp = 0) {
+  Instruction I = ins(Opcode::Load);
+  I.Dst = Dst;
+  I.Src1 = Base;
+  I.Imm = Disp;
+  return I;
+}
+
+Instruction halt() { return ins(Opcode::Halt); }
+
+/// Runs the verifier with dataflow checks enabled (warnings included).
+std::vector<Diagnostic> lintDataflow(const Program &P) {
+  VerifierOptions O;
+  O.DataflowChecks = true;
+  return verifyProgram(P, O);
+}
+
+} // namespace
+
+TEST(DataflowDiag, DeadStoreFiresOnOverwrittenPureDef) {
+  Program P = makeProgram({iconst(1, 5), iconst(1, 7), ret(1)});
+  std::vector<Diagnostic> Diags = lintDataflow(P);
+  EXPECT_TRUE(hasKind(Diags, DiagKind::DeadStore));
+  // Advisory only: the program still verifies as a Status.
+  EXPECT_TRUE(verifyProgramStatus(P).ok());
+}
+
+TEST(DataflowDiag, DeadStoreNearMissValueIsRead) {
+  Program P = makeProgram({iconst(1, 5), addi(1, 1, 2), ret(1)});
+  EXPECT_FALSE(hasKind(lintDataflow(P), DiagKind::DeadStore));
+}
+
+TEST(DataflowDiag, UseBeforeDefFiresOnUnassignedRead) {
+  // The entry method runs with zero arguments, so r2 only ever holds the
+  // frame's zero-fill here.
+  Program P = makeProgram({addi(1, 2, 0), ret(1)});
+  EXPECT_TRUE(hasKind(lintDataflow(P), DiagKind::UseBeforeDef));
+  EXPECT_TRUE(verifyProgramStatus(P).ok());
+}
+
+TEST(DataflowDiag, UseBeforeDefNearMissAssignedFirst) {
+  Program P = makeProgram({iconst(2, 1), addi(1, 2, 0), ret(1)});
+  EXPECT_FALSE(hasKind(lintDataflow(P), DiagKind::UseBeforeDef));
+}
+
+TEST(DataflowDiag, UseBeforeDefNearMissArgumentRegisterIsAssigned) {
+  // A callee invoked with one argument may read r0 freely: the call-site
+  // scan (maxEntryArgs) marks it assigned.
+  Program P = makeProgram({iconst(3, 1), call(1, /*FirstArg=*/3,
+                                               /*NumArgs=*/1),
+                           ret(1)},
+                          "main");
+  addMethod(P, {addi(1, 0, 2), ret(1)}, "callee");
+  EXPECT_FALSE(hasKind(lintDataflow(P), DiagKind::UseBeforeDef));
+}
+
+TEST(DataflowDiag, ProvablyTrappingFiresOnConstantZeroDivisor) {
+  Program P =
+      makeProgram({iconst(1, 5), iconst(2, 0), div3(3, 1, 2), ret(3)});
+  std::vector<Diagnostic> Diags = lintDataflow(P);
+  EXPECT_TRUE(hasKind(Diags, DiagKind::ProvablyTrapping));
+  // Error severity: strict finalize (the unary overload) rejects it...
+  Status S = verifyProgramStatus(P);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("dynalint[provably-trapping]"),
+            std::string::npos);
+  // ...but the default options (DataflowChecks off) keep accepting it,
+  // preserving the historical contract for non-strict callers.
+  VerifierOptions Off;
+  EXPECT_FALSE(hasKind(verifyProgram(P, Off), DiagKind::ProvablyTrapping));
+}
+
+TEST(DataflowDiag, ProvablyTrappingNearMissNonZeroDivisor) {
+  Program P =
+      makeProgram({iconst(1, 5), iconst(2, 3), div3(3, 1, 2), ret(3)});
+  EXPECT_FALSE(hasKind(lintDataflow(P), DiagKind::ProvablyTrapping));
+  EXPECT_TRUE(verifyProgramStatus(P).ok());
+}
+
+TEST(DataflowDiag, ProvablyTrappingNearMissUnknownDivisor) {
+  // Divisor merges {0, 3} across a branch: MAY trap, but not provably —
+  // the lattice join must not manufacture certainty.
+  Program P = makeProgram({iconst(1, 5), iconst(2, 0), bri(1, 10, 4),
+                           iconst(2, 3), div3(3, 1, 2), ret(3)});
+  EXPECT_FALSE(hasKind(lintDataflow(P), DiagKind::ProvablyTrapping));
+}
+
+TEST(DataflowDiag, AlwaysFalseGuardFiresOnConstantCondition) {
+  // r1 == 5, so `bri Lt r1, 3` can never be taken.
+  Program P =
+      makeProgram({iconst(1, 5), bri(1, 3, 3), addi(1, 1, 1), ret(1)});
+  EXPECT_TRUE(hasKind(lintDataflow(P), DiagKind::AlwaysFalseGuard));
+  EXPECT_TRUE(verifyProgramStatus(P).ok());
+}
+
+TEST(DataflowDiag, AlwaysFalseGuardFiresOnProvablyTrueCondition) {
+  // The dual: 5 < 10 always holds, so the fallthrough is dead.
+  Program P =
+      makeProgram({iconst(1, 5), bri(1, 10, 3), addi(1, 1, 1), ret(1)});
+  EXPECT_TRUE(hasKind(lintDataflow(P), DiagKind::AlwaysFalseGuard));
+}
+
+TEST(DataflowDiag, AlwaysFalseGuardNearMissLoopExit) {
+  // A counted loop's back-edge test goes both ways; widening must leave
+  // enough slack that it is not misjudged as constant.
+  Program P = makeProgram(
+      {iconst(1, 0), addi(1, 1, 1), bri(1, 10, 1), ret(1)});
+  EXPECT_FALSE(hasKind(lintDataflow(P), DiagKind::AlwaysFalseGuard));
+}
+
+TEST(DataflowDiag, WarningsNeverGateStatusEvenInBulk) {
+  // A method full of advisory findings still converts to an OK Status:
+  // only Error-severity kinds may gate finalize or dynalint exit codes.
+  Program P = makeProgram({iconst(1, 1), iconst(1, 2), addi(2, 3, 0),
+                           iconst(1, 5), bri(1, 3, 6), addi(1, 1, 1),
+                           ret(1)});
+  std::vector<Diagnostic> Diags = lintDataflow(P);
+  EXPECT_TRUE(hasKind(Diags, DiagKind::DeadStore));
+  EXPECT_TRUE(hasKind(Diags, DiagKind::UseBeforeDef));
+  EXPECT_TRUE(hasKind(Diags, DiagKind::AlwaysFalseGuard));
+  EXPECT_TRUE(verifyProgramStatus(P).ok());
+}
+
+// --------------------------------------------------- dataflow lattice/API
+
+TEST(Dataflow, ValueRangeLatticeBasics) {
+  ValueRange B = ValueRange::bottom();
+  ValueRange T = ValueRange::top();
+  ValueRange C5 = ValueRange::constant(5);
+  ValueRange I = ValueRange::interval(3, 9);
+  EXPECT_TRUE(B.isBottom());
+  EXPECT_TRUE(T.isTop());
+  EXPECT_TRUE(C5.isConstant());
+  EXPECT_FALSE(I.isConstant());
+  EXPECT_TRUE(I.contains(3));
+  EXPECT_TRUE(I.contains(9));
+  EXPECT_FALSE(I.contains(10));
+  // Join is the interval hull; bottom is the identity.
+  EXPECT_EQ(B.join(C5), C5);
+  EXPECT_EQ(C5.join(I), ValueRange::interval(3, 9));
+  EXPECT_EQ(ValueRange::constant(1).join(ValueRange::constant(4)),
+            ValueRange::interval(1, 4));
+  EXPECT_TRUE(T.join(C5).isTop());
+  // Widening blows moved bounds to the lattice extremes.
+  ValueRange W = ValueRange::interval(0, 5).widen(ValueRange::interval(0, 4));
+  EXPECT_EQ(W.Lo, 0);
+  EXPECT_EQ(W.Hi, INT64_MAX);
+}
+
+TEST(Dataflow, ConstantPropagationThroughStraightLine) {
+  Program P = makeProgram(
+      {iconst(1, 6), iconst(2, 7), addi(3, 1, 1), ret(3)});
+  const Method &M = P.method(0);
+  Cfg G = Cfg::build(M);
+  MethodDataflow D = analyzeMethod(P, M, G, /*EntryArgs=*/0);
+  // Straight line = one block; entry ranges are the frame zero-fill.
+  ASSERT_EQ(D.RangeIn.size(), G.blocks().size());
+  EXPECT_EQ(D.RangeIn[0][1], ValueRange::constant(0));
+  // Liveness: nothing is live into the entry block of a 0-arg method.
+  EXPECT_EQ(D.LiveIn[0], 0u);
+}
+
+TEST(Dataflow, LoopRangeConvergesWithWidening) {
+  // r1 increments without a provable bound: analysis must terminate and
+  // r1's range at the loop head must cover every concrete iterate.
+  Program P = makeProgram(
+      {iconst(1, 0), addi(1, 1, 1), bri(1, 1000000, 1), ret(1)});
+  const Method &M = P.method(0);
+  Cfg G = Cfg::build(M);
+  MethodDataflow D = analyzeMethod(P, M, G, /*EntryArgs=*/0);
+  uint32_t HeadIdx = G.blockContaining(1);
+  ASSERT_LT(HeadIdx, G.numBlocks());
+  ValueRange R1 = D.RangeIn[HeadIdx][1];
+  EXPECT_TRUE(R1.contains(0));
+  EXPECT_TRUE(R1.contains(999999));
+}
+
+TEST(Dataflow, MemInBoundsProvenForStaticGlobalAccess) {
+  Program P = makeProgram({iconst(1, static_cast<int64_t>(kHeapBase)),
+                           iconst(2, 9), store(1, 2, 8), load(3, 1, 8),
+                           ret(3)});
+  P.addGlobal(4); // words [kHeapBase, kHeapBase + 32)
+  const Method &M = P.method(0);
+  Cfg G = Cfg::build(M);
+  MethodDataflow D = analyzeMethod(P, M, G, /*EntryArgs=*/0);
+  EXPECT_TRUE(D.Facts[2] & DF_MemInBounds) << "store at +8 is in bounds";
+  EXPECT_TRUE(D.Facts[3] & DF_MemInBounds) << "load at +8 is in bounds";
+}
+
+TEST(Dataflow, MemInBoundsNotClaimedOutsideTheSegment) {
+  // Displacement 64 lands one word past the 4-word global segment: the
+  // VM would wrap modulo the heap mask, so no proof may be issued.
+  Program P = makeProgram({iconst(1, static_cast<int64_t>(kHeapBase)),
+                           iconst(2, 9), store(1, 2, 64), ret(2)});
+  P.addGlobal(4);
+  const Method &M = P.method(0);
+  Cfg G = Cfg::build(M);
+  MethodDataflow D = analyzeMethod(P, M, G, /*EntryArgs=*/0);
+  EXPECT_FALSE(D.Facts[2] & DF_MemInBounds);
+}
+
+TEST(Dataflow, MaxEntryArgsTracksTheWidestCallSite) {
+  Program P = makeProgram(
+      {iconst(3, 1), call(1, /*FirstArg=*/3, /*NumArgs=*/1),
+       call(1, /*FirstArg=*/2, /*NumArgs=*/2), ret(1)},
+      "main");
+  addMethod(P, {addi(1, 0, 2), ret(1)}, "callee");
+  std::vector<unsigned> Args = maxEntryArgs(P);
+  ASSERT_EQ(Args.size(), 2u);
+  EXPECT_EQ(Args[0], 0u) << "nobody calls main";
+  EXPECT_EQ(Args[1], 2u) << "widest call site wins";
+}
+
+TEST(Dataflow, ProofSetSkipsMethodsWithOffEndBranchTargets) {
+  // A branch target equal to Code.size() is tolerated by the VM (it
+  // falls to the off-end sentinel) but violates Cfg::build's contract;
+  // computeProofSet must leave such methods fully guarded, not crash.
+  Program P = makeProgram({iconst(1, 5), bri(1, 3, 2)});
+  ProofSet PS = computeProofSet(P);
+  ASSERT_EQ(PS.MethodFacts.size(), 1u);
+  EXPECT_TRUE(PS.MethodFacts[0].empty());
+  EXPECT_EQ(PS.provenGuardCount(), 0u);
+}
+
+TEST(Dataflow, DotDumpIsWellFormedAndCarriesFacts) {
+  Program P = makeProgram({iconst(1, static_cast<int64_t>(kHeapBase)),
+                           iconst(2, 9), store(1, 2, 8), ret(2)});
+  P.addGlobal(4);
+  const Method &M = P.method(0);
+  Cfg G = Cfg::build(M);
+  MethodDataflow D = analyzeMethod(P, M, G, /*EntryArgs=*/0);
+  std::string Dot = dataflowToDot(P, M, G, D);
+  EXPECT_NE(Dot.find("digraph dataflow_m"), std::string::npos);
+  EXPECT_NE(Dot.find("mem-in-bounds"), std::string::npos);
+  EXPECT_NE(Dot.find("live-in"), std::string::npos);
+  EXPECT_EQ(std::count(Dot.begin(), Dot.end(), '{'),
+            std::count(Dot.begin(), Dot.end(), '}'));
+}
+
+TEST(Dataflow, GeneratedWorkloadsAreProofDense) {
+  // The benchmark generator's memory idiom (constant global base +
+  // masked index) is exactly what the interval lattice proves; if this
+  // count collapses, the unguarded tier silently stops eliding guards.
+  GeneratedWorkload W = WorkloadGenerator::generate(*findProfile("compress"));
+  ProofSet PS = computeProofSet(W.Prog);
+  EXPECT_GT(PS.provenGuardCount(), 100u);
 }

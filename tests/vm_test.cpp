@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <cstring>
 #include <vector>
 
 using namespace dynace;
@@ -737,8 +738,9 @@ TEST(Specializer, DifferentialAgainstGenericAllProfiles) {
     for (bool Skewed : {false, true}) {
       WorkloadProfile P = Skewed ? withZipfTheta(Base, 1.2) : Base;
       GeneratedWorkload W = WorkloadGenerator::generate(P);
-      for (SpecVariant V : {SpecVariant::Fused2, SpecVariant::Fused3,
-                            SpecVariant::BranchSpec}) {
+      for (SpecVariant V :
+           {SpecVariant::Fused2, SpecVariant::Fused3,
+            SpecVariant::BranchSpec, SpecVariant::Unguarded}) {
         SCOPED_TRACE(P.Name + "/" + specVariantName(V));
         runLockstep(W.Prog, V, 120'000,
                     Specializer::programDigest(W.Prog) ^
@@ -809,11 +811,12 @@ TEST(Specializer, ParseSpecializeValueAcceptsDocumentedForms) {
   } Cases[] = {
       {"0", SpecRequest::Kind::Off, SpecVariant::Generic},
       {"generic", SpecRequest::Kind::Off, SpecVariant::Generic},
-      {"1", SpecRequest::Kind::Force, SpecVariant::BranchSpec},
+      {"1", SpecRequest::Kind::Force, SpecVariant::Unguarded},
       {"auto", SpecRequest::Kind::Auto, SpecVariant::Generic},
       {"fused2", SpecRequest::Kind::Force, SpecVariant::Fused2},
       {"fused3", SpecRequest::Kind::Force, SpecVariant::Fused3},
       {"branchspec", SpecRequest::Kind::Force, SpecVariant::BranchSpec},
+      {"unguarded", SpecRequest::Kind::Force, SpecVariant::Unguarded},
   };
   for (const Case &C : Cases) {
     Expected<SpecRequest> R = parseSpecializeValue(C.Value);
@@ -833,4 +836,115 @@ TEST(Specializer, ParseSpecializeValueRejectsEverythingElse) {
     Expected<SpecRequest> R = parseSpecializeValue(Bad);
     EXPECT_FALSE(R) << "'" << Bad << "' should not parse";
   }
+}
+
+// ------------------------------------------------------- unguarded tier
+
+namespace {
+
+/// True when the two images encode the same instructions (handlers,
+/// operands, events, fusion plans) — everything except the Variant tag.
+void expectSameImage(const SpecProgram &A, const SpecProgram &B) {
+  ASSERT_EQ(A.Methods.size(), B.Methods.size());
+  for (size_t M = 0; M != A.Methods.size(); ++M) {
+    const SpecMethodImage &IA = A.Methods[M], &IB = B.Methods[M];
+    ASSERT_EQ(IA.Insts.size(), IB.Insts.size()) << "method " << M;
+    for (size_t I = 0; I != IA.Insts.size(); ++I)
+      EXPECT_EQ(std::memcmp(&IA.Insts[I], &IB.Insts[I], sizeof(SpecInst)),
+                0)
+          << "method " << M << " instr " << I;
+    EXPECT_EQ(IA.Plan.size(), IB.Plan.size()) << "method " << M;
+  }
+  EXPECT_EQ(A.FusedInstructions, B.FusedInstructions);
+  EXPECT_EQ(A.TotalInstructions, B.TotalInstructions);
+}
+
+/// Counts image instructions whose handler lies in [First, Last].
+size_t countHandlersIn(const SpecProgram &P, uint16_t First, uint16_t Last) {
+  size_t N = 0;
+  for (const SpecMethodImage &M : P.Methods)
+    for (const SpecInst &SI : M.Insts)
+      if (SI.Handler >= First && SI.Handler <= Last)
+        ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(Specializer, UnguardedWithoutProofsMatchesBranchSpecImage) {
+  // Every address below flows through Alloc (top in the range lattice)
+  // and the divisor is a loop-carried unknown, so the dataflow engine can
+  // prove nothing. The Unguarded image must then be instruction-identical
+  // to BranchSpec: proofs are the only licensed difference.
+  Program P = buildProgram([](Program &, MethodBuilder &B) {
+    MethodBuilder::Label Top = B.newLabel();
+    B.iconst(/*Dst=*/1, 4);
+    B.alloc(/*Dst=*/2, /*Words=*/1); // r2 = dynamic pointer: range top
+    B.iconst(/*Dst=*/3, 9);
+    B.store(/*Base=*/2, /*Value=*/3);
+    B.bind(Top);
+    B.load(/*Dst=*/4, /*Base=*/2);
+    B.div(/*Dst=*/5, /*A=*/4, /*B=*/1); // r1 only provably != 0 via const
+    B.addi(/*Dst=*/1, /*A=*/1, -1);
+    B.storeIdx(/*Base=*/2, /*Index=*/0, /*Value=*/5);
+    B.bri(CondKind::Gt, /*A=*/1, 1, Top);
+    B.halt();
+  });
+  // r1 IS provably nonzero at the div ([1, 4] after widening-free
+  // convergence)... unless the loop's decrement widens it to top. Either
+  // way the *memory* ops stay unprovable; accept the div going either
+  // way and compare everything else via the full-image equality below
+  // only when no proof landed at all.
+  SpecProgram BS = Specializer::build(P, SpecVariant::BranchSpec);
+  SpecProgram U = Specializer::build(P, SpecVariant::Unguarded);
+  EXPECT_EQ(BS.Variant, SpecVariant::BranchSpec);
+  EXPECT_EQ(U.Variant, SpecVariant::Unguarded);
+  EXPECT_EQ(countHandlersIn(U, HS_LoadU, HS_StoreIdxU), 0u)
+      << "no memory op here is provable; unguarded mem handlers leaked in";
+  if (countHandlersIn(U, HS_LoadU, HS_Count - 1) == 0)
+    expectSameImage(BS, U);
+}
+
+TEST(Specializer, UnguardedRemapsProvenMemAndDivHandlers) {
+  // Static global base + constant offsets + masked index: every memory
+  // access is provably inside [kHeapBase, kHeapBase + 8 * globalWords)
+  // and the divisor is a nonzero constant, so the Unguarded image must
+  // carry unguarded handlers somewhere (as a single or inside a fused
+  // group) and lockstep must stay bit-identical.
+  Program P = buildProgram([](Program &Pr, MethodBuilder &B) {
+    uint64_t Base = Pr.addGlobal(16);
+    MethodBuilder::Label Top = B.newLabel();
+    B.iconst(/*Dst=*/1, static_cast<int64_t>(Base));
+    B.iconst(/*Dst=*/2, 40);
+    B.iconst(/*Dst=*/6, 3);
+    B.store(/*Base=*/1, /*Value=*/2, /*Disp=*/8);
+    B.bind(Top);
+    B.load(/*Dst=*/3, /*Base=*/1, /*Disp=*/8);
+    B.andi(/*Dst=*/4, /*A=*/3, 15); // index in [0, 15]
+    B.loadIdx(/*Dst=*/5, /*Base=*/1, /*Index=*/4);
+    B.div(/*Dst=*/5, /*A=*/5, /*B=*/6); // divisor r6 == 3
+    B.storeIdx(/*Base=*/1, /*Index=*/4, /*Value=*/5);
+    B.addi(/*Dst=*/2, /*A=*/2, -1);
+    B.store(/*Base=*/1, /*Value=*/2, /*Disp=*/8);
+    B.bri(CondKind::Gt, /*A=*/2, 0, Top);
+    B.halt();
+  });
+  SpecProgram U = Specializer::build(P, SpecVariant::Unguarded);
+  EXPECT_GT(countHandlersIn(U, HS_LoadU, HS_Count - 1), 0u)
+      << "provable facts produced no unguarded handlers";
+  EXPECT_GT(countHandlersIn(U, HS_DivNZ, HS_RemNZ), 0u)
+      << "constant nonzero divisor did not unlock HS_DivNZ";
+  // The proof-elided kernels must be observationally identical.
+  runLockstep(P, SpecVariant::Unguarded, 2'000,
+              Specializer::programDigest(P));
+}
+
+TEST(Specializer, UnguardedImagesAreDeterministic) {
+  GeneratedWorkload W = WorkloadGenerator::generate(*findProfile("compress"));
+  SpecProgram A = Specializer::build(W.Prog, SpecVariant::Unguarded);
+  SpecProgram B = Specializer::build(W.Prog, SpecVariant::Unguarded);
+  expectSameImage(A, B);
+  // compress is proof-dense (constant global bases, masked indices):
+  // the unguarded tier must actually elide guards there.
+  EXPECT_GT(countHandlersIn(A, HS_LoadU, HS_Count - 1), 0u);
 }

@@ -7,28 +7,39 @@
 // dynalint — the standalone front end of the static verifier
 // (analysis/Verifier.h, DESIGN.md section 13). Lints the programs the
 // built-in benchmark generators produce — IR well-formedness plus the
-// specializer's fusion hook-boundary rule (analysis/Fusion.h) — and
-// dumps their CFGs and call graphs as Graphviz DOT.
+// specializer's fusion hook-boundary rule (analysis/Fusion.h) and,
+// with --dataflow, the abstract-interpretation diagnostics
+// (analysis/Dataflow.h, DESIGN.md section 18) — and dumps CFGs, call
+// graphs and dataflow summaries as Graphviz DOT.
 //
 //   dynalint --all                      lint every built-in benchmark
 //   dynalint compress db                lint the named benchmarks
 //   dynalint --list                     list benchmark names
+//   dynalint --dataflow --all           also run the dataflow diagnostics
+//   dynalint --zipf-sweep --all         lint the theta-sweep variants too
+//   dynalint --trace capture.trace      lint a trace-frontend program
+//                                       ("-" reads stdin)
 //   dynalint --dot-cfg main compress    dump the DOT CFG of one method
 //   dynalint --dot-callgraph compress   dump the DOT call graph
+//   dynalint --dot-dataflow main db     dump the DOT dataflow summary
 //
 // Options: --gap N (reconfiguration min gap, default 1), --no-dead
 // (skip dead-block diagnostics), --max-diags N, --quiet (per-benchmark
 // summaries only on failure).
 //
-// Exit status: 0 when every linted program verifies clean, 1 when any
-// diagnostic was reported, 2 on usage errors.
+// Exit status: 0 when every linted program is free of Error-severity
+// diagnostics (dataflow warnings — dead stores, use-before-def, constant
+// branch guards — are printed but advisory), 1 when any error was
+// reported, 2 on usage errors.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Cfg.h"
+#include "analysis/Dataflow.h"
 #include "analysis/Fusion.h"
 #include "analysis/Verifier.h"
 #include "support/Env.h"
+#include "workloads/TraceFrontend.h"
 #include "workloads/WorkloadGenerator.h"
 #include "workloads/WorkloadProfile.h"
 
@@ -46,9 +57,18 @@ int usage(const char *Argv0) {
                "usage: %s [options] [--all | benchmark...]\n"
                "  --all              lint every built-in benchmark\n"
                "  --list             list benchmark names and exit\n"
+               "  --dataflow         also run the dataflow diagnostics\n"
+               "                     (dead-store, use-before-def,\n"
+               "                     provably-trapping, always-false-guard)\n"
+               "  --zipf-sweep       additionally lint the zipf theta-sweep\n"
+               "                     variants of each selected benchmark\n"
+               "  --trace FILE       lint the program compiled from a\n"
+               "                     dynatrace capture ('-' reads stdin)\n"
                "  --dot-cfg NAME     dump the DOT CFG of method NAME (or a "
                "numeric id)\n"
                "  --dot-callgraph    dump the DOT call graph\n"
+               "  --dot-dataflow NAME  dump the DOT dataflow summary of "
+               "method NAME\n"
                "  --gap N            reconfiguration min gap in instructions "
                "(default 1)\n"
                "  --no-dead          do not flag unreachable blocks\n"
@@ -72,27 +92,44 @@ MethodId resolveMethod(const Program &P, const std::string &Name) {
   return static_cast<MethodId>(P.numMethods());
 }
 
-/// Lints one generated benchmark. \returns the number of diagnostics.
-size_t lintBenchmark(const WorkloadProfile &Profile,
-                     const analysis::VerifierOptions &Opts, bool Quiet,
-                     const std::string &DotCfgMethod, bool DotCallGraph) {
-  GeneratedWorkload W = WorkloadGenerator::generate(Profile);
-  const Program &P = W.Prog;
+/// What one lint pass found.
+struct LintCounts {
+  size_t Errors = 0;
+  size_t Warnings = 0;
+};
 
-  if (!DotCfgMethod.empty()) {
-    MethodId Id = resolveMethod(P, DotCfgMethod);
+/// Lints one program (a generated benchmark, a sweep variant or a
+/// compiled trace) under \p Name. \returns the diagnostic counts by
+/// severity; only errors gate the exit status.
+LintCounts lintProgram(const std::string &Name, const Program &P,
+                       const analysis::VerifierOptions &Opts, bool Quiet,
+                       const std::string &DotCfgMethod, bool DotCallGraph,
+                       const std::string &DotDataflowMethod) {
+  LintCounts Counts;
+  if (!DotCfgMethod.empty() || !DotDataflowMethod.empty()) {
+    const std::string &Wanted =
+        !DotCfgMethod.empty() ? DotCfgMethod : DotDataflowMethod;
+    MethodId Id = resolveMethod(P, Wanted);
     if (Id >= P.numMethods()) {
       std::fprintf(stderr, "dynalint: %s: no method named '%s'\n",
-                   Profile.Name.c_str(), DotCfgMethod.c_str());
-      return 1;
+                   Name.c_str(), Wanted.c_str());
+      Counts.Errors = 1;
+      return Counts;
     }
-    std::fputs(analysis::Cfg::build(P.method(Id)).toDot(P.method(Id)).c_str(),
-               stdout);
-    return 0;
+    const Method &M = P.method(Id);
+    const analysis::Cfg G = analysis::Cfg::build(M);
+    if (!DotCfgMethod.empty()) {
+      std::fputs(G.toDot(M).c_str(), stdout);
+    } else {
+      const analysis::MethodDataflow DF =
+          analysis::analyzeMethod(P, M, G, analysis::maxEntryArgs(P)[Id]);
+      std::fputs(analysis::dataflowToDot(P, M, G, DF).c_str(), stdout);
+    }
+    return Counts;
   }
   if (DotCallGraph) {
     std::fputs(analysis::CallGraph::build(P).toDot(P).c_str(), stdout);
-    return 0;
+    return Counts;
   }
 
   std::vector<analysis::Diagnostic> Diags = analysis::verifyProgram(P, Opts);
@@ -123,20 +160,40 @@ size_t lintBenchmark(const WorkloadProfile &Profile,
     Diags.insert(Diags.end(), FusionDiags.begin(), FusionDiags.end());
   }
 
-  for (const analysis::Diagnostic &D : Diags)
-    std::fprintf(stderr, "dynalint: %s: %s\n", Profile.Name.c_str(),
-                 D.render(P).c_str());
-  if (!Diags.empty())
-    std::fprintf(stderr, "dynalint: %s: FAILED (%zu diagnostic%s)\n",
-                 Profile.Name.c_str(), Diags.size(),
-                 Diags.size() == 1 ? "" : "s");
+  for (const analysis::Diagnostic &D : Diags) {
+    const bool IsError =
+        analysis::diagSeverity(D.Kind) == analysis::DiagSeverity::Error;
+    ++(IsError ? Counts.Errors : Counts.Warnings);
+    std::fprintf(stderr, "dynalint: %s: %s%s\n", Name.c_str(),
+                 IsError ? "" : "warning: ", D.render(P).c_str());
+  }
+  if (Counts.Errors)
+    std::fprintf(stderr, "dynalint: %s: FAILED (%zu error%s, %zu warning%s)\n",
+                 Name.c_str(), Counts.Errors, Counts.Errors == 1 ? "" : "s",
+                 Counts.Warnings, Counts.Warnings == 1 ? "" : "s");
   else if (!Quiet)
     std::printf("dynalint: %s: OK (%zu methods, %llu instructions, "
-                "%zu fusion groups)\n",
-                Profile.Name.c_str(), P.numMethods(),
+                "%zu fusion groups, %zu warning%s)\n",
+                Name.c_str(), P.numMethods(),
                 static_cast<unsigned long long>(P.staticInstructionCount()),
-                FusionGroups);
-  return Diags.size();
+                FusionGroups, Counts.Warnings,
+                Counts.Warnings == 1 ? "" : "s");
+  return Counts;
+}
+
+/// Reads \p Path ("-" = stdin) fully. \returns false on I/O failure.
+bool readFileOrStdin(const std::string &Path, std::string &Out) {
+  std::FILE *F = Path == "-" ? stdin : std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  const bool Ok = !std::ferror(F);
+  if (F != stdin)
+    std::fclose(F);
+  return Ok;
 }
 
 } // namespace
@@ -146,7 +203,10 @@ int main(int Argc, char **Argv) {
   bool All = false;
   bool Quiet = false;
   bool DotCallGraph = false;
+  bool ZipfSweep = false;
   std::string DotCfgMethod;
+  std::string DotDataflowMethod;
+  std::string TracePath;
   std::vector<std::string> Names;
 
   for (int I = 1; I < Argc; ++I) {
@@ -160,6 +220,15 @@ int main(int Argc, char **Argv) {
       for (const WorkloadProfile &P : specjvm98Profiles())
         std::printf("%s\n", P.Name.c_str());
       return 0;
+    } else if (!std::strcmp(Arg, "--dataflow")) {
+      Opts.DataflowChecks = true;
+    } else if (!std::strcmp(Arg, "--zipf-sweep")) {
+      ZipfSweep = true;
+    } else if (!std::strcmp(Arg, "--trace")) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      TracePath = V;
     } else if (!std::strcmp(Arg, "--dot-cfg")) {
       const char *V = NextValue();
       if (!V)
@@ -167,6 +236,11 @@ int main(int Argc, char **Argv) {
       DotCfgMethod = V;
     } else if (!std::strcmp(Arg, "--dot-callgraph")) {
       DotCallGraph = true;
+    } else if (!std::strcmp(Arg, "--dot-dataflow")) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      DotDataflowMethod = V;
     } else if (!std::strcmp(Arg, "--gap")) {
       const char *V = NextValue();
       std::optional<uint64_t> N = parseUnsignedInt(V);
@@ -183,7 +257,7 @@ int main(int Argc, char **Argv) {
       Opts.FlagDeadBlocks = false;
     } else if (!std::strcmp(Arg, "--quiet")) {
       Quiet = true;
-    } else if (Arg[0] == '-') {
+    } else if (Arg[0] == '-' && std::strcmp(Arg, "-") != 0) {
       std::fprintf(stderr, "dynalint: unknown option '%s'\n", Arg);
       return usage(Argv[0]);
     } else {
@@ -191,10 +265,14 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  if (!All && Names.empty())
+  if (!All && Names.empty() && TracePath.empty())
     return usage(Argv[0]);
-  if ((!DotCfgMethod.empty() || DotCallGraph) && (All || Names.size() != 1)) {
-    std::fprintf(stderr, "dynalint: DOT dumps need exactly one benchmark\n");
+  const bool DotDump =
+      !DotCfgMethod.empty() || DotCallGraph || !DotDataflowMethod.empty();
+  const size_t TargetCount = Names.size() + (TracePath.empty() ? 0 : 1) +
+                             (All ? 2 : 0) + (ZipfSweep ? 2 : 0);
+  if (DotDump && TargetCount != 1) {
+    std::fprintf(stderr, "dynalint: DOT dumps need exactly one program\n");
     return 2;
   }
 
@@ -216,8 +294,50 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  size_t TotalDiags = 0;
-  for (const WorkloadProfile *P : Selected)
-    TotalDiags += lintBenchmark(*P, Opts, Quiet, DotCfgMethod, DotCallGraph);
-  return TotalDiags == 0 ? 0 : 1;
+  LintCounts Total;
+  auto Accumulate = [&Total](const LintCounts &C) {
+    Total.Errors += C.Errors;
+    Total.Warnings += C.Warnings;
+  };
+
+  for (const WorkloadProfile *P : Selected) {
+    std::vector<WorkloadProfile> Targets{*P};
+    if (ZipfSweep) {
+      // The theta grid the zipf-sweep bench drives (bench/
+      // zipf_theta_sweep.cpp); 0.0 duplicates the base for profiles
+      // without skew knobs, which is harmless and keeps the list uniform.
+      for (WorkloadProfile &S :
+           zipfSweepProfiles(*P, {0.0, 0.6, 0.9, 1.2}))
+        Targets.push_back(std::move(S));
+    }
+    for (const WorkloadProfile &T : Targets) {
+      GeneratedWorkload W = WorkloadGenerator::generate(T);
+      Accumulate(lintProgram(T.Name, W.Prog, Opts, Quiet, DotCfgMethod,
+                             DotCallGraph, DotDataflowMethod));
+    }
+  }
+
+  if (!TracePath.empty()) {
+    std::string Text;
+    if (!readFileOrStdin(TracePath, Text)) {
+      std::fprintf(stderr, "dynalint: cannot read trace '%s'\n",
+                   TracePath.c_str());
+      return 2;
+    }
+    const std::string TraceName =
+        TracePath == "-" ? "<stdin>" : TracePath;
+    Expected<GeneratedWorkload> W = ingestTrace(Text, TraceName);
+    if (!W) {
+      // A trace that fails to parse or compile is a lint failure, not a
+      // usage error: the frontend runs the same strict finalize gate.
+      std::fprintf(stderr, "dynalint: %s: %s\n", TraceName.c_str(),
+                   W.status().message().c_str());
+      Total.Errors += 1;
+    } else {
+      Accumulate(lintProgram(TraceName, W->Prog, Opts, Quiet, DotCfgMethod,
+                             DotCallGraph, DotDataflowMethod));
+    }
+  }
+
+  return Total.Errors == 0 ? 0 : 1;
 }

@@ -46,7 +46,10 @@ int usage(const char *Argv0) {
                "  --scheme NAME      simulation scheme: baseline, bbv or\n"
                "                     hotspot (default baseline)\n"
                "  --max-instr N      stop simulation after N instructions\n"
-               "  --selftest         run the embedded round-trip check\n",
+               "  --selftest         run the embedded round-trip check\n"
+               "  --selftest-dump    print the canonical form of the\n"
+               "                     embedded selftest sample (pipe into\n"
+               "                     dynalint --trace -)\n",
                Argv0);
   return 2;
 }
@@ -117,6 +120,19 @@ uint64_t simulate(const Program &Prog, Scheme SchemeKind, uint64_t MaxInstr,
   return R.Instructions;
 }
 
+/// Prints the canonical form of the embedded sample, for piping into
+/// other tools (notably `dynalint --trace -`). \returns 0 on success.
+int selftestDump() {
+  Expected<TraceSpec> Spec = parseTraceSpec(kSampleTrace, "selftest");
+  if (!Spec) {
+    std::fprintf(stderr, "selftest-dump: sample failed to parse: %s\n",
+                 Spec.status().message().c_str());
+    return 1;
+  }
+  std::fputs(formatTraceSpec(*Spec).c_str(), stdout);
+  return 0;
+}
+
 /// Round-trips the embedded sample. \returns 0 on success.
 int selftest() {
   Expected<TraceSpec> First = parseTraceSpec(kSampleTrace, "selftest");
@@ -163,7 +179,8 @@ int selftest() {
 } // namespace
 
 int main(int argc, char **argv) {
-  bool Dump = false, Simulate = false, SelfTest = false;
+  bool Dump = false, Simulate = false, SelfTest = false,
+       SelfTestDump = false;
   Scheme SchemeKind = Scheme::Baseline;
   uint64_t MaxInstr = 0;
   const char *Path = nullptr;
@@ -176,6 +193,8 @@ int main(int argc, char **argv) {
       Simulate = true;
     } else if (!std::strcmp(Arg, "--selftest")) {
       SelfTest = true;
+    } else if (!std::strcmp(Arg, "--selftest-dump")) {
+      SelfTestDump = true;
     } else if (!std::strcmp(Arg, "--scheme")) {
       if (I + 1 >= argc || !parseScheme(argv[++I], SchemeKind))
         return usage(argv[0]);
@@ -197,6 +216,8 @@ int main(int argc, char **argv) {
 
   if (SelfTest)
     return selftest();
+  if (SelfTestDump)
+    return selftestDump();
   if (!Path)
     return usage(argv[0]);
 
